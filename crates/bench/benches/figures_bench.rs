@@ -1,0 +1,201 @@
+//! End-to-end figure pipelines at test scale: one bench per paper
+//! table/figure, exercising the same code paths the `adaphet-eval`
+//! binaries use (`fig1`..`fig8`, `table1`, `table2`). The real figure
+//! regeneration is `cargo run --release -p adaphet-eval --bin figN`; these
+//! benches keep the pipelines' cost visible and their code exercised under
+//! `cargo bench`.
+
+use adaphet_core::{ActionSpace, GpDiscontinuous, GpUcb, History, Strategy};
+use adaphet_eval::{
+    build_response, build_response_2d, build_rigid_curve, make_strategy, replay_many, space_of,
+};
+use adaphet_geostat::IterationChoice;
+use adaphet_gp::{GpConfig, GpModel, Kernel, Trend};
+use adaphet_scenarios::{Machine, Scale, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn scen(id: char) -> Scenario {
+    Scenario::by_id(id).expect("known scenario")
+}
+
+/// Fig. 1: traced three-iteration run with per-node utilization profiles.
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig1_trace_pipeline", |b| {
+        b.iter(|| {
+            let s = scen('b');
+            let mut app = s.app(Scale::Test, 0);
+            let n = app.n_nodes();
+            for choice in [
+                IterationChoice { n_gen: 8, n_fact: 8 },
+                IterationChoice::all(n),
+                IterationChoice::fact_only(n, 8),
+            ] {
+                app.run_iteration(choice);
+            }
+            app.runtime().trace().events().len()
+        });
+    });
+    g.finish();
+}
+
+/// Figs. 2 & 5: response table + rigid curve of one scenario.
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig5_response_table_scenario_a", |b| {
+        b.iter(|| {
+            let s = scen('a');
+            let t = build_response(&s, Scale::Test, 10, 1);
+            let r = build_rigid_curve(&s, Scale::Test, 1);
+            (t.best_action(), r.len())
+        });
+    });
+    g.finish();
+}
+
+/// Fig. 3: the GP cos fit.
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_gp_cos_fit", |b| {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64 * 1.6).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.cos()).collect();
+        b.iter(|| {
+            let gp = GpModel::fit(
+                GpConfig {
+                    kernel: Kernel::SquaredExponential { theta: 1.2 },
+                    process_var: 1.0,
+                    noise_var: 0.01,
+                    trend: Trend::none(),
+                },
+                black_box(&xs),
+                &ys,
+            )
+            .unwrap();
+            (0..50).map(|i| gp.predict(i as f64 * 0.25).mean).sum::<f64>()
+        });
+    });
+}
+
+/// Fig. 4: stepwise surrogate dumps of both GP strategies.
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig4_stepwise_surrogates", |b| {
+        let table = adaphet_bench::synthetic_table(24, 10);
+        let space = space_of(&table);
+        b.iter(|| {
+            let mut hist = History::new();
+            let plain = GpUcb::new(&space);
+            let mut disc = GpDiscontinuous::new(&space);
+            for _ in 0..20 {
+                let a = disc.propose(&hist);
+                hist.record(a, table.durations[a - 1][0]);
+            }
+            let curve = disc.surrogate_curve(&hist).map(|c| c.len()).unwrap_or(0);
+            let plain_fit = plain.fit(&hist).is_some();
+            (curve, plain_fit)
+        });
+    });
+    g.finish();
+}
+
+/// Fig. 6: the full strategy-comparison replay on one scenario table.
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig6_strategy_overview_synthetic", |b| {
+        let table = adaphet_bench::synthetic_table(24, 30);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for name in adaphet_eval::PAPER_STRATEGIES {
+                acc += replay_many(name, &table, 60, 5, 3).mean_total;
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+/// Fig. 7: the online tuner's per-iteration cost (fit + propose).
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_online_tuner_step", |b| {
+        let table = adaphet_bench::synthetic_table(14, 10);
+        let space = space_of(&table);
+        let mut hist = History::new();
+        let mut warm = GpDiscontinuous::new(&space);
+        for _ in 0..30 {
+            let a = warm.propose(&hist);
+            hist.record(a, table.durations[a - 1][0]);
+        }
+        b.iter(|| {
+            let mut s = GpDiscontinuous::new(&space);
+            black_box(s.propose(&hist))
+        });
+    });
+}
+
+/// Fig. 8: the 2D (generation x factorization) sweep.
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig8_2d_sweep_scenario_a", |b| {
+        b.iter(|| build_response_2d(&scen('a'), Scale::Test, 4, 1).len());
+    });
+    g.finish();
+}
+
+/// Table I: one strategy-property evaluation cell.
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_property_cell", |b| {
+        let lp: Vec<f64> = (1..=24).map(|n| 96.0 / n as f64).collect();
+        let space = ActionSpace::new(24, vec![(1, 8), (9, 16), (17, 24)], Some(lp));
+        b.iter(|| {
+            let mut s = make_strategy("GP-discontin", &space, 1, None);
+            let mut h = History::new();
+            for _ in 0..40 {
+                let a = s.propose(&h);
+                h.record(a, 96.0 / a as f64 + 0.9 * a as f64);
+            }
+            h.total_time()
+        });
+    });
+}
+
+/// Table II: platform construction from the catalogue.
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_platform_catalogue", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in [
+                Machine::Chetemi,
+                Machine::Chifflet,
+                Machine::Chifflot,
+                Machine::SdCpu,
+                Machine::SdK40x1,
+                Machine::SdK40x2,
+            ] {
+                acc += m.spec().peak_gflops();
+            }
+            for s in Scenario::all16() {
+                acc += s.platform().len() as f64;
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_table1,
+    bench_table2
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! GP substrate cost: fit and predict versus the number of observations —
+//! the computational side of the paper's Fig. 7 overhead claim (the online
+//! tuner refits a GP every iteration, so fit cost at 10-130 observations
+//! must stay in the milliseconds).
+
+use adaphet_gp::{GpConfig, GpModel, Kernel, Trend};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn data(n: usize) -> (Vec<f64>, Vec<f64>) {
+    // Spread the samples over the whole [0, 37] span so every dummy-group
+    // column of the trend has data regardless of n (a rank-deficient GLS
+    // would error out of the fit).
+    let xs: Vec<f64> = (0..n)
+        .map(|i| i as f64 * 37.0 / n as f64 + 0.013 * i as f64)
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 40.0 / (x + 1.0) + 0.5 * x).collect();
+    (xs, ys)
+}
+
+fn config() -> GpConfig {
+    GpConfig {
+        kernel: Kernel::Exponential { theta: 1.0 },
+        process_var: 10.0,
+        noise_var: 0.25,
+        trend: Trend::linear_with_group_dummies(&[(0, 12), (13, 24), (25, 40)]),
+    }
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp_fit");
+    for n in [8usize, 32, 127] {
+        let (xs, ys) = data(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| GpModel::fit(config(), black_box(&xs), black_box(&ys)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (xs, ys) = data(127);
+    let model = GpModel::fit(config(), &xs, &ys).unwrap();
+    c.bench_function("gp_predict_curve_128pts", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in 1..=128 {
+                acc += model.predict(black_box(q as f64)).mean;
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Simulator throughput: tasks-per-second of the discrete-event engine on
+//! a full application iteration. The figure sweeps simulate hundreds of
+//! iterations, so this is the wall-clock budget of the whole evaluation.
+
+use adaphet_geostat::{GeoSimApp, IterationChoice, Workload};
+use adaphet_runtime::{NetworkSpec, NodeSpec, Platform, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn platform(n_gpu: usize, n_cpu: usize) -> Platform {
+    let gpu = NodeSpec {
+        name: "L".into(),
+        cpu_cores: 16,
+        gpus: 2,
+        cpu_gflops_per_core: 20.0,
+        gpu_gflops: 2000.0,
+        nic_gbps: 10.0,
+    };
+    let cpu = NodeSpec { name: "S".into(), gpus: 0, gpu_gflops: 0.0, ..gpu.clone() };
+    let mut nodes = vec![gpu; n_gpu];
+    nodes.extend(std::iter::repeat_n(cpu, n_cpu));
+    Platform::new_sorted(nodes, NetworkSpec { backbone_gbps: 100.0, latency_s: 1e-5 })
+}
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_iteration");
+    g.sample_size(10);
+    for &nt in &[12usize, 24] {
+        g.bench_with_input(BenchmarkId::new("nt", nt), &nt, |b, &nt| {
+            b.iter(|| {
+                let mut app =
+                    GeoSimApp::new(platform(2, 6), Workload::new(nt, 256), SimConfig::default());
+                app.set_trace_enabled(false);
+                let n = app.n_nodes();
+                app.run_iteration(IterationChoice::fact_only(n, 4)).duration()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_redistribution(c: &mut Criterion) {
+    // Iterations that flip between node sets pay migration traffic.
+    c.bench_function("sim_iteration_with_flipflop_redistribution", |b| {
+        b.iter(|| {
+            let mut app =
+                GeoSimApp::new(platform(2, 6), Workload::new(12, 256), SimConfig::default());
+            app.set_trace_enabled(false);
+            let n = app.n_nodes();
+            let mut total = 0.0;
+            for k in [n, 2, n, 3] {
+                total += app.run_iteration(IterationChoice::fact_only(n, k)).duration();
+            }
+            total
+        });
+    });
+}
+
+criterion_group!(benches, bench_iteration, bench_redistribution);
+criterion_main!(benches);

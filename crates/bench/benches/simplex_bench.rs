@@ -1,0 +1,40 @@
+//! LP substrate cost: the makespan-bound LP is solved once per action when
+//! building the bound curve; it must be trivially cheap even at 128 nodes.
+
+use adaphet_lp::{MakespanModel, PhaseSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_makespan_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("makespan_lp");
+    for n in [8usize, 64, 128] {
+        let times: Vec<f64> = (0..n).map(|i| 0.5 + 0.01 * i as f64).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                MakespanModel::phase_bound(&PhaseSpec {
+                    name: "factorization",
+                    work_units: black_box(1000.0),
+                    node_unit_times: times.clone(),
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_bound_curve(c: &mut Criterion) {
+    // The whole LP(n) curve for a 128-node cluster.
+    c.bench_function("lp_curve_128_nodes", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 1..=128usize {
+                let times: Vec<f64> = (0..k).map(|i| 0.5 + 0.01 * i as f64).collect();
+                acc += adaphet_lp::proportional_share_bound(black_box(1000.0), &times).makespan;
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_makespan_lp, bench_bound_curve);
+criterion_main!(benches);

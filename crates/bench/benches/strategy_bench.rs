@@ -1,0 +1,52 @@
+//! Per-strategy proposal cost — the online overhead each tuner adds to an
+//! application iteration (the paper's Fig. 7 reports 0.04-0.06 s for the
+//! GP strategies against 10-30 s iterations).
+
+use adaphet_bench::synthetic_table;
+use adaphet_core::History;
+use adaphet_eval::{make_strategy, replay, space_of};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A history of `len` observations spread over the space.
+fn history(len: usize, n: usize) -> History {
+    let mut h = History::new();
+    for i in 0..len {
+        let a = (i * 7) % n + 1;
+        h.record(a, 10.0 + (a as f64 - 5.0).abs() + 0.1 * (i % 3) as f64);
+    }
+    h
+}
+
+fn bench_propose(c: &mut Criterion) {
+    let table = synthetic_table(36, 30);
+    let space = space_of(&table);
+    let mut g = c.benchmark_group("propose_cost_at_60_obs");
+    for name in adaphet_eval::PAPER_STRATEGIES {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            let h = history(60, 36);
+            b.iter(|| {
+                // Fresh strategy per call: proposal cost includes any
+                // internal refit, exactly like the online setting.
+                let mut s = make_strategy(name, &space, 1, None);
+                black_box(s.propose(&h))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_replay(c: &mut Criterion) {
+    let table = synthetic_table(36, 30);
+    let mut g = c.benchmark_group("replay_127_iters");
+    g.sample_size(10);
+    for name in ["GP-discontin", "GP-UCB", "UCB"] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| replay(name, &table, 127, 5).total_time);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_propose, bench_full_replay);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! The action space: node counts, homogeneous groups, and the LP bound.
+
+/// Search space of the tuner.
+///
+/// Actions are node counts `1..=max_nodes`, where "n nodes" always means
+/// the n fastest (the paper's first reduction: "trading a slow node for a
+/// fast one is always detrimental"). The homogeneous machine groups and
+/// the optional LP lower-bound curve feed the structure-aware strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionSpace {
+    /// Total number of nodes `N`.
+    pub max_nodes: usize,
+    /// Homogeneous groups as inclusive 1-based `(first, last)` node
+    /// counts, fastest group first (e.g. `[(1,5), (6,10), (11,15)]`).
+    pub groups: Vec<(usize, usize)>,
+    /// `LP(n)` for `n = 1..=N` (`lp[n-1]`), when available.
+    pub lp: Option<Vec<f64>>,
+}
+
+impl ActionSpace {
+    /// Build a space; groups defaulting to one group covering everything
+    /// when empty.
+    ///
+    /// # Panics
+    /// Panics when `max_nodes` is 0, groups do not partition `1..=N`, or
+    /// the LP curve has the wrong length.
+    pub fn new(max_nodes: usize, groups: Vec<(usize, usize)>, lp: Option<Vec<f64>>) -> Self {
+        assert!(max_nodes >= 1, "need at least one node");
+        let groups = if groups.is_empty() { vec![(1, max_nodes)] } else { groups };
+        let mut expect = 1usize;
+        for &(lo, hi) in &groups {
+            assert_eq!(lo, expect, "groups must partition 1..=N contiguously");
+            assert!(hi >= lo && hi <= max_nodes, "group bound out of range");
+            expect = hi + 1;
+        }
+        assert_eq!(expect, max_nodes + 1, "groups must cover all nodes");
+        if let Some(lp) = &lp {
+            assert_eq!(lp.len(), max_nodes, "LP curve must have one value per action");
+        }
+        ActionSpace { max_nodes, groups, lp }
+    }
+
+    /// A space with no structure information.
+    pub fn unstructured(max_nodes: usize) -> Self {
+        Self::new(max_nodes, vec![], None)
+    }
+
+    /// All actions `1..=N`.
+    pub fn actions(&self) -> Vec<usize> {
+        (1..=self.max_nodes).collect()
+    }
+
+    /// Index of the group containing action `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is outside `1..=N`.
+    pub fn group_of(&self, n: usize) -> usize {
+        assert!((1..=self.max_nodes).contains(&n), "action out of range");
+        self.groups
+            .iter()
+            .position(|&(lo, hi)| n >= lo && n <= hi)
+            .expect("groups partition the space")
+    }
+
+    /// The UCB-struct action set: "multiple complete groups of homogeneous
+    /// nodes", i.e. cumulative group boundaries (5, 10, 15 in the paper's
+    /// example).
+    pub fn struct_actions(&self) -> Vec<usize> {
+        self.groups.iter().map(|&(_, hi)| hi).collect()
+    }
+
+    /// `LP(n)`, if an LP curve was provided.
+    pub fn lp_at(&self, n: usize) -> Option<f64> {
+        self.lp.as_ref().map(|lp| lp[n - 1])
+    }
+
+    /// The paper's bound mechanism: actions whose LP bound does not beat
+    /// the measured all-nodes duration `y_all` are excluded (`N` itself is
+    /// always kept). Returns the surviving actions in increasing order.
+    pub fn bounded_actions(&self, y_all: f64) -> Vec<usize> {
+        match &self.lp {
+            None => self.actions(),
+            Some(lp) => {
+                let mut keep: Vec<usize> = (1..=self.max_nodes)
+                    .filter(|&n| n == self.max_nodes || lp[n - 1] < y_all)
+                    .collect();
+                if keep.is_empty() {
+                    keep.push(self.max_nodes);
+                }
+                keep
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ActionSpace {
+        ActionSpace::new(10, vec![(1, 4), (5, 8), (9, 10)], None)
+    }
+
+    #[test]
+    fn actions_enumerate_all_counts() {
+        assert_eq!(space().actions(), (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_lookup() {
+        let s = space();
+        assert_eq!(s.group_of(1), 0);
+        assert_eq!(s.group_of(4), 0);
+        assert_eq!(s.group_of(5), 1);
+        assert_eq!(s.group_of(10), 2);
+    }
+
+    #[test]
+    fn struct_actions_are_group_boundaries() {
+        assert_eq!(space().struct_actions(), vec![4, 8, 10]);
+    }
+
+    #[test]
+    fn default_single_group() {
+        let s = ActionSpace::unstructured(6);
+        assert_eq!(s.groups, vec![(1, 6)]);
+        assert_eq!(s.struct_actions(), vec![6]);
+    }
+
+    #[test]
+    fn bound_mechanism_filters_hopeless_left_points() {
+        // LP(n) = 100/n: with y_all = 30, actions with LP >= 30 (n <= 3)
+        // are excluded.
+        let lp: Vec<f64> = (1..=10).map(|n| 100.0 / n as f64).collect();
+        let s = ActionSpace::new(10, vec![], Some(lp));
+        let kept = s.bounded_actions(30.0);
+        assert_eq!(kept, vec![4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn bound_mechanism_always_keeps_all_nodes_action() {
+        let lp = vec![100.0; 5];
+        let s = ActionSpace::new(5, vec![], Some(lp));
+        assert_eq!(s.bounded_actions(1.0), vec![5]);
+    }
+
+    #[test]
+    fn no_lp_means_no_filtering() {
+        let s = ActionSpace::unstructured(4);
+        assert_eq!(s.bounded_actions(0.0), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn bad_groups_rejected() {
+        ActionSpace::new(10, vec![(1, 4), (6, 10)], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per action")]
+    fn bad_lp_length_rejected() {
+        ActionSpace::new(3, vec![], Some(vec![1.0, 2.0]));
+    }
+}

@@ -1,0 +1,168 @@
+//! Non-stationary extension (the paper's Section VIII: "further
+//! investigation is required to propose or adapt the GP strategies to
+//! non-stationary scenarios").
+//!
+//! [`DriftReset`] wraps any strategy with a simple change detector: when
+//! the recent observations of the incumbent best action drift by more than
+//! a threshold from their historical level, the inner strategy is rebuilt
+//! and only the post-change history is shown to it — so a workload change
+//! (e.g. the matrix size or the network load shifting mid-run) triggers
+//! fresh exploration instead of poisoned exploitation.
+
+use crate::{History, Strategy};
+
+/// Wraps a strategy with drift detection and reset.
+pub struct DriftReset {
+    factory: Box<dyn FnMut() -> Box<dyn Strategy> + Send>,
+    inner: Box<dyn Strategy>,
+    /// Observations per side of the comparison window.
+    pub window: usize,
+    /// Relative mean shift that triggers a reset.
+    pub threshold: f64,
+    /// Iteration index where the current epoch began.
+    epoch_start: usize,
+    resets: usize,
+}
+
+impl DriftReset {
+    /// Wrap strategies produced by `factory` (called once immediately and
+    /// once per reset).
+    pub fn new(
+        mut factory: impl FnMut() -> Box<dyn Strategy> + Send + 'static,
+        window: usize,
+        threshold: f64,
+    ) -> Self {
+        assert!(window >= 2, "need at least two observations per window");
+        assert!(threshold > 0.0, "threshold must be positive");
+        let inner = factory();
+        DriftReset {
+            factory: Box::new(factory),
+            inner,
+            window,
+            threshold,
+            epoch_start: 0,
+            resets: 0,
+        }
+    }
+
+    /// How many resets have fired so far.
+    pub fn resets(&self) -> usize {
+        self.resets
+    }
+
+    /// The current epoch's view of the history.
+    fn epoch_history(&self, hist: &History) -> History {
+        let mut h = History::new();
+        for &(a, y) in &hist.records()[self.epoch_start.min(hist.len())..] {
+            h.record(a, y);
+        }
+        h
+    }
+
+    /// Detect drift on the action with the most epoch observations: the
+    /// mean of its last `window` observations vs. the mean of its earlier
+    /// ones.
+    fn drifted(&self, epoch: &History) -> bool {
+        let Some(best) = epoch
+            .grouped()
+            .into_iter()
+            .max_by_key(|(_, v)| v.len())
+            .map(|(a, _)| a)
+        else {
+            return false;
+        };
+        let vs = epoch.values_for(best);
+        if vs.len() < 2 * self.window {
+            return false;
+        }
+        let (old, recent) = vs.split_at(vs.len() - self.window);
+        let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        let m_old = mean(old);
+        let m_new = mean(recent);
+        (m_new - m_old).abs() > self.threshold * m_old.abs().max(1e-12)
+    }
+}
+
+impl Strategy for DriftReset {
+    fn name(&self) -> &'static str {
+        "drift-reset"
+    }
+
+    fn propose(&mut self, hist: &History) -> usize {
+        let epoch = self.epoch_history(hist);
+        if self.drifted(&epoch) {
+            self.inner = (self.factory)();
+            self.epoch_start = hist.len();
+            self.resets += 1;
+            return self.inner.propose(&History::new());
+        }
+        self.inner.propose(&epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ActionSpace, GpDiscontinuous};
+
+    fn gp_factory(n: usize) -> impl FnMut() -> Box<dyn Strategy> + Send {
+        move || {
+            let lp: Vec<f64> = (1..=n).map(|k| 40.0 / k as f64).collect();
+            let space = ActionSpace::new(n, vec![], Some(lp));
+            Box::new(GpDiscontinuous::new(&space))
+        }
+    }
+
+    #[test]
+    fn no_reset_on_stationary_workload() {
+        let n = 10;
+        let mut s = DriftReset::new(gp_factory(n), 3, 0.3);
+        let mut h = History::new();
+        let f = |a: usize| 40.0 / a as f64 + 0.8 * a as f64;
+        for _ in 0..60 {
+            let a = s.propose(&h);
+            h.record(a, f(a));
+        }
+        assert_eq!(s.resets(), 0, "stationary run must not reset");
+    }
+
+    #[test]
+    fn reset_fires_on_level_shift_and_readapts() {
+        let n = 12;
+        let mut s = DriftReset::new(gp_factory(n), 3, 0.3);
+        let mut h = History::new();
+        // Phase 1: optimum at 6. Phase 2 (iteration 60+): everything 3x
+        // slower except a new optimum at 11.
+        let f1 = |a: usize| 40.0 / a as f64 + 1.0 * (a as f64 - 6.0).abs();
+        let f2 = |a: usize| 30.0 + 2.0 * (a as f64 - 11.0).abs();
+        for it in 0..140 {
+            let a = s.propose(&h);
+            let y = if it < 60 { f1(a) } else { f2(a) };
+            h.record(a, y);
+        }
+        assert!(s.resets() >= 1, "level shift must trigger a reset");
+        let late: Vec<usize> = h.records()[120..].iter().map(|r| r.0).collect();
+        let near = late.iter().filter(|&&a| (10..=12).contains(&a)).count();
+        assert!(near * 2 > late.len(), "post-shift optimum not found: {late:?}");
+    }
+
+    #[test]
+    fn epoch_history_hides_pre_reset_records() {
+        let mut s = DriftReset::new(gp_factory(8), 2, 0.2);
+        let mut h = History::new();
+        // Hammer one action with a sudden shift to force a reset.
+        for it in 0..20 {
+            let _ = s.propose(&h);
+            // Override the played action: feed constant action 8 so the
+            // detector sees the shift quickly.
+            h.record(8, if it < 10 { 5.0 } else { 50.0 });
+        }
+        assert!(s.resets() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn tiny_window_rejected() {
+        let _ = DriftReset::new(gp_factory(4), 1, 0.5);
+    }
+}

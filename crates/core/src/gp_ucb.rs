@@ -1,0 +1,156 @@
+//! Plain GP-UCB (paper Section IV-D, first variant): constant trend,
+//! hyper-parameters estimated by maximum likelihood, no problem structure.
+
+use crate::{ActionSpace, History, Strategy};
+use adaphet_gp::{
+    estimate_noise_from_replicates, fit_profile_likelihood, ucb_argmin, GpModel, Kernel,
+    MleSearch, Trend, UcbSchedule,
+};
+
+/// GP-UCB over node counts.
+///
+/// Parsimonious initialization (paper): iteration 1 plays all `N` nodes
+/// (the application default), iteration 2 the leftmost point, iterations
+/// 3–4 the middle of the two (twice — replicates feed the noise
+/// estimator). From iteration 5 on, the GP surrogate is refitted each
+/// step and the action minimizing `μ(x) − √β_t σ(x)` is played.
+#[derive(Debug, Clone)]
+pub struct GpUcb {
+    space: ActionSpace,
+    /// β_t schedule.
+    pub schedule: UcbSchedule,
+}
+
+impl GpUcb {
+    /// Strategy over the given space (LP information is ignored — that is
+    /// the point of this baseline).
+    pub fn new(space: &ActionSpace) -> Self {
+        GpUcb { space: space.clone(), schedule: UcbSchedule::default() }
+    }
+
+    /// Fit the surrogate on the full history (public for the step-by-step
+    /// visualization of the paper's Fig. 4).
+    pub fn fit(&self, hist: &History) -> Option<GpModel> {
+        if hist.len() < 2 {
+            return None;
+        }
+        let xs: Vec<f64> = hist.records().iter().map(|&(a, _)| a as f64).collect();
+        let ys: Vec<f64> = hist.records().iter().map(|&(_, y)| y).collect();
+        let var = adaphet_linalg::sample_variance(&ys);
+        let noise = estimate_noise_from_replicates(&xs, &ys)
+            .unwrap_or(1e-4 * var.max(1e-12))
+            .max(1e-9);
+        let search = MleSearch {
+            kernel: Kernel::Exponential { theta: 1.0 },
+            trend: Trend::constant(),
+            ..Default::default()
+        };
+        fit_profile_likelihood(&search, &xs, &ys, noise).ok()
+    }
+
+    /// The β_t used at iteration `t` (for visualization).
+    pub fn beta(&self, t: usize) -> f64 {
+        self.schedule.beta(t.max(1), self.space.max_nodes)
+    }
+}
+
+impl Strategy for GpUcb {
+    fn name(&self) -> &'static str {
+        "GP-UCB"
+    }
+
+    fn propose(&mut self, hist: &History) -> usize {
+        let n = self.space.max_nodes;
+        match hist.len() {
+            0 => n,
+            1 => 1.min(n),
+            2 | 3 => n.div_ceil(2).max(1),
+            t => {
+                let candidates: Vec<f64> =
+                    self.space.actions().iter().map(|&a| a as f64).collect();
+                match self.fit(hist) {
+                    Some(model) => {
+                        let beta = self.beta(t);
+                        ucb_argmin(&model, &candidates, beta)
+                            .map(|x| x.round() as usize)
+                            .unwrap_or(n)
+                            .clamp(1, n)
+                    }
+                    None => hist.best_action().unwrap_or(n),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(strat: &mut dyn Strategy, f: impl Fn(usize) -> f64, iters: usize) -> History {
+        let mut h = History::new();
+        for _ in 0..iters {
+            let a = strat.propose(&h);
+            assert!(a >= 1);
+            h.record(a, f(a));
+        }
+        h
+    }
+
+    #[test]
+    fn initialization_sequence_matches_paper() {
+        let space = ActionSpace::unstructured(14);
+        let mut g = GpUcb::new(&space);
+        let h = drive(&mut g, |n| n as f64, 4);
+        let seq: Vec<usize> = h.records().iter().map(|r| r.0).collect();
+        assert_eq!(seq, vec![14, 1, 7, 7]);
+    }
+
+    #[test]
+    fn finds_minimum_of_smooth_convex_curve() {
+        // The paper's simple scenario (their Fig. 4A): a small smooth
+        // space — GP-UCB should concentrate near the optimum.
+        let space = ActionSpace::unstructured(14);
+        let mut g = GpUcb::new(&space);
+        let f = |n: usize| 60.0 / n as f64 + 1.2 * n as f64; // min near 7
+        let h = drive(&mut g, f, 40);
+        let late: Vec<usize> = h.records()[25..].iter().map(|r| r.0).collect();
+        let near = late.iter().filter(|&&a| (5..=9).contains(&a)).count();
+        assert!(near * 2 > late.len(), "late plays: {late:?}");
+    }
+
+    #[test]
+    fn does_not_waste_plays_on_clearly_bad_actions() {
+        // Paper Fig. 4A observation: some obviously-bad actions are never
+        // tried. With a steep curve, the worst distant arms stay unvisited
+        // or nearly so.
+        let space = ActionSpace::unstructured(14);
+        let mut g = GpUcb::new(&space);
+        let f = |n: usize| 10.0 + (n as f64 - 6.0).powi(2) * 3.0;
+        let h = drive(&mut g, f, 30);
+        let wasted = h.count_for(13) + h.count_for(14);
+        // 14 is forced at iteration 1; beyond that the far-right should be
+        // rarely touched.
+        assert!(wasted <= 4, "wasted plays on 13/14: {wasted}");
+    }
+
+    #[test]
+    fn fit_requires_two_points() {
+        let space = ActionSpace::unstructured(5);
+        let g = GpUcb::new(&space);
+        let mut h = History::new();
+        assert!(g.fit(&h).is_none());
+        h.record(5, 10.0);
+        assert!(g.fit(&h).is_none());
+        h.record(1, 20.0);
+        assert!(g.fit(&h).is_some());
+    }
+
+    #[test]
+    fn single_node_space_is_trivial() {
+        let space = ActionSpace::unstructured(1);
+        let mut g = GpUcb::new(&space);
+        let h = drive(&mut g, |_| 1.0, 6);
+        assert!(h.records().iter().all(|&(a, _)| a == 1));
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! Exploration strategies for online heterogeneous node-set selection —
+//! the paper's primary contribution.
+//!
+//! An iterative multi-phase application picks, at every iteration, how
+//! many of the fastest nodes to use for its dominant phase, observes the
+//! iteration duration, and must converge quickly to the best count. This
+//! crate implements every strategy of the paper's Section IV:
+//!
+//! | strategy | module | paper verdict |
+//! |---|---|---|
+//! | DC (dichotomy) | [`DivideConquer`] | fast, fooled by noise |
+//! | Right-Left | [`RightLeft`] | fast, stuck in local minima |
+//! | Brent | [`BrentSearch`] | good until discontinuities/noise |
+//! | UCB | [`Ucb`] | no-regret but explores everything |
+//! | UCB-struct | [`UcbStruct`] | strong but can miss the optimum |
+//! | GP-UCB | [`GpUcb`] | good on small smooth spaces |
+//! | **GP-discontinuous** | [`GpDiscontinuous`] | robust everywhere (the contribution) |
+//!
+//! plus the baselines used by the evaluation ([`AllNodes`], [`Oracle`],
+//! [`RandomSearch`]) and the non-parsimonious classics the paper tried and
+//! dismissed ([`SimulatedAnnealing`], [`StochasticApproximation`]).
+//!
+//! # Protocol
+//!
+//! Strategies implement [`Strategy`]: the driver calls
+//! [`Strategy::propose`] with the observation [`History`] so far and runs
+//! one iteration with the returned node count, appending the measured
+//! duration to the history. All strategies are deterministic given their
+//! construction (seeded RNGs where randomness is inherent).
+//!
+//! ```
+//! use adaphet_core::{ActionSpace, GpDiscontinuous, History, Strategy};
+//!
+//! // A 10-node cluster, two homogeneous groups, a synthetic LP bound.
+//! let space = ActionSpace::new(10, vec![(1, 4), (5, 10)],
+//!                              Some((1..=10).map(|n| 40.0 / n as f64).collect()));
+//! let mut strat = GpDiscontinuous::new(&space);
+//! let mut hist = History::new();
+//! for _ in 0..20 {
+//!     let n = strat.propose(&hist);
+//!     assert!((1..=10).contains(&n));
+//!     // Fake response: best at 6 nodes.
+//!     let y = 40.0 / n as f64 + 0.8 * (n as f64) + if n >= 5 { 0.0 } else { 6.0 };
+//!     hist.record(n, y);
+//! }
+//! ```
+
+mod action;
+mod bandit;
+mod drift;
+mod brent;
+mod extra;
+mod gp_disc;
+mod gp_ucb;
+mod history;
+mod naive;
+mod strategy;
+mod two_dim;
+
+pub use action::ActionSpace;
+pub use bandit::{Ucb, UcbStruct};
+pub use drift::DriftReset;
+pub use brent::BrentSearch;
+pub use extra::{NelderMead1d, RandomSearch, SimulatedAnnealing, StochasticApproximation};
+pub use gp_disc::{GpDiscOptions, GpDiscontinuous};
+pub use gp_ucb::GpUcb;
+pub use history::History;
+pub use naive::{DivideConquer, RightLeft};
+pub use strategy::{AllNodes, Oracle, Strategy};
+pub use two_dim::{GpUcb2d, History2d, Strategy2d};

@@ -1,0 +1,245 @@
+//! The paper's two naive heuristics: divide-and-conquer dichotomy and the
+//! Right-Left walk.
+
+use crate::{ActionSpace, History, Strategy};
+
+/// Divide-and-conquer dichotomy (paper Section IV-A).
+///
+/// The interval is split in two; the midpoint of each half is measured;
+/// the half with the lower measurement becomes the new interval. Converges
+/// in `O(log N)` measurements on clean convex curves, but a single noisy
+/// comparison sends it into the wrong half forever — the non-resilience
+/// the paper observes in scenario (n).
+#[derive(Debug, Clone)]
+pub struct DivideConquer {
+    lo: usize,
+    hi: usize,
+    /// Points queued for measurement (left midpoint, right midpoint).
+    pending: Vec<usize>,
+    /// Measurements collected for the current split: (action, value).
+    split: Vec<(usize, f64)>,
+    awaiting: Option<usize>,
+    converged: Option<usize>,
+}
+
+impl DivideConquer {
+    /// Search over the full action space.
+    pub fn new(space: &ActionSpace) -> Self {
+        DivideConquer {
+            lo: 1,
+            hi: space.max_nodes,
+            pending: Vec::new(),
+            split: Vec::new(),
+            awaiting: None,
+            converged: None,
+        }
+    }
+}
+
+impl Strategy for DivideConquer {
+    fn name(&self) -> &'static str {
+        "DC"
+    }
+
+    fn propose(&mut self, hist: &History) -> usize {
+        // Ingest the answer to the previous question.
+        if let Some(a) = self.awaiting.take() {
+            if let Some(&(la, y)) = hist.records().last() {
+                debug_assert_eq!(la, a);
+                self.split.push((a, y));
+            }
+        }
+        if let Some(best) = self.converged {
+            return best;
+        }
+        if self.pending.is_empty() && self.split.len() == 2 {
+            // Decide the half. split[0] is the left midpoint.
+            let (left, yl) = self.split[0];
+            let (right, yr) = self.split[1];
+            let mid = (self.lo + self.hi) / 2;
+            if yl <= yr {
+                self.hi = mid;
+            } else {
+                self.lo = mid + 1;
+            }
+            let _ = (left, right);
+            self.split.clear();
+        }
+        if self.pending.is_empty() {
+            if self.hi - self.lo < 2 {
+                // Interval exhausted: exploit the better endpoint (or the
+                // overall best observation within the final interval).
+                let best = (self.lo..=self.hi)
+                    .filter_map(|a| hist.mean_for(a).map(|m| (a, m)))
+                    .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+                    .map(|(a, _)| a)
+                    .unwrap_or(self.lo);
+                self.converged = Some(best);
+                return best;
+            }
+            let mid = (self.lo + self.hi) / 2;
+            let m1 = (self.lo + mid) / 2;
+            let m2 = ((mid + 1) + self.hi) / 2;
+            self.pending.push(m1);
+            if m2 != m1 {
+                self.pending.push(m2);
+            }
+        }
+        let next = self.pending.remove(0);
+        self.awaiting = Some(next);
+        next
+    }
+}
+
+/// The Right-Left heuristic (paper Section IV-A): start from all nodes and
+/// walk left while the left neighbour measures faster; stop (and exploit)
+/// at the first non-improvement. Works only when the right side of the
+/// curve is monotone — local minima (scenario (p): 128 beats 127) or a
+/// single noisy sample stop it early.
+#[derive(Debug, Clone)]
+pub struct RightLeft {
+    n: usize,
+    current: usize,
+    stopped: bool,
+}
+
+impl RightLeft {
+    /// Walk from `space.max_nodes` downwards.
+    pub fn new(space: &ActionSpace) -> Self {
+        RightLeft { n: space.max_nodes, current: space.max_nodes, stopped: false }
+    }
+}
+
+impl Strategy for RightLeft {
+    fn name(&self) -> &'static str {
+        "Right-Left"
+    }
+
+    fn propose(&mut self, hist: &History) -> usize {
+        if hist.is_empty() {
+            self.current = self.n;
+            return self.n;
+        }
+        if self.stopped {
+            return self.current;
+        }
+        let last = hist.records().last().copied().expect("non-empty");
+        if last.0 == self.current && self.current < self.n {
+            // We just probed one step left of the previous best.
+            let prev = self.current + 1;
+            let y_prev = hist.first_for(prev).expect("previous point measured");
+            if last.1 < y_prev {
+                // Improvement: keep walking.
+            } else {
+                // Worse: settle on the previous point.
+                self.stopped = true;
+                self.current = prev;
+                return prev;
+            }
+        }
+        if self.current == 1 {
+            self.stopped = true;
+            return 1;
+        }
+        self.current -= 1;
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a strategy against a deterministic response curve.
+    fn drive(strat: &mut dyn Strategy, f: impl Fn(usize) -> f64, iters: usize) -> History {
+        let mut h = History::new();
+        for _ in 0..iters {
+            let a = strat.propose(&h);
+            h.record(a, f(a));
+        }
+        h
+    }
+
+    #[test]
+    fn dc_finds_minimum_of_clean_convex_curve() {
+        let space = ActionSpace::unstructured(32);
+        let mut dc = DivideConquer::new(&space);
+        let f = |n: usize| (n as f64 - 11.0).powi(2) + 5.0;
+        let h = drive(&mut dc, f, 30);
+        let last = h.records().last().unwrap().0;
+        assert!((10..=12).contains(&last), "converged to {last}");
+    }
+
+    #[test]
+    fn dc_converges_and_exploits() {
+        let space = ActionSpace::unstructured(16);
+        let mut dc = DivideConquer::new(&space);
+        let f = |n: usize| n as f64; // best is 1
+        let h = drive(&mut dc, f, 25);
+        // After convergence the same action repeats.
+        let tail: Vec<usize> = h.records()[20..].iter().map(|r| r.0).collect();
+        assert!(tail.windows(2).all(|w| w[0] == w[1]), "not exploiting: {tail:?}");
+        assert!(tail[0] <= 2, "picked {}", tail[0]);
+    }
+
+    #[test]
+    fn dc_is_misled_by_one_bad_measurement() {
+        // The non-resilience the paper describes: corrupt the very first
+        // midpoint measurement and DC commits to the wrong half.
+        let space = ActionSpace::unstructured(32);
+        let mut dc = DivideConquer::new(&space);
+        let mut h = History::new();
+        let truth = |n: usize| (n as f64 - 4.0).powi(2); // best at 4 (left half)
+        let mut first = true;
+        for _ in 0..25 {
+            let a = dc.propose(&h);
+            let mut y = truth(a);
+            if first {
+                y += 1e6; // outlier on the left midpoint
+                first = false;
+            }
+            h.record(a, y);
+        }
+        let last = h.records().last().unwrap().0;
+        assert!(last > 8, "should have been misled to the right, got {last}");
+    }
+
+    #[test]
+    fn right_left_descends_monotone_tail() {
+        // Curve decreasing toward 6 then increasing: walking from 12 stops
+        // around the minimum.
+        let space = ActionSpace::unstructured(12);
+        let mut rl = RightLeft::new(&space);
+        let f = |n: usize| (n as f64 - 6.0).abs() + 1.0;
+        let h = drive(&mut rl, f, 20);
+        let last = h.records().last().unwrap().0;
+        assert!((6..=7).contains(&last), "stopped at {last}");
+    }
+
+    #[test]
+    fn right_left_stuck_at_local_minimum() {
+        // The paper's scenario (p): using all 12 beats 11, so Right-Left
+        // never discovers the true optimum at 6.
+        let space = ActionSpace::unstructured(12);
+        let mut rl = RightLeft::new(&space);
+        let f = |n: usize| match n {
+            12 => 10.0,
+            11 => 11.0, // immediate wall
+            6 => 1.0,   // unreachable optimum
+            _ => 10.5,
+        };
+        let h = drive(&mut rl, f, 15);
+        let last = h.records().last().unwrap().0;
+        assert_eq!(last, 12, "should settle on all nodes");
+        assert_eq!(h.count_for(6), 0, "never explores the optimum");
+    }
+
+    #[test]
+    fn right_left_walks_to_one_on_increasing_curve() {
+        let space = ActionSpace::unstructured(8);
+        let mut rl = RightLeft::new(&space);
+        let f = |n: usize| n as f64; // fewer is always better
+        let h = drive(&mut rl, f, 12);
+        assert_eq!(h.records().last().unwrap().0, 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! The strategy trait and trivial reference strategies.
+
+use crate::History;
+
+/// An online exploration strategy over node counts.
+///
+/// Every iteration, the driver asks for the next action (a number of
+/// fastest-first nodes), runs the iteration, and appends `(action,
+/// duration)` to the [`History`] it passes back on the next call.
+pub trait Strategy {
+    /// Display name (matches the paper's figure labels).
+    fn name(&self) -> &'static str;
+
+    /// Choose the next action given everything observed so far.
+    fn propose(&mut self, hist: &History) -> usize;
+}
+
+/// The application's default behaviour: always use every node (the top
+/// dashed line of the paper's Fig. 6, the baseline all gains are computed
+/// against).
+#[derive(Debug, Clone)]
+pub struct AllNodes {
+    n: usize,
+}
+
+impl AllNodes {
+    /// Always picks `n` (the full cluster).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        AllNodes { n }
+    }
+}
+
+impl Strategy for AllNodes {
+    fn name(&self) -> &'static str {
+        "all-nodes"
+    }
+    fn propose(&mut self, _hist: &History) -> usize {
+        self.n
+    }
+}
+
+/// Clairvoyant baseline: plays the statically optimal action from the
+/// first iteration (the bottom dashed line of Fig. 6).
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    best: usize,
+}
+
+impl Oracle {
+    /// Always picks `best` (determined offline from the response table).
+    pub fn new(best: usize) -> Self {
+        assert!(best >= 1);
+        Oracle { best }
+    }
+}
+
+impl Strategy for Oracle {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+    fn propose(&mut self, _hist: &History) -> usize {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nodes_is_constant() {
+        let mut s = AllNodes::new(7);
+        let h = History::new();
+        for _ in 0..5 {
+            assert_eq!(s.propose(&h), 7);
+        }
+        assert_eq!(s.name(), "all-nodes");
+    }
+
+    #[test]
+    fn oracle_is_constant() {
+        let mut s = Oracle::new(3);
+        let mut h = History::new();
+        h.record(3, 1.0);
+        assert_eq!(s.propose(&h), 3);
+        assert_eq!(s.name(), "oracle");
+    }
+}

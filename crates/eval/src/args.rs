@@ -1,0 +1,60 @@
+//! Minimal command-line handling shared by the figure binaries.
+
+use adaphet_scenarios::Scale;
+
+/// Options common to every figure binary.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Simulation scale (`--test`, default reduced, `--full` = paper).
+    pub scale: Scale,
+    /// Repetitions for noise augmentation / strategy replays.
+    pub reps: usize,
+    /// Iterations per strategy replay (the paper uses 127).
+    pub iters: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// Parse `std::env::args`: `--full | --reduced | --test`,
+/// `--reps <k>`, `--iters <k>`, `--seed <k>`.
+pub fn parse_args() -> RunArgs {
+    let mut out = RunArgs { scale: Scale::Reduced, reps: 30, iters: 127, seed: 42 };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--full" => out.scale = Scale::Full,
+            "--reduced" => out.scale = Scale::Reduced,
+            "--test" => out.scale = Scale::Test,
+            "--reps" => {
+                i += 1;
+                out.reps = argv[i].parse().expect("--reps needs a number");
+            }
+            "--iters" => {
+                i += 1;
+                out.iters = argv[i].parse().expect("--iters needs a number");
+            }
+            "--seed" => {
+                i += 1;
+                out.seed = argv[i].parse().expect("--seed needs a number");
+            }
+            other => panic!("unknown argument {other:?} (try --full/--reduced/--test, --reps N, --iters N, --seed N)"),
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        // Cannot inject argv easily; check the default construction used
+        // when no flags are given.
+        let d = RunArgs { scale: Scale::Reduced, reps: 30, iters: 127, seed: 42 };
+        assert_eq!(d.reps, 30);
+        assert_eq!(d.iters, 127);
+    }
+}

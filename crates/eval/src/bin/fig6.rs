@@ -1,0 +1,76 @@
+//! Figure 6 — the paper's main result: all seven exploration strategies on
+//! all 16 scenarios, mean total application time of 30 executions after
+//! 127 iterations, with the percentage gain over always using all nodes
+//! and the all-nodes / oracle reference lines.
+//!
+//! Output: `results/fig6.csv` with columns
+//! `scenario,strategy,mean_total,sd_total,gain_pct,all_nodes_total,oracle_total`.
+
+use adaphet_eval::{
+    build_response_cached, parse_args, replay_many, write_csv, CsvTable, PAPER_STRATEGIES,
+};
+use adaphet_scenarios::Scenario;
+
+fn main() {
+    let args = parse_args();
+    let mut csv = CsvTable::new(&[
+        "scenario",
+        "strategy",
+        "mean_total",
+        "sd_total",
+        "gain_pct",
+        "all_nodes_total",
+        "oracle_total",
+    ]);
+    println!(
+        "Fig. 6 — {} iterations x {} repetitions per strategy\n",
+        args.iters, args.reps
+    );
+    let mut gp_disc_wins = 0usize;
+    let mut gp_disc_never_bad = true;
+    for scen in Scenario::all16() {
+        let table = build_response_cached(&scen, args.scale, args.reps, args.seed);
+        let all = replay_many("all-nodes", &table, args.iters, args.reps, args.seed);
+        let oracle = replay_many("oracle", &table, args.iters, args.reps, args.seed);
+        println!("{}", table.label);
+        println!(
+            "  all-nodes {:>9.1}s | oracle {:>9.1}s (best n = {})",
+            all.mean_total,
+            oracle.mean_total,
+            table.best_action()
+        );
+        let mut best_strategy = (String::new(), f64::INFINITY);
+        for name in PAPER_STRATEGIES {
+            let s = replay_many(name, &table, args.iters, args.reps, args.seed);
+            println!(
+                "  {:<14} {:>9.1}s  gain {:>6.1}%",
+                s.strategy,
+                s.mean_total,
+                100.0 * s.gain_vs_all
+            );
+            if s.mean_total < best_strategy.1 {
+                best_strategy = (s.strategy.clone(), s.mean_total);
+            }
+            if name == "GP-discontin" && s.gain_vs_all < -0.02 {
+                gp_disc_never_bad = false;
+            }
+            csv.push(vec![
+                scen.id.to_string(),
+                s.strategy.clone(),
+                format!("{:.2}", s.mean_total),
+                format!("{:.2}", s.sd_total),
+                format!("{:.2}", 100.0 * s.gain_vs_all),
+                format!("{:.2}", all.mean_total),
+                format!("{:.2}", oracle.mean_total),
+            ]);
+        }
+        if best_strategy.0 == "GP-discontin" {
+            gp_disc_wins += 1;
+        }
+        println!();
+    }
+    println!("GP-discontinuous was the single best strategy in {gp_disc_wins}/16 scenarios");
+    println!("GP-discontinuous never lost more than 2% to all-nodes: {gp_disc_never_bad}");
+    let path = write_csv("fig6", &csv).expect("write results");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,151 @@
+//! On-disk caching of response tables (simulations are the expensive part;
+//! several figures share the same tables).
+
+use crate::response::{build_response, ResponseTable};
+use adaphet_scenarios::{Scale, Scenario};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn cache_dir() -> PathBuf {
+    PathBuf::from("target/adaphet-cache")
+}
+
+fn cache_path(scenario: &Scenario, scale: Scale, reps: usize, seed: u64) -> PathBuf {
+    let scale_tag = match scale {
+        Scale::Test => "test",
+        Scale::Reduced => "reduced",
+        Scale::Full => "full",
+    };
+    cache_dir().join(format!("resp_{}_{}_{}_{}.txt", scenario.id, scale_tag, reps, seed))
+}
+
+fn serialize(t: &ResponseTable) -> String {
+    let mut s = String::new();
+    s.push_str(&t.label);
+    s.push('\n');
+    s.push_str(&format!("{}\n", t.sigma));
+    s.push_str(&join(&t.lp));
+    s.push('\n');
+    s.push_str(
+        &t.groups
+            .iter()
+            .map(|(a, b)| format!("{a}-{b}"))
+            .collect::<Vec<_>>()
+            .join(";"),
+    );
+    s.push('\n');
+    s.push_str(&format!("{}\n", t.durations.len()));
+    for row in &t.sim_base {
+        s.push_str(&join(row));
+        s.push('\n');
+    }
+    for row in &t.durations {
+        s.push_str(&join(row));
+        s.push('\n');
+    }
+    s
+}
+
+fn join(v: &[f64]) -> String {
+    v.iter().map(|x| format!("{x:e}")).collect::<Vec<_>>().join(",")
+}
+
+fn parse_row(s: &str) -> Option<Vec<f64>> {
+    s.split(',').map(|x| x.parse().ok()).collect()
+}
+
+fn deserialize(s: &str) -> Option<ResponseTable> {
+    let mut lines = s.lines();
+    let label = lines.next()?.to_string();
+    let sigma: f64 = lines.next()?.parse().ok()?;
+    let lp = parse_row(lines.next()?)?;
+    let groups: Option<Vec<(usize, usize)>> = lines
+        .next()?
+        .split(';')
+        .map(|g| {
+            let (a, b) = g.split_once('-')?;
+            Some((a.parse().ok()?, b.parse().ok()?))
+        })
+        .collect();
+    let groups = groups?;
+    let n: usize = lines.next()?.parse().ok()?;
+    let mut sim_base = Vec::with_capacity(n);
+    for _ in 0..n {
+        sim_base.push(parse_row(lines.next()?)?);
+    }
+    let mut durations = Vec::with_capacity(n);
+    for _ in 0..n {
+        durations.push(parse_row(lines.next()?)?);
+    }
+    Some(ResponseTable { label, durations, sim_base, lp, groups, sigma })
+}
+
+/// Build a response table, reusing an on-disk cache under
+/// `target/adaphet-cache/` when present.
+pub fn build_response_cached(
+    scenario: &Scenario,
+    scale: Scale,
+    reps: usize,
+    seed: u64,
+) -> ResponseTable {
+    let path = cache_path(scenario, scale, reps, seed);
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Some(t) = deserialize(&text) {
+            if t.label == scenario.label() {
+                return t;
+            }
+        }
+    }
+    let t = build_response(scenario, scale, reps, seed);
+    if std::fs::create_dir_all(cache_dir()).is_ok() {
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(serialize(&t).as_bytes());
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_round_trips() {
+        let t = ResponseTable {
+            label: "(x) TEST 1L 101 (Simul)".into(),
+            durations: vec![vec![1.5, 2.5], vec![3.25, 4.0]],
+            sim_base: vec![vec![1.0], vec![3.0]],
+            lp: vec![0.5, 0.25],
+            groups: vec![(1, 1), (2, 2)],
+            sigma: 0.5,
+        };
+        let back = deserialize(&serialize(&t)).expect("parses");
+        assert_eq!(back.label, t.label);
+        assert_eq!(back.durations, t.durations);
+        assert_eq!(back.sim_base, t.sim_base);
+        assert_eq!(back.lp, t.lp);
+        assert_eq!(back.groups, t.groups);
+        assert_eq!(back.sigma, t.sigma);
+    }
+
+    #[test]
+    fn cached_build_is_consistent() {
+        let scen = Scenario::by_id('a').unwrap();
+        // Unique seed to avoid clashing with other tests' cache entries.
+        let a = build_response_cached(&scen, Scale::Test, 3, 123_456);
+        let b = build_response_cached(&scen, Scale::Test, 3, 123_456);
+        assert_eq!(a.durations, b.durations);
+        let _ = std::fs::remove_file(cache_path(&scen, Scale::Test, 3, 123_456));
+    }
+
+    #[test]
+    fn corrupt_cache_is_ignored() {
+        let scen = Scenario::by_id('a').unwrap();
+        let path = cache_path(&scen, Scale::Test, 2, 77);
+        std::fs::create_dir_all(cache_dir()).unwrap();
+        std::fs::write(&path, "garbage").unwrap();
+        let t = build_response_cached(&scen, Scale::Test, 2, 77);
+        assert_eq!(t.n_actions(), scen.n_nodes());
+        let _ = std::fs::remove_file(path);
+    }
+}

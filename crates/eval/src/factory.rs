@@ -1,0 +1,72 @@
+//! Strategy construction by name (the x-axis of the paper's Fig. 6).
+
+use adaphet_core::{
+    ActionSpace, AllNodes, BrentSearch, DivideConquer, GpDiscontinuous, GpUcb, NelderMead1d,
+    Oracle, RandomSearch, RightLeft, SimulatedAnnealing, StochasticApproximation, Strategy, Ucb,
+    UcbStruct,
+};
+
+/// The seven strategies of the paper's comparison, in figure order.
+pub const PAPER_STRATEGIES: [&str; 7] =
+    ["DC", "Right-Left", "Brent", "UCB", "UCB-struc", "GP-UCB", "GP-discontin"];
+
+/// Build a strategy by (figure) name. `seed` feeds the stochastic ones;
+/// `oracle_best` is required only for `"oracle"`.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn make_strategy(
+    name: &str,
+    space: &ActionSpace,
+    seed: u64,
+    oracle_best: Option<usize>,
+) -> Box<dyn Strategy> {
+    match name {
+        "DC" => Box::new(DivideConquer::new(space)),
+        "Right-Left" => Box::new(RightLeft::new(space)),
+        "Brent" => Box::new(BrentSearch::new(space)),
+        "UCB" => Box::new(Ucb::new(space)),
+        "UCB-struc" | "UCB-struct" => Box::new(UcbStruct::new(space)),
+        "GP-UCB" => Box::new(GpUcb::new(space)),
+        "GP-discontin" | "GP-discontinuous" => Box::new(GpDiscontinuous::new(space)),
+        "all-nodes" => Box::new(AllNodes::new(space.max_nodes)),
+        "oracle" => Box::new(Oracle::new(oracle_best.expect("oracle needs the best action"))),
+        "Random" => Box::new(RandomSearch::new(space, seed)),
+        "SANN" => Box::new(SimulatedAnnealing::new(space, seed)),
+        "SPSA" => Box::new(StochasticApproximation::new(space)),
+        "Nelder-Mead" => Box::new(NelderMead1d::new(space)),
+        other => panic!("unknown strategy {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_strategies_construct() {
+        let space = ActionSpace::new(10, vec![(1, 5), (6, 10)], Some(vec![1.0; 10]));
+        for name in PAPER_STRATEGIES {
+            let mut s = make_strategy(name, &space, 1, None);
+            let a = s.propose(&adaphet_core::History::new());
+            assert!((1..=10).contains(&a), "{name} proposed {a}");
+        }
+    }
+
+    #[test]
+    fn baselines_construct() {
+        let space = ActionSpace::unstructured(5);
+        for name in ["all-nodes", "Random", "SANN", "SPSA", "Nelder-Mead"] {
+            let _ = make_strategy(name, &space, 2, None);
+        }
+        let mut o = make_strategy("oracle", &space, 0, Some(3));
+        assert_eq!(o.propose(&adaphet_core::History::new()), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown strategy")]
+    fn unknown_name_panics() {
+        let space = ActionSpace::unstructured(2);
+        let _ = make_strategy("nope", &space, 0, None);
+    }
+}

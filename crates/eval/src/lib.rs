@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Evaluation harness: response tables, resampling strategy replays, and
+//! the per-figure generators (see the `src/bin/fig*.rs` binaries).
+//!
+//! The methodology mirrors the paper's Section V:
+//!
+//! 1. every `(scenario, n_fact)` configuration is simulated once
+//!    (deterministically — or a few times with per-task jitter for the
+//!    "(Real)"-tagged scenarios) and augmented to 30 observations with
+//!    `N(0, σ)` noise;
+//! 2. exploration strategies are evaluated by *replaying* against these
+//!    tables — every strategy samples from the exact same duration pools,
+//!    making comparisons statistically fair;
+//! 3. figures are emitted as CSV plus an ASCII rendering into `results/`.
+
+mod args;
+mod cache;
+mod factory;
+mod replay;
+mod report;
+mod response;
+
+pub use args::{parse_args, RunArgs};
+pub use cache::build_response_cached;
+pub use factory::{make_strategy, PAPER_STRATEGIES};
+pub use replay::{replay, replay_many, space_of, ReplayOutcome, ReplaySummary};
+pub use report::{ascii_curve, write_csv, CsvTable};
+pub use response::{build_response, build_response_2d, build_rigid_curve, ResponseTable};

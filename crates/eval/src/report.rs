@@ -1,0 +1,124 @@
+//! CSV output and ASCII renderings for the figure binaries.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A simple in-memory CSV table.
+#[derive(Debug, Clone, Default)]
+pub struct CsvTable {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        CsvTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+    }
+
+    /// Append a row (cells are stringified by the caller).
+    ///
+    /// # Panics
+    /// Panics if the arity does not match the headers.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Write a table to `results/<name>.csv` (creating the directory),
+/// returning the path written.
+pub fn write_csv(name: &str, table: &CsvTable) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(table.to_csv().as_bytes())?;
+    Ok(path)
+}
+
+/// Render a value series as a fixed-height ASCII chart (one column per
+/// point), with a `marks` overlay (e.g. `'*'` for the LP bound).
+pub fn ascii_curve(title: &str, ys: &[f64], height: usize) -> String {
+    if ys.is_empty() {
+        return format!("{title}\n(empty)\n");
+    }
+    let lo = ys.iter().copied().fold(f64::INFINITY, f64::min).min(0.0);
+    let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let h = height.max(2);
+    let mut grid = vec![vec![' '; ys.len()]; h];
+    for (x, &y) in ys.iter().enumerate() {
+        let level = (((y - lo) / span) * (h - 1) as f64).round() as usize;
+        let row = h - 1 - level.min(h - 1);
+        grid[row][x] = '#';
+    }
+    let mut out = format!("{title}  [min {:.2}, max {:.2}]\n", lo, hi);
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', ys.len()));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        t.push(vec!["3".into(), "4".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        let mut t = CsvTable::new(&["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn ascii_curve_renders_shape() {
+        let s = ascii_curve("test", &[0.0, 1.0, 2.0, 1.0, 0.0], 3);
+        assert!(s.contains('#'));
+        assert!(s.lines().count() >= 4);
+        // Peak column is in the top row somewhere.
+        let top = s.lines().nth(1).unwrap();
+        assert!(top.contains('#'));
+    }
+
+    #[test]
+    fn ascii_curve_empty_is_safe() {
+        assert!(ascii_curve("t", &[], 5).contains("empty"));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let mut t = CsvTable::new(&["x"]);
+        t.push(vec!["9".into()]);
+        let p = write_csv("_test_report", &t).unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(s, "x\n9\n");
+        let _ = std::fs::remove_file(p);
+    }
+}

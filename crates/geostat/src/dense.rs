@@ -1,0 +1,175 @@
+//! Dense reference implementations: location sampling, covariance matrix
+//! assembly, synthetic field generation and the exact log-likelihood.
+//!
+//! These are the ground truth the tiled/task-based paths are validated
+//! against (feasible up to a few thousand observations).
+
+use crate::covariance::Covariance;
+use adaphet_linalg::{Cholesky, Mat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution as _, StandardNormal};
+
+/// 2D observation locations in the unit square.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Locations {
+    /// (x, y) coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Locations {
+    /// Sample `n` uniform locations with a seeded RNG (deterministic).
+    pub fn sample(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect();
+        Locations { points }
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether there are no locations.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Euclidean distance between locations `i` and `j`.
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        let (xi, yi) = self.points[i];
+        let (xj, yj) = self.points[j];
+        ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt()
+    }
+}
+
+/// Assemble the dense covariance matrix Σ_θ.
+pub fn dense_covariance(loc: &Locations, cov: &Covariance) -> Mat {
+    let n = loc.len();
+    Mat::from_fn(n, n, |i, j| cov.cov(loc.dist(i, j)))
+}
+
+/// Draw a synthetic field `Z = L w` with `w ~ N(0, I)` so that
+/// `Z ~ N(0, Σ_θ)` — the data-generation step of an ExaGeoStat experiment.
+///
+/// A small diagonal jitter keeps near-duplicate locations factorizable.
+pub fn sample_field(loc: &Locations, cov: &Covariance, seed: u64) -> Vec<f64> {
+    let mut sigma = dense_covariance(loc, cov);
+    for i in 0..loc.len() {
+        sigma[(i, i)] += 1e-10 * cov.params.variance;
+    }
+    let chol = Cholesky::factor(&sigma).expect("covariance matrix is SPD");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w: Vec<f64> = (0..loc.len()).map(|_| StandardNormal.sample(&mut rng)).collect();
+    // Z = L w  (lower-triangular matvec).
+    let l = chol.factor_l();
+    let n = loc.len();
+    let mut z = vec![0.0; n];
+    for j in 0..n {
+        let wj = w[j];
+        if wj == 0.0 {
+            continue;
+        }
+        let col = l.col(j);
+        for (zi, &lij) in z[j..].iter_mut().zip(&col[j..]) {
+            *zi += lij * wj;
+        }
+    }
+    z
+}
+
+/// Exact Gaussian log-likelihood
+/// `ℓ(θ) = −½ (Zᵀ Σ_θ⁻¹ Z + log|Σ_θ| + n log 2π)`.
+pub fn dense_log_likelihood(loc: &Locations, z: &[f64], cov: &Covariance) -> f64 {
+    assert_eq!(loc.len(), z.len(), "observation count mismatch");
+    let mut sigma = dense_covariance(loc, cov);
+    for i in 0..loc.len() {
+        sigma[(i, i)] += 1e-10 * cov.params.variance;
+    }
+    let chol = Cholesky::factor(&sigma).expect("covariance matrix is SPD");
+    let n = loc.len() as f64;
+    -0.5 * (chol.quad_form(z) + chol.log_det() + n * (2.0 * std::f64::consts::PI).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covariance::CovParams;
+
+    fn cov() -> Covariance {
+        Covariance::new(CovParams { variance: 1.0, range: 0.2, smoothness: 0.5 })
+    }
+
+    #[test]
+    fn locations_deterministic_and_in_unit_square() {
+        let a = Locations::sample(100, 9);
+        let b = Locations::sample(100, 9);
+        assert_eq!(a, b);
+        for &(x, y) in &a.points {
+            assert!((0.0..1.0).contains(&x) && (0.0..1.0).contains(&y));
+        }
+        assert!(Locations::sample(50, 1) != Locations::sample(50, 2));
+    }
+
+    #[test]
+    fn covariance_matrix_is_symmetric_with_unit_diagonal() {
+        let loc = Locations::sample(20, 3);
+        let s = dense_covariance(&loc, &cov());
+        for i in 0..20 {
+            assert_eq!(s[(i, i)], 1.0);
+            for j in 0..i {
+                assert_eq!(s[(i, j)], s[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_field_has_plausible_scale() {
+        let loc = Locations::sample(200, 5);
+        let z = sample_field(&loc, &cov(), 11);
+        let var: f64 = z.iter().map(|v| v * v).sum::<f64>() / z.len() as f64;
+        // Marginal variance 1; correlated samples give a loose band.
+        assert!(var > 0.2 && var < 5.0, "sample variance {var}");
+    }
+
+    #[test]
+    fn likelihood_peaks_near_true_parameters() {
+        // ℓ at the generating θ should beat clearly wrong ranges.
+        let loc = Locations::sample(150, 7);
+        let true_cov = cov();
+        let z = sample_field(&loc, &true_cov, 13);
+        let ll_true = dense_log_likelihood(&loc, &z, &true_cov);
+        for wrong_range in [0.002, 5.0] {
+            let wrong = Covariance::new(CovParams {
+                variance: 1.0,
+                range: wrong_range,
+                smoothness: 0.5,
+            });
+            let ll_wrong = dense_log_likelihood(&loc, &z, &wrong);
+            assert!(
+                ll_true > ll_wrong,
+                "range {wrong_range}: ll_true={ll_true} <= ll_wrong={ll_wrong}"
+            );
+        }
+    }
+
+    #[test]
+    fn likelihood_of_white_noise_model_matches_formula() {
+        // With variance v and zero correlation (huge distances), Σ = vI:
+        // ℓ = -½(Σ z²/v + n log v + n log 2π).
+        let loc = Locations {
+            points: vec![(0.0, 0.0), (1000.0, 0.0), (0.0, 1000.0)],
+        };
+        let c = Covariance::new(CovParams { variance: 2.0, range: 1e-3, smoothness: 0.5 });
+        let z = [1.0, -2.0, 0.5];
+        let ll = dense_log_likelihood(&loc, &z, &c);
+        let n = 3.0;
+        let expect = -0.5
+            * (z.iter().map(|v| v * v / 2.0).sum::<f64>()
+                + n * 2.0_f64.ln()
+                + n * (2.0 * std::f64::consts::PI).ln());
+        assert!((ll - expect).abs() < 1e-6, "{ll} vs {expect}");
+    }
+}

@@ -1,0 +1,438 @@
+//! The real (numerical) application: the same five phases executed as
+//! actual kernels on the threaded executor, validated against the dense
+//! reference likelihood.
+
+use crate::covariance::{CovParams, Covariance};
+use crate::dense::{dense_log_likelihood, sample_field, Locations};
+use crate::workload::Workload;
+use adaphet_linalg::{
+    backward_sub, forward_sub, gemm_update, potrf_tile, syrk_update, trsm_right_lt, Mat,
+};
+use adaphet_runtime::{Access, BlockHandle, RealRuntime};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A stored block: a matrix tile, a vector block, or a scalar accumulator.
+#[derive(Debug, Clone)]
+pub enum Block {
+    /// Matrix tile.
+    Tile(Mat),
+    /// Vector block.
+    Vector(Vec<f64>),
+    /// Scalar accumulator.
+    Scalar(f64),
+}
+
+impl Block {
+    fn tile(&self) -> &Mat {
+        match self {
+            Block::Tile(m) => m,
+            _ => panic!("expected a tile block"),
+        }
+    }
+    fn tile_mut(&mut self) -> &mut Mat {
+        match self {
+            Block::Tile(m) => m,
+            _ => panic!("expected a tile block"),
+        }
+    }
+    fn vector(&self) -> &Vec<f64> {
+        match self {
+            Block::Vector(v) => v,
+            _ => panic!("expected a vector block"),
+        }
+    }
+    fn vector_mut(&mut self) -> &mut Vec<f64> {
+        match self {
+            Block::Vector(v) => v,
+            _ => panic!("expected a vector block"),
+        }
+    }
+    fn scalar_mut(&mut self) -> &mut f64 {
+        match self {
+            Block::Scalar(s) => s,
+            _ => panic!("expected a scalar block"),
+        }
+    }
+}
+
+/// The shared-memory ExaGeoStat-like application.
+///
+/// Holds synthetic spatial data and evaluates the exact log-likelihood of
+/// any covariance parameters via the tiled five-phase pipeline; each
+/// evaluation returns the value *and* its real wall-clock duration, which
+/// the overhead study (paper Fig. 7) compares against the tuner's cost.
+pub struct GeoRealApp {
+    rt: RealRuntime<Block>,
+    workload: Workload,
+    loc: Arc<Locations>,
+    z: Vec<f64>,
+    tiles: Vec<BlockHandle>,
+    zb: Vec<BlockHandle>,
+    xb: Vec<BlockHandle>,
+    det: BlockHandle,
+    dot: BlockHandle,
+    /// Diagonal jitter matching the dense reference.
+    nugget: f64,
+    /// When set, tiles at |i-j| >= band are quantized to f32 (the
+    /// mixed-precision extension).
+    mixed_band: Option<usize>,
+}
+
+/// Quantize every entry of a tile to `f32` storage precision.
+fn quantize_f32(m: &mut adaphet_linalg::Mat) {
+    for v in m.as_mut_slice() {
+        *v = *v as f32 as f64;
+    }
+}
+
+impl GeoRealApp {
+    /// Create the application with `workload.n()` synthetic observations
+    /// drawn from `true_params` (deterministic given `seed`).
+    pub fn new(workload: Workload, true_params: CovParams, seed: u64, n_workers: usize) -> Self {
+        let n = workload.n();
+        let loc = Arc::new(Locations::sample(n, seed));
+        let cov = Covariance::new(true_params);
+        let z = sample_field(&loc, &cov, seed ^ 0x5eed);
+        let mut rt = RealRuntime::new(n_workers);
+        let b = workload.tile;
+        let mut tiles = Vec::with_capacity(workload.n_tiles_lower());
+        for i in 0..workload.nt {
+            for j in 0..=i {
+                debug_assert_eq!(tiles.len(), workload.tile_index(i, j));
+                tiles.push(rt.register(Block::Tile(Mat::zeros(b, b))));
+            }
+        }
+        let zb: Vec<BlockHandle> = (0..workload.nt)
+            .map(|k| rt.register(Block::Vector(z[k * b..(k + 1) * b].to_vec())))
+            .collect();
+        let xb: Vec<BlockHandle> =
+            (0..workload.nt).map(|_| rt.register(Block::Vector(vec![0.0; b]))).collect();
+        let det = rt.register(Block::Scalar(0.0));
+        let dot = rt.register(Block::Scalar(0.0));
+        GeoRealApp { rt, workload, loc, z, tiles, zb, xb, det, dot, nugget: 1e-10, mixed_band: None }
+    }
+
+    /// The observations (for external checks).
+    pub fn observations(&self) -> &[f64] {
+        &self.z
+    }
+
+    /// The workload geometry.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// Exact dense-reference likelihood (O(n³) memory-heavy; small n only).
+    pub fn reference_likelihood(&self, params: CovParams) -> f64 {
+        dense_log_likelihood(&self.loc, &self.z, &Covariance::new(params))
+    }
+
+    /// Evaluate the log-likelihood with the paper's future-work
+    /// *mixed-precision* scheme: tiles further than `f64_band` tiles from
+    /// the diagonal are stored in single precision (their entries are
+    /// quantized to `f32` after every write). `f64_band >= nt` is exact
+    /// double precision; smaller bands trade likelihood accuracy for the
+    /// speed the simulated path models ([`crate::GeoSimApp`] halves the
+    /// flop count of single-precision tiles).
+    pub fn eval_likelihood_mixed(
+        &mut self,
+        params: CovParams,
+        f64_band: usize,
+    ) -> (f64, Duration) {
+        self.mixed_band = Some(f64_band);
+        let out = self.eval_likelihood(params);
+        self.mixed_band = None;
+        out
+    }
+
+    /// Whether tile `(i, j)` is stored in single precision under `band`.
+    fn is_f32_tile(band: Option<usize>, i: usize, j: usize) -> bool {
+        match band {
+            Some(b) => i.abs_diff(j) >= b,
+            None => false,
+        }
+    }
+
+    /// Evaluate the log-likelihood of `params` via the five tiled phases.
+    /// Returns `(log_likelihood, wall_clock)`.
+    pub fn eval_likelihood(&mut self, params: CovParams) -> (f64, Duration) {
+        let w = self.workload;
+        let b = w.tile;
+        let nt = w.nt;
+        let t = |i: usize, j: usize| self.tiles[w.tile_index(i, j)];
+        let cov = Covariance::new(params);
+        let nugget = self.nugget * params.variance;
+
+        // Phase 1: generation (beyond-band tiles stored in f32).
+        let band = self.mixed_band;
+        for i in 0..nt {
+            for j in 0..=i {
+                let h = t(i, j);
+                let loc = Arc::clone(&self.loc);
+                let f32_tile = Self::is_f32_tile(band, i, j);
+                self.rt.submit(vec![(h, Access::Write)], move |s| {
+                    let mut g = s.write(h);
+                    let tile = g.tile_mut();
+                    for c in 0..b {
+                        for r in 0..b {
+                            let gi = i * b + r;
+                            let gj = j * b + c;
+                            let mut v = cov.cov(loc.dist(gi, gj));
+                            if gi == gj {
+                                v += nugget;
+                            }
+                            tile[(r, c)] = v;
+                        }
+                    }
+                    if f32_tile {
+                        quantize_f32(tile);
+                    }
+                });
+            }
+        }
+
+        // Phase 2: tiled Cholesky.
+        for k in 0..nt {
+            let d = t(k, k);
+            self.rt.submit(vec![(d, Access::ReadWrite)], move |s| {
+                potrf_tile(s.write(d).tile_mut()).expect("covariance tile is SPD");
+            });
+            for i in k + 1..nt {
+                let a = t(i, k);
+                let f32_tile = Self::is_f32_tile(band, i, k);
+                self.rt.submit(vec![(d, Access::Read), (a, Access::ReadWrite)], move |s| {
+                    let dg = s.read(d);
+                    let mut ag = s.write(a);
+                    trsm_right_lt(dg.tile(), ag.tile_mut()).expect("trsm dims");
+                    if f32_tile {
+                        quantize_f32(ag.tile_mut());
+                    }
+                });
+            }
+            for i in k + 1..nt {
+                let a = t(i, k);
+                let c = t(i, i);
+                self.rt.submit(vec![(a, Access::Read), (c, Access::ReadWrite)], move |s| {
+                    let ag = s.read(a);
+                    syrk_update(ag.tile(), s.write(c).tile_mut()).expect("syrk dims");
+                });
+                for j in k + 1..i {
+                    let a = t(i, k);
+                    let bb = t(j, k);
+                    let c = t(i, j);
+                    let f32_tile = Self::is_f32_tile(band, i, j);
+                    self.rt.submit(
+                        vec![(a, Access::Read), (bb, Access::Read), (c, Access::ReadWrite)],
+                        move |s| {
+                            let ag = s.read(a);
+                            let bg = s.read(bb);
+                            let mut cg = s.write(c);
+                            gemm_update(ag.tile(), bg.tile(), cg.tile_mut())
+                                .expect("gemm dims");
+                            if f32_tile {
+                                quantize_f32(cg.tile_mut());
+                            }
+                        },
+                    );
+                }
+            }
+        }
+
+        // Phase 3: solve. x := z, then L y = z, Lᵀ x = y over blocks.
+        for k in 0..nt {
+            let (zk, xk) = (self.zb[k], self.xb[k]);
+            self.rt.submit(vec![(zk, Access::Read), (xk, Access::Write)], move |s| {
+                let zv = s.read(zk);
+                *s.write(xk).vector_mut() = zv.vector().clone();
+            });
+        }
+        for k in 0..nt {
+            let (d, xk) = (t(k, k), self.xb[k]);
+            self.rt.submit(vec![(d, Access::Read), (xk, Access::ReadWrite)], move |s| {
+                let dg = s.read(d);
+                let mut xg = s.write(xk);
+                let sol = forward_sub(dg.tile(), xg.vector()).expect("nonsingular");
+                *xg.vector_mut() = sol;
+            });
+            for i in k + 1..nt {
+                let (a, xk, xi) = (t(i, k), self.xb[k], self.xb[i]);
+                self.rt.submit(
+                    vec![(a, Access::Read), (xk, Access::Read), (xi, Access::ReadWrite)],
+                    move |s| {
+                        let ag = s.read(a);
+                        let xkg = s.read(xk);
+                        let mut xig = s.write(xi);
+                        let y = ag.tile().matvec(xkg.vector());
+                        for (o, v) in xig.vector_mut().iter_mut().zip(&y) {
+                            *o -= v;
+                        }
+                    },
+                );
+            }
+        }
+        for k in (0..nt).rev() {
+            let (d, xk) = (t(k, k), self.xb[k]);
+            self.rt.submit(vec![(d, Access::Read), (xk, Access::ReadWrite)], move |s| {
+                let dg = s.read(d);
+                let mut xg = s.write(xk);
+                let sol = backward_sub(dg.tile(), xg.vector()).expect("nonsingular");
+                *xg.vector_mut() = sol;
+            });
+            for j in 0..k {
+                let (a, xk, xj) = (t(k, j), self.xb[k], self.xb[j]);
+                self.rt.submit(
+                    vec![(a, Access::Read), (xk, Access::Read), (xj, Access::ReadWrite)],
+                    move |s| {
+                        // x_j -= L(k,j)ᵀ x_k.
+                        let ag = s.read(a);
+                        let xkg = s.read(xk);
+                        let mut xjg = s.write(xj);
+                        let y = ag.tile().matvec_t(xkg.vector());
+                        for (o, v) in xjg.vector_mut().iter_mut().zip(&y) {
+                            *o -= v;
+                        }
+                    },
+                );
+            }
+        }
+
+        // Phase 4: determinant (reset + accumulate 2·Σ log L_kk).
+        let det = self.det;
+        self.rt.submit(vec![(det, Access::Write)], move |s| {
+            *s.write(det).scalar_mut() = 0.0;
+        });
+        for k in 0..nt {
+            let d = t(k, k);
+            self.rt.submit(vec![(d, Access::Read), (det, Access::ReadWrite)], move |s| {
+                let dg = s.read(d);
+                let tile = dg.tile();
+                let part: f64 = (0..b).map(|r| tile[(r, r)].ln()).sum::<f64>() * 2.0;
+                *s.write(det).scalar_mut() += part;
+            });
+        }
+
+        // Phase 5: dot product xᵀ z.
+        let dot = self.dot;
+        self.rt.submit(vec![(dot, Access::Write)], move |s| {
+            *s.write(dot).scalar_mut() = 0.0;
+        });
+        for k in 0..nt {
+            let (xk, zk) = (self.xb[k], self.zb[k]);
+            self.rt.submit(
+                vec![(xk, Access::Read), (zk, Access::Read), (dot, Access::ReadWrite)],
+                move |s| {
+                    let xg = s.read(xk);
+                    let zg = s.read(zk);
+                    let part = adaphet_linalg::dot(xg.vector(), zg.vector());
+                    *s.write(dot).scalar_mut() += part;
+                },
+            );
+        }
+
+        let wall = self.rt.run();
+        let det_v = match &*self.rt.block(self.det) {
+            Block::Scalar(s) => *s,
+            _ => unreachable!(),
+        };
+        let dot_v = match &*self.rt.block(self.dot) {
+            Block::Scalar(s) => *s,
+            _ => unreachable!(),
+        };
+        let n = w.n() as f64;
+        let ll = -0.5 * (dot_v + det_v + n * (2.0 * std::f64::consts::PI).ln());
+        (ll, wall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(range: f64) -> CovParams {
+        CovParams { variance: 1.0, range, smoothness: 0.5 }
+    }
+
+    #[test]
+    fn tiled_likelihood_matches_dense_reference() {
+        let w = Workload::new(4, 16); // n = 64
+        let mut app = GeoRealApp::new(w, params(0.15), 42, 4);
+        for r in [0.05, 0.15, 0.4] {
+            let (ll, _) = app.eval_likelihood(params(r));
+            let reference = app.reference_likelihood(params(r));
+            assert!(
+                (ll - reference).abs() < 1e-6 * (1.0 + reference.abs()),
+                "range {r}: tiled {ll} vs dense {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_evaluations_are_stable() {
+        let w = Workload::new(3, 12);
+        let mut app = GeoRealApp::new(w, params(0.2), 7, 2);
+        let (a, _) = app.eval_likelihood(params(0.2));
+        let (b, _) = app.eval_likelihood(params(0.2));
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn likelihood_prefers_true_range() {
+        let w = Workload::new(4, 16);
+        let mut app = GeoRealApp::new(w, params(0.2), 11, 4);
+        let (ll_true, _) = app.eval_likelihood(params(0.2));
+        let (ll_far, _) = app.eval_likelihood(params(5.0));
+        assert!(ll_true > ll_far, "{ll_true} vs {ll_far}");
+    }
+
+    #[test]
+    fn mle_via_golden_section_recovers_range() {
+        let w = Workload::new(4, 12); // n = 48
+        let mut app = GeoRealApp::new(w, params(0.2), 3, 4);
+        let (best_log_range, _) = crate::mle::golden_section_max(
+            |lr| app.eval_likelihood(params(lr.exp())).0,
+            (0.01_f64).ln(),
+            (2.0_f64).ln(),
+            18,
+        );
+        let best = best_log_range.exp();
+        // MLE on one small sample is noisy; accept a broad band around 0.2.
+        assert!(best > 0.02 && best < 1.5, "estimated range {best}");
+    }
+
+    #[test]
+    fn mixed_precision_trades_accuracy_monotonically() {
+        // Full band == exact f64 result; shrinking the band moves the
+        // likelihood away from the reference but keeps it finite/usable.
+        let w = Workload::new(4, 16);
+        let mut app = GeoRealApp::new(w, params(0.15), 21, 4);
+        let p = params(0.15);
+        let exact = app.eval_likelihood(p).0;
+        let full_band = app.eval_likelihood_mixed(p, w.nt).0;
+        assert!(
+            (exact - full_band).abs() < 1e-12,
+            "band >= nt must be exact: {exact} vs {full_band}"
+        );
+        let narrow = app.eval_likelihood_mixed(p, 1).0;
+        let wide = app.eval_likelihood_mixed(p, 3).0;
+        let err_narrow = (narrow - exact).abs();
+        let err_wide = (wide - exact).abs();
+        assert!(narrow.is_finite() && wide.is_finite());
+        assert!(err_narrow > 0.0, "f32 storage must perturb the likelihood");
+        assert!(
+            err_wide <= err_narrow + 1e-9,
+            "wider f64 band must not be less accurate: {err_wide} vs {err_narrow}"
+        );
+        // Single precision of covariance entries is still plenty for the
+        // likelihood's leading digits.
+        assert!(err_narrow / exact.abs() < 1e-2, "relative error {err_narrow}");
+    }
+
+    #[test]
+    fn wall_clock_is_positive() {
+        let w = Workload::new(3, 8);
+        let mut app = GeoRealApp::new(w, params(0.1), 1, 2);
+        let (_, wall) = app.eval_likelihood(params(0.1));
+        assert!(wall > Duration::ZERO);
+    }
+}

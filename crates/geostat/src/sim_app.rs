@@ -1,0 +1,337 @@
+//! The simulated multi-phase application driver.
+
+use crate::dist::TileDist;
+use crate::phases::{self, GeoClasses, GeoData};
+use crate::workload::Workload;
+use adaphet_lp::proportional_share_bound;
+use adaphet_runtime::{NodeId, Platform, RunReport, SimConfig, SimRuntime};
+
+/// Node-count choice of one iteration: how many (fastest-first) nodes each
+/// phase uses. The paper's main search space is `n_fact` with
+/// `n_gen = N` ("the application uses all the nodes in the generation step
+/// ... as this phase is embarrassingly parallel"); Fig. 8 explores both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationChoice {
+    /// Nodes used by the generation phase (1..=N).
+    pub n_gen: usize,
+    /// Nodes used by the factorization (and subsequent phases) (1..=N).
+    pub n_fact: usize,
+}
+
+impl IterationChoice {
+    /// All nodes for both phases — the application's default behaviour.
+    pub fn all(n: usize) -> Self {
+        IterationChoice { n_gen: n, n_fact: n }
+    }
+
+    /// All nodes for generation, `n_fact` for the factorization.
+    pub fn fact_only(n_total: usize, n_fact: usize) -> Self {
+        IterationChoice { n_gen: n_total, n_fact }
+    }
+}
+
+/// The ExaGeoStat-like application bound to a simulated platform.
+///
+/// Each [`GeoSimApp::run_iteration`] performs the five phases under the
+/// given node-count choice, including the data redistributions between the
+/// generation and factorization placements (asynchronous, overlapping).
+pub struct GeoSimApp {
+    rt: SimRuntime,
+    classes: GeoClasses,
+    workload: Workload,
+    data: GeoData,
+    iterations: usize,
+}
+
+impl GeoSimApp {
+    /// Build the application on `platform` (nodes must be sorted fastest
+    /// first, as [`Platform::new_sorted`] guarantees).
+    pub fn new(platform: Platform, workload: Workload, sim: SimConfig) -> Self {
+        assert!(!platform.is_empty(), "platform needs nodes");
+        let (table, classes) = GeoClasses::register();
+        let mut rt = SimRuntime::new(platform, table, sim);
+        // Initial placement: factorization layout over all nodes.
+        let dist = Self::fact_dist(rt.platform(), &classes, workload, rt.platform().len());
+        let data = phases::register_data(&mut rt, workload, &dist);
+        GeoSimApp { rt, classes, workload, data, iterations: 0 }
+    }
+
+    /// Number of nodes of the platform.
+    pub fn n_nodes(&self) -> usize {
+        self.rt.platform().len()
+    }
+
+    /// The workload being solved.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// Underlying simulated runtime (trace access etc.).
+    pub fn runtime(&self) -> &SimRuntime {
+        &self.rt
+    }
+
+    /// Disable trace recording for long sweeps.
+    pub fn set_trace_enabled(&mut self, on: bool) {
+        self.rt.set_trace_enabled(on);
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn gen_dist(
+        platform: &Platform,
+        classes: &GeoClasses,
+        w: Workload,
+        n_gen: usize,
+    ) -> TileDist {
+        let nodes: Vec<NodeId> = (0..n_gen).map(NodeId).collect();
+        let weights: Vec<f64> = (0..n_gen)
+            .map(|i| classes.gen_gflops(platform.node(NodeId(i))).max(1e-9))
+            .collect();
+        TileDist::auto(w, &nodes, &weights)
+    }
+
+    fn fact_dist(
+        platform: &Platform,
+        classes: &GeoClasses,
+        w: Workload,
+        n_fact: usize,
+    ) -> TileDist {
+        let nodes: Vec<NodeId> = (0..n_fact).map(NodeId).collect();
+        let weights: Vec<f64> = (0..n_fact)
+            .map(|i| classes.fact_gflops(platform.node(NodeId(i))).max(1e-9))
+            .collect();
+        TileDist::auto(w, &nodes, &weights)
+    }
+
+    /// Run one full iteration (all five phases) with the given node
+    /// choice; returns the simulated report whose duration is the
+    /// iteration time the tuner observes.
+    ///
+    /// # Panics
+    /// Panics if a phase node count is 0 or exceeds the platform size.
+    pub fn run_iteration(&mut self, choice: IterationChoice) -> RunReport {
+        self.run_iteration_mixed(choice, None)
+    }
+
+    /// Like [`GeoSimApp::run_iteration`], but tiles at `|i − j| >=
+    /// f64_band` are factorized in single precision at half the flop cost
+    /// (the paper's future-work mixed-precision trade-off; the matching
+    /// accuracy impact is measured by
+    /// [`crate::GeoRealApp::eval_likelihood_mixed`]).
+    pub fn run_iteration_mixed(
+        &mut self,
+        choice: IterationChoice,
+        f64_band: Option<usize>,
+    ) -> RunReport {
+        let n = self.n_nodes();
+        assert!(
+            (1..=n).contains(&choice.n_gen) && (1..=n).contains(&choice.n_fact),
+            "node counts must be within 1..={n}"
+        );
+        let w = self.workload;
+        let platform = self.rt.platform().clone();
+        let gen = Self::gen_dist(&platform, &self.classes, w, choice.n_gen);
+        let fact = Self::fact_dist(&platform, &self.classes, w, choice.n_fact);
+
+        // Generation: tiles are regenerated in place (W mode), so moving
+        // their placement is ownership-only (no bytes).
+        for i in 0..w.nt {
+            for j in 0..=i {
+                self.rt.reassign(self.data.tiles[w.tile_index(i, j)], gen.owner(i, j));
+            }
+        }
+        phases::submit_generation(&mut self.rt, &self.classes, w, &self.data);
+
+        // Redistribution to the factorization layout: real transfers,
+        // asynchronous and overlapping with the ongoing generation.
+        for i in 0..w.nt {
+            for j in 0..=i {
+                self.rt.migrate(self.data.tiles[w.tile_index(i, j)], fact.owner(i, j));
+            }
+        }
+        for i in 0..w.nt {
+            self.rt.reassign(self.data.x[i], fact.vec_owner(i));
+        }
+
+        phases::submit_cholesky_mixed(&mut self.rt, &self.classes, w, &self.data, f64_band);
+        phases::submit_solve(&mut self.rt, &self.classes, w, &self.data);
+        phases::submit_determinant(&mut self.rt, &self.classes, w, &self.data);
+        phases::submit_dot(&mut self.rt, &self.classes, w, &self.data);
+
+        self.iterations += 1;
+        self.rt.run()
+    }
+
+    /// The LP lower bound `LP(n_fact)` of one iteration (paper Section II):
+    /// the max over phases of the heterogeneous work bound — optimistic,
+    /// ignoring communications and the critical path.
+    pub fn lp_bound(&self, choice: IterationChoice) -> f64 {
+        lp_bound_for(self.rt.platform(), &self.classes, self.workload, choice)
+    }
+
+    /// Ideal per-node factorization work shares from the LP (used by the
+    /// heterogeneous distribution and reported in diagnostics).
+    pub fn lp_shares(&self, n_fact: usize) -> Vec<f64> {
+        let unit_times: Vec<f64> = (0..n_fact)
+            .map(|i| {
+                1.0 / (self.classes.fact_gflops(self.rt.platform().node(NodeId(i))) * 1e9)
+            })
+            .collect();
+        proportional_share_bound(self.workload.cholesky_flops(), &unit_times).shares
+    }
+}
+
+/// Free-standing LP bound (also used by the evaluation harness without
+/// instantiating a full app).
+pub fn lp_bound_for(
+    platform: &Platform,
+    classes: &GeoClasses,
+    w: Workload,
+    choice: IterationChoice,
+) -> f64 {
+    let gen_times: Vec<f64> = (0..choice.n_gen)
+        .map(|i| 1.0 / (classes.gen_gflops(platform.node(NodeId(i))) * 1e9))
+        .collect();
+    let fact_times: Vec<f64> = (0..choice.n_fact)
+        .map(|i| 1.0 / (classes.fact_gflops(platform.node(NodeId(i))) * 1e9))
+        .collect();
+    let gen = proportional_share_bound(w.generation_flops(), &gen_times).makespan;
+    let fact = proportional_share_bound(w.cholesky_flops(), &fact_times).makespan;
+    gen.max(fact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaphet_runtime::{NetworkSpec, NodeSpec};
+
+    fn hybrid_platform(n_gpu: usize, n_cpu: usize) -> Platform {
+        let mut nodes = Vec::new();
+        for _ in 0..n_gpu {
+            nodes.push(NodeSpec {
+                name: "L".into(),
+                cpu_cores: 8,
+                gpus: 2,
+                cpu_gflops_per_core: 20.0,
+                gpu_gflops: 2000.0,
+                nic_gbps: 10.0,
+            });
+        }
+        for _ in 0..n_cpu {
+            nodes.push(NodeSpec {
+                name: "S".into(),
+                cpu_cores: 8,
+                gpus: 0,
+                cpu_gflops_per_core: 20.0,
+                gpu_gflops: 0.0,
+                nic_gbps: 10.0,
+            });
+        }
+        Platform::new_sorted(nodes, NetworkSpec { backbone_gbps: 100.0, latency_s: 1e-5 })
+    }
+
+    fn small_app(n_gpu: usize, n_cpu: usize, nt: usize) -> GeoSimApp {
+        GeoSimApp::new(hybrid_platform(n_gpu, n_cpu), Workload::new(nt, 64), SimConfig::default())
+    }
+
+    #[test]
+    fn iteration_runs_and_time_advances() {
+        let mut app = small_app(1, 2, 6);
+        let n = app.n_nodes();
+        let r1 = app.run_iteration(IterationChoice::all(n));
+        assert!(r1.duration() > 0.0);
+        let r2 = app.run_iteration(IterationChoice::all(n));
+        assert!(r2.start >= r1.end - 1e-9, "iterations are sequential");
+        assert_eq!(app.iterations(), 2);
+    }
+
+    #[test]
+    fn restricting_fact_nodes_changes_duration() {
+        let mut app = small_app(2, 4, 8);
+        let n = app.n_nodes();
+        let all = app.run_iteration(IterationChoice::all(n)).duration();
+        let few = app.run_iteration(IterationChoice::fact_only(n, 2)).duration();
+        assert!(all > 0.0 && few > 0.0);
+        assert!((all - few).abs() > 1e-12, "choice must matter");
+    }
+
+    #[test]
+    fn lp_bound_decreases_with_fact_nodes_and_floors_at_generation() {
+        let app = small_app(2, 4, 8);
+        let n = app.n_nodes();
+        let mut prev = f64::INFINITY;
+        for k in 1..=n {
+            let b = app.lp_bound(IterationChoice::fact_only(n, k));
+            assert!(b > 0.0 && b <= prev + 1e-12, "bound must be non-increasing");
+            prev = b;
+        }
+        // Bound can never drop below the generation-phase bound.
+        let gen_floor = app.lp_bound(IterationChoice { n_gen: n, n_fact: n });
+        assert!(gen_floor > 0.0);
+    }
+
+    #[test]
+    fn lp_bound_is_a_true_lower_bound() {
+        let mut app = small_app(1, 2, 6);
+        let n = app.n_nodes();
+        for k in [1, 2, 3] {
+            let choice = IterationChoice::fact_only(n, k);
+            let bound = app.lp_bound(choice);
+            let measured = app.run_iteration(choice).duration();
+            assert!(
+                bound <= measured + 1e-9,
+                "LP({k}) = {bound} exceeds measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn lp_shares_sum_to_total_work() {
+        let app = small_app(2, 2, 6);
+        let shares = app.lp_shares(3);
+        let total: f64 = shares.iter().sum();
+        assert!((total - app.workload().cholesky_flops()).abs() < 1e-3 * total);
+        // The GPU nodes (fastest) get the lion's share.
+        assert!(shares[0] > shares[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node counts")]
+    fn zero_fact_nodes_rejected() {
+        let mut app = small_app(1, 1, 4);
+        app.run_iteration(IterationChoice { n_gen: 2, n_fact: 0 });
+    }
+
+    #[test]
+    fn mixed_precision_speeds_up_the_iteration() {
+        let mut app = small_app(0, 2, 8); // CPU-only: duration ∝ flops
+        let n = app.n_nodes();
+        let full = app.run_iteration_mixed(IterationChoice::all(n), None).duration();
+        let mixed = app
+            .run_iteration_mixed(IterationChoice::all(n), Some(2))
+            .duration();
+        assert!(
+            mixed < full,
+            "single-precision off-band tiles must be faster: {mixed} vs {full}"
+        );
+        // Band >= nt is plain double precision.
+        let same = app.run_iteration_mixed(IterationChoice::all(n), Some(8)).duration();
+        assert!((same - full).abs() < 0.05 * full, "{same} vs {full}");
+    }
+
+    #[test]
+    fn deterministic_iterations() {
+        let run = || {
+            let mut app = small_app(1, 3, 6);
+            let n = app.n_nodes();
+            let a = app.run_iteration(IterationChoice::fact_only(n, 2)).duration();
+            let b = app.run_iteration(IterationChoice::fact_only(n, 4)).duration();
+            (a, b)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,130 @@
+//! Workload description: matrix size and tiling.
+
+/// A tiled symmetric matrix workload, like the paper's `96100 (101x101
+/// blocks)` and `122880 (128x128 blocks)` ExaGeoStat samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Number of tiles per dimension (`nt`).
+    pub nt: usize,
+    /// Tile side length (`b`), so the matrix order is `nt * b`.
+    pub tile: usize,
+}
+
+impl Workload {
+    /// Build a workload with `nt x nt` tiles of side `tile`.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(nt: usize, tile: usize) -> Self {
+        assert!(nt > 0 && tile > 0, "workload dimensions must be positive");
+        Workload { nt, tile }
+    }
+
+    /// The paper's `96100` matrix: 101x101 tiles (tile ≈ 951).
+    pub fn paper_101() -> Self {
+        Workload { nt: 101, tile: 951 }
+    }
+
+    /// The paper's `122880` matrix: 128x128 tiles of 960.
+    pub fn paper_128() -> Self {
+        Workload { nt: 128, tile: 960 }
+    }
+
+    /// Matrix order `n = nt * tile`.
+    pub fn n(&self) -> usize {
+        self.nt * self.tile
+    }
+
+    /// Bytes of one full tile (f64).
+    pub fn tile_bytes(&self) -> usize {
+        self.tile * self.tile * 8
+    }
+
+    /// Bytes of one vector block (f64).
+    pub fn vec_block_bytes(&self) -> usize {
+        self.tile * 8
+    }
+
+    /// Number of stored tiles (lower triangle incl. diagonal).
+    pub fn n_tiles_lower(&self) -> usize {
+        self.nt * (self.nt + 1) / 2
+    }
+
+    /// Linear index of lower tile `(i, j)`, `i >= j`.
+    pub fn tile_index(&self, i: usize, j: usize) -> usize {
+        assert!(i >= j && i < self.nt, "not a lower tile: ({i},{j})");
+        i * (i + 1) / 2 + j
+    }
+
+    /// Total Cholesky flops for this workload (≈ n³/3).
+    pub fn cholesky_flops(&self) -> f64 {
+        use adaphet_linalg::{flops, TileKernel};
+        let nt = self.nt;
+        let b = self.tile;
+        let mut total = 0.0;
+        // potrf per step; trsm per sub-diagonal; syrk per trailing diag;
+        // gemm per trailing off-diagonal.
+        for k in 0..nt {
+            total += flops(TileKernel::Potrf, b);
+            let below = nt - k - 1;
+            total += below as f64 * flops(TileKernel::Trsm, b);
+            total += below as f64 * flops(TileKernel::Syrk, b);
+            let gemms = below * below.saturating_sub(1) / 2;
+            total += gemms as f64 * flops(TileKernel::Gemm, b);
+        }
+        total
+    }
+
+    /// Total generation flops (one `Generate` task per stored tile).
+    pub fn generation_flops(&self) -> f64 {
+        use adaphet_linalg::{flops, TileKernel};
+        self.n_tiles_lower() as f64 * flops(TileKernel::Generate, self.tile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workloads_match_sizes() {
+        assert_eq!(Workload::paper_128().n(), 122880);
+        assert_eq!(Workload::paper_101().nt, 101);
+    }
+
+    #[test]
+    fn tile_indexing_is_dense_and_unique() {
+        let w = Workload::new(5, 4);
+        let mut seen = vec![false; w.n_tiles_lower()];
+        for i in 0..5 {
+            for j in 0..=i {
+                let idx = w.tile_index(i, j);
+                assert!(!seen[idx], "duplicate index {idx}");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a lower tile")]
+    fn upper_tile_index_panics() {
+        Workload::new(4, 2).tile_index(1, 2);
+    }
+
+    #[test]
+    fn cholesky_flops_asymptotics() {
+        // For large nt the task-sum approaches n³/3.
+        let w = Workload::new(64, 32);
+        let n = w.n() as f64;
+        let ratio = w.cholesky_flops() / (n * n * n / 3.0);
+        assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn generation_flops_counts_lower_tiles() {
+        let w = Workload::new(4, 10);
+        // 10 tiles x 40*b² flops.
+        assert_eq!(w.generation_flops(), 10.0 * 40.0 * 100.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Initial experimental designs.
+//!
+//! The paper notes that standard Bayesian optimization initializes the
+//! surrogate with "a uniform quasi-random design (e.g., LHS, maximin)" but
+//! that this is too costly for an online application, motivating the
+//! parsimonious initialization of the GP strategies. These designs are
+//! still provided for offline surrogate studies and for the comparison
+//! benchmarks.
+
+use rand::Rng;
+
+/// One-dimensional Latin hypercube sample of `n` points over `[lo, hi]`:
+/// one uniform draw inside each of `n` equal strata, shuffled.
+pub fn latin_hypercube<R: Rng>(rng: &mut R, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(hi >= lo, "invalid range");
+    if n == 0 {
+        return vec![];
+    }
+    let w = (hi - lo) / n as f64;
+    let mut pts: Vec<f64> = (0..n)
+        .map(|i| lo + w * (i as f64 + rng.random_range(0.0..1.0)))
+        .collect();
+    // Shuffle so callers consuming a prefix still get spread-out points.
+    for i in (1..pts.len()).rev() {
+        let j = rng.random_range(0..=i);
+        pts.swap(i, j);
+    }
+    pts
+}
+
+/// Greedy maximin design over a discrete candidate set: start from the two
+/// extremes, then repeatedly add the candidate maximizing the distance to
+/// the already-chosen set. Deterministic.
+pub fn maximin_design(candidates: &[f64], n: usize) -> Vec<f64> {
+    if candidates.is_empty() || n == 0 {
+        return vec![];
+    }
+    let mut sorted = candidates.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.dedup();
+    let mut chosen = vec![sorted[0]];
+    if n > 1 && sorted.len() > 1 {
+        chosen.push(*sorted.last().unwrap());
+    }
+    while chosen.len() < n.min(sorted.len()) {
+        let best = sorted
+            .iter()
+            .filter(|c| !chosen.contains(c))
+            .map(|&c| {
+                let d = chosen
+                    .iter()
+                    .map(|&x| (x - c).abs())
+                    .fold(f64::INFINITY, f64::min);
+                (c, d)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(c, _)| c);
+        match best {
+            Some(c) => chosen.push(c),
+            None => break,
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lhs_one_point_per_stratum() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 10;
+        let pts = latin_hypercube(&mut rng, n, 0.0, 10.0);
+        assert_eq!(pts.len(), n);
+        let mut strata: Vec<usize> = pts.iter().map(|p| (p.floor() as usize).min(n - 1)).collect();
+        strata.sort_unstable();
+        strata.dedup();
+        assert_eq!(strata.len(), n, "each stratum hit exactly once");
+    }
+
+    #[test]
+    fn lhs_empty_and_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(latin_hypercube(&mut rng, 0, 0.0, 1.0).is_empty());
+        for p in latin_hypercube(&mut rng, 50, -3.0, 3.0) {
+            assert!((-3.0..=3.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn maximin_starts_with_extremes() {
+        let cands: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let d = maximin_design(&cands, 3);
+        assert!(d.contains(&1.0));
+        assert!(d.contains(&20.0));
+        // Third point is near the middle.
+        let third = d[2];
+        assert!((third - 10.5).abs() <= 1.0, "third = {third}");
+    }
+
+    #[test]
+    fn maximin_caps_at_candidate_count() {
+        let d = maximin_design(&[1.0, 2.0], 10);
+        assert_eq!(d.len(), 2);
+        assert!(maximin_design(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn maximin_spreads_points() {
+        let cands: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let d = maximin_design(&cands, 5);
+        let mut s = d.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Minimum gap should be near 100/4 = 25.
+        let min_gap = s.windows(2).map(|w| w[1] - w[0]).fold(f64::INFINITY, f64::min);
+        assert!(min_gap >= 20.0, "min gap {min_gap}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Stationary covariance (correlation) functions.
+
+/// A stationary correlation function `r(d)` of the distance `d = |x - x'|`,
+/// scaled by the process variance `α` elsewhere (in [`crate::GpConfig`]).
+///
+/// The paper's kernel (Eq. 3) is [`Kernel::Exponential`]:
+/// `Σ(x,x') = α exp(−‖x−x'‖ / θ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `exp(−d/θ)` — the paper's choice; rough (non-differentiable) paths.
+    Exponential {
+        /// Length scale θ > 0.
+        theta: f64,
+    },
+    /// `exp(−d²/(2θ²))` — very smooth paths.
+    SquaredExponential {
+        /// Length scale θ > 0.
+        theta: f64,
+    },
+    /// Matérn ν = 3/2: `(1 + √3 d/θ) exp(−√3 d/θ)`.
+    Matern32 {
+        /// Length scale θ > 0.
+        theta: f64,
+    },
+    /// Matérn ν = 5/2: `(1 + √5 d/θ + 5d²/(3θ²)) exp(−√5 d/θ)`.
+    Matern52 {
+        /// Length scale θ > 0.
+        theta: f64,
+    },
+}
+
+impl Kernel {
+    /// Correlation at distance `d >= 0`; `r(0) = 1` and `r` decreases
+    /// monotonically to 0.
+    pub fn corr(&self, d: f64) -> f64 {
+        let d = d.abs();
+        match *self {
+            Kernel::Exponential { theta } => (-d / theta).exp(),
+            Kernel::SquaredExponential { theta } => (-0.5 * (d / theta).powi(2)).exp(),
+            Kernel::Matern32 { theta } => {
+                let s = 3.0_f64.sqrt() * d / theta;
+                (1.0 + s) * (-s).exp()
+            }
+            Kernel::Matern52 { theta } => {
+                let s = 5.0_f64.sqrt() * d / theta;
+                (1.0 + s + s * s / 3.0) * (-s).exp()
+            }
+        }
+    }
+
+    /// Current length scale θ.
+    pub fn theta(&self) -> f64 {
+        match *self {
+            Kernel::Exponential { theta }
+            | Kernel::SquaredExponential { theta }
+            | Kernel::Matern32 { theta }
+            | Kernel::Matern52 { theta } => theta,
+        }
+    }
+
+    /// Same family with a different length scale (used by the MLE search).
+    pub fn with_theta(&self, theta: f64) -> Kernel {
+        match *self {
+            Kernel::Exponential { .. } => Kernel::Exponential { theta },
+            Kernel::SquaredExponential { .. } => Kernel::SquaredExponential { theta },
+            Kernel::Matern32 { .. } => Kernel::Matern32 { theta },
+            Kernel::Matern52 { .. } => Kernel::Matern52 { theta },
+        }
+    }
+
+    /// Family name for reports.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Kernel::Exponential { .. } => "exponential",
+            Kernel::SquaredExponential { .. } => "squared-exponential",
+            Kernel::Matern32 { .. } => "matern32",
+            Kernel::Matern52 { .. } => "matern52",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const FAMILIES: [Kernel; 4] = [
+        Kernel::Exponential { theta: 1.0 },
+        Kernel::SquaredExponential { theta: 1.0 },
+        Kernel::Matern32 { theta: 1.0 },
+        Kernel::Matern52 { theta: 1.0 },
+    ];
+
+    #[test]
+    fn unit_correlation_at_zero() {
+        for k in FAMILIES {
+            assert_eq!(k.corr(0.0), 1.0, "{}", k.family());
+        }
+    }
+
+    #[test]
+    fn exponential_matches_paper_eq3() {
+        let k = Kernel::Exponential { theta: 2.0 };
+        assert!((k.corr(2.0) - (-1.0_f64).exp()).abs() < 1e-15);
+        assert!((k.corr(4.0) - (-2.0_f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn smoothness_ordering_near_zero() {
+        // Near d=0: exponential decays fastest (roughest), then Matérn 3/2,
+        // Matérn 5/2, squared-exponential (smoothest).
+        let d = 0.05;
+        let exp = Kernel::Exponential { theta: 1.0 }.corr(d);
+        let m32 = Kernel::Matern32 { theta: 1.0 }.corr(d);
+        let m52 = Kernel::Matern52 { theta: 1.0 }.corr(d);
+        let se = Kernel::SquaredExponential { theta: 1.0 }.corr(d);
+        assert!(exp < m32 && m32 < m52 && m52 < se);
+    }
+
+    #[test]
+    fn with_theta_preserves_family() {
+        for k in FAMILIES {
+            let k2 = k.with_theta(3.5);
+            assert_eq!(k.family(), k2.family());
+            assert_eq!(k2.theta(), 3.5);
+        }
+    }
+
+    proptest! {
+        /// Correlations are in (0, 1], symmetric in sign, and monotonically
+        /// non-increasing in distance.
+        #[test]
+        fn prop_kernel_shape(theta in 0.1f64..10.0, d1 in 0.0f64..20.0, d2 in 0.0f64..20.0) {
+            for base in FAMILIES {
+                let k = base.with_theta(theta);
+                let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+                let rl = k.corr(lo);
+                let rh = k.corr(hi);
+                // May underflow to exactly 0 at extreme distances.
+                prop_assert!((0.0..=1.0).contains(&rl));
+                prop_assert!(rh <= rl + 1e-12, "{}: corr not decreasing", k.family());
+                prop_assert_eq!(k.corr(-d1), k.corr(d1));
+            }
+        }
+
+        /// Longer length scales give higher correlation at the same distance.
+        #[test]
+        fn prop_theta_monotone(d in 0.01f64..10.0) {
+            for base in FAMILIES {
+                let short = base.with_theta(0.5).corr(d);
+                let long = base.with_theta(5.0).corr(d);
+                prop_assert!(long >= short);
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Universal-kriging model: fit and predict.
+
+use crate::{Kernel, Trend};
+use adaphet_linalg::{gls_solve, Cholesky, GlsFit, Mat};
+
+/// Hyper-parameters of a GP model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpConfig {
+    /// Correlation function (the paper uses [`Kernel::Exponential`]).
+    pub kernel: Kernel,
+    /// Process variance α (Eq. 3 of the paper).
+    pub process_var: f64,
+    /// Observation-noise variance σ²_N (the nugget).
+    pub noise_var: f64,
+    /// Trend basis whose coefficients are estimated by GLS.
+    pub trend: Trend,
+}
+
+/// Posterior prediction of the *latent* function `f` at one input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Posterior mean `μ_t(x) = E[f(x) | D]`.
+    pub mean: f64,
+    /// Posterior variance `σ_t²(x) = Var[f(x) | D]` (≥ 0), including the
+    /// universal-kriging correction for trend-estimation uncertainty.
+    pub var: f64,
+}
+
+impl Prediction {
+    /// Posterior standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.var.max(0.0).sqrt()
+    }
+}
+
+/// A fitted Gaussian-process (universal kriging) model over scalar inputs.
+///
+/// The model is `y(x) = Σ_i γ_i g_i(x) + Z(x) + ε`, with `Z ~ GP(0, α·r)`
+/// and `ε ~ N(0, σ²_N)`; `γ` is estimated by generalized least squares and
+/// predictions use the universal-kriging equations, so the reported
+/// variance accounts for the uncertainty in `γ̂`.
+#[derive(Debug, Clone)]
+pub struct GpModel {
+    config: GpConfig,
+    x: Vec<f64>,
+    chol: Cholesky,
+    gls: GlsFit,
+    /// `K⁻¹ (y − G γ̂)`, cached for O(n) mean predictions.
+    kinv_resid: Vec<f64>,
+    /// Design matrix rows (needed for the variance correction).
+    design: Mat,
+    /// Jitter that had to be added to make K positive definite (0 if none).
+    jitter: f64,
+    /// Profile log-likelihood of the data under this fit.
+    log_likelihood: f64,
+}
+
+impl GpModel {
+    /// Fit the model to observations `(x[i], y[i])`.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` lengths differ or are empty.
+    pub fn fit(config: GpConfig, x: &[f64], y: &[f64]) -> crate::Result<GpModel> {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "cannot fit a GP with zero observations");
+        let n = x.len();
+        let alpha = config.process_var.max(1e-12);
+
+        // K = α R + σ²_N I.
+        let mut k = Mat::from_fn(n, n, |i, j| alpha * config.kernel.corr(x[i] - x[j]));
+        for i in 0..n {
+            k[(i, i)] += config.noise_var;
+        }
+        let base_jitter = 1e-10 * alpha.max(config.noise_var).max(1e-12);
+        let (chol, jitter) = Cholesky::factor_with_jitter(&k, base_jitter, 14)?;
+
+        let design = Mat::from_fn(n, config.trend.len(), |i, j| config.trend.terms[j].eval(x[i]));
+        let gls = gls_solve(&chol, &design, y)?;
+        let kinv_resid = chol.solve(&gls.residuals);
+
+        // Profile log marginal likelihood (trend coefficients plugged in).
+        let quad: f64 =
+            gls.residuals.iter().zip(&kinv_resid).map(|(r, kr)| r * kr).sum();
+        let log_likelihood = -0.5
+            * (quad + chol.log_det() + n as f64 * (2.0 * std::f64::consts::PI).ln());
+
+        Ok(GpModel { config, x: x.to_vec(), chol, gls, kinv_resid, design, jitter, log_likelihood })
+    }
+
+    /// Posterior prediction of the latent `f` at `xq`.
+    pub fn predict(&self, xq: f64) -> Prediction {
+        let alpha = self.config.process_var.max(1e-12);
+        let n = self.x.len();
+        // k* = α r(xq, X)
+        let kstar: Vec<f64> =
+            self.x.iter().map(|&xi| alpha * self.config.kernel.corr(xq - xi)).collect();
+        let g = self.config.trend.row(xq);
+
+        // mean = g*ᵀ γ̂ + k*ᵀ K⁻¹ resid
+        let mut mean: f64 =
+            g.iter().zip(&self.gls.coefficients).map(|(gi, ci)| gi * ci).sum();
+        mean += kstar.iter().zip(&self.kinv_resid).map(|(a, b)| a * b).sum::<f64>();
+
+        // var = α − k*ᵀK⁻¹k* + u ᵀ(GᵀK⁻¹G)⁻¹ u, u = g* − Gᵀ K⁻¹ k*.
+        let kinv_kstar = self.chol.solve(&kstar);
+        let explained: f64 = kstar.iter().zip(&kinv_kstar).map(|(a, b)| a * b).sum();
+        let mut var = alpha - explained;
+        if !self.config.trend.is_empty() {
+            // u = g − Gᵀ (K⁻¹ k*)
+            let mut u = g.clone();
+            for (j, uj) in u.iter_mut().enumerate() {
+                let col = self.design.col(j);
+                let mut s = 0.0;
+                for i in 0..n {
+                    s += col[i] * kinv_kstar[i];
+                }
+                *uj -= s;
+            }
+            // + uᵀ coef_cov u
+            let cu = self.gls.coef_cov.matvec(&u);
+            var += u.iter().zip(&cu).map(|(a, b)| a * b).sum::<f64>();
+        }
+        Prediction { mean, var: var.max(0.0) }
+    }
+
+    /// Posterior variance of a *new observation* at `xq` (latent variance
+    /// plus the noise variance) — what a replicate measurement would show.
+    pub fn predict_observation_var(&self, xq: f64) -> f64 {
+        self.predict(xq).var + self.config.noise_var
+    }
+
+    /// The hyper-parameters used for this fit.
+    pub fn config(&self) -> &GpConfig {
+        &self.config
+    }
+
+    /// Number of observations.
+    pub fn n_obs(&self) -> usize {
+        self.x.len()
+    }
+
+    /// GLS-estimated trend coefficients γ̂.
+    pub fn trend_coefficients(&self) -> &[f64] {
+        &self.gls.coefficients
+    }
+
+    /// Jitter added during factorization (0 when K was PD as-is).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Profile log marginal likelihood of the fit (used by the MLE search).
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    /// The trend mean `Σ γ̂_i g_i(x)` alone, without the GP correction —
+    /// useful for plotting the learned discontinuous trend (Fig. 4C).
+    pub fn trend_mean(&self, xq: f64) -> f64 {
+        self.config
+            .trend
+            .row(xq)
+            .iter()
+            .zip(&self.gls.coefficients)
+            .map(|(g, c)| g * c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn base_config(theta: f64) -> GpConfig {
+        GpConfig {
+            kernel: Kernel::SquaredExponential { theta },
+            process_var: 1.0,
+            noise_var: 1e-8,
+            trend: Trend::constant(),
+        }
+    }
+
+    #[test]
+    fn interpolates_with_tiny_noise() {
+        let xs = [0.0, 1.0, 2.5, 4.0];
+        let ys = [1.0, -0.5, 0.7, 2.0];
+        let gp = GpModel::fit(base_config(0.8), &xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = gp.predict(*x);
+            assert!((p.mean - y).abs() < 1e-3, "mean {} vs {}", p.mean, y);
+            assert!(p.var < 1e-3, "var at data point should be tiny: {}", p.var);
+        }
+    }
+
+    #[test]
+    fn reverts_to_trend_far_from_data() {
+        // Constant trend: far away the mean approaches γ̂₀ (≈ mean of y)
+        // and the variance approaches α (plus trend uncertainty).
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [4.0, 6.0, 5.0];
+        let gp = GpModel::fit(base_config(0.5), &xs, &ys).unwrap();
+        let far = gp.predict(100.0);
+        let gamma0 = gp.trend_coefficients()[0];
+        assert!((far.mean - gamma0).abs() < 1e-6);
+        assert!(far.var >= 1.0 - 1e-6, "far variance at least α, got {}", far.var);
+    }
+
+    #[test]
+    fn noise_prevents_exact_interpolation() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 1.0, 0.0, 1.0];
+        let mut cfg = base_config(1.0);
+        cfg.noise_var = 0.5;
+        let gp = GpModel::fit(cfg, &xs, &ys).unwrap();
+        // With a big nugget, prediction at data points shrinks toward the
+        // trend rather than chasing the noisy values.
+        let p = gp.predict(1.0);
+        assert!((p.mean - 1.0).abs() > 0.05, "should not interpolate noisy data");
+        assert!(p.var > 0.01);
+    }
+
+    #[test]
+    fn replicated_inputs_are_handled() {
+        // Duplicate x values make R singular; the nugget (or jitter) must
+        // rescue the factorization.
+        let xs = [1.0, 1.0, 1.0, 2.0];
+        let ys = [3.0, 3.4, 2.6, 5.0];
+        let mut cfg = base_config(1.0);
+        cfg.noise_var = 0.1;
+        let gp = GpModel::fit(cfg, &xs, &ys).unwrap();
+        let p = gp.predict(1.0);
+        assert!((p.mean - 3.0).abs() < 0.3, "mean near replicate average, got {}", p.mean);
+    }
+
+    #[test]
+    fn linear_trend_is_recovered() {
+        // Pure line, no wiggle: γ̂ should match (2, 3) closely.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x).collect();
+        let cfg = GpConfig {
+            kernel: Kernel::Exponential { theta: 1.0 },
+            process_var: 0.1,
+            noise_var: 1e-6,
+            trend: Trend::linear(),
+        };
+        let gp = GpModel::fit(cfg, &xs, &ys).unwrap();
+        let c = gp.trend_coefficients();
+        assert!((c[0] - 2.0).abs() < 0.2, "intercept {}", c[0]);
+        assert!((c[1] - 3.0).abs() < 0.05, "slope {}", c[1]);
+        // Extrapolation follows the trend.
+        let p = gp.predict(20.0);
+        assert!((p.mean - 62.0).abs() < 1.0, "extrapolated {}", p.mean);
+    }
+
+    #[test]
+    fn group_dummies_model_discontinuity() {
+        // A step function: 10 for x in 1..=5, 2 for x in 6..=10. A smooth
+        // GP struggles; with group dummies the trend captures it.
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| if x <= 5.0 { 10.0 } else { 2.0 }).collect();
+        let cfg = GpConfig {
+            kernel: Kernel::Exponential { theta: 1.0 },
+            process_var: 1.0,
+            noise_var: 1e-4,
+            trend: Trend::linear_with_group_dummies(&[(1, 5), (6, 10)]),
+        };
+        let gp = GpModel::fit(cfg, &xs, &ys).unwrap();
+        // The trend alone should already be a good step fit.
+        assert!((gp.trend_mean(3.0) - 10.0).abs() < 0.5);
+        assert!((gp.trend_mean(8.0) - 2.0).abs() < 0.5);
+        // And the jump between 5 and 6 is sharp.
+        let jump = gp.trend_mean(5.0) - gp.trend_mean(6.0);
+        assert!(jump > 6.0, "jump = {jump}");
+    }
+
+    #[test]
+    fn log_likelihood_prefers_true_lengthscale() {
+        // Data from a smooth slow function: a wildly wrong (tiny) θ should
+        // have lower likelihood than a reasonable one.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (0.3 * x).sin()).collect();
+        let good = GpModel::fit(base_config(2.0), &xs, &ys).unwrap();
+        let bad = GpModel::fit(base_config(0.01), &xs, &ys).unwrap();
+        assert!(good.log_likelihood() > bad.log_likelihood());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero observations")]
+    fn empty_fit_panics() {
+        let _ = GpModel::fit(base_config(1.0), &[], &[]);
+    }
+
+    #[test]
+    fn confidence_band_covers_a_known_smooth_function() {
+        // The paper's Fig. 3 claim: the true function lies within the 95%
+        // band. Check over a dense grid for a correctly specified model.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 1.3).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.cos()).collect();
+        let gp = GpModel::fit(
+            GpConfig {
+                kernel: Kernel::SquaredExponential { theta: 1.3 },
+                process_var: 1.0,
+                noise_var: 1e-6,
+                trend: Trend::none(),
+            },
+            &xs,
+            &ys,
+        )
+        .unwrap();
+        let mut outside = 0;
+        let total = 120;
+        for q in 0..total {
+            let x = q as f64 * 0.1;
+            let p = gp.predict(x);
+            let (lo, hi) = (p.mean - 1.96 * p.sd(), p.mean + 1.96 * p.sd());
+            if !(lo..=hi).contains(&x.cos()) {
+                outside += 1;
+            }
+        }
+        assert!(
+            outside <= total / 10,
+            "truth outside the 95% band at {outside}/{total} points"
+        );
+    }
+
+    proptest! {
+        /// Posterior variance is non-negative everywhere and bounded by the
+        /// prior variance plus trend uncertainty; at observed points it is
+        /// below the prior variance.
+        #[test]
+        fn prop_variance_sane(seed in 0u64..200) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = rng.random_range(2usize..12);
+            let mut xs: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..20.0)).collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+            let ys: Vec<f64> = xs.iter().map(|x| (0.4 * x).sin() + rng.random_range(-0.1..0.1)).collect();
+            let mut cfg = base_config(rng.random_range(0.3..3.0));
+            cfg.noise_var = 0.01;
+            let gp = GpModel::fit(cfg, &xs, &ys).unwrap();
+            for q in 0..40 {
+                let xq = q as f64 * 0.5;
+                let p = gp.predict(xq);
+                prop_assert!(p.var >= 0.0);
+                prop_assert!(p.mean.is_finite());
+            }
+            for &x in &xs {
+                // At data points the latent variance is far below prior α.
+                prop_assert!(gp.predict(x).var < 1.0);
+            }
+        }
+
+        /// More data can only shrink the posterior variance at any fixed
+        /// query point (for a fixed, noiseless-ish configuration with a
+        /// trendless model, where the classic monotonicity holds).
+        #[test]
+        fn prop_variance_shrinks_with_data(seed in 0u64..100) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x51a5);
+            let full: Vec<f64> = (0..8).map(|i| i as f64 + rng.random_range(0.0..0.5)).collect();
+            let ys: Vec<f64> = full.iter().map(|x| (0.5 * x).cos()).collect();
+            let cfg = GpConfig {
+                kernel: Kernel::SquaredExponential { theta: 1.0 },
+                process_var: 1.0,
+                noise_var: 1e-6,
+                trend: Trend::none(),
+            };
+            let small = GpModel::fit(cfg.clone(), &full[..4], &ys[..4]).unwrap();
+            let big = GpModel::fit(cfg, &full, &ys).unwrap();
+            for q in 0..20 {
+                let xq = q as f64 * 0.4;
+                prop_assert!(big.predict(xq).var <= small.predict(xq).var + 1e-7);
+            }
+        }
+    }
+}

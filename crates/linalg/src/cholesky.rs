@@ -1,0 +1,281 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::{backward_sub, forward_sub, LinalgError, Mat};
+
+/// Lower-triangular Cholesky factor `L` of an SPD matrix `A = L Lᵀ`,
+/// together with solve and log-determinant helpers.
+///
+/// This is the workhorse of both the Gaussian-process surrogate (covariance
+/// solves) and the geostatistics likelihood (validated against the tiled
+/// distributed version in `adaphet-geostat`).
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factor an SPD matrix. Only the lower triangle of `a` is read.
+    ///
+    /// Returns [`LinalgError::NotSpd`] when a pivot is non-positive, which
+    /// callers (e.g. the GP fitter) use to add jitter and retry.
+    pub fn factor(a: &Mat) -> crate::Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimMismatch {
+                op: "cholesky",
+                found: (a.rows(), a.cols()),
+                expected: (a.rows(), a.rows()),
+            });
+        }
+        let n = a.rows();
+        let mut l = a.clone();
+        // Left-looking column Cholesky: for each column j, subtract the
+        // contributions of previous columns, then scale.
+        for j in 0..n {
+            // l[j.., j] -= sum_{k<j} l[j, k] * l[j.., k]
+            for k in 0..j {
+                let ljk = l[(j, k)];
+                if ljk == 0.0 {
+                    continue;
+                }
+                let (ck, cj) = l.cols_mut_pair(k, j);
+                for i in j..n {
+                    cj[i] -= ljk * ck[i];
+                }
+            }
+            let d = l[(j, j)];
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotSpd(j));
+            }
+            let s = d.sqrt();
+            l[(j, j)] = s;
+            let inv = 1.0 / s;
+            let cj = l.col_mut(j);
+            for v in &mut cj[j + 1..] {
+                *v *= inv;
+            }
+        }
+        // Zero the strictly-upper triangle so `l` is a clean factor.
+        for j in 1..n {
+            for i in 0..j {
+                l[(i, j)] = 0.0;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factor `a + jitter * I`, escalating `jitter` by 10x up to `max_tries`
+    /// times when the factorization fails. Returns the factor and the jitter
+    /// that was actually used.
+    pub fn factor_with_jitter(
+        a: &Mat,
+        mut jitter: f64,
+        max_tries: usize,
+    ) -> crate::Result<(Self, f64)> {
+        match Cholesky::factor(a) {
+            Ok(c) => return Ok((c, 0.0)),
+            Err(LinalgError::NotSpd(_)) => {}
+            Err(e) => return Err(e),
+        }
+        for _ in 0..max_tries {
+            let mut aj = a.clone();
+            for i in 0..a.rows() {
+                aj[(i, i)] += jitter;
+            }
+            match Cholesky::factor(&aj) {
+                Ok(c) => return Ok((c, jitter)),
+                Err(LinalgError::NotSpd(_)) => jitter *= 10.0,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(LinalgError::NotSpd(a.rows()))
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor_l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Solve `A x = b` via `L y = b`, `Lᵀ x = y`.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()` (the factor is always nonsingular,
+    /// so the underlying triangular solves cannot fail).
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = forward_sub(&self.l, b).expect("Cholesky factor is nonsingular");
+        backward_sub(&self.l, &y).expect("Cholesky factor is nonsingular")
+    }
+
+    /// Solve `A X = B` for a matrix right-hand side.
+    pub fn solve_mat(&self, b: &Mat) -> crate::Result<Mat> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::DimMismatch {
+                op: "cholesky solve_mat",
+                found: (b.rows(), b.cols()),
+                expected: (self.dim(), b.cols()),
+            });
+        }
+        let mut x = Mat::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let sol = self.solve(b.col(j));
+            x.col_mut(j).copy_from_slice(&sol);
+        }
+        Ok(x)
+    }
+
+    /// Solve only the forward half, `L y = b` (used by kriging where
+    /// `kᵀ K⁻¹ k` is computed as `‖L⁻¹ k‖²`).
+    pub fn solve_forward(&self, b: &[f64]) -> Vec<f64> {
+        forward_sub(&self.l, b).expect("Cholesky factor is nonsingular")
+    }
+
+    /// `log det(A) = 2 Σ log L[i,i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Quadratic form `bᵀ A⁻¹ b`, computed stably as `‖L⁻¹ b‖²`.
+    pub fn quad_form(&self, b: &[f64]) -> f64 {
+        let y = self.solve_forward(b);
+        crate::dot(&y, &y)
+    }
+
+    /// Explicit inverse (only used in small kriging systems and tests).
+    pub fn inverse(&self) -> Mat {
+        self.solve_mat(&Mat::identity(self.dim())).expect("identity has matching dims")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd3() -> Mat {
+        Mat::from_rows(3, 3, &[4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0])
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let l = c.factor_l();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        assert!(rec.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn upper_triangle_of_input_is_ignored() {
+        let a = spd3();
+        let mut poisoned = a.clone();
+        poisoned[(0, 2)] = 1e6;
+        let c1 = Cholesky::factor(&a).unwrap();
+        let c2 = Cholesky::factor(&poisoned).unwrap();
+        assert!(c1.factor_l().approx_eq(c2.factor_l(), 0.0));
+    }
+
+    #[test]
+    fn solve_inverts() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = c.solve(&b);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_direct_2x2() {
+        let a = Mat::from_rows(2, 2, &[3.0, 1.0, 1.0, 2.0]);
+        let c = Cholesky::factor(&a).unwrap();
+        let det: f64 = 3.0 * 2.0 - 1.0;
+        assert!((c.log_det() - det.ln()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn quad_form_matches_solve() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let b = [0.3, 1.0, -0.7];
+        let x = c.solve(&b);
+        let qf_direct: f64 = b.iter().zip(&x).map(|(bi, xi)| bi * xi).sum();
+        assert!((c.quad_form(&b) - qf_direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_spd_detected() {
+        let a = Mat::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NotSpd(_))));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-one matrix: PSD but not PD.
+        let a = Mat::from_rows(2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        let (c, jitter) = Cholesky::factor_with_jitter(&a, 1e-10, 12).unwrap();
+        assert!(jitter > 0.0);
+        assert_eq!(c.dim(), 2);
+    }
+
+    #[test]
+    fn jitter_gives_up_eventually() {
+        let a = Mat::from_rows(2, 2, &[-1e6, 0.0, 0.0, -1e6]);
+        assert!(Cholesky::factor_with_jitter(&a, 1e-12, 3).is_err());
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::factor(&a).unwrap().inverse();
+        let id = a.matmul(&inv).unwrap();
+        assert!(id.approx_eq(&Mat::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Cholesky::factor(&Mat::zeros(2, 3)).is_err());
+    }
+
+    proptest! {
+        /// Random SPD matrices (built as B Bᵀ + n·I) factor and reconstruct.
+        #[test]
+        fn prop_factor_reconstructs(seed in 0u64..500, n in 1usize..12) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let b = Mat::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0));
+            let mut a = b.matmul(&b.transpose()).unwrap();
+            for i in 0..n {
+                a[(i, i)] += n as f64;
+            }
+            let c = Cholesky::factor(&a).unwrap();
+            let l = c.factor_l();
+            let rec = l.matmul(&l.transpose()).unwrap();
+            prop_assert!(rec.approx_eq(&a, 1e-9 * (n as f64)));
+        }
+
+        /// Solving then multiplying recovers the right-hand side.
+        #[test]
+        fn prop_solve_roundtrip(seed in 0u64..500, n in 1usize..12) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabcd);
+            let b = Mat::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0));
+            let mut a = b.matmul(&b.transpose()).unwrap();
+            for i in 0..n {
+                a[(i, i)] += n as f64;
+            }
+            let rhs: Vec<f64> = (0..n).map(|_| rng.random_range(-5.0..5.0)).collect();
+            let c = Cholesky::factor(&a).unwrap();
+            let x = c.solve(&rhs);
+            let r = a.matvec(&x);
+            for (ri, bi) in r.iter().zip(&rhs) {
+                prop_assert!((ri - bi).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by factorizations and solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix dimensions are incompatible with the requested operation.
+    DimMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions that were found.
+        found: (usize, usize),
+        /// Dimensions that were expected.
+        expected: (usize, usize),
+    },
+    /// The matrix is not (numerically) symmetric positive definite; the
+    /// payload is the index of the pivot that failed.
+    NotSpd(usize),
+    /// A triangular solve hit a (near-)zero diagonal element.
+    SingularDiagonal(usize),
+    /// A least-squares system was rank-deficient.
+    RankDeficient,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimMismatch { op, found, expected } => write!(
+                f,
+                "dimension mismatch in {op}: found {}x{}, expected {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            LinalgError::NotSpd(k) => {
+                write!(f, "matrix is not positive definite (pivot {k} is non-positive)")
+            }
+            LinalgError::SingularDiagonal(k) => {
+                write!(f, "triangular matrix has a near-zero diagonal at index {k}")
+            }
+            LinalgError::RankDeficient => write!(f, "least-squares system is rank deficient"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimMismatch { op: "gemm", found: (2, 3), expected: (3, 3) };
+        assert!(e.to_string().contains("gemm"));
+        assert!(LinalgError::NotSpd(4).to_string().contains("pivot 4"));
+        assert!(LinalgError::SingularDiagonal(1).to_string().contains("index 1"));
+        assert!(LinalgError::RankDeficient.to_string().contains("rank"));
+    }
+}

@@ -1,0 +1,346 @@
+//! Tile kernels of the tiled Cholesky factorization.
+//!
+//! A tiled Cholesky of an `N x N` tile matrix performs, per step `k`:
+//! `POTRF(A[k][k])`, then `TRSM(A[k][k], A[i][k])` for `i > k`, then
+//! `SYRK(A[i][k], A[i][i])` and `GEMM(A[i][k], A[j][k], A[i][j])` for
+//! `i > j > k`. These four kernels are what the real executor runs on
+//! actual tiles, and their flop counts calibrate the simulated durations.
+
+use crate::{Cholesky, LinalgError, Mat};
+
+/// The four kernels of the tiled Cholesky plus the application-specific
+/// tasks of the geostatistics pipeline. Used by both the real executor and
+/// the duration models of the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TileKernel {
+    /// Cholesky factorization of a diagonal tile.
+    Potrf,
+    /// Triangular solve of a sub-diagonal tile against a factored diagonal.
+    Trsm,
+    /// Symmetric rank-k update of a diagonal tile.
+    Syrk,
+    /// General update of an off-diagonal tile.
+    Gemm,
+    /// Covariance-matrix tile generation (CPU-only in the paper).
+    Generate,
+    /// Solve-phase triangular solve against the factored matrix.
+    SolveTrsm,
+    /// Log-determinant contribution of a factored diagonal tile.
+    Determinant,
+    /// Dot-product tile task of the likelihood evaluation.
+    DotProduct,
+}
+
+impl TileKernel {
+    /// All kernel kinds, in a stable order.
+    pub const ALL: [TileKernel; 8] = [
+        TileKernel::Potrf,
+        TileKernel::Trsm,
+        TileKernel::Syrk,
+        TileKernel::Gemm,
+        TileKernel::Generate,
+        TileKernel::SolveTrsm,
+        TileKernel::Determinant,
+        TileKernel::DotProduct,
+    ];
+
+    /// Short lower-case name (used in traces and CSV output).
+    pub fn name(self) -> &'static str {
+        match self {
+            TileKernel::Potrf => "potrf",
+            TileKernel::Trsm => "trsm",
+            TileKernel::Syrk => "syrk",
+            TileKernel::Gemm => "gemm",
+            TileKernel::Generate => "generate",
+            TileKernel::SolveTrsm => "solve_trsm",
+            TileKernel::Determinant => "determinant",
+            TileKernel::DotProduct => "dot_product",
+        }
+    }
+
+    /// Whether the kernel can run on a GPU in our machine model. Generation
+    /// is CPU-only, exactly as in the paper ("generation only runs on CPUs").
+    /// The tiny reduction tasks are also kept on CPUs.
+    pub fn gpu_capable(self) -> bool {
+        matches!(
+            self,
+            TileKernel::Potrf | TileKernel::Trsm | TileKernel::Syrk | TileKernel::Gemm
+        )
+    }
+}
+
+/// Floating-point operation counts for a kernel on `b x b` tiles.
+///
+/// These are the classic dense-linear-algebra counts; they drive the
+/// simulator's duration model (`duration = flops / (gflops * 1e9)` with
+/// per-architecture efficiency factors).
+pub fn flops(kernel: TileKernel, b: usize) -> f64 {
+    let b = b as f64;
+    match kernel {
+        TileKernel::Potrf => b * b * b / 3.0,
+        TileKernel::Trsm => b * b * b,
+        TileKernel::Syrk => b * b * b,
+        TileKernel::Gemm => 2.0 * b * b * b,
+        // Matérn evaluation per element is far heavier than a flop; the
+        // constant reflects distance + Bessel-free exponential evaluation.
+        TileKernel::Generate => 40.0 * b * b,
+        TileKernel::SolveTrsm => b * b,
+        TileKernel::Determinant => 2.0 * b,
+        TileKernel::DotProduct => 2.0 * b,
+    }
+}
+
+/// `POTRF`: in-place Cholesky of a diagonal tile; the strictly-upper
+/// triangle is zeroed.
+pub fn potrf_tile(a: &mut Mat) -> crate::Result<()> {
+    let c = Cholesky::factor(a)?;
+    *a = c.factor_l().clone();
+    Ok(())
+}
+
+/// `TRSM` (right, lower, transposed): `B := B · L⁻ᵀ`, the update applied to
+/// sub-diagonal tiles after the diagonal `POTRF`.
+pub fn trsm_right_lt(l: &Mat, b: &mut Mat) -> crate::Result<()> {
+    if !l.is_square() || b.cols() != l.rows() {
+        return Err(LinalgError::DimMismatch {
+            op: "trsm_right_lt",
+            found: (b.rows(), b.cols()),
+            expected: (b.rows(), l.rows()),
+        });
+    }
+    let n = l.rows();
+    // Column sweep: X[:, j] = (B[:, j] - Σ_{k<j} X[:, k] · L[j, k]) / L[j, j]
+    // (solving X Lᵀ = B means columns of X satisfy a forward recurrence).
+    for j in 0..n {
+        let d = l[(j, j)];
+        if d.abs() < 1e-300 {
+            return Err(LinalgError::SingularDiagonal(j));
+        }
+        for k in 0..j {
+            let ljk = l[(j, k)];
+            if ljk == 0.0 {
+                continue;
+            }
+            let (ck, cj) = b.cols_mut_pair(k, j);
+            for (x, &y) in cj.iter_mut().zip(ck.iter()) {
+                *x -= ljk * y;
+            }
+        }
+        let inv = 1.0 / d;
+        for x in b.col_mut(j) {
+            *x *= inv;
+        }
+    }
+    Ok(())
+}
+
+/// `SYRK`: `C := C - A · Aᵀ` on a diagonal tile (only the lower triangle of
+/// `C` is meaningful afterwards; we update the full tile for simplicity).
+pub fn syrk_update(a: &Mat, c: &mut Mat) -> crate::Result<()> {
+    if c.rows() != a.rows() || c.cols() != a.rows() {
+        return Err(LinalgError::DimMismatch {
+            op: "syrk",
+            found: (c.rows(), c.cols()),
+            expected: (a.rows(), a.rows()),
+        });
+    }
+    gemm_update(a, a, c)
+}
+
+/// `GEMM`: `C := C - A · Bᵀ`, the off-diagonal trailing update.
+pub fn gemm_update(a: &Mat, b: &Mat, c: &mut Mat) -> crate::Result<()> {
+    if a.cols() != b.cols() || c.rows() != a.rows() || c.cols() != b.rows() {
+        return Err(LinalgError::DimMismatch {
+            op: "gemm_update",
+            found: (c.rows(), c.cols()),
+            expected: (a.rows(), b.rows()),
+        });
+    }
+    // C[:, j] -= Σ_k A[:, k] * B[j, k]; inner loop is a contiguous axpy.
+    for j in 0..c.cols() {
+        for k in 0..a.cols() {
+            let bjk = b[(j, k)];
+            if bjk == 0.0 {
+                continue;
+            }
+            let ak = a.col(k);
+            let cj = c.col_mut(j);
+            for (cij, &aik) in cj.iter_mut().zip(ak) {
+                *cij -= aik * bjk;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Mat::from_fn(rows, cols, |_, _| rng.random_range(-1.0..1.0))
+    }
+
+    fn rand_spd(n: usize, seed: u64) -> Mat {
+        let b = rand_mat(n, n, seed);
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64 + 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn potrf_tile_matches_cholesky() {
+        let a = rand_spd(5, 7);
+        let mut t = a.clone();
+        potrf_tile(&mut t).unwrap();
+        let c = Cholesky::factor(&a).unwrap();
+        assert!(t.approx_eq(c.factor_l(), 1e-12));
+    }
+
+    #[test]
+    fn trsm_right_lt_solves_xlt_eq_b() {
+        let a = rand_spd(4, 1);
+        let mut l = a.clone();
+        potrf_tile(&mut l).unwrap();
+        let b0 = rand_mat(6, 4, 2);
+        let mut x = b0.clone();
+        trsm_right_lt(&l, &mut x).unwrap();
+        // X Lᵀ must equal B.
+        let rec = x.matmul(&l.transpose()).unwrap();
+        assert!(rec.approx_eq(&b0, 1e-10));
+    }
+
+    #[test]
+    fn gemm_update_subtracts_product() {
+        let a = rand_mat(3, 4, 3);
+        let b = rand_mat(5, 4, 4);
+        let c0 = rand_mat(3, 5, 5);
+        let mut c = c0.clone();
+        gemm_update(&a, &b, &mut c).unwrap();
+        let expect = c0.sub(&a.matmul(&b.transpose()).unwrap()).unwrap();
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn syrk_is_gemm_with_itself() {
+        let a = rand_mat(4, 3, 6);
+        let c0 = rand_spd(4, 8);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        syrk_update(&a, &mut c1).unwrap();
+        gemm_update(&a, &a, &mut c2).unwrap();
+        assert!(c1.approx_eq(&c2, 0.0));
+    }
+
+    /// End-to-end: a 3x3-tile tiled Cholesky via the kernels equals the
+    /// dense factorization of the assembled matrix.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index symmetry mirrors the math
+    fn tiled_cholesky_equals_dense() {
+        let nt = 3; // tiles per dimension
+        let bs = 4; // tile size
+        let n = nt * bs;
+        let dense = rand_spd(n, 42);
+
+        // Split into tiles (store all; only lower triangle used).
+        let tile = |m: &Mat, ti: usize, tj: usize| {
+            Mat::from_fn(bs, bs, |i, j| m[(ti * bs + i, tj * bs + j)])
+        };
+        let mut tiles: Vec<Vec<Mat>> =
+            (0..nt).map(|i| (0..nt).map(|j| tile(&dense, i, j)).collect()).collect();
+
+        for k in 0..nt {
+            let mut diag = tiles[k][k].clone();
+            potrf_tile(&mut diag).unwrap();
+            tiles[k][k] = diag.clone();
+            for i in k + 1..nt {
+                let mut t = tiles[i][k].clone();
+                trsm_right_lt(&diag, &mut t).unwrap();
+                tiles[i][k] = t;
+            }
+            for i in k + 1..nt {
+                let aik = tiles[i][k].clone();
+                let mut cii = tiles[i][i].clone();
+                syrk_update(&aik, &mut cii).unwrap();
+                tiles[i][i] = cii;
+                for j in k + 1..i {
+                    let ajk = tiles[j][k].clone();
+                    let mut cij = tiles[i][j].clone();
+                    gemm_update(&aik, &ajk, &mut cij).unwrap();
+                    tiles[i][j] = cij;
+                }
+            }
+        }
+
+        let dense_l = Cholesky::factor(&dense).unwrap().factor_l().clone();
+        // Compare lower triangle tile by tile.
+        for ti in 0..nt {
+            for tj in 0..=ti {
+                for i in 0..bs {
+                    for j in 0..bs {
+                        let gi = ti * bs + i;
+                        let gj = tj * bs + j;
+                        if gj > gi {
+                            continue;
+                        }
+                        let got = tiles[ti][tj][(i, j)];
+                        let want = dense_l[(gi, gj)];
+                        assert!(
+                            (got - want).abs() < 1e-9,
+                            "tile ({ti},{tj}) elem ({i},{j}): {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flop_counts_scale_cubically_for_blas3() {
+        for k in [TileKernel::Potrf, TileKernel::Trsm, TileKernel::Syrk, TileKernel::Gemm] {
+            let r = flops(k, 64) / flops(k, 32);
+            assert!((r - 8.0).abs() < 1e-12, "{k:?} not cubic");
+        }
+        // Generation is quadratic in tile size.
+        let r = flops(TileKernel::Generate, 64) / flops(TileKernel::Generate, 32);
+        assert!((r - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_dominates_other_kernels() {
+        let b = 960;
+        assert!(flops(TileKernel::Gemm, b) > flops(TileKernel::Trsm, b));
+        assert!(flops(TileKernel::Trsm, b) > flops(TileKernel::Potrf, b));
+        assert!(flops(TileKernel::Gemm, b) > flops(TileKernel::Generate, b));
+    }
+
+    #[test]
+    fn gpu_capability_matches_paper() {
+        assert!(!TileKernel::Generate.gpu_capable(), "generation is CPU-only in the paper");
+        assert!(TileKernel::Gemm.gpu_capable());
+        assert!(TileKernel::Potrf.gpu_capable());
+    }
+
+    #[test]
+    fn kernel_names_unique() {
+        let mut names: Vec<_> = TileKernel::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TileKernel::ALL.len());
+    }
+
+    #[test]
+    fn dim_mismatches_rejected() {
+        let l = rand_spd(3, 0);
+        let mut b = Mat::zeros(2, 4);
+        assert!(trsm_right_lt(&l, &mut b).is_err());
+        let a = Mat::zeros(3, 2);
+        let mut c = Mat::zeros(3, 4);
+        assert!(syrk_update(&a, &mut c).is_err());
+        assert!(gemm_update(&a, &Mat::zeros(4, 3), &mut c).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Small statistics helpers used by the GP fitter and the evaluation
+//! harness, including the paper's pooled replicate-variance estimator.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance; `0.0` when fewer than two samples.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// The paper's noise-variance estimator (Section IV-D):
+///
+/// With `S = {x ∈ D | n(x) > 1}` the set of replicated designs,
+/// `σ̂²_N = (Σ_{x∈S} Σ_{y(x)} (y(x) − ȳ(x))²) / (Σ_{x∈S} n(x) − 1)`.
+///
+/// `groups` holds the observations per replicated location (groups with
+/// fewer than two observations are ignored). Returns `None` when no
+/// location is replicated, in which case callers fall back to a prior.
+pub fn pooled_replicate_variance(groups: &[Vec<f64>]) -> Option<f64> {
+    let mut ss = 0.0;
+    let mut count = 0usize;
+    let mut any = false;
+    for g in groups {
+        if g.len() < 2 {
+            continue;
+        }
+        any = true;
+        let m = mean(g);
+        ss += g.iter().map(|y| (y - m) * (y - m)).sum::<f64>();
+        count += g.len();
+    }
+    if !any || count < 2 {
+        return None;
+    }
+    Some(ss / (count - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(sample_variance(&[5.0]), 0.0);
+        // Var of {1,2,3} = 1.
+        assert!((sample_variance(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pooled_variance_single_group_matches_biasedish_form() {
+        // One group of n observations: σ̂² = SS / (n-1) = sample variance.
+        let g = vec![vec![1.0, 2.0, 3.0, 4.0]];
+        let got = pooled_replicate_variance(&g).unwrap();
+        assert!((got - sample_variance(&g[0])).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pooled_variance_combines_groups() {
+        // Two groups with identical spread; pooling uses Σn(x) - 1 in the
+        // denominator per the paper's formula.
+        let g = vec![vec![0.0, 2.0], vec![10.0, 12.0]];
+        // SS = 2 + 2 = 4, denom = 4 - 1 = 3.
+        let got = pooled_replicate_variance(&g).unwrap();
+        assert!((got - 4.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unreplicated_locations_are_ignored() {
+        let g = vec![vec![100.0], vec![0.0, 2.0], vec![7.0]];
+        let got = pooled_replicate_variance(&g).unwrap();
+        // Only the middle group counts: SS = 2, denom = 1.
+        assert!((got - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn no_replicates_returns_none() {
+        assert_eq!(pooled_replicate_variance(&[vec![1.0], vec![2.0]]), None);
+        assert_eq!(pooled_replicate_variance(&[]), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! Small dense-vector helpers shared by the solvers and kernels.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Four-lane accumulation gives the optimizer freedom to vectorize
+    // without relying on float associativity.
+    let mut acc = [0.0_f64; 4];
+    let chunks = x.len() / 4;
+    for k in 0..chunks {
+        let i = 4 * k;
+        acc[0] += x[i] * y[i];
+        acc[1] += x[i + 1] * y[i + 1];
+        acc[2] += x[i + 2] * y[i + 2];
+        acc[3] += x[i + 3] * y[i + 3];
+    }
+    let mut tail = 0.0;
+    for i in 4 * chunks..x.len() {
+        tail += x[i] * y[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// `y := y + a * x`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `x := s * x`.
+#[inline]
+pub fn scale_in_place(s: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_handles_all_lengths() {
+        // Exercise the unrolled path and the tail path.
+        for n in 0..13 {
+            let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+            let expect: f64 = (0..n).map(|i| (i * (i + 1)) as f64).sum();
+            assert_eq!(dot(&x, &y), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn norm2_pythagoras() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn scale_in_place_scales() {
+        let mut x = [1.0, -2.0];
+        scale_in_place(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

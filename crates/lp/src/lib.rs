@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Linear-programming substrate: a dense two-phase primal simplex solver
+//! and the heterogeneous makespan lower-bound model of the paper.
+//!
+//! The paper (Section II/IV) relies on the linear program of Nesi et
+//! al. (ICPP 2021) to (i) compute the ideal number of tasks each
+//! heterogeneous node should receive and (ii) obtain an optimistic makespan
+//! lower bound `LP(n)` per number of nodes `n`. The GP-discontinuous
+//! strategy then (a) models the *difference* between observations and
+//! `LP(n)` and (b) excludes from the search space every `n` whose bound is
+//! already worse than the measured all-nodes duration.
+//!
+//! # Quick example
+//!
+//! ```
+//! use adaphet_lp::{LpProblem, Sense, ConstraintOp, LpOutcome};
+//!
+//! // max x + y  s.t. x + 2y <= 4, 3x + y <= 6  (optimum at (1.6, 1.2)).
+//! let mut lp = LpProblem::new(2, Sense::Maximize, vec![1.0, 1.0]);
+//! lp.add_constraint(vec![1.0, 2.0], ConstraintOp::Le, 4.0);
+//! lp.add_constraint(vec![3.0, 1.0], ConstraintOp::Le, 6.0);
+//! match lp.solve() {
+//!     LpOutcome::Optimal(sol) => {
+//!         assert!((sol.objective - 2.8).abs() < 1e-9);
+//!     }
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+mod makespan;
+mod simplex;
+
+pub use makespan::{proportional_share_bound, MakespanModel, PhaseBound, PhaseSpec, ShareBound};
+pub use simplex::{ConstraintOp, LpOutcome, LpProblem, LpSolution, Sense};

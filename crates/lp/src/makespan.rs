@@ -1,0 +1,301 @@
+//! Heterogeneous makespan lower-bound model (the "LP" of the paper).
+//!
+//! For a phase with total work `W` distributed over nodes with per-unit
+//! times `t_i`, the continuous relaxation
+//!
+//! ```text
+//! minimize  T
+//! s.t.      Σ_i w_i  = W
+//!           w_i t_i <= T       for every node i
+//!           w_i     >= 0
+//! ```
+//!
+//! is a valid lower bound on the phase makespan (it ignores communications,
+//! integrality of tasks and the critical path — exactly the properties the
+//! paper ascribes to its LP: "optimistic and does not consider
+//! communications nor critical path"). Its solution also yields the ideal
+//! share `w_i` of work per node, which the heterogeneous data distribution
+//! uses.
+//!
+//! Because phases of the application may overlap, the per-iteration lower
+//! bound is the *maximum* of the per-phase bounds.
+
+use crate::{ConstraintOp, LpOutcome, LpProblem, Sense};
+
+/// Description of one phase for the bound computation.
+#[derive(Debug, Clone)]
+pub struct PhaseSpec {
+    /// Phase label (trace/debug output only).
+    pub name: &'static str,
+    /// Total work in arbitrary units (e.g. weighted tiles or flops).
+    pub work_units: f64,
+    /// Time one unit of work takes on each participating node. Use
+    /// `f64::INFINITY` for nodes that cannot run this phase.
+    pub node_unit_times: Vec<f64>,
+}
+
+/// Closed-form / LP result for one phase.
+#[derive(Debug, Clone)]
+pub struct PhaseBound {
+    /// Phase label.
+    pub name: &'static str,
+    /// Lower bound on the phase makespan.
+    pub makespan: f64,
+    /// Ideal work share per node (same order as `node_unit_times`).
+    pub shares: Vec<f64>,
+}
+
+/// Closed-form solution of the phase LP (water-filling over speeds):
+/// `T = W / Σ_i (1/t_i)` and `w_i = T / t_i`.
+///
+/// Returned by value so the simplex path can be validated against it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShareBound {
+    /// Lower bound on the makespan.
+    pub makespan: f64,
+    /// Ideal work share per node.
+    pub shares: Vec<f64>,
+}
+
+/// Closed-form proportional-share bound. Infinite `t_i` entries receive a
+/// zero share. Returns a bound of `f64::INFINITY` when no node can execute
+/// the work (or there are no nodes) and the work is positive.
+pub fn proportional_share_bound(work: f64, unit_times: &[f64]) -> ShareBound {
+    assert!(work >= 0.0, "work must be non-negative");
+    let inv_sum: f64 =
+        unit_times.iter().filter(|t| t.is_finite()).map(|t| 1.0 / t).sum();
+    if work == 0.0 {
+        return ShareBound { makespan: 0.0, shares: vec![0.0; unit_times.len()] };
+    }
+    if inv_sum <= 0.0 {
+        return ShareBound { makespan: f64::INFINITY, shares: vec![0.0; unit_times.len()] };
+    }
+    let t = work / inv_sum;
+    let shares = unit_times
+        .iter()
+        .map(|&ti| if ti.is_finite() { t / ti } else { 0.0 })
+        .collect();
+    ShareBound { makespan: t, shares }
+}
+
+/// The makespan lower-bound model, solved through the simplex solver (and
+/// validated against [`proportional_share_bound`] in tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MakespanModel;
+
+impl MakespanModel {
+    /// Solve the phase LP with the simplex solver.
+    ///
+    /// Variables are `[w_0, …, w_{k-1}, T]` over the finite-speed nodes.
+    pub fn phase_bound(spec: &PhaseSpec) -> PhaseBound {
+        let usable: Vec<usize> = spec
+            .node_unit_times
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_finite())
+            .map(|(i, _)| i)
+            .collect();
+        let k = usable.len();
+        if spec.work_units == 0.0 {
+            return PhaseBound {
+                name: spec.name,
+                makespan: 0.0,
+                shares: vec![0.0; spec.node_unit_times.len()],
+            };
+        }
+        if k == 0 {
+            return PhaseBound {
+                name: spec.name,
+                makespan: f64::INFINITY,
+                shares: vec![0.0; spec.node_unit_times.len()],
+            };
+        }
+        let n_vars = k + 1; // shares + T
+        let mut obj = vec![0.0; n_vars];
+        obj[k] = 1.0; // minimize T
+        let mut lp = LpProblem::new(n_vars, Sense::Minimize, obj);
+        // Σ w = W
+        let mut row = vec![0.0; n_vars];
+        for r in row.iter_mut().take(k) {
+            *r = 1.0;
+        }
+        lp.add_constraint(row, ConstraintOp::Eq, spec.work_units);
+        // w_i t_i - T <= 0
+        for (slot, &node) in usable.iter().enumerate() {
+            let mut row = vec![0.0; n_vars];
+            row[slot] = spec.node_unit_times[node];
+            row[k] = -1.0;
+            lp.add_constraint(row, ConstraintOp::Le, 0.0);
+        }
+        match lp.solve() {
+            LpOutcome::Optimal(sol) => {
+                let mut shares = vec![0.0; spec.node_unit_times.len()];
+                for (slot, &node) in usable.iter().enumerate() {
+                    shares[node] = sol.x[slot];
+                }
+                PhaseBound { name: spec.name, makespan: sol.x[k], shares }
+            }
+            // The phase LP is always feasible and bounded for positive
+            // finite speeds; reaching here indicates a degenerate spec.
+            _ => PhaseBound {
+                name: spec.name,
+                makespan: f64::INFINITY,
+                shares: vec![0.0; spec.node_unit_times.len()],
+            },
+        }
+    }
+
+    /// Lower bound for an iteration whose phases may fully overlap:
+    /// `max_phase LP(phase)`.
+    pub fn iteration_bound(phases: &[PhaseSpec]) -> f64 {
+        phases
+            .iter()
+            .map(|p| Self::phase_bound(p).makespan)
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn closed_form_homogeneous() {
+        // 4 identical nodes, 1 s per unit, 8 units → 2 s, 2 units each.
+        let b = proportional_share_bound(8.0, &[1.0; 4]);
+        assert!((b.makespan - 2.0).abs() < 1e-12);
+        for s in &b.shares {
+            assert!((s - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn closed_form_heterogeneous() {
+        // Speeds 1 and 2 units/s (times 1.0 and 0.5): fast node gets 2/3.
+        let b = proportional_share_bound(3.0, &[1.0, 0.5]);
+        assert!((b.makespan - 1.0).abs() < 1e-12);
+        assert!((b.shares[0] - 1.0).abs() < 1e-12);
+        assert!((b.shares[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_times_excluded() {
+        let b = proportional_share_bound(4.0, &[1.0, f64::INFINITY]);
+        assert!((b.makespan - 4.0).abs() < 1e-12);
+        assert_eq!(b.shares[1], 0.0);
+    }
+
+    #[test]
+    fn no_capable_node_is_infinite() {
+        let b = proportional_share_bound(1.0, &[f64::INFINITY]);
+        assert!(b.makespan.is_infinite());
+        let b = proportional_share_bound(1.0, &[]);
+        assert!(b.makespan.is_infinite());
+    }
+
+    #[test]
+    fn zero_work_is_zero_bound() {
+        let b = proportional_share_bound(0.0, &[f64::INFINITY, 1.0]);
+        assert_eq!(b.makespan, 0.0);
+        let p = MakespanModel::phase_bound(&PhaseSpec {
+            name: "empty",
+            work_units: 0.0,
+            node_unit_times: vec![1.0],
+        });
+        assert_eq!(p.makespan, 0.0);
+    }
+
+    #[test]
+    fn simplex_matches_closed_form() {
+        let times = vec![1.0, 0.5, 0.25, 2.0, f64::INFINITY];
+        let work = 13.0;
+        let cf = proportional_share_bound(work, &times);
+        let lp = MakespanModel::phase_bound(&PhaseSpec {
+            name: "factorization",
+            work_units: work,
+            node_unit_times: times,
+        });
+        assert!((cf.makespan - lp.makespan).abs() < 1e-7, "{} vs {}", cf.makespan, lp.makespan);
+        // Shares both sum to the work; in the LP optimum each busy node
+        // finishes exactly at T, matching the closed form.
+        let sum: f64 = lp.shares.iter().sum();
+        assert!((sum - work).abs() < 1e-7);
+        for (a, b) in cf.shares.iter().zip(&lp.shares) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn iteration_bound_is_max_over_phases() {
+        let gen = PhaseSpec {
+            name: "generation",
+            work_units: 10.0,
+            node_unit_times: vec![1.0, 1.0],
+        };
+        let fact = PhaseSpec {
+            name: "factorization",
+            work_units: 4.0,
+            node_unit_times: vec![1.0, 1.0],
+        };
+        let b = MakespanModel::iteration_bound(&[gen.clone(), fact]);
+        assert!((b - MakespanModel::phase_bound(&gen).makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adding_nodes_never_increases_bound() {
+        // Monotonicity: the LP bound decreases (weakly) with more nodes —
+        // this is why the *bound* alone cannot find the optimum and the GP
+        // models the residual.
+        let mut times = vec![0.5];
+        let mut prev = proportional_share_bound(100.0, &times).makespan;
+        for t in [0.5, 1.0, 1.0, 2.0, 4.0, 8.0] {
+            times.push(t);
+            let cur = proportional_share_bound(100.0, &times).makespan;
+            assert!(cur <= prev + 1e-12);
+            prev = cur;
+        }
+    }
+
+    proptest! {
+        /// Simplex and closed form agree on random instances.
+        #[test]
+        fn prop_simplex_equals_closed_form(
+            work in 0.1f64..50.0,
+            times in proptest::collection::vec(0.05f64..5.0, 1..8),
+        ) {
+            let cf = proportional_share_bound(work, &times);
+            let lp = MakespanModel::phase_bound(&PhaseSpec {
+                name: "phase",
+                work_units: work,
+                node_unit_times: times,
+            });
+            prop_assert!((cf.makespan - lp.makespan).abs() < 1e-6 * cf.makespan.max(1.0));
+        }
+
+        /// The bound is a true lower bound on *any* feasible integral
+        /// assignment's makespan.
+        #[test]
+        fn prop_bound_below_any_assignment(
+            seed in 0u64..200,
+            times in proptest::collection::vec(0.05f64..5.0, 1..6),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let tasks = rng.random_range(1usize..40);
+            // Random assignment of unit tasks to nodes.
+            let mut per_node = vec![0usize; times.len()];
+            for _ in 0..tasks {
+                let n = rng.random_range(0..times.len());
+                per_node[n] += 1;
+            }
+            let makespan: f64 = per_node
+                .iter()
+                .zip(&times)
+                .map(|(&c, &t)| c as f64 * t)
+                .fold(0.0, f64::max);
+            let bound = proportional_share_bound(tasks as f64, &times).makespan;
+            prop_assert!(bound <= makespan + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Registered data blocks and their ownership.
+
+use crate::platform::NodeId;
+
+/// Identifier of a registered data block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataHandle(pub usize);
+
+/// Registry of data blocks: size and *submission-time* owner.
+///
+/// As in StarPU, every block used by tasks is registered with a node that
+/// owns it; tasks execute on the owner of the data they write, and
+/// [`DataRegistry::set_owner`] (driven by the runtime's `migrate`) changes
+/// the placement of subsequently submitted tasks.
+#[derive(Debug, Clone, Default)]
+pub struct DataRegistry {
+    sizes: Vec<usize>,
+    owners: Vec<NodeId>,
+}
+
+impl DataRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        DataRegistry::default()
+    }
+
+    /// Register a block of `bytes` owned by `owner`.
+    pub fn register(&mut self, bytes: usize, owner: NodeId) -> DataHandle {
+        self.sizes.push(bytes);
+        self.owners.push(owner);
+        DataHandle(self.sizes.len() - 1)
+    }
+
+    /// Size of a block in bytes.
+    pub fn size(&self, h: DataHandle) -> usize {
+        self.sizes[h.0]
+    }
+
+    /// Current (submission-time) owner of a block.
+    pub fn owner(&self, h: DataHandle) -> NodeId {
+        self.owners[h.0]
+    }
+
+    /// Change the submission-time owner of a block.
+    pub fn set_owner(&mut self, h: DataHandle, owner: NodeId) {
+        self.owners[h.0] = owner;
+    }
+
+    /// Number of registered blocks.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_query() {
+        let mut r = DataRegistry::new();
+        let a = r.register(100, NodeId(0));
+        let b = r.register(200, NodeId(1));
+        assert_eq!(r.size(a), 100);
+        assert_eq!(r.owner(b), NodeId(1));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn ownership_changes() {
+        let mut r = DataRegistry::new();
+        let a = r.register(8, NodeId(0));
+        r.set_owner(a, NodeId(3));
+        assert_eq!(r.owner(a), NodeId(3));
+    }
+}

@@ -1,0 +1,389 @@
+//! Flow-level network model with max-min fair bandwidth sharing.
+//!
+//! This is the SimGrid-style substrate behind the simulated runtime: every
+//! in-flight data transfer is a *flow* crossing a set of *links* (source
+//! NIC up, shared backbone, destination NIC down). Whenever a flow starts
+//! or finishes, bandwidth is re-allocated by progressive filling: links are
+//! saturated in order of their fair share, and the flows bottlenecked there
+//! are frozen at that rate.
+//!
+//! The model is what produces the network-contention "knee" of the paper's
+//! response curves: past a certain node count the shared backbone (or the
+//! slow partition NICs) saturates and adding nodes stops helping.
+
+/// Identifier of a link inside a [`FlowNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// Identifier of a flow inside a [`FlowNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub usize);
+
+#[derive(Debug, Clone)]
+struct Link {
+    /// Capacity in bytes per second.
+    capacity: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    route: Vec<LinkId>,
+    remaining: f64,
+    rate: f64,
+    done: bool,
+}
+
+/// A set of capacitated links and the flows currently crossing them.
+///
+/// Time is advanced externally ([`FlowNet::advance_to`]); the structure
+/// tracks per-flow remaining bytes and the current max-min fair rates.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNet {
+    links: Vec<Link>,
+    flows: Vec<Flow>,
+    active: Vec<usize>,
+    now: f64,
+}
+
+impl FlowNet {
+    /// Empty network at time zero.
+    pub fn new() -> Self {
+        FlowNet::default()
+    }
+
+    /// Add a link with `capacity` bytes/s.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not positive.
+    pub fn add_link(&mut self, capacity: f64) -> LinkId {
+        assert!(capacity > 0.0, "link capacity must be positive");
+        self.links.push(Link { capacity });
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Current simulation time of the network.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of flows still transferring.
+    pub fn active_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Current rate of a flow (0 when done).
+    pub fn flow_rate(&self, f: FlowId) -> f64 {
+        if self.flows[f.0].done {
+            0.0
+        } else {
+            self.flows[f.0].rate
+        }
+    }
+
+    /// Start a flow of `bytes` over `route` at the network's current time.
+    /// Rates of all flows are re-balanced. A zero-byte flow completes at
+    /// the next `advance_to`/`next_completion` query.
+    ///
+    /// # Panics
+    /// Panics if the route references an unknown link or is empty.
+    pub fn start_flow(&mut self, route: Vec<LinkId>, bytes: f64) -> FlowId {
+        assert!(!route.is_empty(), "flow route cannot be empty");
+        for l in &route {
+            assert!(l.0 < self.links.len(), "unknown link in route");
+        }
+        assert!(bytes >= 0.0, "flow size must be non-negative");
+        let id = self.flows.len();
+        self.flows.push(Flow { route, remaining: bytes, rate: 0.0, done: false });
+        self.active.push(id);
+        self.rebalance();
+        FlowId(id)
+    }
+
+    /// Time at which the next active flow completes, if any.
+    pub fn next_completion(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for &i in &self.active {
+            let f = &self.flows[i];
+            let t = if f.remaining <= 0.0 {
+                self.now
+            } else if f.rate > 0.0 {
+                self.now + f.remaining / f.rate
+            } else {
+                continue;
+            };
+            best = Some(match best {
+                None => t,
+                Some(b) => b.min(t),
+            });
+        }
+        best
+    }
+
+    /// Advance network time to `t`, returning the flows that completed (in
+    /// completion order). Rates are re-balanced after each completion.
+    ///
+    /// # Panics
+    /// Panics if `t` is before the current network time.
+    #[allow(clippy::while_let_loop)] // the two-condition exit reads better spelled out
+    pub fn advance_to(&mut self, t: f64) -> Vec<FlowId> {
+        assert!(t >= self.now - 1e-12, "cannot advance backwards: {t} < {}", self.now);
+        let mut completed = Vec::new();
+        loop {
+            let Some(next) = self.next_completion() else {
+                break;
+            };
+            if next > t + 1e-15 {
+                break;
+            }
+            let step = next.max(self.now);
+            self.integrate_to(step);
+            // Collect everything that finished at `step`.
+            let finished: Vec<usize> = self
+                .active
+                .iter()
+                .copied()
+                .filter(|&i| self.flows[i].remaining <= 1e-9)
+                .collect();
+            // Numerical safety: if nothing hit zero, force the closest one.
+            let finished = if finished.is_empty() {
+                let i = *self
+                    .active
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        self.flows[a]
+                            .remaining
+                            .partial_cmp(&self.flows[b].remaining)
+                            .unwrap()
+                    })
+                    .expect("active flows exist");
+                vec![i]
+            } else {
+                finished
+            };
+            for i in finished {
+                self.flows[i].done = true;
+                self.flows[i].remaining = 0.0;
+                completed.push(FlowId(i));
+            }
+            self.active.retain(|&i| !self.flows[i].done);
+            self.rebalance();
+        }
+        self.integrate_to(t);
+        completed
+    }
+
+    /// Move the clock to `t` (no completions in between).
+    fn integrate_to(&mut self, t: f64) {
+        let dt = t - self.now;
+        if dt > 0.0 {
+            for &i in &self.active {
+                let f = &mut self.flows[i];
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            }
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Progressive-filling max-min fair allocation.
+    fn rebalance(&mut self) {
+        for &i in &self.active {
+            self.flows[i].rate = 0.0;
+        }
+        let mut unfixed: Vec<usize> = self.active.clone();
+        let mut link_cap: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
+        while !unfixed.is_empty() {
+            // Count unfixed flows per link.
+            let mut counts = vec![0usize; self.links.len()];
+            for &i in &unfixed {
+                for l in &self.flows[i].route {
+                    counts[l.0] += 1;
+                }
+            }
+            // Bottleneck link: minimal fair share among used links.
+            let mut bottleneck: Option<(usize, f64)> = None;
+            for (l, &c) in counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let share = link_cap[l] / c as f64;
+                if bottleneck.is_none_or(|(_, s)| share < s) {
+                    bottleneck = Some((l, share));
+                }
+            }
+            let Some((bl, share)) = bottleneck else {
+                break;
+            };
+            // Fix flows crossing the bottleneck at the fair share.
+            let (through, rest): (Vec<usize>, Vec<usize>) = unfixed
+                .into_iter()
+                .partition(|&i| self.flows[i].route.iter().any(|l| l.0 == bl));
+            for &i in &through {
+                self.flows[i].rate = share;
+                for l in &self.flows[i].route {
+                    link_cap[l.0] = (link_cap[l.0] - share).max(0.0);
+                }
+            }
+            unfixed = rest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_flow_gets_bottleneck_bandwidth() {
+        let mut net = FlowNet::new();
+        let up = net.add_link(100.0);
+        let bb = net.add_link(50.0);
+        let down = net.add_link(100.0);
+        let f = net.start_flow(vec![up, bb, down], 500.0);
+        assert!((net.flow_rate(f) - 50.0).abs() < 1e-12);
+        assert!((net.next_completion().unwrap() - 10.0).abs() < 1e-9);
+        let done = net.advance_to(10.0);
+        assert_eq!(done, vec![f]);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_common_link_fairly() {
+        let mut net = FlowNet::new();
+        let shared = net.add_link(100.0);
+        let f1 = net.start_flow(vec![shared], 100.0);
+        let f2 = net.start_flow(vec![shared], 200.0);
+        assert!((net.flow_rate(f1) - 50.0).abs() < 1e-12);
+        assert!((net.flow_rate(f2) - 50.0).abs() < 1e-12);
+        // f1 completes at t=2; f2 then gets the full link, finishing the
+        // remaining 100 bytes in 1 s.
+        let done = net.advance_to(2.0);
+        assert_eq!(done, vec![f1]);
+        assert!((net.flow_rate(f2) - 100.0).abs() < 1e-12);
+        let done = net.advance_to(3.0);
+        assert_eq!(done, vec![f2]);
+    }
+
+    #[test]
+    fn max_min_respects_per_flow_bottlenecks() {
+        // f1: small private link (10) + shared (100); f2: shared only.
+        // Max-min: f1 = 10 (bottlenecked privately), f2 = 90.
+        let mut net = FlowNet::new();
+        let private = net.add_link(10.0);
+        let shared = net.add_link(100.0);
+        let f1 = net.start_flow(vec![private, shared], 1e9);
+        let f2 = net.start_flow(vec![shared], 1e9);
+        assert!((net.flow_rate(f1) - 10.0).abs() < 1e-9);
+        assert!((net.flow_rate(f2) - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(10.0);
+        let f = net.start_flow(vec![l], 0.0);
+        let done = net.advance_to(0.0);
+        assert_eq!(done, vec![f]);
+    }
+
+    #[test]
+    fn completions_are_ordered() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(100.0);
+        let big = net.start_flow(vec![l], 1000.0);
+        let small = net.start_flow(vec![l], 10.0);
+        let done = net.advance_to(100.0);
+        assert_eq!(done, vec![small, big]);
+    }
+
+    #[test]
+    fn advance_without_flows_moves_clock() {
+        let mut net = FlowNet::new();
+        net.add_link(1.0);
+        assert!(net.advance_to(5.0).is_empty());
+        assert_eq!(net.now(), 5.0);
+        assert_eq!(net.next_completion(), None);
+    }
+
+    #[test]
+    fn backbone_saturation_caps_aggregate_rate() {
+        // 8 node pairs, each NIC 100, backbone only 200: aggregate must be
+        // 200, i.e. 25 each — the contention knee of the paper.
+        let mut net = FlowNet::new();
+        let bb = net.add_link(200.0);
+        let mut flows = Vec::new();
+        for _ in 0..8 {
+            let up = net.add_link(100.0);
+            let down = net.add_link(100.0);
+            flows.push(net.start_flow(vec![up, bb, down], 1e9));
+        }
+        let total: f64 = flows.iter().map(|&f| net.flow_rate(f)).sum();
+        assert!((total - 200.0).abs() < 1e-6);
+        for &f in &flows {
+            assert!((net.flow_rate(f) - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance backwards")]
+    fn backwards_time_panics() {
+        let mut net = FlowNet::new();
+        net.add_link(1.0);
+        net.advance_to(5.0);
+        net.advance_to(1.0);
+    }
+
+    proptest! {
+        /// Conservation: no link ever carries more than its capacity, and
+        /// every flow eventually completes with total bytes accounted.
+        #[test]
+        fn prop_capacity_respected_and_all_complete(
+            seed in 0u64..300,
+            n_links in 1usize..6,
+            n_flows in 1usize..12,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut net = FlowNet::new();
+            let links: Vec<LinkId> =
+                (0..n_links).map(|_| net.add_link(rng.random_range(1.0..100.0))).collect();
+            let caps: Vec<f64> = (0..n_links).map(|i| net_link_cap(&net, i)).collect();
+            let mut flows = Vec::new();
+            for _ in 0..n_flows {
+                let route_len = rng.random_range(1..=n_links);
+                let mut route: Vec<LinkId> = links.clone();
+                // Random subset of distinct links.
+                for i in (1..route.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    route.swap(i, j);
+                }
+                route.truncate(route_len);
+                let bytes = rng.random_range(0.0..500.0);
+                flows.push((net.start_flow(route, bytes), bytes));
+
+                // Capacity check after each start.
+                let mut used = vec![0.0; n_links];
+                for (fid, _) in &flows {
+                    let rate = net.flow_rate(*fid);
+                    for l in flow_route(&net, *fid) {
+                        used[l] += rate;
+                    }
+                }
+                for (u, c) in used.iter().zip(&caps) {
+                    prop_assert!(*u <= c + 1e-6, "link overloaded: {u} > {c}");
+                }
+            }
+            // Everything completes in bounded time.
+            let done = net.advance_to(1e7);
+            prop_assert_eq!(done.len(), flows.len());
+        }
+    }
+
+    // Test helpers reaching into the structure.
+    fn net_link_cap(net: &FlowNet, l: usize) -> f64 {
+        net.links[l].capacity
+    }
+    fn flow_route(net: &FlowNet, f: FlowId) -> Vec<usize> {
+        net.flows[f.0].route.iter().map(|l| l.0).collect()
+    }
+}

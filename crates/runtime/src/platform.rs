@@ -1,0 +1,191 @@
+//! Cluster description: heterogeneous nodes and the interconnect.
+
+/// Index of a node within a [`Platform`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Hardware profile of one computational node.
+///
+/// Matches the granularity of the paper's Table II: CPU sockets/cores and
+/// zero or more GPU devices, plus the NIC bandwidth of the partition the
+/// node lives in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Human-readable machine name (e.g. `"chifflot"`).
+    pub name: String,
+    /// Number of CPU worker cores available to the runtime.
+    pub cpu_cores: usize,
+    /// Number of GPU devices.
+    pub gpus: usize,
+    /// Aggregate double-precision throughput of one CPU core, in GFLOP/s.
+    pub cpu_gflops_per_core: f64,
+    /// Double-precision throughput of one GPU device, in GFLOP/s.
+    pub gpu_gflops: f64,
+    /// NIC bandwidth in Gbit/s (full duplex: one up link, one down link).
+    pub nic_gbps: f64,
+}
+
+impl NodeSpec {
+    /// Peak node throughput for a task class that can use every resource,
+    /// in GFLOP/s — used to order nodes "fastest first" like the paper.
+    pub fn peak_gflops(&self) -> f64 {
+        self.cpu_cores as f64 * self.cpu_gflops_per_core + self.gpus as f64 * self.gpu_gflops
+    }
+
+    /// CPU-only throughput (the generation phase cannot use GPUs).
+    pub fn cpu_gflops(&self) -> f64 {
+        self.cpu_cores as f64 * self.cpu_gflops_per_core
+    }
+}
+
+/// Interconnect description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Shared backbone bandwidth in Gbit/s (e.g. the 2x100 Gb/s Ethernet of
+    /// Grid5000 or the InfiniBand FDR fabric of Santos Dumont).
+    pub backbone_gbps: f64,
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+}
+
+impl NetworkSpec {
+    /// Backbone capacity in bytes per second.
+    pub fn backbone_bytes_per_s(&self) -> f64 {
+        self.backbone_gbps * 1e9 / 8.0
+    }
+}
+
+/// A cluster: an ordered list of nodes (callers sort fastest-first, as the
+/// paper always uses "the n fastest nodes") and a network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// The nodes, fastest first by convention.
+    pub nodes: Vec<NodeSpec>,
+    /// The interconnect.
+    pub network: NetworkSpec,
+}
+
+impl Platform {
+    /// Build a platform, sorting nodes by decreasing peak throughput so
+    /// that "use n nodes" always means the n fastest — the paper's search
+    /// space reduction ("pick the n fastest nodes since trading a slow node
+    /// for a fast one is always detrimental").
+    pub fn new_sorted(mut nodes: Vec<NodeSpec>, network: NetworkSpec) -> Self {
+        nodes.sort_by(|a, b| {
+            b.peak_gflops()
+                .partial_cmp(&a.peak_gflops())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Platform { nodes, network }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the platform has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &NodeSpec {
+        &self.nodes[id.0]
+    }
+
+    /// Group the (sorted) nodes into maximal runs of identical hardware —
+    /// the "homogeneous machine groups" of the paper. Returns inclusive
+    /// `(first, last)` 1-based node counts per group, fastest group first;
+    /// this is exactly the input of `Trend::linear_with_group_dummies` and
+    /// of the UCB-struct action set.
+    pub fn homogeneous_groups(&self) -> Vec<(usize, usize)> {
+        let mut groups = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=self.nodes.len() {
+            let boundary = i == self.nodes.len()
+                || self.nodes[i].name != self.nodes[start].name
+                || (self.nodes[i].peak_gflops() - self.nodes[start].peak_gflops()).abs() > 1e-9;
+            if boundary {
+                groups.push((start + 1, i));
+                start = i;
+            }
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, cores: usize, gpus: usize, cpu: f64, gpu: f64) -> NodeSpec {
+        NodeSpec {
+            name: name.to_string(),
+            cpu_cores: cores,
+            gpus,
+            cpu_gflops_per_core: cpu,
+            gpu_gflops: gpu,
+            nic_gbps: 10.0,
+        }
+    }
+
+    #[test]
+    fn peak_combines_cpu_and_gpu() {
+        let n = node("x", 8, 2, 10.0, 500.0);
+        assert_eq!(n.peak_gflops(), 8.0 * 10.0 + 2.0 * 500.0);
+        assert_eq!(n.cpu_gflops(), 80.0);
+    }
+
+    #[test]
+    fn platform_sorts_fastest_first() {
+        let slow = node("s", 8, 0, 10.0, 0.0);
+        let fast = node("l", 8, 2, 10.0, 500.0);
+        let mid = node("m", 8, 1, 10.0, 500.0);
+        let p = Platform::new_sorted(
+            vec![slow.clone(), fast.clone(), mid.clone()],
+            NetworkSpec { backbone_gbps: 100.0, latency_s: 1e-5 },
+        );
+        assert_eq!(p.node(NodeId(0)).name, "l");
+        assert_eq!(p.node(NodeId(1)).name, "m");
+        assert_eq!(p.node(NodeId(2)).name, "s");
+    }
+
+    #[test]
+    fn homogeneous_groups_partition_nodes() {
+        let p = Platform::new_sorted(
+            vec![
+                node("l", 8, 2, 10.0, 500.0),
+                node("l", 8, 2, 10.0, 500.0),
+                node("m", 8, 1, 10.0, 300.0),
+                node("s", 8, 0, 10.0, 0.0),
+                node("s", 8, 0, 10.0, 0.0),
+                node("s", 8, 0, 10.0, 0.0),
+            ],
+            NetworkSpec { backbone_gbps: 100.0, latency_s: 1e-5 },
+        );
+        assert_eq!(p.homogeneous_groups(), vec![(1, 2), (3, 3), (4, 6)]);
+    }
+
+    #[test]
+    fn single_group_for_homogeneous_cluster() {
+        let p = Platform::new_sorted(
+            (0..4).map(|_| node("a", 4, 0, 10.0, 0.0)).collect(),
+            NetworkSpec { backbone_gbps: 56.0, latency_s: 1e-6 },
+        );
+        assert_eq!(p.homogeneous_groups(), vec![(1, 4)]);
+    }
+
+    #[test]
+    fn network_units() {
+        let n = NetworkSpec { backbone_gbps: 8.0, latency_s: 0.0 };
+        assert_eq!(n.backbone_bytes_per_s(), 1e9);
+    }
+
+    #[test]
+    fn empty_platform() {
+        let p = Platform::new_sorted(vec![], NetworkSpec { backbone_gbps: 1.0, latency_s: 0.0 });
+        assert!(p.is_empty());
+        assert!(p.homogeneous_groups().is_empty());
+    }
+}

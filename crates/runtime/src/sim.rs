@@ -1,0 +1,976 @@
+//! The simulated task-based runtime: a discrete-event engine combining the
+//! STF dependence tracker, per-node heterogeneous schedulers, and the
+//! flow-level network model.
+//!
+//! The execution model follows StarPU's distributed STF mode:
+//!
+//! * a task executes on the node owning the data it writes (at submission
+//!   time);
+//! * input data not present on that node is fetched asynchronously over
+//!   the network (MSI-style replica tracking: a write invalidates all
+//!   remote copies);
+//! * data can be migrated between nodes with [`SimRuntime::migrate`], which
+//!   changes the placement of subsequently submitted tasks and moves the
+//!   bytes asynchronously, overlapping with computation;
+//! * per node, ready tasks are dispatched to CPU cores and GPUs by a
+//!   performance-model-aware scheduler (highest priority first, resource
+//!   chosen by earliest estimated finish time, like StarPU's `dmda`).
+
+use crate::data::{DataHandle, DataRegistry};
+use crate::flownet::{FlowId, FlowNet, LinkId};
+use crate::platform::{NodeId, Platform};
+use crate::stf::DepTracker;
+use crate::task::{Access, ClassId, ClassTable, TaskDesc, TaskId};
+use crate::trace::{ResourceKind, Trace, TraceEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulation options.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct SimConfig {
+    /// RNG seed (only used when `task_jitter` is set).
+    pub seed: u64,
+    /// Relative standard deviation of a lognormal multiplicative jitter on
+    /// task durations; `None` gives the deterministic simulation the
+    /// paper's methodology assumes (noise is added at the observation
+    /// level instead, Section V).
+    pub task_jitter: Option<f64>,
+}
+
+
+/// Result of one [`SimRuntime::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Simulation time when the run started.
+    pub start: f64,
+    /// Simulation time when the last submitted task finished.
+    pub end: f64,
+}
+
+impl RunReport {
+    /// Wall-clock duration of the run.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskStatus {
+    /// Waiting for dependencies.
+    Blocked,
+    /// Dependencies met; waiting for input transfers.
+    Staging,
+    /// Inputs local; in the node's ready queue.
+    Runnable,
+    /// Executing.
+    Running,
+    /// Finished.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct TaskState {
+    class: ClassId,
+    flops: f64,
+    priority: i32,
+    phase: u32,
+    reads: Vec<DataHandle>,
+    writes: Vec<DataHandle>,
+    node: NodeId,
+    unmet_deps: usize,
+    missing_inputs: usize,
+    dependents: Vec<TaskId>,
+    status: TaskStatus,
+    seq: usize,
+}
+
+type ReadyEntry = (i32, Reverse<usize>, TaskId);
+
+/// Scheduler state of one node.
+///
+/// Ready tasks are *committed* to a resource kind when they become
+/// runnable, using expected-availability estimates (StarPU `dmda`-style):
+/// the chosen kind is the one with the earliest estimated finish time,
+/// accounting for work already committed but not yet executed. This is
+/// what lets GPU-capable overflow work spill onto otherwise-idle CPU cores.
+#[derive(Debug, Clone, Default)]
+struct NodeSched {
+    free_cpus: Vec<usize>,
+    free_gpus: Vec<usize>,
+    /// Virtual commit horizon per CPU core (expected time it drains its
+    /// committed work).
+    cpu_commit: Vec<f64>,
+    /// Virtual commit horizon per GPU.
+    gpu_commit: Vec<f64>,
+    /// Tasks committed to CPU cores: max-heap on (priority, Reverse(seq)).
+    q_cpu: BinaryHeap<ReadyEntry>,
+    /// Tasks committed to GPUs.
+    q_gpu: BinaryHeap<ReadyEntry>,
+}
+
+/// Totally ordered f64 wrapper for the event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    TaskDone(TaskId),
+    /// Latency elapsed; insert the actual flow.
+    FlowStart { handle: DataHandle, dst: NodeId },
+}
+
+// EventKind participates in a heap tuple needing Ord; ordering is fully
+// determined by the preceding (time, seq) fields, so the cell compares
+// equal to everything.
+#[derive(Debug, Clone, Copy)]
+struct EventKindCell(EventKind);
+impl PartialEq for EventKindCell {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for EventKindCell {}
+impl PartialOrd for EventKindCell {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventKindCell {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// The simulated runtime.
+pub struct SimRuntime {
+    platform: Platform,
+    classes: ClassTable,
+    data: DataRegistry,
+    deps: DepTracker,
+    tasks: Vec<TaskState>,
+    scheds: Vec<NodeSched>,
+    events: BinaryHeap<Reverse<(OrdF64, usize, EventKindCell)>>,
+    event_seq: usize,
+    net: FlowNet,
+    node_up: Vec<LinkId>,
+    node_down: Vec<LinkId>,
+    backbone: LinkId,
+    /// Valid replica locations per handle.
+    replicas: Vec<Vec<NodeId>>,
+    /// In-flight fetches: (handle, destination) -> tasks waiting on it.
+    inflight: HashMap<(usize, usize), Vec<TaskId>>,
+    flow_meta: HashMap<FlowId, (DataHandle, NodeId)>,
+    /// Resource occupied by each running task.
+    running_resource: HashMap<usize, ResourceKind>,
+    now: f64,
+    trace: Trace,
+    trace_enabled: bool,
+    rng: StdRng,
+    jitter: Option<Normal<f64>>,
+    migrate_class: ClassId,
+    remaining: usize,
+    bytes_transferred: f64,
+}
+
+impl SimRuntime {
+    /// Build a runtime over `platform` with registered task `classes`.
+    pub fn new(platform: Platform, mut classes: ClassTable, config: SimConfig) -> Self {
+        let mut net = FlowNet::new();
+        let backbone = net.add_link(platform.network.backbone_bytes_per_s());
+        let mut node_up = Vec::with_capacity(platform.len());
+        let mut node_down = Vec::with_capacity(platform.len());
+        let mut scheds = Vec::with_capacity(platform.len());
+        for n in &platform.nodes {
+            let bps = n.nic_gbps * 1e9 / 8.0;
+            node_up.push(net.add_link(bps));
+            node_down.push(net.add_link(bps));
+            scheds.push(NodeSched {
+                free_cpus: (0..n.cpu_cores).rev().collect(),
+                free_gpus: (0..n.gpus).rev().collect(),
+                cpu_commit: vec![0.0; n.cpu_cores],
+                gpu_commit: vec![0.0; n.gpus],
+                q_cpu: BinaryHeap::new(),
+                q_gpu: BinaryHeap::new(),
+            });
+        }
+        let migrate_class = classes.register(crate::task::ClassSpec {
+            name: "migrate".into(),
+            gpu_capable: false,
+            cpu_efficiency: 1.0,
+            gpu_efficiency: 1.0,
+        });
+        let jitter = config
+            .task_jitter
+            .map(|s| Normal::new(0.0, s).expect("valid jitter sigma"));
+        SimRuntime {
+            platform,
+            classes,
+            data: DataRegistry::new(),
+            deps: DepTracker::new(),
+            tasks: Vec::new(),
+            scheds,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            net,
+            node_up,
+            node_down,
+            backbone,
+            replicas: Vec::new(),
+            inflight: HashMap::new(),
+            flow_meta: HashMap::new(),
+            running_resource: HashMap::new(),
+            now: 0.0,
+            trace: Trace::new(),
+            trace_enabled: true,
+            rng: StdRng::seed_from_u64(config.seed),
+            jitter,
+            migrate_class,
+            remaining: 0,
+            bytes_transferred: 0.0,
+        }
+    }
+
+    /// The platform being simulated.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Execution trace accumulated so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Total bytes moved over the network so far.
+    pub fn bytes_transferred(&self) -> f64 {
+        self.bytes_transferred
+    }
+
+    /// Enable or disable trace recording (disable for large sweeps).
+    pub fn set_trace_enabled(&mut self, on: bool) {
+        self.trace_enabled = on;
+    }
+
+    /// Register a data block of `bytes` owned by `owner`. The block starts
+    /// with a valid copy only at its owner.
+    pub fn register_data(&mut self, bytes: usize, owner: NodeId) -> DataHandle {
+        assert!(owner.0 < self.platform.len(), "owner out of range");
+        let h = self.data.register(bytes, owner);
+        self.replicas.push(vec![owner]);
+        h
+    }
+
+    /// Current submission-time owner of a handle.
+    pub fn owner(&self, h: DataHandle) -> NodeId {
+        self.data.owner(h)
+    }
+
+    /// Change a block's submission-time owner *without* moving bytes.
+    ///
+    /// Only meaningful when the next task touching the block writes it
+    /// without reading (mode `W`), e.g. the per-iteration regeneration of
+    /// the covariance tiles: the old contents are dead, so re-registering
+    /// the block on another node is free (StarPU's unregister/register
+    /// idiom).
+    pub fn reassign(&mut self, h: DataHandle, dst: NodeId) {
+        assert!(dst.0 < self.platform.len(), "node out of range");
+        self.data.set_owner(h, dst);
+    }
+
+    /// Move a block to `dst`: subsequent tasks writing it run on `dst`, and
+    /// the bytes travel asynchronously (a zero-flop pseudo-task carries the
+    /// dependence structure of the move), overlapping with computation.
+    pub fn migrate(&mut self, h: DataHandle, dst: NodeId) {
+        if self.data.owner(h) == dst {
+            return;
+        }
+        self.data.set_owner(h, dst);
+        self.submit_on(
+            TaskDesc {
+                class: self.migrate_class,
+                flops: 0.0,
+                priority: i32::MAX,
+                phase: u32::MAX,
+                accesses: vec![(h, Access::ReadWrite)],
+            },
+            Some(dst),
+        );
+    }
+
+    /// Submit a task; it will run on the node owning its first written
+    /// handle (submission-time ownership), or on node 0 if it writes
+    /// nothing.
+    pub fn submit(&mut self, desc: TaskDesc) -> TaskId {
+        self.submit_on(desc, None)
+    }
+
+    fn submit_on(&mut self, desc: TaskDesc, force_node: Option<NodeId>) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        let node = force_node.unwrap_or_else(|| {
+            desc.writes().next().map(|h| self.data.owner(h)).unwrap_or(NodeId(0))
+        });
+        assert!(node.0 < self.platform.len(), "task node out of range");
+        let dep_list = self.deps.record(id, &desc.accesses);
+        let mut unmet = 0;
+        for d in &dep_list {
+            if self.tasks[d.0].status != TaskStatus::Done {
+                self.tasks[d.0].dependents.push(id);
+                unmet += 1;
+            }
+        }
+        let reads: Vec<DataHandle> = desc.reads().collect();
+        let writes: Vec<DataHandle> = desc.writes().collect();
+        self.tasks.push(TaskState {
+            class: desc.class,
+            flops: desc.flops,
+            priority: desc.priority,
+            phase: desc.phase,
+            reads,
+            writes,
+            node,
+            unmet_deps: unmet,
+            missing_inputs: 0,
+            dependents: Vec::new(),
+            status: TaskStatus::Blocked,
+            seq: id.0,
+        });
+        self.remaining += 1;
+        if unmet == 0 {
+            self.stage(id);
+            self.dispatch(node);
+        }
+        id
+    }
+
+    /// Run the engine until every submitted task has completed; returns the
+    /// time window of this run.
+    ///
+    /// # Panics
+    /// Panics if no progress is possible, which would indicate an internal
+    /// dependence cycle (impossible by STF construction) or a scheduling
+    /// bug.
+    pub fn run(&mut self) -> RunReport {
+        let start = self.now;
+        while self.remaining > 0 {
+            let t_heap = self.events.peek().map(|Reverse((t, _, _))| t.0);
+            let t_net = self.net.next_completion();
+            let next = match (t_heap, t_net) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => panic!(
+                    "simulation stalled with {} tasks remaining (dependence cycle?)",
+                    self.remaining
+                ),
+            };
+            debug_assert!(next >= self.now - 1e-9, "time went backwards");
+            self.now = self.now.max(next);
+            // Network completions at or before `now` happen first.
+            let completed = self.net.advance_to(self.now);
+            for f in completed {
+                self.on_flow_done(f);
+            }
+            // Then heap events scheduled at (or numerically before) `now`.
+            while let Some(Reverse((t, _, _))) = self.events.peek() {
+                if t.0 > self.now + 1e-15 {
+                    break;
+                }
+                let Reverse((_, _, EventKindCell(kind))) = self.events.pop().unwrap();
+                match kind {
+                    EventKind::TaskDone(id) => self.on_task_done(id),
+                    EventKind::FlowStart { handle, dst } => self.on_flow_start(handle, dst),
+                }
+            }
+        }
+        RunReport { start, end: self.now }
+    }
+
+    fn push_event(&mut self, t: f64, kind: EventKind) {
+        self.event_seq += 1;
+        self.events
+            .push(Reverse((OrdF64(t), self.event_seq, EventKindCell(kind))));
+    }
+
+    /// Dependencies met: request input transfers, then queue.
+    fn stage(&mut self, id: TaskId) {
+        debug_assert_eq!(self.tasks[id.0].status, TaskStatus::Blocked);
+        self.tasks[id.0].status = TaskStatus::Staging;
+        let node = self.tasks[id.0].node;
+        let reads = self.tasks[id.0].reads.clone();
+        let mut missing = 0;
+        for h in reads {
+            if self.replicas[h.0].contains(&node) {
+                continue;
+            }
+            missing += 1;
+            let key = (h.0, node.0);
+            if let Some(waiters) = self.inflight.get_mut(&key) {
+                waiters.push(id);
+            } else {
+                self.inflight.insert(key, vec![id]);
+                let latency = self.platform.network.latency_s;
+                self.push_event(self.now + latency, EventKind::FlowStart { handle: h, dst: node });
+            }
+        }
+        self.tasks[id.0].missing_inputs = missing;
+        if missing == 0 {
+            self.make_runnable(id);
+        }
+    }
+
+    fn make_runnable(&mut self, id: TaskId) {
+        let t = &mut self.tasks[id.0];
+        debug_assert_eq!(t.status, TaskStatus::Staging);
+        t.status = TaskStatus::Runnable;
+        let node = t.node;
+        let entry = (t.priority, Reverse(t.seq), id);
+        let (cpu_dur, gpu_dur) = self.durations(id);
+        let now = self.now;
+        let sched = &mut self.scheds[node.0];
+        // Commit to the resource kind with the earliest expected finish.
+        let best_cpu = sched
+            .cpu_commit
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        let best_gpu = sched
+            .gpu_commit
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        let cpu_eft = best_cpu.map(|(_, c)| c.max(now) + cpu_dur).unwrap_or(f64::INFINITY);
+        let gpu_eft = if gpu_dur.is_finite() {
+            best_gpu.map(|(_, c)| c.max(now) + gpu_dur).unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        };
+        if gpu_eft < cpu_eft {
+            let (g, _) = best_gpu.expect("finite gpu_eft implies a GPU");
+            sched.gpu_commit[g] = gpu_eft;
+            sched.q_gpu.push(entry);
+        } else {
+            let (c, _) = best_cpu.expect("every node has CPU cores");
+            sched.cpu_commit[c] = cpu_eft;
+            sched.q_cpu.push(entry);
+        }
+        // NOTE: does not dispatch — callers dispatch once after enqueueing
+        // every task that became ready at this instant, so priorities are
+        // compared across all of them.
+    }
+
+    /// Durations of a task on one CPU core / one GPU of its node.
+    fn durations(&self, id: TaskId) -> (f64, f64) {
+        let t = &self.tasks[id.0];
+        let class = self.classes.get(t.class);
+        let spec = self.platform.node(t.node);
+        let cpu = if t.flops == 0.0 {
+            0.0
+        } else {
+            t.flops / (spec.cpu_gflops_per_core * 1e9 * class.cpu_efficiency)
+        };
+        let gpu = if !class.gpu_capable || spec.gpus == 0 {
+            f64::INFINITY
+        } else if t.flops == 0.0 {
+            0.0
+        } else {
+            t.flops / (spec.gpu_gflops * 1e9 * class.gpu_efficiency)
+        };
+        (cpu, gpu)
+    }
+
+    /// Start as many committed ready tasks as there are free resources of
+    /// their committed kind, highest priority first.
+    fn dispatch(&mut self, node: NodeId) {
+        loop {
+            let mut progressed = false;
+            if !self.scheds[node.0].free_gpus.is_empty() {
+                if let Some((_, _, id)) = self.scheds[node.0].q_gpu.pop() {
+                    let (_, gpu_dur) = self.durations(id);
+                    self.start_task(node, id, true, gpu_dur);
+                    progressed = true;
+                }
+            }
+            if !self.scheds[node.0].free_cpus.is_empty() {
+                if let Some((_, _, id)) = self.scheds[node.0].q_cpu.pop() {
+                    let (cpu_dur, _) = self.durations(id);
+                    self.start_task(node, id, false, cpu_dur);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    fn start_task(&mut self, node: NodeId, id: TaskId, on_gpu: bool, mut dur: f64) {
+        if let Some(n) = self.jitter {
+            if dur > 0.0 {
+                let z = n.sample(&mut self.rng);
+                dur *= z.exp();
+            }
+        }
+        let sched = &mut self.scheds[node.0];
+        let resource = if on_gpu {
+            let g = sched.free_gpus.pop().expect("GPU free");
+            sched.gpu_commit[g] = sched.gpu_commit[g].max(self.now + dur);
+            ResourceKind::Gpu(g)
+        } else {
+            let c = sched.free_cpus.pop().expect("CPU free");
+            sched.cpu_commit[c] = sched.cpu_commit[c].max(self.now + dur);
+            ResourceKind::CpuCore(c)
+        };
+        let t = &mut self.tasks[id.0];
+        debug_assert_eq!(t.status, TaskStatus::Runnable);
+        t.status = TaskStatus::Running;
+        let end = self.now + dur;
+        if self.trace_enabled && t.phase != u32::MAX {
+            self.trace.push(TraceEvent {
+                task: id,
+                class: t.class,
+                phase: t.phase,
+                node,
+                resource,
+                start: self.now,
+                end,
+            });
+        }
+        self.running_resource.insert(id.0, resource);
+        self.push_event(end, EventKind::TaskDone(id));
+    }
+
+    fn on_task_done(&mut self, id: TaskId) {
+        let node = self.tasks[id.0].node;
+        let resource = self
+            .running_resource
+            .remove(&id.0)
+            .expect("finished task had a resource");
+        // Free the unit. When the kind's ready queue is empty there is no
+        // pending committed work, so clamp idle units' commit horizons back
+        // to `now` (they may carry phantom backlog from tasks that ended up
+        // executing on a sibling unit).
+        let now = self.now;
+        let sched = &mut self.scheds[node.0];
+        match resource {
+            ResourceKind::CpuCore(i) => {
+                sched.free_cpus.push(i);
+                if sched.q_cpu.is_empty() {
+                    for &j in &sched.free_cpus {
+                        sched.cpu_commit[j] = now;
+                    }
+                }
+            }
+            ResourceKind::Gpu(i) => {
+                sched.free_gpus.push(i);
+                if sched.q_gpu.is_empty() {
+                    for &j in &sched.free_gpus {
+                        sched.gpu_commit[j] = now;
+                    }
+                }
+            }
+        }
+        self.tasks[id.0].status = TaskStatus::Done;
+        self.remaining -= 1;
+        // Writes invalidate remote replicas.
+        let writes = self.tasks[id.0].writes.clone();
+        for h in writes {
+            debug_assert!(
+                !self.inflight.keys().any(|&(hh, _)| hh == h.0),
+                "write to a handle with an in-flight transfer violates STF ordering"
+            );
+            self.replicas[h.0].clear();
+            self.replicas[h.0].push(node);
+        }
+        // Release dependents; enqueue all newly-ready tasks before any
+        // dispatch so same-instant priorities are honoured.
+        let deps = std::mem::take(&mut self.tasks[id.0].dependents);
+        let mut touched = vec![node.0];
+        for d in deps {
+            let t = &mut self.tasks[d.0];
+            t.unmet_deps -= 1;
+            if t.unmet_deps == 0 {
+                touched.push(self.tasks[d.0].node.0);
+                self.stage(d);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for n in touched {
+            self.dispatch(NodeId(n));
+        }
+    }
+
+    fn on_flow_start(&mut self, handle: DataHandle, dst: NodeId) {
+        // The replica may have appeared meanwhile; then complete instantly.
+        if self.replicas[handle.0].contains(&dst) {
+            self.finish_fetch(handle, dst);
+            return;
+        }
+        let src = *self.replicas[handle.0]
+            .first()
+            .expect("handle has at least one valid replica");
+        debug_assert_ne!(src, dst);
+        let bytes = self.data.size(handle) as f64;
+        self.bytes_transferred += bytes;
+        let route = vec![self.node_up[src.0], self.backbone, self.node_down[dst.0]];
+        let flow = self.net.start_flow(route, bytes);
+        self.flow_meta.insert(flow, (handle, dst));
+    }
+
+    fn on_flow_done(&mut self, f: FlowId) {
+        let (handle, dst) = self
+            .flow_meta
+            .remove(&f)
+            .expect("completed flow has metadata");
+        self.finish_fetch(handle, dst);
+    }
+
+    fn finish_fetch(&mut self, handle: DataHandle, dst: NodeId) {
+        if !self.replicas[handle.0].contains(&dst) {
+            self.replicas[handle.0].push(dst);
+        }
+        let Some(waiters) = self.inflight.remove(&(handle.0, dst.0)) else {
+            return;
+        };
+        for id in waiters {
+            let t = &mut self.tasks[id.0];
+            t.missing_inputs -= 1;
+            if t.missing_inputs == 0 {
+                self.make_runnable(id);
+            }
+        }
+        self.dispatch(dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{NetworkSpec, NodeSpec};
+    use crate::task::ClassSpec;
+
+    fn small_platform(n_nodes: usize, gpus: usize) -> Platform {
+        let nodes = (0..n_nodes)
+            .map(|_| NodeSpec {
+                name: "n".into(),
+                cpu_cores: 2,
+                gpus,
+                cpu_gflops_per_core: 1.0, // 1 GFLOP/s per core: 1e9 flops = 1 s
+                gpu_gflops: 10.0,
+                nic_gbps: 8.0, // 1 GB/s
+            })
+            .collect();
+        Platform::new_sorted(nodes, NetworkSpec { backbone_gbps: 80.0, latency_s: 0.0 })
+    }
+
+    fn classes() -> (ClassTable, ClassId, ClassId) {
+        let mut t = ClassTable::new();
+        let cpu_only = t.register(ClassSpec {
+            name: "cpu_only".into(),
+            gpu_capable: false,
+            cpu_efficiency: 1.0,
+            gpu_efficiency: 1.0,
+        });
+        let hybrid = t.register(ClassSpec {
+            name: "hybrid".into(),
+            gpu_capable: true,
+            cpu_efficiency: 1.0,
+            gpu_efficiency: 1.0,
+        });
+        (t, cpu_only, hybrid)
+    }
+
+    fn task(class: ClassId, flops: f64, acc: Vec<(DataHandle, Access)>) -> TaskDesc {
+        TaskDesc { class, flops, priority: 0, phase: 0, accesses: acc }
+    }
+
+    #[test]
+    fn single_task_duration() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(1, 0), ct, SimConfig::default());
+        let h = rt.register_data(8, NodeId(0));
+        rt.submit(task(cpu, 2e9, vec![(h, Access::Write)]));
+        let r = rt.run();
+        assert!((r.duration() - 2.0).abs() < 1e-9, "duration {}", r.duration());
+    }
+
+    #[test]
+    fn independent_tasks_run_in_parallel_on_cores() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(1, 0), ct, SimConfig::default());
+        // 2 cores, 4 tasks of 1s → 2s total.
+        for _ in 0..4 {
+            let h = rt.register_data(8, NodeId(0));
+            rt.submit(task(cpu, 1e9, vec![(h, Access::Write)]));
+        }
+        let r = rt.run();
+        assert!((r.duration() - 2.0).abs() < 1e-9, "duration {}", r.duration());
+    }
+
+    #[test]
+    fn dependencies_serialize() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(1, 0), ct, SimConfig::default());
+        let h = rt.register_data(8, NodeId(0));
+        // Chain of 3 RW tasks on the same handle: 3 s.
+        for _ in 0..3 {
+            rt.submit(task(cpu, 1e9, vec![(h, Access::ReadWrite)]));
+        }
+        let r = rt.run();
+        assert!((r.duration() - 3.0).abs() < 1e-9, "duration {}", r.duration());
+    }
+
+    #[test]
+    fn gpu_preferred_for_capable_tasks() {
+        let (ct, _, hybrid) = classes();
+        let mut rt = SimRuntime::new(small_platform(1, 1), ct, SimConfig::default());
+        let h = rt.register_data(8, NodeId(0));
+        // GPU is 10x faster: 1e9 flops = 0.1 s.
+        rt.submit(task(hybrid, 1e9, vec![(h, Access::Write)]));
+        let r = rt.run();
+        assert!((r.duration() - 0.1).abs() < 1e-9, "duration {}", r.duration());
+        assert!(matches!(rt.trace().events()[0].resource, ResourceKind::Gpu(_)));
+    }
+
+    #[test]
+    fn cpu_only_class_never_uses_gpu() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(1, 2), ct, SimConfig::default());
+        let h = rt.register_data(8, NodeId(0));
+        rt.submit(task(cpu, 1e9, vec![(h, Access::Write)]));
+        rt.run();
+        assert!(matches!(rt.trace().events()[0].resource, ResourceKind::CpuCore(_)));
+    }
+
+    #[test]
+    fn hybrid_overflow_uses_cpus_when_gpu_backlogged() {
+        let (ct, _, hybrid) = classes();
+        // 1 GPU (10x) + 2 CPU cores. 12 hybrid tasks of 1e9 flops:
+        // GPU does ~10 in 1 s; CPUs should absorb some instead of idling.
+        let mut rt = SimRuntime::new(small_platform(1, 1), ct, SimConfig::default());
+        for _ in 0..12 {
+            let h = rt.register_data(8, NodeId(0));
+            rt.submit(task(hybrid, 1e9, vec![(h, Access::Write)]));
+        }
+        rt.run();
+        let used_cpu = rt
+            .trace()
+            .events()
+            .iter()
+            .any(|e| matches!(e.resource, ResourceKind::CpuCore(_)));
+        assert!(used_cpu, "CPU cores should take overflow work");
+    }
+
+    #[test]
+    fn remote_read_pays_transfer_time() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(2, 0), ct, SimConfig::default());
+        // 1 GB block on node 1; task on node 0 reads it. NIC = 1 GB/s.
+        let remote = rt.register_data(1_000_000_000, NodeId(1));
+        let local = rt.register_data(8, NodeId(0));
+        rt.submit(task(cpu, 1e9, vec![(remote, Access::Read), (local, Access::Write)]));
+        let r = rt.run();
+        // 1 s transfer + 1 s compute.
+        assert!((r.duration() - 2.0).abs() < 1e-6, "duration {}", r.duration());
+    }
+
+    #[test]
+    fn replicas_avoid_duplicate_transfers() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(2, 0), ct, SimConfig::default());
+        let remote = rt.register_data(1_000_000_000, NodeId(1));
+        let l1 = rt.register_data(8, NodeId(0));
+        let l2 = rt.register_data(8, NodeId(0));
+        rt.submit(task(cpu, 1e9, vec![(remote, Access::Read), (l1, Access::Write)]));
+        rt.submit(task(cpu, 1e9, vec![(remote, Access::Read), (l2, Access::Write)]));
+        let r = rt.run();
+        // One shared transfer (1 s), then both computes in parallel (1 s).
+        assert!((r.duration() - 2.0).abs() < 1e-6, "duration {}", r.duration());
+        assert!((rt.bytes_transferred() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn write_invalidates_remote_replicas() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(2, 0), ct, SimConfig::default());
+        let h = rt.register_data(1_000_000_000, NodeId(1));
+        let l = rt.register_data(8, NodeId(0));
+        // Reader on node 0 caches h.
+        rt.submit(task(cpu, 0.0, vec![(h, Access::Read), (l, Access::Write)]));
+        // Writer on node 1 bumps the version.
+        rt.submit(task(cpu, 0.0, vec![(h, Access::ReadWrite)]));
+        // Reader on node 0 again: must re-transfer.
+        rt.submit(task(cpu, 0.0, vec![(h, Access::Read), (l, Access::ReadWrite)]));
+        rt.run();
+        assert!((rt.bytes_transferred() - 2e9).abs() < 1.0, "{}", rt.bytes_transferred());
+    }
+
+    #[test]
+    fn migration_moves_ownership_and_bytes() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(2, 0), ct, SimConfig::default());
+        let h = rt.register_data(1_000_000_000, NodeId(0));
+        rt.migrate(h, NodeId(1));
+        // Task writing h after the migration runs on node 1.
+        rt.submit(task(cpu, 1e9, vec![(h, Access::ReadWrite)]));
+        let r = rt.run();
+        assert!((r.duration() - 2.0).abs() < 1e-6, "duration {}", r.duration());
+        let ev = rt
+            .trace()
+            .events()
+            .iter()
+            .find(|e| e.phase == 0)
+            .expect("compute task traced");
+        assert_eq!(ev.node, NodeId(1));
+    }
+
+    #[test]
+    fn migration_to_same_node_is_free() {
+        let (ct, _, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(2, 0), ct, SimConfig::default());
+        let h = rt.register_data(1_000_000_000, NodeId(0));
+        rt.migrate(h, NodeId(0));
+        let r = rt.run();
+        assert_eq!(r.duration(), 0.0);
+        assert_eq!(rt.bytes_transferred(), 0.0);
+    }
+
+    #[test]
+    fn priorities_order_ready_tasks() {
+        let (ct, cpu, _) = classes();
+        // Single-core node to force ordering.
+        let mut platform = small_platform(1, 0);
+        platform.nodes[0].cpu_cores = 1;
+        let mut rt = SimRuntime::new(platform, ct, SimConfig::default());
+        let gate = rt.register_data(8, NodeId(0));
+        let a = rt.register_data(8, NodeId(0));
+        let b = rt.register_data(8, NodeId(0));
+        // A gate task makes lo and hi become ready at the same instant, so
+        // the queue order (priority) decides who runs first.
+        rt.submit(task(cpu, 1e9, vec![(gate, Access::Write)]));
+        let lo = rt.submit(TaskDesc {
+            class: cpu,
+            flops: 1e9,
+            priority: 0,
+            phase: 0,
+            accesses: vec![(gate, Access::Read), (a, Access::Write)],
+        });
+        let hi = rt.submit(TaskDesc {
+            class: cpu,
+            flops: 1e9,
+            priority: 10,
+            phase: 0,
+            accesses: vec![(gate, Access::Read), (b, Access::Write)],
+        });
+        rt.run();
+        let evs = rt.trace().events();
+        let hi_ev = evs.iter().find(|e| e.task == hi).unwrap();
+        let lo_ev = evs.iter().find(|e| e.task == lo).unwrap();
+        assert!(hi_ev.start < lo_ev.start, "high priority must start first");
+    }
+
+    #[test]
+    fn successive_runs_accumulate_time() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(1, 0), ct, SimConfig::default());
+        let h = rt.register_data(8, NodeId(0));
+        rt.submit(task(cpu, 1e9, vec![(h, Access::ReadWrite)]));
+        let r1 = rt.run();
+        rt.submit(task(cpu, 1e9, vec![(h, Access::ReadWrite)]));
+        let r2 = rt.run();
+        assert!((r1.end - 1.0).abs() < 1e-9);
+        assert!((r2.start - 1.0).abs() < 1e-9);
+        assert!((r2.end - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let build = || {
+            let (ct, cpu, hybrid) = classes();
+            let mut rt = SimRuntime::new(
+                small_platform(3, 1),
+                ct,
+                SimConfig { seed: 42, task_jitter: Some(0.1) },
+            );
+            let hs: Vec<DataHandle> =
+                (0..9).map(|i| rt.register_data(1000, NodeId(i % 3))).collect();
+            for (i, &h) in hs.iter().enumerate() {
+                let class = if i % 2 == 0 { cpu } else { hybrid };
+                rt.submit(task(class, 5e8, vec![(h, Access::ReadWrite)]));
+            }
+            for &h in &hs {
+                rt.migrate(h, NodeId(0));
+            }
+            for &h in &hs {
+                rt.submit(task(hybrid, 5e8, vec![(h, Access::ReadWrite)]));
+            }
+            rt.run().duration()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn makespan_at_least_work_bound() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(1, 0), ct, SimConfig::default());
+        let mut total = 0.0;
+        for i in 0..7 {
+            let h = rt.register_data(8, NodeId(0));
+            let fl = (1 + i) as f64 * 1e8;
+            total += fl;
+            rt.submit(task(cpu, fl, vec![(h, Access::Write)]));
+        }
+        let r = rt.run();
+        let bound = total / (2.0 * 1e9); // 2 cores x 1 GFLOP/s
+        assert!(r.duration() >= bound - 1e-9);
+    }
+
+    #[test]
+    fn jitter_changes_durations_but_stays_positive() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(
+            small_platform(1, 0),
+            ct,
+            SimConfig { seed: 7, task_jitter: Some(0.2) },
+        );
+        let h = rt.register_data(8, NodeId(0));
+        rt.submit(task(cpu, 1e9, vec![(h, Access::Write)]));
+        let r = rt.run();
+        assert!(r.duration() > 0.0);
+        assert!((r.duration() - 1.0).abs() > 1e-12, "jitter should perturb");
+    }
+
+    #[test]
+    fn latency_delays_small_transfers() {
+        let (ct, cpu, _) = classes();
+        let mut platform = small_platform(2, 0);
+        platform.network.latency_s = 0.5;
+        let mut rt = SimRuntime::new(platform, ct, SimConfig::default());
+        let remote = rt.register_data(8, NodeId(1)); // negligible bytes
+        let local = rt.register_data(8, NodeId(0));
+        rt.submit(task(cpu, 0.0, vec![(remote, Access::Read), (local, Access::Write)]));
+        let r = rt.run();
+        assert!((r.duration() - 0.5).abs() < 1e-6, "duration {}", r.duration());
+    }
+}

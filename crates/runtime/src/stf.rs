@@ -1,0 +1,191 @@
+//! Sequential-task-flow dependence inference.
+//!
+//! Tasks are submitted in program order; dependencies are inferred from
+//! data hazards on the accessed handles, exactly as StarPU's STF mode
+//! builds the DAG:
+//!
+//! * **RAW** — a reader depends on the last writer of the handle;
+//! * **WAW** — a writer depends on the previous writer;
+//! * **WAR** — a writer depends on every reader since the last write.
+
+use crate::data::DataHandle;
+use crate::task::{Access, TaskId};
+use std::collections::HashMap;
+
+/// Per-handle hazard state.
+#[derive(Debug, Clone, Default)]
+struct HandleState {
+    last_writer: Option<TaskId>,
+    readers_since_write: Vec<TaskId>,
+}
+
+/// Incremental dependence tracker.
+#[derive(Debug, Clone, Default)]
+pub struct DepTracker {
+    state: HashMap<DataHandle, HandleState>,
+}
+
+impl DepTracker {
+    /// Fresh tracker with no history.
+    pub fn new() -> Self {
+        DepTracker::default()
+    }
+
+    /// Record task `t` with the given accesses, returning the de-duplicated
+    /// set of tasks it depends on (excluding itself).
+    pub fn record(&mut self, t: TaskId, accesses: &[(DataHandle, Access)]) -> Vec<TaskId> {
+        let mut deps: Vec<TaskId> = Vec::new();
+        // First collect all hazards without mutating, so RW on the same
+        // handle sees a consistent view.
+        for &(h, mode) in accesses {
+            let st = self.state.entry(h).or_default();
+            if mode.reads() {
+                if let Some(w) = st.last_writer {
+                    deps.push(w); // RAW
+                }
+            }
+            if mode.writes() {
+                if let Some(w) = st.last_writer {
+                    deps.push(w); // WAW
+                }
+                deps.extend(st.readers_since_write.iter().copied()); // WAR
+            }
+        }
+        // Then update hazard state.
+        for &(h, mode) in accesses {
+            let st = self.state.entry(h).or_default();
+            if mode.writes() {
+                st.last_writer = Some(t);
+                st.readers_since_write.clear();
+            } else if mode.reads() {
+                st.readers_since_write.push(t);
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        deps.retain(|&d| d != t);
+        deps
+    }
+
+    /// Forget all hazard history (used between independent DAG regions).
+    pub fn clear(&mut self) {
+        self.state.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H0: DataHandle = DataHandle(0);
+    const H1: DataHandle = DataHandle(1);
+
+    #[test]
+    fn raw_dependency() {
+        let mut d = DepTracker::new();
+        let w = d.record(TaskId(0), &[(H0, Access::Write)]);
+        assert!(w.is_empty());
+        let r = d.record(TaskId(1), &[(H0, Access::Read)]);
+        assert_eq!(r, vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn waw_dependency() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), &[(H0, Access::Write)]);
+        let deps = d.record(TaskId(1), &[(H0, Access::Write)]);
+        assert_eq!(deps, vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn war_dependency_on_all_readers() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), &[(H0, Access::Write)]);
+        d.record(TaskId(1), &[(H0, Access::Read)]);
+        d.record(TaskId(2), &[(H0, Access::Read)]);
+        let deps = d.record(TaskId(3), &[(H0, Access::Write)]);
+        // WAW on 0 plus WAR on 1 and 2.
+        assert_eq!(deps, vec![TaskId(0), TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn independent_handles_do_not_conflict() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), &[(H0, Access::Write)]);
+        let deps = d.record(TaskId(1), &[(H1, Access::Write)]);
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn readers_do_not_depend_on_each_other() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), &[(H0, Access::Write)]);
+        let r1 = d.record(TaskId(1), &[(H0, Access::Read)]);
+        let r2 = d.record(TaskId(2), &[(H0, Access::Read)]);
+        assert_eq!(r1, vec![TaskId(0)]);
+        assert_eq!(r2, vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn write_resets_reader_set() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), &[(H0, Access::Write)]);
+        d.record(TaskId(1), &[(H0, Access::Read)]);
+        d.record(TaskId(2), &[(H0, Access::Write)]);
+        // Next writer depends only on task 2 (WAW), not the stale reader.
+        let deps = d.record(TaskId(3), &[(H0, Access::Write)]);
+        assert_eq!(deps, vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn rw_combines_raw_and_waw() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), &[(H0, Access::Write)]);
+        d.record(TaskId(1), &[(H0, Access::Read)]);
+        let deps = d.record(TaskId(2), &[(H0, Access::ReadWrite)]);
+        assert_eq!(deps, vec![TaskId(0), TaskId(1)]);
+    }
+
+    #[test]
+    fn cholesky_panel_shape() {
+        // Mini tiled-Cholesky hazard pattern on a 2x2 tile matrix:
+        // potrf(d00), trsm(d00 -> a10), syrk(a10 -> d11), potrf(d11).
+        let d00 = DataHandle(10);
+        let a10 = DataHandle(11);
+        let d11 = DataHandle(12);
+        let mut d = DepTracker::new();
+        let gen: Vec<TaskId> = [d00, a10, d11]
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| {
+                let t = TaskId(i);
+                d.record(t, &[(h, Access::Write)]);
+                t
+            })
+            .collect();
+        let potrf0 = d.record(TaskId(3), &[(d00, Access::ReadWrite)]);
+        assert_eq!(potrf0, vec![gen[0]]);
+        let trsm = d.record(TaskId(4), &[(d00, Access::Read), (a10, Access::ReadWrite)]);
+        assert_eq!(trsm, vec![gen[1], TaskId(3)]);
+        let syrk = d.record(TaskId(5), &[(a10, Access::Read), (d11, Access::ReadWrite)]);
+        assert_eq!(syrk, vec![gen[2], TaskId(4)]);
+        let potrf1 = d.record(TaskId(6), &[(d11, Access::ReadWrite)]);
+        assert_eq!(potrf1, vec![TaskId(5)]);
+    }
+
+    #[test]
+    fn duplicate_deps_are_deduplicated() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), &[(H0, Access::Write), (H1, Access::Write)]);
+        let deps = d.record(TaskId(1), &[(H0, Access::Read), (H1, Access::Read)]);
+        assert_eq!(deps, vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn clear_forgets_history() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), &[(H0, Access::Write)]);
+        d.clear();
+        assert!(d.record(TaskId(1), &[(H0, Access::Read)]).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Task descriptions: classes, access modes, and the submission record.
+
+use crate::data::DataHandle;
+
+/// Index of a registered task class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(pub usize);
+
+/// Identifier assigned to a submitted task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// How a task accesses a data handle (StarPU's R / W / RW modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Read-only: the handle must be valid locally before the task starts.
+    Read,
+    /// Write-only: the previous contents are not fetched.
+    Write,
+    /// Read-write.
+    ReadWrite,
+}
+
+impl Access {
+    /// Whether this mode reads the previous value.
+    pub fn reads(self) -> bool {
+        matches!(self, Access::Read | Access::ReadWrite)
+    }
+
+    /// Whether this mode writes a new value.
+    pub fn writes(self) -> bool {
+        matches!(self, Access::Write | Access::ReadWrite)
+    }
+}
+
+/// Static properties of a task class (one per kernel type).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Kernel name, e.g. `"gemm"`.
+    pub name: String,
+    /// Whether GPU workers may execute this class (generation is CPU-only).
+    pub gpu_capable: bool,
+    /// Fraction of a CPU core's peak this kernel reaches (0, 1].
+    pub cpu_efficiency: f64,
+    /// Fraction of a GPU's peak this kernel reaches (0, 1]. Ignored when
+    /// `gpu_capable` is false.
+    pub gpu_efficiency: f64,
+}
+
+/// Registry of task classes; the simulator derives durations from the
+/// class efficiencies and the node throughputs.
+#[derive(Debug, Clone, Default)]
+pub struct ClassTable {
+    specs: Vec<ClassSpec>,
+}
+
+impl ClassTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        ClassTable::default()
+    }
+
+    /// Register a class and return its id.
+    ///
+    /// # Panics
+    /// Panics if an efficiency is outside (0, 1].
+    pub fn register(&mut self, spec: ClassSpec) -> ClassId {
+        assert!(
+            spec.cpu_efficiency > 0.0 && spec.cpu_efficiency <= 1.0,
+            "cpu_efficiency must be in (0, 1]"
+        );
+        assert!(
+            !spec.gpu_capable || (spec.gpu_efficiency > 0.0 && spec.gpu_efficiency <= 1.0),
+            "gpu_efficiency must be in (0, 1] for GPU-capable classes"
+        );
+        self.specs.push(spec);
+        ClassId(self.specs.len() - 1)
+    }
+
+    /// Class accessor.
+    pub fn get(&self, id: ClassId) -> &ClassSpec {
+        &self.specs[id.0]
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether no class is registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// A task submission: what to run, on which data, with which urgency.
+///
+/// The executing node is *not* part of the description — as in StarPU's
+/// sequential task flow, the task runs on the node that owns the data it
+/// writes at submission time.
+#[derive(Debug, Clone)]
+pub struct TaskDesc {
+    /// Kernel class.
+    pub class: ClassId,
+    /// Work volume in floating-point operations.
+    pub flops: f64,
+    /// Scheduling priority (higher runs first among ready tasks). The
+    /// tiled Cholesky uses this to favour the critical path
+    /// (POTRF > TRSM > SYRK > GEMM).
+    pub priority: i32,
+    /// Application phase tag for traces (e.g. 0 = generation,
+    /// 1 = factorization, ...).
+    pub phase: u32,
+    /// Data accesses.
+    pub accesses: Vec<(DataHandle, Access)>,
+}
+
+impl TaskDesc {
+    /// Handles read by this task.
+    pub fn reads(&self) -> impl Iterator<Item = DataHandle> + '_ {
+        self.accesses.iter().filter(|(_, a)| a.reads()).map(|(h, _)| *h)
+    }
+
+    /// Handles written by this task.
+    pub fn writes(&self) -> impl Iterator<Item = DataHandle> + '_ {
+        self.accesses.iter().filter(|(_, a)| a.writes()).map(|(h, _)| *h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_modes() {
+        assert!(Access::Read.reads() && !Access::Read.writes());
+        assert!(!Access::Write.reads() && Access::Write.writes());
+        assert!(Access::ReadWrite.reads() && Access::ReadWrite.writes());
+    }
+
+    #[test]
+    fn class_table_round_trip() {
+        let mut t = ClassTable::new();
+        let id = t.register(ClassSpec {
+            name: "gemm".into(),
+            gpu_capable: true,
+            cpu_efficiency: 0.8,
+            gpu_efficiency: 0.6,
+        });
+        assert_eq!(t.get(id).name, "gemm");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu_efficiency")]
+    fn invalid_efficiency_rejected() {
+        let mut t = ClassTable::new();
+        t.register(ClassSpec {
+            name: "bad".into(),
+            gpu_capable: false,
+            cpu_efficiency: 0.0,
+            gpu_efficiency: 1.0,
+        });
+    }
+
+    #[test]
+    fn task_desc_read_write_split() {
+        let d = TaskDesc {
+            class: ClassId(0),
+            flops: 1.0,
+            priority: 0,
+            phase: 0,
+            accesses: vec![
+                (DataHandle(0), Access::Read),
+                (DataHandle(1), Access::ReadWrite),
+                (DataHandle(2), Access::Write),
+            ],
+        };
+        let reads: Vec<_> = d.reads().collect();
+        let writes: Vec<_> = d.writes().collect();
+        assert_eq!(reads, vec![DataHandle(0), DataHandle(1)]);
+        assert_eq!(writes, vec![DataHandle(1), DataHandle(2)]);
+    }
+}

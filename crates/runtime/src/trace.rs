@@ -1,0 +1,208 @@
+//! Execution traces and resource-utilization profiles (paper Fig. 1).
+
+use crate::platform::NodeId;
+use crate::task::{ClassId, TaskId};
+
+/// Kind of worker a task executed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// CPU core (index within the node).
+    CpuCore(usize),
+    /// GPU device (index within the node).
+    Gpu(usize),
+}
+
+/// One executed task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// The task.
+    pub task: TaskId,
+    /// Its class.
+    pub class: ClassId,
+    /// Application phase tag.
+    pub phase: u32,
+    /// Node it ran on.
+    pub node: NodeId,
+    /// Worker within the node.
+    pub resource: ResourceKind,
+    /// Start time (s).
+    pub start: f64,
+    /// End time (s).
+    pub end: f64,
+}
+
+/// Accumulated execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Record one executed task.
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// All events in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drop all events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Total busy time per (node, phase) pair — the aggregate behind the
+    /// colored areas of the paper's Fig. 1.
+    pub fn busy_time(&self, node: NodeId, phase: u32) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.node == node && e.phase == phase)
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// Per-node utilization profile: for each time bin of width `dt` over
+    /// `[t0, t1)`, the fraction of the node's `n_workers` busy with tasks of
+    /// `phase` (or any phase when `phase` is `None`).
+    pub fn utilization(
+        &self,
+        node: NodeId,
+        n_workers: usize,
+        phase: Option<u32>,
+        t0: f64,
+        t1: f64,
+        dt: f64,
+    ) -> Vec<f64> {
+        assert!(dt > 0.0 && t1 > t0, "invalid binning");
+        let nbins = ((t1 - t0) / dt).ceil() as usize;
+        let mut busy = vec![0.0; nbins];
+        for e in &self.events {
+            if e.node != node || phase.is_some_and(|p| p != e.phase) {
+                continue;
+            }
+            let (s, t) = (e.start.max(t0), e.end.min(t1));
+            if t <= s {
+                continue;
+            }
+            let first = ((s - t0) / dt) as usize;
+            let last = (((t - t0) / dt).ceil() as usize).min(nbins);
+            for (b, slot) in busy.iter_mut().enumerate().take(last).skip(first) {
+                let bin_lo = t0 + b as f64 * dt;
+                let bin_hi = bin_lo + dt;
+                let overlap = (t.min(bin_hi) - s.max(bin_lo)).max(0.0);
+                *slot += overlap;
+            }
+        }
+        let denom = dt * n_workers.max(1) as f64;
+        busy.iter().map(|b| (b / denom).min(1.0)).collect()
+    }
+
+    /// Time of the last event end (0 for an empty trace).
+    pub fn makespan(&self) -> f64 {
+        self.events.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Export as a StarVZ-style CSV
+    /// (`task,class,phase,node,resource,start,end`) for external
+    /// visualization tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("task,class,phase,node,resource,start,end\n");
+        for e in &self.events {
+            let res = match e.resource {
+                ResourceKind::CpuCore(i) => format!("cpu{i}"),
+                ResourceKind::Gpu(i) => format!("gpu{i}"),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.9},{:.9}\n",
+                e.task.0, e.class.0, e.phase, e.node.0, res, e.start, e.end
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: usize, phase: u32, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            task: TaskId(0),
+            class: ClassId(0),
+            phase,
+            node: NodeId(node),
+            resource: ResourceKind::CpuCore(0),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn busy_time_filters_node_and_phase() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, 0.0, 1.0));
+        t.push(ev(0, 1, 1.0, 3.0));
+        t.push(ev(1, 0, 0.0, 5.0));
+        assert_eq!(t.busy_time(NodeId(0), 0), 1.0);
+        assert_eq!(t.busy_time(NodeId(0), 1), 2.0);
+        assert_eq!(t.busy_time(NodeId(1), 0), 5.0);
+        assert_eq!(t.busy_time(NodeId(1), 1), 0.0);
+    }
+
+    #[test]
+    fn utilization_single_full_worker() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, 0.0, 2.0));
+        let u = t.utilization(NodeId(0), 1, None, 0.0, 4.0, 1.0);
+        assert_eq!(u, vec![1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn utilization_partial_bins_and_multiple_workers() {
+        let mut t = Trace::new();
+        // Two workers; one busy from 0.5 to 1.5.
+        t.push(ev(0, 0, 0.5, 1.5));
+        let u = t.utilization(NodeId(0), 2, None, 0.0, 2.0, 1.0);
+        assert!((u[0] - 0.25).abs() < 1e-12);
+        assert!((u[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_phase_filter() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, 0.0, 1.0));
+        t.push(ev(0, 1, 0.0, 1.0));
+        let u0 = t.utilization(NodeId(0), 1, Some(0), 0.0, 1.0, 1.0);
+        assert_eq!(u0, vec![1.0]);
+        let all = t.utilization(NodeId(0), 2, None, 0.0, 1.0, 1.0);
+        assert_eq!(all, vec![1.0]);
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let mut t = Trace::new();
+        t.push(ev(2, 1, 0.5, 1.5));
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "task,class,phase,node,resource,start,end");
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("0,0,1,2,cpu0,"));
+        assert!(row.contains("0.5"));
+    }
+
+    #[test]
+    fn makespan_is_last_end() {
+        let mut t = Trace::new();
+        assert_eq!(t.makespan(), 0.0);
+        t.push(ev(0, 0, 0.0, 2.0));
+        t.push(ev(1, 0, 1.0, 7.0));
+        assert_eq!(t.makespan(), 7.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The machine catalogue of the paper's Table II.
+
+use adaphet_runtime::{NetworkSpec, NodeSpec};
+
+/// Computing site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// Grid5000 (Lille clusters): 10/25 Gb/s Ethernet partitions,
+    /// 2×100 Gb/s backbone.
+    G5k,
+    /// Santos Dumont: InfiniBand FDR 56 Gb/s fabric.
+    SDumont,
+}
+
+impl Site {
+    /// Interconnect of the site.
+    pub fn network(self) -> NetworkSpec {
+        match self {
+            // Two 100 Gb/s uplinks join the partitions.
+            Site::G5k => NetworkSpec { backbone_gbps: 200.0, latency_s: 20e-6 },
+            // Fat-tree InfiniBand: effectively not the bottleneck.
+            Site::SDumont => NetworkSpec { backbone_gbps: 600.0, latency_s: 5e-6 },
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::G5k => "G5K",
+            Site::SDumont => "SD",
+        }
+    }
+}
+
+/// One machine model of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Machine {
+    /// G5K Chetemi — 2× Xeon E5-2630 v4, no GPU, 10 Gb/s (class S).
+    Chetemi,
+    /// G5K Chifflet — 2× Xeon E5-2680 v4, 2× GTX 1080, 10 Gb/s (class M).
+    Chifflet,
+    /// G5K Chifflot — 2× Xeon Gold 6126, 2× Tesla P100, 25 Gb/s (class L).
+    Chifflot,
+    /// SD B715 — 2× Xeon E5-2695 v2, no GPU (class S).
+    SdCpu,
+    /// SD B715 with a single K40 (the paper's "artificial machine to
+    /// increase heterogeneity", class M).
+    SdK40x1,
+    /// SD B715 with 2× K40 (class L).
+    SdK40x2,
+}
+
+impl Machine {
+    /// Hardware profile. Per-core and per-GPU GFLOP/s are realistic DGEMM
+    /// throughputs for the paper's hardware, not theoretical peaks.
+    pub fn spec(self) -> NodeSpec {
+        match self {
+            Machine::Chetemi => NodeSpec {
+                name: "chetemi".into(),
+                cpu_cores: 20,
+                gpus: 0,
+                cpu_gflops_per_core: 16.0, // Broadwell 2.2 GHz
+                gpu_gflops: 0.0,
+                nic_gbps: 10.0,
+            },
+            Machine::Chifflet => NodeSpec {
+                name: "chifflet".into(),
+                cpu_cores: 28,
+                gpus: 2,
+                cpu_gflops_per_core: 17.0,  // Broadwell 2.4 GHz
+                gpu_gflops: 250.0,          // GTX 1080: weak FP64
+                nic_gbps: 10.0,
+            },
+            Machine::Chifflot => NodeSpec {
+                name: "chifflot".into(),
+                cpu_cores: 24,
+                gpus: 2,
+                cpu_gflops_per_core: 35.0,  // Skylake AVX-512
+                gpu_gflops: 3800.0,         // Tesla P100 DGEMM
+                nic_gbps: 25.0,
+            },
+            Machine::SdCpu => NodeSpec {
+                name: "sd-b715".into(),
+                cpu_cores: 24,
+                gpus: 0,
+                cpu_gflops_per_core: 15.0, // Ivy Bridge 2.4 GHz
+                gpu_gflops: 0.0,
+                nic_gbps: 56.0,
+            },
+            Machine::SdK40x1 => NodeSpec {
+                name: "sd-b715-1k40".into(),
+                cpu_cores: 24,
+                gpus: 1,
+                cpu_gflops_per_core: 15.0,
+                gpu_gflops: 1150.0, // Tesla K40 DGEMM
+                nic_gbps: 56.0,
+            },
+            Machine::SdK40x2 => NodeSpec {
+                name: "sd-b715-2k40".into(),
+                cpu_cores: 24,
+                gpus: 2,
+                cpu_gflops_per_core: 15.0,
+                gpu_gflops: 1150.0,
+                nic_gbps: 56.0,
+            },
+        }
+    }
+
+    /// Site this machine belongs to.
+    pub fn site(self) -> Site {
+        match self {
+            Machine::Chetemi | Machine::Chifflet | Machine::Chifflot => Site::G5k,
+            _ => Site::SDumont,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ordering_within_sites() {
+        // L > M > S in peak throughput, per Table II's grouping.
+        let peak = |m: Machine| m.spec().peak_gflops();
+        assert!(peak(Machine::Chifflot) > peak(Machine::Chifflet));
+        assert!(peak(Machine::Chifflet) > peak(Machine::Chetemi));
+        assert!(peak(Machine::SdK40x2) > peak(Machine::SdK40x1));
+        assert!(peak(Machine::SdK40x1) > peak(Machine::SdCpu));
+    }
+
+    #[test]
+    fn cpu_only_machines_have_no_gpus() {
+        assert_eq!(Machine::Chetemi.spec().gpus, 0);
+        assert_eq!(Machine::SdCpu.spec().gpus, 0);
+        assert_eq!(Machine::SdK40x1.spec().gpus, 1);
+    }
+
+    #[test]
+    fn sd_nodes_share_cpu_config() {
+        // The three SD variants differ only in GPUs (same B715 chassis).
+        let a = Machine::SdCpu.spec();
+        let b = Machine::SdK40x2.spec();
+        assert_eq!(a.cpu_cores, b.cpu_cores);
+        assert_eq!(a.cpu_gflops_per_core, b.cpu_gflops_per_core);
+        assert_eq!(a.nic_gbps, b.nic_gbps);
+    }
+
+    #[test]
+    fn networks_match_paper_description() {
+        assert_eq!(Site::G5k.network().backbone_gbps, 200.0);
+        assert!(Site::SDumont.network().backbone_gbps > Site::G5k.network().backbone_gbps);
+        assert_eq!(Machine::Chifflot.spec().nic_gbps, 25.0);
+        assert_eq!(Machine::Chetemi.spec().nic_gbps, 10.0);
+        assert_eq!(Machine::SdCpu.spec().nic_gbps, 56.0);
+    }
+
+    #[test]
+    fn sites_assigned_correctly() {
+        assert_eq!(Machine::Chifflet.site(), Site::G5k);
+        assert_eq!(Machine::SdK40x2.site(), Site::SDumont);
+        assert_eq!(Site::G5k.name(), "G5K");
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! Machine catalogue (paper Table II) and the 16 evaluation scenarios.
+//!
+//! Node throughputs are calibrated from the nominal double-precision
+//! capabilities of the paper's hardware (Grid5000 Chetemi / Chifflet /
+//! Chifflot, Santos Dumont B715 with 0/1/2 K40 GPUs); networks follow the
+//! paper's description (10/25 Gb/s Ethernet partitions with a 2×100 Gb/s
+//! backbone on Grid5000, 56 Gb/s InfiniBand FDR on Santos Dumont). The
+//! goal is not to match absolute times but to reproduce the response-curve
+//! *shapes*: convexity, contention knees, and group-boundary breaks.
+
+mod catalogue;
+mod scenario;
+
+pub use catalogue::{Machine, Site};
+pub use scenario::{Scale, Scenario};

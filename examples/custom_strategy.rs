@@ -1,0 +1,71 @@
+//! Implementing your own exploration strategy against the public API: a
+//! simple epsilon-greedy tuner, raced against GP-discontinuous on a
+//! discontinuous synthetic response.
+//!
+//! ```sh
+//! cargo run --release --example custom_strategy
+//! ```
+
+use adaphet::tuner::{ActionSpace, GpDiscontinuous, History, Strategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// ε-greedy: explore a uniform random action with probability ε, else
+/// exploit the best mean so far.
+struct EpsilonGreedy {
+    n: usize,
+    epsilon: f64,
+    rng: StdRng,
+}
+
+impl Strategy for EpsilonGreedy {
+    fn name(&self) -> &'static str {
+        "epsilon-greedy"
+    }
+    fn propose(&mut self, hist: &History) -> usize {
+        if hist.is_empty() || self.rng.random_range(0.0..1.0) < self.epsilon {
+            self.rng.random_range(1..=self.n)
+        } else {
+            hist.best_action().unwrap_or(self.n)
+        }
+    }
+}
+
+fn main() {
+    let n = 20;
+    // Discontinuous truth: slow third group from n = 15 on; optimum at 10.
+    let truth = |a: usize| {
+        let base = 80.0 / a as f64 + 0.8 * a as f64;
+        if a >= 15 {
+            base + 10.0
+        } else {
+            base
+        }
+    };
+    let lp: Vec<f64> = (1..=n).map(|a| 80.0 / a as f64).collect();
+    let space = ActionSpace::new(n, vec![(1, 7), (8, 14), (15, 20)], Some(lp));
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut race = |strat: &mut dyn Strategy| -> (f64, usize) {
+        let mut hist = History::new();
+        for _ in 0..100 {
+            let a = strat.propose(&hist);
+            hist.record(a, truth(a) + rng.random_range(-0.4..0.4));
+        }
+        (hist.total_time(), hist.records().last().unwrap().0)
+    };
+
+    let mut eps = EpsilonGreedy { n, epsilon: 0.15, rng: StdRng::seed_from_u64(1) };
+    let mut gpd = GpDiscontinuous::new(&space);
+    let (t_eps, last_eps) = race(&mut eps);
+    let (t_gpd, last_gpd) = race(&mut gpd);
+    let best = (1..=n).min_by(|&a, &b| truth(a).partial_cmp(&truth(b)).unwrap()).unwrap();
+
+    println!("true optimum: n = {best} ({:.2}s per iteration)", truth(best));
+    println!("epsilon-greedy    : total {t_eps:>8.1}s, final action {last_eps}");
+    println!("GP-discontinuous  : total {t_gpd:>8.1}s, final action {last_gpd}");
+    println!(
+        "GP-discontinuous advantage: {:.1}%",
+        100.0 * (1.0 - t_gpd / t_eps)
+    );
+}

@@ -1,0 +1,60 @@
+//! Non-stationary workloads (the paper's future-work discussion): the
+//! response curve shifts mid-run — e.g. the matrix grows or the network
+//! becomes congested — and a plain tuner keeps exploiting a stale optimum.
+//! The [`DriftReset`] wrapper detects the shift and re-learns.
+//!
+//! ```sh
+//! cargo run --release --example nonstationary
+//! ```
+
+use adaphet::tuner::{ActionSpace, DriftReset, GpDiscontinuous, History, Strategy};
+
+fn main() {
+    let n = 16;
+    // Epoch 1 (iterations 0..70): optimum at 5 nodes.
+    let f1 = |a: usize| 60.0 / a as f64 + 1.2 * (a as f64 - 5.0).abs() + 4.0;
+    // Epoch 2 (iterations 70..): network congestion penalizes small sets;
+    // optimum moves to 12 and everything gets slower.
+    let f2 = |a: usize| 140.0 / a as f64 + 1.5 * (a as f64 - 12.0).abs() + 9.0;
+
+    let make_space = move || {
+        let lp: Vec<f64> = (1..=n).map(|k| 40.0 / k as f64).collect();
+        ActionSpace::new(n, vec![(1, 8), (9, 16)], Some(lp))
+    };
+
+    let run = |mut strat: Box<dyn Strategy>| -> (History, f64) {
+        let mut h = History::new();
+        for it in 0..160 {
+            let a = strat.propose(&h);
+            let y = if it < 70 { f1(a) } else { f2(a) };
+            h.record(a, y);
+        }
+        let total = h.total_time();
+        (h, total)
+    };
+
+    let (h_plain, t_plain) = run(Box::new(GpDiscontinuous::new(&make_space())));
+    let wrapped = DriftReset::new(
+        move || Box::new(GpDiscontinuous::new(&make_space())) as Box<dyn Strategy>,
+        4,
+        0.3,
+    );
+    let (h_drift, t_drift) = run(Box::new(wrapped));
+
+    let late = |h: &History| -> Vec<usize> {
+        h.records()[150..].iter().map(|r| r.0).collect()
+    };
+    println!("optimum: 5 nodes before iteration 70, 12 nodes after\n");
+    println!(
+        "plain GP-discontinuous : total {t_plain:>8.1}s, final actions {:?}",
+        late(&h_plain)
+    );
+    println!(
+        "with drift-reset       : total {t_drift:>8.1}s, final actions {:?}",
+        late(&h_drift)
+    );
+    println!(
+        "\ndrift handling saved {:.1}% of total time",
+        100.0 * (1.0 - t_drift / t_plain)
+    );
+}

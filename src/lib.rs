@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # adaphet — adaptive heterogeneous node selection for multi-phase
+//! task-based HPC applications
+//!
+//! A from-scratch Rust reproduction of *"Multi-Phase Task-Based HPC
+//! Applications: Quickly Learning how to Run Fast"* (Nesi, Schnorr &
+//! Legrand, IPDPS 2022).
+//!
+//! The umbrella crate re-exports the workspace's layers:
+//!
+//! * [`tuner`] — the paper's contribution: online exploration strategies
+//!   over node counts ([`tuner::GpDiscontinuous`] being the proposed one);
+//! * [`gp`] — Gaussian-process regression (universal kriging) substrate;
+//! * [`lp`] — simplex solver + heterogeneous makespan lower bounds;
+//! * [`runtime`] — StarPU-like task runtime with a simulated (SimGrid-like)
+//!   and a real (threaded) backend;
+//! * [`geostat`] — the ExaGeoStat-like five-phase application;
+//! * [`scenarios`] — the paper's Table II machines and 16 scenarios;
+//! * [`eval`] — response tables, resampling replays, figure generators;
+//! * [`linalg`] — the dense linear-algebra core.
+//!
+//! See `examples/quickstart.rs` for the 40-line tour and DESIGN.md for the
+//! full system inventory.
+
+pub use adaphet_core as tuner;
+pub use adaphet_eval as eval;
+pub use adaphet_geostat as geostat;
+pub use adaphet_gp as gp;
+pub use adaphet_linalg as linalg;
+pub use adaphet_lp as lp;
+pub use adaphet_runtime as runtime;
+pub use adaphet_scenarios as scenarios;

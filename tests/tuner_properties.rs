@@ -1,0 +1,137 @@
+//! Property-based integration tests of the tuner layer against random
+//! synthetic response curves (the whole strategy zoo must stay in-bounds
+//! and deterministic, and GP-discontinuous must honour the bound filter).
+
+use adaphet::eval::{make_strategy, PAPER_STRATEGIES};
+use adaphet::tuner::{ActionSpace, GpDiscontinuous, History, Strategy};
+use proptest::prelude::*;
+
+/// A random piecewise response curve with optional jump.
+fn curve(work: f64, slope: f64, jump_at: usize, jump: f64) -> impl Fn(usize) -> f64 {
+    move |n: usize| {
+        let base = work / n as f64 + slope * n as f64;
+        if n >= jump_at {
+            base + jump
+        } else {
+            base
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every strategy proposes only valid actions for any curve.
+    #[test]
+    fn all_strategies_stay_in_bounds(
+        n in 2usize..40,
+        work in 10.0f64..200.0,
+        slope in 0.1f64..2.0,
+        seed in 0u64..50,
+    ) {
+        let lp: Vec<f64> = (1..=n).map(|k| work / k as f64).collect();
+        let g1 = (n / 3).max(1);
+        let g2 = (2 * n / 3).max(g1 + 1).min(n);
+        let groups = if g2 < n {
+            vec![(1, g1), (g1 + 1, g2), (g2 + 1, n)]
+        } else if g1 < n {
+            vec![(1, g1), (g1 + 1, n)]
+        } else {
+            vec![(1, n)]
+        };
+        let space = ActionSpace::new(n, groups, Some(lp));
+        let f = curve(work, slope, 2 * n / 3 + 1, 5.0);
+        for name in PAPER_STRATEGIES {
+            let mut s = make_strategy(name, &space, seed, None);
+            let mut h = History::new();
+            for _ in 0..30 {
+                let a = s.propose(&h);
+                prop_assert!((1..=n).contains(&a), "{name} proposed {a} (N = {n})");
+                h.record(a, f(a));
+            }
+        }
+    }
+
+    /// Strategies are deterministic given identical seeds and histories.
+    #[test]
+    fn strategies_are_reproducible(n in 3usize..20, seed in 0u64..20) {
+        let space = ActionSpace::unstructured(n);
+        let f = curve(50.0, 0.8, n + 1, 0.0);
+        for name in PAPER_STRATEGIES {
+            let run = || {
+                let mut s = make_strategy(name, &space, seed, None);
+                let mut h = History::new();
+                let mut seq = Vec::new();
+                for _ in 0..20 {
+                    let a = s.propose(&h);
+                    seq.push(a);
+                    h.record(a, f(a));
+                }
+                seq
+            };
+            prop_assert_eq!(run(), run(), "{} not reproducible", name);
+        }
+    }
+
+    /// After the forced first iteration, GP-discontinuous never proposes an
+    /// action excluded by the LP bound mechanism.
+    #[test]
+    fn gp_disc_honours_bound_filter(
+        n in 4usize..30,
+        work in 20.0f64..150.0,
+        slope in 0.2f64..1.5,
+    ) {
+        let lp: Vec<f64> = (1..=n).map(|k| work / k as f64).collect();
+        let space = ActionSpace::new(n, vec![], Some(lp.clone()));
+        let f = curve(work, slope, n + 1, 0.0);
+        let mut s = GpDiscontinuous::new(&space);
+        let mut h = History::new();
+        let mut y_all = None;
+        for _ in 0..25 {
+            let a = s.propose(&h);
+            if let Some(y) = y_all {
+                prop_assert!(
+                    a == n || lp[a - 1] < y,
+                    "proposed {a} with LP {} >= y(N) {}",
+                    lp[a - 1],
+                    y
+                );
+            }
+            let y = f(a);
+            h.record(a, y);
+            if a == n && y_all.is_none() {
+                y_all = Some(y);
+            }
+        }
+    }
+
+    /// On noiseless convex curves, GP-discontinuous's final choice is near
+    /// the true optimum.
+    #[test]
+    fn gp_disc_finds_convex_optimum(
+        n in 6usize..25,
+        work in 30.0f64..120.0,
+        slope in 0.4f64..1.6,
+    ) {
+        let lp: Vec<f64> = (1..=n).map(|k| work / k as f64).collect();
+        let space = ActionSpace::new(n, vec![], Some(lp));
+        let f = curve(work, slope, n + 1, 0.0);
+        let best = (1..=n)
+            .min_by(|&a, &b| f(a).partial_cmp(&f(b)).unwrap())
+            .unwrap();
+        let mut s = GpDiscontinuous::new(&space);
+        let mut h = History::new();
+        for _ in 0..50 {
+            let a = s.propose(&h);
+            h.record(a, f(a));
+        }
+        let last = h.records().last().unwrap().0;
+        // Either the bound already proves the optimum region, or the GP
+        // found it; accept a +-2 neighbourhood (plateaus near the optimum
+        // of a discrete convex curve are common).
+        prop_assert!(
+            (last as i64 - best as i64).abs() <= 2 || f(last) <= f(best) * 1.03,
+            "settled at {last}, optimum {best} (N = {n})"
+        );
+    }
+}
