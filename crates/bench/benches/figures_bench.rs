@@ -7,7 +7,7 @@
 
 use adaphet_core::{ActionSpace, GpDiscontinuous, GpUcb, History, Strategy};
 use adaphet_eval::{
-    build_response, build_response_2d, build_rigid_curve, make_strategy, replay_many, space_of,
+    build_response, build_response_2d, build_rigid_curve, replay_many, space_of, StrategyKind,
 };
 use adaphet_geostat::IterationChoice;
 use adaphet_gp::{GpConfig, GpModel, Kernel, Trend};
@@ -109,8 +109,8 @@ fn bench_fig6(c: &mut Criterion) {
         let table = adaphet_bench::synthetic_table(24, 30);
         b.iter(|| {
             let mut acc = 0.0;
-            for name in adaphet_eval::PAPER_STRATEGIES {
-                acc += replay_many(name, &table, 60, 5, 3).mean_total;
+            for kind in adaphet_eval::PAPER_STRATEGIES {
+                acc += replay_many(kind, &table, 60, 5, 3).mean_total;
             }
             acc
         });
@@ -152,7 +152,8 @@ fn bench_table1(c: &mut Criterion) {
         let lp: Vec<f64> = (1..=24).map(|n| 96.0 / n as f64).collect();
         let space = ActionSpace::new(24, vec![(1, 8), (9, 16), (17, 24)], Some(lp));
         b.iter(|| {
-            let mut s = make_strategy("GP-discontin", &space, 1, None);
+            let mut s =
+                StrategyKind::GpDiscontinuous.build(&space, 1, None).expect("no oracle needed");
             let mut h = History::new();
             for _ in 0..40 {
                 let a = s.propose(&h);

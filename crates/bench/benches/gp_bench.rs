@@ -11,9 +11,7 @@ fn data(n: usize) -> (Vec<f64>, Vec<f64>) {
     // Spread the samples over the whole [0, 37] span so every dummy-group
     // column of the trend has data regardless of n (a rank-deficient GLS
     // would error out of the fit).
-    let xs: Vec<f64> = (0..n)
-        .map(|i| i as f64 * 37.0 / n as f64 + 0.013 * i as f64)
-        .collect();
+    let xs: Vec<f64> = (0..n).map(|i| i as f64 * 37.0 / n as f64 + 0.013 * i as f64).collect();
     let ys: Vec<f64> = xs.iter().map(|x| 40.0 / (x + 1.0) + 0.5 * x).collect();
     (xs, ys)
 }

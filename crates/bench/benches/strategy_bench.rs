@@ -4,7 +4,7 @@
 
 use adaphet_bench::synthetic_table;
 use adaphet_core::History;
-use adaphet_eval::{make_strategy, replay, space_of};
+use adaphet_eval::{replay, space_of, StrategyKind};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -22,13 +22,13 @@ fn bench_propose(c: &mut Criterion) {
     let table = synthetic_table(36, 30);
     let space = space_of(&table);
     let mut g = c.benchmark_group("propose_cost_at_60_obs");
-    for name in adaphet_eval::PAPER_STRATEGIES {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+    for kind in adaphet_eval::PAPER_STRATEGIES {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
             let h = history(60, 36);
             b.iter(|| {
                 // Fresh strategy per call: proposal cost includes any
                 // internal refit, exactly like the online setting.
-                let mut s = make_strategy(name, &space, 1, None);
+                let mut s = kind.build(&space, 1, None).expect("paper strategy");
                 black_box(s.propose(&h))
             });
         });
@@ -40,9 +40,9 @@ fn bench_full_replay(c: &mut Criterion) {
     let table = synthetic_table(36, 30);
     let mut g = c.benchmark_group("replay_127_iters");
     g.sample_size(10);
-    for name in ["GP-discontin", "GP-UCB", "UCB"] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            b.iter(|| replay(name, &table, 127, 5).total_time);
+    for kind in [StrategyKind::GpDiscontinuous, StrategyKind::GpUcb, StrategyKind::Ucb] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| replay(kind, &table, 127, 5).total_time);
         });
     }
     g.finish();

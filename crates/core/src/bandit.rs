@@ -1,7 +1,7 @@
 //! Multi-armed bandit strategies: UCB over all node counts, and the
 //! structure-restricted UCB-struct (paper Section IV-C).
 
-use crate::{ActionSpace, History, Strategy};
+use crate::{ActionDiagnostic, ActionSpace, DecisionTrace, History, Strategy};
 
 /// UCB1 (Auer et al.) over a fixed set of arms, minimizing durations.
 ///
@@ -51,11 +51,8 @@ impl Strategy for Ucb {
         let t = hist.len().max(1) as f64;
         // Scale rewards so c is comparable across problems: use the spread
         // of observed means.
-        let means: Vec<f64> = self
-            .arms
-            .iter()
-            .map(|&a| hist.mean_for(a).expect("all arms visited"))
-            .collect();
+        let means: Vec<f64> =
+            self.arms.iter().map(|&a| hist.mean_for(a).expect("all arms visited")).collect();
         let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let scale = (hi - lo).max(1e-12);
@@ -71,6 +68,36 @@ impl Strategy for Ucb {
             .map(|(a, _)| a)
             .expect("arms non-empty")
     }
+
+    fn explain(&self, hist: &History) -> DecisionTrace {
+        if self.arms.iter().any(|&a| hist.count_for(a) == 0) {
+            return DecisionTrace::minimal("init-sweep");
+        }
+        let t = hist.len().max(1) as f64;
+        let means: Vec<f64> =
+            self.arms.iter().map(|&a| hist.mean_for(a).expect("all arms visited")).collect();
+        let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let scale = (hi - lo).max(1e-12);
+        // `mean` is the empirical mean duration, `sd` the exploration
+        // bonus width, `acquisition` the (maximized) UCB score.
+        let diagnostics = self
+            .arms
+            .iter()
+            .zip(&means)
+            .map(|(&a, &m)| {
+                let n_a = hist.count_for(a) as f64;
+                let bonus = self.c * (t.ln() / n_a).sqrt();
+                ActionDiagnostic {
+                    action: a,
+                    mean: m,
+                    sd: bonus,
+                    acquisition: -(m - lo) / scale + bonus,
+                }
+            })
+            .collect();
+        DecisionTrace { diagnostics, excluded: Vec::new(), note: "ucb".into() }
+    }
 }
 
 /// UCB restricted to complete homogeneous groups (paper: "only look at
@@ -80,12 +107,16 @@ impl Strategy for Ucb {
 #[derive(Debug, Clone)]
 pub struct UcbStruct {
     inner: Ucb,
+    max_nodes: usize,
 }
 
 impl UcbStruct {
     /// Arms at the cumulative group boundaries.
     pub fn new(space: &ActionSpace) -> Self {
-        UcbStruct { inner: Ucb::with_arms(space.struct_actions(), "UCB-struct") }
+        UcbStruct {
+            inner: Ucb::with_arms(space.struct_actions(), "UCB-struct"),
+            max_nodes: space.max_nodes,
+        }
     }
 
     /// The restricted arm set (diagnostics).
@@ -101,6 +132,15 @@ impl Strategy for UcbStruct {
 
     fn propose(&mut self, hist: &History) -> usize {
         self.inner.propose(hist)
+    }
+
+    fn explain(&self, hist: &History) -> DecisionTrace {
+        let mut trace = self.inner.explain(hist);
+        // Everything outside the group boundaries is structurally
+        // excluded, not merely unexplored.
+        trace.excluded = (1..=self.max_nodes).filter(|a| !self.inner.arms.contains(a)).collect();
+        trace.note = format!("ucb-struct:{}", trace.note);
+        trace
     }
 }
 
@@ -134,10 +174,7 @@ mod tests {
         let f = |n: usize| if n == 4 { 1.0 } else { 10.0 };
         let h = drive(&mut u, f, 120);
         let best_count = h.count_for(4);
-        assert!(
-            best_count > 60,
-            "best arm pulled {best_count}/120 times"
-        );
+        assert!(best_count > 60, "best arm pulled {best_count}/120 times");
     }
 
     #[test]

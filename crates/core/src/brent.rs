@@ -121,11 +121,7 @@ impl BrentSearch {
             self.e = if self.x >= mid { self.a - self.x } else { self.b - self.x };
             self.d = CGOLD * self.e;
         }
-        let u = if self.d.abs() >= tol1 {
-            self.x + self.d
-        } else {
-            self.x + tol1.copysign(self.d)
-        };
+        let u = if self.d.abs() >= tol1 { self.x + self.d } else { self.x + tol1.copysign(self.d) };
         Some(u)
     }
 
@@ -241,8 +237,7 @@ mod tests {
         let mut b = BrentSearch::new(&space);
         let f = |n: usize| (n as f64 - 60.0).powi(2);
         let h = drive(&mut b, f, 60);
-        let distinct: std::collections::BTreeSet<usize> =
-            h.records().iter().map(|r| r.0).collect();
+        let distinct: std::collections::BTreeSet<usize> = h.records().iter().map(|r| r.0).collect();
         assert!(distinct.len() < 25, "evaluated {} distinct points", distinct.len());
     }
 

@@ -63,11 +63,7 @@ impl DriftReset {
     /// mean of its last `window` observations vs. the mean of its earlier
     /// ones.
     fn drifted(&self, epoch: &History) -> bool {
-        let Some(best) = epoch
-            .grouped()
-            .into_iter()
-            .max_by_key(|(_, v)| v.len())
-            .map(|(a, _)| a)
+        let Some(best) = epoch.grouped().into_iter().max_by_key(|(_, v)| v.len()).map(|(a, _)| a)
         else {
             return false;
         };

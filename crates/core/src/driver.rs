@@ -1,0 +1,554 @@
+//! The canonical tuning loop with structured per-iteration telemetry.
+//!
+//! Every consumer of a [`Strategy`] used to hand-roll the same three-line
+//! propose → execute → record loop, which made it impossible to observe
+//! *why* a strategy picked an action without instrumenting each call site
+//! separately. [`TunerDriver`] owns that loop once: callers provide an
+//! executor closure mapping an action (node count) to an [`Observation`]
+//! and the driver maintains the [`History`], enforces the in-range
+//! proposal contract, and emits one [`IterationEvent`] per iteration to
+//! any attached [`TelemetrySink`]s.
+//!
+//! Telemetry stays off the hot path: with no sink attached the driver
+//! never builds an event and never calls [`Strategy::explain`] (which for
+//! the GP strategies costs a full surrogate refit).
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::strategy::{DecisionTrace, Strategy};
+use crate::{ActionSpace, History};
+
+/// Time attributed to one named application phase within an iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSlice {
+    /// Phase name (e.g. `"factorization"`).
+    pub name: String,
+    /// Busy time of the phase in seconds.
+    pub seconds: f64,
+}
+
+impl PhaseSlice {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, seconds: f64) -> Self {
+        PhaseSlice { name: name.into(), seconds }
+    }
+}
+
+/// What the executor measured for one iteration.
+///
+/// The driver is runtime-agnostic: simulated runtimes, real thread pools
+/// and pre-measured response tables all reduce to a duration plus an
+/// optional per-phase breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Iteration makespan in seconds (what strategies optimize).
+    pub duration: f64,
+    /// Optional per-phase busy-time breakdown of the iteration.
+    pub phases: Vec<PhaseSlice>,
+}
+
+impl Observation {
+    /// An observation with no phase breakdown.
+    pub fn of(duration: f64) -> Self {
+        Observation { duration, phases: Vec::new() }
+    }
+
+    /// An observation with a per-phase breakdown.
+    pub fn with_phases(duration: f64, phases: Vec<PhaseSlice>) -> Self {
+        Observation { duration, phases }
+    }
+}
+
+/// Everything there is to know about one driver iteration.
+///
+/// The JSONL serialization of this struct ([`IterationEvent::to_json`])
+/// is a stable schema: field names and ordering are pinned by a golden
+/// test and consumed by external tooling, so changes are semver-relevant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationEvent {
+    /// 0-based iteration index.
+    pub iteration: usize,
+    /// `Strategy::name()` of the deciding strategy.
+    pub strategy: String,
+    /// The action (node count) the strategy chose.
+    pub action: usize,
+    /// Measured iteration duration in seconds.
+    pub duration: f64,
+    /// Sum of all iteration durations up to and including this one.
+    pub cumulative_time: f64,
+    /// Duration of the best-known action (from an oracle or response
+    /// table), when configured on the driver.
+    pub best_known: Option<f64>,
+    /// Instantaneous regret `duration − best_known`, when available.
+    pub regret: Option<f64>,
+    /// Per-phase breakdown reported by the executor (may be empty).
+    pub phases: Vec<PhaseSlice>,
+    /// Strategy introspection for this decision, when a sink asked for it.
+    pub trace: Option<DecisionTrace>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl IterationEvent {
+    /// One-line JSON rendering with a pinned field order:
+    /// `iteration, strategy, action, duration, cumulative_time,
+    /// best_known, regret, phases, posterior, excluded, note`.
+    ///
+    /// Every key is always present; `best_known`/`regret` are `null` when
+    /// unset and `posterior`/`excluded`/`note` are empty when the decision
+    /// trace was not requested. Non-finite floats serialize as `null`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!(
+            "{{\"iteration\":{},\"strategy\":\"{}\",\"action\":{},\"duration\":{},\
+             \"cumulative_time\":{}",
+            self.iteration,
+            json_escape(&self.strategy),
+            self.action,
+            json_f64(self.duration),
+            json_f64(self.cumulative_time),
+        ));
+        s.push_str(&format!(",\"best_known\":{}", self.best_known.map_or("null".into(), json_f64)));
+        s.push_str(&format!(",\"regret\":{}", self.regret.map_or("null".into(), json_f64)));
+        s.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"seconds\":{}}}",
+                json_escape(&p.name),
+                json_f64(p.seconds)
+            ));
+        }
+        s.push_str("],\"posterior\":[");
+        if let Some(t) = &self.trace {
+            for (i, d) in t.diagnostics.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"action\":{},\"mean\":{},\"sd\":{},\"acquisition\":{}}}",
+                    d.action,
+                    json_f64(d.mean),
+                    json_f64(d.sd),
+                    json_f64(d.acquisition)
+                ));
+            }
+        }
+        s.push_str("],\"excluded\":[");
+        if let Some(t) = &self.trace {
+            for (i, a) in t.excluded.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{a}"));
+            }
+        }
+        s.push_str(&format!(
+            "],\"note\":\"{}\"}}",
+            json_escape(self.trace.as_ref().map_or("", |t| t.note.as_str()))
+        ));
+        s
+    }
+}
+
+/// Consumer of per-iteration telemetry.
+pub trait TelemetrySink {
+    /// Whether the driver should compute [`Strategy::explain`] for this
+    /// sink's events. Defaults to `true`; return `false` for cheap sinks
+    /// (counters, progress bars) to keep GP refits off the loop.
+    fn wants_decision_trace(&self) -> bool {
+        true
+    }
+
+    /// Called once per driver iteration, after the observation is
+    /// recorded.
+    fn on_iteration(&mut self, event: &IterationEvent);
+
+    /// Called by [`TunerDriver::finish`]; flush buffers here.
+    fn finish(&mut self) {}
+}
+
+/// In-memory sink for tests and programmatic inspection.
+///
+/// Cloning shares the underlying buffer, so a test can keep a handle
+/// while handing a clone to the driver.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Rc<RefCell<Vec<IterationEvent>>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<IterationEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether no event was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn on_iteration(&mut self, event: &IterationEvent) {
+        self.events.borrow_mut().push(event.clone());
+    }
+}
+
+/// Sink writing one [`IterationEvent::to_json`] line per iteration.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Create (truncate) a JSONL file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink { writer: BufWriter::new(File::create(path)?) })
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap any writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Recover the writer (e.g. a `Vec<u8>` buffer in tests).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TelemetrySink for JsonlSink<W> {
+    fn on_iteration(&mut self, event: &IterationEvent) {
+        // Telemetry must never abort a tuning run; I/O errors are dropped.
+        let _ = writeln!(self.writer, "{}", event.to_json());
+    }
+
+    fn finish(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// What [`TunerDriver::step`] hands back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// 0-based iteration index of this step.
+    pub iteration: usize,
+    /// Action that was played.
+    pub action: usize,
+    /// Measured duration.
+    pub duration: f64,
+}
+
+/// The canonical propose → execute → record loop.
+///
+/// ```
+/// use adaphet_core::{ActionSpace, Observation, StrategyKind, TunerDriver};
+///
+/// let space = ActionSpace::unstructured(8);
+/// let strat = "GP-UCB".parse::<StrategyKind>().unwrap()
+///     .build(&space, 0, None).unwrap();
+/// let mut driver = TunerDriver::new(strat, &space);
+/// driver.run(10, |n| Observation::of(16.0 / n as f64 + n as f64));
+/// assert_eq!(driver.history().len(), 10);
+/// ```
+pub struct TunerDriver {
+    strategy: Box<dyn Strategy>,
+    space: ActionSpace,
+    history: History,
+    sinks: Vec<Box<dyn TelemetrySink>>,
+    best_known: Option<f64>,
+    cumulative: f64,
+}
+
+impl TunerDriver {
+    /// A driver with no telemetry attached.
+    pub fn new(strategy: Box<dyn Strategy>, space: &ActionSpace) -> Self {
+        TunerDriver {
+            strategy,
+            space: space.clone(),
+            history: History::new(),
+            sinks: Vec::new(),
+            best_known: None,
+            cumulative: 0.0,
+        }
+    }
+
+    /// Provide the best-known per-iteration duration (oracle or response
+    /// table optimum) so events carry instantaneous regret.
+    pub fn with_best_known(mut self, duration: f64) -> Self {
+        self.best_known = Some(duration);
+        self
+    }
+
+    /// Attach a telemetry sink (builder form).
+    pub fn with_sink(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Attach a telemetry sink.
+    pub fn add_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sinks.push(sink);
+    }
+
+    /// The strategy driving the loop.
+    pub fn strategy(&self) -> &dyn Strategy {
+        self.strategy.as_ref()
+    }
+
+    /// Observations recorded so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Consume the driver, returning the history (sinks are finished).
+    pub fn into_history(mut self) -> History {
+        self.finish();
+        self.history
+    }
+
+    /// Run one iteration: propose, execute, record, emit telemetry.
+    ///
+    /// Proposals must satisfy the [`Strategy::propose`] range contract;
+    /// the driver checks it with a `debug_assert!` so violations surface
+    /// in tests rather than corrupting downstream lookups.
+    pub fn step<F: FnOnce(usize) -> Observation>(&mut self, execute: F) -> StepOutcome {
+        let iteration = self.history.len();
+        let action = self.strategy.propose(&self.history);
+        debug_assert!(
+            (1..=self.space.max_nodes).contains(&action),
+            "strategy {:?} proposed out-of-range action {} (space is 1..={})",
+            self.strategy.name(),
+            action,
+            self.space.max_nodes
+        );
+        // Explain before recording: the trace must describe the history
+        // state the decision was actually made from. Skipped entirely
+        // when no sink wants it (GP explain costs a surrogate refit).
+        let trace = if self.sinks.iter().any(|s| s.wants_decision_trace()) {
+            Some(self.strategy.explain(&self.history))
+        } else {
+            None
+        };
+        let obs = execute(action);
+        self.history.record(action, obs.duration);
+        self.cumulative += obs.duration;
+        if !self.sinks.is_empty() {
+            let event = IterationEvent {
+                iteration,
+                strategy: self.strategy.name().to_string(),
+                action,
+                duration: obs.duration,
+                cumulative_time: self.cumulative,
+                best_known: self.best_known,
+                regret: self.best_known.map(|b| obs.duration - b),
+                phases: obs.phases,
+                trace,
+            };
+            for sink in &mut self.sinks {
+                sink.on_iteration(&event);
+            }
+        }
+        StepOutcome { iteration, action, duration: obs.duration }
+    }
+
+    /// Run `iters` iterations through the same executor.
+    pub fn run<F: FnMut(usize) -> Observation>(&mut self, iters: usize, mut execute: F) {
+        for _ in 0..iters {
+            self.step(&mut execute);
+        }
+    }
+
+    /// Finish all sinks (flush files). Idempotent.
+    pub fn finish(&mut self) {
+        for sink in &mut self.sinks {
+            sink.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpDiscontinuous, StrategyKind};
+
+    fn space() -> ActionSpace {
+        ActionSpace::new(
+            10,
+            vec![(1, 5), (6, 10)],
+            Some((1..=10).map(|n| 30.0 / n as f64).collect()),
+        )
+    }
+
+    fn response(n: usize) -> f64 {
+        30.0 / n as f64 + 0.8 * n as f64
+    }
+
+    #[test]
+    fn driver_records_every_iteration() {
+        let sp = space();
+        let mut d = TunerDriver::new(Box::new(GpDiscontinuous::new(&sp)), &sp);
+        d.run(15, |n| Observation::of(response(n)));
+        assert_eq!(d.history().len(), 15);
+        let total: f64 = d.history().records().iter().map(|&(_, y)| y).sum();
+        assert!((total - d.history().total_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_sink_sees_one_event_per_iteration() {
+        let sp = space();
+        let sink = MemorySink::new();
+        let mut d = TunerDriver::new(Box::new(GpDiscontinuous::new(&sp)), &sp)
+            .with_sink(Box::new(sink.clone()))
+            .with_best_known(response(6));
+        d.run(12, |n| Observation::of(response(n)));
+        let events = sink.events();
+        assert_eq!(events.len(), d.history().len());
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.iteration, i);
+            assert_eq!(e.strategy, "GP-discontinuous");
+            assert!(e.trace.is_some(), "sink wants traces by default");
+            assert_eq!(e.regret.unwrap(), e.duration - response(6));
+        }
+        // Cumulative time is monotone and matches the history total.
+        let last = events.last().unwrap();
+        assert!((last.cumulative_time - d.history().total_time()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_sink_means_no_explain_calls() {
+        struct Spy {
+            explains: Rc<RefCell<usize>>,
+        }
+        impl Strategy for Spy {
+            fn name(&self) -> &'static str {
+                "spy"
+            }
+            fn propose(&mut self, _h: &History) -> usize {
+                1
+            }
+            fn explain(&self, _h: &History) -> DecisionTrace {
+                *self.explains.borrow_mut() += 1;
+                DecisionTrace::minimal("spy")
+            }
+        }
+        let count = Rc::new(RefCell::new(0usize));
+        let sp = ActionSpace::unstructured(3);
+        let mut d = TunerDriver::new(Box::new(Spy { explains: count.clone() }), &sp);
+        d.run(5, |_| Observation::of(1.0));
+        assert_eq!(*count.borrow(), 0, "explain must not run without a sink");
+
+        let mut d = TunerDriver::new(Box::new(Spy { explains: count.clone() }), &sp)
+            .with_sink(Box::new(MemorySink::new()));
+        d.run(5, |_| Observation::of(1.0));
+        assert_eq!(*count.borrow(), 5, "explain runs once per iteration with a sink");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_iteration() {
+        let sp = space();
+        let strat = StrategyKind::GpDiscontinuous.build(&sp, 0, None).unwrap();
+        let sink = JsonlSink::new(Vec::new());
+        // Route through a shared buffer we can read back.
+        struct Tee(Rc<RefCell<Vec<u8>>>);
+        impl Write for Tee {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        drop(sink);
+        let buf = Rc::new(RefCell::new(Vec::new()));
+        let mut d =
+            TunerDriver::new(strat, &sp).with_sink(Box::new(JsonlSink::new(Tee(buf.clone()))));
+        d.run(8, |n| Observation::of(response(n)));
+        d.finish();
+        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 8);
+        for line in lines {
+            assert!(line.starts_with("{\"iteration\":"), "line: {line}");
+            assert!(line.ends_with('}'), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn phases_flow_into_events() {
+        let sp = ActionSpace::unstructured(4);
+        let sink = MemorySink::new();
+        let mut d = TunerDriver::new(Box::new(crate::AllNodes::new(4)), &sp)
+            .with_sink(Box::new(sink.clone()));
+        d.step(|_| {
+            Observation::with_phases(
+                2.0,
+                vec![PhaseSlice::new("factorization", 1.5), PhaseSlice::new("solve", 0.5)],
+            )
+        });
+        let e = &sink.events()[0];
+        assert_eq!(e.phases.len(), 2);
+        assert_eq!(e.phases[0].name, "factorization");
+        assert_eq!(e.phases[1].seconds, 0.5);
+    }
+
+    #[test]
+    fn json_escapes_and_nonfinite() {
+        let e = IterationEvent {
+            iteration: 0,
+            strategy: "a\"b\\c".into(),
+            action: 1,
+            duration: f64::NAN,
+            cumulative_time: 1.0,
+            best_known: None,
+            regret: None,
+            phases: vec![],
+            trace: None,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"strategy\":\"a\\\"b\\\\c\""));
+        assert!(j.contains("\"duration\":null"));
+        assert!(j.contains("\"best_known\":null"));
+    }
+}

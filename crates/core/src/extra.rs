@@ -303,8 +303,7 @@ mod tests {
         let space = ActionSpace::unstructured(30);
         let mut s = SimulatedAnnealing::new(&space, 7);
         let h = drive(&mut s, |n| n as f64, 60);
-        let distinct: std::collections::BTreeSet<usize> =
-            h.records().iter().map(|r| r.0).collect();
+        let distinct: std::collections::BTreeSet<usize> = h.records().iter().map(|r| r.0).collect();
         assert!(distinct.len() >= 8, "only {} distinct", distinct.len());
     }
 

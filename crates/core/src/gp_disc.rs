@@ -18,10 +18,8 @@
 //! Initialization: all nodes → bounded leftmost → middle twice → the last
 //! point of each (bounded) group once — only then does GP-UCB take over.
 
-use crate::{ActionSpace, History, Strategy};
-use adaphet_gp::{
-    estimate_noise_from_replicates, GpConfig, GpModel, Kernel, Trend, UcbSchedule,
-};
+use crate::{ActionDiagnostic, ActionSpace, DecisionTrace, History, Strategy};
+use adaphet_gp::{estimate_noise_from_replicates, GpConfig, GpModel, Kernel, Trend, UcbSchedule};
 
 /// Feature toggles for ablation studies: each switch removes one of the
 /// paper's four ingredients (Section IV-D) so its contribution can be
@@ -153,11 +151,7 @@ impl GpDiscontinuous {
             return None;
         }
         let xs: Vec<f64> = hist.records().iter().map(|&(a, _)| a as f64).collect();
-        let rs: Vec<f64> = hist
-            .records()
-            .iter()
-            .map(|&(a, y)| y - self.lp(a))
-            .collect();
+        let rs: Vec<f64> = hist.records().iter().map(|&(a, y)| y - self.lp(a)).collect();
         // Trend: linear + dummies, but only for groups with data (an
         // all-zero dummy column would make the GLS rank deficient).
         let cands = self.candidates(hist);
@@ -183,9 +177,7 @@ impl GpDiscontinuous {
         // would inflate the confidence bands on wide action spaces and
         // cause pointless exploration.
         let alpha0 = adaphet_linalg::sample_variance(&rs).max(1e-9);
-        let noise = estimate_noise_from_replicates(&xs, &rs)
-            .unwrap_or(0.01 * alpha0)
-            .max(1e-9);
+        let noise = estimate_noise_from_replicates(&xs, &rs).unwrap_or(0.01 * alpha0).max(1e-9);
         let cfg = GpConfig {
             kernel: Kernel::Exponential { theta: 1.0 },
             process_var: alpha0,
@@ -193,11 +185,8 @@ impl GpDiscontinuous {
             trend,
         };
         let first = GpModel::fit(cfg.clone(), &xs, &rs).ok()?;
-        let detrended: Vec<f64> = xs
-            .iter()
-            .zip(&rs)
-            .map(|(&x, &r)| r - first.trend_mean(x))
-            .collect();
+        let detrended: Vec<f64> =
+            xs.iter().zip(&rs).map(|(&x, &r)| r - first.trend_mean(x)).collect();
         // Robust scale (MAD) so a single outlier iteration (a system
         // hiccup) does not blow the bands open for the rest of the run.
         let alpha = robust_variance(&detrended).max(0.1 * alpha0).max(4.0 * noise).max(1e-9);
@@ -282,6 +271,47 @@ impl Strategy for GpDiscontinuous {
             }
         }
     }
+
+    fn explain(&self, hist: &History) -> DecisionTrace {
+        let cands = self.candidates(hist);
+        let excluded: Vec<usize> =
+            self.space.actions().into_iter().filter(|a| !cands.contains(a)).collect();
+        if self.init_action(hist).is_some() {
+            return DecisionTrace { diagnostics: Vec::new(), excluded, note: "init".into() };
+        }
+        match self.fit(hist) {
+            Some(model) => {
+                let beta = self.schedule.beta(hist.len().max(1), cands.len());
+                let diagnostics = cands
+                    .iter()
+                    .map(|&a| {
+                        let p = model.predict(a as f64);
+                        let mean = self.lp(a) + p.mean;
+                        let sd = p.sd();
+                        ActionDiagnostic {
+                            action: a,
+                            mean,
+                            sd,
+                            acquisition: mean - beta.sqrt() * sd,
+                        }
+                    })
+                    .collect();
+                DecisionTrace { diagnostics, excluded, note: "gp-lcb".into() }
+            }
+            None => {
+                let diagnostics = cands
+                    .iter()
+                    .map(|&a| ActionDiagnostic {
+                        action: a,
+                        mean: hist.mean_for(a).unwrap_or(f64::NAN),
+                        sd: f64::NAN,
+                        acquisition: hist.count_for(a) as f64,
+                    })
+                    .collect();
+                DecisionTrace { diagnostics, excluded, note: "fallback-least-sampled".into() }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -360,11 +390,7 @@ mod tests {
     fn handles_group_discontinuity() {
         // Adding the slow group (n > 6) causes a jump (critical path).
         // Optimum is exactly at the boundary n = 6.
-        let space = ActionSpace::new(
-            16,
-            vec![(1, 6), (7, 16)],
-            Some(lp_curve(16, 48.0)),
-        );
+        let space = ActionSpace::new(16, vec![(1, 6), (7, 16)], Some(lp_curve(16, 48.0)));
         let mut g = GpDiscontinuous::new(&space);
         let f = |n: usize| {
             let base = 48.0 / n as f64 + 0.4 * n as f64;
@@ -377,14 +403,8 @@ mod tests {
         let h = drive(&mut g, f, 60);
         let best_by_truth = (1..=16).min_by(|&a, &b| f(a).partial_cmp(&f(b)).unwrap()).unwrap();
         let late: Vec<usize> = h.records()[40..].iter().map(|r| r.0).collect();
-        let near = late
-            .iter()
-            .filter(|&&a| (a as i64 - best_by_truth as i64).abs() <= 1)
-            .count();
-        assert!(
-            near * 2 > late.len(),
-            "true best {best_by_truth}, late plays {late:?}"
-        );
+        let near = late.iter().filter(|&&a| (a as i64 - best_by_truth as i64).abs() <= 1).count();
+        assert!(near * 2 > late.len(), "true best {best_by_truth}, late plays {late:?}");
     }
 
     #[test]
@@ -456,11 +476,7 @@ mod tests {
         let c_full = full2.surrogate_curve(&h).unwrap();
         let c_nolp = no_lp.surrogate_curve(&h).unwrap();
         // Means differ away from data (the LP carries the 1/x shape).
-        let diff: f64 = c_full
-            .iter()
-            .zip(&c_nolp)
-            .map(|(a, b)| (a.mean - b.mean).abs())
-            .sum();
+        let diff: f64 = c_full.iter().zip(&c_nolp).map(|(a, b)| (a.mean - b.mean).abs()).sum();
         assert!(diff > 1e-6, "LP residual must change the surrogate");
     }
 

@@ -1,10 +1,10 @@
 //! Plain GP-UCB (paper Section IV-D, first variant): constant trend,
 //! hyper-parameters estimated by maximum likelihood, no problem structure.
 
-use crate::{ActionSpace, History, Strategy};
+use crate::{ActionDiagnostic, ActionSpace, DecisionTrace, History, Strategy};
 use adaphet_gp::{
-    estimate_noise_from_replicates, fit_profile_likelihood, ucb_argmin, GpModel, Kernel,
-    MleSearch, Trend, UcbSchedule,
+    estimate_noise_from_replicates, fit_profile_likelihood, ucb_argmin, GpModel, Kernel, MleSearch,
+    Trend, UcbSchedule,
 };
 
 /// GP-UCB over node counts.
@@ -37,9 +37,8 @@ impl GpUcb {
         let xs: Vec<f64> = hist.records().iter().map(|&(a, _)| a as f64).collect();
         let ys: Vec<f64> = hist.records().iter().map(|&(_, y)| y).collect();
         let var = adaphet_linalg::sample_variance(&ys);
-        let noise = estimate_noise_from_replicates(&xs, &ys)
-            .unwrap_or(1e-4 * var.max(1e-12))
-            .max(1e-9);
+        let noise =
+            estimate_noise_from_replicates(&xs, &ys).unwrap_or(1e-4 * var.max(1e-12)).max(1e-9);
         let search = MleSearch {
             kernel: Kernel::Exponential { theta: 1.0 },
             trend: Trend::constant(),
@@ -66,8 +65,7 @@ impl Strategy for GpUcb {
             1 => 1.min(n),
             2 | 3 => n.div_ceil(2).max(1),
             t => {
-                let candidates: Vec<f64> =
-                    self.space.actions().iter().map(|&a| a as f64).collect();
+                let candidates: Vec<f64> = self.space.actions().iter().map(|&a| a as f64).collect();
                 match self.fit(hist) {
                     Some(model) => {
                         let beta = self.beta(t);
@@ -79,6 +77,35 @@ impl Strategy for GpUcb {
                     None => hist.best_action().unwrap_or(n),
                 }
             }
+        }
+    }
+
+    fn explain(&self, hist: &History) -> DecisionTrace {
+        let t = hist.len();
+        if t < 4 {
+            return DecisionTrace::minimal("init");
+        }
+        match self.fit(hist) {
+            Some(model) => {
+                let beta = self.beta(t);
+                let diagnostics = self
+                    .space
+                    .actions()
+                    .into_iter()
+                    .map(|a| {
+                        let p = model.predict(a as f64);
+                        let sd = p.sd();
+                        ActionDiagnostic {
+                            action: a,
+                            mean: p.mean,
+                            sd,
+                            acquisition: p.mean - beta.sqrt() * sd,
+                        }
+                    })
+                    .collect();
+                DecisionTrace { diagnostics, excluded: Vec::new(), note: "gp-lcb".into() }
+            }
+            None => DecisionTrace::minimal("fallback-best-mean"),
         }
     }
 }

@@ -36,11 +36,7 @@ impl History {
 
     /// Observations of one action.
     pub fn values_for(&self, action: usize) -> Vec<f64> {
-        self.records
-            .iter()
-            .filter(|&&(a, _)| a == action)
-            .map(|&(_, y)| y)
-            .collect()
+        self.records.iter().filter(|&&(a, _)| a == action).map(|&(_, y)| y).collect()
     }
 
     /// Number of times `action` was selected.
@@ -60,10 +56,7 @@ impl History {
 
     /// First observation of `action`, if any.
     pub fn first_for(&self, action: usize) -> Option<f64> {
-        self.records
-            .iter()
-            .find(|&&(a, _)| a == action)
-            .map(|&(_, y)| y)
+        self.records.iter().find(|&&(a, _)| a == action).map(|&(_, y)| y)
     }
 
     /// Per-action grouped observations (ordered by action).

@@ -24,49 +24,79 @@
 //!
 //! # Protocol
 //!
-//! Strategies implement [`Strategy`]: the driver calls
-//! [`Strategy::propose`] with the observation [`History`] so far and runs
-//! one iteration with the returned node count, appending the measured
-//! duration to the history. All strategies are deterministic given their
-//! construction (seeded RNGs where randomness is inherent).
+//! Strategies implement [`Strategy`]: the canonical loop is owned by
+//! [`TunerDriver`], which calls [`Strategy::propose`] with the
+//! observation [`History`] so far, runs one iteration with the returned
+//! node count through a caller-provided executor, and records the
+//! measured duration. Proposals must stay inside `1..=max_nodes` (see the
+//! [`Strategy`] range contract). All strategies are deterministic given
+//! their construction (seeded RNGs where randomness is inherent).
+//!
+//! Strategies are built by canonical name through [`StrategyKind`], and
+//! the driver emits one structured [`IterationEvent`] per iteration to
+//! any attached [`TelemetrySink`] — including the strategy's own account
+//! of its decision via [`Strategy::explain`].
 //!
 //! ```
-//! use adaphet_core::{ActionSpace, GpDiscontinuous, History, Strategy};
+//! use adaphet_core::{
+//!     ActionSpace, MemorySink, Observation, StrategyKind, TunerDriver,
+//! };
 //!
 //! // A 10-node cluster, two homogeneous groups, a synthetic LP bound.
 //! let space = ActionSpace::new(10, vec![(1, 4), (5, 10)],
 //!                              Some((1..=10).map(|n| 40.0 / n as f64).collect()));
-//! let mut strat = GpDiscontinuous::new(&space);
-//! let mut hist = History::new();
-//! for _ in 0..20 {
-//!     let n = strat.propose(&hist);
-//!     assert!((1..=10).contains(&n));
-//!     // Fake response: best at 6 nodes.
-//!     let y = 40.0 / n as f64 + 0.8 * (n as f64) + if n >= 5 { 0.0 } else { 6.0 };
-//!     hist.record(n, y);
-//! }
+//! let strat = "GP-discontinuous".parse::<StrategyKind>()
+//!     .unwrap()
+//!     .build(&space, 0, None)
+//!     .unwrap();
+//!
+//! let sink = MemorySink::new();
+//! let mut driver = TunerDriver::new(strat, &space)
+//!     .with_sink(Box::new(sink.clone()));
+//! // Fake response: best at 6 nodes.
+//! driver.run(20, |n| {
+//!     Observation::of(40.0 / n as f64 + 0.8 * (n as f64)
+//!                     + if n >= 5 { 0.0 } else { 6.0 })
+//! });
+//!
+//! assert_eq!(driver.history().len(), 20);
+//! let events = sink.events();
+//! assert_eq!(events.len(), 20);
+//! // Once the GP phase starts, events carry posterior diagnostics and
+//! // the LP-bound exclusions.
+//! assert!(events.iter().any(|e| {
+//!     let t = e.trace.as_ref().unwrap();
+//!     !t.diagnostics.is_empty() && !t.excluded.is_empty()
+//! }));
 //! ```
 
 mod action;
 mod bandit;
-mod drift;
 mod brent;
+mod drift;
+mod driver;
 mod extra;
 mod gp_disc;
 mod gp_ucb;
 mod history;
+mod kind;
 mod naive;
 mod strategy;
 mod two_dim;
 
 pub use action::ActionSpace;
 pub use bandit::{Ucb, UcbStruct};
-pub use drift::DriftReset;
 pub use brent::BrentSearch;
+pub use drift::DriftReset;
+pub use driver::{
+    IterationEvent, JsonlSink, MemorySink, Observation, PhaseSlice, StepOutcome, TelemetrySink,
+    TunerDriver,
+};
 pub use extra::{NelderMead1d, RandomSearch, SimulatedAnnealing, StochasticApproximation};
 pub use gp_disc::{GpDiscOptions, GpDiscontinuous};
 pub use gp_ucb::GpUcb;
 pub use history::History;
+pub use kind::{StrategyKind, UnknownStrategyError, PAPER_STRATEGIES};
 pub use naive::{DivideConquer, RightLeft};
-pub use strategy::{AllNodes, Oracle, Strategy};
+pub use strategy::{ActionDiagnostic, AllNodes, DecisionTrace, Oracle, Strategy};
 pub use two_dim::{GpUcb2d, History2d, Strategy2d};

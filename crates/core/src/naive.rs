@@ -125,16 +125,19 @@ impl Strategy for RightLeft {
         }
         let last = hist.records().last().copied().expect("non-empty");
         if last.0 == self.current && self.current < self.n {
-            // We just probed one step left of the previous best.
+            // We just probed one step left of the previous best. On a
+            // history this strategy did not build itself the right
+            // neighbour may never have been measured — then there is
+            // nothing to compare against and the walk just continues.
             let prev = self.current + 1;
-            let y_prev = hist.first_for(prev).expect("previous point measured");
-            if last.1 < y_prev {
-                // Improvement: keep walking.
-            } else {
-                // Worse: settle on the previous point.
-                self.stopped = true;
-                self.current = prev;
-                return prev;
+            match hist.first_for(prev) {
+                Some(y_prev) if last.1 >= y_prev => {
+                    // Worse: settle on the previous point.
+                    self.stopped = true;
+                    self.current = prev;
+                    return prev;
+                }
+                _ => {} // improvement (or no reference): keep walking
             }
         }
         if self.current == 1 {

@@ -1,18 +1,87 @@
-//! The strategy trait and trivial reference strategies.
+//! The strategy trait, its introspection types, and trivial reference
+//! strategies.
 
 use crate::History;
+
+/// Posterior / score diagnostics for one candidate action, as seen by the
+/// strategy right before it decided.
+///
+/// The semantics of `mean`/`sd` depend on the strategy family: for the GP
+/// strategies they are the surrogate's predicted duration and posterior
+/// standard deviation; for the bandits, the empirical mean duration and
+/// the exploration bonus width. `acquisition` is always the score the
+/// strategy optimized (lower-is-better for the GP lower-confidence rule,
+/// higher-is-better for UCB — the [`DecisionTrace::note`] says which).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionDiagnostic {
+    /// Candidate action (node count).
+    pub action: usize,
+    /// Central estimate of the action's duration (or residual reward).
+    pub mean: f64,
+    /// Uncertainty width attached to `mean`.
+    pub sd: f64,
+    /// The acquisition score the strategy ranked this action by.
+    pub acquisition: f64,
+}
+
+/// Why a strategy proposed what it proposed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DecisionTrace {
+    /// Per-candidate diagnostics (empty when the strategy has nothing to
+    /// say, e.g. during forced initialization plays).
+    pub diagnostics: Vec<ActionDiagnostic>,
+    /// Actions currently excluded from consideration (the LP bound
+    /// mechanism for GP-discontinuous, non-boundary counts for
+    /// UCB-struct).
+    pub excluded: Vec<usize>,
+    /// Free-form tag of the decision mode (e.g. `"init"`, `"gp-lcb"`,
+    /// `"ucb"`, `"fallback"`).
+    pub note: String,
+}
+
+impl DecisionTrace {
+    /// A trace carrying only a mode tag.
+    pub fn minimal(note: impl Into<String>) -> Self {
+        DecisionTrace { diagnostics: Vec::new(), excluded: Vec::new(), note: note.into() }
+    }
+}
 
 /// An online exploration strategy over node counts.
 ///
 /// Every iteration, the driver asks for the next action (a number of
 /// fastest-first nodes), runs the iteration, and appends `(action,
 /// duration)` to the [`History`] it passes back on the next call.
+///
+/// # Range contract
+///
+/// `propose` must return an action inside the strategy's action space,
+/// i.e. `1..=max_nodes` of the [`ActionSpace`](crate::ActionSpace) it was
+/// constructed over, for **every** possible history — including histories
+/// the strategy did not generate itself (replays, drift resets). Callers
+/// rely on this to index response tables and spawn node sets without
+/// clamping; the [`TunerDriver`](crate::TunerDriver) checks it with a
+/// `debug_assert!` and `tests/tuner_properties.rs` exercises it over
+/// random histories.
 pub trait Strategy {
     /// Display name (matches the paper's figure labels).
     fn name(&self) -> &'static str;
 
     /// Choose the next action given everything observed so far.
     fn propose(&mut self, hist: &History) -> usize;
+
+    /// Describe the decision [`propose`](Strategy::propose) would make on
+    /// `hist` — called by the driver right before `propose`, only when a
+    /// telemetry sink asked for it (it may be expensive: the GP
+    /// strategies refit their surrogate).
+    ///
+    /// The default is a minimal trace carrying only the strategy name;
+    /// [`GpDiscontinuous`](crate::GpDiscontinuous),
+    /// [`GpUcb`](crate::GpUcb), [`Ucb`](crate::Ucb) and
+    /// [`UcbStruct`](crate::UcbStruct) provide full diagnostics.
+    fn explain(&self, hist: &History) -> DecisionTrace {
+        let _ = hist;
+        DecisionTrace::minimal(self.name())
+    }
 }
 
 /// The application's default behaviour: always use every node (the top

@@ -102,9 +102,7 @@ impl GpUcb2d {
     }
 
     fn grid(&self) -> Vec<(usize, usize)> {
-        (1..=self.n)
-            .flat_map(|g| (1..=self.n).map(move |f| (g, f)))
-            .collect()
+        (1..=self.n).flat_map(|g| (1..=self.n).map(move |f| (g, f))).collect()
     }
 
     fn fit(&self, hist: &History2d) -> Option<GpModel> {
@@ -184,15 +182,12 @@ mod tests {
         // Optimum at (4, 3) in a 6x6 grid — the Fig. 8 situation where
         // fewer generation nodes beat all-nodes generation.
         let mut s = GpUcb2d::new(6);
-        let f = |(g, fa): (usize, usize)| {
-            (g as f64 - 4.0).powi(2) + (fa as f64 - 3.0).powi(2) + 1.0
-        };
+        let f =
+            |(g, fa): (usize, usize)| (g as f64 - 4.0).powi(2) + (fa as f64 - 3.0).powi(2) + 1.0;
         let h = drive(&mut s, f, 60, 6);
         let late: Vec<(usize, usize)> = h.records()[45..].iter().map(|r| r.0).collect();
-        let near = late
-            .iter()
-            .filter(|&&(g, fa)| (3..=5).contains(&g) && (2..=4).contains(&fa))
-            .count();
+        let near =
+            late.iter().filter(|&&(g, fa)| (3..=5).contains(&g) && (2..=4).contains(&fa)).count();
         assert!(near * 2 > late.len(), "late plays: {late:?}");
     }
 

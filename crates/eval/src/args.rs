@@ -1,6 +1,7 @@
 //! Minimal command-line handling shared by the figure binaries.
 
 use adaphet_scenarios::Scale;
+use std::path::PathBuf;
 
 /// Options common to every figure binary.
 #[derive(Debug, Clone)]
@@ -13,12 +14,22 @@ pub struct RunArgs {
     pub iters: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// When set, binaries that run tuning loops write one JSONL
+    /// [`IterationEvent`](adaphet_core::IterationEvent) per iteration to
+    /// this path.
+    pub telemetry: Option<PathBuf>,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs { scale: Scale::Reduced, reps: 30, iters: 127, seed: 42, telemetry: None }
+    }
 }
 
 /// Parse `std::env::args`: `--full | --reduced | --test`,
-/// `--reps <k>`, `--iters <k>`, `--seed <k>`.
+/// `--reps <k>`, `--iters <k>`, `--seed <k>`, `--telemetry <path>`.
 pub fn parse_args() -> RunArgs {
-    let mut out = RunArgs { scale: Scale::Reduced, reps: 30, iters: 127, seed: 42 };
+    let mut out = RunArgs::default();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -38,7 +49,14 @@ pub fn parse_args() -> RunArgs {
                 i += 1;
                 out.seed = argv[i].parse().expect("--seed needs a number");
             }
-            other => panic!("unknown argument {other:?} (try --full/--reduced/--test, --reps N, --iters N, --seed N)"),
+            "--telemetry" => {
+                i += 1;
+                out.telemetry = Some(PathBuf::from(argv.get(i).expect("--telemetry needs a path")));
+            }
+            other => panic!(
+                "unknown argument {other:?} (try --full/--reduced/--test, --reps N, \
+                 --iters N, --seed N, --telemetry PATH)"
+            ),
         }
         i += 1;
     }
@@ -53,8 +71,9 @@ mod tests {
     fn defaults_match_paper() {
         // Cannot inject argv easily; check the default construction used
         // when no flags are given.
-        let d = RunArgs { scale: Scale::Reduced, reps: 30, iters: 127, seed: 42 };
+        let d = RunArgs::default();
         assert_eq!(d.reps, 30);
         assert_eq!(d.iters, 127);
+        assert!(d.telemetry.is_none());
     }
 }

@@ -8,7 +8,9 @@
 //! `scenario,variant,mean_total,gain_pct`.
 
 use adaphet_core::{GpDiscOptions, GpDiscontinuous, History, Strategy};
-use adaphet_eval::{build_response_cached, parse_args, space_of, write_csv, CsvTable, ResponseTable};
+use adaphet_eval::{
+    build_response_cached, parse_args, space_of, write_csv, CsvTable, ResponseTable,
+};
 use adaphet_scenarios::Scenario;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,11 +22,7 @@ fn variant_options(name: &str) -> GpDiscOptions {
         "no-bounds" => GpDiscOptions { use_bounds: false, ..Default::default() },
         "no-dummies" => GpDiscOptions { use_dummies: false, ..Default::default() },
         "no-lp-residual" => GpDiscOptions { use_lp_residual: false, ..Default::default() },
-        "plain" => GpDiscOptions {
-            use_bounds: false,
-            use_dummies: false,
-            use_lp_residual: false,
-        },
+        "plain" => GpDiscOptions { use_bounds: false, use_dummies: false, use_lp_residual: false },
         other => panic!("unknown variant {other}"),
     }
 }
@@ -46,10 +44,7 @@ fn main() {
     let args = parse_args();
     let variants = ["full", "no-bounds", "no-dummies", "no-lp-residual", "plain"];
     let mut csv = CsvTable::new(&["scenario", "variant", "mean_total", "gain_pct"]);
-    println!(
-        "GP-discontinuous ablation — {} iterations x {} reps\n",
-        args.iters, args.reps
-    );
+    println!("GP-discontinuous ablation — {} iterations x {} reps\n", args.iters, args.reps);
     for id in ['i', 'n', 'o', 'p'] {
         let scen = Scenario::by_id(id).expect("known scenario");
         let table = build_response_cached(&scen, args.scale, args.reps, args.seed);

@@ -43,9 +43,8 @@ fn main() {
             choices[it].n_fact
         );
         for node in 0..n {
-            let workers =
-                app.runtime().platform().node(NodeId(node)).cpu_cores
-                    + app.runtime().platform().node(NodeId(node)).gpus;
+            let workers = app.runtime().platform().node(NodeId(node)).cpu_cores
+                + app.runtime().platform().node(NodeId(node)).gpus;
             let mut strip = String::new();
             for phase in 0..5u32 {
                 let u = trace.utilization(NodeId(node), workers, Some(phase), t0, t1, dt);

@@ -17,11 +17,8 @@ fn phase_spans(scen: &Scenario, scale: adaphet_scenarios::Scale, n_fact: usize) 
     let r = app.run_iteration(IterationChoice::fact_only(n, n_fact));
     let trace = app.runtime().trace();
     let span = |phase: u32| {
-        let evs: Vec<_> = trace
-            .events()
-            .iter()
-            .filter(|e| e.phase == phase && e.start >= r.start)
-            .collect();
+        let evs: Vec<_> =
+            trace.events().iter().filter(|e| e.phase == phase && e.start >= r.start).collect();
         if evs.is_empty() {
             return 0.0;
         }
@@ -34,8 +31,7 @@ fn phase_spans(scen: &Scenario, scale: adaphet_scenarios::Scale, n_fact: usize) 
 
 fn main() {
     let args = parse_args();
-    let mut csv =
-        CsvTable::new(&["scenario", "n", "mean", "sd", "lp", "gen_span", "fact_span"]);
+    let mut csv = CsvTable::new(&["scenario", "n", "mean", "sd", "lp", "gen_span", "fact_span"]);
     for id in ['c', 'i', 'p'] {
         let scen = Scenario::by_id(id).expect("known scenario");
         let t = build_response_cached(&scen, args.scale, args.reps, args.seed);

@@ -14,13 +14,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(3);
     let sigma_n = 0.1;
     // Eight random measurement locations over [0, 4π].
-    let xs: Vec<f64> = (0..8)
-        .map(|_| rng.random_range(0.0..4.0 * std::f64::consts::PI))
-        .collect();
-    let ys: Vec<f64> = xs
-        .iter()
-        .map(|&x| x.cos() + rng.random_range(-sigma_n..sigma_n))
-        .collect();
+    let xs: Vec<f64> = (0..8).map(|_| rng.random_range(0.0..4.0 * std::f64::consts::PI)).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| x.cos() + rng.random_range(-sigma_n..sigma_n)).collect();
 
     let gp = GpModel::fit(
         GpConfig {
@@ -34,9 +29,7 @@ fn main() {
     )
     .expect("GP fit");
 
-    let grid: Vec<f64> = (0..=200)
-        .map(|i| i as f64 / 200.0 * 4.0 * std::f64::consts::PI)
-        .collect();
+    let grid: Vec<f64> = (0..=200).map(|i| i as f64 / 200.0 * 4.0 * std::f64::consts::PI).collect();
     // "Most promising point under uncertainty": maximize mean + 2 sd
     // (the paper's red cross maximizes the function).
     let next_x = grid
@@ -45,9 +38,7 @@ fn main() {
         .max_by(|&a, &b| {
             let pa = gp.predict(a);
             let pb = gp.predict(b);
-            (pa.mean + 2.0 * pa.sd())
-                .partial_cmp(&(pb.mean + 2.0 * pb.sd()))
-                .unwrap()
+            (pa.mean + 2.0 * pa.sd()).partial_cmp(&(pb.mean + 2.0 * pb.sd())).unwrap()
         })
         .unwrap();
 
@@ -69,13 +60,12 @@ fn main() {
         ]);
     }
     println!("Fig. 3 — GP fit of cos with 8 noisy samples");
-    println!("  measurements: {:?}", xs.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>());
-    println!("  next point to evaluate (mean + 2sd): x = {next_x:.3}");
     println!(
-        "  truth inside the 95% band at {}/{} grid points",
-        inside_band,
-        grid.len()
+        "  measurements: {:?}",
+        xs.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>()
     );
+    println!("  next point to evaluate (mean + 2sd): x = {next_x:.3}");
+    println!("  truth inside the 95% band at {}/{} grid points", inside_band, grid.len());
     let path = write_csv("fig3", &csv).expect("write results");
     println!("wrote {}", path.display());
 }

@@ -6,7 +6,9 @@
 //! `panel,iteration,n,real_mean,surrogate_mean,surrogate_lcb,count,in_bounds`.
 
 use adaphet_core::{GpDiscontinuous, GpUcb, History, Strategy};
-use adaphet_eval::{build_response_cached, parse_args, space_of, write_csv, CsvTable, ResponseTable};
+use adaphet_eval::{
+    build_response_cached, parse_args, space_of, write_csv, CsvTable, ResponseTable,
+};
 use adaphet_scenarios::Scenario;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,13 +60,7 @@ fn dump(
     }
 }
 
-fn run_panel(
-    csv: &mut CsvTable,
-    panel: &str,
-    table: &ResponseTable,
-    use_disc: bool,
-    seed: u64,
-) {
+fn run_panel(csv: &mut CsvTable, panel: &str, table: &ResponseTable, use_disc: bool, seed: u64) {
     let space = space_of(table);
     let mut plain = GpUcb::new(&space);
     let mut disc = GpDiscontinuous::new(&space);

@@ -5,7 +5,9 @@
 //! Output: `results/fig5.csv` with columns
 //! `scenario,n,mean,sd,lp,rigid,group` and an ASCII curve per scenario.
 
-use adaphet_eval::{ascii_curve, build_response_cached, build_rigid_curve, parse_args, write_csv, CsvTable};
+use adaphet_eval::{
+    ascii_curve, build_response_cached, build_rigid_curve, parse_args, write_csv, CsvTable,
+};
 use adaphet_scenarios::Scenario;
 
 fn main() {
@@ -16,11 +18,7 @@ fn main() {
         let rigid = build_rigid_curve(&scen, args.scale, args.seed);
         let means: Vec<f64> = (1..=t.n_actions()).map(|n| t.mean(n)).collect();
         for n in 1..=t.n_actions() {
-            let group = t
-                .groups
-                .iter()
-                .position(|&(lo, hi)| n >= lo && n <= hi)
-                .unwrap_or(0);
+            let group = t.groups.iter().position(|&(lo, hi)| n >= lo && n <= hi).unwrap_or(0);
             csv.push(vec![
                 scen.id.to_string(),
                 n.to_string(),

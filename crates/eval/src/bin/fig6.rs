@@ -5,14 +5,27 @@
 //!
 //! Output: `results/fig6.csv` with columns
 //! `scenario,strategy,mean_total,sd_total,gain_pct,all_nodes_total,oracle_total`.
+//!
+//! With `--telemetry <path>`, one additional instrumented replay per
+//! (scenario, strategy) streams per-iteration `IterationEvent` JSONL to
+//! the given path (posterior, acquisition and LP-bound exclusions
+//! included for the strategies that can explain themselves).
 
+use adaphet_core::JsonlSink;
 use adaphet_eval::{
-    build_response_cached, parse_args, replay_many, write_csv, CsvTable, PAPER_STRATEGIES,
+    build_response_cached, parse_args, replay_instrumented, replay_many, write_csv, CsvTable,
+    StrategyKind, PAPER_STRATEGIES,
 };
 use adaphet_scenarios::Scenario;
+use std::fs::File;
+use std::io::BufWriter;
 
 fn main() {
     let args = parse_args();
+    let telemetry_file = args
+        .telemetry
+        .as_ref()
+        .map(|p| File::create(p).unwrap_or_else(|e| panic!("cannot create {}: {e}", p.display())));
     let mut csv = CsvTable::new(&[
         "scenario",
         "strategy",
@@ -22,16 +35,13 @@ fn main() {
         "all_nodes_total",
         "oracle_total",
     ]);
-    println!(
-        "Fig. 6 — {} iterations x {} repetitions per strategy\n",
-        args.iters, args.reps
-    );
+    println!("Fig. 6 — {} iterations x {} repetitions per strategy\n", args.iters, args.reps);
     let mut gp_disc_wins = 0usize;
     let mut gp_disc_never_bad = true;
     for scen in Scenario::all16() {
         let table = build_response_cached(&scen, args.scale, args.reps, args.seed);
-        let all = replay_many("all-nodes", &table, args.iters, args.reps, args.seed);
-        let oracle = replay_many("oracle", &table, args.iters, args.reps, args.seed);
+        let all = replay_many(StrategyKind::AllNodes, &table, args.iters, args.reps, args.seed);
+        let oracle = replay_many(StrategyKind::Oracle, &table, args.iters, args.reps, args.seed);
         println!("{}", table.label);
         println!(
             "  all-nodes {:>9.1}s | oracle {:>9.1}s (best n = {})",
@@ -39,20 +49,28 @@ fn main() {
             oracle.mean_total,
             table.best_action()
         );
-        let mut best_strategy = (String::new(), f64::INFINITY);
-        for name in PAPER_STRATEGIES {
-            let s = replay_many(name, &table, args.iters, args.reps, args.seed);
+        let mut best_strategy: (Option<StrategyKind>, f64) = (None, f64::INFINITY);
+        for kind in PAPER_STRATEGIES {
+            let s = replay_many(kind, &table, args.iters, args.reps, args.seed);
             println!(
-                "  {:<14} {:>9.1}s  gain {:>6.1}%",
+                "  {:<16} {:>9.1}s  gain {:>6.1}%",
                 s.strategy,
                 s.mean_total,
                 100.0 * s.gain_vs_all
             );
             if s.mean_total < best_strategy.1 {
-                best_strategy = (s.strategy.clone(), s.mean_total);
+                best_strategy = (Some(kind), s.mean_total);
             }
-            if name == "GP-discontin" && s.gain_vs_all < -0.02 {
+            if kind == StrategyKind::GpDiscontinuous && s.gain_vs_all < -0.02 {
                 gp_disc_never_bad = false;
+            }
+            if let Some(f) = &telemetry_file {
+                // One extra instrumented replay (first repetition's seed):
+                // telemetry stays off the measured replays above.
+                let sink = JsonlSink::new(BufWriter::new(
+                    f.try_clone().expect("clone telemetry file handle"),
+                ));
+                replay_instrumented(kind, &table, args.iters, args.seed, vec![Box::new(sink)]);
             }
             csv.push(vec![
                 scen.id.to_string(),
@@ -64,7 +82,7 @@ fn main() {
                 format!("{:.2}", oracle.mean_total),
             ]);
         }
-        if best_strategy.0 == "GP-discontin" {
+        if best_strategy.0 == Some(StrategyKind::GpDiscontinuous) {
             gp_disc_wins += 1;
         }
         println!();
@@ -73,4 +91,7 @@ fn main() {
     println!("GP-discontinuous never lost more than 2% to all-nodes: {gp_disc_never_bad}");
     let path = write_csv("fig6", &csv).expect("write results");
     println!("wrote {}", path.display());
+    if let Some(p) = &args.telemetry {
+        println!("wrote {}", p.display());
+    }
 }

@@ -20,10 +20,8 @@ fn main() {
         csv.push(vec![g.to_string(), f.to_string(), format!("{d:.4}")]);
     }
 
-    let &((bg, bf), best) = grid
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .expect("non-empty grid");
+    let &((bg, bf), best) =
+        grid.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).expect("non-empty grid");
     // Best with all-nodes generation (the 1D tuner's reach).
     let &((_, bf1), best_gen_all) = grid
         .iter()
@@ -34,10 +32,7 @@ fn main() {
     println!("Fig. 8 — 2D (generation x factorization) response, {}", scen.label());
     println!("  best overall:            gen={bg:>3} fact={bf:>3}  {best:.3}s");
     println!("  best with all-nodes gen: gen={n:>3} fact={bf1:>3}  {best_gen_all:.3}s");
-    println!(
-        "  2D gain over 1D tuning: {:.2}%",
-        100.0 * (1.0 - best / best_gen_all)
-    );
+    println!("  2D gain over 1D tuning: {:.2}%", 100.0 * (1.0 - best / best_gen_all));
     // Compact heatmap rendering (rows = n_gen, cols = n_fact).
     let axis: Vec<usize> = {
         let mut v: Vec<usize> = grid.iter().map(|&((g, _), _)| g).collect();

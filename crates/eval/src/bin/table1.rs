@@ -11,12 +11,15 @@
 //!   observation noise.
 //!
 //! Output: `results/table1.csv` with one row per strategy and the measured
-//! verdicts next to the paper's expectations.
+//! verdicts next to the paper's expectations. With `--telemetry <path>`,
+//! the first repetition of each measurement streams IterationEvent JSONL.
 
-use adaphet_core::{ActionSpace, History};
-use adaphet_eval::{make_strategy, write_csv, CsvTable};
+use adaphet_core::{ActionSpace, JsonlSink, Observation, StrategyKind, TunerDriver};
+use adaphet_eval::{parse_args, write_csv, CsvTable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fs::File;
+use std::io::BufWriter;
 
 const N: usize = 24;
 const REPS: usize = 12;
@@ -54,23 +57,54 @@ fn argmin(f: fn(usize) -> f64) -> usize {
     (1..=N).min_by(|&a, &b| f(a).partial_cmp(&f(b)).unwrap()).unwrap()
 }
 
+/// Drive `kind` for [`ITERS`] iterations of the noisy response `f`,
+/// optionally streaming telemetry, and return the action history.
+fn drive(
+    kind: StrategyKind,
+    f: fn(usize) -> f64,
+    noise_amp: f64,
+    seed: u64,
+    rng_seed: u64,
+    telemetry: Option<&File>,
+) -> adaphet_core::History {
+    let sp = space();
+    let best = argmin(f);
+    let strat = kind.build(&sp, seed, Some(best)).expect("best action provided");
+    let mut driver = TunerDriver::new(strat, &sp).with_best_known(f(best));
+    if let Some(file) = telemetry {
+        driver.add_sink(Box::new(JsonlSink::new(BufWriter::new(
+            file.try_clone().expect("clone telemetry file handle"),
+        ))));
+    }
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    driver.run(ITERS, |a| {
+        let noise = if noise_amp > 0.0 { rng.random_range(-noise_amp..noise_amp) } else { 0.0 };
+        Observation::of(f(a) + noise)
+    });
+    driver.into_history()
+}
+
 /// Identification rate: fraction of repetitions whose most-played action
 /// over the last 40 iterations has a true value within 6% of the optimum.
-fn identification_rate(name: &str, f: fn(usize) -> f64, noise_amp: f64, seed: u64) -> f64 {
-    let sp = space();
+fn identification_rate(
+    kind: StrategyKind,
+    f: fn(usize) -> f64,
+    noise_amp: f64,
+    seed: u64,
+    telemetry: Option<&File>,
+) -> f64 {
     let best = argmin(f);
     let mut ok = 0usize;
     for rep in 0..REPS {
-        let mut strat = make_strategy(name, &sp, seed + rep as u64, None);
-        let mut rng = StdRng::seed_from_u64(seed ^ ((rep as u64) << 8));
-        let mut hist = History::new();
-        for _ in 0..ITERS {
-            let a = strat.propose(&hist);
-            let noise =
-                if noise_amp > 0.0 { rng.random_range(-noise_amp..noise_amp) } else { 0.0 };
-            hist.record(a, f(a) + noise);
-        }
-        let mut counts = vec![0usize; N + 1];
+        let hist = drive(
+            kind,
+            f,
+            noise_amp,
+            seed + rep as u64,
+            seed ^ ((rep as u64) << 8),
+            telemetry.filter(|_| rep == 0),
+        );
+        let mut counts = [0usize; N + 1];
         for &(a, _) in &hist.records()[ITERS - 40..] {
             counts[a] += 1;
         }
@@ -83,32 +117,31 @@ fn identification_rate(name: &str, f: fn(usize) -> f64, noise_amp: f64, seed: u6
 }
 
 /// Mean total-regret fraction vs. the clairvoyant optimum on a clean curve.
-fn regret_fraction(name: &str, f: fn(usize) -> f64, seed: u64) -> f64 {
-    let sp = space();
+fn regret_fraction(kind: StrategyKind, f: fn(usize) -> f64, seed: u64) -> f64 {
     let best = argmin(f);
     let mut total = 0.0;
     for rep in 0..REPS {
-        let mut strat = make_strategy(name, &sp, seed + rep as u64, None);
-        let mut hist = History::new();
-        for _ in 0..ITERS {
-            let a = strat.propose(&hist);
-            hist.record(a, f(a));
-        }
+        let hist = drive(kind, f, 0.0, seed + rep as u64, 0, None);
         total += (hist.total_time() - ITERS as f64 * f(best)) / (ITERS as f64 * f(best));
     }
     total / REPS as f64
 }
 
 fn main() {
+    let args = parse_args();
+    let telemetry_file = args
+        .telemetry
+        .as_ref()
+        .map(|p| File::create(p).unwrap_or_else(|e| panic!("cannot create {}: {e}", p.display())));
     // The paper's Table I expectations: (resilient, optimal, fast).
     let expectations = [
-        ("DC", (false, false, true)),
-        ("Right-Left", (false, false, true)),
-        ("Brent", (false, false, true)),
-        ("UCB", (true, true, false)),
-        ("UCB-struc", (true, false, true)),
-        ("GP-UCB", (true, true, false)),
-        ("GP-discontin", (true, true, true)),
+        (StrategyKind::DivideConquer, (false, false, true)),
+        (StrategyKind::RightLeft, (false, false, true)),
+        (StrategyKind::Brent, (false, false, true)),
+        (StrategyKind::Ucb, (true, true, false)),
+        (StrategyKind::UcbStruct, (true, false, true)),
+        (StrategyKind::GpUcb, (true, true, false)),
+        (StrategyKind::GpDiscontinuous, (true, true, true)),
     ];
     let mut csv = CsvTable::new(&[
         "strategy",
@@ -124,23 +157,25 @@ fn main() {
     ]);
     println!("Table I — strategy properties (measured on synthetic families)\n");
     println!(
-        "{:<14} {:>9} {:>9} {:>9}   id-rate(noisy/disc)  regret   paper",
+        "{:<16} {:>9} {:>9} {:>9}   id-rate(noisy/disc)  regret   paper",
         "strategy", "resilient", "optimal", "fast"
     );
-    for (name, (er, eo, ef)) in expectations {
+    for (kind, (er, eo, ef)) in expectations {
         // Heavy uniform noise (±10 on a ~29-100 scale) on a valley whose
         // optimum every strategy can reach.
-        let noisy_rate = identification_rate(name, boundary_valley, 10.0, 7);
+        let noisy_rate =
+            identification_rate(kind, boundary_valley, 10.0, 7, telemetry_file.as_ref());
         // Light noise on the discontinuous valley (the identification task).
-        let disc_rate = identification_rate(name, discontinuous, 0.5, 11);
-        let regret = regret_fraction(name, smooth, 3);
+        let disc_rate = identification_rate(kind, discontinuous, 0.5, 11, telemetry_file.as_ref());
+        let regret = regret_fraction(kind, smooth, 3);
         // Resilience = no catastrophic repetitions (the paper's complaint
         // about DC/Right-Left/Brent is occasional disastrous runs).
         let resilient = noisy_rate >= 0.9;
         let optimal = disc_rate >= 0.75;
         let fast = regret <= 0.12;
+        let name = kind.name();
         println!(
-            "{name:<14} {resilient:>9} {optimal:>9} {fast:>9}   {noisy_rate:>6.2}/{disc_rate:<6.2}    {regret:>6.3}   {er}/{eo}/{ef}"
+            "{name:<16} {resilient:>9} {optimal:>9} {fast:>9}   {noisy_rate:>6.2}/{disc_rate:<6.2}    {regret:>6.3}   {er}/{eo}/{ef}"
         );
         csv.push(vec![
             name.to_string(),
@@ -157,4 +192,7 @@ fn main() {
     }
     let path = write_csv("table1", &csv).expect("write results");
     println!("\nwrote {}", path.display());
+    if let Some(p) = &args.telemetry {
+        println!("wrote {}", p.display());
+    }
 }

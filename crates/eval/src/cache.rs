@@ -26,13 +26,7 @@ fn serialize(t: &ResponseTable) -> String {
     s.push_str(&format!("{}\n", t.sigma));
     s.push_str(&join(&t.lp));
     s.push('\n');
-    s.push_str(
-        &t.groups
-            .iter()
-            .map(|(a, b)| format!("{a}-{b}"))
-            .collect::<Vec<_>>()
-            .join(";"),
-    );
+    s.push_str(&t.groups.iter().map(|(a, b)| format!("{a}-{b}")).collect::<Vec<_>>().join(";"));
     s.push('\n');
     s.push_str(&format!("{}\n", t.durations.len()));
     for row in &t.sim_base {

@@ -16,14 +16,20 @@
 
 mod args;
 mod cache;
-mod factory;
 mod replay;
 mod report;
 mod response;
+mod telemetry;
 
 pub use args::{parse_args, RunArgs};
 pub use cache::build_response_cached;
-pub use factory::{make_strategy, PAPER_STRATEGIES};
-pub use replay::{replay, replay_many, space_of, ReplayOutcome, ReplaySummary};
+// Strategy construction lives in adaphet-core now ([`StrategyKind`]
+// replaced the old panicking by-name factory); re-exported here so the
+// figure binaries and benches keep a single import surface.
+pub use adaphet_core::{StrategyKind, UnknownStrategyError, PAPER_STRATEGIES};
+pub use replay::{
+    replay, replay_instrumented, replay_many, space_of, ReplayOutcome, ReplaySummary,
+};
 pub use report::{ascii_curve, write_csv, CsvTable};
 pub use response::{build_response, build_response_2d, build_rigid_curve, ResponseTable};
+pub use telemetry::{ChromeTraceSink, TUNER_PID};

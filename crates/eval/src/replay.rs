@@ -4,10 +4,14 @@
 //! obtained through real experiments or simulation and resampled them ...
 //! every time an action was chosen. This way, all exploration strategies
 //! are compared with the exact same iteration durations."
+//!
+//! Replays run through the canonical [`TunerDriver`] loop, so any
+//! [`TelemetrySink`] can be attached (see [`replay_instrumented`]) without
+//! touching the measurement path: the plain [`replay`] attaches no sink
+//! and pays no telemetry cost.
 
 use crate::response::ResponseTable;
-use crate::factory::make_strategy;
-use adaphet_core::{ActionSpace, History};
+use adaphet_core::{ActionSpace, History, Observation, StrategyKind, TelemetrySink, TunerDriver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -24,7 +28,7 @@ pub struct ReplayOutcome {
 /// Aggregate over repetitions.
 #[derive(Debug, Clone)]
 pub struct ReplaySummary {
-    /// Strategy name.
+    /// Canonical strategy name.
     pub strategy: String,
     /// Mean total time over the repetitions.
     pub mean_total: f64,
@@ -43,25 +47,39 @@ pub fn space_of(table: &ResponseTable) -> ActionSpace {
 
 /// Replay one strategy for `iters` iterations, drawing durations from the
 /// table's per-action pools with the seeded RNG.
-pub fn replay(name: &str, table: &ResponseTable, iters: usize, seed: u64) -> ReplayOutcome {
+pub fn replay(kind: StrategyKind, table: &ResponseTable, iters: usize, seed: u64) -> ReplayOutcome {
+    replay_instrumented(kind, table, iters, seed, Vec::new())
+}
+
+/// Like [`replay`], but routing per-iteration telemetry into `sinks`
+/// (events carry regret against the table's best action).
+pub fn replay_instrumented(
+    kind: StrategyKind,
+    table: &ResponseTable,
+    iters: usize,
+    seed: u64,
+    sinks: Vec<Box<dyn TelemetrySink>>,
+) -> ReplayOutcome {
     let space = space_of(table);
-    let oracle_best = Some(table.best_action());
-    let mut strat = make_strategy(name, &space, seed, oracle_best);
+    let best = table.best_action();
+    let strat = kind.build(&space, seed, Some(best)).expect("best action is always provided");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut hist = History::new();
-    for _ in 0..iters {
-        let a = strat.propose(&hist).clamp(1, table.n_actions());
-        let pool = &table.durations[a - 1];
-        let y = pool[rng.random_range(0..pool.len())];
-        hist.record(a, y);
+    let mut driver = TunerDriver::new(strat, &space).with_best_known(table.mean(best));
+    for sink in sinks {
+        driver.add_sink(sink);
     }
-    ReplayOutcome { total_time: hist.total_time(), history: hist }
+    driver.run(iters, |a| {
+        let pool = &table.durations[a - 1];
+        Observation::of(pool[rng.random_range(0..pool.len())])
+    });
+    let history = driver.into_history();
+    ReplayOutcome { total_time: history.total_time(), history }
 }
 
 /// Replay a strategy `reps` times (parallel) and summarize, computing the
 /// gain against the all-nodes baseline replayed with the same seeds.
 pub fn replay_many(
-    name: &str,
+    kind: StrategyKind,
     table: &ResponseTable,
     iters: usize,
     reps: usize,
@@ -69,18 +87,19 @@ pub fn replay_many(
 ) -> ReplaySummary {
     let totals: Vec<f64> = (0..reps)
         .into_par_iter()
-        .map(|r| replay(name, table, iters, seed.wrapping_add(r as u64)).total_time)
+        .map(|r| replay(kind, table, iters, seed.wrapping_add(r as u64)).total_time)
         .collect();
     let mean_total = totals.iter().sum::<f64>() / totals.len() as f64;
     let sd_total = adaphet_linalg::sample_variance(&totals).sqrt();
     let all_mean = table.all_nodes_mean() * iters as f64;
     let gain_vs_all = 1.0 - mean_total / all_mean;
-    ReplaySummary { strategy: name.to_string(), mean_total, sd_total, gain_vs_all, totals }
+    ReplaySummary { strategy: kind.name().to_string(), mean_total, sd_total, gain_vs_all, totals }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adaphet_core::MemorySink;
 
     /// A synthetic table with a clear optimum, no simulation needed.
     fn synth_table(n: usize, best: usize) -> ResponseTable {
@@ -101,8 +120,8 @@ mod tests {
     #[test]
     fn oracle_beats_all_nodes_when_optimum_is_interior() {
         let t = synth_table(12, 5);
-        let oracle = replay_many("oracle", &t, 50, 5, 1);
-        let all = replay_many("all-nodes", &t, 50, 5, 1);
+        let oracle = replay_many(StrategyKind::Oracle, &t, 50, 5, 1);
+        let all = replay_many(StrategyKind::AllNodes, &t, 50, 5, 1);
         assert!(oracle.mean_total < all.mean_total);
         assert!(oracle.gain_vs_all > 0.0);
         assert!((all.gain_vs_all).abs() < 1e-9);
@@ -111,18 +130,40 @@ mod tests {
     #[test]
     fn replay_is_deterministic_per_seed() {
         let t = synth_table(10, 4);
-        let a = replay("GP-discontin", &t, 30, 7);
-        let b = replay("GP-discontin", &t, 30, 7);
+        let a = replay(StrategyKind::GpDiscontinuous, &t, 30, 7);
+        let b = replay(StrategyKind::GpDiscontinuous, &t, 30, 7);
         assert_eq!(a.total_time, b.total_time);
         assert_eq!(a.history, b.history);
     }
 
     #[test]
+    fn instrumented_replay_matches_plain_replay() {
+        // Telemetry must be pure observation: attaching a sink cannot
+        // change what the strategy does.
+        let t = synth_table(10, 4);
+        let sink = MemorySink::new();
+        let plain = replay(StrategyKind::GpDiscontinuous, &t, 30, 7);
+        let inst = replay_instrumented(
+            StrategyKind::GpDiscontinuous,
+            &t,
+            30,
+            7,
+            vec![Box::new(sink.clone())],
+        );
+        assert_eq!(plain.history, inst.history);
+        assert_eq!(sink.len(), 30);
+        let best_mean = t.mean(t.best_action());
+        for e in sink.events() {
+            assert_eq!(e.regret.unwrap(), e.duration - best_mean);
+        }
+    }
+
+    #[test]
     fn gp_disc_approaches_oracle_on_clean_curve() {
         let t = synth_table(12, 5);
-        let gp = replay_many("GP-discontin", &t, 127, 5, 3);
-        let oracle = replay_many("oracle", &t, 127, 5, 3);
-        let all = replay_many("all-nodes", &t, 127, 5, 3);
+        let gp = replay_many(StrategyKind::GpDiscontinuous, &t, 127, 5, 3);
+        let oracle = replay_many(StrategyKind::Oracle, &t, 127, 5, 3);
+        let all = replay_many(StrategyKind::AllNodes, &t, 127, 5, 3);
         // GP-disc should land much closer to the oracle than to all-nodes.
         let frac = (gp.mean_total - oracle.mean_total) / (all.mean_total - oracle.mean_total);
         assert!(frac < 0.35, "exploration overhead fraction {frac}");
@@ -131,9 +172,9 @@ mod tests {
     #[test]
     fn every_paper_strategy_replays() {
         let t = synth_table(8, 3);
-        for name in crate::PAPER_STRATEGIES {
-            let s = replay_many(name, &t, 40, 3, 11);
-            assert!(s.mean_total > 0.0, "{name}");
+        for kind in adaphet_core::PAPER_STRATEGIES {
+            let s = replay_many(kind, &t, 40, 3, 11);
+            assert!(s.mean_total > 0.0, "{kind}");
             assert_eq!(s.totals.len(), 3);
         }
     }
@@ -141,7 +182,7 @@ mod tests {
     #[test]
     fn history_length_matches_iterations() {
         let t = synth_table(6, 2);
-        let o = replay("UCB", &t, 25, 0);
+        let o = replay(StrategyKind::Ucb, &t, 25, 0);
         assert_eq!(o.history.len(), 25);
     }
 }

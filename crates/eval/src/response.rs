@@ -129,9 +129,7 @@ pub fn build_rigid_curve(scenario: &Scenario, scale: Scale, seed: u64) -> Vec<f6
     let n = scenario.n_nodes();
     (1..=n)
         .into_par_iter()
-        .map(|k| {
-            steady_iteration(scenario, scale, seed, IterationChoice { n_gen: k, n_fact: k })
-        })
+        .map(|k| steady_iteration(scenario, scale, seed, IterationChoice { n_gen: k, n_fact: k }))
         .collect()
 }
 
@@ -149,19 +147,13 @@ pub fn build_response_2d(
     if *axis.last().unwrap() != n {
         axis.push(n);
     }
-    let pairs: Vec<(usize, usize)> = axis
-        .iter()
-        .flat_map(|&g| axis.iter().map(move |&f| (g, f)))
-        .collect();
+    let pairs: Vec<(usize, usize)> =
+        axis.iter().flat_map(|&g| axis.iter().map(move |&f| (g, f))).collect();
     pairs
         .into_par_iter()
         .map(|(g, f)| {
-            let d = steady_iteration(
-                scenario,
-                scale,
-                seed,
-                IterationChoice { n_gen: g, n_fact: f },
-            );
+            let d =
+                steady_iteration(scenario, scale, seed, IterationChoice { n_gen: g, n_fact: f });
             ((g, f), d)
         })
         .collect()

@@ -1,0 +1,123 @@
+//! Chrome-trace telemetry: tuner decisions and task timelines in one file.
+//!
+//! [`ChromeTraceSink`] records each tuner iteration as Chrome-trace
+//! instant + counter events on a dedicated "tuner" process lane. Merged
+//! with the task events of a runtime [`Trace`](adaphet_runtime::Trace)
+//! (via [`adaphet_runtime::Trace::chrome_events`]), the resulting
+//! document shows *which* node count the tuner picked directly above the
+//! per-worker task timeline it produced — loadable in `chrome://tracing`
+//! or Perfetto.
+
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use adaphet_core::{IterationEvent, TelemetrySink};
+use adaphet_runtime::chrome_trace_document;
+
+/// Process id used for the tuner lane (task events use the node id as
+/// pid; node ids start at 0, so a large sentinel keeps the lane apart).
+pub const TUNER_PID: usize = 9999;
+
+/// Telemetry sink that renders tuner decisions as Chrome-trace events.
+///
+/// Event times come from the driver's cumulative time, so when the
+/// executor reports simulated durations the tuner lane lines up exactly
+/// with the simulated task timeline. Cloning shares the buffer (like
+/// [`adaphet_core::MemorySink`]), letting the caller keep a handle while
+/// the driver owns a clone.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTraceSink {
+    events: Rc<RefCell<Vec<String>>>,
+    /// Offset added to event timestamps (seconds) — set this when the
+    /// runtime's clock did not start at zero.
+    pub time_offset: f64,
+}
+
+impl ChromeTraceSink {
+    /// An empty sink starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The serialized tuner events recorded so far.
+    pub fn tuner_events(&self) -> Vec<String> {
+        self.events.borrow().clone()
+    }
+
+    /// Merge the recorded tuner events with pre-serialized task events
+    /// into one Chrome-trace document.
+    pub fn merged_document(&self, task_events: &[String]) -> String {
+        let mut all = self.tuner_events();
+        all.extend_from_slice(task_events);
+        chrome_trace_document(&all)
+    }
+
+    /// Write the merged document to `path`.
+    pub fn write_merged(&self, path: impl AsRef<Path>, task_events: &[String]) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.merged_document(task_events).as_bytes())
+    }
+}
+
+impl TelemetrySink for ChromeTraceSink {
+    // Instant/counter events only need driver-level fields.
+    fn wants_decision_trace(&self) -> bool {
+        false
+    }
+
+    fn on_iteration(&mut self, e: &IterationEvent) {
+        let start_us = (self.time_offset + e.cumulative_time - e.duration) * 1e6;
+        let mut evs = self.events.borrow_mut();
+        // The decision, as a duration-less instant marker at iteration start.
+        evs.push(format!(
+            "{{\"name\":\"iter {}: n={}\",\"cat\":\"tuner\",\"ph\":\"i\",\"s\":\"g\",\
+             \"ts\":{:.3},\"pid\":{},\"tid\":0,\"args\":{{\"strategy\":\"{}\",\
+             \"action\":{},\"duration\":{}}}}}",
+            e.iteration, e.action, start_us, TUNER_PID, e.strategy, e.action, e.duration
+        ));
+        // The chosen node count as a counter, so the tuner's trajectory
+        // renders as a step curve over the task timeline.
+        evs.push(format!(
+            "{{\"name\":\"nodes\",\"cat\":\"tuner\",\"ph\":\"C\",\"ts\":{:.3},\
+             \"pid\":{},\"args\":{{\"n\":{}}}}}",
+            start_us, TUNER_PID, e.action
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaphet_core::{ActionSpace, GpDiscontinuous, Observation, TunerDriver};
+
+    #[test]
+    fn sink_records_two_events_per_iteration_and_merges() {
+        let space = ActionSpace::unstructured(6);
+        let sink = ChromeTraceSink::new();
+        let mut d = TunerDriver::new(Box::new(GpDiscontinuous::new(&space)), &space)
+            .with_sink(Box::new(sink.clone()));
+        d.run(5, |n| Observation::of(12.0 / n as f64 + n as f64));
+        let tuner = sink.tuner_events();
+        assert_eq!(tuner.len(), 10, "one instant + one counter per iteration");
+        assert!(tuner[0].contains("\"ph\":\"i\""));
+        assert!(tuner[1].contains("\"ph\":\"C\""));
+        let task_ev =
+            "{\"name\":\"t\",\"ph\":\"X\",\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":0}".to_string();
+        let doc = sink.merged_document(&[task_ev]);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"cat\":\"tuner\""));
+        assert!(doc.contains("\"name\":\"t\""));
+    }
+
+    #[test]
+    fn first_event_starts_at_zero_without_offset() {
+        let space = ActionSpace::unstructured(3);
+        let sink = ChromeTraceSink::new();
+        let mut d = TunerDriver::new(Box::new(GpDiscontinuous::new(&space)), &space)
+            .with_sink(Box::new(sink.clone()));
+        d.run(1, |_| Observation::of(2.0));
+        assert!(sink.tuner_events()[0].contains("\"ts\":0.000"), "{:?}", sink.tuner_events());
+    }
+}

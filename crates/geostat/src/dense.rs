@@ -21,9 +21,8 @@ impl Locations {
     /// Sample `n` uniform locations with a seeded RNG (deterministic).
     pub fn sample(n: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let points = (0..n)
-            .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
-            .collect();
+        let points =
+            (0..n).map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0))).collect();
         Locations { points }
     }
 
@@ -142,11 +141,8 @@ mod tests {
         let z = sample_field(&loc, &true_cov, 13);
         let ll_true = dense_log_likelihood(&loc, &z, &true_cov);
         for wrong_range in [0.002, 5.0] {
-            let wrong = Covariance::new(CovParams {
-                variance: 1.0,
-                range: wrong_range,
-                smoothness: 0.5,
-            });
+            let wrong =
+                Covariance::new(CovParams { variance: 1.0, range: wrong_range, smoothness: 0.5 });
             let ll_wrong = dense_log_likelihood(&loc, &z, &wrong);
             assert!(
                 ll_true > ll_wrong,
@@ -159,9 +155,7 @@ mod tests {
     fn likelihood_of_white_noise_model_matches_formula() {
         // With variance v and zero correlation (huge distances), Σ = vI:
         // ℓ = -½(Σ z²/v + n log v + n log 2π).
-        let loc = Locations {
-            points: vec![(0.0, 0.0), (1000.0, 0.0), (0.0, 1000.0)],
-        };
+        let loc = Locations { points: vec![(0.0, 0.0), (1000.0, 0.0), (0.0, 1000.0)] };
         let c = Covariance::new(CovParams { variance: 2.0, range: 1e-3, smoothness: 0.5 });
         let z = [1.0, -2.0, 0.5];
         let ll = dense_log_likelihood(&loc, &z, &c);

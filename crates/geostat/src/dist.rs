@@ -98,15 +98,11 @@ impl TileDist {
 
     fn weighted(workload: Workload, nodes: &[NodeId], weights: &[f64]) -> Self {
         // Tiles ordered heaviest-first, deterministic tie-break.
-        let mut tiles: Vec<(usize, usize)> = (0..workload.nt)
-            .flat_map(|i| (0..=i).map(move |j| (i, j)))
-            .collect();
+        let mut tiles: Vec<(usize, usize)> =
+            (0..workload.nt).flat_map(|i| (0..=i).map(move |j| (i, j))).collect();
         let tile_work = |i: usize, j: usize| (i.min(j) + 1) as f64;
         tiles.sort_by(|&(ai, aj), &(bi, bj)| {
-            tile_work(bi, bj)
-                .partial_cmp(&tile_work(ai, aj))
-                .unwrap()
-                .then((ai, aj).cmp(&(bi, bj)))
+            tile_work(bi, bj).partial_cmp(&tile_work(ai, aj)).unwrap().then((ai, aj).cmp(&(bi, bj)))
         });
         let mut load = vec![0.0_f64; nodes.len()];
         let mut owners = vec![NodeId(0); workload.n_tiles_lower()];
@@ -185,12 +181,7 @@ mod tests {
     fn weighted_balance_is_proportional() {
         let w = Workload::new(20, 8);
         // Node 0 four times faster than node 1.
-        let d = TileDist::build(
-            w,
-            Distribution::WeightedBalance,
-            &nodes(2),
-            &[4.0, 1.0],
-        );
+        let d = TileDist::build(w, Distribution::WeightedBalance, &nodes(2), &[4.0, 1.0]);
         let work = d.work_per_node(2);
         let ratio = work[0] / work[1];
         assert!((ratio - 4.0).abs() < 1.0, "work ratio {ratio}");
@@ -227,8 +218,18 @@ mod tests {
     #[test]
     fn deterministic_construction() {
         let w = Workload::new(16, 4);
-        let a = TileDist::build(w, Distribution::WeightedBalance, &nodes(5), &[3.0, 2.0, 1.0, 1.0, 1.0]);
-        let b = TileDist::build(w, Distribution::WeightedBalance, &nodes(5), &[3.0, 2.0, 1.0, 1.0, 1.0]);
+        let a = TileDist::build(
+            w,
+            Distribution::WeightedBalance,
+            &nodes(5),
+            &[3.0, 2.0, 1.0, 1.0, 1.0],
+        );
+        let b = TileDist::build(
+            w,
+            Distribution::WeightedBalance,
+            &nodes(5),
+            &[3.0, 2.0, 1.0, 1.0, 1.0],
+        );
         assert_eq!(a, b);
     }
 

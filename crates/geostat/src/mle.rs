@@ -108,30 +108,21 @@ impl NelderMead {
                 }
             }
             let worst_x = simplex[d].0.clone();
-            let refl: Vec<f64> = c
-                .iter()
-                .zip(&worst_x)
-                .map(|(ci, wi)| ci + self.alpha * (ci - wi))
-                .collect();
+            let refl: Vec<f64> =
+                c.iter().zip(&worst_x).map(|(ci, wi)| ci + self.alpha * (ci - wi)).collect();
             let fr = eval(&refl, &mut evals);
             if fr < simplex[0].1 {
                 // Try expansion.
-                let exp: Vec<f64> = c
-                    .iter()
-                    .zip(&worst_x)
-                    .map(|(ci, wi)| ci + self.gamma * (ci - wi))
-                    .collect();
+                let exp: Vec<f64> =
+                    c.iter().zip(&worst_x).map(|(ci, wi)| ci + self.gamma * (ci - wi)).collect();
                 let fe = eval(&exp, &mut evals);
                 simplex[d] = if fe < fr { (exp, fe) } else { (refl, fr) };
             } else if fr < simplex[d - 1].1 {
                 simplex[d] = (refl, fr);
             } else {
                 // Contraction.
-                let con: Vec<f64> = c
-                    .iter()
-                    .zip(&worst_x)
-                    .map(|(ci, wi)| ci + self.rho * (wi - ci))
-                    .collect();
+                let con: Vec<f64> =
+                    c.iter().zip(&worst_x).map(|(ci, wi)| ci + self.rho * (wi - ci)).collect();
                 let fc = eval(&con, &mut evals);
                 if fc < simplex[d].1 {
                     simplex[d] = (con, fc);
@@ -189,8 +180,7 @@ mod tests {
     #[test]
     fn nelder_mead_rosenbrock_progress() {
         // Full convergence is slow; verify substantial descent.
-        let rosen =
-            |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+        let rosen = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
         let nm = NelderMead::default();
         let start = [-1.2, 1.0];
         let f0 = rosen(&start);

@@ -20,6 +20,35 @@ pub enum Phase {
     DotProduct = 4,
 }
 
+impl Phase {
+    /// All phases in execution order.
+    pub fn all() -> [Phase; 5] {
+        [
+            Phase::Generation,
+            Phase::Factorization,
+            Phase::Solve,
+            Phase::Determinant,
+            Phase::DotProduct,
+        ]
+    }
+
+    /// Human-readable phase name (telemetry and trace labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Generation => "generation",
+            Phase::Factorization => "factorization",
+            Phase::Solve => "solve",
+            Phase::Determinant => "determinant",
+            Phase::DotProduct => "dot-product",
+        }
+    }
+
+    /// Phase from its trace tag, if valid.
+    pub fn from_tag(tag: u32) -> Option<Phase> {
+        Phase::all().into_iter().find(|&p| p as u32 == tag)
+    }
+}
+
 /// Registered task classes of the application, with the efficiency factors
 /// that calibrate the simulator's duration model. GEMM-like kernels run
 /// near peak on both architectures; POTRF is a poor GPU citizen; the
@@ -121,12 +150,8 @@ pub fn register_data(rt: &mut SimRuntime, w: Workload, dist: &TileDist) -> GeoDa
             tiles.push(rt.register_data(w.tile_bytes(), dist.owner(i, j)));
         }
     }
-    let z = (0..w.nt)
-        .map(|i| rt.register_data(w.vec_block_bytes(), dist.vec_owner(i)))
-        .collect();
-    let x = (0..w.nt)
-        .map(|i| rt.register_data(w.vec_block_bytes(), dist.vec_owner(i)))
-        .collect();
+    let z = (0..w.nt).map(|i| rt.register_data(w.vec_block_bytes(), dist.vec_owner(i))).collect();
+    let x = (0..w.nt).map(|i| rt.register_data(w.vec_block_bytes(), dist.vec_owner(i))).collect();
     let det = rt.register_data(8, adaphet_runtime::NodeId(0));
     let dot = rt.register_data(8, adaphet_runtime::NodeId(0));
     GeoData { tiles, z, x, det, dot }
@@ -362,12 +387,8 @@ mod tests {
         let (mut rt, c, w, data) = setup(5, 2);
         submit_generation(&mut rt, &c, w, &data);
         rt.run();
-        let gen_events = rt
-            .trace()
-            .events()
-            .iter()
-            .filter(|e| e.phase == Phase::Generation as u32)
-            .count();
+        let gen_events =
+            rt.trace().events().iter().filter(|e| e.phase == Phase::Generation as u32).count();
         assert_eq!(gen_events, 15); // 5*6/2 lower tiles
     }
 
@@ -378,9 +399,7 @@ mod tests {
         submit_generation(&mut rt, &c, w, &data);
         submit_cholesky(&mut rt, &c, w, &data);
         rt.run();
-        let count = |cls: ClassId| {
-            rt.trace().events().iter().filter(|e| e.class == cls).count()
-        };
+        let count = |cls: ClassId| rt.trace().events().iter().filter(|e| e.class == cls).count();
         assert_eq!(count(c.potrf), nt);
         assert_eq!(count(c.trsm), nt * (nt - 1) / 2);
         assert_eq!(count(c.syrk), nt * (nt - 1) / 2);
@@ -399,10 +418,7 @@ mod tests {
         assert!(r.duration() > 0.0);
         // The potrf of tile (0,0) must start after its generation ends.
         let evs = rt.trace().events();
-        let gen0 = evs
-            .iter()
-            .find(|e| e.phase == Phase::Generation as u32)
-            .unwrap();
+        let gen0 = evs.iter().find(|e| e.phase == Phase::Generation as u32).unwrap();
         let potrf0 = evs.iter().find(|e| e.class == c.potrf).unwrap();
         assert!(potrf0.start >= gen0.end - 1e-12);
         // Determinant and dot tasks all executed.

@@ -110,7 +110,19 @@ impl GeoRealApp {
             (0..workload.nt).map(|_| rt.register(Block::Vector(vec![0.0; b]))).collect();
         let det = rt.register(Block::Scalar(0.0));
         let dot = rt.register(Block::Scalar(0.0));
-        GeoRealApp { rt, workload, loc, z, tiles, zb, xb, det, dot, nugget: 1e-10, mixed_band: None }
+        GeoRealApp {
+            rt,
+            workload,
+            loc,
+            z,
+            tiles,
+            zb,
+            xb,
+            det,
+            dot,
+            nugget: 1e-10,
+            mixed_band: None,
+        }
     }
 
     /// The observations (for external checks).
@@ -135,11 +147,7 @@ impl GeoRealApp {
     /// double precision; smaller bands trade likelihood accuracy for the
     /// speed the simulated path models ([`crate::GeoSimApp`] halves the
     /// flop count of single-precision tiles).
-    pub fn eval_likelihood_mixed(
-        &mut self,
-        params: CovParams,
-        f64_band: usize,
-    ) -> (f64, Duration) {
+    pub fn eval_likelihood_mixed(&mut self, params: CovParams, f64_band: usize) -> (f64, Duration) {
         self.mixed_band = Some(f64_band);
         let out = self.eval_likelihood(params);
         self.mixed_band = None;
@@ -228,8 +236,7 @@ impl GeoRealApp {
                             let ag = s.read(a);
                             let bg = s.read(bb);
                             let mut cg = s.write(c);
-                            gemm_update(ag.tile(), bg.tile(), cg.tile_mut())
-                                .expect("gemm dims");
+                            gemm_update(ag.tile(), bg.tile(), cg.tile_mut()).expect("gemm dims");
                             if f32_tile {
                                 quantize_f32(cg.tile_mut());
                             }

@@ -81,16 +81,10 @@ impl GeoSimApp {
         self.iterations
     }
 
-    fn gen_dist(
-        platform: &Platform,
-        classes: &GeoClasses,
-        w: Workload,
-        n_gen: usize,
-    ) -> TileDist {
+    fn gen_dist(platform: &Platform, classes: &GeoClasses, w: Workload, n_gen: usize) -> TileDist {
         let nodes: Vec<NodeId> = (0..n_gen).map(NodeId).collect();
-        let weights: Vec<f64> = (0..n_gen)
-            .map(|i| classes.gen_gflops(platform.node(NodeId(i))).max(1e-9))
-            .collect();
+        let weights: Vec<f64> =
+            (0..n_gen).map(|i| classes.gen_gflops(platform.node(NodeId(i))).max(1e-9)).collect();
         TileDist::auto(w, &nodes, &weights)
     }
 
@@ -101,9 +95,8 @@ impl GeoSimApp {
         n_fact: usize,
     ) -> TileDist {
         let nodes: Vec<NodeId> = (0..n_fact).map(NodeId).collect();
-        let weights: Vec<f64> = (0..n_fact)
-            .map(|i| classes.fact_gflops(platform.node(NodeId(i))).max(1e-9))
-            .collect();
+        let weights: Vec<f64> =
+            (0..n_fact).map(|i| classes.fact_gflops(platform.node(NodeId(i))).max(1e-9)).collect();
         TileDist::auto(w, &nodes, &weights)
     }
 
@@ -166,6 +159,27 @@ impl GeoSimApp {
         self.rt.run()
     }
 
+    /// Per-phase busy time (summed over all workers) within the time
+    /// window of `report` — the phase breakdown that tuner telemetry
+    /// attaches to each iteration. Phases with no busy time are omitted;
+    /// the result is empty when trace recording is disabled.
+    pub fn phase_breakdown(&self, report: &RunReport) -> Vec<(&'static str, f64)> {
+        let trace = self.rt.trace();
+        phases::Phase::all()
+            .into_iter()
+            .map(|p| {
+                let busy: f64 = trace
+                    .events()
+                    .iter()
+                    .filter(|e| e.phase == p as u32)
+                    .map(|e| (e.end.min(report.end) - e.start.max(report.start)).max(0.0))
+                    .sum();
+                (p.name(), busy)
+            })
+            .filter(|&(_, busy)| busy > 0.0)
+            .collect()
+    }
+
     /// The LP lower bound `LP(n_fact)` of one iteration (paper Section II):
     /// the max over phases of the heterogeneous work bound — optimistic,
     /// ignoring communications and the critical path.
@@ -177,9 +191,7 @@ impl GeoSimApp {
     /// heterogeneous distribution and reported in diagnostics).
     pub fn lp_shares(&self, n_fact: usize) -> Vec<f64> {
         let unit_times: Vec<f64> = (0..n_fact)
-            .map(|i| {
-                1.0 / (self.classes.fact_gflops(self.rt.platform().node(NodeId(i))) * 1e9)
-            })
+            .map(|i| 1.0 / (self.classes.fact_gflops(self.rt.platform().node(NodeId(i))) * 1e9))
             .collect();
         proportional_share_bound(self.workload.cholesky_flops(), &unit_times).shares
     }
@@ -282,10 +294,7 @@ mod tests {
             let choice = IterationChoice::fact_only(n, k);
             let bound = app.lp_bound(choice);
             let measured = app.run_iteration(choice).duration();
-            assert!(
-                bound <= measured + 1e-9,
-                "LP({k}) = {bound} exceeds measured {measured}"
-            );
+            assert!(bound <= measured + 1e-9, "LP({k}) = {bound} exceeds measured {measured}");
         }
     }
 
@@ -311,16 +320,34 @@ mod tests {
         let mut app = small_app(0, 2, 8); // CPU-only: duration ∝ flops
         let n = app.n_nodes();
         let full = app.run_iteration_mixed(IterationChoice::all(n), None).duration();
-        let mixed = app
-            .run_iteration_mixed(IterationChoice::all(n), Some(2))
-            .duration();
-        assert!(
-            mixed < full,
-            "single-precision off-band tiles must be faster: {mixed} vs {full}"
-        );
+        let mixed = app.run_iteration_mixed(IterationChoice::all(n), Some(2)).duration();
+        assert!(mixed < full, "single-precision off-band tiles must be faster: {mixed} vs {full}");
         // Band >= nt is plain double precision.
         let same = app.run_iteration_mixed(IterationChoice::all(n), Some(8)).duration();
         assert!((same - full).abs() < 0.05 * full, "{same} vs {full}");
+    }
+
+    #[test]
+    fn phase_breakdown_covers_the_iteration_window() {
+        let mut app = small_app(1, 2, 6);
+        let n = app.n_nodes();
+        let r1 = app.run_iteration(IterationChoice::all(n));
+        let r2 = app.run_iteration(IterationChoice::fact_only(n, 2));
+        for r in [&r1, &r2] {
+            let breakdown = app.phase_breakdown(r);
+            assert!(!breakdown.is_empty(), "tracing is on by default");
+            let names: Vec<&str> = breakdown.iter().map(|&(p, _)| p).collect();
+            assert!(names.contains(&"generation"), "{names:?}");
+            assert!(names.contains(&"factorization"), "{names:?}");
+            for &(name, busy) in &breakdown {
+                assert!(busy > 0.0, "{name} has zero busy time");
+            }
+        }
+        // The two windows select disjoint work: total busy time within
+        // each report stays within that report's window bounds.
+        let b1: f64 = app.phase_breakdown(&r1).iter().map(|&(_, b)| b).sum();
+        let b2: f64 = app.phase_breakdown(&r2).iter().map(|&(_, b)| b).sum();
+        assert!(b1 > 0.0 && b2 > 0.0);
     }
 
     #[test]

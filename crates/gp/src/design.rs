@@ -17,9 +17,8 @@ pub fn latin_hypercube<R: Rng>(rng: &mut R, n: usize, lo: f64, hi: f64) -> Vec<f
         return vec![];
     }
     let w = (hi - lo) / n as f64;
-    let mut pts: Vec<f64> = (0..n)
-        .map(|i| lo + w * (i as f64 + rng.random_range(0.0..1.0)))
-        .collect();
+    let mut pts: Vec<f64> =
+        (0..n).map(|i| lo + w * (i as f64 + rng.random_range(0.0..1.0))).collect();
     // Shuffle so callers consuming a prefix still get spread-out points.
     for i in (1..pts.len()).rev() {
         let j = rng.random_range(0..=i);
@@ -47,10 +46,7 @@ pub fn maximin_design(candidates: &[f64], n: usize) -> Vec<f64> {
             .iter()
             .filter(|c| !chosen.contains(c))
             .map(|&c| {
-                let d = chosen
-                    .iter()
-                    .map(|&x| (x - c).abs())
-                    .fold(f64::INFINITY, f64::min);
+                let d = chosen.iter().map(|&x| (x - c).abs()).fold(f64::INFINITY, f64::min);
                 (c, d)
             })
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())

@@ -147,10 +147,8 @@ mod tests {
         // Smooth function sampled densely: MLE should not pick the tiniest θ.
         let xs: Vec<f64> = (0..25).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|x| (x / 5.0).sin() * 3.0).collect();
-        let search = MleSearch {
-            kernel: Kernel::SquaredExponential { theta: 1.0 },
-            ..Default::default()
-        };
+        let search =
+            MleSearch { kernel: Kernel::SquaredExponential { theta: 1.0 }, ..Default::default() };
         let model = fit_profile_likelihood(&search, &xs, &ys, 1e-6).unwrap();
         assert!(model.config().kernel.theta() > 0.9, "theta = {}", model.config().kernel.theta());
         // And the fit should predict well in-sample.
@@ -164,8 +162,7 @@ mod tests {
         // Degenerate data must not crash — this is the "with bad luck, the
         // algorithm may be overconfident" regime.
         let model =
-            fit_profile_likelihood(&MleSearch::default(), &[1.0, 10.0], &[5.0, 6.0], 0.01)
-                .unwrap();
+            fit_profile_likelihood(&MleSearch::default(), &[1.0, 10.0], &[5.0, 6.0], 0.01).unwrap();
         assert!(model.predict(5.0).mean.is_finite());
     }
 
@@ -173,10 +170,7 @@ mod tests {
     fn mle_beats_fixed_extreme_theta() {
         let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.7).collect();
         let ys: Vec<f64> = xs.iter().map(|x| (0.4 * x).cos()).collect();
-        let search = MleSearch {
-            kernel: Kernel::Matern52 { theta: 1.0 },
-            ..Default::default()
-        };
+        let search = MleSearch { kernel: Kernel::Matern52 { theta: 1.0 }, ..Default::default() };
         let best = fit_profile_likelihood(&search, &xs, &ys, 1e-6).unwrap();
         let extreme = GpModel::fit(
             GpConfig {

@@ -79,10 +79,9 @@ impl GpModel {
         let kinv_resid = chol.solve(&gls.residuals);
 
         // Profile log marginal likelihood (trend coefficients plugged in).
-        let quad: f64 =
-            gls.residuals.iter().zip(&kinv_resid).map(|(r, kr)| r * kr).sum();
-        let log_likelihood = -0.5
-            * (quad + chol.log_det() + n as f64 * (2.0 * std::f64::consts::PI).ln());
+        let quad: f64 = gls.residuals.iter().zip(&kinv_resid).map(|(r, kr)| r * kr).sum();
+        let log_likelihood =
+            -0.5 * (quad + chol.log_det() + n as f64 * (2.0 * std::f64::consts::PI).ln());
 
         Ok(GpModel { config, x: x.to_vec(), chol, gls, kinv_resid, design, jitter, log_likelihood })
     }
@@ -97,8 +96,7 @@ impl GpModel {
         let g = self.config.trend.row(xq);
 
         // mean = g*ᵀ γ̂ + k*ᵀ K⁻¹ resid
-        let mut mean: f64 =
-            g.iter().zip(&self.gls.coefficients).map(|(gi, ci)| gi * ci).sum();
+        let mut mean: f64 = g.iter().zip(&self.gls.coefficients).map(|(gi, ci)| gi * ci).sum();
         mean += kstar.iter().zip(&self.kinv_resid).map(|(a, b)| a * b).sum::<f64>();
 
         // var = α − k*ᵀK⁻¹k* + u ᵀ(GᵀK⁻¹G)⁻¹ u, u = g* − Gᵀ K⁻¹ k*.
@@ -157,13 +155,7 @@ impl GpModel {
     /// The trend mean `Σ γ̂_i g_i(x)` alone, without the GP correction —
     /// useful for plotting the learned discontinuous trend (Fig. 4C).
     pub fn trend_mean(&self, xq: f64) -> f64 {
-        self.config
-            .trend
-            .row(xq)
-            .iter()
-            .zip(&self.gls.coefficients)
-            .map(|(g, c)| g * c)
-            .sum()
+        self.config.trend.row(xq).iter().zip(&self.gls.coefficients).map(|(g, c)| g * c).sum()
     }
 }
 
@@ -318,10 +310,7 @@ mod tests {
                 outside += 1;
             }
         }
-        assert!(
-            outside <= total / 10,
-            "truth outside the 95% band at {outside}/{total} points"
-        );
+        assert!(outside <= total / 10, "truth outside the 95% band at {outside}/{total} points");
     }
 
     proptest! {

@@ -62,10 +62,7 @@ impl TileKernel {
     /// is CPU-only, exactly as in the paper ("generation only runs on CPUs").
     /// The tiny reduction tasks are also kept on CPUs.
     pub fn gpu_capable(self) -> bool {
-        matches!(
-            self,
-            TileKernel::Potrf | TileKernel::Trsm | TileKernel::Syrk | TileKernel::Gemm
-        )
+        matches!(self, TileKernel::Potrf | TileKernel::Trsm | TileKernel::Syrk | TileKernel::Gemm)
     }
 }
 

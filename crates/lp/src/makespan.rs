@@ -62,8 +62,7 @@ pub struct ShareBound {
 /// the work (or there are no nodes) and the work is positive.
 pub fn proportional_share_bound(work: f64, unit_times: &[f64]) -> ShareBound {
     assert!(work >= 0.0, "work must be non-negative");
-    let inv_sum: f64 =
-        unit_times.iter().filter(|t| t.is_finite()).map(|t| 1.0 / t).sum();
+    let inv_sum: f64 = unit_times.iter().filter(|t| t.is_finite()).map(|t| 1.0 / t).sum();
     if work == 0.0 {
         return ShareBound { makespan: 0.0, shares: vec![0.0; unit_times.len()] };
     }
@@ -71,10 +70,7 @@ pub fn proportional_share_bound(work: f64, unit_times: &[f64]) -> ShareBound {
         return ShareBound { makespan: f64::INFINITY, shares: vec![0.0; unit_times.len()] };
     }
     let t = work / inv_sum;
-    let shares = unit_times
-        .iter()
-        .map(|&ti| if ti.is_finite() { t / ti } else { 0.0 })
-        .collect();
+    let shares = unit_times.iter().map(|&ti| if ti.is_finite() { t / ti } else { 0.0 }).collect();
     ShareBound { makespan: t, shares }
 }
 
@@ -148,10 +144,7 @@ impl MakespanModel {
     /// Lower bound for an iteration whose phases may fully overlap:
     /// `max_phase LP(phase)`.
     pub fn iteration_bound(phases: &[PhaseSpec]) -> f64 {
-        phases
-            .iter()
-            .map(|p| Self::phase_bound(p).makespan)
-            .fold(0.0_f64, f64::max)
+        phases.iter().map(|p| Self::phase_bound(p).makespan).fold(0.0_f64, f64::max)
     }
 }
 
@@ -228,16 +221,10 @@ mod tests {
 
     #[test]
     fn iteration_bound_is_max_over_phases() {
-        let gen = PhaseSpec {
-            name: "generation",
-            work_units: 10.0,
-            node_unit_times: vec![1.0, 1.0],
-        };
-        let fact = PhaseSpec {
-            name: "factorization",
-            work_units: 4.0,
-            node_unit_times: vec![1.0, 1.0],
-        };
+        let gen =
+            PhaseSpec { name: "generation", work_units: 10.0, node_unit_times: vec![1.0, 1.0] };
+        let fact =
+            PhaseSpec { name: "factorization", work_units: 4.0, node_unit_times: vec![1.0, 1.0] };
         let b = MakespanModel::iteration_bound(&[gen.clone(), fact]);
         assert!((b - MakespanModel::phase_bound(&gen).makespan).abs() < 1e-9);
     }

@@ -274,9 +274,7 @@ fn simplex_core(
                 match leave {
                     None => leave = Some((r, ratio)),
                     Some((lr, lratio)) => {
-                        if ratio < lratio - EPS
-                            || (ratio < lratio + EPS && basis[r] < basis[lr])
-                        {
+                        if ratio < lratio - EPS || (ratio < lratio + EPS && basis[r] < basis[lr]) {
                             leave = Some((r, ratio));
                         }
                     }

@@ -138,22 +138,15 @@ impl FlowNet {
             let step = next.max(self.now);
             self.integrate_to(step);
             // Collect everything that finished at `step`.
-            let finished: Vec<usize> = self
-                .active
-                .iter()
-                .copied()
-                .filter(|&i| self.flows[i].remaining <= 1e-9)
-                .collect();
+            let finished: Vec<usize> =
+                self.active.iter().copied().filter(|&i| self.flows[i].remaining <= 1e-9).collect();
             // Numerical safety: if nothing hit zero, force the closest one.
             let finished = if finished.is_empty() {
                 let i = *self
                     .active
                     .iter()
                     .min_by(|&&a, &&b| {
-                        self.flows[a]
-                            .remaining
-                            .partial_cmp(&self.flows[b].remaining)
-                            .unwrap()
+                        self.flows[a].remaining.partial_cmp(&self.flows[b].remaining).unwrap()
                     })
                     .expect("active flows exist");
                 vec![i]
@@ -214,9 +207,8 @@ impl FlowNet {
                 break;
             };
             // Fix flows crossing the bottleneck at the fair share.
-            let (through, rest): (Vec<usize>, Vec<usize>) = unfixed
-                .into_iter()
-                .partition(|&i| self.flows[i].route.iter().any(|l| l.0 == bl));
+            let (through, rest): (Vec<usize>, Vec<usize>) =
+                unfixed.into_iter().partition(|&i| self.flows[i].route.iter().any(|l| l.0 == bl));
             for &i in &through {
                 self.flows[i].rate = share;
                 for l in &self.flows[i].route {

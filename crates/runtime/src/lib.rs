@@ -59,4 +59,4 @@ pub use real::{BlockHandle, RealRuntime, StoreView};
 pub use sim::{RunReport, SimConfig, SimRuntime};
 pub use stf::DepTracker;
 pub use task::{Access, ClassId, ClassSpec, ClassTable, TaskDesc, TaskId};
-pub use trace::{ResourceKind, Trace, TraceEvent};
+pub use trace::{chrome_trace_document, ResourceKind, Trace, TraceEvent};

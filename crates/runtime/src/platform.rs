@@ -72,9 +72,7 @@ impl Platform {
     /// for a fast one is always detrimental").
     pub fn new_sorted(mut nodes: Vec<NodeSpec>, network: NetworkSpec) -> Self {
         nodes.sort_by(|a, b| {
-            b.peak_gflops()
-                .partial_cmp(&a.peak_gflops())
-                .unwrap_or(std::cmp::Ordering::Equal)
+            b.peak_gflops().partial_cmp(&a.peak_gflops()).unwrap_or(std::cmp::Ordering::Equal)
         });
         Platform { nodes, network }
     }

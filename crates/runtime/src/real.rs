@@ -106,10 +106,8 @@ impl<T: Send + Sync + 'static> RealRuntime<T> {
     ) -> TaskId {
         let id = TaskId(self.tasks.len());
         // Reuse the STF tracker through the shared DataHandle currency.
-        let as_data: Vec<_> = accesses
-            .iter()
-            .map(|&(h, a)| (crate::data::DataHandle(h.0), a))
-            .collect();
+        let as_data: Vec<_> =
+            accesses.iter().map(|&(h, a)| (crate::data::DataHandle(h.0), a)).collect();
         let dep_list = self.deps.record(id, &as_data);
         let mut unmet = 0;
         for d in &dep_list {
@@ -131,8 +129,7 @@ impl<T: Send + Sync + 'static> RealRuntime<T> {
     /// wall-clock duration of the run.
     pub fn run(&mut self) -> Duration {
         let started = Instant::now();
-        let pending: Vec<usize> =
-            (0..self.tasks.len()).filter(|&i| !self.tasks[i].done).collect();
+        let pending: Vec<usize> = (0..self.tasks.len()).filter(|&i| !self.tasks[i].done).collect();
         if pending.is_empty() {
             return started.elapsed();
         }
@@ -342,12 +339,9 @@ mod tests {
         rt.submit(vec![(a, Access::Read), (c, Access::Write)], move |s| {
             *s.write(c) = *s.read(a) + 2;
         });
-        rt.submit(
-            vec![(b, Access::Read), (c, Access::Read), (d, Access::Write)],
-            move |s| {
-                *s.write(d) = *s.read(b) * *s.read(c);
-            },
-        );
+        rt.submit(vec![(b, Access::Read), (c, Access::Read), (d, Access::Write)], move |s| {
+            *s.write(d) = *s.read(b) * *s.read(c);
+        });
         rt.run();
         assert_eq!(*rt.block(d), 11 * 12);
     }

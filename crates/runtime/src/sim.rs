@@ -29,8 +29,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Simulation options.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SimConfig {
     /// RNG seed (only used when `task_jitter` is set).
     pub seed: u64,
@@ -40,7 +39,6 @@ pub struct SimConfig {
     /// level instead, Section V).
     pub task_jitter: Option<f64>,
 }
-
 
 /// Result of one [`SimRuntime::run`] call.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,7 +129,10 @@ impl Ord for OrdF64 {
 enum EventKind {
     TaskDone(TaskId),
     /// Latency elapsed; insert the actual flow.
-    FlowStart { handle: DataHandle, dst: NodeId },
+    FlowStart {
+        handle: DataHandle,
+        dst: NodeId,
+    },
 }
 
 // EventKind participates in a heap tuple needing Ord; ordering is fully
@@ -214,9 +215,7 @@ impl SimRuntime {
             cpu_efficiency: 1.0,
             gpu_efficiency: 1.0,
         });
-        let jitter = config
-            .task_jitter
-            .map(|s| Normal::new(0.0, s).expect("valid jitter sigma"));
+        let jitter = config.task_jitter.map(|s| Normal::new(0.0, s).expect("valid jitter sigma"));
         SimRuntime {
             platform,
             classes,
@@ -406,8 +405,7 @@ impl SimRuntime {
 
     fn push_event(&mut self, t: f64, kind: EventKind) {
         self.event_seq += 1;
-        self.events
-            .push(Reverse((OrdF64(t), self.event_seq, EventKindCell(kind))));
+        self.events.push(Reverse((OrdF64(t), self.event_seq, EventKindCell(kind))));
     }
 
     /// Dependencies met: request input transfers, then queue.
@@ -447,18 +445,10 @@ impl SimRuntime {
         let now = self.now;
         let sched = &mut self.scheds[node.0];
         // Commit to the resource kind with the earliest expected finish.
-        let best_cpu = sched
-            .cpu_commit
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(&b.1));
-        let best_gpu = sched
-            .gpu_commit
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(&b.1));
+        let best_cpu =
+            sched.cpu_commit.iter().copied().enumerate().min_by(|a, b| a.1.total_cmp(&b.1));
+        let best_gpu =
+            sched.gpu_commit.iter().copied().enumerate().min_by(|a, b| a.1.total_cmp(&b.1));
         let cpu_eft = best_cpu.map(|(_, c)| c.max(now) + cpu_dur).unwrap_or(f64::INFINITY);
         let gpu_eft = if gpu_dur.is_finite() {
             best_gpu.map(|(_, c)| c.max(now) + gpu_dur).unwrap_or(f64::INFINITY)
@@ -562,10 +552,7 @@ impl SimRuntime {
 
     fn on_task_done(&mut self, id: TaskId) {
         let node = self.tasks[id.0].node;
-        let resource = self
-            .running_resource
-            .remove(&id.0)
-            .expect("finished task had a resource");
+        let resource = self.running_resource.remove(&id.0).expect("finished task had a resource");
         // Free the unit. When the kind's ready queue is empty there is no
         // pending committed work, so clamp idle units' commit horizons back
         // to `now` (they may carry phantom backlog from tasks that ended up
@@ -627,9 +614,7 @@ impl SimRuntime {
             self.finish_fetch(handle, dst);
             return;
         }
-        let src = *self.replicas[handle.0]
-            .first()
-            .expect("handle has at least one valid replica");
+        let src = *self.replicas[handle.0].first().expect("handle has at least one valid replica");
         debug_assert_ne!(src, dst);
         let bytes = self.data.size(handle) as f64;
         self.bytes_transferred += bytes;
@@ -639,10 +624,7 @@ impl SimRuntime {
     }
 
     fn on_flow_done(&mut self, f: FlowId) {
-        let (handle, dst) = self
-            .flow_meta
-            .remove(&f)
-            .expect("completed flow has metadata");
+        let (handle, dst) = self.flow_meta.remove(&f).expect("completed flow has metadata");
         self.finish_fetch(handle, dst);
     }
 
@@ -774,11 +756,8 @@ mod tests {
             rt.submit(task(hybrid, 1e9, vec![(h, Access::Write)]));
         }
         rt.run();
-        let used_cpu = rt
-            .trace()
-            .events()
-            .iter()
-            .any(|e| matches!(e.resource, ResourceKind::CpuCore(_)));
+        let used_cpu =
+            rt.trace().events().iter().any(|e| matches!(e.resource, ResourceKind::CpuCore(_)));
         assert!(used_cpu, "CPU cores should take overflow work");
     }
 
@@ -836,12 +815,7 @@ mod tests {
         rt.submit(task(cpu, 1e9, vec![(h, Access::ReadWrite)]));
         let r = rt.run();
         assert!((r.duration() - 2.0).abs() < 1e-6, "duration {}", r.duration());
-        let ev = rt
-            .trace()
-            .events()
-            .iter()
-            .find(|e| e.phase == 0)
-            .expect("compute task traced");
+        let ev = rt.trace().events().iter().find(|e| e.phase == 0).expect("compute task traced");
         assert_eq!(ev.node, NodeId(1));
     }
 

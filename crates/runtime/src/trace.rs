@@ -109,6 +109,38 @@ impl Trace {
         self.events.iter().map(|e| e.end).fold(0.0, f64::max)
     }
 
+    /// Serialize each task as one Chrome-trace "complete" event
+    /// (`"ph":"X"`, times in microseconds), named by `phase_name` and laid
+    /// out with one process per node and one thread per worker. The
+    /// returned strings are individual JSON objects so callers can splice
+    /// additional events (e.g. tuner decisions) into the same timeline
+    /// before wrapping with [`chrome_trace_document`].
+    pub fn chrome_events<F: Fn(u32) -> String>(&self, phase_name: F) -> Vec<String> {
+        self.events
+            .iter()
+            .map(|e| {
+                // GPUs get a disjoint thread-id band so they never collide
+                // with CPU core lanes inside a node's process group.
+                let tid = match e.resource {
+                    ResourceKind::CpuCore(i) => i,
+                    ResourceKind::Gpu(i) => 1000 + i,
+                };
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{:.3},\
+                     \"dur\":{:.3},\"pid\":{},\"tid\":{},\
+                     \"args\":{{\"task\":{},\"class\":{}}}}}",
+                    phase_name(e.phase),
+                    e.start * 1e6,
+                    (e.end - e.start) * 1e6,
+                    e.node.0,
+                    tid,
+                    e.task.0,
+                    e.class.0
+                )
+            })
+            .collect()
+    }
+
     /// Export as a StarVZ-style CSV
     /// (`task,class,phase,node,resource,start,end`) for external
     /// visualization tools.
@@ -126,6 +158,21 @@ impl Trace {
         }
         out
     }
+}
+
+/// Wrap pre-serialized Chrome-trace event objects into a complete
+/// `{"traceEvents":[...]}` document loadable by `chrome://tracing` and
+/// Perfetto.
+pub fn chrome_trace_document(events: &[String]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(e);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
 }
 
 #[cfg(test)]
@@ -195,6 +242,39 @@ mod tests {
         let row = lines.next().unwrap();
         assert!(row.starts_with("0,0,1,2,cpu0,"));
         assert!(row.contains("0.5"));
+    }
+
+    #[test]
+    fn chrome_events_are_complete_events_in_microseconds() {
+        let mut t = Trace::new();
+        t.push(ev(2, 1, 0.5, 1.5));
+        let evs = t.chrome_events(|p| format!("phase{p}"));
+        assert_eq!(evs.len(), 1);
+        let e = &evs[0];
+        assert!(e.contains("\"name\":\"phase1\""), "{e}");
+        assert!(e.contains("\"ph\":\"X\""), "{e}");
+        assert!(e.contains("\"ts\":500000.000"), "{e}");
+        assert!(e.contains("\"dur\":1000000.000"), "{e}");
+        assert!(e.contains("\"pid\":2"), "{e}");
+        let doc = chrome_trace_document(&evs);
+        assert!(doc.starts_with("{\"traceEvents\":["), "{doc}");
+        assert!(doc.ends_with("],\"displayTimeUnit\":\"ms\"}"), "{doc}");
+    }
+
+    #[test]
+    fn gpu_lanes_do_not_collide_with_cpu_lanes() {
+        let mut t = Trace::new();
+        t.push(TraceEvent {
+            task: TaskId(1),
+            class: ClassId(0),
+            phase: 0,
+            node: NodeId(0),
+            resource: ResourceKind::Gpu(0),
+            start: 0.0,
+            end: 1.0,
+        });
+        let evs = t.chrome_events(|_| "x".into());
+        assert!(evs[0].contains("\"tid\":1000"), "{}", evs[0]);
     }
 
     #[test]

@@ -67,16 +67,16 @@ impl Machine {
                 name: "chifflet".into(),
                 cpu_cores: 28,
                 gpus: 2,
-                cpu_gflops_per_core: 17.0,  // Broadwell 2.4 GHz
-                gpu_gflops: 250.0,          // GTX 1080: weak FP64
+                cpu_gflops_per_core: 17.0, // Broadwell 2.4 GHz
+                gpu_gflops: 250.0,         // GTX 1080: weak FP64
                 nic_gbps: 10.0,
             },
             Machine::Chifflot => NodeSpec {
                 name: "chifflot".into(),
                 cpu_cores: 24,
                 gpus: 2,
-                cpu_gflops_per_core: 35.0,  // Skylake AVX-512
-                gpu_gflops: 3800.0,         // Tesla P100 DGEMM
+                cpu_gflops_per_core: 35.0, // Skylake AVX-512
+                gpu_gflops: 3800.0,        // Tesla P100 DGEMM
                 nic_gbps: 25.0,
             },
             Machine::SdCpu => NodeSpec {

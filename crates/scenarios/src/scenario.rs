@@ -191,10 +191,7 @@ mod tests {
         assert_eq!(Scenario::by_id('i').unwrap().label(), "(i) G5K 6L-30S 101 (Simul)");
         assert_eq!(Scenario::by_id('c').unwrap().label(), "(c) SD 10L-10S 128 (Real)");
         assert_eq!(Scenario::by_id('m').unwrap().label(), "(m) SD 64L 128 (Real)");
-        assert_eq!(
-            Scenario::by_id('h').unwrap().label(),
-            "(h) SD 10L-10M-10S 128 (Real)"
-        );
+        assert_eq!(Scenario::by_id('h').unwrap().label(), "(h) SD 10L-10M-10S 128 (Real)");
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Offline drop-in replacement for the subset of `criterion` this
+//! workspace uses: `criterion_group!` / `criterion_main!`, benchmark
+//! groups, `bench_function` / `bench_with_input`, and `BenchmarkId`.
+//!
+//! Measurement is intentionally simple: a short warm-up followed by a
+//! fixed time budget of batched timing samples; median ns/iter is printed.
+//! It is good enough to compare before/after runs by hand, which is all
+//! the workspace's benches are used for in this offline environment.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>, // ns per iteration
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher { samples: Vec::new(), budget }
+    }
+
+    /// Time `f` repeatedly, recording ns/iter samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: aim for batches >= ~1 ms.
+        let t0 = Instant::now();
+        hint::black_box(f());
+        let once = t0.elapsed();
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000)
+            as usize;
+        let started = Instant::now();
+        while started.elapsed() < self.budget || self.samples.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(f());
+            }
+            self.samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if self.samples.len() >= 200 {
+                break;
+            }
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(label: &str, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(budget);
+    f(&mut b);
+    println!("{label:<60} time: {:>12}/iter", human(b.median_ns()));
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run a single benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.budget, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), budget: self.budget, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion-API shim: reduces the time budget proportionally (the
+    /// real crate's `sample_size` reduces statistical sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let scale = (n as f64 / 100.0).clamp(0.05, 1.0);
+        self.budget = Duration::from_nanos((300e6 * scale) as u64);
+        self
+    }
+
+    /// Benchmark within the group.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.budget, &mut f);
+        self
+    }
+
+    /// Benchmark parameterized by an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.label), self.budget, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("a", 7).label, "a/7");
+        assert_eq!(BenchmarkId::from_parameter("p").label, "p");
+    }
+}

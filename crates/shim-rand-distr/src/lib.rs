@@ -1,0 +1,98 @@
+//! Offline drop-in replacement for the subset of `rand_distr` this
+//! workspace uses: [`Normal`] and [`StandardNormal`] via Box–Muller.
+
+pub use rand::distr::Distribution;
+use rand::RngCore;
+
+/// Error constructing a [`Normal`] (negative or non-finite σ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller. `u1` is mapped into (0, 1] so ln() stays finite.
+        let u1 = 1.0 - rng.next_f64();
+        let u2 = rng.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F = f64> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// A normal distribution; `Err` on invalid (negative/NaN) σ.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * StandardNormal.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_sigma_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(5.0, 0.0).unwrap();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline drop-in replacement for the subset of the `rand` 0.9 API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the few entry points it needs: [`rngs::StdRng`] (a deterministic
+//! xoshiro256++ generator seeded via SplitMix64), the [`Rng`] extension
+//! trait with `random_range`, [`SeedableRng::seed_from_u64`], and the
+//! [`distr::Distribution`] trait that `rand_distr` builds on.
+//!
+//! Streams differ from the real `rand` crate's ChaCha-based `StdRng`, but
+//! every consumer in this workspace only relies on determinism-per-seed and
+//! reasonable statistical quality, both of which xoshiro256++ provides.
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value; panics on an empty range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let v = uniform_u128(rng, width);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                let v = uniform_u128(rng, width);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Uniform value in `0..width` (`width >= 1`) via 128-bit widening multiply
+/// (Lemire's method without the rejection step: bias is < 2^-64, far below
+/// anything these tests can detect).
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, width: u128) -> u128 {
+    debug_assert!(width >= 1);
+    if width == 0 {
+        return 0;
+    }
+    let x = rng.next_u64() as u128;
+    (x * width) >> 64
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = rng.next_f64() as $t;
+                let v = self.start + (self.end - self.start) * u;
+                // Guard against rounding up to the excluded end point.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + (hi - lo) * rng.next_f64() as $t
+            }
+        }
+    )*};
+}
+impl_float_range!(f64, f32);
+
+/// User-facing extension trait (the `rand` prelude's workhorse).
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (half-open or inclusive, int or float).
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of reproducible generators.
+pub trait SeedableRng: Sized {
+    /// Deterministic generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Distribution abstraction (re-exported by the `rand_distr` shim).
+pub mod distr {
+    use crate::RngCore;
+
+    /// Types that can generate values of `T` from a generator.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+/// Named generator types.
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// Deterministic general-purpose generator (xoshiro256++, seeded by
+    /// SplitMix64 as its authors recommend).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_state(mut sm: u64) -> Self {
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng::from_state(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias kept for API compatibility (`SmallRng` == `StdRng` here).
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let seq = |seed| {
+            let mut r = StdRng::seed_from_u64(seed);
+            (0..8).map(|_| r.random_range(0usize..1000)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let a = r.random_range(3usize..10);
+            assert!((3..10).contains(&a));
+            let b = r.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&b));
+            let c = r.random_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn uniform_ints_cover_all_values() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [0usize; 6];
+        for _ in 0..6000 {
+            seen[r.random_range(0usize..6)] += 1;
+        }
+        for (i, &c) in seen.iter().enumerate() {
+            assert!(c > 700, "value {i} drawn only {c}/6000 times");
+        }
+    }
+
+    #[test]
+    fn float_mean_is_centred() {
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.random_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

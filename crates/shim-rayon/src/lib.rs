@@ -1,0 +1,137 @@
+//! Offline drop-in replacement for the subset of `rayon` this workspace
+//! uses: `into_par_iter().map(..).collect()`.
+//!
+//! Items are materialized eagerly, split into contiguous chunks, and mapped
+//! on scoped OS threads (one per available core); chunk results are
+//! concatenated in order, so `collect` preserves item order exactly like
+//! rayon's indexed parallel iterators.
+
+/// Rayon-style prelude.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParMap};
+}
+
+/// Conversion into a (shim) parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Materialize the items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for core::ops::RangeInclusive<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Materialized item sequence awaiting a parallel stage.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map stage.
+    pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    /// Collect the (unmapped) items.
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// A pending parallel map, executed by `collect`/`sum`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
+    fn run(self) -> Vec<O> {
+        parallel_map(self.items, &self.f)
+    }
+
+    /// Execute the map on all cores and collect in input order.
+    pub fn collect<C: From<Vec<O>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    /// Execute the map and sum the results.
+    pub fn sum<S: core::iter::Sum<O>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+fn parallel_map<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: &F) -> Vec<O> {
+    let threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Vec<O>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut iter = items.into_iter();
+        loop {
+            let batch: Vec<T> = iter.by_ref().take(chunk).collect();
+            if batch.is_empty() {
+                break;
+            }
+            handles.push(scope.spawn(move || batch.into_iter().map(f).collect::<Vec<O>>()));
+        }
+        for h in handles {
+            out.push(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_and_inclusive_ranges_work() {
+        let v: Vec<i32> = vec![3, 1, 2].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(v, vec![4, 2, 3]);
+        let w: Vec<usize> = (1..=4usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(w, vec![1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn sum_works() {
+        let s: usize = (0..100usize).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 4950);
+    }
+}

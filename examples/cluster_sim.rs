@@ -7,7 +7,7 @@
 //! cargo run --release --example cluster_sim -- a 20 60 # scenario, reps, iters
 //! ```
 
-use adaphet::eval::{ascii_curve, build_response, replay_many, PAPER_STRATEGIES};
+use adaphet::eval::{ascii_curve, build_response, replay_many, StrategyKind, PAPER_STRATEGIES};
 use adaphet::scenarios::{Scale, Scenario};
 
 fn main() {
@@ -33,9 +33,11 @@ fn main() {
     );
 
     println!("strategy race: {iters} iterations x {reps} repetitions");
-    let oracle = replay_many("oracle", &table, iters, reps, 42);
-    for name in PAPER_STRATEGIES.iter().chain(["Random", "SANN"].iter()) {
-        let s = replay_many(name, &table, iters, reps, 42);
+    let oracle = replay_many(StrategyKind::Oracle, &table, iters, reps, 42);
+    for kind in
+        PAPER_STRATEGIES.into_iter().chain([StrategyKind::Random, StrategyKind::SimulatedAnnealing])
+    {
+        let s = replay_many(kind, &table, iters, reps, 42);
         println!(
             "  {:<14} total {:>9.1}s  gain vs all-nodes {:>6.1}%",
             s.strategy,
@@ -45,6 +47,8 @@ fn main() {
     }
     println!(
         "  {:<14} total {:>9.1}s  gain vs all-nodes {:>6.1}%  (clairvoyant floor)",
-        "oracle", oracle.mean_total, 100.0 * oracle.gain_vs_all
+        "oracle",
+        oracle.mean_total,
+        100.0 * oracle.gain_vs_all
     );
 }

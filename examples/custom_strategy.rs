@@ -64,8 +64,5 @@ fn main() {
     println!("true optimum: n = {best} ({:.2}s per iteration)", truth(best));
     println!("epsilon-greedy    : total {t_eps:>8.1}s, final action {last_eps}");
     println!("GP-discontinuous  : total {t_gpd:>8.1}s, final action {last_gpd}");
-    println!(
-        "GP-discontinuous advantage: {:.1}%",
-        100.0 * (1.0 - t_gpd / t_eps)
-    );
+    println!("GP-discontinuous advantage: {:.1}%", 100.0 * (1.0 - t_gpd / t_eps));
 }

@@ -16,11 +16,7 @@ fn main() {
     let workload = Workload::new(6, 120);
     let truth = CovParams { variance: 1.0, range: 0.2, smoothness: 0.5 };
     let mut app = GeoRealApp::new(workload, truth, 2024, 4);
-    println!(
-        "data: n = {} observations (true range = {})",
-        workload.n(),
-        truth.range
-    );
+    println!("data: n = {} observations (true range = {})", workload.n(), truth.range);
 
     // Online tuner fed with real wall-clock iteration durations; the
     // action space mimics a 12-node cluster in two groups.

@@ -41,20 +41,9 @@ fn main() {
     );
     let (h_drift, t_drift) = run(Box::new(wrapped));
 
-    let late = |h: &History| -> Vec<usize> {
-        h.records()[150..].iter().map(|r| r.0).collect()
-    };
+    let late = |h: &History| -> Vec<usize> { h.records()[150..].iter().map(|r| r.0).collect() };
     println!("optimum: 5 nodes before iteration 70, 12 nodes after\n");
-    println!(
-        "plain GP-discontinuous : total {t_plain:>8.1}s, final actions {:?}",
-        late(&h_plain)
-    );
-    println!(
-        "with drift-reset       : total {t_drift:>8.1}s, final actions {:?}",
-        late(&h_drift)
-    );
-    println!(
-        "\ndrift handling saved {:.1}% of total time",
-        100.0 * (1.0 - t_drift / t_plain)
-    );
+    println!("plain GP-discontinuous : total {t_plain:>8.1}s, final actions {:?}", late(&h_plain));
+    println!("with drift-reset       : total {t_drift:>8.1}s, final actions {:?}", late(&h_drift));
+    println!("\ndrift handling saved {:.1}% of total time", 100.0 * (1.0 - t_drift / t_plain));
 }

@@ -1,11 +1,11 @@
 //! Cross-crate integration tests: the full pipeline from platform to
 //! tuned application, at test scale.
 
-use adaphet::eval::{build_response, replay_many, space_of};
+use adaphet::eval::{build_response, replay_many, space_of, StrategyKind};
 use adaphet::geostat::{GeoSimApp, IterationChoice, Workload};
 use adaphet::runtime::{NetworkSpec, NodeSpec, Platform, SimConfig};
 use adaphet::scenarios::{Scale, Scenario};
-use adaphet::tuner::{GpDiscontinuous, History, Strategy};
+use adaphet::tuner::{MemorySink, Observation, PhaseSlice, TunerDriver};
 
 fn toy_platform(n_gpu: usize, n_cpu: usize) -> Platform {
     let gpu = NodeSpec {
@@ -24,22 +24,44 @@ fn toy_platform(n_gpu: usize, n_cpu: usize) -> Platform {
 
 #[test]
 fn online_tuning_beats_all_nodes_on_a_heterogeneous_cluster() {
-    // Live tuning against the simulator (not a replay): GP-discontinuous
-    // drives the application and must end up cheaper per iteration than
-    // the all-nodes default.
+    // Live tuning against the simulator (not a replay): the TunerDriver
+    // runs GP-discontinuous over the application and must end up cheaper
+    // per iteration than the all-nodes default. Telemetry (with per-phase
+    // breakdowns from the runtime) is collected along the way and must
+    // stay consistent with the recorded history.
     let mut app = GeoSimApp::new(toy_platform(2, 6), Workload::new(16, 512), SimConfig::default());
     let n = app.n_nodes();
     let groups = app.runtime().platform().homogeneous_groups();
-    let lp: Vec<f64> =
-        (1..=n).map(|k| app.lp_bound(IterationChoice::fact_only(n, k))).collect();
+    let lp: Vec<f64> = (1..=n).map(|k| app.lp_bound(IterationChoice::fact_only(n, k))).collect();
     let space = adaphet::tuner::ActionSpace::new(n, groups, Some(lp));
-    let mut strat = GpDiscontinuous::new(&space);
-    let mut hist = History::new();
+    let strat = StrategyKind::GpDiscontinuous.build(&space, 1, None).expect("no oracle needed");
+    let sink = MemorySink::new();
+    let mut driver = TunerDriver::new(strat, &space).with_sink(Box::new(sink.clone()));
     for _ in 0..20 {
-        let k = strat.propose(&hist);
-        let d = app.run_iteration(IterationChoice::fact_only(n, k)).duration();
-        hist.record(k, d);
+        driver.step(|k| {
+            let report = app.run_iteration(IterationChoice::fact_only(n, k));
+            let phases = app
+                .phase_breakdown(&report)
+                .into_iter()
+                .map(|(name, secs)| PhaseSlice::new(name, secs))
+                .collect();
+            Observation::with_phases(report.duration(), phases)
+        });
     }
+    let hist = driver.into_history();
+    // Telemetry invariant: one event per executed iteration, and the
+    // events carry the runtime's phase breakdown.
+    assert_eq!(sink.len(), hist.len(), "one IterationEvent per iteration");
+    let events = sink.events();
+    assert!(
+        events.iter().all(|e| !e.phases.is_empty()),
+        "every live-tuning event should carry a phase breakdown"
+    );
+    assert!(
+        events[0].phases.iter().any(|p| p.name == "factorization"),
+        "factorization dominates a geostatistics iteration: {:?}",
+        events[0].phases
+    );
     let all_nodes = hist.first_for(n).expect("first iteration uses all nodes");
     let late: f64 = hist.records()[15..].iter().map(|r| r.1).sum::<f64>() / 5.0;
     assert!(
@@ -57,25 +79,19 @@ fn replay_pipeline_ranks_gp_disc_at_or_near_the_top() {
     let scen = Scenario::by_id('a').unwrap();
     let table = build_response(&scen, Scale::Test, 20, 9);
     let mut totals = Vec::new();
-    for name in adaphet::eval::PAPER_STRATEGIES {
-        let s = replay_many(name, &table, 80, 10, 9);
-        totals.push((name, s.mean_total));
+    for kind in adaphet::eval::PAPER_STRATEGIES {
+        let s = replay_many(kind, &table, 80, 10, 9);
+        totals.push((kind, s.mean_total));
     }
     let best = totals.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
     let gp = totals
         .iter()
-        .find(|&&(n, _)| n == "GP-discontin")
-        .expect("GP-discontin present")
+        .find(|&&(k, _)| k == StrategyKind::GpDiscontinuous)
+        .expect("GP-discontinuous present")
         .1;
-    let all_nodes = replay_many("all-nodes", &table, 80, 10, 9).mean_total;
-    assert!(
-        gp <= best * 1.15,
-        "GP-discontinuous at {gp:.2} vs best {best:.2}: {totals:?}"
-    );
-    assert!(
-        gp < all_nodes,
-        "GP-discontinuous ({gp:.2}) must beat all-nodes ({all_nodes:.2})"
-    );
+    let all_nodes = replay_many(StrategyKind::AllNodes, &table, 80, 10, 9).mean_total;
+    assert!(gp <= best * 1.15, "GP-discontinuous at {gp:.2} vs best {best:.2}: {totals:?}");
+    assert!(gp < all_nodes, "GP-discontinuous ({gp:.2}) must beat all-nodes ({all_nodes:.2})");
 }
 
 #[test]
@@ -85,8 +101,7 @@ fn bound_mechanism_respects_lp_semantics_end_to_end() {
     let scen = Scenario::by_id('b').unwrap();
     let table = build_response(&scen, Scale::Test, 6, 4);
     for n in 1..=table.n_actions() {
-        let sim_min =
-            table.sim_base[n - 1].iter().copied().fold(f64::INFINITY, f64::min);
+        let sim_min = table.sim_base[n - 1].iter().copied().fold(f64::INFINITY, f64::min);
         assert!(
             table.lp[n - 1] <= sim_min + 1e-9,
             "LP({n}) = {} above simulated {}",
@@ -115,11 +130,9 @@ fn scenario_labels_cover_both_sites_and_workloads() {
 #[test]
 fn iteration_durations_scale_down_with_more_useful_nodes() {
     // Compute-bound regime: a single node must be slower than four.
-    let mut app1 =
-        GeoSimApp::new(toy_platform(0, 1), Workload::new(12, 640), SimConfig::default());
+    let mut app1 = GeoSimApp::new(toy_platform(0, 1), Workload::new(12, 640), SimConfig::default());
     let d1 = app1.run_iteration(IterationChoice::all(1)).duration();
-    let mut app4 =
-        GeoSimApp::new(toy_platform(0, 4), Workload::new(12, 640), SimConfig::default());
+    let mut app4 = GeoSimApp::new(toy_platform(0, 4), Workload::new(12, 640), SimConfig::default());
     let d4 = app4.run_iteration(IterationChoice::all(4)).duration();
     assert!(d4 < d1, "4 nodes ({d4:.3}s) should beat 1 node ({d1:.3}s)");
 }

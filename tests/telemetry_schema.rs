@@ -1,0 +1,159 @@
+//! Golden tests pinning the JSONL telemetry schema.
+//!
+//! `IterationEvent::to_json` is consumed by external tooling (plotting
+//! scripts, trace viewers); its field names, ordering and null-handling
+//! are a contract. These tests fail on any schema drift — bump them
+//! deliberately, never incidentally.
+
+use adaphet::tuner::{
+    ActionDiagnostic, ActionSpace, DecisionTrace, IterationEvent, JsonlSink, MemorySink,
+    Observation, PhaseSlice, StrategyKind, TunerDriver,
+};
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+/// The pinned key order of one JSONL event line.
+const KEYS: [&str; 11] = [
+    "\"iteration\":",
+    "\"strategy\":",
+    "\"action\":",
+    "\"duration\":",
+    "\"cumulative_time\":",
+    "\"best_known\":",
+    "\"regret\":",
+    "\"phases\":",
+    "\"posterior\":",
+    "\"excluded\":",
+    "\"note\":",
+];
+
+#[test]
+fn golden_fully_populated_event() {
+    let e = IterationEvent {
+        iteration: 3,
+        strategy: "GP-discontinuous".into(),
+        action: 7,
+        duration: 1.5,
+        cumulative_time: 12.25,
+        best_known: Some(1.25),
+        regret: Some(0.25),
+        phases: vec![PhaseSlice::new("factorization", 1.0), PhaseSlice::new("solve", 0.5)],
+        trace: Some(DecisionTrace {
+            diagnostics: vec![ActionDiagnostic {
+                action: 7,
+                mean: 1.5,
+                sd: 0.125,
+                acquisition: 1.25,
+            }],
+            excluded: vec![1, 2],
+            note: "gp-lcb".into(),
+        }),
+    };
+    assert_eq!(
+        e.to_json(),
+        "{\"iteration\":3,\"strategy\":\"GP-discontinuous\",\"action\":7,\
+         \"duration\":1.5,\"cumulative_time\":12.25,\"best_known\":1.25,\
+         \"regret\":0.25,\"phases\":[{\"name\":\"factorization\",\"seconds\":1},\
+         {\"name\":\"solve\",\"seconds\":0.5}],\"posterior\":[{\"action\":7,\
+         \"mean\":1.5,\"sd\":0.125,\"acquisition\":1.25}],\"excluded\":[1,2],\
+         \"note\":\"gp-lcb\"}"
+    );
+}
+
+#[test]
+fn golden_minimal_event_keeps_every_key() {
+    let e = IterationEvent {
+        iteration: 0,
+        strategy: "UCB".into(),
+        action: 1,
+        duration: 2.5,
+        cumulative_time: 2.5,
+        best_known: None,
+        regret: None,
+        phases: vec![],
+        trace: None,
+    };
+    assert_eq!(
+        e.to_json(),
+        "{\"iteration\":0,\"strategy\":\"UCB\",\"action\":1,\"duration\":2.5,\
+         \"cumulative_time\":2.5,\"best_known\":null,\"regret\":null,\
+         \"phases\":[],\"posterior\":[],\"excluded\":[],\"note\":\"\"}"
+    );
+}
+
+#[test]
+fn non_finite_floats_serialize_as_null() {
+    let e = IterationEvent {
+        iteration: 1,
+        strategy: "UCB".into(),
+        action: 2,
+        duration: f64::NAN,
+        cumulative_time: f64::INFINITY,
+        best_known: Some(f64::NEG_INFINITY),
+        regret: None,
+        phases: vec![],
+        trace: None,
+    };
+    let json = e.to_json();
+    assert!(json.contains("\"duration\":null"), "{json}");
+    assert!(json.contains("\"cumulative_time\":null"), "{json}");
+    assert!(json.contains("\"best_known\":null"), "{json}");
+}
+
+/// `Write` handle sharing a buffer with the test (the driver owns the sink).
+#[derive(Clone, Default)]
+struct Shared(Rc<RefCell<Vec<u8>>>);
+
+impl Write for Shared {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn driver_emits_one_ordered_json_line_per_iteration() {
+    let n = 8usize;
+    let lp: Vec<f64> = (1..=n).map(|k| 50.0 / k as f64).collect();
+    let space = ActionSpace::new(n, vec![], Some(lp));
+    let strat = StrategyKind::GpDiscontinuous.build(&space, 5, None).unwrap();
+    let buf = Shared::default();
+    let memory = MemorySink::new();
+    let mut driver = TunerDriver::new(strat, &space)
+        .with_sink(Box::new(JsonlSink::new(buf.clone())))
+        .with_sink(Box::new(memory.clone()));
+    let iters = 12;
+    driver.run(iters, |k| Observation::of(50.0 / k as f64 + k as f64));
+    let hist = driver.into_history();
+    assert_eq!(memory.len(), hist.len(), "one event per recorded iteration");
+
+    let bytes = buf.0.borrow().clone();
+    let text = String::from_utf8(bytes).expect("telemetry is UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), iters, "one JSONL line per iteration");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "line {i}: {line}");
+        // Keys appear exactly in the pinned order.
+        let mut from = 0usize;
+        for key in KEYS {
+            let at = line[from..]
+                .find(key)
+                .unwrap_or_else(|| panic!("line {i} missing/misordered {key}: {line}"));
+            from += at + key.len();
+        }
+        assert!(line.contains(&format!("\"iteration\":{i},")));
+        assert!(line.contains("\"strategy\":\"GP-discontinuous\""));
+    }
+    // Once the GP is fit, events must expose the posterior and the
+    // LP-bound exclusions (action 1 has LP = 50 ≥ any observed duration).
+    let last = lines.last().unwrap();
+    assert!(
+        last.contains("\"posterior\":[{\"action\":"),
+        "expected a populated posterior late in the run: {last}"
+    );
+    assert!(last.contains("\"excluded\":[1"), "expected action 1 excluded by the LP bound: {last}");
+}

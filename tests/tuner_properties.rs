@@ -2,8 +2,8 @@
 //! synthetic response curves (the whole strategy zoo must stay in-bounds
 //! and deterministic, and GP-discontinuous must honour the bound filter).
 
-use adaphet::eval::{make_strategy, PAPER_STRATEGIES};
-use adaphet::tuner::{ActionSpace, GpDiscontinuous, History, Strategy};
+use adaphet::eval::PAPER_STRATEGIES;
+use adaphet::tuner::{ActionSpace, GpDiscontinuous, History, Strategy, StrategyKind};
 use proptest::prelude::*;
 
 /// A random piecewise response curve with optional jump.
@@ -41,13 +41,47 @@ proptest! {
         };
         let space = ActionSpace::new(n, groups, Some(lp));
         let f = curve(work, slope, 2 * n / 3 + 1, 5.0);
-        for name in PAPER_STRATEGIES {
-            let mut s = make_strategy(name, &space, seed, None);
+        for kind in PAPER_STRATEGIES {
+            let mut s = kind.build(&space, seed, None).expect("paper strategy");
             let mut h = History::new();
             for _ in 0..30 {
                 let a = s.propose(&h);
-                prop_assert!((1..=n).contains(&a), "{name} proposed {a} (N = {n})");
+                prop_assert!((1..=n).contains(&a), "{kind} proposed {a} (N = {n})");
                 h.record(a, f(a));
+            }
+        }
+    }
+
+    /// The `Strategy::propose` range contract holds for *every* registered
+    /// strategy even on adversarial histories the strategy did not build
+    /// itself (arbitrary actions in arbitrary order, arbitrary durations)
+    /// — callers such as `TunerDriver` and `replay` rely on this instead
+    /// of clamping.
+    #[test]
+    fn every_strategy_stays_in_bounds_on_random_histories(
+        n in 2usize..32,
+        seed in 0u64..40,
+        raw in collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let space = ActionSpace::unstructured(n);
+        let mut h = History::new();
+        for &x in &raw {
+            let action = (x as usize % n) + 1;
+            let duration = 0.5 + (x % 997) as f64 * 0.1;
+            h.record(action, duration);
+        }
+        for kind in StrategyKind::all() {
+            let mut s = kind
+                .build(&space, seed, Some((seed as usize % n) + 1))
+                .expect("every kind builds when an oracle best is supplied");
+            for _ in 0..3 {
+                let a = s.propose(&h);
+                prop_assert!(
+                    (1..=n).contains(&a),
+                    "{kind} proposed {a} outside 1..={n} on a random history of len {}",
+                    h.len()
+                );
+                h.record(a, 1.0 + (a as f64));
             }
         }
     }
@@ -57,9 +91,9 @@ proptest! {
     fn strategies_are_reproducible(n in 3usize..20, seed in 0u64..20) {
         let space = ActionSpace::unstructured(n);
         let f = curve(50.0, 0.8, n + 1, 0.0);
-        for name in PAPER_STRATEGIES {
+        for kind in PAPER_STRATEGIES {
             let run = || {
-                let mut s = make_strategy(name, &space, seed, None);
+                let mut s = kind.build(&space, seed, None).expect("paper strategy");
                 let mut h = History::new();
                 let mut seq = Vec::new();
                 for _ in 0..20 {
@@ -69,7 +103,7 @@ proptest! {
                 }
                 seq
             };
-            prop_assert_eq!(run(), run(), "{} not reproducible", name);
+            prop_assert_eq!(run(), run(), "{} not reproducible", kind);
         }
     }
 
