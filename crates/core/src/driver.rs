@@ -13,11 +13,10 @@
 //! never builds an event and never calls [`Strategy::explain`] (which for
 //! the GP strategies costs a full surrogate refit).
 
-use std::cell::RefCell;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::strategy::{DecisionTrace, Strategy};
 use crate::{ActionSpace, History};
@@ -38,6 +37,43 @@ impl PhaseSlice {
     }
 }
 
+/// Busy vs. idle worker time of one homogeneous node group over an
+/// iteration window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupUtilization {
+    /// Group label, e.g. `"chifflot:1-2"`.
+    pub name: String,
+    /// Seconds of worker (CPU core / GPU) busy time, summed over workers.
+    pub busy_s: f64,
+    /// Seconds of worker idle time within the window.
+    pub idle_s: f64,
+}
+
+impl GroupUtilization {
+    /// Busy fraction in `[0, 1]` (0 for an empty window).
+    pub fn utilization(&self) -> f64 {
+        let cap = self.busy_s + self.idle_s;
+        if cap <= 0.0 {
+            0.0
+        } else {
+            self.busy_s / cap
+        }
+    }
+}
+
+/// Wall-clock decomposition of one iteration: disjoint per-phase slices
+/// (which sum to the iteration duration, unlike the busy-time
+/// [`Observation::phases`] which overlap under concurrency) plus per-group
+/// utilization.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Disjoint wall-clock slices in completion order; sums to the
+    /// iteration duration.
+    pub phases: Vec<PhaseSlice>,
+    /// Busy vs. idle time per homogeneous node group.
+    pub groups: Vec<GroupUtilization>,
+}
+
 /// What the executor measured for one iteration.
 ///
 /// The driver is runtime-agnostic: simulated runtimes, real thread pools
@@ -49,17 +85,29 @@ pub struct Observation {
     pub duration: f64,
     /// Optional per-phase busy-time breakdown of the iteration.
     pub phases: Vec<PhaseSlice>,
+    /// Optional wall-clock phase/utilization decomposition (profiled runs).
+    pub breakdown: Option<PhaseBreakdown>,
 }
 
 impl Observation {
     /// An observation with no phase breakdown.
     pub fn of(duration: f64) -> Self {
-        Observation { duration, phases: Vec::new() }
+        Observation { duration, phases: Vec::new(), breakdown: None }
     }
 
     /// An observation with a per-phase breakdown.
     pub fn with_phases(duration: f64, phases: Vec<PhaseSlice>) -> Self {
-        Observation { duration, phases }
+        Observation { duration, phases, breakdown: None }
+    }
+
+    /// An observation with both the busy-time phases and the wall-clock
+    /// phase/utilization decomposition.
+    pub fn with_breakdown(
+        duration: f64,
+        phases: Vec<PhaseSlice>,
+        breakdown: PhaseBreakdown,
+    ) -> Self {
+        Observation { duration, phases, breakdown: Some(breakdown) }
     }
 }
 
@@ -89,6 +137,9 @@ pub struct IterationEvent {
     pub phases: Vec<PhaseSlice>,
     /// Strategy introspection for this decision, when a sink asked for it.
     pub trace: Option<DecisionTrace>,
+    /// Wall-clock phase/utilization decomposition, when the executor
+    /// profiled the iteration.
+    pub phase_breakdown: Option<PhaseBreakdown>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -118,11 +169,13 @@ fn json_f64(x: f64) -> String {
 impl IterationEvent {
     /// One-line JSON rendering with a pinned field order:
     /// `iteration, strategy, action, duration, cumulative_time,
-    /// best_known, regret, phases, posterior, excluded, note`.
+    /// best_known, regret, phases, posterior, excluded, note,
+    /// phase_breakdown`.
     ///
     /// Every key is always present; `best_known`/`regret` are `null` when
-    /// unset and `posterior`/`excluded`/`note` are empty when the decision
-    /// trace was not requested. Non-finite floats serialize as `null`.
+    /// unset, `posterior`/`excluded`/`note` are empty when the decision
+    /// trace was not requested, and `phase_breakdown` is `null` for
+    /// unprofiled iterations. Non-finite floats serialize as `null`.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
         s.push_str(&format!(
@@ -172,15 +225,51 @@ impl IterationEvent {
             }
         }
         s.push_str(&format!(
-            "],\"note\":\"{}\"}}",
+            "],\"note\":\"{}\"",
             json_escape(self.trace.as_ref().map_or("", |t| t.note.as_str()))
         ));
+        s.push_str(",\"phase_breakdown\":");
+        match &self.phase_breakdown {
+            None => s.push_str("null"),
+            Some(b) => {
+                s.push_str("{\"phases\":[");
+                for (i, p) in b.phases.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        "{{\"name\":\"{}\",\"seconds\":{}}}",
+                        json_escape(&p.name),
+                        json_f64(p.seconds)
+                    ));
+                }
+                s.push_str("],\"groups\":[");
+                for (i, g) in b.groups.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        "{{\"name\":\"{}\",\"busy_s\":{},\"idle_s\":{},\"utilization\":{}}}",
+                        json_escape(&g.name),
+                        json_f64(g.busy_s),
+                        json_f64(g.idle_s),
+                        json_f64(g.utilization())
+                    ));
+                }
+                s.push_str("]}");
+            }
+        }
+        s.push('}');
         s
     }
 }
 
 /// Consumer of per-iteration telemetry.
-pub trait TelemetrySink {
+///
+/// Sinks are `Send` so a driver holding them can move into a worker
+/// thread (sinks with shared buffers use `Arc<Mutex<…>>`, never
+/// `Rc<RefCell<…>>`).
+pub trait TelemetrySink: Send {
     /// Whether the driver should compute [`Strategy::explain`] for this
     /// sink's events. Defaults to `true`; return `false` for cheap sinks
     /// (counters, progress bars) to keep GP refits off the loop.
@@ -192,8 +281,12 @@ pub trait TelemetrySink {
     /// recorded.
     fn on_iteration(&mut self, event: &IterationEvent);
 
-    /// Called by [`TunerDriver::finish`]; flush buffers here.
-    fn finish(&mut self) {}
+    /// Called by [`TunerDriver::finish`]; flush buffers here and surface
+    /// any I/O error swallowed during the run — telemetry the user asked
+    /// for must not vanish silently.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// In-memory sink for tests and programmatic inspection.
@@ -202,7 +295,7 @@ pub trait TelemetrySink {
 /// while handing a clone to the driver.
 #[derive(Debug, Clone, Default)]
 pub struct MemorySink {
-    events: Rc<RefCell<Vec<IterationEvent>>>,
+    events: Arc<Mutex<Vec<IterationEvent>>>,
 }
 
 impl MemorySink {
@@ -211,44 +304,54 @@ impl MemorySink {
         Self::default()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<IterationEvent>> {
+        // Event pushes can't corrupt the buffer; ignore poisoning.
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Snapshot of the events recorded so far.
     pub fn events(&self) -> Vec<IterationEvent> {
-        self.events.borrow().clone()
+        self.lock().clone()
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.borrow().len()
+        self.lock().len()
     }
 
     /// Whether no event was recorded yet.
     pub fn is_empty(&self) -> bool {
-        self.events.borrow().is_empty()
+        self.lock().is_empty()
     }
 }
 
 impl TelemetrySink for MemorySink {
     fn on_iteration(&mut self, event: &IterationEvent) {
-        self.events.borrow_mut().push(event.clone());
+        self.lock().push(event.clone());
     }
 }
 
 /// Sink writing one [`IterationEvent::to_json`] line per iteration.
+///
+/// Mid-run I/O errors never abort the tuning loop; the *first* error is
+/// latched and returned from [`TelemetrySink::finish`], so a failing
+/// writer surfaces instead of silently dropping iterations.
 pub struct JsonlSink<W: Write> {
     writer: W,
+    error: Option<io::Error>,
 }
 
 impl JsonlSink<BufWriter<File>> {
     /// Create (truncate) a JSONL file at `path`.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        Ok(JsonlSink { writer: BufWriter::new(File::create(path)?) })
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
     }
 }
 
 impl<W: Write> JsonlSink<W> {
     /// Wrap any writer.
     pub fn new(writer: W) -> Self {
-        JsonlSink { writer }
+        JsonlSink { writer, error: None }
     }
 
     /// Recover the writer (e.g. a `Vec<u8>` buffer in tests).
@@ -257,14 +360,21 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
-impl<W: Write> TelemetrySink for JsonlSink<W> {
+impl<W: Write + Send> TelemetrySink for JsonlSink<W> {
     fn on_iteration(&mut self, event: &IterationEvent) {
-        // Telemetry must never abort a tuning run; I/O errors are dropped.
-        let _ = writeln!(self.writer, "{}", event.to_json());
+        // Telemetry must never abort a tuning run mid-flight; keep the
+        // first error for `finish` to report.
+        if let Err(e) = writeln!(self.writer, "{}", event.to_json()) {
+            self.error.get_or_insert(e);
+        }
     }
 
-    fn finish(&mut self) {
-        let _ = self.writer.flush();
+    fn finish(&mut self) -> io::Result<()> {
+        let flush = self.writer.flush();
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => flush,
+        }
     }
 }
 
@@ -342,8 +452,15 @@ impl TunerDriver {
     }
 
     /// Consume the driver, returning the history (sinks are finished).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sink fails to finish: telemetry that was explicitly
+    /// attached must not vanish silently. Call [`TunerDriver::finish`]
+    /// first to handle the error gracefully (sinks latch their error and
+    /// raise it only once, so a handled error is not raised again here).
     pub fn into_history(mut self) -> History {
-        self.finish();
+        self.finish().expect("telemetry sink failed");
         self.history
     }
 
@@ -384,6 +501,7 @@ impl TunerDriver {
                 regret: self.best_known.map(|b| obs.duration - b),
                 phases: obs.phases,
                 trace,
+                phase_breakdown: obs.breakdown,
             };
             for sink in &mut self.sinks {
                 sink.on_iteration(&event);
@@ -399,10 +517,19 @@ impl TunerDriver {
         }
     }
 
-    /// Finish all sinks (flush files). Idempotent.
-    pub fn finish(&mut self) {
+    /// Finish all sinks (flush files). Every sink is finished even if an
+    /// earlier one fails; the first error is returned. Idempotent: sinks
+    /// surface a latched error once.
+    pub fn finish(&mut self) -> io::Result<()> {
+        let mut first_err = None;
         for sink in &mut self.sinks {
-            sink.finish();
+            if let Err(e) = sink.finish() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 }
@@ -457,8 +584,9 @@ mod tests {
 
     #[test]
     fn no_sink_means_no_explain_calls() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         struct Spy {
-            explains: Rc<RefCell<usize>>,
+            explains: Arc<AtomicUsize>,
         }
         impl Strategy for Spy {
             fn name(&self) -> &'static str {
@@ -468,51 +596,100 @@ mod tests {
                 1
             }
             fn explain(&self, _h: &History) -> DecisionTrace {
-                *self.explains.borrow_mut() += 1;
+                self.explains.fetch_add(1, Ordering::Relaxed);
                 DecisionTrace::minimal("spy")
             }
         }
-        let count = Rc::new(RefCell::new(0usize));
+        let count = Arc::new(AtomicUsize::new(0));
         let sp = ActionSpace::unstructured(3);
         let mut d = TunerDriver::new(Box::new(Spy { explains: count.clone() }), &sp);
         d.run(5, |_| Observation::of(1.0));
-        assert_eq!(*count.borrow(), 0, "explain must not run without a sink");
+        assert_eq!(count.load(Ordering::Relaxed), 0, "explain must not run without a sink");
 
         let mut d = TunerDriver::new(Box::new(Spy { explains: count.clone() }), &sp)
             .with_sink(Box::new(MemorySink::new()));
         d.run(5, |_| Observation::of(1.0));
-        assert_eq!(*count.borrow(), 5, "explain runs once per iteration with a sink");
+        assert_eq!(count.load(Ordering::Relaxed), 5, "explain runs once per iteration with a sink");
     }
 
     #[test]
     fn jsonl_sink_writes_one_line_per_iteration() {
         let sp = space();
         let strat = StrategyKind::GpDiscontinuous.build(&sp, 0, None).unwrap();
-        let sink = JsonlSink::new(Vec::new());
         // Route through a shared buffer we can read back.
-        struct Tee(Rc<RefCell<Vec<u8>>>);
+        struct Tee(Arc<Mutex<Vec<u8>>>);
         impl Write for Tee {
             fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-                self.0.borrow_mut().extend_from_slice(buf);
+                self.0.lock().unwrap().extend_from_slice(buf);
                 Ok(buf.len())
             }
             fn flush(&mut self) -> io::Result<()> {
                 Ok(())
             }
         }
-        drop(sink);
-        let buf = Rc::new(RefCell::new(Vec::new()));
+        let buf = Arc::new(Mutex::new(Vec::new()));
         let mut d =
             TunerDriver::new(strat, &sp).with_sink(Box::new(JsonlSink::new(Tee(buf.clone()))));
         d.run(8, |n| Observation::of(response(n)));
-        d.finish();
-        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        d.finish().expect("no I/O errors on an in-memory buffer");
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 8);
         for line in lines {
             assert!(line.starts_with("{\"iteration\":"), "line: {line}");
             assert!(line.ends_with('}'), "line: {line}");
         }
+    }
+
+    /// A writer that fails every call, as a stand-in for a closed file.
+    struct FailingWriter;
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, "writer closed"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failing_jsonl_writer_surfaces_an_error_from_finish() {
+        let sp = ActionSpace::unstructured(4);
+        let mut d = TunerDriver::new(Box::new(crate::AllNodes::new(4)), &sp)
+            .with_sink(Box::new(JsonlSink::new(FailingWriter)));
+        // The run itself is never aborted by telemetry failures...
+        d.run(3, |_| Observation::of(1.0));
+        assert_eq!(d.history().len(), 3);
+        // ...but finish reports the first error instead of dropping it.
+        let err = d.finish().expect_err("sink error must surface");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // The latched error is raised exactly once.
+        assert!(d.finish().is_ok(), "handled errors are not raised twice");
+    }
+
+    #[test]
+    fn drivers_and_sinks_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TunerDriver>();
+        assert_send::<MemorySink>();
+        assert_send::<JsonlSink<io::Sink>>();
+        assert_send::<JsonlSink<BufWriter<File>>>();
+        assert_send::<Box<dyn TelemetrySink>>();
+        assert_send::<Box<dyn Strategy>>();
+    }
+
+    #[test]
+    fn driver_with_sink_moves_across_threads() {
+        let sp = space();
+        let sink = MemorySink::new();
+        let mut d = TunerDriver::new(Box::new(GpDiscontinuous::new(&sp)), &sp)
+            .with_sink(Box::new(sink.clone()));
+        let handle = std::thread::spawn(move || {
+            d.run(4, |n| Observation::of(response(n)));
+            d.into_history().len()
+        });
+        assert_eq!(handle.join().unwrap(), 4);
+        assert_eq!(sink.len(), 4);
     }
 
     #[test]
@@ -545,10 +722,36 @@ mod tests {
             regret: None,
             phases: vec![],
             trace: None,
+            phase_breakdown: None,
         };
         let j = e.to_json();
         assert!(j.contains("\"strategy\":\"a\\\"b\\\\c\""));
         assert!(j.contains("\"duration\":null"));
         assert!(j.contains("\"best_known\":null"));
+        assert!(j.ends_with("\"phase_breakdown\":null}"), "{j}");
+    }
+
+    #[test]
+    fn breakdown_flows_into_events() {
+        let sp = ActionSpace::unstructured(4);
+        let sink = MemorySink::new();
+        let mut d = TunerDriver::new(Box::new(crate::AllNodes::new(4)), &sp)
+            .with_sink(Box::new(sink.clone()));
+        let breakdown = PhaseBreakdown {
+            phases: vec![PhaseSlice::new("generation", 0.5), PhaseSlice::new("solve", 1.5)],
+            groups: vec![GroupUtilization { name: "g:1-4".into(), busy_s: 6.0, idle_s: 2.0 }],
+        };
+        d.step(|_| Observation::with_breakdown(2.0, vec![], breakdown.clone()));
+        let e = &sink.events()[0];
+        assert_eq!(e.phase_breakdown.as_ref(), Some(&breakdown));
+        let j = e.to_json();
+        assert!(
+            j.contains(
+                "\"phase_breakdown\":{\"phases\":[{\"name\":\"generation\",\"seconds\":0.5},\
+                 {\"name\":\"solve\",\"seconds\":1.5}],\"groups\":[{\"name\":\"g:1-4\",\
+                 \"busy_s\":6,\"idle_s\":2,\"utilization\":0.75}]}"
+            ),
+            "{j}"
+        );
     }
 }

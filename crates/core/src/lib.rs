@@ -89,8 +89,8 @@ pub use bandit::{Ucb, UcbStruct};
 pub use brent::BrentSearch;
 pub use drift::DriftReset;
 pub use driver::{
-    IterationEvent, JsonlSink, MemorySink, Observation, PhaseSlice, StepOutcome, TelemetrySink,
-    TunerDriver,
+    GroupUtilization, IterationEvent, JsonlSink, MemorySink, Observation, PhaseBreakdown,
+    PhaseSlice, StepOutcome, TelemetrySink, TunerDriver,
 };
 pub use extra::{NelderMead1d, RandomSearch, SimulatedAnnealing, StochasticApproximation};
 pub use gp_disc::{GpDiscOptions, GpDiscontinuous};

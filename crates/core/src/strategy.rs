@@ -62,7 +62,10 @@ impl DecisionTrace {
 /// clamping; the [`TunerDriver`](crate::TunerDriver) checks it with a
 /// `debug_assert!` and `tests/tuner_properties.rs` exercises it over
 /// random histories.
-pub trait Strategy {
+///
+/// Strategies are `Send` (they hold plain numeric state and seeded RNGs)
+/// so a [`TunerDriver`](crate::TunerDriver) can move into a worker thread.
+pub trait Strategy: Send {
     /// Display name (matches the paper's figure labels).
     fn name(&self) -> &'static str;
 

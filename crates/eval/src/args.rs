@@ -18,16 +18,28 @@ pub struct RunArgs {
     /// [`IterationEvent`](adaphet_core::IterationEvent) per iteration to
     /// this path.
     pub telemetry: Option<PathBuf>,
+    /// When set, binaries that support metrics capture write a
+    /// [`MetricsReport`](adaphet_metrics::MetricsReport) JSON snapshot to
+    /// this path and print its table form.
+    pub metrics: Option<PathBuf>,
 }
 
 impl Default for RunArgs {
     fn default() -> Self {
-        RunArgs { scale: Scale::Reduced, reps: 30, iters: 127, seed: 42, telemetry: None }
+        RunArgs {
+            scale: Scale::Reduced,
+            reps: 30,
+            iters: 127,
+            seed: 42,
+            telemetry: None,
+            metrics: None,
+        }
     }
 }
 
 /// Parse `std::env::args`: `--full | --reduced | --test`,
-/// `--reps <k>`, `--iters <k>`, `--seed <k>`, `--telemetry <path>`.
+/// `--reps <k>`, `--iters <k>`, `--seed <k>`, `--telemetry <path>`,
+/// `--metrics <path>`.
 pub fn parse_args() -> RunArgs {
     let mut out = RunArgs::default();
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -53,9 +65,13 @@ pub fn parse_args() -> RunArgs {
                 i += 1;
                 out.telemetry = Some(PathBuf::from(argv.get(i).expect("--telemetry needs a path")));
             }
+            "--metrics" => {
+                i += 1;
+                out.metrics = Some(PathBuf::from(argv.get(i).expect("--metrics needs a path")));
+            }
             other => panic!(
                 "unknown argument {other:?} (try --full/--reduced/--test, --reps N, \
-                 --iters N, --seed N, --telemetry PATH)"
+                 --iters N, --seed N, --telemetry PATH, --metrics PATH)"
             ),
         }
         i += 1;
@@ -75,5 +91,6 @@ mod tests {
         assert_eq!(d.reps, 30);
         assert_eq!(d.iters, 127);
         assert!(d.telemetry.is_none());
+        assert!(d.metrics.is_none());
     }
 }

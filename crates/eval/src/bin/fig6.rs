@@ -13,8 +13,8 @@
 
 use adaphet_core::JsonlSink;
 use adaphet_eval::{
-    build_response_cached, parse_args, replay_instrumented, replay_many, write_csv, CsvTable,
-    StrategyKind, PAPER_STRATEGIES,
+    build_response_cached, parse_args, replay_instrumented, replay_many, run_metrics_session,
+    write_csv, write_metrics_report, CsvTable, StrategyKind, PAPER_STRATEGIES,
 };
 use adaphet_scenarios::Scenario;
 use std::fs::File;
@@ -93,5 +93,14 @@ fn main() {
     println!("wrote {}", path.display());
     if let Some(p) = &args.telemetry {
         println!("wrote {}", p.display());
+    }
+    if let Some(p) = &args.metrics {
+        // One fully instrumented GP-discontinuous session against the
+        // simulated application of scenario (a): the MetricsReport holds
+        // registry counters from the whole stack plus per-iteration phase
+        // durations and node-group utilization.
+        let scen = Scenario::by_id('a').expect("scenario a exists");
+        let report = run_metrics_session(&scen, args.scale, args.iters, args.seed);
+        write_metrics_report(&report, p).expect("write metrics report");
     }
 }

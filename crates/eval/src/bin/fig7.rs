@@ -18,7 +18,7 @@
 //! `repetition,iteration,overhead_s,iteration_s`.
 
 use adaphet_core::{ActionSpace, JsonlSink, Observation, StrategyKind, TunerDriver};
-use adaphet_eval::{parse_args, write_csv, CsvTable};
+use adaphet_eval::{parse_args, write_csv, write_metrics_report, CsvTable};
 use adaphet_geostat::{CovParams, GeoRealApp, Workload};
 use std::fs::File;
 use std::io::BufWriter;
@@ -26,6 +26,12 @@ use std::time::Instant;
 
 fn main() {
     let args = parse_args();
+    // With --metrics, install the global recorder up front so GP fits,
+    // LP solves, and likelihood phases report while the study runs.
+    let metrics_registry = args
+        .metrics
+        .as_ref()
+        .map(|_| adaphet_metrics::install_global(adaphet_metrics::Registry::new()));
     let reps = 10usize;
     let iters = 25usize;
     let telemetry_file = args
@@ -75,7 +81,7 @@ fn main() {
                 format!("{app_secs:.6}"),
             ]);
         }
-        driver.finish();
+        driver.finish().expect("flush telemetry");
     }
     println!("Fig. 7 — GP-discontinuous online overhead ({reps} reps x {iters} iters)");
     for (it, o) in per_iter_overhead.iter().enumerate() {
@@ -89,5 +95,8 @@ fn main() {
     println!("wrote {}", path.display());
     if let Some(p) = &args.telemetry {
         println!("wrote {}", p.display());
+    }
+    if let (Some(p), Some(reg)) = (&args.metrics, &metrics_registry) {
+        write_metrics_report(&reg.snapshot(), p).expect("write metrics report");
     }
 }

@@ -15,7 +15,7 @@
 //! the first repetition of each measurement streams IterationEvent JSONL.
 
 use adaphet_core::{ActionSpace, JsonlSink, Observation, StrategyKind, TunerDriver};
-use adaphet_eval::{parse_args, write_csv, CsvTable};
+use adaphet_eval::{parse_args, write_csv, write_metrics_report, CsvTable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fs::File;
@@ -129,6 +129,12 @@ fn regret_fraction(kind: StrategyKind, f: fn(usize) -> f64, seed: u64) -> f64 {
 
 fn main() {
     let args = parse_args();
+    // With --metrics, install the global recorder up front so the GP/LP
+    // solver counters of every measurement land in one report.
+    let metrics_registry = args
+        .metrics
+        .as_ref()
+        .map(|_| adaphet_metrics::install_global(adaphet_metrics::Registry::new()));
     let telemetry_file = args
         .telemetry
         .as_ref()
@@ -194,5 +200,8 @@ fn main() {
     println!("\nwrote {}", path.display());
     if let Some(p) = &args.telemetry {
         println!("wrote {}", p.display());
+    }
+    if let (Some(p), Some(reg)) = (&args.metrics, &metrics_registry) {
+        write_metrics_report(&reg.snapshot(), p).expect("write metrics report");
     }
 }

@@ -6,6 +6,12 @@ use adaphet_scenarios::{Scale, Scenario};
 use std::io::Write;
 use std::path::PathBuf;
 
+/// Format version written as the first line of every cache file. Bump it
+/// whenever the serialized layout changes: files with a different (or
+/// missing) header deserialize to `None` and read as cache misses, so a
+/// stale format can never be silently misparsed as data.
+pub const CACHE_VERSION: &str = "adaphet-response-cache v2";
+
 fn cache_dir() -> PathBuf {
     PathBuf::from("target/adaphet-cache")
 }
@@ -21,6 +27,8 @@ fn cache_path(scenario: &Scenario, scale: Scale, reps: usize, seed: u64) -> Path
 
 fn serialize(t: &ResponseTable) -> String {
     let mut s = String::new();
+    s.push_str(CACHE_VERSION);
+    s.push('\n');
     s.push_str(&t.label);
     s.push('\n');
     s.push_str(&format!("{}\n", t.sigma));
@@ -50,6 +58,9 @@ fn parse_row(s: &str) -> Option<Vec<f64>> {
 
 fn deserialize(s: &str) -> Option<ResponseTable> {
     let mut lines = s.lines();
+    if lines.next()? != CACHE_VERSION {
+        return None;
+    }
     let label = lines.next()?.to_string();
     let sigma: f64 = lines.next()?.parse().ok()?;
     let lp = parse_row(lines.next()?)?;
@@ -82,14 +93,21 @@ pub fn build_response_cached(
     reps: usize,
     seed: u64,
 ) -> ResponseTable {
+    let recorder = adaphet_metrics::global();
     let path = cache_path(scenario, scale, reps, seed);
     if let Ok(text) = std::fs::read_to_string(&path) {
+        let header = text.lines().next().unwrap_or("");
+        if header.starts_with("adaphet-response-cache") && header != CACHE_VERSION {
+            recorder.add("eval.cache.version_mismatches", 1.0);
+        }
         if let Some(t) = deserialize(&text) {
             if t.label == scenario.label() {
+                recorder.add("eval.cache.hits", 1.0);
                 return t;
             }
         }
     }
+    recorder.add("eval.cache.misses", 1.0);
     let t = build_response(scenario, scale, reps, seed);
     if std::fs::create_dir_all(cache_dir()).is_ok() {
         if let Ok(mut f) = std::fs::File::create(&path) {
@@ -134,12 +152,51 @@ mod tests {
 
     #[test]
     fn corrupt_cache_is_ignored() {
+        let reg = adaphet_metrics::install_global(adaphet_metrics::Registry::new());
         let scen = Scenario::by_id('a').unwrap();
         let path = cache_path(&scen, Scale::Test, 2, 77);
         std::fs::create_dir_all(cache_dir()).unwrap();
         std::fs::write(&path, "garbage").unwrap();
+        let miss0 = reg.counter_value("eval.cache.misses");
         let t = build_response_cached(&scen, Scale::Test, 2, 77);
         assert_eq!(t.n_actions(), scen.n_nodes());
+        assert!(reg.counter_value("eval.cache.misses") - miss0 >= 1.0, "garbage counts as a miss");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn truncated_cache_file_reads_as_a_miss() {
+        let scen = Scenario::by_id('a').unwrap();
+        std::fs::create_dir_all(cache_dir()).unwrap();
+        let path = cache_path(&scen, Scale::Test, 2, 79);
+        // A valid header followed by a body cut off mid-table.
+        std::fs::write(&path, format!("{CACHE_VERSION}\n{}\n0.5\n", scen.label())).unwrap();
+        let t = build_response_cached(&scen, Scale::Test, 2, 79);
+        assert_eq!(t.n_actions(), scen.n_nodes());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stale_version_header_is_a_counted_miss_and_file_is_rewritten() {
+        let reg = adaphet_metrics::install_global(adaphet_metrics::Registry::new());
+        let scen = Scenario::by_id('a').unwrap();
+        let path = cache_path(&scen, Scale::Test, 2, 88);
+        std::fs::create_dir_all(cache_dir()).unwrap();
+        // A file from a previous format revision: recognizably ours, wrong rev.
+        std::fs::write(&path, "adaphet-response-cache v1\nwhatever came before\n").unwrap();
+        let mm0 = reg.counter_value("eval.cache.version_mismatches");
+        let miss0 = reg.counter_value("eval.cache.misses");
+        let t = build_response_cached(&scen, Scale::Test, 2, 88);
+        assert_eq!(t.n_actions(), scen.n_nodes());
+        assert!(reg.counter_value("eval.cache.version_mismatches") - mm0 >= 1.0);
+        assert!(reg.counter_value("eval.cache.misses") - miss0 >= 1.0);
+        // The rebuild replaced the stale file with the current format...
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(CACHE_VERSION));
+        // ...so the next read is a counted hit.
+        let hit0 = reg.counter_value("eval.cache.hits");
+        build_response_cached(&scen, Scale::Test, 2, 88);
+        assert!(reg.counter_value("eval.cache.hits") - hit0 >= 1.0);
         let _ = std::fs::remove_file(path);
     }
 }

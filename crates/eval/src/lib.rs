@@ -16,13 +16,15 @@
 
 mod args;
 mod cache;
+mod metrics_run;
 mod replay;
 mod report;
 mod response;
 mod telemetry;
 
 pub use args::{parse_args, RunArgs};
-pub use cache::build_response_cached;
+pub use cache::{build_response_cached, CACHE_VERSION};
+pub use metrics_run::{run_metrics_session, write_metrics_report};
 // Strategy construction lives in adaphet-core now ([`StrategyKind`]
 // replaced the old panicking by-name factory); re-exported here so the
 // figure binaries and benches keep a single import surface.

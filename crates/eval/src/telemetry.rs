@@ -8,10 +8,9 @@
 //! per-worker task timeline it produced — loadable in `chrome://tracing`
 //! or Perfetto.
 
-use std::cell::RefCell;
 use std::io::{self, Write};
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use adaphet_core::{IterationEvent, TelemetrySink};
 use adaphet_runtime::chrome_trace_document;
@@ -29,7 +28,7 @@ pub const TUNER_PID: usize = 9999;
 /// the driver owns a clone.
 #[derive(Debug, Clone, Default)]
 pub struct ChromeTraceSink {
-    events: Rc<RefCell<Vec<String>>>,
+    events: Arc<Mutex<Vec<String>>>,
     /// Offset added to event timestamps (seconds) — set this when the
     /// runtime's clock did not start at zero.
     pub time_offset: f64,
@@ -41,9 +40,14 @@ impl ChromeTraceSink {
         Self::default()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<String>> {
+        // Pushing strings can't corrupt the buffer; ignore poisoning.
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// The serialized tuner events recorded so far.
     pub fn tuner_events(&self) -> Vec<String> {
-        self.events.borrow().clone()
+        self.lock().clone()
     }
 
     /// Merge the recorded tuner events with pre-serialized task events
@@ -69,7 +73,7 @@ impl TelemetrySink for ChromeTraceSink {
 
     fn on_iteration(&mut self, e: &IterationEvent) {
         let start_us = (self.time_offset + e.cumulative_time - e.duration) * 1e6;
-        let mut evs = self.events.borrow_mut();
+        let mut evs = self.lock();
         // The decision, as a duration-less instant marker at iteration start.
         evs.push(format!(
             "{{\"name\":\"iter {}: n={}\",\"cat\":\"tuner\",\"ph\":\"i\",\"s\":\"g\",\
@@ -84,6 +88,21 @@ impl TelemetrySink for ChromeTraceSink {
              \"pid\":{},\"args\":{{\"n\":{}}}}}",
             start_us, TUNER_PID, e.action
         ));
+        // Profiled iterations additionally get a phase lane (tid 1): the
+        // disjoint wall-clock slices render as complete ("X") events laid
+        // end to end across the iteration window.
+        if let Some(b) = &e.phase_breakdown {
+            let mut at_us = start_us;
+            for p in &b.phases {
+                let dur_us = p.seconds * 1e6;
+                evs.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{:.3},\
+                     \"dur\":{:.3},\"pid\":{},\"tid\":1}}",
+                    p.name, at_us, dur_us, TUNER_PID
+                ));
+                at_us += dur_us;
+            }
+        }
     }
 }
 
@@ -109,6 +128,27 @@ mod tests {
         assert!(doc.starts_with("{\"traceEvents\":["));
         assert!(doc.contains("\"cat\":\"tuner\""));
         assert!(doc.contains("\"name\":\"t\""));
+    }
+
+    #[test]
+    fn profiled_iterations_gain_a_phase_lane() {
+        use adaphet_core::{AllNodes, PhaseBreakdown, PhaseSlice};
+        let space = ActionSpace::unstructured(4);
+        let sink = ChromeTraceSink::new();
+        let mut d =
+            TunerDriver::new(Box::new(AllNodes::new(4)), &space).with_sink(Box::new(sink.clone()));
+        let breakdown = PhaseBreakdown {
+            phases: vec![PhaseSlice::new("generation", 0.5), PhaseSlice::new("solve", 1.5)],
+            groups: vec![],
+        };
+        d.step(|_| Observation::with_breakdown(2.0, vec![], breakdown));
+        let evs = sink.tuner_events();
+        assert_eq!(evs.len(), 4, "instant + counter + two phase slices: {evs:?}");
+        assert!(evs[2].contains("\"name\":\"generation\"") && evs[2].contains("\"ph\":\"X\""));
+        assert!(evs[3].contains("\"name\":\"solve\"") && evs[3].contains("\"tid\":1"));
+        // Slices tile the window: solve starts where generation ends.
+        assert!(evs[2].contains("\"ts\":0.000") && evs[2].contains("\"dur\":500000.000"));
+        assert!(evs[3].contains("\"ts\":500000.000"), "{}", evs[3]);
     }
 
     #[test]

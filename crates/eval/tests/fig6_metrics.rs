@@ -1,0 +1,65 @@
+//! Integration test for the `--metrics` surface of the fig6 binary: a
+//! Test-scale run must emit a MetricsReport whose per-iteration phase
+//! durations sum to within 5% of that iteration's simulated makespan.
+//!
+//! The JSON is parsed by string scanning (the workspace is offline and
+//! carries no serde); the exact field layout is pinned by the golden
+//! schema test in `adaphet-metrics`, so scanning on field names is safe.
+
+use std::process::Command;
+
+/// Extract the numeric value following `"key":` in `chunk`.
+fn field_f64(chunk: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let at =
+        chunk.find(&needle).unwrap_or_else(|| panic!("no {key} in {chunk:.80}")) + needle.len();
+    let rest = &chunk[at..];
+    let end = rest.find([',', '}', ']']).expect("value terminator");
+    rest[..end].trim().parse().unwrap_or_else(|e| panic!("bad {key} in {rest:.40}: {e}"))
+}
+
+#[test]
+fn fig6_metrics_report_phase_sums_match_makespans() {
+    let out_path = std::env::temp_dir().join(format!("fig6-metrics-{}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_fig6"))
+        .args(["--test", "--reps", "2", "--iters", "8", "--seed", "5"])
+        .arg("--metrics")
+        .arg(&out_path)
+        .output()
+        .expect("run fig6");
+    assert!(output.status.success(), "fig6 failed:\n{}", String::from_utf8_lossy(&output.stderr));
+    let text = std::fs::read_to_string(&out_path).expect("metrics file written");
+    let _ = std::fs::remove_file(&out_path);
+
+    assert!(text.starts_with("{\"version\":1,"), "schema version pinned: {:.60}", text);
+    assert!(text.contains("\"counters\":{"));
+    assert!(text.contains("\"sim.tasks_executed\":"));
+    assert!(text.contains("\"app.iterations\":"));
+
+    let (_, iters) = text.split_once("\"iterations\":[").expect("iterations array");
+    let chunks: Vec<&str> = iters.split("{\"iteration\":").skip(1).collect();
+    assert_eq!(chunks.len(), 8, "one profile per tuning iteration");
+    for chunk in chunks {
+        let makespan = field_f64(chunk, "makespan_s");
+        assert!(makespan > 0.0);
+        let phases = &chunk[..chunk.find("\"groups\":").expect("groups field")];
+        let mut sum = 0.0;
+        let mut n_slices = 0;
+        for part in phases.split("\"seconds\":").skip(1) {
+            let end = part.find([',', '}', ']']).expect("seconds terminator");
+            sum += part[..end].trim().parse::<f64>().expect("seconds value");
+            n_slices += 1;
+        }
+        assert!(n_slices >= 2, "expected several phase slices, got {n_slices}");
+        assert!(
+            (sum - makespan).abs() <= 0.05 * makespan,
+            "phase durations sum to {sum}, makespan {makespan}"
+        );
+        // Group utilizations stay within [0, 1].
+        for part in chunk.split("\"utilization\":").skip(1) {
+            let end = part.find([',', '}', ']']).expect("utilization terminator");
+            let u: f64 = part[..end].trim().parse().expect("utilization value");
+            assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        }
+    }
+}

@@ -42,5 +42,5 @@ pub use phases::{
     submit_generation, submit_solve, GeoClasses, GeoData, Phase,
 };
 pub use real_app::GeoRealApp;
-pub use sim_app::{lp_bound_for, GeoSimApp, IterationChoice};
+pub use sim_app::{lp_bound_for, GeoSimApp, IterationChoice, IterationMetrics};
 pub use workload::Workload;

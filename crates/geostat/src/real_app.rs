@@ -165,10 +165,57 @@ impl GeoRealApp {
     /// Evaluate the log-likelihood of `params` via the five tiled phases.
     /// Returns `(log_likelihood, wall_clock)`.
     pub fn eval_likelihood(&mut self, params: CovParams) -> (f64, Duration) {
+        let (ll, wall, _) = self.eval_inner(params, false);
+        (ll, wall)
+    }
+
+    /// Like [`GeoRealApp::eval_likelihood`], but with a barrier after each
+    /// phase so the returned breakdown holds *measured* per-phase wall
+    /// times `(phase name, seconds)` that sum to the returned total. Each
+    /// phase also reports wall time, task count, and flops to the global
+    /// metrics recorder (`real.phase.*`) when one is installed. The
+    /// barriers forgo inter-phase task overlap, so the total can exceed
+    /// an unprofiled evaluation's.
+    pub fn eval_likelihood_profiled(
+        &mut self,
+        params: CovParams,
+    ) -> (f64, Duration, Vec<(&'static str, f64)>) {
+        self.eval_inner(params, true)
+    }
+
+    /// Wait for all submitted tasks of one phase, then record its profile.
+    fn profile_barrier(
+        &mut self,
+        name: &'static str,
+        tasks: u64,
+        flops: f64,
+        walls: &mut Vec<(&'static str, f64)>,
+        total: &mut Duration,
+    ) {
+        let d = self.rt.run();
+        *total += d;
+        walls.push((name, d.as_secs_f64()));
+        let r = adaphet_metrics::global();
+        if r.enabled() {
+            r.observe(&format!("real.phase.{name}.wall_s"), d.as_secs_f64());
+            r.add(&format!("real.phase.{name}.tasks"), tasks as f64);
+            r.add(&format!("real.phase.{name}.flops"), flops);
+        }
+    }
+
+    fn eval_inner(
+        &mut self,
+        params: CovParams,
+        profiled: bool,
+    ) -> (f64, Duration, Vec<(&'static str, f64)>) {
+        use adaphet_linalg::{flops, TileKernel};
         let w = self.workload;
         let b = w.tile;
         let nt = w.nt;
-        let t = |i: usize, j: usize| self.tiles[w.tile_index(i, j)];
+        let tiles = self.tiles.clone();
+        let t = move |i: usize, j: usize| tiles[w.tile_index(i, j)];
+        let mut walls: Vec<(&'static str, f64)> = Vec::new();
+        let mut total = Duration::ZERO;
         let cov = Covariance::new(params);
         let nugget = self.nugget * params.variance;
 
@@ -198,6 +245,10 @@ impl GeoRealApp {
                     }
                 });
             }
+        }
+        if profiled {
+            let tasks = (nt * (nt + 1) / 2) as u64;
+            self.profile_barrier("generation", tasks, w.generation_flops(), &mut walls, &mut total);
         }
 
         // Phase 2: tiled Cholesky.
@@ -244,6 +295,17 @@ impl GeoRealApp {
                     );
                 }
             }
+        }
+        if profiled {
+            let gemms = if nt >= 3 { nt * (nt - 1) * (nt - 2) / 6 } else { 0 };
+            let tasks = (nt + nt * (nt - 1) + gemms) as u64;
+            self.profile_barrier(
+                "factorization",
+                tasks,
+                w.cholesky_flops(),
+                &mut walls,
+                &mut total,
+            );
         }
 
         // Phase 3: solve. x := z, then L y = z, Lᵀ x = y over blocks.
@@ -303,6 +365,14 @@ impl GeoRealApp {
                 );
             }
         }
+        if profiled {
+            let tasks = (3 * nt + nt * (nt - 1)) as u64;
+            let fl = nt as f64 * 2.0 * b as f64
+                + 2.0
+                    * (nt as f64 * flops(TileKernel::SolveTrsm, b)
+                        + (nt * (nt - 1) / 2) as f64 * 2.0 * (b * b) as f64);
+            self.profile_barrier("solve", tasks, fl, &mut walls, &mut total);
+        }
 
         // Phase 4: determinant (reset + accumulate 2·Σ log L_kk).
         let det = self.det;
@@ -317,6 +387,10 @@ impl GeoRealApp {
                 let part: f64 = (0..b).map(|r| tile[(r, r)].ln()).sum::<f64>() * 2.0;
                 *s.write(det).scalar_mut() += part;
             });
+        }
+        if profiled {
+            let fl = nt as f64 * flops(TileKernel::Determinant, b);
+            self.profile_barrier("determinant", (nt + 1) as u64, fl, &mut walls, &mut total);
         }
 
         // Phase 5: dot product xᵀ z.
@@ -337,7 +411,13 @@ impl GeoRealApp {
             );
         }
 
-        let wall = self.rt.run();
+        let wall = if profiled {
+            let fl = nt as f64 * flops(TileKernel::DotProduct, b);
+            self.profile_barrier("dot-product", (nt + 1) as u64, fl, &mut walls, &mut total);
+            total
+        } else {
+            self.rt.run()
+        };
         let det_v = match &*self.rt.block(self.det) {
             Block::Scalar(s) => *s,
             _ => unreachable!(),
@@ -348,7 +428,7 @@ impl GeoRealApp {
         };
         let n = w.n() as f64;
         let ll = -0.5 * (dot_v + det_v + n * (2.0 * std::f64::consts::PI).ln());
-        (ll, wall)
+        (ll, wall, walls)
     }
 }
 
@@ -433,6 +513,41 @@ mod tests {
         // Single precision of covariance entries is still plenty for the
         // likelihood's leading digits.
         assert!(err_narrow / exact.abs() < 1e-2, "relative error {err_narrow}");
+    }
+
+    #[test]
+    fn profiled_evaluation_matches_and_slices_sum_to_wall() {
+        let w = Workload::new(4, 16);
+        let mut app = GeoRealApp::new(w, params(0.15), 42, 4);
+        let (ll, _) = app.eval_likelihood(params(0.15));
+        let (llp, wall, phases) = app.eval_likelihood_profiled(params(0.15));
+        assert!((ll - llp).abs() < 1e-9, "{ll} vs {llp}");
+        let names: Vec<&str> = phases.iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, ["generation", "factorization", "solve", "determinant", "dot-product"]);
+        let sum: f64 = phases.iter().map(|&(_, s)| s).sum();
+        assert!(
+            (sum - wall.as_secs_f64()).abs() < 1e-9,
+            "barriered slices must sum to the total: {sum} vs {:?}",
+            wall
+        );
+    }
+
+    #[test]
+    fn profiled_evaluation_reports_closed_form_task_counts() {
+        use adaphet_metrics::{install_global, Registry};
+        let reg = install_global(Registry::new());
+        let w = Workload::new(4, 12);
+        let mut app = GeoRealApp::new(w, params(0.2), 9, 2);
+        let gen0 = reg.counter_value("real.phase.generation.tasks");
+        let fact0 = reg.counter_value("real.phase.factorization.tasks");
+        let solve0 = reg.counter_value("real.phase.solve.tasks");
+        app.eval_likelihood_profiled(params(0.2));
+        // nt = 4: 10 generation tiles; 4 potrf + 6 trsm + 6 syrk + 4 gemm;
+        // 4 copies + 2 x (4 trsv + 6 updates).
+        assert_eq!(reg.counter_value("real.phase.generation.tasks") - gen0, 10.0);
+        assert_eq!(reg.counter_value("real.phase.factorization.tasks") - fact0, 20.0);
+        assert_eq!(reg.counter_value("real.phase.solve.tasks") - solve0, 24.0);
+        assert!(reg.counter_value("real.phase.factorization.flops") > 0.0);
     }
 
     #[test]

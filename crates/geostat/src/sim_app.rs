@@ -4,7 +4,9 @@ use crate::dist::TileDist;
 use crate::phases::{self, GeoClasses, GeoData};
 use crate::workload::Workload;
 use adaphet_lp::proportional_share_bound;
+use adaphet_metrics::{NoopRecorder, Recorder};
 use adaphet_runtime::{NodeId, Platform, RunReport, SimConfig, SimRuntime};
+use std::sync::Arc;
 
 /// Node-count choice of one iteration: how many (fastest-first) nodes each
 /// phase uses. The paper's main search space is `n_fact` with
@@ -41,6 +43,29 @@ pub struct GeoSimApp {
     workload: Workload,
     data: GeoData,
     iterations: usize,
+    recorder: Arc<dyn Recorder>,
+}
+
+/// Per-iteration profile produced by [`GeoSimApp::run_iteration_profiled`].
+///
+/// `phases` holds *disjoint wall-clock slices* that tile the iteration
+/// window (they sum to `makespan_s` when tracing is on), unlike
+/// [`GeoSimApp::phase_breakdown`], whose per-phase busy times overlap.
+#[derive(Debug, Clone)]
+pub struct IterationMetrics {
+    /// Simulated iteration duration in seconds.
+    pub makespan_s: f64,
+    /// Disjoint wall-clock phase slices `(phase name, seconds)` in
+    /// completion order; empty when trace recording is disabled.
+    pub phases: Vec<(&'static str, f64)>,
+    /// Tasks executed per phase `(phase name, count)` this iteration.
+    pub phase_tasks: Vec<(&'static str, u64)>,
+    /// Useful flops per phase `(phase name, flops)` this iteration.
+    pub phase_flops: Vec<(&'static str, f64)>,
+    /// Per homogeneous node group: `(label, busy seconds, idle seconds)`
+    /// over the iteration window, counting every CPU core and GPU as one
+    /// worker. Busy time needs the trace; with tracing off it reads 0.
+    pub groups: Vec<(String, f64, f64)>,
 }
 
 impl GeoSimApp {
@@ -53,7 +78,14 @@ impl GeoSimApp {
         // Initial placement: factorization layout over all nodes.
         let dist = Self::fact_dist(rt.platform(), &classes, workload, rt.platform().len());
         let data = phases::register_data(&mut rt, workload, &dist);
-        GeoSimApp { rt, classes, workload, data, iterations: 0 }
+        GeoSimApp { rt, classes, workload, data, iterations: 0, recorder: Arc::new(NoopRecorder) }
+    }
+
+    /// Install a metrics recorder; a clone is forwarded to the underlying
+    /// runtime so simulator counters flush to the same registry.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.rt.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// Number of nodes of the platform.
@@ -177,6 +209,124 @@ impl GeoSimApp {
                 (p.name(), busy)
             })
             .filter(|&(_, busy)| busy > 0.0)
+            .collect()
+    }
+
+    /// Run one iteration and return, alongside the report, an
+    /// [`IterationMetrics`] profile: disjoint wall-clock phase slices,
+    /// per-phase task/flop counts, and per-node-group utilization. When a
+    /// recorder is installed (see [`GeoSimApp::set_recorder`]) the profile
+    /// is also emitted as `app.*` metrics.
+    ///
+    /// Wall slices are derived from the trace: each phase contributes the
+    /// wall-clock interval up to the completion of its last task, so the
+    /// slices tile the window exactly and sum to the makespan. Tracing
+    /// must be enabled for `phases`/group busy time to be populated.
+    pub fn run_iteration_profiled(
+        &mut self,
+        choice: IterationChoice,
+    ) -> (RunReport, IterationMetrics) {
+        let all = phases::Phase::all();
+        let before: Vec<(u64, f64)> = all.iter().map(|&p| self.rt.phase_totals(p as u32)).collect();
+        let report = self.run_iteration(choice);
+        let mut phase_tasks = Vec::with_capacity(all.len());
+        let mut phase_flops = Vec::with_capacity(all.len());
+        for (i, p) in all.into_iter().enumerate() {
+            let (tasks, flops) = self.rt.phase_totals(p as u32);
+            phase_tasks.push((p.name(), tasks - before[i].0));
+            phase_flops.push((p.name(), flops - before[i].1));
+        }
+        let metrics = IterationMetrics {
+            makespan_s: report.duration(),
+            phases: self.phase_wall_slices(&report),
+            phase_tasks,
+            phase_flops,
+            groups: self.group_utilization(&report),
+        };
+        if self.recorder.enabled() {
+            let r = &*self.recorder;
+            r.add("app.iterations", 1.0);
+            r.observe("app.iteration.makespan_s", metrics.makespan_s);
+            for &(name, s) in &metrics.phases {
+                r.observe(&format!("app.phase.{name}.wall_s"), s);
+            }
+            for &(name, tasks) in &metrics.phase_tasks {
+                r.add(&format!("app.phase.{name}.tasks"), tasks as f64);
+            }
+            for &(name, flops) in &metrics.phase_flops {
+                r.add(&format!("app.phase.{name}.flops"), flops);
+            }
+        }
+        (report, metrics)
+    }
+
+    /// Disjoint wall-clock slices per phase within `report`'s window: each
+    /// phase extends from where the previous phase's last task completed
+    /// to where its own last task completes (completion order). Anchored
+    /// at `report.start`, so the slices sum to the makespan exactly.
+    fn phase_wall_slices(&self, report: &RunReport) -> Vec<(&'static str, f64)> {
+        let all = phases::Phase::all();
+        let mut last_end = vec![f64::NEG_INFINITY; all.len()];
+        for e in self.rt.trace().events() {
+            if e.end <= report.start || e.start >= report.end {
+                continue;
+            }
+            let p = e.phase as usize;
+            if p < all.len() {
+                last_end[p] = last_end[p].max(e.end.min(report.end));
+            }
+        }
+        let mut order: Vec<usize> =
+            (0..all.len()).filter(|&i| last_end[i] > report.start).collect();
+        order.sort_by(|&a, &b| last_end[a].total_cmp(&last_end[b]));
+        let mut prev = report.start;
+        order
+            .into_iter()
+            .map(|i| {
+                let slice = (all[i].name(), last_end[i] - prev);
+                prev = last_end[i];
+                slice
+            })
+            .collect()
+    }
+
+    /// Busy/idle seconds per homogeneous node group over `report`'s window.
+    /// Each CPU core and GPU counts as one worker; group capacity is
+    /// `workers x makespan`. Labels read `"<node name>:<first>-<last>"`
+    /// with 1-based inclusive node ranges, matching
+    /// [`Platform::homogeneous_groups`].
+    fn group_utilization(&self, report: &RunReport) -> Vec<(String, f64, f64)> {
+        let platform = self.rt.platform();
+        let groups = platform.homogeneous_groups();
+        let mut node_group = vec![usize::MAX; platform.len()];
+        for (gi, &(a, b)) in groups.iter().enumerate() {
+            for slot in &mut node_group[a - 1..b] {
+                *slot = gi;
+            }
+        }
+        let mut busy = vec![0.0f64; groups.len()];
+        for e in self.rt.trace().events() {
+            let overlap = (e.end.min(report.end) - e.start.max(report.start)).max(0.0);
+            let gi = node_group[e.node.0];
+            if overlap > 0.0 && gi != usize::MAX {
+                busy[gi] += overlap;
+            }
+        }
+        let dur = report.duration();
+        groups
+            .iter()
+            .enumerate()
+            .map(|(gi, &(a, b))| {
+                let workers: usize = (a - 1..b)
+                    .map(|n| {
+                        let spec = platform.node(NodeId(n));
+                        spec.cpu_cores + spec.gpus
+                    })
+                    .sum();
+                let label = format!("{}:{}-{}", platform.node(NodeId(a - 1)).name, a, b);
+                let idle = (workers as f64 * dur - busy[gi]).max(0.0);
+                (label, busy[gi], idle)
+            })
             .collect()
     }
 
@@ -348,6 +498,58 @@ mod tests {
         let b1: f64 = app.phase_breakdown(&r1).iter().map(|&(_, b)| b).sum();
         let b2: f64 = app.phase_breakdown(&r2).iter().map(|&(_, b)| b).sum();
         assert!(b1 > 0.0 && b2 > 0.0);
+    }
+
+    #[test]
+    fn profiled_wall_slices_tile_the_iteration_window() {
+        let mut app = small_app(1, 2, 6);
+        let n = app.n_nodes();
+        for choice in [IterationChoice::all(n), IterationChoice::fact_only(n, 2)] {
+            let (report, m) = app.run_iteration_profiled(choice);
+            assert!((m.makespan_s - report.duration()).abs() < 1e-12);
+            assert!(!m.phases.is_empty(), "tracing is on by default");
+            let sum: f64 = m.phases.iter().map(|&(_, s)| s).sum();
+            assert!(
+                (sum - m.makespan_s).abs() <= 0.05 * m.makespan_s,
+                "slices must tile the window: {sum} vs {}",
+                m.makespan_s
+            );
+            for &(name, s) in &m.phases {
+                assert!(s >= 0.0, "{name} slice negative: {s}");
+            }
+            // Every phase executed its tasks and burned flops.
+            assert_eq!(m.phase_tasks.len(), 5);
+            for &(name, tasks) in &m.phase_tasks {
+                assert!(tasks > 0, "{name} ran no tasks");
+            }
+            for &(name, flops) in &m.phase_flops {
+                assert!(flops > 0.0, "{name} burned no flops");
+            }
+        }
+    }
+
+    #[test]
+    fn group_utilization_respects_capacity_and_recorder_sees_profile() {
+        use adaphet_metrics::Registry;
+        let mut app = small_app(1, 2, 6);
+        let reg = Registry::new();
+        app.set_recorder(Arc::new(reg.clone()));
+        let n = app.n_nodes();
+        let (_, m) = app.run_iteration_profiled(IterationChoice::all(n));
+        // One GPU group ("L" nodes 1-1) and one CPU group ("S" nodes 2-3).
+        assert_eq!(m.groups.len(), 2, "{:?}", m.groups);
+        assert_eq!(m.groups[0].0, "L:1-1");
+        assert_eq!(m.groups[1].0, "S:2-3");
+        for (label, busy, idle) in &m.groups {
+            assert!(*busy > 0.0, "{label} never busy");
+            assert!(*idle >= 0.0, "{label} busy exceeds capacity");
+        }
+        // Profile metrics land in the registry, and the forwarded
+        // recorder makes the simulator flush its own counters too.
+        assert_eq!(reg.counter_value("app.iterations"), 1.0);
+        assert!(reg.counter_value("app.phase.generation.tasks") > 0.0);
+        assert!(reg.histogram("app.iteration.makespan_s").is_some());
+        assert!(reg.counter_value("sim.tasks_executed") > 0.0);
     }
 
     #[test]

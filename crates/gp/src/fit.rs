@@ -71,6 +71,9 @@ pub fn fit_profile_likelihood(
     noise_var: f64,
 ) -> crate::Result<GpModel> {
     assert!(!x.is_empty());
+    let recorder = adaphet_metrics::global();
+    recorder.add("gp.mle.searches", 1.0);
+    let _search_timer = adaphet_metrics::Timer::start(recorder, "gp.mle.search_s");
     let span = {
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for &xi in x {

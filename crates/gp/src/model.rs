@@ -63,6 +63,9 @@ impl GpModel {
     pub fn fit(config: GpConfig, x: &[f64], y: &[f64]) -> crate::Result<GpModel> {
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         assert!(!x.is_empty(), "cannot fit a GP with zero observations");
+        let recorder = adaphet_metrics::global();
+        recorder.add("gp.model.fits", 1.0);
+        let _fit_timer = adaphet_metrics::Timer::start(recorder, "gp.model.fit_s");
         let n = x.len();
         let alpha = config.process_var.max(1e-12);
 
@@ -171,6 +174,17 @@ mod tests {
             noise_var: 1e-8,
             trend: Trend::constant(),
         }
+    }
+
+    #[test]
+    fn fit_counts_land_in_the_global_metrics_registry() {
+        let reg = adaphet_metrics::install_global(adaphet_metrics::Registry::new());
+        let before = reg.counter_value("gp.model.fits");
+        GpModel::fit(base_config(0.5), &[0.0, 1.0], &[1.0, 2.0]).unwrap();
+        // Other tests in this binary may fit concurrently: assert the
+        // monotone delta, not an exact count.
+        assert!(reg.counter_value("gp.model.fits") - before >= 1.0);
+        assert!(reg.histogram("gp.model.fit_s").is_some());
     }
 
     #[test]

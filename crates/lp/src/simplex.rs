@@ -92,6 +92,9 @@ impl LpProblem {
 
     /// Solve with the two-phase primal simplex method.
     pub fn solve(&self) -> LpOutcome {
+        let recorder = adaphet_metrics::global();
+        recorder.add("lp.solves", 1.0);
+        let _solve_timer = adaphet_metrics::Timer::start(recorder, "lp.solve_s");
         let m = self.rows.len();
         // Normalize rows to non-negative rhs.
         let mut rows: Vec<(Vec<f64>, ConstraintOp, f64)> = self.rows.clone();
@@ -330,6 +333,17 @@ mod tests {
             lp.add_constraint(c.to_vec(), *op, *r);
         }
         lp.solve()
+    }
+
+    #[test]
+    fn solve_counts_land_in_the_global_metrics_registry() {
+        let reg = adaphet_metrics::install_global(adaphet_metrics::Registry::new());
+        let before = reg.counter_value("lp.solves");
+        solve_max(&[1.0], &[(&[1.0], ConstraintOp::Le, 5.0)]).unwrap_optimal();
+        // Other tests in this binary may solve concurrently: assert the
+        // monotone delta, not an exact count.
+        assert!(reg.counter_value("lp.solves") - before >= 1.0);
+        assert!(reg.histogram("lp.solve_s").is_some());
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! [`MetricsReport`]: a frozen, serializable view of a metrics run.
+
+use crate::registry::HistogramSnapshot;
+
+/// Version stamped into every report; bump on any schema change (the golden
+/// test in `tests/report_schema.rs` pins the serialized layout).
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Busy/idle seconds of one homogeneous node group over one iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupProfile {
+    /// Group label, e.g. `"chifflot:1-2"`.
+    pub name: String,
+    /// Seconds of worker (CPU core or GPU) busy time, summed over workers.
+    pub busy_s: f64,
+    /// Seconds of worker idle time within the iteration window.
+    pub idle_s: f64,
+}
+
+impl GroupProfile {
+    /// Busy fraction in `[0, 1]` (0 for an empty window).
+    pub fn utilization(&self) -> f64 {
+        let cap = self.busy_s + self.idle_s;
+        if cap <= 0.0 {
+            0.0
+        } else {
+            self.busy_s / cap
+        }
+    }
+}
+
+/// Phase-resolved profile of one tuner iteration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IterationProfile {
+    /// 0-based iteration index.
+    pub iteration: usize,
+    /// The action (node count) executed.
+    pub action: usize,
+    /// Simulated makespan of the iteration (seconds).
+    pub makespan_s: f64,
+    /// Disjoint per-phase wall-clock slices `(phase name, seconds)`, in
+    /// completion order; they sum to `makespan_s`.
+    pub phases: Vec<(String, f64)>,
+    /// Busy vs. idle time per homogeneous node group.
+    pub groups: Vec<GroupProfile>,
+}
+
+/// Everything a metrics run produced: registry totals plus the per-iteration
+/// phase/utilization profiles. Serializes to a single JSON object (schema
+/// pinned by a golden test) or an aligned text table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Counter totals, name-sorted.
+    pub counters: Vec<(String, f64)>,
+    /// Gauge values, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Per-iteration profiles, in iteration order (empty when the run had
+    /// no per-iteration executor, e.g. a bare registry snapshot).
+    pub iterations: Vec<IterationProfile>,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_map(entries: &[(String, f64)]) -> String {
+    let body: Vec<String> =
+        entries.iter().map(|(k, v)| format!("\"{}\":{}", json_escape(k), json_f64(*v))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl MetricsReport {
+    /// Serialize as one JSON object with pinned key order:
+    /// `version`, `counters`, `gauges`, `histograms`, `iterations`.
+    pub fn to_json(&self) -> String {
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                format!(
+                    "\"{}\":{{\"bounds\":[{}],\"counts\":[{}],\"count\":{},\"sum\":{}}}",
+                    json_escape(k),
+                    h.bounds.iter().map(|b| json_f64(*b)).collect::<Vec<_>>().join(","),
+                    h.counts.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(","),
+                    h.count,
+                    json_f64(h.sum),
+                )
+            })
+            .collect();
+        let iters: Vec<String> = self
+            .iterations
+            .iter()
+            .map(|it| {
+                let phases: Vec<String> = it
+                    .phases
+                    .iter()
+                    .map(|(n, s)| {
+                        format!("{{\"name\":\"{}\",\"seconds\":{}}}", json_escape(n), json_f64(*s))
+                    })
+                    .collect();
+                let groups: Vec<String> = it
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        format!(
+                            "{{\"name\":\"{}\",\"busy_s\":{},\"idle_s\":{},\"utilization\":{}}}",
+                            json_escape(&g.name),
+                            json_f64(g.busy_s),
+                            json_f64(g.idle_s),
+                            json_f64(g.utilization()),
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"iteration\":{},\"action\":{},\"makespan_s\":{},\"phases\":[{}],\"groups\":[{}]}}",
+                    it.iteration,
+                    it.action,
+                    json_f64(it.makespan_s),
+                    phases.join(","),
+                    groups.join(","),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"version\":{},\"counters\":{},\"gauges\":{},\"histograms\":{{{}}},\"iterations\":[{}]}}",
+            METRICS_SCHEMA_VERSION,
+            json_map(&self.counters),
+            json_map(&self.gauges),
+            hists.join(","),
+            iters.join(","),
+        )
+    }
+
+    /// Render as a human-readable aligned text table: counters, gauges,
+    /// histogram summaries, then one row per iteration with its phase
+    /// breakdown and per-group utilization.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .counters
+            .iter()
+            .map(|(k, _)| k.len())
+            .chain(self.gauges.iter().map(|(k, _)| k.len()))
+            .chain(self.histograms.iter().map(|(k, _)| k.len()))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        if !self.counters.is_empty() {
+            out.push_str("== counters ==\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<name_w$}  {v:>16.6}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("== gauges ==\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<name_w$}  {v:>16.6}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("== histograms ==\n");
+            out.push_str(&format!(
+                "  {:<name_w$}  {:>10}  {:>14}  {:>14}\n",
+                "name", "count", "sum_s", "mean_s"
+            ));
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {k:<name_w$}  {:>10}  {:>14.6}  {:>14.6}\n",
+                    h.count,
+                    h.sum,
+                    h.mean()
+                ));
+            }
+        }
+        if !self.iterations.is_empty() {
+            // Column per phase name (first-seen order), then one per group.
+            let mut phase_names: Vec<&str> = Vec::new();
+            let mut group_names: Vec<&str> = Vec::new();
+            for it in &self.iterations {
+                for (n, _) in &it.phases {
+                    if !phase_names.contains(&n.as_str()) {
+                        phase_names.push(n);
+                    }
+                }
+                for g in &it.groups {
+                    if !group_names.contains(&g.name.as_str()) {
+                        group_names.push(&g.name);
+                    }
+                }
+            }
+            out.push_str("== iterations (phase wall s | group utilization) ==\n");
+            out.push_str(&format!("  {:>4}  {:>6}  {:>12}", "iter", "action", "makespan_s"));
+            for p in &phase_names {
+                out.push_str(&format!("  {:>13}", p));
+            }
+            for g in &group_names {
+                out.push_str(&format!("  {:>13}", format!("util[{g}]")));
+            }
+            out.push('\n');
+            for it in &self.iterations {
+                out.push_str(&format!(
+                    "  {:>4}  {:>6}  {:>12.4}",
+                    it.iteration, it.action, it.makespan_s
+                ));
+                for p in &phase_names {
+                    match it.phases.iter().find(|(n, _)| n == p) {
+                        Some((_, s)) => out.push_str(&format!("  {s:>13.4}")),
+                        None => out.push_str(&format!("  {:>13}", "-")),
+                    }
+                }
+                for gname in &group_names {
+                    match it.groups.iter().find(|g| g.name == *gname) {
+                        Some(g) => out.push_str(&format!("  {:>13.3}", g.utilization())),
+                        None => out.push_str(&format!("  {:>13}", "-")),
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsReport {
+        MetricsReport {
+            counters: vec![("sim.tasks_executed".into(), 42.0)],
+            gauges: vec![("app.nt".into(), 10.0)],
+            histograms: vec![(
+                "gp.model.fit_s".into(),
+                HistogramSnapshot {
+                    bounds: vec![0.001, 1.0],
+                    counts: vec![2, 1, 0],
+                    count: 3,
+                    sum: 0.5,
+                },
+            )],
+            iterations: vec![IterationProfile {
+                iteration: 0,
+                action: 4,
+                makespan_s: 2.5,
+                phases: vec![("generation".into(), 1.0), ("factorization".into(), 1.5)],
+                groups: vec![GroupProfile {
+                    name: "chifflot:1-2".into(),
+                    busy_s: 3.0,
+                    idle_s: 1.0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let g = GroupProfile { name: "g".into(), busy_s: 3.0, idle_s: 1.0 };
+        assert!((g.utilization() - 0.75).abs() < 1e-12);
+        let empty = GroupProfile { name: "g".into(), busy_s: 0.0, idle_s: 0.0 };
+        assert_eq!(empty.utilization(), 0.0);
+    }
+
+    #[test]
+    fn json_has_pinned_top_level_order() {
+        let j = sample().to_json();
+        let keys =
+            ["\"version\":", "\"counters\":", "\"gauges\":", "\"histograms\":", "\"iterations\":"];
+        let mut from = 0;
+        for k in keys {
+            let at = j[from..].find(k).unwrap_or_else(|| panic!("missing {k} in {j}"));
+            from += at + k.len();
+        }
+    }
+
+    #[test]
+    fn non_finite_values_serialize_as_null() {
+        let mut r = sample();
+        r.counters[0].1 = f64::NAN;
+        assert!(r.to_json().contains("\"sim.tasks_executed\":null"));
+    }
+
+    #[test]
+    fn table_lists_every_section() {
+        let t = sample().to_table();
+        assert!(t.contains("== counters =="), "{t}");
+        assert!(t.contains("sim.tasks_executed"), "{t}");
+        assert!(t.contains("== histograms =="), "{t}");
+        assert!(t.contains("== iterations"), "{t}");
+        assert!(t.contains("util[chifflot:1-2]"), "{t}");
+        // Rows align: every line in the iterations block has the same column count.
+        assert!(t.lines().any(|l| l.contains("0.750")), "utilization column:\n{t}");
+    }
+
+    #[test]
+    fn empty_report_serializes_cleanly() {
+        let r = MetricsReport::default();
+        assert_eq!(
+            r.to_json(),
+            format!(
+                "{{\"version\":{METRICS_SCHEMA_VERSION},\"counters\":{{}},\"gauges\":{{}},\"histograms\":{{}},\"iterations\":[]}}"
+            )
+        );
+        assert_eq!(r.to_table(), "");
+    }
+}

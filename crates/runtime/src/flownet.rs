@@ -23,6 +23,8 @@ pub struct FlowId(pub usize);
 struct Link {
     /// Capacity in bytes per second.
     capacity: f64,
+    /// Accumulated time (seconds) with at least one active flow crossing.
+    busy: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -57,13 +59,24 @@ impl FlowNet {
     /// Panics if `capacity` is not positive.
     pub fn add_link(&mut self, capacity: f64) -> LinkId {
         assert!(capacity > 0.0, "link capacity must be positive");
-        self.links.push(Link { capacity });
+        self.links.push(Link { capacity, busy: 0.0 });
         LinkId(self.links.len() - 1)
     }
 
     /// Current simulation time of the network.
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// Number of links in the network.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Accumulated busy time of a link: seconds during which at least one
+    /// active flow crossed it.
+    pub fn link_busy(&self, l: LinkId) -> f64 {
+        self.links[l.0].busy
     }
 
     /// Number of flows still transferring.
@@ -168,7 +181,20 @@ impl FlowNet {
     /// Move the clock to `t` (no completions in between).
     fn integrate_to(&mut self, t: f64) {
         let dt = t - self.now;
-        if dt > 0.0 {
+        if dt > 0.0 && !self.active.is_empty() {
+            // A link is busy for this interval if any active flow crosses
+            // it (routes may share links, so dedup via a mark pass).
+            let mut crossed = vec![false; self.links.len()];
+            for &i in &self.active {
+                for l in &self.flows[i].route {
+                    crossed[l.0] = true;
+                }
+            }
+            for (l, hit) in crossed.into_iter().enumerate() {
+                if hit {
+                    self.links[l].busy += dt;
+                }
+            }
             for &i in &self.active {
                 let f = &mut self.flows[i];
                 f.remaining = (f.remaining - f.rate * dt).max(0.0);
@@ -314,6 +340,33 @@ mod tests {
         for &f in &flows {
             assert!((net.flow_rate(f) - 25.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn link_busy_counts_only_active_intervals() {
+        let mut net = FlowNet::new();
+        let used = net.add_link(100.0);
+        let idle = net.add_link(100.0);
+        // 1 s idle, then a 2 s transfer on `used`, then 1 s idle again.
+        net.advance_to(1.0);
+        let f = net.start_flow(vec![used], 200.0);
+        let done = net.advance_to(4.0);
+        assert_eq!(done, vec![f]);
+        assert!((net.link_busy(used) - 2.0).abs() < 1e-9, "{}", net.link_busy(used));
+        assert_eq!(net.link_busy(idle), 0.0);
+        assert_eq!(net.n_links(), 2);
+    }
+
+    #[test]
+    fn shared_link_busy_is_wall_time_not_per_flow() {
+        let mut net = FlowNet::new();
+        let shared = net.add_link(100.0);
+        net.start_flow(vec![shared], 100.0);
+        net.start_flow(vec![shared], 200.0);
+        // Both flows overlap for 2 s, then the second runs alone 1 s:
+        // busy time is 3 s of wall time, not 5 s of flow time.
+        net.advance_to(3.0);
+        assert!((net.link_busy(shared) - 3.0).abs() < 1e-9, "{}", net.link_busy(shared));
     }
 
     #[test]

@@ -22,11 +22,13 @@ use crate::platform::{NodeId, Platform};
 use crate::stf::DepTracker;
 use crate::task::{Access, ClassId, ClassTable, TaskDesc, TaskId};
 use crate::trace::{ResourceKind, Trace, TraceEvent};
+use adaphet_metrics::{NoopRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, Normal};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Simulation options.
 #[derive(Debug, Clone, Default)]
@@ -176,8 +178,8 @@ pub struct SimRuntime {
     /// In-flight fetches: (handle, destination) -> tasks waiting on it.
     inflight: HashMap<(usize, usize), Vec<TaskId>>,
     flow_meta: HashMap<FlowId, (DataHandle, NodeId)>,
-    /// Resource occupied by each running task.
-    running_resource: HashMap<usize, ResourceKind>,
+    /// Resource occupied by each running task, with its start time.
+    running_resource: HashMap<usize, (ResourceKind, f64)>,
     now: f64,
     trace: Trace,
     trace_enabled: bool,
@@ -186,6 +188,27 @@ pub struct SimRuntime {
     migrate_class: ClassId,
     remaining: usize,
     bytes_transferred: f64,
+    /// Completed tasks (including migrate pseudo-tasks).
+    tasks_executed: u64,
+    /// Accumulated per-node CPU-core busy seconds (summed over cores).
+    cpu_busy: Vec<f64>,
+    /// Accumulated per-node GPU busy seconds (summed over GPUs).
+    gpu_busy: Vec<f64>,
+    /// Per-phase `(tasks completed, flops)` totals, excluding pseudo-tasks.
+    phase_stats: HashMap<u32, (u64, f64)>,
+    recorder: Arc<dyn Recorder>,
+    metrics_cursor: MetricsCursor,
+}
+
+/// Totals already flushed to the recorder, so each [`SimRuntime::run`] can
+/// emit exact deltas even though the underlying stats are cumulative.
+#[derive(Debug, Clone, Default)]
+struct MetricsCursor {
+    tasks: u64,
+    bytes: f64,
+    cpu_busy: Vec<f64>,
+    gpu_busy: Vec<f64>,
+    link_busy: Vec<f64>,
 }
 
 impl SimRuntime {
@@ -216,6 +239,8 @@ impl SimRuntime {
             gpu_efficiency: 1.0,
         });
         let jitter = config.task_jitter.map(|s| Normal::new(0.0, s).expect("valid jitter sigma"));
+        let n_nodes = platform.len();
+        let n_links = net.n_links();
         SimRuntime {
             platform,
             classes,
@@ -241,6 +266,18 @@ impl SimRuntime {
             migrate_class,
             remaining: 0,
             bytes_transferred: 0.0,
+            tasks_executed: 0,
+            cpu_busy: vec![0.0; n_nodes],
+            gpu_busy: vec![0.0; n_nodes],
+            phase_stats: HashMap::new(),
+            recorder: Arc::new(NoopRecorder),
+            metrics_cursor: MetricsCursor {
+                tasks: 0,
+                bytes: 0.0,
+                cpu_busy: vec![0.0; n_nodes],
+                gpu_busy: vec![0.0; n_nodes],
+                link_busy: vec![0.0; n_links],
+            },
         }
     }
 
@@ -262,6 +299,35 @@ impl SimRuntime {
     /// Total bytes moved over the network so far.
     pub fn bytes_transferred(&self) -> f64 {
         self.bytes_transferred
+    }
+
+    /// Total tasks completed so far (including migrate pseudo-tasks).
+    pub fn tasks_executed(&self) -> u64 {
+        self.tasks_executed
+    }
+
+    /// Accumulated `(cpu_busy, gpu_busy)` seconds of one node, each summed
+    /// over the node's units of that kind.
+    pub fn node_busy(&self, node: NodeId) -> (f64, f64) {
+        (self.cpu_busy[node.0], self.gpu_busy[node.0])
+    }
+
+    /// Accumulated `(tasks, flops)` of one phase tag (pseudo-tasks with
+    /// phase `u32::MAX` are never counted).
+    pub fn phase_totals(&self, phase: u32) -> (u64, f64) {
+        self.phase_stats.get(&phase).copied().unwrap_or((0, 0.0))
+    }
+
+    /// Accumulated busy seconds of the shared backbone link.
+    pub fn backbone_busy(&self) -> f64 {
+        self.net.link_busy(self.backbone)
+    }
+
+    /// Route metrics to `recorder`: each [`SimRuntime::run`] then flushes
+    /// its task/byte/busy-time deltas as `sim.*` counters and histograms.
+    /// The default is the no-op recorder.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
     }
 
     /// Enable or disable trace recording (disable for large sweeps).
@@ -400,7 +466,61 @@ impl SimRuntime {
                 }
             }
         }
-        RunReport { start, end: self.now }
+        let report = RunReport { start, end: self.now };
+        if self.recorder.enabled() {
+            self.flush_metrics(&report);
+        }
+        report
+    }
+
+    /// Emit everything this run added on top of the last flush. Names are
+    /// stable: `sim.runs`, `sim.tasks_executed`, `sim.bytes_transferred`,
+    /// the `sim.run.makespan_s` histogram (simulated seconds), per-node
+    /// `sim.nodeNNN.{cpu,gpu}_{busy,idle}_s`, and network busy time on the
+    /// backbone and any NIC that moved data.
+    fn flush_metrics(&mut self, report: &RunReport) {
+        let r = &*self.recorder;
+        let dur = report.duration();
+        r.add("sim.runs", 1.0);
+        r.observe("sim.run.makespan_s", dur);
+        r.add("sim.tasks_executed", (self.tasks_executed - self.metrics_cursor.tasks) as f64);
+        self.metrics_cursor.tasks = self.tasks_executed;
+        r.add("sim.bytes_transferred", self.bytes_transferred - self.metrics_cursor.bytes);
+        self.metrics_cursor.bytes = self.bytes_transferred;
+        for i in 0..self.platform.len() {
+            let spec = self.platform.node(NodeId(i));
+            let d_cpu = self.cpu_busy[i] - self.metrics_cursor.cpu_busy[i];
+            let d_gpu = self.gpu_busy[i] - self.metrics_cursor.gpu_busy[i];
+            self.metrics_cursor.cpu_busy[i] = self.cpu_busy[i];
+            self.metrics_cursor.gpu_busy[i] = self.gpu_busy[i];
+            r.add(&format!("sim.node{i:03}.cpu_busy_s"), d_cpu);
+            r.add(
+                &format!("sim.node{i:03}.cpu_idle_s"),
+                (spec.cpu_cores as f64 * dur - d_cpu).max(0.0),
+            );
+            if spec.gpus > 0 {
+                r.add(&format!("sim.node{i:03}.gpu_busy_s"), d_gpu);
+                r.add(
+                    &format!("sim.node{i:03}.gpu_idle_s"),
+                    (spec.gpus as f64 * dur - d_gpu).max(0.0),
+                );
+            }
+        }
+        for l in 0..self.net.n_links() {
+            let busy = self.net.link_busy(LinkId(l));
+            let delta = busy - self.metrics_cursor.link_busy[l];
+            self.metrics_cursor.link_busy[l] = busy;
+            if delta <= 0.0 {
+                continue;
+            }
+            if l == self.backbone.0 {
+                r.add("sim.net.backbone_busy_s", delta);
+            } else if let Some(i) = self.node_up.iter().position(|&u| u.0 == l) {
+                r.add(&format!("sim.net.node{i:03}.up_busy_s"), delta);
+            } else if let Some(i) = self.node_down.iter().position(|&d| d.0 == l) {
+                r.add(&format!("sim.net.node{i:03}.down_busy_s"), delta);
+            }
+        }
     }
 
     fn push_event(&mut self, t: f64, kind: EventKind) {
@@ -546,13 +666,26 @@ impl SimRuntime {
                 end,
             });
         }
-        self.running_resource.insert(id.0, resource);
+        self.running_resource.insert(id.0, (resource, self.now));
         self.push_event(end, EventKind::TaskDone(id));
     }
 
     fn on_task_done(&mut self, id: TaskId) {
         let node = self.tasks[id.0].node;
-        let resource = self.running_resource.remove(&id.0).expect("finished task had a resource");
+        let (resource, started) =
+            self.running_resource.remove(&id.0).expect("finished task had a resource");
+        let busy = self.now - started;
+        match resource {
+            ResourceKind::CpuCore(_) => self.cpu_busy[node.0] += busy,
+            ResourceKind::Gpu(_) => self.gpu_busy[node.0] += busy,
+        }
+        self.tasks_executed += 1;
+        let (phase, flops) = (self.tasks[id.0].phase, self.tasks[id.0].flops);
+        if phase != u32::MAX {
+            let entry = self.phase_stats.entry(phase).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += flops;
+        }
         // Free the unit. When the kind's ready queue is empty there is no
         // pending committed work, so clamp idle units' commit horizons back
         // to `now` (they may carry phantom backlog from tasks that ended up
@@ -918,6 +1051,62 @@ mod tests {
         let r = rt.run();
         let bound = total / (2.0 * 1e9); // 2 cores x 1 GFLOP/s
         assert!(r.duration() >= bound - 1e-9);
+    }
+
+    #[test]
+    fn busy_time_phase_totals_and_task_counts_accumulate() {
+        let (ct, cpu, hybrid) = classes();
+        let mut rt = SimRuntime::new(small_platform(1, 1), ct, SimConfig::default());
+        let h = rt.register_data(8, NodeId(0));
+        let g = rt.register_data(8, NodeId(0));
+        // Serial CPU chain of 2 s (phase 0) + one GPU task of 0.1 s (phase 1).
+        rt.submit(task(cpu, 1e9, vec![(h, Access::ReadWrite)]));
+        rt.submit(task(cpu, 1e9, vec![(h, Access::ReadWrite)]));
+        rt.submit(TaskDesc {
+            class: hybrid,
+            flops: 1e9,
+            priority: 0,
+            phase: 1,
+            accesses: vec![(g, Access::Write)],
+        });
+        rt.run();
+        assert_eq!(rt.tasks_executed(), 3);
+        let (cpu_busy, gpu_busy) = rt.node_busy(NodeId(0));
+        assert!((cpu_busy - 2.0).abs() < 1e-9, "{cpu_busy}");
+        assert!((gpu_busy - 0.1).abs() < 1e-9, "{gpu_busy}");
+        assert_eq!(rt.phase_totals(0), (2, 2e9));
+        assert_eq!(rt.phase_totals(1), (1, 1e9));
+        assert_eq!(rt.phase_totals(7), (0, 0.0));
+    }
+
+    #[test]
+    fn recorder_receives_per_run_deltas() {
+        use adaphet_metrics::Registry;
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(2, 0), ct, SimConfig::default());
+        let reg = Registry::new();
+        rt.set_recorder(Arc::new(reg.clone()));
+        // Run 1: a 1 GB remote read plus 1 s of compute.
+        let remote = rt.register_data(1_000_000_000, NodeId(1));
+        let local = rt.register_data(8, NodeId(0));
+        rt.submit(task(cpu, 1e9, vec![(remote, Access::Read), (local, Access::Write)]));
+        rt.run();
+        assert_eq!(reg.counter_value("sim.runs"), 1.0);
+        assert_eq!(reg.counter_value("sim.tasks_executed"), 1.0);
+        assert!((reg.counter_value("sim.bytes_transferred") - 1e9).abs() < 1.0);
+        assert!((reg.counter_value("sim.node000.cpu_busy_s") - 1.0).abs() < 1e-9);
+        assert!(reg.counter_value("sim.net.backbone_busy_s") > 0.9);
+        assert!(reg.counter_value("sim.net.node001.up_busy_s") > 0.9);
+        assert_eq!(reg.histogram("sim.run.makespan_s").unwrap().count, 1);
+        // Run 2 flushes only its own delta: no new bytes move.
+        rt.submit(task(cpu, 1e9, vec![(local, Access::ReadWrite)]));
+        rt.run();
+        assert_eq!(reg.counter_value("sim.runs"), 2.0);
+        assert_eq!(reg.counter_value("sim.tasks_executed"), 2.0);
+        assert!((reg.counter_value("sim.bytes_transferred") - 1e9).abs() < 1.0);
+        assert!((reg.counter_value("sim.node000.cpu_busy_s") - 2.0).abs() < 1e-9);
+        // Idle time: 2 cores over two 1 s and ~2 s windows, one core busy.
+        assert!(reg.counter_value("sim.node000.cpu_idle_s") > 0.0);
     }
 
     #[test]

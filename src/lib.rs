@@ -18,6 +18,8 @@
 //! * [`geostat`] — the ExaGeoStat-like five-phase application;
 //! * [`scenarios`] — the paper's Table II machines and 16 scenarios;
 //! * [`eval`] — response tables, resampling replays, figure generators;
+//! * [`metrics`] — runtime metrics registry (counters, gauges, histograms)
+//!   behind a no-op-by-default [`metrics::Recorder`];
 //! * [`linalg`] — the dense linear-algebra core.
 //!
 //! See `examples/quickstart.rs` for the 40-line tour and DESIGN.md for the
@@ -29,5 +31,6 @@ pub use adaphet_geostat as geostat;
 pub use adaphet_gp as gp;
 pub use adaphet_linalg as linalg;
 pub use adaphet_lp as lp;
+pub use adaphet_metrics as metrics;
 pub use adaphet_runtime as runtime;
 pub use adaphet_scenarios as scenarios;

@@ -6,15 +6,14 @@
 //! deliberately, never incidentally.
 
 use adaphet::tuner::{
-    ActionDiagnostic, ActionSpace, DecisionTrace, IterationEvent, JsonlSink, MemorySink,
-    Observation, PhaseSlice, StrategyKind, TunerDriver,
+    ActionDiagnostic, ActionSpace, DecisionTrace, GroupUtilization, IterationEvent, JsonlSink,
+    MemorySink, Observation, PhaseBreakdown, PhaseSlice, StrategyKind, TunerDriver,
 };
-use std::cell::RefCell;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// The pinned key order of one JSONL event line.
-const KEYS: [&str; 11] = [
+const KEYS: [&str; 12] = [
     "\"iteration\":",
     "\"strategy\":",
     "\"action\":",
@@ -26,6 +25,7 @@ const KEYS: [&str; 11] = [
     "\"posterior\":",
     "\"excluded\":",
     "\"note\":",
+    "\"phase_breakdown\":",
 ];
 
 #[test]
@@ -49,6 +49,14 @@ fn golden_fully_populated_event() {
             excluded: vec![1, 2],
             note: "gp-lcb".into(),
         }),
+        phase_breakdown: Some(PhaseBreakdown {
+            phases: vec![PhaseSlice::new("generation", 0.25), PhaseSlice::new("solve", 1.25)],
+            groups: vec![GroupUtilization {
+                name: "chifflot:1-2".into(),
+                busy_s: 3.0,
+                idle_s: 1.0,
+            }],
+        }),
     };
     assert_eq!(
         e.to_json(),
@@ -57,7 +65,10 @@ fn golden_fully_populated_event() {
          \"regret\":0.25,\"phases\":[{\"name\":\"factorization\",\"seconds\":1},\
          {\"name\":\"solve\",\"seconds\":0.5}],\"posterior\":[{\"action\":7,\
          \"mean\":1.5,\"sd\":0.125,\"acquisition\":1.25}],\"excluded\":[1,2],\
-         \"note\":\"gp-lcb\"}"
+         \"note\":\"gp-lcb\",\"phase_breakdown\":{\"phases\":[\
+         {\"name\":\"generation\",\"seconds\":0.25},{\"name\":\"solve\",\"seconds\":1.25}],\
+         \"groups\":[{\"name\":\"chifflot:1-2\",\"busy_s\":3,\"idle_s\":1,\
+         \"utilization\":0.75}]}}"
     );
 }
 
@@ -73,12 +84,14 @@ fn golden_minimal_event_keeps_every_key() {
         regret: None,
         phases: vec![],
         trace: None,
+        phase_breakdown: None,
     };
     assert_eq!(
         e.to_json(),
         "{\"iteration\":0,\"strategy\":\"UCB\",\"action\":1,\"duration\":2.5,\
          \"cumulative_time\":2.5,\"best_known\":null,\"regret\":null,\
-         \"phases\":[],\"posterior\":[],\"excluded\":[],\"note\":\"\"}"
+         \"phases\":[],\"posterior\":[],\"excluded\":[],\"note\":\"\",\
+         \"phase_breakdown\":null}"
     );
 }
 
@@ -94,6 +107,7 @@ fn non_finite_floats_serialize_as_null() {
         regret: None,
         phases: vec![],
         trace: None,
+        phase_breakdown: None,
     };
     let json = e.to_json();
     assert!(json.contains("\"duration\":null"), "{json}");
@@ -103,11 +117,11 @@ fn non_finite_floats_serialize_as_null() {
 
 /// `Write` handle sharing a buffer with the test (the driver owns the sink).
 #[derive(Clone, Default)]
-struct Shared(Rc<RefCell<Vec<u8>>>);
+struct Shared(Arc<Mutex<Vec<u8>>>);
 
 impl Write for Shared {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.borrow_mut().extend_from_slice(buf);
+        self.0.lock().unwrap().extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -131,7 +145,7 @@ fn driver_emits_one_ordered_json_line_per_iteration() {
     let hist = driver.into_history();
     assert_eq!(memory.len(), hist.len(), "one event per recorded iteration");
 
-    let bytes = buf.0.borrow().clone();
+    let bytes = buf.0.lock().unwrap().clone();
     let text = String::from_utf8(bytes).expect("telemetry is UTF-8");
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), iters, "one JSONL line per iteration");
