@@ -2,10 +2,20 @@
 //! the computational side of the paper's Fig. 7 overhead claim (the online
 //! tuner refits a GP every iteration, so fit cost at 10-130 observations
 //! must stay in the milliseconds).
+//!
+//! Besides the criterion-style benches, `--quick` runs a short hand-rolled
+//! pass and writes `BENCH_gp.json` (median ns per op) so CI can archive the
+//! scratch-vs-incremental numbers next to the figure artifacts:
+//!
+//! ```text
+//! cargo bench -p adaphet-bench --bench gp_bench -- --quick
+//! ```
 
-use adaphet_gp::{GpConfig, GpModel, Kernel, Trend};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use adaphet_core::{ActionSpace, GpDiscontinuous, History, Strategy};
+use adaphet_gp::{fit_profile_likelihood, GpConfig, GpModel, Kernel, MleSearch, Trend};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn data(n: usize) -> (Vec<f64>, Vec<f64>) {
     // Spread the samples over the whole [0, 37] span so every dummy-group
@@ -25,15 +35,65 @@ fn config() -> GpConfig {
     }
 }
 
+/// A deterministic GP-discontinuous tuning run: 40 propose/record rounds
+/// over a 40-action space with a grouped discontinuous response.
+fn tuning_run() -> usize {
+    let lp: Vec<f64> = (1..=40).map(|k| 240.0 / k as f64).collect();
+    let space = ActionSpace::new(40, vec![(1, 13), (14, 27), (28, 40)], Some(lp));
+    let mut g = GpDiscontinuous::new(&space);
+    let mut h = History::new();
+    for _ in 0..40 {
+        let a = g.propose(&h);
+        let y = 240.0 / a as f64 + 0.6 * a as f64 + if a > 27 { 8.0 } else { 0.0 };
+        h.record(a, y);
+    }
+    h.records().last().unwrap().0
+}
+
 fn bench_fit(c: &mut Criterion) {
     let mut g = c.benchmark_group("gp_fit");
-    for n in [8usize, 32, 127] {
+    for n in [8usize, 32, 128] {
         let (xs, ys) = data(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| GpModel::fit(config(), black_box(&xs), black_box(&ys)).unwrap());
         });
     }
     g.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    // Clone an (n-1)-point base model and absorb the n-th observation:
+    // clone is O(n²) memcpy, update is the O(n²) append path — together
+    // still far below the O(n³) scratch fit they replace.
+    let mut g = c.benchmark_group("gp_update_incremental");
+    for n in [8usize, 32, 128] {
+        let (xs, ys) = data(n);
+        let base = GpModel::fit(config(), &xs[..n - 1], &ys[..n - 1]).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = base.clone();
+                m.update(black_box(xs[n - 1]), black_box(ys[n - 1])).unwrap();
+                m
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mle_grid(c: &mut Criterion) {
+    // The 27-candidate (θ, α) profile-likelihood grid (shared distance
+    // matrix, parallel candidate fits).
+    let (xs, ys) = data(64);
+    let search = MleSearch::default();
+    c.bench_function("gp_mle_grid_64pts", |b| {
+        b.iter(|| fit_profile_likelihood(&search, black_box(&xs), black_box(&ys), 0.25).unwrap());
+    });
+}
+
+fn bench_tuning_run(c: &mut Criterion) {
+    c.bench_function("gp_disc_tuning_run_40it", |b| {
+        b.iter(|| black_box(tuning_run()));
+    });
 }
 
 fn bench_predict(c: &mut Criterion) {
@@ -50,5 +110,90 @@ fn bench_predict(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fit, bench_predict);
-criterion_main!(benches);
+criterion_group!(
+    benches,
+    bench_fit,
+    bench_incremental,
+    bench_mle_grid,
+    bench_tuning_run,
+    bench_predict
+);
+
+/// Hand-rolled median-ns timer for `--quick` mode (the shim criterion
+/// keeps its samples private, and quick mode needs the raw numbers to
+/// write JSON).
+fn median_ns<R>(budget: Duration, mut f: impl FnMut() -> R) -> f64 {
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed();
+    let batch =
+        (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as usize;
+    let mut samples: Vec<f64> = Vec::new();
+    let started = Instant::now();
+    while (started.elapsed() < budget || samples.is_empty()) && samples.len() < 120 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn quick_main() {
+    let budget = Duration::from_millis(120);
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
+
+    for n in [8usize, 32, 128] {
+        let (xs, ys) = data(n);
+        let scratch = median_ns(budget, || GpModel::fit(config(), &xs, &ys).unwrap());
+        let base = GpModel::fit(config(), &xs[..n - 1], &ys[..n - 1]).unwrap();
+        let clone_only = median_ns(budget, || base.clone());
+        let clone_update = median_ns(budget, || {
+            let mut m = base.clone();
+            m.update(xs[n - 1], ys[n - 1]).unwrap();
+            m
+        });
+        let update = (clone_update - clone_only).max(1.0);
+        rows.push((format!("gp_fit_scratch/{n}"), scratch));
+        rows.push((format!("gp_model_clone/{n}"), clone_only));
+        rows.push((format!("gp_update_incremental_with_clone/{n}"), clone_update));
+        rows.push((format!("gp_update_incremental/{n}"), update));
+        speedups.push((n, scratch / update));
+    }
+
+    let (xs, ys) = data(64);
+    let search = MleSearch::default();
+    rows.push((
+        "gp_mle_grid_64pts".into(),
+        median_ns(budget, || fit_profile_likelihood(&search, &xs, &ys, 0.25).unwrap()),
+    ));
+    rows.push(("gp_disc_tuning_run_40it".into(), median_ns(budget, tuning_run)));
+
+    let mut json =
+        String::from("{\n  \"bench\": \"gp\",\n  \"mode\": \"quick\",\n  \"results\": [\n");
+    for (i, (name, ns)) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!("    {{\"name\": \"{name}\", \"median_ns\": {ns:.1}}}{sep}\n"));
+        println!("{name:<44} {ns:>14.1} ns/op");
+    }
+    json.push_str("  ],\n  \"speedup_incremental_vs_scratch\": {");
+    for (i, (n, s)) in speedups.iter().enumerate() {
+        let sep = if i + 1 < speedups.len() { ", " } else { "" };
+        json.push_str(&format!("\"{n}\": {s:.2}{sep}"));
+        println!("speedup incremental vs scratch @ n={n}: {s:.2}x");
+    }
+    json.push_str("}\n}\n");
+    std::fs::write("BENCH_gp.json", json).expect("write BENCH_gp.json");
+    println!("wrote BENCH_gp.json");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        quick_main();
+    } else {
+        benches();
+    }
+}

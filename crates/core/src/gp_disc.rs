@@ -19,7 +19,10 @@
 //! point of each (bounded) group once — only then does GP-UCB take over.
 
 use crate::{ActionDiagnostic, ActionSpace, DecisionTrace, History, Strategy};
-use adaphet_gp::{estimate_noise_from_replicates, GpConfig, GpModel, Kernel, Trend, UcbSchedule};
+use adaphet_gp::{
+    estimate_noise_from_replicates, GpConfig, GpModel, Kernel, ModelCache, PairwiseDistances,
+    Trend, UcbSchedule,
+};
 
 /// Feature toggles for ablation studies: each switch removes one of the
 /// paper's four ingredients (Section IV-D) so its contribution can be
@@ -48,6 +51,31 @@ pub struct GpDiscontinuous {
     pub schedule: UcbSchedule,
     /// Feature toggles (all on = the paper's strategy).
     pub options: GpDiscOptions,
+    /// Surrogate state kept warm across `propose` calls.
+    surrogate: SurrogateState,
+}
+
+/// Persistent surrogate state: the pairwise-distance matrix of the history
+/// (grown by appending) and one [`ModelCache`] per fit stage. The caches
+/// take the O(n²) incremental path when the stage's hyper-parameters repeat
+/// across proposals and refit (reusing the distances) when they change, so
+/// proposals stay bitwise identical to the scratch [`GpDiscontinuous::fit`].
+#[derive(Debug, Clone, Default)]
+struct SurrogateState {
+    dists: PairwiseDistances,
+    /// Stage-1 fit with α₀ = sample variance.
+    pilot: ModelCache,
+    /// Stage-2 fit with the MAD-robust α (skipped when α = α₀).
+    tuned: ModelCache,
+    active: ActiveModel,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum ActiveModel {
+    #[default]
+    None,
+    Pilot,
+    Tuned,
 }
 
 /// One point of the surrogate curve (for the Fig. 4C visualization).
@@ -78,7 +106,12 @@ impl GpDiscontinuous {
         // exploration is needed (mirroring the parsimony the paper reports
         // for its DiceKriging-based implementation).
         let schedule = UcbSchedule { delta: 0.1, scale: 0.3 };
-        GpDiscontinuous { space: space.clone(), schedule, options }
+        GpDiscontinuous {
+            space: space.clone(),
+            schedule,
+            options,
+            surrogate: SurrogateState::default(),
+        }
     }
 
     fn lp(&self, n: usize) -> f64 {
@@ -144,9 +177,9 @@ impl GpDiscontinuous {
         probes.get(k).copied()
     }
 
-    /// Fit the residual surrogate; `None` with too little data or a
-    /// rank-deficient trend (callers fall back).
-    pub fn fit(&self, hist: &History) -> Option<GpModel> {
+    /// Observations and stage-1 hyper-parameters for the residual
+    /// surrogate; `None` with too little data.
+    fn fit_inputs(&self, hist: &History) -> Option<(Vec<f64>, Vec<f64>, GpConfig)> {
         if hist.len() < 3 {
             return None;
         }
@@ -184,16 +217,70 @@ impl GpDiscontinuous {
             noise_var: noise,
             trend,
         };
-        let first = GpModel::fit(cfg.clone(), &xs, &rs).ok()?;
+        Some((xs, rs, cfg))
+    }
+
+    /// The MAD-robust stage-2 process variance given the stage-1 fit.
+    fn stage2_alpha(first: &GpModel, xs: &[f64], rs: &[f64], alpha0: f64, noise: f64) -> f64 {
         let detrended: Vec<f64> =
-            xs.iter().zip(&rs).map(|(&x, &r)| r - first.trend_mean(x)).collect();
+            xs.iter().zip(rs).map(|(&x, &r)| r - first.trend_mean(x)).collect();
         // Robust scale (MAD) so a single outlier iteration (a system
         // hiccup) does not blow the bands open for the rest of the run.
-        let alpha = robust_variance(&detrended).max(0.1 * alpha0).max(4.0 * noise).max(1e-9);
+        robust_variance(&detrended).max(0.1 * alpha0).max(4.0 * noise).max(1e-9)
+    }
+
+    /// Fit the residual surrogate from scratch; `None` with too little data
+    /// or a rank-deficient trend (callers fall back).
+    pub fn fit(&self, hist: &History) -> Option<GpModel> {
+        let (xs, rs, cfg) = self.fit_inputs(hist)?;
+        let (alpha0, noise) = (cfg.process_var, cfg.noise_var);
+        let first = GpModel::fit(cfg.clone(), &xs, &rs).ok()?;
+        let alpha = Self::stage2_alpha(&first, &xs, &rs, alpha0, noise);
         if (alpha - alpha0).abs() < 1e-12 {
             return Some(first);
         }
         GpModel::fit(GpConfig { process_var: alpha, ..cfg }, &xs, &rs).ok()
+    }
+
+    /// Bring the persistent surrogate in line with `hist`, incrementally
+    /// when the history grew by appending under unchanged hyper-parameters
+    /// and by a distance-reusing refit otherwise. Returns `true` when a
+    /// model is ready in [`Self::surrogate_model`]; the model is bitwise
+    /// identical to what [`Self::fit`] would build from scratch.
+    fn refresh_surrogate(&mut self, hist: &History) -> bool {
+        self.surrogate.active = ActiveModel::None;
+        let Some((xs, rs, cfg)) = self.fit_inputs(hist) else {
+            return false;
+        };
+        let (alpha0, noise) = (cfg.process_var, cfg.noise_var);
+        self.surrogate.dists.sync(&xs);
+        let Ok(first) =
+            self.surrogate.pilot.fit_or_update(&cfg, &xs, &rs, self.surrogate.dists.matrix())
+        else {
+            return false;
+        };
+        let alpha = Self::stage2_alpha(first, &xs, &rs, alpha0, noise);
+        if (alpha - alpha0).abs() < 1e-12 {
+            self.surrogate.active = ActiveModel::Pilot;
+            return true;
+        }
+        let cfg2 = GpConfig { process_var: alpha, ..cfg };
+        match self.surrogate.tuned.fit_or_update(&cfg2, &xs, &rs, self.surrogate.dists.matrix()) {
+            Ok(_) => {
+                self.surrogate.active = ActiveModel::Tuned;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The model selected by the last [`Self::refresh_surrogate`], if any.
+    fn surrogate_model(&self) -> Option<&GpModel> {
+        match self.surrogate.active {
+            ActiveModel::None => None,
+            ActiveModel::Pilot => self.surrogate.pilot.model(),
+            ActiveModel::Tuned => self.surrogate.tuned.model(),
+        }
     }
 
     /// Full surrogate curve for visualization (paper Fig. 4C): predicted
@@ -247,8 +334,12 @@ impl Strategy for GpDiscontinuous {
             return a;
         }
         let cands = self.candidates(hist);
-        match self.fit(hist) {
-            Some(model) => {
+        // Warm path: reuse the surrogate from the previous proposal
+        // (incremental update or distance-sharing refit) — bitwise the same
+        // model `self.fit(hist)` would build from scratch.
+        match self.refresh_surrogate(hist) {
+            true => {
+                let model = self.surrogate_model().expect("refresh left a model");
                 let beta = self.schedule.beta(hist.len().max(1), cands.len());
                 cands
                     .iter()
@@ -261,7 +352,7 @@ impl Strategy for GpDiscontinuous {
                     .map(|(a, _)| a)
                     .expect("bounded set non-empty")
             }
-            None => {
+            false => {
                 // Rank-deficient fit: measure the least-sampled candidate.
                 cands
                     .iter()
@@ -514,6 +605,51 @@ mod tests {
             h.record(a, 16.0 / a as f64 + a as f64); // exactly repeatable
         }
         assert!(g.fit(&h).is_some(), "fit must survive zero-variance replicates");
+    }
+
+    #[test]
+    fn cached_propose_matches_scratch_fit_decisions() {
+        // The persistent surrogate must never change a decision: replay a
+        // whole tuning run and recompute each proposal statelessly from a
+        // scratch fit with identical scoring.
+        let space = ActionSpace::new(16, vec![(1, 6), (7, 16)], Some(lp_curve(16, 48.0)));
+        let mut g = GpDiscontinuous::new(&space);
+        let f = |n: usize| {
+            let base = 48.0 / n as f64 + 0.4 * n as f64;
+            if n > 6 {
+                base + 6.0
+            } else {
+                base
+            }
+        };
+        let mut h = History::new();
+        for it in 0..40 {
+            let a = g.propose(&h);
+            let fresh = GpDiscontinuous::new(&space);
+            let expected = match fresh.init_action(&h) {
+                Some(e) => e,
+                None => {
+                    let cands = fresh.candidates(&h);
+                    match fresh.fit(&h) {
+                        Some(model) => {
+                            let beta = fresh.schedule.beta(h.len().max(1), cands.len());
+                            cands
+                                .iter()
+                                .map(|&c| {
+                                    let p = model.predict(c as f64);
+                                    (c, fresh.lp(c) + p.mean - beta.sqrt() * p.sd())
+                                })
+                                .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+                                .map(|(c, _)| c)
+                                .unwrap()
+                        }
+                        None => cands.iter().copied().min_by_key(|&c| (h.count_for(c), c)).unwrap(),
+                    }
+                }
+            };
+            assert_eq!(a, expected, "cached and scratch decisions diverged at iteration {it}");
+            h.record(a, f(a));
+        }
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use crate::{ActionDiagnostic, ActionSpace, DecisionTrace, History, Strategy};
 use adaphet_gp::{
-    estimate_noise_from_replicates, fit_profile_likelihood, ucb_argmin, GpModel, Kernel, MleSearch,
-    Trend, UcbSchedule,
+    estimate_noise_from_replicates, fit_profile_likelihood, fit_profile_likelihood_with_distances,
+    ucb_argmin, GpModel, Kernel, MleSearch, PairwiseDistances, Trend, UcbSchedule,
 };
 
 /// GP-UCB over node counts.
@@ -19,21 +19,24 @@ pub struct GpUcb {
     space: ActionSpace,
     /// β_t schedule.
     pub schedule: UcbSchedule,
+    /// Pairwise distances of the history, grown by appending across
+    /// `propose` calls and shared by every (θ, α) candidate of the MLE
+    /// grid — the surrogate state this baseline can keep warm exactly.
+    dists: PairwiseDistances,
 }
 
 impl GpUcb {
     /// Strategy over the given space (LP information is ignored — that is
     /// the point of this baseline).
     pub fn new(space: &ActionSpace) -> Self {
-        GpUcb { space: space.clone(), schedule: UcbSchedule::default() }
+        GpUcb {
+            space: space.clone(),
+            schedule: UcbSchedule::default(),
+            dists: PairwiseDistances::new(),
+        }
     }
 
-    /// Fit the surrogate on the full history (public for the step-by-step
-    /// visualization of the paper's Fig. 4).
-    pub fn fit(&self, hist: &History) -> Option<GpModel> {
-        if hist.len() < 2 {
-            return None;
-        }
+    fn mle_inputs(hist: &History) -> (Vec<f64>, Vec<f64>, f64, MleSearch) {
         let xs: Vec<f64> = hist.records().iter().map(|&(a, _)| a as f64).collect();
         let ys: Vec<f64> = hist.records().iter().map(|&(_, y)| y).collect();
         let var = adaphet_linalg::sample_variance(&ys);
@@ -44,7 +47,29 @@ impl GpUcb {
             trend: Trend::constant(),
             ..Default::default()
         };
+        (xs, ys, noise, search)
+    }
+
+    /// Fit the surrogate on the full history (public for the step-by-step
+    /// visualization of the paper's Fig. 4).
+    pub fn fit(&self, hist: &History) -> Option<GpModel> {
+        if hist.len() < 2 {
+            return None;
+        }
+        let (xs, ys, noise, search) = Self::mle_inputs(hist);
         fit_profile_likelihood(&search, &xs, &ys, noise).ok()
+    }
+
+    /// [`GpUcb::fit`] reusing the persistent distance matrix (appended in
+    /// O(n) per new observation, rebuilt only when the history was
+    /// rewritten). Bitwise identical to the scratch fit.
+    fn fit_cached(&mut self, hist: &History) -> Option<GpModel> {
+        if hist.len() < 2 {
+            return None;
+        }
+        let (xs, ys, noise, search) = Self::mle_inputs(hist);
+        self.dists.sync(&xs);
+        fit_profile_likelihood_with_distances(&search, &xs, &ys, noise, self.dists.matrix()).ok()
     }
 
     /// The β_t used at iteration `t` (for visualization).
@@ -66,7 +91,7 @@ impl Strategy for GpUcb {
             2 | 3 => n.div_ceil(2).max(1),
             t => {
                 let candidates: Vec<f64> = self.space.actions().iter().map(|&a| a as f64).collect();
-                match self.fit(hist) {
+                match self.fit_cached(hist) {
                     Some(model) => {
                         let beta = self.beta(t);
                         ucb_argmin(&model, &candidates, beta)
@@ -171,6 +196,35 @@ mod tests {
         assert!(g.fit(&h).is_none());
         h.record(1, 20.0);
         assert!(g.fit(&h).is_some());
+    }
+
+    #[test]
+    fn cached_fit_matches_scratch_fit_bitwise() {
+        let space = ActionSpace::unstructured(14);
+        let mut g = GpUcb::new(&space);
+        let f = |n: usize| 60.0 / n as f64 + 1.2 * n as f64;
+        let mut h = History::new();
+        for _ in 0..20 {
+            let a = g.propose(&h);
+            h.record(a, f(a));
+            let cached = g.fit_cached(&h);
+            let scratch = g.fit(&h);
+            match (cached, scratch) {
+                (Some(c), Some(s)) => {
+                    assert_eq!(c.config(), s.config(), "grid winner differs");
+                    assert_eq!(c.log_likelihood(), s.log_likelihood());
+                    for q in 1..=14 {
+                        assert_eq!(c.predict(q as f64), s.predict(q as f64));
+                    }
+                }
+                (None, None) => {}
+                (c, s) => panic!(
+                    "cached/scratch fit availability diverged: {:?} vs {:?}",
+                    c.is_some(),
+                    s.is_some()
+                ),
+            }
+        }
     }
 
     #[test]

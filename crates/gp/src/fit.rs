@@ -14,22 +14,49 @@
 //! the paper's pooled estimator in both regimes.
 
 use crate::{GpConfig, GpModel, Kernel, Trend};
-use adaphet_linalg::{pooled_replicate_variance, sample_variance};
+use adaphet_linalg::{pooled_replicate_variance, sample_variance, Mat};
+use rayon::prelude::*;
 
 /// Estimate σ²_N from replicated x locations (the paper's estimator,
-/// Section IV-D). Observations are grouped by exact x equality. Returns
-/// `None` when no location has been measured twice.
+/// Section IV-D). Observations are grouped by x equality (1e-12 tolerance).
+/// Returns `None` when no location has been measured twice.
+///
+/// Grouping sorts once and cuts runs where neighbours differ by ≥ 1e-12 —
+/// O(n log n) instead of the quadratic scan-per-point it replaces. Groups
+/// are emitted in first-appearance order with members in observation order,
+/// so the pooled sums accumulate in the same order as before.
 pub fn estimate_noise_from_replicates(x: &[f64], y: &[f64]) -> Option<f64> {
     assert_eq!(x.len(), y.len());
-    let mut groups: Vec<(f64, Vec<f64>)> = Vec::new();
-    for (&xi, &yi) in x.iter().zip(y) {
-        match groups.iter_mut().find(|(gx, _)| (*gx - xi).abs() < 1e-12) {
-            Some((_, g)) => g.push(yi),
-            None => groups.push((xi, vec![yi])),
+    let n = x.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| x[a].total_cmp(&x[b]));
+    // Walk the sorted order, assigning a run id per element. A run's
+    // representative is its first (smallest) value, mirroring the old
+    // scan's compare-against-group-representative rule.
+    let mut run_of = vec![usize::MAX; n];
+    let mut reps: Vec<f64> = Vec::new();
+    for &i in &idx {
+        match reps.last() {
+            Some(&rep) if (rep - x[i]).abs() < 1e-12 => run_of[i] = reps.len() - 1,
+            _ => {
+                reps.push(x[i]);
+                run_of[i] = reps.len() - 1;
+            }
         }
     }
-    let gs: Vec<Vec<f64>> = groups.into_iter().map(|(_, g)| g).collect();
-    pooled_replicate_variance(&gs)
+    // Re-walk in observation order so group order (first appearance) and
+    // within-group order (original) match the old grouping.
+    let mut slot = vec![usize::MAX; reps.len()];
+    let mut groups: Vec<Vec<f64>> = Vec::new();
+    for (i, &yi) in y.iter().enumerate() {
+        let r = run_of[i];
+        if slot[r] == usize::MAX {
+            slot[r] = groups.len();
+            groups.push(Vec::new());
+        }
+        groups[slot[r]].push(yi);
+    }
+    pooled_replicate_variance(&groups)
 }
 
 /// Configuration of the profile-likelihood search.
@@ -71,6 +98,29 @@ pub fn fit_profile_likelihood(
     noise_var: f64,
 ) -> crate::Result<GpModel> {
     assert!(!x.is_empty());
+    let n = x.len();
+    let dists = Mat::from_fn(n, n, |i, j| (x[i] - x[j]).abs());
+    fit_profile_likelihood_with_distances(search, x, y, noise_var, &dists)
+}
+
+/// [`fit_profile_likelihood`] reusing a precomputed pairwise-distance
+/// matrix (see [`GpModel::fit_with_distances`]): the distances depend only
+/// on the history, so they are computed once and shared by every (θ, α)
+/// candidate — and across repeated searches when the caller keeps a
+/// [`crate::PairwiseDistances`] synced to the growing history.
+///
+/// The candidate fits are independent and fan out across cores; the best
+/// model is selected by a sequential fold in the same nested (θ, α) order
+/// the sequential search used, so ties resolve identically and the result
+/// is bitwise the same.
+pub fn fit_profile_likelihood_with_distances(
+    search: &MleSearch,
+    x: &[f64],
+    y: &[f64],
+    noise_var: f64,
+    dists: &Mat,
+) -> crate::Result<GpModel> {
+    assert!(!x.is_empty());
     let recorder = adaphet_metrics::global();
     recorder.add("gp.mle.searches", 1.0);
     let _search_timer = adaphet_metrics::Timer::start(recorder, "gp.mle.search_s");
@@ -84,37 +134,41 @@ pub fn fit_profile_likelihood(
     };
     let var_y = sample_variance(y).max(1e-12);
 
-    let mut best: Option<GpModel> = None;
     let theta_min = (span / 50.0).max(1e-3);
     let theta_max = span * 2.0;
     let n_t = search.theta_points.max(2);
+    let mut candidates = Vec::with_capacity(n_t * search.alpha_grid.len());
     for ti in 0..n_t {
         let f = ti as f64 / (n_t - 1) as f64;
         let theta = theta_min * (theta_max / theta_min).powf(f);
         for &am in &search.alpha_grid {
-            let cfg = GpConfig {
+            candidates.push(GpConfig {
                 kernel: search.kernel.with_theta(theta),
                 process_var: am * var_y,
                 noise_var,
                 trend: search.trend.clone(),
-            };
-            let Ok(model) = GpModel::fit(cfg, x, y) else {
-                continue;
-            };
-            let better = match &best {
-                None => true,
-                Some(b) => model.log_likelihood() > b.log_likelihood(),
-            };
-            if better {
-                best = Some(model);
-            }
+            });
+        }
+    }
+    let fits: Vec<Option<GpModel>> = candidates
+        .into_par_iter()
+        .map(|cfg| GpModel::fit_with_distances(cfg, x, y, dists).ok())
+        .collect();
+    let mut best: Option<GpModel> = None;
+    for model in fits.into_iter().flatten() {
+        let better = match &best {
+            None => true,
+            Some(b) => model.log_likelihood() > b.log_likelihood(),
+        };
+        if better {
+            best = Some(model);
         }
     }
     // At least the coarsest configuration must have fitted; if literally
     // everything failed, surface the factorization error from a last try.
     match best {
         Some(m) => Ok(m),
-        None => GpModel::fit(
+        None => GpModel::fit_with_distances(
             GpConfig {
                 kernel: search.kernel.with_theta(span),
                 process_var: var_y,
@@ -123,6 +177,7 @@ pub fn fit_profile_likelihood(
             },
             x,
             y,
+            dists,
         ),
     }
 }

@@ -1,0 +1,285 @@
+//! Incremental-fit plumbing shared by the exploration strategies.
+//!
+//! Two small pieces let a tuner keep its surrogate warm across `propose`
+//! calls instead of refitting from scratch every iteration:
+//!
+//! * [`PairwiseDistances`] maintains the `|x_i − x_j|` matrix for a growing
+//!   history. The distances depend only on the inputs — not on the kernel
+//!   hyper-parameters — so one matrix serves every (θ, α) candidate of an
+//!   MLE grid search and every trend configuration of a two-stage fit.
+//! * [`ModelCache`] holds the last fitted [`GpModel`] and routes the next
+//!   request through [`GpModel::update`] when that is provably exact (same
+//!   hyper-parameters, history grew by appending), or through a full
+//!   [`GpModel::fit_with_distances`] otherwise.
+//!
+//! Both paths produce bitwise-identical models; the cache only changes how
+//! much work is spent getting there.
+
+use crate::{GpConfig, GpModel};
+use adaphet_linalg::Mat;
+
+/// Pairwise absolute distances `|x_i − x_j|` for a growing input history.
+///
+/// [`PairwiseDistances::sync`] appends rows in O(n) per new point when the
+/// history grew by appending, and rebuilds in O(n²) when the history was
+/// rewritten (drift reset, bound-mechanism filtering).
+#[derive(Debug, Clone)]
+pub struct PairwiseDistances {
+    x: Vec<f64>,
+    d: Mat,
+}
+
+impl Default for PairwiseDistances {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PairwiseDistances {
+    /// An empty distance matrix.
+    pub fn new() -> Self {
+        Self { x: Vec::new(), d: Mat::zeros(0, 0) }
+    }
+
+    /// Number of tracked inputs.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when no inputs are tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The tracked inputs, in insertion order.
+    pub fn xs(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// The `n × n` distance matrix (entry `(i, j)` is `|x_i − x_j|`).
+    pub fn matrix(&self) -> &Mat {
+        &self.d
+    }
+
+    /// Pre-size the matrix for `target_n` inputs.
+    pub fn reserve(&mut self, target_n: usize) {
+        if target_n > self.x.len() {
+            self.x.reserve(target_n - self.x.len());
+            self.d.reserve_dims(target_n, target_n);
+        }
+    }
+
+    /// Append one input, bordering the matrix with its distances to the
+    /// existing points (O(n)).
+    pub fn push(&mut self, x_new: f64) {
+        let n = self.x.len();
+        self.d.grow_square();
+        for i in 0..n {
+            let dv = (self.x[i] - x_new).abs();
+            self.d[(i, n)] = dv;
+            self.d[(n, i)] = dv;
+        }
+        self.d[(n, n)] = 0.0;
+        self.x.push(x_new);
+    }
+
+    /// Bring the matrix in line with `xs`. When `xs` extends the tracked
+    /// history (same leading values, new ones appended) only the new rows
+    /// are computed and `true` is returned; otherwise the whole matrix is
+    /// rebuilt and `false` is returned.
+    pub fn sync(&mut self, xs: &[f64]) -> bool {
+        let n = self.x.len();
+        if xs.len() >= n && xs[..n] == self.x[..] {
+            for &v in &xs[n..] {
+                self.push(v);
+            }
+            true
+        } else {
+            self.rebuild(xs);
+            false
+        }
+    }
+
+    /// Recompute the matrix from scratch for `xs` (O(n²)).
+    pub fn rebuild(&mut self, xs: &[f64]) {
+        self.x.clear();
+        self.x.extend_from_slice(xs);
+        self.d = Mat::from_fn(xs.len(), xs.len(), |i, j| (xs[i] - xs[j]).abs());
+    }
+}
+
+/// Caches the last fitted [`GpModel`] and reuses it incrementally when the
+/// next request is provably equivalent to extending that fit.
+///
+/// The incremental route is taken only when all of the following hold, each
+/// checked bit-for-bit, so the returned model is always bitwise identical
+/// to a scratch `GpModel::fit` on `(xs, ys)`:
+///
+/// * the cached model was fitted with the same [`GpConfig`],
+/// * the cached observations are a prefix of `(xs, ys)`.
+///
+/// New points whose input matches an already-observed one go through
+/// [`GpModel::update_replicate`] (copying a cached correlation column);
+/// genuinely new inputs go through [`GpModel::update`]. Everything else —
+/// changed hyper-parameters, a filtered or reset history — falls back to a
+/// full [`GpModel::fit_with_distances`], counted as `gp.fit.full`.
+#[derive(Debug, Clone, Default)]
+pub struct ModelCache {
+    model: Option<GpModel>,
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self { model: None }
+    }
+
+    /// The cached model, if any.
+    pub fn model(&self) -> Option<&GpModel> {
+        self.model.as_ref()
+    }
+
+    /// Drop the cached model, forcing the next call to fit from scratch.
+    pub fn invalidate(&mut self) {
+        self.model = None;
+    }
+
+    /// Return a model fitted to `(xs, ys)` under `config`, updating the
+    /// cached one incrementally when that is exact and refitting otherwise.
+    /// `dists` must be the pairwise-distance matrix of `xs` (kept current
+    /// via [`PairwiseDistances::sync`]).
+    pub fn fit_or_update(
+        &mut self,
+        config: &GpConfig,
+        xs: &[f64],
+        ys: &[f64],
+        dists: &Mat,
+    ) -> crate::Result<&GpModel> {
+        if let Some(model) = self.model.as_mut() {
+            let n = model.n_obs();
+            let extends = model.config() == config
+                && xs.len() >= n
+                && xs[..n] == model.xs()[..]
+                && ys[..n] == model.ys()[..];
+            if extends {
+                for i in n..xs.len() {
+                    // Replicates of an already-observed input reuse the
+                    // cached correlation column; new inputs evaluate the
+                    // kernel against the history.
+                    let result = if model.xs().contains(&xs[i]) {
+                        model.update_replicate(xs[i], ys[i])
+                    } else {
+                        model.update(xs[i], ys[i])
+                    };
+                    if let Err(e) = result {
+                        // Update errors leave the model unspecified.
+                        self.model = None;
+                        return Err(e);
+                    }
+                }
+                return Ok(self.model.as_ref().expect("model cached"));
+            }
+        }
+        adaphet_metrics::global().add("gp.fit.full", 1.0);
+        let model = GpModel::fit_with_distances(config.clone(), xs, ys, dists)?;
+        Ok(self.model.insert(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kernel, Trend};
+
+    fn config(theta: f64) -> GpConfig {
+        GpConfig {
+            kernel: Kernel::Exponential { theta },
+            process_var: 1.0,
+            noise_var: 1e-4,
+            trend: Trend::constant(),
+        }
+    }
+
+    #[test]
+    fn distances_push_matches_rebuild_bitwise() {
+        let xs = [3.0, 1.5, 8.0, 3.0, 0.25];
+        let mut inc = PairwiseDistances::new();
+        for &x in &xs {
+            inc.push(x);
+        }
+        let mut scratch = PairwiseDistances::new();
+        scratch.rebuild(&xs);
+        assert_eq!(inc.matrix().as_slice(), scratch.matrix().as_slice());
+        assert_eq!(inc.xs(), scratch.xs());
+    }
+
+    #[test]
+    fn sync_appends_or_rebuilds() {
+        let mut d = PairwiseDistances::new();
+        assert!(d.sync(&[1.0, 2.0]));
+        assert!(d.sync(&[1.0, 2.0, 5.0]), "pure append must take the fast path");
+        assert_eq!(d.len(), 3);
+        // A rewritten history (prefix changed) forces a rebuild.
+        assert!(!d.sync(&[1.0, 3.0, 5.0]));
+        let mut scratch = PairwiseDistances::new();
+        scratch.rebuild(&[1.0, 3.0, 5.0]);
+        assert_eq!(d.matrix().as_slice(), scratch.matrix().as_slice());
+    }
+
+    #[test]
+    fn cache_incremental_path_is_bitwise_equal_to_scratch() {
+        let xs = [1.0, 4.0, 2.0, 4.0, 7.0, 1.0];
+        let ys = [0.3, -1.0, 0.8, -1.1, 2.0, 0.25];
+        let cfg = config(1.3);
+        let mut dists = PairwiseDistances::new();
+        let mut cache = ModelCache::new();
+        for n in 2..=xs.len() {
+            dists.sync(&xs[..n]);
+            let model = cache.fit_or_update(&cfg, &xs[..n], &ys[..n], dists.matrix()).unwrap();
+            let scratch = GpModel::fit(cfg.clone(), &xs[..n], &ys[..n]).unwrap();
+            assert_eq!(model.log_likelihood(), scratch.log_likelihood(), "n = {n}");
+            for q in 0..20 {
+                let xq = q as f64 * 0.4;
+                let a = model.predict(xq);
+                let b = scratch.predict(xq);
+                assert_eq!(a.mean, b.mean, "mean differs at n = {n}, xq = {xq}");
+                assert_eq!(a.var, b.var, "var differs at n = {n}, xq = {xq}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_refits_when_config_changes() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [0.1, 0.4, 0.2];
+        let mut dists = PairwiseDistances::new();
+        dists.sync(&xs);
+        let reg = adaphet_metrics::install_global(adaphet_metrics::Registry::new());
+        let mut cache = ModelCache::new();
+        cache.fit_or_update(&config(1.0), &xs, &ys, dists.matrix()).unwrap();
+        // Other tests in this binary may fit concurrently: assert the
+        // monotone delta, not an exact count.
+        let before = reg.counter_value("gp.fit.full");
+        cache.fit_or_update(&config(2.0), &xs, &ys, dists.matrix()).unwrap();
+        assert!(
+            reg.counter_value("gp.fit.full") - before >= 1.0,
+            "config change must force a refit"
+        );
+    }
+
+    #[test]
+    fn cache_counts_incremental_updates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [0.1, 0.4, 0.2, 0.9];
+        let cfg = config(1.0);
+        let reg = adaphet_metrics::install_global(adaphet_metrics::Registry::new());
+        let mut dists = PairwiseDistances::new();
+        dists.sync(&xs[..2]);
+        let mut cache = ModelCache::new();
+        cache.fit_or_update(&cfg, &xs[..2], &ys[..2], dists.matrix()).unwrap();
+        let before = reg.counter_value("gp.fit.incremental");
+        dists.sync(&xs);
+        cache.fit_or_update(&cfg, &xs, &ys, dists.matrix()).unwrap();
+        assert!(reg.counter_value("gp.fit.incremental") - before >= 2.0);
+    }
+}

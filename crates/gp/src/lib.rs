@@ -37,13 +37,18 @@
 mod acquisition;
 mod design;
 mod fit;
+mod incremental;
 mod kernel;
 mod model;
 mod trend;
 
 pub use acquisition::{lower_confidence_bound, ucb_argmin, UcbSchedule};
 pub use design::{latin_hypercube, maximin_design};
-pub use fit::{estimate_noise_from_replicates, fit_profile_likelihood, MleSearch};
+pub use fit::{
+    estimate_noise_from_replicates, fit_profile_likelihood, fit_profile_likelihood_with_distances,
+    MleSearch,
+};
+pub use incremental::{ModelCache, PairwiseDistances};
 pub use kernel::Kernel;
 pub use model::{GpConfig, GpModel, Prediction};
 pub use trend::{Basis, Trend};

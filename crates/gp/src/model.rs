@@ -1,7 +1,9 @@
-//! Universal-kriging model: fit and predict.
+//! Universal-kriging model: fit, predict, and O(n²) incremental updates.
 
 use crate::{Kernel, Trend};
-use adaphet_linalg::{gls_solve, Cholesky, GlsFit, Mat};
+use adaphet_linalg::{
+    backward_sub_in_place, forward_sub_in_place, gls_solve, Cholesky, GlsFit, LinalgError, Mat,
+};
 
 /// Hyper-parameters of a GP model.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,16 +45,25 @@ impl Prediction {
 pub struct GpModel {
     config: GpConfig,
     x: Vec<f64>,
+    y: Vec<f64>,
     chol: Cholesky,
     gls: GlsFit,
     /// `K⁻¹ (y − G γ̂)`, cached for O(n) mean predictions.
     kinv_resid: Vec<f64>,
     /// Design matrix rows (needed for the variance correction).
     design: Mat,
+    /// Kernel correlation matrix `R` (no process variance, no nugget),
+    /// cached so replicate updates can copy a column instead of
+    /// re-evaluating the kernel and the jitter fallback can rebuild K.
+    corr: Mat,
     /// Jitter that had to be added to make K positive definite (0 if none).
     jitter: f64,
     /// Profile log-likelihood of the data under this fit.
     log_likelihood: f64,
+    /// Workspace buffers reused across updates (empty until first use).
+    ws_a: Vec<f64>,
+    ws_b: Vec<f64>,
+    ws_c: Vec<f64>,
 }
 
 impl GpModel {
@@ -63,6 +74,47 @@ impl GpModel {
     pub fn fit(config: GpConfig, x: &[f64], y: &[f64]) -> crate::Result<GpModel> {
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         assert!(!x.is_empty(), "cannot fit a GP with zero observations");
+        let n = x.len();
+        // `Kernel::corr` takes |d| first, so feeding absolute distances is
+        // bit-identical to feeding signed differences.
+        let dists = Mat::from_fn(n, n, |i, j| (x[i] - x[j]).abs());
+        Self::fit_with_distances(config, x, y, &dists)
+    }
+
+    /// Fit the model reusing a precomputed pairwise-distance matrix
+    /// (`dists[(i, j)] = |x[i] - x[j]|`). The distances depend only on the
+    /// history, not on the kernel hyper-parameters, so an MLE grid search
+    /// computes them once and shares them across every (θ, α) candidate.
+    ///
+    /// Produces bitwise-identical results to [`GpModel::fit`].
+    pub fn fit_with_distances(
+        config: GpConfig,
+        x: &[f64],
+        y: &[f64],
+        dists: &Mat,
+    ) -> crate::Result<GpModel> {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "cannot fit a GP with zero observations");
+        let n = x.len();
+        assert!(
+            dists.rows() == n && dists.cols() == n,
+            "distance matrix is {}x{}, expected {n}x{n}",
+            dists.rows(),
+            dists.cols()
+        );
+        let corr = Mat::from_fn(n, n, |i, j| config.kernel.corr(dists[(i, j)]));
+        Self::fit_from_corr(config, x.to_vec(), y.to_vec(), corr)
+    }
+
+    /// Core scratch fit from an already-evaluated correlation matrix. Both
+    /// the public fit paths and the incremental-update fallback funnel
+    /// through here, so all of them share one arithmetic sequence.
+    fn fit_from_corr(
+        config: GpConfig,
+        x: Vec<f64>,
+        y: Vec<f64>,
+        corr: Mat,
+    ) -> crate::Result<GpModel> {
         let recorder = adaphet_metrics::global();
         recorder.add("gp.model.fits", 1.0);
         let _fit_timer = adaphet_metrics::Timer::start(recorder, "gp.model.fit_s");
@@ -70,7 +122,7 @@ impl GpModel {
         let alpha = config.process_var.max(1e-12);
 
         // K = α R + σ²_N I.
-        let mut k = Mat::from_fn(n, n, |i, j| alpha * config.kernel.corr(x[i] - x[j]));
+        let mut k = Mat::from_fn(n, n, |i, j| alpha * corr[(i, j)]);
         for i in 0..n {
             k[(i, i)] += config.noise_var;
         }
@@ -78,7 +130,7 @@ impl GpModel {
         let (chol, jitter) = Cholesky::factor_with_jitter(&k, base_jitter, 14)?;
 
         let design = Mat::from_fn(n, config.trend.len(), |i, j| config.trend.terms[j].eval(x[i]));
-        let gls = gls_solve(&chol, &design, y)?;
+        let gls = gls_solve(&chol, &design, &y)?;
         let kinv_resid = chol.solve(&gls.residuals);
 
         // Profile log marginal likelihood (trend coefficients plugged in).
@@ -86,7 +138,216 @@ impl GpModel {
         let log_likelihood =
             -0.5 * (quad + chol.log_det() + n as f64 * (2.0 * std::f64::consts::PI).ln());
 
-        Ok(GpModel { config, x: x.to_vec(), chol, gls, kinv_resid, design, jitter, log_likelihood })
+        Ok(GpModel {
+            config,
+            x,
+            y,
+            chol,
+            gls,
+            kinv_resid,
+            design,
+            corr,
+            jitter,
+            log_likelihood,
+            ws_a: Vec::new(),
+            ws_b: Vec::new(),
+            ws_c: Vec::new(),
+        })
+    }
+
+    /// Pre-size the internal buffers for `target_n` observations so later
+    /// [`GpModel::update`] calls don't reallocate.
+    pub fn reserve(&mut self, target_n: usize) {
+        let n = self.x.len();
+        if target_n <= n {
+            return;
+        }
+        self.x.reserve(target_n - n);
+        self.y.reserve(target_n - n);
+        self.kinv_resid.reserve(target_n - n);
+        self.gls.whitened_y.reserve(target_n - n);
+        self.chol.reserve(target_n);
+        self.corr.reserve_dims(target_n, target_n);
+        self.design.reserve_dims(target_n, self.design.cols());
+        self.gls.whitened_design.reserve_dims(target_n, self.design.cols());
+        self.ws_a.reserve(target_n);
+        self.ws_b.reserve(target_n);
+        self.ws_c.reserve(target_n);
+    }
+
+    /// Absorb one new observation `(x_new, y_new)` in O(n²) instead of
+    /// refitting from scratch in O(n³).
+    ///
+    /// The update appends a row to the Cholesky factor via a bordered
+    /// forward solve and extends the cached whitened GLS system by one row;
+    /// every recomputed quantity uses the exact arithmetic of the scratch
+    /// fit, so the updated model is **bitwise identical** to
+    /// `GpModel::fit(config, x ++ [x_new], y ++ [y_new])` — same
+    /// predictions, same log-likelihood, same trend coefficients.
+    ///
+    /// When the bordered update would break positive definiteness (the new
+    /// column makes the pivot non-positive), the model falls back to a full
+    /// refit through the same jitter ladder the scratch fit uses, keeping
+    /// the bitwise guarantee even on the failure path. The two outcomes are
+    /// visible in the metrics registry as `gp.fit.incremental` and
+    /// `gp.fit.full`.
+    pub fn update(&mut self, x_new: f64, y_new: f64) -> crate::Result<()> {
+        // Correlation of the new point against the history — the same
+        // expression the scratch fit evaluates for row n of R.
+        let mut row = std::mem::take(&mut self.ws_a);
+        row.clear();
+        row.extend(self.x.iter().map(|&xi| self.config.kernel.corr(x_new - xi)));
+        self.ws_a = row;
+        self.update_with_corr_row(x_new, y_new)
+    }
+
+    /// Like [`GpModel::update`] for a replicate of an already-observed
+    /// action: when some `x[j]` equals `x_new` bit-for-bit, the correlation
+    /// row is copied from the cached `R` column instead of re-evaluating
+    /// the kernel `n` times. Falls back to [`GpModel::update`] when the
+    /// input is actually new.
+    pub fn update_replicate(&mut self, x_new: f64, y_new: f64) -> crate::Result<()> {
+        match self.x.iter().position(|&xi| xi == x_new) {
+            Some(j) => {
+                // |x_i - x_new| == |x_i - x[j]| exactly, so column j of R
+                // already holds the correlations the scratch fit would
+                // compute for the replicate row.
+                let mut row = std::mem::take(&mut self.ws_a);
+                row.clear();
+                row.extend_from_slice(self.corr.col(j));
+                self.ws_a = row;
+                self.update_with_corr_row(x_new, y_new)
+            }
+            None => self.update(x_new, y_new),
+        }
+    }
+
+    /// Shared tail of [`GpModel::update`]/[`GpModel::update_replicate`]:
+    /// `self.ws_a` holds `r(x_new, x_i)` for the current history on entry.
+    fn update_with_corr_row(&mut self, x_new: f64, y_new: f64) -> crate::Result<()> {
+        let recorder = adaphet_metrics::global();
+        let _timer = adaphet_metrics::Timer::start(recorder, "gp.model.update_s");
+        let n = self.x.len();
+        let alpha = self.config.process_var.max(1e-12);
+
+        // Grow R first — both the incremental path and the refit fallback
+        // need the bordered correlation matrix.
+        let rnn = self.config.kernel.corr(0.0);
+        self.corr.grow_square();
+        for (i, &r) in self.ws_a.iter().enumerate() {
+            self.corr[(i, n)] = r;
+            self.corr[(n, i)] = r;
+        }
+        self.corr[(n, n)] = rnn;
+
+        // Covariance column and diagonal exactly as the scratch K holds
+        // them, plus the jitter this model's factorization settled on.
+        self.ws_b.clear();
+        self.ws_b.extend(self.ws_a.iter().map(|&r| alpha * r));
+        let mut diag = alpha * rnn + self.config.noise_var;
+        if self.jitter > 0.0 {
+            diag += self.jitter;
+        }
+
+        match self.chol.append(&self.ws_b, diag, &mut self.ws_c) {
+            Ok(()) => {}
+            Err(LinalgError::NotSpd(_)) => {
+                // The bordered pivot went non-positive: refit through the
+                // same jitter ladder the scratch fit uses. R already has
+                // the bordered shape, so the refit is bit-identical to a
+                // scratch fit on the extended history.
+                recorder.add("gp.fit.full", 1.0);
+                let mut x = std::mem::take(&mut self.x);
+                let mut y = std::mem::take(&mut self.y);
+                x.push(x_new);
+                y.push(y_new);
+                let corr = std::mem::replace(&mut self.corr, Mat::zeros(0, 0));
+                *self = Self::fit_from_corr(self.config.clone(), x, y, corr)?;
+                return Ok(());
+            }
+            Err(other) => return Err(other),
+        }
+        recorder.add("gp.fit.incremental", 1.0);
+
+        self.x.push(x_new);
+        self.y.push(y_new);
+
+        // Extend the design and its whitened image by one row. The leading
+        // n entries of the bordered forward solve are untouched; entry n
+        // follows the same recurrence `forward_sub` runs (divide by the
+        // diagonal, subtract in ascending column order).
+        let p = self.design.cols();
+        self.design.grow_rows();
+        for (j, term) in self.config.trend.terms.iter().enumerate() {
+            self.design[(n, j)] = term.eval(x_new);
+        }
+        let l = self.chol.factor_l();
+        let lnn = l[(n, n)];
+        let mut e = y_new;
+        for j in 0..n {
+            e -= l[(n, j)] * self.gls.whitened_y[j];
+        }
+        self.gls.whitened_y.push(e / lnn);
+        self.gls.whitened_design.grow_rows();
+        for a in 0..p {
+            let mut e = self.design[(n, a)];
+            for j in 0..n {
+                e -= l[(n, j)] * self.gls.whitened_design[(j, a)];
+            }
+            self.gls.whitened_design[(n, a)] = e / lnn;
+        }
+
+        // Re-solve the p×p normal system from the extended whitened
+        // columns. The sums are recomputed with the same `dot` the scratch
+        // GLS uses (not rank-1-updated): identical function on identical
+        // data is the only way to keep the 4-lane accumulation bit-exact.
+        if p > 0 {
+            let gw = &self.gls.whitened_design;
+            let mut m = Mat::zeros(p, p);
+            for a in 0..p {
+                for b in a..p {
+                    let v = adaphet_linalg::dot(gw.col(a), gw.col(b));
+                    m[(a, b)] = v;
+                    m[(b, a)] = v;
+                }
+            }
+            let rhs: Vec<f64> =
+                (0..p).map(|a| adaphet_linalg::dot(gw.col(a), &self.gls.whitened_y)).collect();
+            let chol_m = Cholesky::factor(&m).map_err(|e| match e {
+                LinalgError::NotSpd(_) => LinalgError::RankDeficient,
+                other => other,
+            })?;
+            self.gls.coefficients = chol_m.solve(&rhs);
+            self.gls.coef_cov = chol_m.inverse();
+            let fitted = self.design.matvec(&self.gls.coefficients);
+            self.gls.residuals.clear();
+            self.gls.residuals.extend(self.y.iter().zip(&fitted).map(|(yi, fi)| yi - fi));
+        } else {
+            self.gls.residuals.clear();
+            self.gls.residuals.extend_from_slice(&self.y);
+        }
+
+        // K⁻¹ residuals via the in-place solves (same arithmetic as
+        // `Cholesky::solve`, no fresh allocation in steady state).
+        self.kinv_resid.clear();
+        self.kinv_resid.extend_from_slice(&self.gls.residuals);
+        forward_sub_in_place(l, &mut self.kinv_resid)?;
+        backward_sub_in_place(l, &mut self.kinv_resid)?;
+
+        let quad: f64 = self.gls.residuals.iter().zip(&self.kinv_resid).map(|(r, kr)| r * kr).sum();
+        self.log_likelihood = -0.5
+            * (quad + self.chol.log_det() + (n + 1) as f64 * (2.0 * std::f64::consts::PI).ln());
+        Ok(())
+    }
+
+    /// Observed inputs, in insertion order.
+    pub fn xs(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Observed outputs, in insertion order.
+    pub fn ys(&self) -> &[f64] {
+        &self.y
     }
 
     /// Posterior prediction of the latent `f` at `xq`.

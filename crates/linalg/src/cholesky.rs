@@ -95,6 +95,80 @@ impl Cholesky {
         self.l.rows()
     }
 
+    /// Reserve factor storage for growing up to `target_dim` via
+    /// [`Cholesky::append`] without reallocating.
+    pub fn reserve(&mut self, target_dim: usize) {
+        self.l.reserve_dims(target_dim, target_dim);
+    }
+
+    /// Extend the factor by one row/column in O(n²): given the new column
+    /// `cov_col` (covariance of the new point against the existing `n`) and
+    /// the new diagonal entry `cov_diag`, compute the bordered factor
+    ///
+    /// ```text
+    /// L' = [ L   0 ]      with  L v = cov_col  (forward solve)
+    ///      [ vᵀ  s ]      and   s = sqrt(cov_diag − vᵀv).
+    /// ```
+    ///
+    /// The arithmetic replicates [`Cholesky::factor`]'s left-looking column
+    /// updates operation for operation, so the appended factor is
+    /// *bit-identical* to refactoring the full bordered matrix from scratch
+    /// — incremental GP updates built on this reproduce scratch fits
+    /// exactly, not approximately.
+    ///
+    /// `ws` is a caller-provided workspace (cleared and reused; no
+    /// allocation once its capacity reaches `n`). On [`LinalgError::NotSpd`]
+    /// — the bordered matrix has a non-positive pivot, exactly when a full
+    /// refactorization would fail at the last column — the factor is left
+    /// unchanged and callers should fall back to a (jitter-escalating) full
+    /// refactorization.
+    pub fn append(
+        &mut self,
+        cov_col: &[f64],
+        cov_diag: f64,
+        ws: &mut Vec<f64>,
+    ) -> crate::Result<()> {
+        let n = self.dim();
+        if cov_col.len() != n {
+            return Err(LinalgError::DimMismatch {
+                op: "cholesky append",
+                found: (cov_col.len(), 1),
+                expected: (n, 1),
+            });
+        }
+        ws.clear();
+        ws.extend_from_slice(cov_col);
+        // Mirror the factor loop for the new bottom row: subtract prior
+        // columns' contributions in ascending k, then scale by the cached
+        // reciprocal of the pivot — the same multiply `factor` performs.
+        for j in 0..n {
+            for k in 0..j {
+                let ljk = self.l[(j, k)];
+                if ljk == 0.0 {
+                    continue;
+                }
+                ws[j] -= ljk * ws[k];
+            }
+            ws[j] *= 1.0 / self.l[(j, j)];
+        }
+        let mut d = cov_diag;
+        for &v in ws.iter() {
+            if v == 0.0 {
+                continue;
+            }
+            d -= v * v;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotSpd(n));
+        }
+        self.l.grow_square();
+        for (k, &v) in ws.iter().enumerate() {
+            self.l[(n, k)] = v;
+        }
+        self.l[(n, n)] = d.sqrt();
+        Ok(())
+    }
+
     /// The lower-triangular factor `L`.
     pub fn factor_l(&self) -> &Mat {
         &self.l
@@ -242,6 +316,61 @@ mod tests {
         assert!(Cholesky::factor(&Mat::zeros(2, 3)).is_err());
     }
 
+    #[test]
+    fn append_matches_scratch_factor_bitwise() {
+        let a = spd3();
+        let mut c = Cholesky::factor(&a).unwrap();
+        // Border with a new point: column and diagonal keeping SPD-ness.
+        let col = [0.5, -0.2, 0.9];
+        let diag = 6.0;
+        let mut ws = Vec::new();
+        c.append(&col, diag, &mut ws).unwrap();
+        let mut b = Mat::zeros(4, 4);
+        for i in 0..3 {
+            for j in 0..3 {
+                b[(i, j)] = a[(i, j)];
+            }
+            b[(3, i)] = col[i];
+            b[(i, 3)] = col[i];
+        }
+        b[(3, 3)] = diag;
+        let scratch = Cholesky::factor(&b).unwrap();
+        // Bit-identical, not approximately equal: tolerance zero.
+        assert!(c.factor_l().approx_eq(scratch.factor_l(), 0.0));
+    }
+
+    #[test]
+    fn append_rejects_non_spd_border_and_leaves_factor_intact() {
+        let a = spd3();
+        let mut c = Cholesky::factor(&a).unwrap();
+        let before = c.factor_l().clone();
+        // A border that destroys positive definiteness (huge off-diagonal,
+        // tiny diagonal).
+        let mut ws = Vec::new();
+        let err = c.append(&[10.0, 10.0, 10.0], 0.1, &mut ws).unwrap_err();
+        assert!(matches!(err, LinalgError::NotSpd(3)));
+        assert_eq!(c.dim(), 3);
+        assert!(c.factor_l().approx_eq(&before, 0.0));
+        // Dimension mismatch is reported, not panicked.
+        assert!(c.append(&[1.0], 1.0, &mut ws).is_err());
+    }
+
+    #[test]
+    fn repeated_appends_grow_from_a_single_point() {
+        // Start from 1x1 and append twice; compare to the scratch factor.
+        let a = spd3();
+        let mut c = Cholesky::factor(&Mat::from_rows(1, 1, &[a[(0, 0)]])).unwrap();
+        let mut ws = Vec::new();
+        c.reserve(3);
+        c.append(&[a[(1, 0)]], a[(1, 1)], &mut ws).unwrap();
+        c.append(&[a[(2, 0)], a[(2, 1)]], a[(2, 2)], &mut ws).unwrap();
+        let scratch = Cholesky::factor(&a).unwrap();
+        assert!(c.factor_l().approx_eq(scratch.factor_l(), 0.0));
+        // Solves agree exactly too.
+        let b = [1.0, -2.0, 0.5];
+        assert_eq!(c.solve(&b), scratch.solve(&b));
+    }
+
     proptest! {
         /// Random SPD matrices (built as B Bᵀ + n·I) factor and reconstruct.
         #[test]
@@ -257,6 +386,28 @@ mod tests {
             let l = c.factor_l();
             let rec = l.matmul(&l.transpose()).unwrap();
             prop_assert!(rec.approx_eq(&a, 1e-9 * (n as f64)));
+        }
+
+        /// Appending the last row/column of a random SPD matrix to the
+        /// factor of its leading block reproduces the scratch factor
+        /// bit for bit.
+        #[test]
+        fn prop_append_is_exact(seed in 0u64..500, n in 1usize..12) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed);
+            let m = n + 1;
+            let b = Mat::from_fn(m, m, |_, _| rng.random_range(-1.0..1.0));
+            let mut a = b.matmul(&b.transpose()).unwrap();
+            for i in 0..m {
+                a[(i, i)] += m as f64;
+            }
+            let lead = Mat::from_fn(n, n, |i, j| a[(i, j)]);
+            let mut inc = Cholesky::factor(&lead).unwrap();
+            let col: Vec<f64> = (0..n).map(|i| a[(n, i)]).collect();
+            let mut ws = Vec::new();
+            inc.append(&col, a[(n, n)], &mut ws).unwrap();
+            let scratch = Cholesky::factor(&a).unwrap();
+            prop_assert!(inc.factor_l().approx_eq(scratch.factor_l(), 0.0));
         }
 
         /// Solving then multiplying recovers the right-hand side.

@@ -17,6 +17,11 @@ pub struct GlsFit {
     pub coef_cov: Mat,
     /// Residuals `y - G γ̂` in the original (non-whitened) space.
     pub residuals: Vec<f64>,
+    /// Whitened basis `G̃ = L⁻¹ G`, cached so incremental updates can extend
+    /// it one row at a time instead of re-whitening the whole design.
+    pub whitened_design: Mat,
+    /// Whitened observations `ỹ = L⁻¹ y` (cached for the same reason).
+    pub whitened_y: Vec<f64>,
 }
 
 /// Solve the GLS problem. `chol_k` must factor the `n x n` covariance of the
@@ -39,6 +44,8 @@ pub fn gls_solve(chol_k: &Cholesky, g: &Mat, y: &[f64]) -> crate::Result<GlsFit>
             coefficients: vec![],
             coef_cov: Mat::zeros(0, 0),
             residuals: y.to_vec(),
+            whitened_design: Mat::zeros(n, 0),
+            whitened_y: chol_k.solve_forward(y),
         });
     }
     // Whiten: G̃ = L⁻¹ G, ỹ = L⁻¹ y; then it's ordinary least squares.
@@ -67,7 +74,7 @@ pub fn gls_solve(chol_k: &Cholesky, g: &Mat, y: &[f64]) -> crate::Result<GlsFit>
     let fitted = g.matvec(&coefficients);
     let residuals = y.iter().zip(&fitted).map(|(yi, fi)| yi - fi).collect();
 
-    Ok(GlsFit { coefficients, coef_cov, residuals })
+    Ok(GlsFit { coefficients, coef_cov, residuals, whitened_design: g_w, whitened_y: y_w })
 }
 
 #[cfg(test)]

@@ -46,7 +46,10 @@ pub use gls::{gls_solve, GlsFit};
 pub use kernels::{flops, gemm_update, potrf_tile, syrk_update, trsm_right_lt, TileKernel};
 pub use matrix::Mat;
 pub use stats::{mean, pooled_replicate_variance, sample_variance};
-pub use triangular::{backward_sub, forward_sub, solve_lower_mat, solve_lower_transpose_mat};
+pub use triangular::{
+    backward_sub, backward_sub_in_place, forward_sub, forward_sub_in_place, solve_lower_mat,
+    solve_lower_transpose_mat,
+};
 pub use vector::{axpy, dot, norm2, scale_in_place};
 
 /// Result alias used across the crate.

@@ -237,6 +237,65 @@ impl Mat {
             && self.data.iter().zip(&b.data).all(|(x, y)| (x - y).abs() <= tol)
     }
 
+    /// Reserve capacity for growing to `target_rows x target_cols` without
+    /// further allocation (used by the incremental Cholesky/GP paths to
+    /// make steady-state appends allocation-free).
+    pub fn reserve_dims(&mut self, target_rows: usize, target_cols: usize) {
+        let target = target_rows * target_cols;
+        if target > self.data.len() {
+            self.data.reserve(target - self.data.len());
+        }
+    }
+
+    /// Grow a square matrix in place by one row and one column of zeros.
+    ///
+    /// The existing `n x n` block keeps its values; the move is done back to
+    /// front inside the (resized) column-major buffer, so no intermediate
+    /// matrix is allocated (and no allocation at all once capacity was
+    /// reserved via [`Mat::reserve_dims`]).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn grow_square(&mut self) {
+        assert!(self.is_square(), "grow_square: matrix must be square");
+        let n = self.rows;
+        let m = n + 1;
+        self.data.resize(m * m, 0.0);
+        // Shift column j from offset j*n to j*m, highest column first so the
+        // (larger) destination never overwrites unread source data.
+        for j in (1..n).rev() {
+            for i in (0..n).rev() {
+                self.data[j * m + i] = self.data[j * n + i];
+            }
+        }
+        // Zero the new bottom-row slots (which may hold stale shifted data);
+        // the new last column is already zero from the resize.
+        for j in 0..n {
+            self.data[j * m + n] = 0.0;
+        }
+        self.rows = m;
+        self.cols = m;
+    }
+
+    /// Grow the matrix in place by one row of zeros (columns unchanged).
+    ///
+    /// Like [`Mat::grow_square`] this restructures the column-major buffer
+    /// back to front without allocating an intermediate matrix.
+    pub fn grow_rows(&mut self) {
+        let n = self.rows;
+        let m = n + 1;
+        self.data.resize(m * self.cols, 0.0);
+        for j in (1..self.cols).rev() {
+            for i in (0..n).rev() {
+                self.data[j * m + i] = self.data[j * n + i];
+            }
+        }
+        for j in 0..self.cols {
+            self.data[j * m + n] = 0.0;
+        }
+        self.rows = m;
+    }
+
     /// Symmetrize in place: `A := (A + Aᵀ)/2`. Useful to clean numerical
     /// asymmetry before a Cholesky factorization.
     pub fn symmetrize(&mut self) {
@@ -385,6 +444,48 @@ mod tests {
         m.symmetrize();
         assert_eq!(m[(0, 1)], 3.0);
         assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn grow_square_preserves_block_and_zeroes_border() {
+        let mut m = Mat::from_fn(3, 3, |i, j| (1 + i * 3 + j) as f64);
+        let orig = m.clone();
+        m.reserve_dims(5, 5);
+        m.grow_square();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 4);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m[(i, j)], orig[(i, j)]);
+            }
+        }
+        for k in 0..4 {
+            assert_eq!(m[(3, k)], 0.0);
+            assert_eq!(m[(k, 3)], 0.0);
+        }
+    }
+
+    #[test]
+    fn grow_rows_appends_zero_row() {
+        let mut m = Mat::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        m.grow_rows();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m[(2, 0)], 0.0);
+        assert_eq!(m[(2, 2)], 0.0);
+    }
+
+    #[test]
+    fn grow_square_from_empty_and_degenerate() {
+        let mut m = Mat::zeros(0, 0);
+        m.grow_square();
+        assert_eq!((m.rows(), m.cols()), (1, 1));
+        assert_eq!(m[(0, 0)], 0.0);
+        let mut r = Mat::zeros(1, 0);
+        r.grow_rows();
+        assert_eq!((r.rows(), r.cols()), (2, 0));
     }
 
     #[test]

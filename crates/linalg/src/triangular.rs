@@ -8,15 +8,23 @@ const SINGULAR_TOL: f64 = 1e-300;
 /// Solve `L x = b` where `L` is lower triangular (only the lower triangle of
 /// `l` is read).
 pub fn forward_sub(l: &Mat, b: &[f64]) -> crate::Result<Vec<f64>> {
+    let mut x = b.to_vec();
+    forward_sub_in_place(l, &mut x)?;
+    Ok(x)
+}
+
+/// Solve `L x = b` in place: `x` holds `b` on entry and the solution on
+/// return. The allocation-free core of [`forward_sub`], used by the
+/// incremental Cholesky/GP paths with a reusable workspace buffer.
+pub fn forward_sub_in_place(l: &Mat, x: &mut [f64]) -> crate::Result<()> {
     let n = l.rows();
-    if !l.is_square() || b.len() != n {
+    if !l.is_square() || x.len() != n {
         return Err(LinalgError::DimMismatch {
             op: "forward_sub",
-            found: (b.len(), 1),
+            found: (x.len(), 1),
             expected: (n, 1),
         });
     }
-    let mut x = b.to_vec();
     for j in 0..n {
         let d = l[(j, j)];
         if d.abs() < SINGULAR_TOL {
@@ -30,21 +38,28 @@ pub fn forward_sub(l: &Mat, b: &[f64]) -> crate::Result<Vec<f64>> {
             *xi -= lij * xj;
         }
     }
-    Ok(x)
+    Ok(())
 }
 
 /// Solve `Lᵀ x = b` where `L` is lower triangular (only the lower triangle
 /// of `l` is read).
 pub fn backward_sub(l: &Mat, b: &[f64]) -> crate::Result<Vec<f64>> {
+    let mut x = b.to_vec();
+    backward_sub_in_place(l, &mut x)?;
+    Ok(x)
+}
+
+/// Solve `Lᵀ x = b` in place: `x` holds `b` on entry and the solution on
+/// return. The allocation-free core of [`backward_sub`].
+pub fn backward_sub_in_place(l: &Mat, x: &mut [f64]) -> crate::Result<()> {
     let n = l.rows();
-    if !l.is_square() || b.len() != n {
+    if !l.is_square() || x.len() != n {
         return Err(LinalgError::DimMismatch {
             op: "backward_sub",
-            found: (b.len(), 1),
+            found: (x.len(), 1),
             expected: (n, 1),
         });
     }
-    let mut x = b.to_vec();
     for j in (0..n).rev() {
         let d = l[(j, j)];
         if d.abs() < SINGULAR_TOL {
@@ -55,7 +70,7 @@ pub fn backward_sub(l: &Mat, b: &[f64]) -> crate::Result<Vec<f64>> {
         let s = crate::dot(col, &x[j + 1..]);
         x[j] = (x[j] - s) / d;
     }
-    Ok(x)
+    Ok(())
 }
 
 /// Solve `L X = B` column by column (`B` is `n x m`).
@@ -165,6 +180,18 @@ mod tests {
             assert_eq!(x.col(j), forward_sub(&l, b.col(j)).unwrap().as_slice());
             assert_eq!(xt.col(j), backward_sub(&l, b.col(j)).unwrap().as_slice());
         }
+    }
+
+    #[test]
+    fn in_place_variants_match_allocating_solves() {
+        let l = lower3();
+        let b = [1.5, -0.25, 7.0];
+        let mut x = b;
+        forward_sub_in_place(&l, &mut x).unwrap();
+        assert_eq!(x.to_vec(), forward_sub(&l, &b).unwrap());
+        let mut y = b;
+        backward_sub_in_place(&l, &mut y).unwrap();
+        assert_eq!(y.to_vec(), backward_sub(&l, &b).unwrap());
     }
 
     #[test]

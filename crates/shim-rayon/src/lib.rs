@@ -86,10 +86,15 @@ impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
     }
 }
 
+/// Below this many items the spawn/join overhead dwarfs the mapped work
+/// (scoped threads cost microseconds; tiny maps cost nanoseconds): run the
+/// map inline on the calling thread instead.
+const SEQUENTIAL_CUTOFF: usize = 4;
+
 fn parallel_map<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: &F) -> Vec<O> {
     let threads =
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(items.len().max(1));
-    if threads <= 1 {
+    if threads <= 1 || items.len() < SEQUENTIAL_CUTOFF {
         return items.into_iter().map(f).collect();
     }
     let chunk = items.len().div_ceil(threads);
@@ -133,5 +138,16 @@ mod tests {
     fn sum_works() {
         let s: usize = (0..100usize).into_par_iter().map(|x| x).sum();
         assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn small_inputs_run_on_the_calling_thread() {
+        // Inputs below the cutoff must not pay for thread spawns: the map
+        // runs inline, so every item sees the caller's thread id.
+        let caller = std::thread::current().id();
+        let ids: Vec<_> =
+            vec![1, 2, 3].into_par_iter().map(move |_| std::thread::current().id()).collect();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.iter().all(|id| *id == caller), "sub-cutoff map left the calling thread");
     }
 }
