@@ -90,7 +90,7 @@ fn bench_fig4(c: &mut Criterion) {
             let plain = GpUcb::new(&space);
             let mut disc = GpDiscontinuous::new(&space);
             for _ in 0..20 {
-                let a = disc.propose(&hist);
+                let a = disc.propose(&space, &hist);
                 hist.record(a, table.durations[a - 1][0]);
             }
             let curve = disc.surrogate_curve(&hist).map(|c| c.len()).unwrap_or(0);
@@ -126,12 +126,12 @@ fn bench_fig7(c: &mut Criterion) {
         let mut hist = History::new();
         let mut warm = GpDiscontinuous::new(&space);
         for _ in 0..30 {
-            let a = warm.propose(&hist);
+            let a = warm.propose(&space, &hist);
             hist.record(a, table.durations[a - 1][0]);
         }
         b.iter(|| {
             let mut s = GpDiscontinuous::new(&space);
-            black_box(s.propose(&hist))
+            black_box(s.propose(&space, &hist))
         });
     });
 }
@@ -156,7 +156,7 @@ fn bench_table1(c: &mut Criterion) {
                 StrategyKind::GpDiscontinuous.build(&space, 1, None).expect("no oracle needed");
             let mut h = History::new();
             for _ in 0..40 {
-                let a = s.propose(&h);
+                let a = s.propose(&space, &h);
                 h.record(a, 96.0 / a as f64 + 0.9 * a as f64);
             }
             h.total_time()

@@ -43,7 +43,7 @@ fn tuning_run() -> usize {
     let mut g = GpDiscontinuous::new(&space);
     let mut h = History::new();
     for _ in 0..40 {
-        let a = g.propose(&h);
+        let a = g.propose(&space, &h);
         let y = 240.0 / a as f64 + 0.6 * a as f64 + if a > 27 { 8.0 } else { 0.0 };
         h.record(a, y);
     }

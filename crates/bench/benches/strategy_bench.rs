@@ -29,7 +29,7 @@ fn bench_propose(c: &mut Criterion) {
                 // Fresh strategy per call: proposal cost includes any
                 // internal refit, exactly like the online setting.
                 let mut s = kind.build(&space, 1, None).expect("paper strategy");
-                black_box(s.propose(&h))
+                black_box(s.propose(&space, &h))
             });
         });
     }

@@ -41,9 +41,17 @@ impl Strategy for Ucb {
         self.label
     }
 
-    fn propose(&mut self, hist: &History) -> usize {
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize {
+        // Restrict to arms that still exist on the live platform. If node
+        // loss removed every arm (e.g. all group boundaries above the
+        // surviving size), fall back to all live nodes.
+        let arms: Vec<usize> =
+            self.arms.iter().copied().filter(|&a| a <= space.max_nodes).collect();
+        if arms.is_empty() {
+            return space.max_nodes;
+        }
         // Visit unvisited arms in order first.
-        for &a in &self.arms {
+        for &a in &arms {
             if hist.count_for(a) == 0 {
                 return a;
             }
@@ -52,12 +60,11 @@ impl Strategy for Ucb {
         // Scale rewards so c is comparable across problems: use the spread
         // of observed means.
         let means: Vec<f64> =
-            self.arms.iter().map(|&a| hist.mean_for(a).expect("all arms visited")).collect();
+            arms.iter().map(|&a| hist.mean_for(a).expect("all arms visited")).collect();
         let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let scale = (hi - lo).max(1e-12);
-        self.arms
-            .iter()
+        arms.iter()
             .zip(&means)
             .map(|(&a, &m)| {
                 let n_a = hist.count_for(a) as f64;
@@ -69,20 +76,24 @@ impl Strategy for Ucb {
             .expect("arms non-empty")
     }
 
-    fn explain(&self, hist: &History) -> DecisionTrace {
-        if self.arms.iter().any(|&a| hist.count_for(a) == 0) {
+    fn explain(&self, space: &ActionSpace, hist: &History) -> DecisionTrace {
+        let arms: Vec<usize> =
+            self.arms.iter().copied().filter(|&a| a <= space.max_nodes).collect();
+        if arms.is_empty() {
+            return DecisionTrace::minimal("fallback");
+        }
+        if arms.iter().any(|&a| hist.count_for(a) == 0) {
             return DecisionTrace::minimal("init-sweep");
         }
         let t = hist.len().max(1) as f64;
         let means: Vec<f64> =
-            self.arms.iter().map(|&a| hist.mean_for(a).expect("all arms visited")).collect();
+            arms.iter().map(|&a| hist.mean_for(a).expect("all arms visited")).collect();
         let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let scale = (hi - lo).max(1e-12);
         // `mean` is the empirical mean duration, `sd` the exploration
         // bonus width, `acquisition` the (maximized) UCB score.
-        let diagnostics = self
-            .arms
+        let diagnostics = arms
             .iter()
             .zip(&means)
             .map(|(&a, &m)| {
@@ -130,15 +141,16 @@ impl Strategy for UcbStruct {
         "UCB-struct"
     }
 
-    fn propose(&mut self, hist: &History) -> usize {
-        self.inner.propose(hist)
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize {
+        self.inner.propose(space, hist)
     }
 
-    fn explain(&self, hist: &History) -> DecisionTrace {
-        let mut trace = self.inner.explain(hist);
+    fn explain(&self, space: &ActionSpace, hist: &History) -> DecisionTrace {
+        let mut trace = self.inner.explain(space, hist);
         // Everything outside the group boundaries is structurally
-        // excluded, not merely unexplored.
-        trace.excluded = (1..=self.max_nodes).filter(|a| !self.inner.arms.contains(a)).collect();
+        // excluded, not merely unexplored — within the live platform.
+        let n = self.max_nodes.min(space.max_nodes);
+        trace.excluded = (1..=n).filter(|a| !self.inner.arms.contains(a)).collect();
         trace.note = format!("ucb-struct:{}", trace.note);
         trace
     }
@@ -148,10 +160,15 @@ impl Strategy for UcbStruct {
 mod tests {
     use super::*;
 
-    fn drive(strat: &mut dyn Strategy, f: impl Fn(usize) -> f64, iters: usize) -> History {
+    fn drive(
+        strat: &mut dyn Strategy,
+        space: &ActionSpace,
+        f: impl Fn(usize) -> f64,
+        iters: usize,
+    ) -> History {
         let mut h = History::new();
         for _ in 0..iters {
-            let a = strat.propose(&h);
+            let a = strat.propose(space, &h);
             h.record(a, f(a));
         }
         h
@@ -161,7 +178,7 @@ mod tests {
     fn ucb_visits_every_arm_once_first() {
         let space = ActionSpace::unstructured(8);
         let mut u = Ucb::new(&space);
-        let h = drive(&mut u, |n| n as f64, 8);
+        let h = drive(&mut u, &space, |n| n as f64, 8);
         let mut seen: Vec<usize> = h.records().iter().map(|r| r.0).collect();
         seen.sort_unstable();
         assert_eq!(seen, (1..=8).collect::<Vec<_>>());
@@ -172,7 +189,7 @@ mod tests {
         let space = ActionSpace::unstructured(6);
         let mut u = Ucb::new(&space);
         let f = |n: usize| if n == 4 { 1.0 } else { 10.0 };
-        let h = drive(&mut u, f, 120);
+        let h = drive(&mut u, &space, f, 120);
         let best_count = h.count_for(4);
         assert!(best_count > 60, "best arm pulled {best_count}/120 times");
     }
@@ -182,7 +199,7 @@ mod tests {
         let space = ActionSpace::unstructured(5);
         let mut u = Ucb::new(&space);
         let f = |n: usize| if n == 2 { 1.0 } else { 5.0 };
-        let h = drive(&mut u, f, 200);
+        let h = drive(&mut u, &space, f, 200);
         // No-regret: suboptimal arms are still tried occasionally.
         for a in [1, 3, 4, 5] {
             assert!(h.count_for(a) >= 2, "arm {a} abandoned entirely");
@@ -194,7 +211,7 @@ mod tests {
         let space = ActionSpace::new(15, vec![(1, 5), (6, 10), (11, 15)], None);
         let mut u = UcbStruct::new(&space);
         assert_eq!(u.arms(), &[5, 10, 15]);
-        let h = drive(&mut u, |n| n as f64, 60);
+        let h = drive(&mut u, &space, |n| n as f64, 60);
         for &(a, _) in h.records() {
             assert!([5, 10, 15].contains(&a), "played non-boundary arm {a}");
         }
@@ -207,7 +224,7 @@ mod tests {
         let space = ActionSpace::new(15, vec![(1, 5), (6, 10), (11, 15)], None);
         let mut u = UcbStruct::new(&space);
         let f = |n: usize| (n as f64 - 7.0).abs() + 1.0;
-        let h = drive(&mut u, f, 100);
+        let h = drive(&mut u, &space, f, 100);
         assert_eq!(h.count_for(7), 0);
         // Most plays on the nearest boundary (5 or 10, both distance 2-3).
         let good = h.count_for(5) + h.count_for(10);
@@ -218,5 +235,25 @@ mod tests {
     #[should_panic(expected = "at least one arm")]
     fn empty_arms_rejected() {
         let _ = Ucb::with_arms(vec![], "x");
+    }
+
+    #[test]
+    fn bandits_stay_inside_a_shrunken_live_space() {
+        let full = ActionSpace::new(15, vec![(1, 5), (6, 10), (11, 15)], None);
+        let live = ActionSpace::new(7, vec![(1, 5), (6, 7)], None);
+        let mut u = Ucb::new(&full);
+        let mut s = UcbStruct::new(&full);
+        let h = drive(&mut u, &live, |n| n as f64, 40);
+        for &(a, _) in h.records() {
+            assert!(a <= 7, "UCB played dead arm {a}");
+        }
+        let h = drive(&mut s, &live, |n| n as f64, 40);
+        for &(a, _) in h.records() {
+            assert!(a <= 7, "UCB-struct played dead arm {a}");
+        }
+        // Every cached boundary dead: fall back to all live nodes.
+        let tiny = ActionSpace::unstructured(3);
+        let hist = History::new();
+        assert_eq!(s.propose(&tiny, &hist), 3);
     }
 }

@@ -162,18 +162,32 @@ impl Strategy for BrentSearch {
         "Brent"
     }
 
-    fn propose(&mut self, hist: &History) -> usize {
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize {
+        // Node loss: shrink the bracket's ceiling so every rounded query
+        // (and the converged exploit point) lands on a surviving node.
+        if self.n > space.max_nodes {
+            self.n = space.max_nodes;
+            let b = self.n as f64;
+            self.b = self.b.min(b);
+            self.a = self.a.min(b);
+            self.x = self.x.min(b);
+            self.w = self.w.min(b);
+            self.v = self.v.min(b);
+        }
         if let Some(u) = self.awaiting.take() {
-            let &(_, y) = hist.records().last().expect("awaiting an observation");
-            match self.stage {
-                Stage::NeedInit => {
-                    self.fx = y;
-                    self.fw = y;
-                    self.fv = y;
-                    self.stage = Stage::Running;
+            // Quarantine may have dropped the probe's record; then the
+            // query is simply re-issued by the state machine below.
+            if let Some(&(_, y)) = hist.records().last() {
+                match self.stage {
+                    Stage::NeedInit => {
+                        self.fx = y;
+                        self.fw = y;
+                        self.fv = y;
+                        self.stage = Stage::Running;
+                    }
+                    Stage::Running => self.absorb(u, y),
+                    Stage::Done => {}
                 }
-                Stage::Running => self.absorb(u, y),
-                Stage::Done => {}
             }
         }
         match self.stage {
@@ -200,10 +214,15 @@ impl Strategy for BrentSearch {
 mod tests {
     use super::*;
 
-    fn drive(strat: &mut dyn Strategy, f: impl Fn(usize) -> f64, iters: usize) -> History {
+    fn drive(
+        strat: &mut dyn Strategy,
+        space: &ActionSpace,
+        f: impl Fn(usize) -> f64,
+        iters: usize,
+    ) -> History {
         let mut h = History::new();
         for _ in 0..iters {
-            let a = strat.propose(&h);
+            let a = strat.propose(space, &h);
             h.record(a, f(a));
         }
         h
@@ -214,7 +233,7 @@ mod tests {
         let space = ActionSpace::unstructured(64);
         let mut b = BrentSearch::new(&space);
         let f = |n: usize| 100.0 / n as f64 + 0.5 * n as f64; // min near 14.1
-        let h = drive(&mut b, f, 40);
+        let h = drive(&mut b, &space, f, 40);
         let last = h.records().last().unwrap().0;
         assert!((12..=17).contains(&last), "converged to {last}");
     }
@@ -224,7 +243,7 @@ mod tests {
         let space = ActionSpace::unstructured(32);
         let mut b = BrentSearch::new(&space);
         let f = |n: usize| (n as f64 - 9.0).powi(2);
-        let h = drive(&mut b, f, 50);
+        let h = drive(&mut b, &space, f, 50);
         let tail: Vec<usize> = h.records()[45..].iter().map(|r| r.0).collect();
         assert!(tail.windows(2).all(|w| w[0] == w[1]), "not settled: {tail:?}");
     }
@@ -236,7 +255,7 @@ mod tests {
         let space = ActionSpace::unstructured(128);
         let mut b = BrentSearch::new(&space);
         let f = |n: usize| (n as f64 - 60.0).powi(2);
-        let h = drive(&mut b, f, 60);
+        let h = drive(&mut b, &space, f, 60);
         let distinct: std::collections::BTreeSet<usize> = h.records().iter().map(|r| r.0).collect();
         assert!(distinct.len() < 25, "evaluated {} distinct points", distinct.len());
     }
@@ -255,7 +274,7 @@ mod tests {
                 30.0 // plateau (all worse than the left valley)
             }
         };
-        let h = drive(&mut b, f, 40);
+        let h = drive(&mut b, &space, f, 40);
         let last = h.records().last().unwrap().0;
         // Either it found the left valley or it is stuck on the plateau —
         // the point is that it terminates; record which for the paper's
@@ -270,7 +289,7 @@ mod tests {
     fn all_proposals_in_range() {
         let space = ActionSpace::unstructured(7);
         let mut b = BrentSearch::new(&space);
-        let h = drive(&mut b, |n| n as f64, 30);
+        let h = drive(&mut b, &space, |n| n as f64, 30);
         assert!(h.records().iter().all(|&(a, _)| (1..=7).contains(&a)));
     }
 
@@ -278,7 +297,7 @@ mod tests {
     fn two_node_space() {
         let space = ActionSpace::unstructured(2);
         let mut b = BrentSearch::new(&space);
-        let h = drive(&mut b, |n| if n == 1 { 1.0 } else { 2.0 }, 10);
+        let h = drive(&mut b, &space, |n| if n == 1 { 1.0 } else { 2.0 }, 10);
         assert!(h.records().iter().all(|&(a, _)| (1..=2).contains(&a)));
     }
 }

@@ -9,7 +9,7 @@
 //! (e.g. the matrix size or the network load shifting mid-run) triggers
 //! fresh exploration instead of poisoned exploitation.
 
-use crate::{History, Strategy};
+use crate::{ActionSpace, History, Strategy};
 
 /// Wraps a strategy with drift detection and reset.
 pub struct DriftReset {
@@ -84,15 +84,15 @@ impl Strategy for DriftReset {
         "drift-reset"
     }
 
-    fn propose(&mut self, hist: &History) -> usize {
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize {
         let epoch = self.epoch_history(hist);
         if self.drifted(&epoch) {
             self.inner = (self.factory)();
             self.epoch_start = hist.len();
             self.resets += 1;
-            return self.inner.propose(&History::new());
+            return self.inner.propose(space, &History::new());
         }
-        self.inner.propose(&epoch)
+        self.inner.propose(space, &epoch)
     }
 }
 
@@ -101,22 +101,24 @@ mod tests {
     use super::*;
     use crate::{ActionSpace, GpDiscontinuous};
 
+    fn gp_space(n: usize) -> ActionSpace {
+        let lp: Vec<f64> = (1..=n).map(|k| 40.0 / k as f64).collect();
+        ActionSpace::new(n, vec![], Some(lp))
+    }
+
     fn gp_factory(n: usize) -> impl FnMut() -> Box<dyn Strategy> + Send {
-        move || {
-            let lp: Vec<f64> = (1..=n).map(|k| 40.0 / k as f64).collect();
-            let space = ActionSpace::new(n, vec![], Some(lp));
-            Box::new(GpDiscontinuous::new(&space))
-        }
+        move || Box::new(GpDiscontinuous::new(&gp_space(n)))
     }
 
     #[test]
     fn no_reset_on_stationary_workload() {
         let n = 10;
+        let space = gp_space(n);
         let mut s = DriftReset::new(gp_factory(n), 3, 0.3);
         let mut h = History::new();
         let f = |a: usize| 40.0 / a as f64 + 0.8 * a as f64;
         for _ in 0..60 {
-            let a = s.propose(&h);
+            let a = s.propose(&space, &h);
             h.record(a, f(a));
         }
         assert_eq!(s.resets(), 0, "stationary run must not reset");
@@ -125,6 +127,7 @@ mod tests {
     #[test]
     fn reset_fires_on_level_shift_and_readapts() {
         let n = 12;
+        let space = gp_space(n);
         let mut s = DriftReset::new(gp_factory(n), 3, 0.3);
         let mut h = History::new();
         // Phase 1: optimum at 6. Phase 2 (iteration 60+): everything 3x
@@ -132,7 +135,7 @@ mod tests {
         let f1 = |a: usize| 40.0 / a as f64 + 1.0 * (a as f64 - 6.0).abs();
         let f2 = |a: usize| 30.0 + 2.0 * (a as f64 - 11.0).abs();
         for it in 0..140 {
-            let a = s.propose(&h);
+            let a = s.propose(&space, &h);
             let y = if it < 60 { f1(a) } else { f2(a) };
             h.record(a, y);
         }
@@ -144,11 +147,12 @@ mod tests {
 
     #[test]
     fn epoch_history_hides_pre_reset_records() {
+        let space = gp_space(8);
         let mut s = DriftReset::new(gp_factory(8), 2, 0.2);
         let mut h = History::new();
         // Hammer one action with a sudden shift to force a reset.
         for it in 0..20 {
-            let _ = s.propose(&h);
+            let _ = s.propose(&space, &h);
             // Override the played action: feed constant action 8 so the
             // detector sees the shift quickly.
             h.record(8, if it < 10 { 5.0 } else { 50.0 });

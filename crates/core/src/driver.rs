@@ -140,6 +140,13 @@ pub struct IterationEvent {
     /// Wall-clock phase/utilization decomposition, when the executor
     /// profiled the iteration.
     pub phase_breakdown: Option<PhaseBreakdown>,
+    /// Extra measurements the resilience policy re-took this iteration
+    /// after an outlier/timeout verdict (0 in fault-free runs).
+    pub retries: usize,
+    /// Fault/resilience annotation for this iteration (e.g.
+    /// `"node-death:rank=5"`, `"rebaseline"`, `"retry:1"`), `None` on
+    /// unremarkable iterations.
+    pub fault: Option<String>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -170,12 +177,13 @@ impl IterationEvent {
     /// One-line JSON rendering with a pinned field order:
     /// `iteration, strategy, action, duration, cumulative_time,
     /// best_known, regret, phases, posterior, excluded, note,
-    /// phase_breakdown`.
+    /// phase_breakdown, retries, fault`.
     ///
     /// Every key is always present; `best_known`/`regret` are `null` when
     /// unset, `posterior`/`excluded`/`note` are empty when the decision
-    /// trace was not requested, and `phase_breakdown` is `null` for
-    /// unprofiled iterations. Non-finite floats serialize as `null`.
+    /// trace was not requested, `phase_breakdown` is `null` for
+    /// unprofiled iterations, and `fault` is `null` for unremarkable
+    /// iterations. Non-finite floats serialize as `null`.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
         s.push_str(&format!(
@@ -258,6 +266,12 @@ impl IterationEvent {
                 }
                 s.push_str("]}");
             }
+        }
+        s.push_str(&format!(",\"retries\":{}", self.retries));
+        s.push_str(",\"fault\":");
+        match &self.fault {
+            None => s.push_str("null"),
+            Some(f) => s.push_str(&format!("\"{}\"", json_escape(f))),
         }
         s.push('}');
         s
@@ -389,16 +403,198 @@ pub struct StepOutcome {
     pub duration: f64,
 }
 
+/// When and how the driver second-guesses a measurement or a platform
+/// change (the resilience half of the tuning loop).
+///
+/// The [`Default`] policy disables everything — a fault-free run takes
+/// exactly the code path it took before this type existed. Use
+/// [`ResiliencePolicy::standard`] to switch all mechanisms on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Declare a measurement suspect when it exceeds `factor ×` the
+    /// running duration estimate (median of recent iterations). `None`
+    /// disables the timeout check.
+    pub timeout_factor: Option<f64>,
+    /// How many times a suspect measurement may be re-taken within one
+    /// iteration. `0` disables retries entirely.
+    pub max_retries: usize,
+    /// MAD multiple beyond which a measurement counts as an outlier of
+    /// its per-action history (needs ≥ 4 prior observations of the same
+    /// action). Only consulted when `max_retries > 0`.
+    pub outlier_mad_k: f64,
+    /// Drop history records whose action no longer exists after a
+    /// platform change (they were measured with a now-dead node).
+    pub quarantine: bool,
+    /// After a platform change that leaves the live all-nodes count
+    /// unmeasured, force the next proposal to all live nodes so bound
+    /// mechanisms regain their `y(N)` reference.
+    pub rebaseline: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            timeout_factor: None,
+            max_retries: 0,
+            outlier_mad_k: 8.0,
+            quarantine: false,
+            rebaseline: false,
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// All resilience mechanisms on, with conservative thresholds: 3×
+    /// timeout, one retry, 8-MAD outlier fence, quarantine and
+    /// re-baselining enabled.
+    pub fn standard() -> Self {
+        ResiliencePolicy {
+            timeout_factor: Some(3.0),
+            max_retries: 1,
+            outlier_mad_k: 8.0,
+            quarantine: true,
+            rebaseline: true,
+        }
+    }
+}
+
+/// Why [`TunerDriverBuilder::build`] refused to produce a driver.
+#[derive(Debug)]
+pub enum DriverBuildError {
+    /// Neither [`TunerDriverBuilder::strategy`] nor
+    /// [`TunerDriverBuilder::kind`] was called.
+    MissingStrategy,
+    /// The configured [`StrategyKind`] could not be built.
+    Strategy(crate::UnknownStrategyError),
+}
+
+impl std::fmt::Display for DriverBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverBuildError::MissingStrategy => {
+                write!(f, "driver builder needs a strategy (call .strategy() or .kind())")
+            }
+            DriverBuildError::Strategy(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverBuildError {}
+
+impl From<crate::UnknownStrategyError> for DriverBuildError {
+    fn from(e: crate::UnknownStrategyError) -> Self {
+        DriverBuildError::Strategy(e)
+    }
+}
+
+/// Typed configuration for [`TunerDriver`] — the only way to construct
+/// one. Obtain via [`TunerDriver::builder`].
+pub struct TunerDriverBuilder {
+    space: ActionSpace,
+    strategy: Option<Box<dyn Strategy>>,
+    kind: Option<crate::StrategyKind>,
+    seed: u64,
+    iters: Option<usize>,
+    best_known: Option<f64>,
+    oracle_best: Option<usize>,
+    sinks: Vec<Box<dyn TelemetrySink>>,
+    resilience: ResiliencePolicy,
+}
+
+impl TunerDriverBuilder {
+    /// Drive with an already-built strategy (overrides a prior `kind`).
+    pub fn strategy(mut self, strategy: Box<dyn Strategy>) -> Self {
+        self.strategy = Some(strategy);
+        self.kind = None;
+        self
+    }
+
+    /// Drive with a [`StrategyKind`](crate::StrategyKind), built at
+    /// [`build`](Self::build) time from the space, seed and (for the
+    /// oracle) [`oracle_best`](Self::oracle_best).
+    pub fn kind(mut self, kind: crate::StrategyKind) -> Self {
+        self.kind = Some(kind);
+        self.strategy = None;
+        self
+    }
+
+    /// Seed for stochastic strategies built via [`kind`](Self::kind).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Default iteration budget consumed by
+    /// [`TunerDriver::run_configured`].
+    pub fn iters(mut self, iters: usize) -> Self {
+        self.iters = Some(iters);
+        self
+    }
+
+    /// Best-known per-iteration duration (oracle or response-table
+    /// optimum) so events carry instantaneous regret.
+    pub fn best_known(mut self, duration: f64) -> Self {
+        self.best_known = Some(duration);
+        self
+    }
+
+    /// Best action for [`StrategyKind::Oracle`](crate::StrategyKind).
+    pub fn oracle_best(mut self, best: usize) -> Self {
+        self.oracle_best = Some(best);
+        self
+    }
+
+    /// Attach a telemetry sink (repeatable).
+    pub fn sink(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Set the resilience policy (default: everything off).
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
+        self
+    }
+
+    /// Build the driver.
+    pub fn build(self) -> Result<TunerDriver, DriverBuildError> {
+        let strategy = match (self.strategy, self.kind) {
+            (Some(s), _) => s,
+            (None, Some(k)) => k.build(&self.space, self.seed, self.oracle_best)?,
+            (None, None) => return Err(DriverBuildError::MissingStrategy),
+        };
+        Ok(TunerDriver {
+            strategy,
+            space: self.space,
+            history: History::new(),
+            sinks: self.sinks,
+            best_known: self.best_known,
+            cumulative: 0.0,
+            iters: self.iters,
+            iteration: 0,
+            resilience: self.resilience,
+            pending_rebaseline: false,
+            pending_fault: None,
+        })
+    }
+}
+
 /// The canonical propose → execute → record loop.
 ///
+/// Construction goes through the typed [`TunerDriver::builder`]:
+///
 /// ```
-/// use adaphet_core::{ActionSpace, Observation, StrategyKind, TunerDriver};
+/// use adaphet_core::{ActionSpace, Observation, ResiliencePolicy, StrategyKind, TunerDriver};
 ///
 /// let space = ActionSpace::unstructured(8);
-/// let strat = "GP-UCB".parse::<StrategyKind>().unwrap()
-///     .build(&space, 0, None).unwrap();
-/// let mut driver = TunerDriver::new(strat, &space);
-/// driver.run(10, |n| Observation::of(16.0 / n as f64 + n as f64));
+/// let mut driver = TunerDriver::builder(&space)
+///     .kind(StrategyKind::GpUcb)
+///     .seed(0)
+///     .iters(10)
+///     .resilience(ResiliencePolicy::standard())
+///     .build()
+///     .unwrap();
+/// driver.run_configured(|n| Observation::of(16.0 / n as f64 + n as f64));
 /// assert_eq!(driver.history().len(), 10);
 /// ```
 pub struct TunerDriver {
@@ -408,35 +604,32 @@ pub struct TunerDriver {
     sinks: Vec<Box<dyn TelemetrySink>>,
     best_known: Option<f64>,
     cumulative: f64,
+    iters: Option<usize>,
+    /// Monotone iteration counter — *not* `history.len()`, which shrinks
+    /// under quarantine.
+    iteration: usize,
+    resilience: ResiliencePolicy,
+    pending_rebaseline: bool,
+    pending_fault: Option<String>,
 }
 
 impl TunerDriver {
-    /// A driver with no telemetry attached.
-    pub fn new(strategy: Box<dyn Strategy>, space: &ActionSpace) -> Self {
-        TunerDriver {
-            strategy,
+    /// Start a typed configuration over `space`.
+    pub fn builder(space: &ActionSpace) -> TunerDriverBuilder {
+        TunerDriverBuilder {
             space: space.clone(),
-            history: History::new(),
-            sinks: Vec::new(),
+            strategy: None,
+            kind: None,
+            seed: 0,
+            iters: None,
             best_known: None,
-            cumulative: 0.0,
+            oracle_best: None,
+            sinks: Vec::new(),
+            resilience: ResiliencePolicy::default(),
         }
     }
 
-    /// Provide the best-known per-iteration duration (oracle or response
-    /// table optimum) so events carry instantaneous regret.
-    pub fn with_best_known(mut self, duration: f64) -> Self {
-        self.best_known = Some(duration);
-        self
-    }
-
-    /// Attach a telemetry sink (builder form).
-    pub fn with_sink(mut self, sink: Box<dyn TelemetrySink>) -> Self {
-        self.sinks.push(sink);
-        self
-    }
-
-    /// Attach a telemetry sink.
+    /// Attach a telemetry sink after construction.
     pub fn add_sink(&mut self, sink: Box<dyn TelemetrySink>) {
         self.sinks.push(sink);
     }
@@ -446,9 +639,31 @@ impl TunerDriver {
         self.strategy.as_ref()
     }
 
-    /// Observations recorded so far.
+    /// The live action space the next proposal will be drawn from.
+    pub fn space(&self) -> &ActionSpace {
+        &self.space
+    }
+
+    /// The active resilience policy.
+    pub fn resilience(&self) -> &ResiliencePolicy {
+        &self.resilience
+    }
+
+    /// Observations recorded so far (quarantined records removed).
     pub fn history(&self) -> &History {
         &self.history
+    }
+
+    /// Monotone count of iterations executed (never shrinks, unlike
+    /// `history().len()` under quarantine).
+    pub fn iterations_run(&self) -> usize {
+        self.iteration
+    }
+
+    /// The iteration budget configured via
+    /// [`TunerDriverBuilder::iters`], if any.
+    pub fn configured_iters(&self) -> Option<usize> {
+        self.iters
     }
 
     /// Consume the driver, returning the history (sinks are finished).
@@ -464,17 +679,110 @@ impl TunerDriver {
         self.history
     }
 
-    /// Run one iteration: propose, execute, record, emit telemetry.
+    /// Replace the live action space mid-run (platform fault: node death
+    /// shrank the cluster, or a repair grew it back).
     ///
-    /// Proposals must satisfy the [`Strategy::propose`] range contract;
-    /// the driver checks it with a `debug_assert!` so violations surface
-    /// in tests rather than corrupting downstream lookups.
-    pub fn step<F: FnOnce(usize) -> Observation>(&mut self, execute: F) -> StepOutcome {
-        let iteration = self.history.len();
-        let action = self.strategy.propose(&self.history);
+    /// `stale_from` names the first action whose past measurements are no
+    /// longer trustworthy — for a death of rank `r`, every measurement
+    /// that used `≥ r` nodes ran on the dead node. With
+    /// [`ResiliencePolicy::quarantine`] on, those records are dropped;
+    /// with [`ResiliencePolicy::rebaseline`] on and no surviving
+    /// observation of the new all-nodes count, the next proposal is
+    /// forced to `new_space.max_nodes` (emitting a `tuner.rebaseline`
+    /// count) so bound mechanisms regain their reference. `note` is
+    /// carried into the next [`IterationEvent::fault`] annotation.
+    pub fn apply_platform_change(
+        &mut self,
+        new_space: &ActionSpace,
+        stale_from: Option<usize>,
+        note: impl Into<String>,
+    ) {
+        self.space = new_space.clone();
+        let mut parts = vec![note.into()];
+        if self.resilience.quarantine {
+            if let Some(stale) = stale_from {
+                let dropped = self.history.retain_actions(|a| a < stale);
+                if dropped > 0 {
+                    adaphet_metrics::global().add("tuner.quarantine", dropped as f64);
+                    parts.push(format!("quarantine:{dropped}"));
+                }
+            }
+        }
+        if self.resilience.rebaseline && self.history.first_for(self.space.max_nodes).is_none() {
+            self.pending_rebaseline = true;
+        }
+        let note = parts.join(";");
+        match &mut self.pending_fault {
+            Some(prev) => {
+                prev.push(';');
+                prev.push_str(&note);
+            }
+            None => self.pending_fault = Some(note),
+        }
+    }
+
+    /// Running duration estimate for the timeout check: the median of the
+    /// most recent (up to 10) iteration durations.
+    fn running_estimate(&self) -> Option<f64> {
+        let records = self.history.records();
+        if records.len() < 3 {
+            return None;
+        }
+        let tail = &records[records.len().saturating_sub(10)..];
+        let mut ds: Vec<f64> = tail.iter().map(|&(_, y)| y).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(ds[ds.len() / 2])
+    }
+
+    /// Whether the policy wants this measurement re-taken.
+    fn is_suspect(&self, action: usize, duration: f64) -> bool {
+        if let Some(factor) = self.resilience.timeout_factor {
+            if let Some(estimate) = self.running_estimate() {
+                if duration > factor * estimate {
+                    return true;
+                }
+            }
+        }
+        if self.resilience.max_retries > 0 {
+            let prior = self.history.values_for(action);
+            if prior.len() >= 4 {
+                let mut v = prior.clone();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let median = v[v.len() / 2];
+                let mut dev: Vec<f64> = prior.iter().map(|y| (y - median).abs()).collect();
+                dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mad = dev[dev.len() / 2];
+                let fence = self.resilience.outlier_mad_k * (1.4826 * mad).max(1e-3 * median.abs());
+                if fence > 0.0 && (duration - median).abs() > fence {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Run one iteration: propose, execute (re-measuring suspect
+    /// observations up to the policy's retry budget), record, emit
+    /// telemetry.
+    ///
+    /// Proposals must satisfy the [`Strategy::propose`] range contract
+    /// over the *live* space; the driver checks it with a
+    /// `debug_assert!` so violations surface in tests rather than
+    /// corrupting downstream lookups.
+    pub fn step<F: FnMut(usize) -> Observation>(&mut self, mut execute: F) -> StepOutcome {
+        let iteration = self.iteration;
+        self.iteration += 1;
+        let mut fault_parts: Vec<String> = self.pending_fault.take().into_iter().collect();
+        let action = if std::mem::take(&mut self.pending_rebaseline) {
+            adaphet_metrics::global().add("tuner.rebaseline", 1.0);
+            fault_parts.push("rebaseline".to_string());
+            self.space.max_nodes
+        } else {
+            self.strategy.propose(&self.space, &self.history)
+        };
         debug_assert!(
             (1..=self.space.max_nodes).contains(&action),
-            "strategy {:?} proposed out-of-range action {} (space is 1..={})",
+            "strategy {:?} proposed out-of-range action {} (live space is 1..={})",
             self.strategy.name(),
             action,
             self.space.max_nodes
@@ -483,11 +791,22 @@ impl TunerDriver {
         // state the decision was actually made from. Skipped entirely
         // when no sink wants it (GP explain costs a surrogate refit).
         let trace = if self.sinks.iter().any(|s| s.wants_decision_trace()) {
-            Some(self.strategy.explain(&self.history))
+            Some(self.strategy.explain(&self.space, &self.history))
         } else {
             None
         };
-        let obs = execute(action);
+        let mut obs = execute(action);
+        let mut retries = 0;
+        while retries < self.resilience.max_retries && self.is_suspect(action, obs.duration) {
+            retries += 1;
+            adaphet_metrics::global().add("tuner.retry", 1.0);
+            // The discarded attempt still cost wall-clock time.
+            self.cumulative += obs.duration;
+            obs = execute(action);
+        }
+        if retries > 0 {
+            fault_parts.push(format!("retry:{retries}"));
+        }
         self.history.record(action, obs.duration);
         self.cumulative += obs.duration;
         if !self.sinks.is_empty() {
@@ -502,6 +821,8 @@ impl TunerDriver {
                 phases: obs.phases,
                 trace,
                 phase_breakdown: obs.breakdown,
+                retries,
+                fault: if fault_parts.is_empty() { None } else { Some(fault_parts.join(";")) },
             };
             for sink in &mut self.sinks {
                 sink.on_iteration(&event);
@@ -515,6 +836,17 @@ impl TunerDriver {
         for _ in 0..iters {
             self.step(&mut execute);
         }
+    }
+
+    /// Run the iteration budget configured via
+    /// [`TunerDriverBuilder::iters`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no budget was configured.
+    pub fn run_configured<F: FnMut(usize) -> Observation>(&mut self, execute: F) {
+        let iters = self.iters.expect("no iteration budget configured (builder .iters())");
+        self.run(iters, execute);
     }
 
     /// Finish all sinks (flush files). Every sink is finished even if an
@@ -551,23 +883,54 @@ mod tests {
         30.0 / n as f64 + 0.8 * n as f64
     }
 
+    fn driver_for(sp: &ActionSpace, strat: Box<dyn Strategy>) -> TunerDriver {
+        TunerDriver::builder(sp).strategy(strat).build().unwrap()
+    }
+
     #[test]
     fn driver_records_every_iteration() {
         let sp = space();
-        let mut d = TunerDriver::new(Box::new(GpDiscontinuous::new(&sp)), &sp);
+        let mut d = driver_for(&sp, Box::new(GpDiscontinuous::new(&sp)));
         d.run(15, |n| Observation::of(response(n)));
         assert_eq!(d.history().len(), 15);
+        assert_eq!(d.iterations_run(), 15);
         let total: f64 = d.history().records().iter().map(|&(_, y)| y).sum();
         assert!((total - d.history().total_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_requires_a_strategy() {
+        let sp = space();
+        match TunerDriver::builder(&sp).build() {
+            Err(DriverBuildError::MissingStrategy) => {}
+            other => panic!("expected MissingStrategy, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn builder_kind_and_configured_run() {
+        let sp = space();
+        let mut d = TunerDriver::builder(&sp)
+            .kind(StrategyKind::GpDiscontinuous)
+            .seed(7)
+            .iters(6)
+            .build()
+            .unwrap();
+        assert_eq!(d.configured_iters(), Some(6));
+        d.run_configured(|n| Observation::of(response(n)));
+        assert_eq!(d.history().len(), 6);
     }
 
     #[test]
     fn memory_sink_sees_one_event_per_iteration() {
         let sp = space();
         let sink = MemorySink::new();
-        let mut d = TunerDriver::new(Box::new(GpDiscontinuous::new(&sp)), &sp)
-            .with_sink(Box::new(sink.clone()))
-            .with_best_known(response(6));
+        let mut d = TunerDriver::builder(&sp)
+            .strategy(Box::new(GpDiscontinuous::new(&sp)))
+            .sink(Box::new(sink.clone()))
+            .best_known(response(6))
+            .build()
+            .unwrap();
         d.run(12, |n| Observation::of(response(n)));
         let events = sink.events();
         assert_eq!(events.len(), d.history().len());
@@ -576,6 +939,8 @@ mod tests {
             assert_eq!(e.strategy, "GP-discontinuous");
             assert!(e.trace.is_some(), "sink wants traces by default");
             assert_eq!(e.regret.unwrap(), e.duration - response(6));
+            assert_eq!(e.retries, 0);
+            assert_eq!(e.fault, None, "fault-free runs carry no annotation");
         }
         // Cumulative time is monotone and matches the history total.
         let last = events.last().unwrap();
@@ -592,22 +957,25 @@ mod tests {
             fn name(&self) -> &'static str {
                 "spy"
             }
-            fn propose(&mut self, _h: &History) -> usize {
+            fn propose(&mut self, _space: &ActionSpace, _h: &History) -> usize {
                 1
             }
-            fn explain(&self, _h: &History) -> DecisionTrace {
+            fn explain(&self, _space: &ActionSpace, _h: &History) -> DecisionTrace {
                 self.explains.fetch_add(1, Ordering::Relaxed);
                 DecisionTrace::minimal("spy")
             }
         }
         let count = Arc::new(AtomicUsize::new(0));
         let sp = ActionSpace::unstructured(3);
-        let mut d = TunerDriver::new(Box::new(Spy { explains: count.clone() }), &sp);
+        let mut d = driver_for(&sp, Box::new(Spy { explains: count.clone() }));
         d.run(5, |_| Observation::of(1.0));
         assert_eq!(count.load(Ordering::Relaxed), 0, "explain must not run without a sink");
 
-        let mut d = TunerDriver::new(Box::new(Spy { explains: count.clone() }), &sp)
-            .with_sink(Box::new(MemorySink::new()));
+        let mut d = TunerDriver::builder(&sp)
+            .strategy(Box::new(Spy { explains: count.clone() }))
+            .sink(Box::new(MemorySink::new()))
+            .build()
+            .unwrap();
         d.run(5, |_| Observation::of(1.0));
         assert_eq!(count.load(Ordering::Relaxed), 5, "explain runs once per iteration with a sink");
     }
@@ -628,8 +996,11 @@ mod tests {
             }
         }
         let buf = Arc::new(Mutex::new(Vec::new()));
-        let mut d =
-            TunerDriver::new(strat, &sp).with_sink(Box::new(JsonlSink::new(Tee(buf.clone()))));
+        let mut d = TunerDriver::builder(&sp)
+            .strategy(strat)
+            .sink(Box::new(JsonlSink::new(Tee(buf.clone()))))
+            .build()
+            .unwrap();
         d.run(8, |n| Observation::of(response(n)));
         d.finish().expect("no I/O errors on an in-memory buffer");
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
@@ -655,8 +1026,11 @@ mod tests {
     #[test]
     fn failing_jsonl_writer_surfaces_an_error_from_finish() {
         let sp = ActionSpace::unstructured(4);
-        let mut d = TunerDriver::new(Box::new(crate::AllNodes::new(4)), &sp)
-            .with_sink(Box::new(JsonlSink::new(FailingWriter)));
+        let mut d = TunerDriver::builder(&sp)
+            .strategy(Box::new(crate::AllNodes::new(4)))
+            .sink(Box::new(JsonlSink::new(FailingWriter)))
+            .build()
+            .unwrap();
         // The run itself is never aborted by telemetry failures...
         d.run(3, |_| Observation::of(1.0));
         assert_eq!(d.history().len(), 3);
@@ -682,8 +1056,11 @@ mod tests {
     fn driver_with_sink_moves_across_threads() {
         let sp = space();
         let sink = MemorySink::new();
-        let mut d = TunerDriver::new(Box::new(GpDiscontinuous::new(&sp)), &sp)
-            .with_sink(Box::new(sink.clone()));
+        let mut d = TunerDriver::builder(&sp)
+            .strategy(Box::new(GpDiscontinuous::new(&sp)))
+            .sink(Box::new(sink.clone()))
+            .build()
+            .unwrap();
         let handle = std::thread::spawn(move || {
             d.run(4, |n| Observation::of(response(n)));
             d.into_history().len()
@@ -696,8 +1073,11 @@ mod tests {
     fn phases_flow_into_events() {
         let sp = ActionSpace::unstructured(4);
         let sink = MemorySink::new();
-        let mut d = TunerDriver::new(Box::new(crate::AllNodes::new(4)), &sp)
-            .with_sink(Box::new(sink.clone()));
+        let mut d = TunerDriver::builder(&sp)
+            .strategy(Box::new(crate::AllNodes::new(4)))
+            .sink(Box::new(sink.clone()))
+            .build()
+            .unwrap();
         d.step(|_| {
             Observation::with_phases(
                 2.0,
@@ -723,20 +1103,45 @@ mod tests {
             phases: vec![],
             trace: None,
             phase_breakdown: None,
+            retries: 0,
+            fault: None,
         };
         let j = e.to_json();
         assert!(j.contains("\"strategy\":\"a\\\"b\\\\c\""));
         assert!(j.contains("\"duration\":null"));
         assert!(j.contains("\"best_known\":null"));
-        assert!(j.ends_with("\"phase_breakdown\":null}"), "{j}");
+        assert!(j.ends_with("\"phase_breakdown\":null,\"retries\":0,\"fault\":null}"), "{j}");
+    }
+
+    #[test]
+    fn fault_annotation_serializes_as_a_string() {
+        let e = IterationEvent {
+            iteration: 3,
+            strategy: "s".into(),
+            action: 2,
+            duration: 1.0,
+            cumulative_time: 4.0,
+            best_known: None,
+            regret: None,
+            phases: vec![],
+            trace: None,
+            phase_breakdown: None,
+            retries: 2,
+            fault: Some("node-death:rank=5;rebaseline".into()),
+        };
+        let j = e.to_json();
+        assert!(j.ends_with("\"retries\":2,\"fault\":\"node-death:rank=5;rebaseline\"}"), "{j}");
     }
 
     #[test]
     fn breakdown_flows_into_events() {
         let sp = ActionSpace::unstructured(4);
         let sink = MemorySink::new();
-        let mut d = TunerDriver::new(Box::new(crate::AllNodes::new(4)), &sp)
-            .with_sink(Box::new(sink.clone()));
+        let mut d = TunerDriver::builder(&sp)
+            .strategy(Box::new(crate::AllNodes::new(4)))
+            .sink(Box::new(sink.clone()))
+            .build()
+            .unwrap();
         let breakdown = PhaseBreakdown {
             phases: vec![PhaseSlice::new("generation", 0.5), PhaseSlice::new("solve", 1.5)],
             groups: vec![GroupUtilization { name: "g:1-4".into(), busy_s: 6.0, idle_s: 2.0 }],
@@ -753,5 +1158,148 @@ mod tests {
             ),
             "{j}"
         );
+    }
+
+    #[test]
+    fn timeout_suspects_are_retried_and_annotated() {
+        let sp = ActionSpace::unstructured(4);
+        let sink = MemorySink::new();
+        let mut d = TunerDriver::builder(&sp)
+            .strategy(Box::new(crate::AllNodes::new(4)))
+            .sink(Box::new(sink.clone()))
+            .resilience(ResiliencePolicy::standard())
+            .build()
+            .unwrap();
+        // Three clean iterations establish the running estimate (1.0)...
+        let mut calls = 0;
+        d.run(3, |_| Observation::of(1.0));
+        // ...then a 10× straggler measurement, whose retry comes back clean.
+        d.step(|_| {
+            calls += 1;
+            if calls == 1 {
+                Observation::of(10.0)
+            } else {
+                Observation::of(1.0)
+            }
+        });
+        assert_eq!(calls, 2, "one retry after the timeout verdict");
+        let e = &sink.events()[3];
+        assert_eq!(e.retries, 1);
+        assert_eq!(e.fault.as_deref(), Some("retry:1"));
+        assert_eq!(e.duration, 1.0, "the retried measurement is what gets recorded");
+        // The discarded attempt still cost wall-clock time: 3×1 + 10 + 1.
+        assert!((e.cumulative_time - 14.0).abs() < 1e-12);
+        assert_eq!(d.history().records().last(), Some(&(4, 1.0)));
+    }
+
+    #[test]
+    fn outlier_suspects_need_per_action_history() {
+        let sp = ActionSpace::unstructured(4);
+        let mut d = TunerDriver::builder(&sp)
+            .strategy(Box::new(crate::AllNodes::new(4)))
+            .resilience(ResiliencePolicy {
+                timeout_factor: None,
+                max_retries: 1,
+                outlier_mad_k: 8.0,
+                quarantine: false,
+                rebaseline: false,
+            })
+            .build()
+            .unwrap();
+        // Tight per-action history around 1.0 (4 points), then a spike.
+        let mut durations = vec![1.0, 1.01, 0.99, 1.0, 50.0, 1.0].into_iter();
+        let mut executions = 0;
+        d.run(5, |_| {
+            executions += 1;
+            Observation::of(durations.next().unwrap())
+        });
+        // Iteration 5 measured 50.0 (an 8-MAD outlier of {≈1.0}×4), was
+        // retried once, and recorded the clean re-measurement.
+        assert_eq!(executions, 6);
+        assert_eq!(d.history().records().last(), Some(&(4, 1.0)));
+        assert_eq!(d.history().len(), 5);
+    }
+
+    #[test]
+    fn default_policy_never_retries() {
+        let sp = ActionSpace::unstructured(4);
+        let mut d = driver_for(&sp, Box::new(crate::AllNodes::new(4)));
+        let mut executions = 0;
+        d.run(6, |_| {
+            executions += 1;
+            // Wild swings that would trip any enabled detector.
+            Observation::of(if executions % 2 == 0 { 100.0 } else { 0.01 })
+        });
+        assert_eq!(executions, 6, "disabled policy must never re-execute");
+    }
+
+    #[test]
+    fn platform_change_quarantines_and_rebaselines() {
+        let sp = ActionSpace::unstructured(10);
+        let sink = MemorySink::new();
+        let mut d = TunerDriver::builder(&sp)
+            .strategy(Box::new(crate::naive::DivideConquer::new(&sp)))
+            .sink(Box::new(sink.clone()))
+            .resilience(ResiliencePolicy::standard())
+            .build()
+            .unwrap();
+        d.run(6, |n| Observation::of(30.0 / n as f64 + n as f64));
+        let before = d.history().len();
+        assert_eq!(before, 6);
+        // Rank 6 dies: actions ≥ 6 were measured with the dead node.
+        let survivor = ActionSpace::unstructured(5);
+        d.apply_platform_change(&survivor, Some(6), "node-death:rank=6");
+        assert!(d.history().len() < before, "stale records quarantined");
+        assert!(d.history().records().iter().all(|&(a, _)| a < 6));
+        // The next step is forced to the new all-nodes count and carries
+        // the full annotation.
+        let out = d.step(|n| Observation::of(30.0 / n as f64 + n as f64));
+        assert_eq!(out.action, 5, "rebaseline forces the live maximum");
+        let e = sink.events().last().unwrap().clone();
+        let fault = e.fault.expect("faulted iteration must be annotated");
+        assert!(fault.starts_with("node-death:rank=6"), "{fault}");
+        assert!(fault.contains("quarantine:"), "{fault}");
+        assert!(fault.contains("rebaseline"), "{fault}");
+        // Subsequent iterations are unremarkable again.
+        let _ = d.step(|n| Observation::of(30.0 / n as f64 + n as f64));
+        assert_eq!(sink.events().last().unwrap().fault, None);
+    }
+
+    #[test]
+    fn platform_change_without_policy_keeps_history() {
+        let sp = ActionSpace::unstructured(10);
+        let mut d = driver_for(&sp, Box::new(crate::naive::DivideConquer::new(&sp)));
+        d.run(6, |n| Observation::of(30.0 / n as f64 + n as f64));
+        let before = d.history().clone();
+        let survivor = ActionSpace::unstructured(5);
+        d.apply_platform_change(&survivor, Some(6), "node-death:rank=6");
+        assert_eq!(d.history(), &before, "no quarantine without the policy");
+        assert_eq!(d.space().max_nodes, 5, "the live space still shrinks");
+        // Strategies obey the live space even without any resilience.
+        for _ in 0..8 {
+            let out = d.step(|n| Observation::of(30.0 / n as f64 + n as f64));
+            assert!(out.action <= 5, "proposal {} exceeds live space", out.action);
+        }
+    }
+
+    #[test]
+    fn iteration_counter_survives_quarantine() {
+        let sp = ActionSpace::unstructured(8);
+        let sink = MemorySink::new();
+        let mut d = TunerDriver::builder(&sp)
+            .strategy(Box::new(crate::naive::DivideConquer::new(&sp)))
+            .sink(Box::new(sink.clone()))
+            .resilience(ResiliencePolicy::standard())
+            .build()
+            .unwrap();
+        d.run(4, |n| Observation::of(n as f64));
+        let survivor = ActionSpace::unstructured(3);
+        d.apply_platform_change(&survivor, Some(4), "node-death:rank=4");
+        d.run(2, |n| Observation::of(n as f64));
+        // Event iteration indices keep counting 0..6 even though the
+        // history shrank under quarantine.
+        let idx: Vec<usize> = sink.events().iter().map(|e| e.iteration).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(d.iterations_run(), 6);
     }
 }

@@ -26,8 +26,10 @@ impl Strategy for RandomSearch {
     fn name(&self) -> &'static str {
         "Random"
     }
-    fn propose(&mut self, _hist: &History) -> usize {
-        self.rng.random_range(1..=self.n)
+    fn propose(&mut self, space: &ActionSpace, _hist: &History) -> usize {
+        // Draw over the construction space to keep the RNG stream
+        // identical fault-free, then fold into the live platform.
+        self.rng.random_range(1..=self.n).min(space.max_nodes)
     }
 }
 
@@ -67,27 +69,33 @@ impl Strategy for SimulatedAnnealing {
         "SANN"
     }
 
-    fn propose(&mut self, hist: &History) -> usize {
-        // Absorb the pending observation.
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize {
+        // Fold into the live space after node loss.
+        if self.n > space.max_nodes {
+            self.n = space.max_nodes;
+            self.current = self.current.min(self.n);
+        }
+        // Absorb the pending observation (quarantine may have dropped it).
         if let Some(cand) = self.awaiting.take() {
-            let &(_, y) = hist.records().last().expect("awaiting observation");
-            match self.current_y {
-                None => {
-                    self.current = cand;
-                    self.current_y = Some(y);
-                }
-                Some(cy) => {
-                    let accept = y < cy || {
-                        let p = ((cy - y) / (self.temp * cy.abs().max(1e-9))).exp();
-                        self.rng.random_range(0.0..1.0) < p
-                    };
-                    if accept {
-                        self.current = cand;
+            if let Some(&(_, y)) = hist.records().last() {
+                match self.current_y {
+                    None => {
+                        self.current = cand.min(self.n);
                         self.current_y = Some(y);
                     }
+                    Some(cy) => {
+                        let accept = y < cy || {
+                            let p = ((cy - y) / (self.temp * cy.abs().max(1e-9))).exp();
+                            self.rng.random_range(0.0..1.0) < p
+                        };
+                        if accept {
+                            self.current = cand.min(self.n);
+                            self.current_y = Some(y);
+                        }
+                    }
                 }
+                self.temp *= self.cooling;
             }
-            self.temp *= self.cooling;
         }
         if self.current_y.is_none() {
             self.awaiting = Some(self.current);
@@ -136,18 +144,23 @@ impl Strategy for StochasticApproximation {
         "SPSA"
     }
 
-    fn propose(&mut self, hist: &History) -> usize {
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize {
+        // Fold into the live space after node loss.
+        if self.n > space.max_nodes {
+            self.n = space.max_nodes;
+            self.x = self.x.min(self.n as f64);
+        }
         let c = (self.n as f64 / 8.0 / (self.t as f64).powf(0.25)).max(1.0);
         if let Some(was_plus) = self.awaiting.take() {
-            let &(_, y) = hist.records().last().expect("awaiting observation");
-            if was_plus {
-                self.plus = Some(y);
-            } else {
-                let yp = self.plus.take().expect("plus probe first");
-                let grad = (yp - y) / (2.0 * c);
-                let a = self.n as f64 / (4.0 * self.t as f64);
-                self.x = (self.x - a * grad).clamp(1.0, self.n as f64);
-                self.t += 1;
+            if let Some(&(_, y)) = hist.records().last() {
+                if was_plus {
+                    self.plus = Some(y);
+                } else if let Some(yp) = self.plus.take() {
+                    let grad = (yp - y) / (2.0 * c);
+                    let a = self.n as f64 / (4.0 * self.t as f64);
+                    self.x = (self.x - a * grad).clamp(1.0, self.n as f64);
+                    self.t += 1;
+                }
             }
         }
         let probe_plus = self.plus.is_none();
@@ -199,10 +212,25 @@ impl Strategy for NelderMead1d {
         "Nelder-Mead"
     }
 
-    fn propose(&mut self, hist: &History) -> usize {
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize {
+        // Fold the simplex into the live space after node loss; a vertex
+        // beyond the surviving platform must be re-measured at the edge.
+        if self.n > space.max_nodes {
+            self.n = space.max_nodes;
+            let edge = self.n as f64;
+            for v in &mut self.simplex {
+                if v.0 > edge {
+                    *v = (edge, None);
+                }
+            }
+        }
         // Absorb the pending measurement.
         if let Some(idx) = self.awaiting.take() {
-            let &(_, y) = hist.records().last().expect("awaiting observation");
+            let Some(&(_, y)) = hist.records().last() else {
+                // Quarantined away: forget the candidate and re-plan.
+                self.pending_candidate = None;
+                return self.clamp(self.simplex[0].0);
+            };
             if let Some(cand) = self.pending_candidate.take() {
                 // Candidate replaces the worst vertex if it improves it.
                 let worst = if self.simplex[0].1.unwrap_or(f64::INFINITY)
@@ -254,10 +282,15 @@ impl Strategy for NelderMead1d {
 mod tests {
     use super::*;
 
-    fn drive(strat: &mut dyn Strategy, f: impl Fn(usize) -> f64, iters: usize) -> History {
+    fn drive(
+        strat: &mut dyn Strategy,
+        space: &ActionSpace,
+        f: impl Fn(usize) -> f64,
+        iters: usize,
+    ) -> History {
         let mut h = History::new();
         for _ in 0..iters {
-            let a = strat.propose(&h);
+            let a = strat.propose(space, &h);
             assert!((1..=64).contains(&a), "out of range: {a}");
             h.record(a, f(a));
         }
@@ -268,7 +301,7 @@ mod tests {
     fn random_covers_the_space() {
         let space = ActionSpace::unstructured(10);
         let mut r = RandomSearch::new(&space, 1);
-        let h = drive(&mut r, |n| n as f64, 200);
+        let h = drive(&mut r, &space, |n| n as f64, 200);
         for a in 1..=10 {
             assert!(h.count_for(a) > 0, "action {a} never tried");
         }
@@ -280,7 +313,7 @@ mod tests {
         let seq = |seed| {
             let mut r = RandomSearch::new(&space, seed);
             let h = History::new();
-            (0..10).map(|_| r.propose(&h)).collect::<Vec<_>>()
+            (0..10).map(|_| r.propose(&space, &h)).collect::<Vec<_>>()
         };
         assert_eq!(seq(5), seq(5));
         assert_ne!(seq(5), seq(6));
@@ -291,7 +324,7 @@ mod tests {
         let space = ActionSpace::unstructured(20);
         let mut s = SimulatedAnnealing::new(&space, 3);
         let f = |n: usize| (n as f64 - 8.0).powi(2) + 1.0;
-        let h = drive(&mut s, f, 150);
+        let h = drive(&mut s, &space, f, 150);
         let late: Vec<usize> = h.records()[120..].iter().map(|r| r.0).collect();
         let near = late.iter().filter(|&&a| (5..=11).contains(&a)).count();
         assert!(near * 2 >= late.len(), "late: {late:?}");
@@ -302,7 +335,7 @@ mod tests {
         // Non-parsimony: count distinct actions visited.
         let space = ActionSpace::unstructured(30);
         let mut s = SimulatedAnnealing::new(&space, 7);
-        let h = drive(&mut s, |n| n as f64, 60);
+        let h = drive(&mut s, &space, |n| n as f64, 60);
         let distinct: std::collections::BTreeSet<usize> = h.records().iter().map(|r| r.0).collect();
         assert!(distinct.len() >= 8, "only {} distinct", distinct.len());
     }
@@ -312,7 +345,7 @@ mod tests {
         let space = ActionSpace::unstructured(40);
         let mut s = StochasticApproximation::new(&space);
         let f = |n: usize| (n as f64 - 30.0).powi(2);
-        let h = drive(&mut s, f, 120);
+        let h = drive(&mut s, &space, f, 120);
         let late: Vec<usize> = h.records()[100..].iter().map(|r| r.0).collect();
         let near = late.iter().filter(|&&a| (24..=36).contains(&a)).count();
         assert!(near * 2 >= late.len(), "late: {late:?}");
@@ -323,7 +356,7 @@ mod tests {
         let space = ActionSpace::unstructured(40);
         let mut nm = NelderMead1d::new(&space);
         let f = |n: usize| (n as f64 - 22.0).powi(2) + 3.0;
-        let h = drive(&mut nm, f, 60);
+        let h = drive(&mut nm, &space, f, 60);
         let last = h.records().last().unwrap().0;
         assert!((17..=27).contains(&last), "settled at {last}");
     }
@@ -332,7 +365,7 @@ mod tests {
     fn nelder_mead_1d_settles_and_exploits() {
         let space = ActionSpace::unstructured(16);
         let mut nm = NelderMead1d::new(&space);
-        let h = drive(&mut nm, |n| n as f64, 40);
+        let h = drive(&mut nm, &space, |n| n as f64, 40);
         let tail: Vec<usize> = h.records()[35..].iter().map(|r| r.0).collect();
         assert!(tail.windows(2).all(|w| w[0] == w[1]), "not settled: {tail:?}");
     }
@@ -342,9 +375,9 @@ mod tests {
         let space = ActionSpace::unstructured(16);
         let mut s = StochasticApproximation::new(&space);
         let mut h = History::new();
-        let a1 = s.propose(&h);
+        let a1 = s.propose(&space, &h);
         h.record(a1, 1.0);
-        let a2 = s.propose(&h);
+        let a2 = s.propose(&space, &h);
         h.record(a2, 2.0);
         // Plus probe then minus probe around the same center.
         assert!(a1 > a2, "probes {a1}, {a2}");

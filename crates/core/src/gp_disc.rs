@@ -114,33 +114,36 @@ impl GpDiscontinuous {
         }
     }
 
-    fn lp(&self, n: usize) -> f64 {
+    fn lp(&self, space: &ActionSpace, n: usize) -> f64 {
         if !self.options.use_lp_residual {
             return 0.0;
         }
-        self.space.lp_at(n).unwrap_or(0.0)
+        space.lp_at(n).unwrap_or(0.0)
     }
 
-    /// Candidate actions after the bound mechanism (needs `y(N)`).
-    fn candidates(&self, hist: &History) -> Vec<usize> {
+    /// Candidate actions after the bound mechanism (needs `y(N)`). The
+    /// bound baseline is the first observation of the *live* all-nodes
+    /// count: after node loss no such observation exists until the driver
+    /// re-baselines, and the bound is simply inactive in between.
+    fn candidates(&self, space: &ActionSpace, hist: &History) -> Vec<usize> {
         if !self.options.use_bounds {
-            return self.space.actions();
+            return space.actions();
         }
-        match hist.first_for(self.space.max_nodes) {
-            Some(y_all) => self.space.bounded_actions(y_all),
-            None => self.space.actions(),
+        match hist.first_for(space.max_nodes) {
+            Some(y_all) => space.bounded_actions(y_all),
+            None => space.actions(),
         }
     }
 
     /// The initialization point for iteration `t`, or `None` once the GP
     /// phase should take over.
-    fn init_action(&self, hist: &History) -> Option<usize> {
-        let n = self.space.max_nodes;
+    fn init_action(&self, space: &ActionSpace, hist: &History) -> Option<usize> {
+        let n = space.max_nodes;
         let t = hist.len();
         if t == 0 {
             return Some(n);
         }
-        let cands = self.candidates(hist);
+        let cands = self.candidates(space, hist);
         let nl = *cands.first().expect("bounded set non-empty");
         if t == 1 {
             return Some(nl);
@@ -154,7 +157,7 @@ impl GpDiscontinuous {
         // If a group's last point is taken, evaluate the next point.
         let k = t - 4;
         let mut probes = Vec::new();
-        for &(_, hi) in &self.space.groups {
+        for &(_, hi) in &space.groups {
             if hi >= n {
                 continue; // the all-nodes group is already covered
             }
@@ -179,18 +182,21 @@ impl GpDiscontinuous {
 
     /// Observations and stage-1 hyper-parameters for the residual
     /// surrogate; `None` with too little data.
-    fn fit_inputs(&self, hist: &History) -> Option<(Vec<f64>, Vec<f64>, GpConfig)> {
+    fn fit_inputs(
+        &self,
+        space: &ActionSpace,
+        hist: &History,
+    ) -> Option<(Vec<f64>, Vec<f64>, GpConfig)> {
         if hist.len() < 3 {
             return None;
         }
         let xs: Vec<f64> = hist.records().iter().map(|&(a, _)| a as f64).collect();
-        let rs: Vec<f64> = hist.records().iter().map(|&(a, y)| y - self.lp(a)).collect();
+        let rs: Vec<f64> = hist.records().iter().map(|&(a, y)| y - self.lp(space, a)).collect();
         // Trend: linear + dummies, but only for groups with data (an
         // all-zero dummy column would make the GLS rank deficient).
-        let cands = self.candidates(hist);
+        let cands = self.candidates(space, hist);
         let trend = if self.options.use_dummies {
-            let groups_with_data: Vec<(usize, usize)> = self
-                .space
+            let groups_with_data: Vec<(usize, usize)> = space
                 .groups
                 .iter()
                 .copied()
@@ -229,10 +235,16 @@ impl GpDiscontinuous {
         robust_variance(&detrended).max(0.1 * alpha0).max(4.0 * noise).max(1e-9)
     }
 
-    /// Fit the residual surrogate from scratch; `None` with too little data
-    /// or a rank-deficient trend (callers fall back).
+    /// Fit the residual surrogate from scratch over the construction
+    /// space; `None` with too little data or a rank-deficient trend
+    /// (callers fall back).
     pub fn fit(&self, hist: &History) -> Option<GpModel> {
-        let (xs, rs, cfg) = self.fit_inputs(hist)?;
+        self.fit_in(&self.space, hist)
+    }
+
+    /// [`Self::fit`] over an explicit live space.
+    fn fit_in(&self, space: &ActionSpace, hist: &History) -> Option<GpModel> {
+        let (xs, rs, cfg) = self.fit_inputs(space, hist)?;
         let (alpha0, noise) = (cfg.process_var, cfg.noise_var);
         let first = GpModel::fit(cfg.clone(), &xs, &rs).ok()?;
         let alpha = Self::stage2_alpha(&first, &xs, &rs, alpha0, noise);
@@ -247,9 +259,9 @@ impl GpDiscontinuous {
     /// and by a distance-reusing refit otherwise. Returns `true` when a
     /// model is ready in [`Self::surrogate_model`]; the model is bitwise
     /// identical to what [`Self::fit`] would build from scratch.
-    fn refresh_surrogate(&mut self, hist: &History) -> bool {
+    fn refresh_surrogate(&mut self, space: &ActionSpace, hist: &History) -> bool {
         self.surrogate.active = ActiveModel::None;
-        let Some((xs, rs, cfg)) = self.fit_inputs(hist) else {
+        let Some((xs, rs, cfg)) = self.fit_inputs(space, hist) else {
             return false;
         };
         let (alpha0, noise) = (cfg.process_var, cfg.noise_var);
@@ -287,16 +299,17 @@ impl GpDiscontinuous {
     /// duration and uncertainty per action, bound flags included.
     pub fn surrogate_curve(&self, hist: &History) -> Option<Vec<SurrogatePoint>> {
         let model = self.fit(hist)?;
-        let cands = self.candidates(hist);
+        let space = &self.space;
+        let cands = self.candidates(space, hist);
         Some(
-            self.space
+            space
                 .actions()
                 .into_iter()
                 .map(|a| {
                     let p = model.predict(a as f64);
                     SurrogatePoint {
                         n: a,
-                        mean: self.lp(a) + p.mean,
+                        mean: self.lp(space, a) + p.mean,
                         sd: p.sd(),
                         in_bounds: cands.contains(&a),
                     }
@@ -329,15 +342,16 @@ impl Strategy for GpDiscontinuous {
         "GP-discontinuous"
     }
 
-    fn propose(&mut self, hist: &History) -> usize {
-        if let Some(a) = self.init_action(hist) {
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize {
+        if let Some(a) = self.init_action(space, hist) {
             return a;
         }
-        let cands = self.candidates(hist);
+        let cands = self.candidates(space, hist);
         // Warm path: reuse the surrogate from the previous proposal
         // (incremental update or distance-sharing refit) — bitwise the same
-        // model `self.fit(hist)` would build from scratch.
-        match self.refresh_surrogate(hist) {
+        // model `self.fit(hist)` would build from scratch. A changed live
+        // space changes the residuals, which the cache detects and refits.
+        match self.refresh_surrogate(space, hist) {
             true => {
                 let model = self.surrogate_model().expect("refresh left a model");
                 let beta = self.schedule.beta(hist.len().max(1), cands.len());
@@ -345,7 +359,7 @@ impl Strategy for GpDiscontinuous {
                     .iter()
                     .map(|&a| {
                         let p = model.predict(a as f64);
-                        let score = self.lp(a) + p.mean - beta.sqrt() * p.sd();
+                        let score = self.lp(space, a) + p.mean - beta.sqrt() * p.sd();
                         (a, score)
                     })
                     .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
@@ -363,21 +377,21 @@ impl Strategy for GpDiscontinuous {
         }
     }
 
-    fn explain(&self, hist: &History) -> DecisionTrace {
-        let cands = self.candidates(hist);
+    fn explain(&self, space: &ActionSpace, hist: &History) -> DecisionTrace {
+        let cands = self.candidates(space, hist);
         let excluded: Vec<usize> =
-            self.space.actions().into_iter().filter(|a| !cands.contains(a)).collect();
-        if self.init_action(hist).is_some() {
+            space.actions().into_iter().filter(|a| !cands.contains(a)).collect();
+        if self.init_action(space, hist).is_some() {
             return DecisionTrace { diagnostics: Vec::new(), excluded, note: "init".into() };
         }
-        match self.fit(hist) {
+        match self.fit_in(space, hist) {
             Some(model) => {
                 let beta = self.schedule.beta(hist.len().max(1), cands.len());
                 let diagnostics = cands
                     .iter()
                     .map(|&a| {
                         let p = model.predict(a as f64);
-                        let mean = self.lp(a) + p.mean;
+                        let mean = self.lp(space, a) + p.mean;
                         let sd = p.sd();
                         ActionDiagnostic {
                             action: a,
@@ -409,10 +423,15 @@ impl Strategy for GpDiscontinuous {
 mod tests {
     use super::*;
 
-    fn drive(strat: &mut dyn Strategy, f: impl Fn(usize) -> f64, iters: usize) -> History {
+    fn drive(
+        strat: &mut dyn Strategy,
+        space: &ActionSpace,
+        f: impl Fn(usize) -> f64,
+        iters: usize,
+    ) -> History {
         let mut h = History::new();
         for _ in 0..iters {
-            let a = strat.propose(&h);
+            let a = strat.propose(space, &h);
             h.record(a, f(a));
         }
         h
@@ -427,7 +446,7 @@ mod tests {
     fn first_iteration_uses_all_nodes() {
         let space = ActionSpace::new(12, vec![], Some(lp_curve(12, 60.0)));
         let mut g = GpDiscontinuous::new(&space);
-        assert_eq!(g.propose(&History::new()), 12);
+        assert_eq!(g.propose(&space, &History::new()), 12);
     }
 
     #[test]
@@ -437,12 +456,12 @@ mod tests {
         let mut g = GpDiscontinuous::new(&space);
         let mut h = History::new();
         h.record(12, 8.0);
-        let second = g.propose(&h);
+        let second = g.propose(&space, &h);
         assert_eq!(second, 8, "leftmost bounded point");
         // And the strategy never proposes a bounded-out point: with
         // y(12) = f(12) = 8.6, LP(n) = 60/n >= 8.6 for n <= 6.
         let f = |n: usize| 60.0 / n as f64 + 0.3 * n as f64;
-        let h = drive(&mut GpDiscontinuous::new(&space), f, 40);
+        let h = drive(&mut GpDiscontinuous::new(&space), &space, f, 40);
         // First iteration is forced to 12; later ones respect the bound.
         for &(a, _) in &h.records()[1..] {
             assert!(a >= 7, "proposed bounded-out action {a}");
@@ -458,7 +477,7 @@ mod tests {
         );
         let mut g = GpDiscontinuous::new(&space);
         let f = |n: usize| 1.0 / n as f64 + 0.2 * n as f64;
-        let h = drive(&mut g, f, 8);
+        let h = drive(&mut g, &space, f, 8);
         let seq: Vec<usize> = h.records().iter().map(|r| r.0).collect();
         // N, leftmost, mid, mid, then group lasts 4 and 8.
         assert_eq!(&seq[..4], &[12, 1, 6, 6]);
@@ -471,7 +490,7 @@ mod tests {
         let space = ActionSpace::new(20, vec![], Some(lp_curve(20, 100.0)));
         let mut g = GpDiscontinuous::new(&space);
         let f = |n: usize| 100.0 / n as f64 + 0.9 * n as f64; // min near 10-11
-        let h = drive(&mut g, f, 60);
+        let h = drive(&mut g, &space, f, 60);
         let late: Vec<usize> = h.records()[40..].iter().map(|r| r.0).collect();
         let near = late.iter().filter(|&&a| (9..=13).contains(&a)).count();
         assert!(near * 2 > late.len(), "late plays: {late:?}");
@@ -491,7 +510,7 @@ mod tests {
                 base
             }
         };
-        let h = drive(&mut g, f, 60);
+        let h = drive(&mut g, &space, f, 60);
         let best_by_truth = (1..=16).min_by(|&a, &b| f(a).partial_cmp(&f(b)).unwrap()).unwrap();
         let late: Vec<usize> = h.records()[40..].iter().map(|r| r.0).collect();
         let near = late.iter().filter(|&&a| (a as i64 - best_by_truth as i64).abs() <= 1).count();
@@ -507,7 +526,7 @@ mod tests {
         let mut h = History::new();
         let truth = |n: usize| 75.0 / n as f64 + 1.0 * n as f64; // min ~8-9
         for _ in 0..80 {
-            let a = g.propose(&h);
+            let a = g.propose(&space, &h);
             let noise: f64 = rng.random_range(-0.5..0.5);
             h.record(a, truth(a) + noise);
         }
@@ -521,7 +540,7 @@ mod tests {
         let space = ActionSpace::new(10, vec![], Some(lp_curve(10, 40.0)));
         let mut g = GpDiscontinuous::new(&space);
         let f = |n: usize| 40.0 / n as f64 + 0.5 * n as f64;
-        let h = drive(&mut g, f, 25);
+        let h = drive(&mut g, &space, f, 25);
         let curve = g.surrogate_curve(&h).expect("fit succeeds");
         assert_eq!(curve.len(), 10);
         for p in curve.iter().filter(|p| h.count_for(p.n) >= 2) {
@@ -549,8 +568,8 @@ mod tests {
         );
         let mut h = History::new();
         h.record(12, 8.0); // LP(n) >= 8 for n <= 7
-        assert_eq!(full.propose(&h), 8);
-        assert_eq!(no_bounds.propose(&h), 1);
+        assert_eq!(full.propose(&space, &h), 8);
+        assert_eq!(no_bounds.propose(&space, &h), 1);
 
         // Without the LP residual, the modeled mean is the raw duration.
         let no_lp = GpDiscontinuous::with_options(
@@ -561,7 +580,7 @@ mod tests {
         let mut h = History::new();
         let mut full2 = GpDiscontinuous::new(&space);
         for _ in 0..12 {
-            let a = full2.propose(&h);
+            let a = full2.propose(&space, &h);
             h.record(a, f(a));
         }
         let c_full = full2.surrogate_curve(&h).unwrap();
@@ -581,7 +600,7 @@ mod tests {
         let mut h = History::new();
         let truth = |n: usize| 75.0 / n as f64 + 1.0 * n as f64; // min ~8-9
         for it in 0..60 {
-            let a = g.propose(&h);
+            let a = g.propose(&space, &h);
             let mut y = truth(a);
             if it == 6 {
                 y *= 20.0; // outlier
@@ -601,7 +620,7 @@ mod tests {
         let mut g = GpDiscontinuous::new(&space);
         let mut h = History::new();
         for _ in 0..20 {
-            let a = g.propose(&h);
+            let a = g.propose(&space, &h);
             h.record(a, 16.0 / a as f64 + a as f64); // exactly repeatable
         }
         assert!(g.fit(&h).is_some(), "fit must survive zero-variance replicates");
@@ -624,12 +643,12 @@ mod tests {
         };
         let mut h = History::new();
         for it in 0..40 {
-            let a = g.propose(&h);
+            let a = g.propose(&space, &h);
             let fresh = GpDiscontinuous::new(&space);
-            let expected = match fresh.init_action(&h) {
+            let expected = match fresh.init_action(&space, &h) {
                 Some(e) => e,
                 None => {
-                    let cands = fresh.candidates(&h);
+                    let cands = fresh.candidates(&space, &h);
                     match fresh.fit(&h) {
                         Some(model) => {
                             let beta = fresh.schedule.beta(h.len().max(1), cands.len());
@@ -637,7 +656,7 @@ mod tests {
                                 .iter()
                                 .map(|&c| {
                                     let p = model.predict(c as f64);
-                                    (c, fresh.lp(c) + p.mean - beta.sqrt() * p.sd())
+                                    (c, fresh.lp(&space, c) + p.mean - beta.sqrt() * p.sd())
                                 })
                                 .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
                                 .map(|(c, _)| c)
@@ -656,7 +675,7 @@ mod tests {
     fn works_without_lp_curve() {
         let space = ActionSpace::unstructured(8);
         let mut g = GpDiscontinuous::new(&space);
-        let h = drive(&mut g, |n| (n as f64 - 5.0).powi(2) + 1.0, 30);
+        let h = drive(&mut g, &space, |n| (n as f64 - 5.0).powi(2) + 1.0, 30);
         assert!(h.records().iter().all(|&(a, _)| (1..=8).contains(&a)));
         let late = h.records().last().unwrap().0;
         assert!((4..=6).contains(&late), "late play {late}");

@@ -83,38 +83,39 @@ impl Strategy for GpUcb {
         "GP-UCB"
     }
 
-    fn propose(&mut self, hist: &History) -> usize {
-        let n = self.space.max_nodes;
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize {
+        // Candidates, the init sequence and β_t all follow the *live*
+        // space, so a shrunken platform is respected immediately.
+        let n = space.max_nodes;
         match hist.len() {
             0 => n,
             1 => 1.min(n),
             2 | 3 => n.div_ceil(2).max(1),
             t => {
-                let candidates: Vec<f64> = self.space.actions().iter().map(|&a| a as f64).collect();
+                let candidates: Vec<f64> = space.actions().iter().map(|&a| a as f64).collect();
                 match self.fit_cached(hist) {
                     Some(model) => {
-                        let beta = self.beta(t);
+                        let beta = self.schedule.beta(t.max(1), n);
                         ucb_argmin(&model, &candidates, beta)
                             .map(|x| x.round() as usize)
                             .unwrap_or(n)
                             .clamp(1, n)
                     }
-                    None => hist.best_action().unwrap_or(n),
+                    None => hist.best_action().unwrap_or(n).min(n),
                 }
             }
         }
     }
 
-    fn explain(&self, hist: &History) -> DecisionTrace {
+    fn explain(&self, space: &ActionSpace, hist: &History) -> DecisionTrace {
         let t = hist.len();
         if t < 4 {
             return DecisionTrace::minimal("init");
         }
         match self.fit(hist) {
             Some(model) => {
-                let beta = self.beta(t);
-                let diagnostics = self
-                    .space
+                let beta = self.schedule.beta(t.max(1), space.max_nodes);
+                let diagnostics = space
                     .actions()
                     .into_iter()
                     .map(|a| {
@@ -139,10 +140,15 @@ impl Strategy for GpUcb {
 mod tests {
     use super::*;
 
-    fn drive(strat: &mut dyn Strategy, f: impl Fn(usize) -> f64, iters: usize) -> History {
+    fn drive(
+        strat: &mut dyn Strategy,
+        space: &ActionSpace,
+        f: impl Fn(usize) -> f64,
+        iters: usize,
+    ) -> History {
         let mut h = History::new();
         for _ in 0..iters {
-            let a = strat.propose(&h);
+            let a = strat.propose(space, &h);
             assert!(a >= 1);
             h.record(a, f(a));
         }
@@ -153,7 +159,7 @@ mod tests {
     fn initialization_sequence_matches_paper() {
         let space = ActionSpace::unstructured(14);
         let mut g = GpUcb::new(&space);
-        let h = drive(&mut g, |n| n as f64, 4);
+        let h = drive(&mut g, &space, |n| n as f64, 4);
         let seq: Vec<usize> = h.records().iter().map(|r| r.0).collect();
         assert_eq!(seq, vec![14, 1, 7, 7]);
     }
@@ -165,7 +171,7 @@ mod tests {
         let space = ActionSpace::unstructured(14);
         let mut g = GpUcb::new(&space);
         let f = |n: usize| 60.0 / n as f64 + 1.2 * n as f64; // min near 7
-        let h = drive(&mut g, f, 40);
+        let h = drive(&mut g, &space, f, 40);
         let late: Vec<usize> = h.records()[25..].iter().map(|r| r.0).collect();
         let near = late.iter().filter(|&&a| (5..=9).contains(&a)).count();
         assert!(near * 2 > late.len(), "late plays: {late:?}");
@@ -179,7 +185,7 @@ mod tests {
         let space = ActionSpace::unstructured(14);
         let mut g = GpUcb::new(&space);
         let f = |n: usize| 10.0 + (n as f64 - 6.0).powi(2) * 3.0;
-        let h = drive(&mut g, f, 30);
+        let h = drive(&mut g, &space, f, 30);
         let wasted = h.count_for(13) + h.count_for(14);
         // 14 is forced at iteration 1; beyond that the far-right should be
         // rarely touched.
@@ -205,7 +211,7 @@ mod tests {
         let f = |n: usize| 60.0 / n as f64 + 1.2 * n as f64;
         let mut h = History::new();
         for _ in 0..20 {
-            let a = g.propose(&h);
+            let a = g.propose(&space, &h);
             h.record(a, f(a));
             let cached = g.fit_cached(&h);
             let scratch = g.fit(&h);
@@ -231,7 +237,7 @@ mod tests {
     fn single_node_space_is_trivial() {
         let space = ActionSpace::unstructured(1);
         let mut g = GpUcb::new(&space);
-        let h = drive(&mut g, |_| 1.0, 6);
+        let h = drive(&mut g, &space, |_| 1.0, 6);
         assert!(h.records().iter().all(|&(a, _)| a == 1));
     }
 }

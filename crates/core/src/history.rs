@@ -82,6 +82,16 @@ impl History {
     pub fn total_time(&self) -> f64 {
         self.records.iter().map(|&(_, y)| y).sum()
     }
+
+    /// Drop every record whose action fails the predicate, returning how
+    /// many were removed. Used by the driver to quarantine observations
+    /// taken on a since-changed platform (e.g. node counts that no longer
+    /// exist after a node death).
+    pub fn retain_actions(&mut self, mut keep: impl FnMut(usize) -> bool) -> usize {
+        let before = self.records.len();
+        self.records.retain(|&(a, _)| keep(a));
+        before - self.records.len()
+    }
 }
 
 #[cfg(test)]

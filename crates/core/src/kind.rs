@@ -204,7 +204,7 @@ mod tests {
         let space = ActionSpace::new(10, vec![(1, 5), (6, 10)], Some(vec![1.0; 10]));
         for k in StrategyKind::all() {
             let mut s = k.build(&space, 1, Some(3)).unwrap();
-            let a = s.propose(&History::new());
+            let a = s.propose(&space, &History::new());
             assert!((1..=10).contains(&a), "{k} proposed {a}");
         }
     }
@@ -218,7 +218,7 @@ mod tests {
         };
         assert_eq!(err, UnknownStrategyError::MissingOracleBest);
         let mut o = StrategyKind::Oracle.build(&space, 0, Some(3)).unwrap();
-        assert_eq!(o.propose(&History::new()), 3);
+        assert_eq!(o.propose(&space, &History::new()), 3);
     }
 
     #[test]

@@ -25,17 +25,21 @@
 //! # Protocol
 //!
 //! Strategies implement [`Strategy`]: the canonical loop is owned by
-//! [`TunerDriver`], which calls [`Strategy::propose`] with the
-//! observation [`History`] so far, runs one iteration with the returned
-//! node count through a caller-provided executor, and records the
-//! measured duration. Proposals must stay inside `1..=max_nodes` (see the
-//! [`Strategy`] range contract). All strategies are deterministic given
-//! their construction (seeded RNGs where randomness is inherent).
+//! [`TunerDriver`], which calls [`Strategy::propose`] with the *live*
+//! [`ActionSpace`] and the observation [`History`] so far, runs one
+//! iteration with the returned node count through a caller-provided
+//! executor, and records the measured duration. Proposals must stay
+//! inside `1..=space.max_nodes` of the live space — which can shrink
+//! mid-run when a node dies (see the [`Strategy`] range contract). All
+//! strategies are deterministic given their construction (seeded RNGs
+//! where randomness is inherent).
 //!
-//! Strategies are built by canonical name through [`StrategyKind`], and
-//! the driver emits one structured [`IterationEvent`] per iteration to
-//! any attached [`TelemetrySink`] — including the strategy's own account
-//! of its decision via [`Strategy::explain`].
+//! Strategies are built by canonical name through [`StrategyKind`];
+//! drivers are configured through the typed [`TunerDriver::builder`]
+//! (strategy, seed, iteration budget, sinks, [`ResiliencePolicy`]) and
+//! emit one structured [`IterationEvent`] per iteration to any attached
+//! [`TelemetrySink`] — including the strategy's own account of its
+//! decision via [`Strategy::explain`].
 //!
 //! ```
 //! use adaphet_core::{
@@ -45,14 +49,13 @@
 //! // A 10-node cluster, two homogeneous groups, a synthetic LP bound.
 //! let space = ActionSpace::new(10, vec![(1, 4), (5, 10)],
 //!                              Some((1..=10).map(|n| 40.0 / n as f64).collect()));
-//! let strat = "GP-discontinuous".parse::<StrategyKind>()
-//!     .unwrap()
-//!     .build(&space, 0, None)
-//!     .unwrap();
 //!
 //! let sink = MemorySink::new();
-//! let mut driver = TunerDriver::new(strat, &space)
-//!     .with_sink(Box::new(sink.clone()));
+//! let mut driver = TunerDriver::builder(&space)
+//!     .kind("GP-discontinuous".parse::<StrategyKind>().unwrap())
+//!     .sink(Box::new(sink.clone()))
+//!     .build()
+//!     .unwrap();
 //! // Fake response: best at 6 nodes.
 //! driver.run(20, |n| {
 //!     Observation::of(40.0 / n as f64 + 0.8 * (n as f64)
@@ -89,8 +92,9 @@ pub use bandit::{Ucb, UcbStruct};
 pub use brent::BrentSearch;
 pub use drift::DriftReset;
 pub use driver::{
-    GroupUtilization, IterationEvent, JsonlSink, MemorySink, Observation, PhaseBreakdown,
-    PhaseSlice, StepOutcome, TelemetrySink, TunerDriver,
+    DriverBuildError, GroupUtilization, IterationEvent, JsonlSink, MemorySink, Observation,
+    PhaseBreakdown, PhaseSlice, ResiliencePolicy, StepOutcome, TelemetrySink, TunerDriver,
+    TunerDriverBuilder,
 };
 pub use extra::{NelderMead1d, RandomSearch, SimulatedAnnealing, StochasticApproximation};
 pub use gp_disc::{GpDiscOptions, GpDiscontinuous};

@@ -41,12 +41,27 @@ impl Strategy for DivideConquer {
         "DC"
     }
 
-    fn propose(&mut self, hist: &History) -> usize {
-        // Ingest the answer to the previous question.
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize {
+        let n = space.max_nodes;
+        // Track the live space: after node loss the interval (and any
+        // queued probes or converged choice) must fold back inside it.
+        if self.hi > n {
+            self.hi = n;
+            self.lo = self.lo.min(n);
+            self.pending.retain(|&a| a <= n);
+            self.split.retain(|&(a, _)| a <= n);
+            if self.converged.is_some_and(|b| b > n) {
+                self.converged = None;
+            }
+        }
+        // Ingest the answer to the previous question. On a quarantined
+        // post-fault history the probe's record may have been dropped —
+        // then the question is simply re-asked by the split logic below.
         if let Some(a) = self.awaiting.take() {
             if let Some(&(la, y)) = hist.records().last() {
-                debug_assert_eq!(la, a);
-                self.split.push((a, y));
+                if la == a {
+                    self.split.push((a, y));
+                }
             }
         }
         if let Some(best) = self.converged {
@@ -115,7 +130,13 @@ impl Strategy for RightLeft {
         "Right-Left"
     }
 
-    fn propose(&mut self, hist: &History) -> usize {
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize {
+        // Node loss moves the walk's ceiling (and any settled choice)
+        // down with the live platform.
+        if self.n > space.max_nodes {
+            self.n = space.max_nodes;
+            self.current = self.current.min(self.n);
+        }
         if hist.is_empty() {
             self.current = self.n;
             return self.n;
@@ -154,10 +175,15 @@ mod tests {
     use super::*;
 
     /// Drive a strategy against a deterministic response curve.
-    fn drive(strat: &mut dyn Strategy, f: impl Fn(usize) -> f64, iters: usize) -> History {
+    fn drive(
+        strat: &mut dyn Strategy,
+        space: &ActionSpace,
+        f: impl Fn(usize) -> f64,
+        iters: usize,
+    ) -> History {
         let mut h = History::new();
         for _ in 0..iters {
-            let a = strat.propose(&h);
+            let a = strat.propose(space, &h);
             h.record(a, f(a));
         }
         h
@@ -168,7 +194,7 @@ mod tests {
         let space = ActionSpace::unstructured(32);
         let mut dc = DivideConquer::new(&space);
         let f = |n: usize| (n as f64 - 11.0).powi(2) + 5.0;
-        let h = drive(&mut dc, f, 30);
+        let h = drive(&mut dc, &space, f, 30);
         let last = h.records().last().unwrap().0;
         assert!((10..=12).contains(&last), "converged to {last}");
     }
@@ -178,7 +204,7 @@ mod tests {
         let space = ActionSpace::unstructured(16);
         let mut dc = DivideConquer::new(&space);
         let f = |n: usize| n as f64; // best is 1
-        let h = drive(&mut dc, f, 25);
+        let h = drive(&mut dc, &space, f, 25);
         // After convergence the same action repeats.
         let tail: Vec<usize> = h.records()[20..].iter().map(|r| r.0).collect();
         assert!(tail.windows(2).all(|w| w[0] == w[1]), "not exploiting: {tail:?}");
@@ -195,7 +221,7 @@ mod tests {
         let truth = |n: usize| (n as f64 - 4.0).powi(2); // best at 4 (left half)
         let mut first = true;
         for _ in 0..25 {
-            let a = dc.propose(&h);
+            let a = dc.propose(&space, &h);
             let mut y = truth(a);
             if first {
                 y += 1e6; // outlier on the left midpoint
@@ -214,7 +240,7 @@ mod tests {
         let space = ActionSpace::unstructured(12);
         let mut rl = RightLeft::new(&space);
         let f = |n: usize| (n as f64 - 6.0).abs() + 1.0;
-        let h = drive(&mut rl, f, 20);
+        let h = drive(&mut rl, &space, f, 20);
         let last = h.records().last().unwrap().0;
         assert!((6..=7).contains(&last), "stopped at {last}");
     }
@@ -231,7 +257,7 @@ mod tests {
             6 => 1.0,   // unreachable optimum
             _ => 10.5,
         };
-        let h = drive(&mut rl, f, 15);
+        let h = drive(&mut rl, &space, f, 15);
         let last = h.records().last().unwrap().0;
         assert_eq!(last, 12, "should settle on all nodes");
         assert_eq!(h.count_for(6), 0, "never explores the optimum");
@@ -242,7 +268,38 @@ mod tests {
         let space = ActionSpace::unstructured(8);
         let mut rl = RightLeft::new(&space);
         let f = |n: usize| n as f64; // fewer is always better
-        let h = drive(&mut rl, f, 12);
+        let h = drive(&mut rl, &space, f, 12);
         assert_eq!(h.records().last().unwrap().0, 1);
+    }
+
+    #[test]
+    fn both_heuristics_fold_into_a_shrunken_live_space() {
+        let full = ActionSpace::unstructured(16);
+        let live = ActionSpace::unstructured(6);
+        let f = |n: usize| n as f64;
+        let mut dc = DivideConquer::new(&full);
+        let mut rl = RightLeft::new(&full);
+        let mut h = History::new();
+        for _ in 0..4 {
+            let a = dc.propose(&full, &h);
+            h.record(a, f(a));
+        }
+        // The platform shrinks to 6 nodes mid-run: every further proposal
+        // must stay inside the live space.
+        for _ in 0..12 {
+            let a = dc.propose(&live, &h);
+            assert!((1..=6).contains(&a), "DC proposed {a} on a 6-node platform");
+            h.record(a, f(a));
+        }
+        let mut h2 = History::new();
+        for _ in 0..3 {
+            let a = rl.propose(&full, &h2);
+            h2.record(a, f(a));
+        }
+        for _ in 0..12 {
+            let a = rl.propose(&live, &h2);
+            assert!((1..=6).contains(&a), "Right-Left proposed {a} on a 6-node platform");
+            h2.record(a, f(a));
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! The strategy trait, its introspection types, and trivial reference
 //! strategies.
 
-use crate::History;
+use crate::{ActionSpace, History};
 
 /// Posterior / score diagnostics for one candidate action, as seen by the
 /// strategy right before it decided.
@@ -52,16 +52,25 @@ impl DecisionTrace {
 /// fastest-first nodes), runs the iteration, and appends `(action,
 /// duration)` to the [`History`] it passes back on the next call.
 ///
+/// # The live action space
+///
+/// `propose` receives the **live** [`ActionSpace`] on every call: under
+/// platform faults (node death) the driver shrinks the space mid-run, and
+/// the strategy must answer within *that* space, not the one it was
+/// constructed over. Strategies may cache structure from their
+/// construction space (arms, groups, surrogate state) but must intersect
+/// it with the live space before answering.
+///
 /// # Range contract
 ///
-/// `propose` must return an action inside the strategy's action space,
-/// i.e. `1..=max_nodes` of the [`ActionSpace`](crate::ActionSpace) it was
-/// constructed over, for **every** possible history — including histories
-/// the strategy did not generate itself (replays, drift resets). Callers
-/// rely on this to index response tables and spawn node sets without
-/// clamping; the [`TunerDriver`](crate::TunerDriver) checks it with a
-/// `debug_assert!` and `tests/tuner_properties.rs` exercises it over
-/// random histories.
+/// `propose` must return an action in `1..=space.max_nodes` of the live
+/// space, for **every** possible history — including histories the
+/// strategy did not generate itself (replays, drift resets, quarantined
+/// post-fault histories). Callers rely on this to index response tables
+/// and spawn node sets without clamping; the
+/// [`TunerDriver`](crate::TunerDriver) checks it with a `debug_assert!`
+/// and `tests/tuner_properties.rs` exercises it over random histories and
+/// random fault plans.
 ///
 /// Strategies are `Send` (they hold plain numeric state and seeded RNGs)
 /// so a [`TunerDriver`](crate::TunerDriver) can move into a worker thread.
@@ -69,20 +78,21 @@ pub trait Strategy: Send {
     /// Display name (matches the paper's figure labels).
     fn name(&self) -> &'static str;
 
-    /// Choose the next action given everything observed so far.
-    fn propose(&mut self, hist: &History) -> usize;
+    /// Choose the next action from the live `space` given everything
+    /// observed so far.
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize;
 
     /// Describe the decision [`propose`](Strategy::propose) would make on
-    /// `hist` — called by the driver right before `propose`, only when a
-    /// telemetry sink asked for it (it may be expensive: the GP
-    /// strategies refit their surrogate).
+    /// `hist` over the live `space` — called by the driver right before
+    /// `propose`, only when a telemetry sink asked for it (it may be
+    /// expensive: the GP strategies refit their surrogate).
     ///
     /// The default is a minimal trace carrying only the strategy name;
     /// [`GpDiscontinuous`](crate::GpDiscontinuous),
     /// [`GpUcb`](crate::GpUcb), [`Ucb`](crate::Ucb) and
     /// [`UcbStruct`](crate::UcbStruct) provide full diagnostics.
-    fn explain(&self, hist: &History) -> DecisionTrace {
-        let _ = hist;
+    fn explain(&self, space: &ActionSpace, hist: &History) -> DecisionTrace {
+        let _ = (space, hist);
         DecisionTrace::minimal(self.name())
     }
 }
@@ -107,8 +117,10 @@ impl Strategy for AllNodes {
     fn name(&self) -> &'static str {
         "all-nodes"
     }
-    fn propose(&mut self, _hist: &History) -> usize {
-        self.n
+    fn propose(&mut self, space: &ActionSpace, _hist: &History) -> usize {
+        // "All nodes" means all *live* nodes: after a node death the
+        // application default shrinks with the platform.
+        self.n.min(space.max_nodes)
     }
 }
 
@@ -131,8 +143,10 @@ impl Strategy for Oracle {
     fn name(&self) -> &'static str {
         "oracle"
     }
-    fn propose(&mut self, _hist: &History) -> usize {
-        self.best
+    fn propose(&mut self, space: &ActionSpace, _hist: &History) -> usize {
+        // The offline optimum may no longer exist after node loss; the
+        // closest surviving prefix is the best the oracle can still play.
+        self.best.min(space.max_nodes)
     }
 }
 
@@ -143,9 +157,10 @@ mod tests {
     #[test]
     fn all_nodes_is_constant() {
         let mut s = AllNodes::new(7);
+        let space = ActionSpace::unstructured(7);
         let h = History::new();
         for _ in 0..5 {
-            assert_eq!(s.propose(&h), 7);
+            assert_eq!(s.propose(&space, &h), 7);
         }
         assert_eq!(s.name(), "all-nodes");
     }
@@ -153,9 +168,20 @@ mod tests {
     #[test]
     fn oracle_is_constant() {
         let mut s = Oracle::new(3);
+        let space = ActionSpace::unstructured(5);
         let mut h = History::new();
         h.record(3, 1.0);
-        assert_eq!(s.propose(&h), 3);
+        assert_eq!(s.propose(&space, &h), 3);
         assert_eq!(s.name(), "oracle");
+    }
+
+    #[test]
+    fn constants_respect_a_shrunken_live_space() {
+        let mut all = AllNodes::new(7);
+        let mut oracle = Oracle::new(6);
+        let live = ActionSpace::unstructured(4);
+        let h = History::new();
+        assert_eq!(all.propose(&live, &h), 4, "all-nodes follows the live platform");
+        assert_eq!(oracle.propose(&live, &h), 4, "oracle clamps to the survivors");
     }
 }

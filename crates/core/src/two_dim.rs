@@ -7,6 +7,7 @@
 //! that extension: a GP-UCB over the `(n_gen, n_fact)` grid with a
 //! separable exponential kernel.
 
+use crate::ActionSpace;
 use adaphet_gp::{GpConfig, GpModel, Kernel, Trend, UcbSchedule};
 
 /// Observation history over 2D actions.
@@ -63,11 +64,16 @@ impl History2d {
 }
 
 /// A strategy over `(n_gen, n_fact)` pairs.
+///
+/// Like [`Strategy`](crate::Strategy), `propose` receives the **live**
+/// [`ActionSpace`] each call and must answer inside
+/// `1..=space.max_nodes` on both axes — after node loss the grid shrinks
+/// with the platform.
 pub trait Strategy2d {
     /// Display name.
     fn name(&self) -> &'static str;
-    /// Next `(n_gen, n_fact)` to play.
-    fn propose(&mut self, hist: &History2d) -> (usize, usize);
+    /// Next `(n_gen, n_fact)` to play from the live `space`.
+    fn propose(&mut self, space: &ActionSpace, hist: &History2d) -> (usize, usize);
 }
 
 /// GP-UCB on the 2D grid with a product (separable) exponential kernel:
@@ -127,8 +133,9 @@ impl Strategy2d for GpUcb2d {
         "GP-UCB-2D"
     }
 
-    fn propose(&mut self, hist: &History2d) -> (usize, usize) {
-        let n = self.n;
+    fn propose(&mut self, space: &ActionSpace, hist: &History2d) -> (usize, usize) {
+        // The grid edge follows the live platform.
+        let n = self.n.min(space.max_nodes);
         // Initialization: corners of the grid (all/all first), then center.
         let init = [(n, n), (n, 1), (1, n), (n.div_ceil(2), n.div_ceil(2))];
         if hist.len() < init.len() {
@@ -139,6 +146,7 @@ impl Strategy2d for GpUcb2d {
                 let beta = self.schedule.beta(hist.len(), n * n);
                 self.grid()
                     .into_iter()
+                    .filter(|&(g, f)| g <= n && f <= n)
                     .map(|a| {
                         let p = model.predict(self.embed(a));
                         (a, p.mean - beta.sqrt() * p.sd())
@@ -147,7 +155,10 @@ impl Strategy2d for GpUcb2d {
                     .map(|(a, _)| a)
                     .unwrap_or((n, n))
             }
-            None => hist.best_action().unwrap_or((n, n)),
+            None => {
+                let (g, f) = hist.best_action().unwrap_or((n, n));
+                (g.min(n), f.min(n))
+            }
         }
     }
 }
@@ -162,9 +173,10 @@ mod tests {
         iters: usize,
         n: usize,
     ) -> History2d {
+        let space = ActionSpace::unstructured(n);
         let mut h = History2d::new();
         for _ in 0..iters {
-            let a = strat.propose(&h);
+            let a = strat.propose(&space, &h);
             assert!((1..=n).contains(&a.0) && (1..=n).contains(&a.1));
             h.record(a, f(a));
         }
@@ -174,7 +186,8 @@ mod tests {
     #[test]
     fn starts_with_all_nodes() {
         let mut s = GpUcb2d::new(6);
-        assert_eq!(s.propose(&History2d::new()), (6, 6));
+        let space = ActionSpace::unstructured(6);
+        assert_eq!(s.propose(&space, &History2d::new()), (6, 6));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Minimal command-line handling shared by the figure binaries.
 
+use crate::error::AdaphetError;
 use adaphet_scenarios::Scale;
 use std::path::PathBuf;
 
@@ -22,6 +23,10 @@ pub struct RunArgs {
     /// [`MetricsReport`](adaphet_metrics::MetricsReport) JSON snapshot to
     /// this path and print its table form.
     pub metrics: Option<PathBuf>,
+    /// Fault plan (JSON, see
+    /// [`FaultPlan::from_json`](adaphet_runtime::FaultPlan::from_json))
+    /// for binaries that support fault injection.
+    pub faults: Option<PathBuf>,
 }
 
 impl Default for RunArgs {
@@ -33,17 +38,43 @@ impl Default for RunArgs {
             seed: 42,
             telemetry: None,
             metrics: None,
+            faults: None,
         }
     }
 }
 
+const USAGE: &str = "try --full/--reduced/--test, --reps N, --iters N, --seed N, \
+                     --telemetry PATH, --metrics PATH, --faults PLAN.json";
+
 /// Parse `std::env::args`: `--full | --reduced | --test`,
 /// `--reps <k>`, `--iters <k>`, `--seed <k>`, `--telemetry <path>`,
-/// `--metrics <path>`.
-pub fn parse_args() -> RunArgs {
+/// `--metrics <path>`, `--faults <plan.json>`.
+pub fn parse_args() -> Result<RunArgs, AdaphetError> {
+    parse_argv(std::env::args().skip(1).collect())
+}
+
+/// [`parse_args`], printing the one-line error and exiting with status 2
+/// on bad input — for binaries whose `main` does not return a `Result`.
+pub fn parse_args_or_exit() -> RunArgs {
+    parse_args().unwrap_or_else(|e| {
+        eprintln!("Error: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_argv(argv: Vec<String>) -> Result<RunArgs, AdaphetError> {
     let mut out = RunArgs::default();
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
+    // A value-taking flag must be followed by a parseable value.
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, AdaphetError> {
+        argv.get(i)
+            .cloned()
+            .ok_or_else(|| AdaphetError::usage(format!("{flag} needs a value ({USAGE})")))
+    };
+    let number = |argv: &[String], i: usize, flag: &str| -> Result<u64, AdaphetError> {
+        let v = value(argv, i, flag)?;
+        v.parse().map_err(|_| AdaphetError::usage(format!("{flag} needs a number, got {v:?}")))
+    };
     while i < argv.len() {
         match argv[i].as_str() {
             "--full" => out.scale = Scale::Full,
@@ -51,46 +82,99 @@ pub fn parse_args() -> RunArgs {
             "--test" => out.scale = Scale::Test,
             "--reps" => {
                 i += 1;
-                out.reps = argv[i].parse().expect("--reps needs a number");
+                out.reps = number(&argv, i, "--reps")? as usize;
             }
             "--iters" => {
                 i += 1;
-                out.iters = argv[i].parse().expect("--iters needs a number");
+                out.iters = number(&argv, i, "--iters")? as usize;
             }
             "--seed" => {
                 i += 1;
-                out.seed = argv[i].parse().expect("--seed needs a number");
+                out.seed = number(&argv, i, "--seed")?;
             }
             "--telemetry" => {
                 i += 1;
-                out.telemetry = Some(PathBuf::from(argv.get(i).expect("--telemetry needs a path")));
+                out.telemetry = Some(PathBuf::from(value(&argv, i, "--telemetry")?));
             }
             "--metrics" => {
                 i += 1;
-                out.metrics = Some(PathBuf::from(argv.get(i).expect("--metrics needs a path")));
+                out.metrics = Some(PathBuf::from(value(&argv, i, "--metrics")?));
             }
-            other => panic!(
-                "unknown argument {other:?} (try --full/--reduced/--test, --reps N, \
-                 --iters N, --seed N, --telemetry PATH, --metrics PATH)"
-            ),
+            "--faults" => {
+                i += 1;
+                out.faults = Some(PathBuf::from(value(&argv, i, "--faults")?));
+            }
+            other => {
+                return Err(AdaphetError::usage(format!("unknown argument {other:?} ({USAGE})")));
+            }
         }
         i += 1;
     }
-    out
+    Ok(out)
+}
+
+/// Load and parse the fault plan named by `--faults`, if any.
+pub fn load_fault_plan(args: &RunArgs) -> Result<Option<adaphet_runtime::FaultPlan>, AdaphetError> {
+    match &args.faults {
+        None => Ok(None),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| AdaphetError::io(path, e))?;
+            Ok(Some(adaphet_runtime::FaultPlan::from_json(&text)?))
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn defaults_match_paper() {
-        // Cannot inject argv easily; check the default construction used
-        // when no flags are given.
-        let d = RunArgs::default();
+        let d = parse_argv(Vec::new()).unwrap();
         assert_eq!(d.reps, 30);
         assert_eq!(d.iters, 127);
         assert!(d.telemetry.is_none());
         assert!(d.metrics.is_none());
+        assert!(d.faults.is_none());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let d = parse_argv(argv(&[
+            "--test",
+            "--reps",
+            "5",
+            "--iters",
+            "50",
+            "--seed",
+            "9",
+            "--faults",
+            "plan.json",
+        ]))
+        .unwrap();
+        assert_eq!(d.scale, Scale::Test);
+        assert_eq!(d.reps, 5);
+        assert_eq!(d.iters, 50);
+        assert_eq!(d.seed, 9);
+        assert_eq!(d.faults.as_deref(), Some(std::path::Path::new("plan.json")));
+    }
+
+    #[test]
+    fn bad_input_is_a_usage_error_not_a_panic() {
+        assert!(matches!(parse_argv(argv(&["--bogus"])), Err(AdaphetError::Usage(_))));
+        assert!(matches!(parse_argv(argv(&["--reps"])), Err(AdaphetError::Usage(_))));
+        assert!(matches!(parse_argv(argv(&["--reps", "many"])), Err(AdaphetError::Usage(_))));
+    }
+
+    #[test]
+    fn missing_fault_plan_file_is_an_io_error() {
+        let args =
+            RunArgs { faults: Some(PathBuf::from("/nonexistent/plan.json")), ..Default::default() };
+        assert!(matches!(load_fault_plan(&args), Err(AdaphetError::Io { .. })));
+        assert!(load_fault_plan(&RunArgs::default()).unwrap().is_none());
     }
 }

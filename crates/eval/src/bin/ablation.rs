@@ -9,7 +9,7 @@
 
 use adaphet_core::{GpDiscOptions, GpDiscontinuous, History, Strategy};
 use adaphet_eval::{
-    build_response_cached, parse_args, space_of, write_csv, CsvTable, ResponseTable,
+    build_response_cached, parse_args_or_exit, space_of, write_csv, CsvTable, ResponseTable,
 };
 use adaphet_scenarios::Scenario;
 use rand::rngs::StdRng;
@@ -33,7 +33,7 @@ fn replay_variant(table: &ResponseTable, opts: GpDiscOptions, iters: usize, seed
     let mut rng = StdRng::seed_from_u64(seed);
     let mut hist = History::new();
     for _ in 0..iters {
-        let a = strat.propose(&hist).clamp(1, table.n_actions());
+        let a = strat.propose(&space, &hist).clamp(1, table.n_actions());
         let pool = &table.durations[a - 1];
         hist.record(a, pool[rng.random_range(0..pool.len())]);
     }
@@ -41,7 +41,7 @@ fn replay_variant(table: &ResponseTable, opts: GpDiscOptions, iters: usize, seed
 }
 
 fn main() {
-    let args = parse_args();
+    let args = parse_args_or_exit();
     let variants = ["full", "no-bounds", "no-dummies", "no-lp-residual", "plain"];
     let mut csv = CsvTable::new(&["scenario", "variant", "mean_total", "gain_pct"]);
     println!("GP-discontinuous ablation — {} iterations x {} reps\n", args.iters, args.reps);

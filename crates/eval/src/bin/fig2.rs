@@ -5,7 +5,7 @@
 //! Output: `results/fig2.csv` with columns
 //! `scenario,n,mean,sd,lp,gen_span,fact_span`.
 
-use adaphet_eval::{ascii_curve, build_response_cached, parse_args, write_csv, CsvTable};
+use adaphet_eval::{ascii_curve, build_response_cached, parse_args_or_exit, write_csv, CsvTable};
 use adaphet_geostat::IterationChoice;
 use adaphet_scenarios::Scenario;
 
@@ -30,7 +30,7 @@ fn phase_spans(scen: &Scenario, scale: adaphet_scenarios::Scale, n_fact: usize) 
 }
 
 fn main() {
-    let args = parse_args();
+    let args = parse_args_or_exit();
     let mut csv = CsvTable::new(&["scenario", "n", "mean", "sd", "lp", "gen_span", "fact_span"]);
     for id in ['c', 'i', 'p'] {
         let scen = Scenario::by_id(id).expect("known scenario");

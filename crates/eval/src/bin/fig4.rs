@@ -7,7 +7,7 @@
 
 use adaphet_core::{GpDiscontinuous, GpUcb, History, Strategy};
 use adaphet_eval::{
-    build_response_cached, parse_args, space_of, write_csv, CsvTable, ResponseTable,
+    build_response_cached, parse_args_or_exit, space_of, write_csv, CsvTable, ResponseTable,
 };
 use adaphet_scenarios::Scenario;
 use rand::rngs::StdRng;
@@ -68,7 +68,7 @@ fn run_panel(csv: &mut CsvTable, panel: &str, table: &ResponseTable, use_disc: b
     let mut hist = History::new();
     println!("\npanel {panel} — {}", table.label);
     for it in 1..=*CHECKPOINTS.last().unwrap() {
-        let a = if use_disc { disc.propose(&hist) } else { plain.propose(&hist) };
+        let a = if use_disc { disc.propose(&space, &hist) } else { plain.propose(&space, &hist) };
         let pool = &table.durations[a - 1];
         hist.record(a, pool[rng.random_range(0..pool.len())]);
         if CHECKPOINTS.contains(&it) {
@@ -90,7 +90,7 @@ fn run_panel(csv: &mut CsvTable, panel: &str, table: &ResponseTable, use_disc: b
 }
 
 fn main() {
-    let args = parse_args();
+    let args = parse_args_or_exit();
     let mut csv = CsvTable::new(&[
         "panel",
         "iteration",

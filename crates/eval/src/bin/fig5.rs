@@ -6,12 +6,12 @@
 //! `scenario,n,mean,sd,lp,rigid,group` and an ASCII curve per scenario.
 
 use adaphet_eval::{
-    ascii_curve, build_response_cached, build_rigid_curve, parse_args, write_csv, CsvTable,
+    ascii_curve, build_response_cached, build_rigid_curve, parse_args_or_exit, write_csv, CsvTable,
 };
 use adaphet_scenarios::Scenario;
 
 fn main() {
-    let args = parse_args();
+    let args = parse_args_or_exit();
     let mut csv = CsvTable::new(&["scenario", "n", "mean", "sd", "lp", "rigid", "group"]);
     for scen in Scenario::all16() {
         let t = build_response_cached(&scen, args.scale, args.reps, args.seed);

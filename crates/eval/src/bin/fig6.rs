@@ -14,18 +14,18 @@
 use adaphet_core::JsonlSink;
 use adaphet_eval::{
     build_response_cached, parse_args, replay_instrumented, replay_many, run_metrics_session,
-    write_csv, write_metrics_report, CsvTable, StrategyKind, PAPER_STRATEGIES,
+    write_csv, write_metrics_report, AdaphetError, CsvTable, StrategyKind, PAPER_STRATEGIES,
 };
 use adaphet_scenarios::Scenario;
 use std::fs::File;
 use std::io::BufWriter;
 
-fn main() {
-    let args = parse_args();
-    let telemetry_file = args
-        .telemetry
-        .as_ref()
-        .map(|p| File::create(p).unwrap_or_else(|e| panic!("cannot create {}: {e}", p.display())));
+fn main() -> Result<(), AdaphetError> {
+    let args = parse_args()?;
+    let telemetry_file = match &args.telemetry {
+        Some(p) => Some(File::create(p).map_err(|e| AdaphetError::io(p, e))?),
+        None => None,
+    };
     let mut csv = CsvTable::new(&[
         "scenario",
         "strategy",
@@ -67,9 +67,10 @@ fn main() {
             if let Some(f) = &telemetry_file {
                 // One extra instrumented replay (first repetition's seed):
                 // telemetry stays off the measured replays above.
-                let sink = JsonlSink::new(BufWriter::new(
-                    f.try_clone().expect("clone telemetry file handle"),
-                ));
+                let handle = f.try_clone().map_err(|e| {
+                    AdaphetError::io(args.telemetry.as_ref().expect("telemetry file is open"), e)
+                })?;
+                let sink = JsonlSink::new(BufWriter::new(handle));
                 replay_instrumented(kind, &table, args.iters, args.seed, vec![Box::new(sink)]);
             }
             csv.push(vec![
@@ -89,7 +90,7 @@ fn main() {
     }
     println!("GP-discontinuous was the single best strategy in {gp_disc_wins}/16 scenarios");
     println!("GP-discontinuous never lost more than 2% to all-nodes: {gp_disc_never_bad}");
-    let path = write_csv("fig6", &csv).expect("write results");
+    let path = write_csv("fig6", &csv).map_err(|e| AdaphetError::io("results/fig6.csv", e))?;
     println!("wrote {}", path.display());
     if let Some(p) = &args.telemetry {
         println!("wrote {}", p.display());
@@ -101,6 +102,7 @@ fn main() {
         // durations and node-group utilization.
         let scen = Scenario::by_id('a').expect("scenario a exists");
         let report = run_metrics_session(&scen, args.scale, args.iters, args.seed);
-        write_metrics_report(&report, p).expect("write metrics report");
+        write_metrics_report(&report, p).map_err(|e| AdaphetError::io(p, e))?;
     }
+    Ok(())
 }

@@ -18,14 +18,14 @@
 //! `repetition,iteration,overhead_s,iteration_s`.
 
 use adaphet_core::{ActionSpace, JsonlSink, Observation, StrategyKind, TunerDriver};
-use adaphet_eval::{parse_args, write_csv, write_metrics_report, CsvTable};
+use adaphet_eval::{parse_args, write_csv, write_metrics_report, AdaphetError, CsvTable};
 use adaphet_geostat::{CovParams, GeoRealApp, Workload};
 use std::fs::File;
 use std::io::BufWriter;
 use std::time::Instant;
 
-fn main() {
-    let args = parse_args();
+fn main() -> Result<(), AdaphetError> {
+    let args = parse_args()?;
     // With --metrics, install the global recorder up front so GP fits,
     // LP solves, and likelihood phases report while the study runs.
     let metrics_registry = args
@@ -34,10 +34,10 @@ fn main() {
         .map(|_| adaphet_metrics::install_global(adaphet_metrics::Registry::new()));
     let reps = 10usize;
     let iters = 25usize;
-    let telemetry_file = args
-        .telemetry
-        .as_ref()
-        .map(|p| File::create(p).unwrap_or_else(|e| panic!("cannot create {}: {e}", p.display())));
+    let telemetry_file = match &args.telemetry {
+        Some(p) => Some(File::create(p).map_err(|e| AdaphetError::io(p, e))?),
+        None => None,
+    };
     // Pretend cluster structure for the tuner (the real executor is one
     // node; the tuner's cost does not depend on where durations come from).
     let n_actions = 14;
@@ -54,11 +54,12 @@ fn main() {
         let strat = StrategyKind::GpDiscontinuous
             .build(&space, args.seed + rep as u64, None)
             .expect("GP-discontinuous needs no oracle");
-        let mut driver = TunerDriver::new(strat, &space);
+        let mut driver = TunerDriver::builder(&space).strategy(strat).build()?;
         if let Some(f) = &telemetry_file {
-            driver.add_sink(Box::new(JsonlSink::new(BufWriter::new(
-                f.try_clone().expect("clone telemetry file handle"),
-            ))));
+            let handle = f.try_clone().map_err(|e| {
+                AdaphetError::io(args.telemetry.as_ref().expect("telemetry file is open"), e)
+            })?;
+            driver.add_sink(Box::new(JsonlSink::new(BufWriter::new(handle))));
         }
         for it in 0..iters {
             let range = 0.05 + 0.01 * it as f64;
@@ -81,7 +82,7 @@ fn main() {
                 format!("{app_secs:.6}"),
             ]);
         }
-        driver.finish().expect("flush telemetry");
+        driver.finish().map_err(|e| AdaphetError::io("telemetry stream", e))?;
     }
     println!("Fig. 7 — GP-discontinuous online overhead ({reps} reps x {iters} iters)");
     for (it, o) in per_iter_overhead.iter().enumerate() {
@@ -91,12 +92,13 @@ fn main() {
     let init: f64 = per_iter_overhead[..5].iter().sum::<f64>() / 5.0;
     let steady: f64 = per_iter_overhead[5..].iter().sum::<f64>() / (iters - 5) as f64;
     println!("  mean overhead: init phase {init:.5}s, GP phase {steady:.5}s");
-    let path = write_csv("fig7", &csv).expect("write results");
+    let path = write_csv("fig7", &csv).map_err(|e| AdaphetError::io("results/fig7.csv", e))?;
     println!("wrote {}", path.display());
     if let Some(p) = &args.telemetry {
         println!("wrote {}", p.display());
     }
     if let (Some(p), Some(reg)) = (&args.metrics, &metrics_registry) {
-        write_metrics_report(&reg.snapshot(), p).expect("write metrics report");
+        write_metrics_report(&reg.snapshot(), p).map_err(|e| AdaphetError::io(p, e))?;
     }
+    Ok(())
 }

@@ -15,7 +15,7 @@
 //! the first repetition of each measurement streams IterationEvent JSONL.
 
 use adaphet_core::{ActionSpace, JsonlSink, Observation, StrategyKind, TunerDriver};
-use adaphet_eval::{parse_args, write_csv, write_metrics_report, CsvTable};
+use adaphet_eval::{parse_args, write_csv, write_metrics_report, AdaphetError, CsvTable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fs::File;
@@ -70,7 +70,11 @@ fn drive(
     let sp = space();
     let best = argmin(f);
     let strat = kind.build(&sp, seed, Some(best)).expect("best action provided");
-    let mut driver = TunerDriver::new(strat, &sp).with_best_known(f(best));
+    let mut driver = TunerDriver::builder(&sp)
+        .strategy(strat)
+        .best_known(f(best))
+        .build()
+        .expect("a strategy was provided");
     if let Some(file) = telemetry {
         driver.add_sink(Box::new(JsonlSink::new(BufWriter::new(
             file.try_clone().expect("clone telemetry file handle"),
@@ -127,18 +131,18 @@ fn regret_fraction(kind: StrategyKind, f: fn(usize) -> f64, seed: u64) -> f64 {
     total / REPS as f64
 }
 
-fn main() {
-    let args = parse_args();
+fn main() -> Result<(), AdaphetError> {
+    let args = parse_args()?;
     // With --metrics, install the global recorder up front so the GP/LP
     // solver counters of every measurement land in one report.
     let metrics_registry = args
         .metrics
         .as_ref()
         .map(|_| adaphet_metrics::install_global(adaphet_metrics::Registry::new()));
-    let telemetry_file = args
-        .telemetry
-        .as_ref()
-        .map(|p| File::create(p).unwrap_or_else(|e| panic!("cannot create {}: {e}", p.display())));
+    let telemetry_file = match &args.telemetry {
+        Some(p) => Some(File::create(p).map_err(|e| AdaphetError::io(p, e))?),
+        None => None,
+    };
     // The paper's Table I expectations: (resilient, optimal, fast).
     let expectations = [
         (StrategyKind::DivideConquer, (false, false, true)),
@@ -196,12 +200,13 @@ fn main() {
             format!("{regret:.4}"),
         ]);
     }
-    let path = write_csv("table1", &csv).expect("write results");
+    let path = write_csv("table1", &csv).map_err(|e| AdaphetError::io("results/table1.csv", e))?;
     println!("\nwrote {}", path.display());
     if let Some(p) = &args.telemetry {
         println!("wrote {}", p.display());
     }
     if let (Some(p), Some(reg)) = (&args.metrics, &metrics_registry) {
-        write_metrics_report(&reg.snapshot(), p).expect("write metrics report");
+        write_metrics_report(&reg.snapshot(), p).map_err(|e| AdaphetError::io(p, e))?;
     }
+    Ok(())
 }

@@ -1,0 +1,96 @@
+//! Typed errors for the evaluation binaries.
+//!
+//! The figure binaries used to `panic!`/`expect` on bad CLI input and I/O
+//! failures, greeting users with a backtrace. [`AdaphetError`] carries the
+//! same information as a one-line `Display`, and `main() -> Result<(),
+//! AdaphetError>` exits turn it into `Error: <message>`.
+
+use adaphet_core::DriverBuildError;
+use adaphet_runtime::FaultPlanError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong in an evaluation binary.
+pub enum AdaphetError {
+    /// Bad command-line input (unknown flag, malformed value).
+    Usage(String),
+    /// An I/O operation on `path` failed.
+    Io {
+        /// The file being read or written.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A fault plan failed to parse or validate.
+    FaultPlan(FaultPlanError),
+    /// The tuning driver could not be configured.
+    Driver(DriverBuildError),
+}
+
+impl AdaphetError {
+    /// Wrap an I/O error with the path it concerns.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        AdaphetError::Io { path: path.into(), source }
+    }
+
+    /// A usage error with the given message.
+    pub fn usage(msg: impl Into<String>) -> Self {
+        AdaphetError::Usage(msg.into())
+    }
+}
+
+impl fmt::Display for AdaphetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaphetError::Usage(msg) => write!(f, "{msg}"),
+            AdaphetError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            AdaphetError::FaultPlan(e) => write!(f, "fault plan: {e}"),
+            AdaphetError::Driver(e) => write!(f, "driver: {e}"),
+        }
+    }
+}
+
+// `main() -> Result` prints the error's `Debug` form; delegate to
+// `Display` so users see the one-line message, not the enum structure.
+impl fmt::Debug for AdaphetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for AdaphetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdaphetError::Io { source, .. } => Some(source),
+            AdaphetError::FaultPlan(e) => Some(e),
+            AdaphetError::Driver(e) => Some(e),
+            AdaphetError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<FaultPlanError> for AdaphetError {
+    fn from(e: FaultPlanError) -> Self {
+        AdaphetError::FaultPlan(e)
+    }
+}
+
+impl From<DriverBuildError> for AdaphetError {
+    fn from(e: DriverBuildError) -> Self {
+        AdaphetError::Driver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line() {
+        let e = AdaphetError::usage("unknown argument \"--bogus\"");
+        assert!(!format!("{e}").contains('\n'));
+        let e = AdaphetError::io("results/fig6.csv", std::io::Error::other("disk full"));
+        let msg = format!("{e}");
+        assert!(msg.contains("fig6.csv") && msg.contains("disk full") && !msg.contains('\n'));
+    }
+}

@@ -16,14 +16,18 @@
 
 mod args;
 mod cache;
+mod error;
+mod faults;
 mod metrics_run;
 mod replay;
 mod report;
 mod response;
 mod telemetry;
 
-pub use args::{parse_args, RunArgs};
+pub use args::{load_fault_plan, parse_args, parse_args_or_exit, RunArgs};
 pub use cache::{build_response_cached, CACHE_VERSION};
+pub use error::AdaphetError;
+pub use faults::{run_faulted_session, space_for_platform, FaultRunOutcome, FaultSessionConfig};
 pub use metrics_run::{run_metrics_session, write_metrics_report};
 // Strategy construction lives in adaphet-core now ([`StrategyKind`]
 // replaced the old panicking by-name factory); re-exported here so the

@@ -44,7 +44,11 @@ pub fn run_metrics_session(
         .build(&space, seed, None)
         .expect("GP-discontinuous needs no oracle");
     let sink = MemorySink::new();
-    let mut driver = TunerDriver::new(strat, &space).with_sink(Box::new(sink.clone()));
+    let mut driver = TunerDriver::builder(&space)
+        .strategy(strat)
+        .sink(Box::new(sink.clone()))
+        .build()
+        .expect("a strategy was provided");
     driver.run(iters, |n_fact| {
         let (report, m) = app.run_iteration_profiled(IterationChoice::fact_only(n, n_fact));
         let breakdown = PhaseBreakdown {

@@ -64,7 +64,11 @@ pub fn replay_instrumented(
     let best = table.best_action();
     let strat = kind.build(&space, seed, Some(best)).expect("best action is always provided");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut driver = TunerDriver::new(strat, &space).with_best_known(table.mean(best));
+    let mut driver = TunerDriver::builder(&space)
+        .strategy(strat)
+        .best_known(table.mean(best))
+        .build()
+        .expect("a strategy was provided");
     for sink in sinks {
         driver.add_sink(sink);
     }

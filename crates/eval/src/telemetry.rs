@@ -88,6 +88,16 @@ impl TelemetrySink for ChromeTraceSink {
              \"pid\":{},\"args\":{{\"n\":{}}}}}",
             start_us, TUNER_PID, e.action
         ));
+        // Fault/resilience annotations (node deaths, retries, re-baseline
+        // probes) render as process-scoped instant markers so recovery is
+        // visible right on the timeline.
+        if let Some(fault) = &e.fault {
+            evs.push(format!(
+                "{{\"name\":\"fault: {}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\
+                 \"ts\":{:.3},\"pid\":{},\"tid\":0,\"args\":{{\"retries\":{}}}}}",
+                fault, start_us, TUNER_PID, e.retries
+            ));
+        }
         // Profiled iterations additionally get a phase lane (tid 1): the
         // disjoint wall-clock slices render as complete ("X") events laid
         // end to end across the iteration window.
@@ -115,8 +125,11 @@ mod tests {
     fn sink_records_two_events_per_iteration_and_merges() {
         let space = ActionSpace::unstructured(6);
         let sink = ChromeTraceSink::new();
-        let mut d = TunerDriver::new(Box::new(GpDiscontinuous::new(&space)), &space)
-            .with_sink(Box::new(sink.clone()));
+        let mut d = TunerDriver::builder(&space)
+            .strategy(Box::new(GpDiscontinuous::new(&space)))
+            .sink(Box::new(sink.clone()))
+            .build()
+            .unwrap();
         d.run(5, |n| Observation::of(12.0 / n as f64 + n as f64));
         let tuner = sink.tuner_events();
         assert_eq!(tuner.len(), 10, "one instant + one counter per iteration");
@@ -135,13 +148,16 @@ mod tests {
         use adaphet_core::{AllNodes, PhaseBreakdown, PhaseSlice};
         let space = ActionSpace::unstructured(4);
         let sink = ChromeTraceSink::new();
-        let mut d =
-            TunerDriver::new(Box::new(AllNodes::new(4)), &space).with_sink(Box::new(sink.clone()));
+        let mut d = TunerDriver::builder(&space)
+            .strategy(Box::new(AllNodes::new(4)))
+            .sink(Box::new(sink.clone()))
+            .build()
+            .unwrap();
         let breakdown = PhaseBreakdown {
             phases: vec![PhaseSlice::new("generation", 0.5), PhaseSlice::new("solve", 1.5)],
             groups: vec![],
         };
-        d.step(|_| Observation::with_breakdown(2.0, vec![], breakdown));
+        d.step(|_| Observation::with_breakdown(2.0, vec![], breakdown.clone()));
         let evs = sink.tuner_events();
         assert_eq!(evs.len(), 4, "instant + counter + two phase slices: {evs:?}");
         assert!(evs[2].contains("\"name\":\"generation\"") && evs[2].contains("\"ph\":\"X\""));
@@ -152,11 +168,38 @@ mod tests {
     }
 
     #[test]
+    fn fault_annotations_render_as_instant_markers() {
+        use adaphet_core::IterationEvent;
+        let mut sink = ChromeTraceSink::new();
+        sink.on_iteration(&IterationEvent {
+            iteration: 4,
+            strategy: "GP-discontinuous".into(),
+            action: 5,
+            duration: 2.0,
+            cumulative_time: 10.0,
+            best_known: None,
+            regret: None,
+            phases: vec![],
+            trace: None,
+            phase_breakdown: None,
+            retries: 1,
+            fault: Some("node-death:rank=5;rebaseline".into()),
+        });
+        let evs = sink.tuner_events();
+        assert_eq!(evs.len(), 3, "instant + counter + fault marker: {evs:?}");
+        assert!(evs[2].contains("\"name\":\"fault: node-death:rank=5;rebaseline\""));
+        assert!(evs[2].contains("\"cat\":\"fault\"") && evs[2].contains("\"retries\":1"));
+    }
+
+    #[test]
     fn first_event_starts_at_zero_without_offset() {
         let space = ActionSpace::unstructured(3);
         let sink = ChromeTraceSink::new();
-        let mut d = TunerDriver::new(Box::new(GpDiscontinuous::new(&space)), &space)
-            .with_sink(Box::new(sink.clone()));
+        let mut d = TunerDriver::builder(&space)
+            .strategy(Box::new(GpDiscontinuous::new(&space)))
+            .sink(Box::new(sink.clone()))
+            .build()
+            .unwrap();
         d.run(1, |_| Observation::of(2.0));
         assert!(sink.tuner_events()[0].contains("\"ts\":0.000"), "{:?}", sink.tuner_events());
     }

@@ -108,6 +108,19 @@ impl GeoSimApp {
         self.rt.set_trace_enabled(on);
     }
 
+    /// Slow the node at fastest-first `rank` (1-based) down by `factor`
+    /// (>= 1) — the straggler hook of the fault-injection harness; see
+    /// [`SimRuntime::set_speed_factor`].
+    pub fn set_rank_slowdown(&mut self, rank: usize, factor: f64) {
+        assert!((1..=self.n_nodes()).contains(&rank), "rank out of range");
+        self.rt.set_speed_factor(NodeId(rank - 1), factor);
+    }
+
+    /// Restore every node to nominal speed.
+    pub fn clear_slowdowns(&mut self) {
+        self.rt.clear_speed_factors();
+    }
+
     /// Iterations executed so far.
     pub fn iterations(&self) -> usize {
         self.iterations

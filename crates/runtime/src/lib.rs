@@ -44,6 +44,7 @@
 //! ```
 
 mod data;
+mod fault;
 mod flownet;
 mod platform;
 mod real;
@@ -53,6 +54,7 @@ mod task;
 mod trace;
 
 pub use data::{DataHandle, DataRegistry};
+pub use fault::{FaultEvent, FaultPlan, FaultPlanError};
 pub use flownet::{FlowId, FlowNet, LinkId};
 pub use platform::{NetworkSpec, NodeId, NodeSpec, Platform};
 pub use real::{BlockHandle, RealRuntime, StoreView};

@@ -92,6 +92,22 @@ impl Platform {
         &self.nodes[id.0]
     }
 
+    /// The platform without the node at fastest-first `rank` (1-based) —
+    /// the surviving platform after a node death. The remaining nodes keep
+    /// their relative order (already sorted fastest first), so "use n
+    /// nodes" keeps meaning the n fastest survivors.
+    ///
+    /// # Panics
+    /// Panics if `rank` is outside `1..=len()` or the platform would be
+    /// left empty.
+    pub fn without_rank(&self, rank: usize) -> Platform {
+        assert!((1..=self.len()).contains(&rank), "rank {rank} outside 1..={}", self.len());
+        assert!(self.len() > 1, "cannot remove the last node");
+        let mut nodes = self.nodes.clone();
+        nodes.remove(rank - 1);
+        Platform { nodes, network: self.network.clone() }
+    }
+
     /// Group the (sorted) nodes into maximal runs of identical hardware —
     /// the "homogeneous machine groups" of the paper. Returns inclusive
     /// `(first, last)` 1-based node counts per group, fastest group first;

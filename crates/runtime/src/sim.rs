@@ -198,6 +198,10 @@ pub struct SimRuntime {
     phase_stats: HashMap<u32, (u64, f64)>,
     recorder: Arc<dyn Recorder>,
     metrics_cursor: MetricsCursor,
+    /// Per-node multiplicative compute slowdown (1.0 = nominal speed).
+    /// Fault-injection harnesses set this to model transient stragglers;
+    /// it scales both CPU and GPU task durations of the node.
+    speed_factor: Vec<f64>,
 }
 
 /// Totals already flushed to the recorder, so each [`SimRuntime::run`] can
@@ -278,6 +282,7 @@ impl SimRuntime {
                 gpu_busy: vec![0.0; n_nodes],
                 link_busy: vec![0.0; n_links],
             },
+            speed_factor: vec![1.0; n_nodes],
         }
     }
 
@@ -333,6 +338,24 @@ impl SimRuntime {
     /// Enable or disable trace recording (disable for large sweeps).
     pub fn set_trace_enabled(&mut self, on: bool) {
         self.trace_enabled = on;
+    }
+
+    /// Slow one node's compute throughput down by `factor` (>= 1; 1.0
+    /// restores nominal speed). Affects tasks whose duration is computed
+    /// after the call — the hook fault harnesses use for transient
+    /// straggler windows.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range or `factor` is not >= 1.
+    pub fn set_speed_factor(&mut self, node: NodeId, factor: f64) {
+        assert!(node.0 < self.platform.len(), "node out of range");
+        assert!(factor.is_finite() && factor >= 1.0, "slowdown factor must be >= 1");
+        self.speed_factor[node.0] = factor;
+    }
+
+    /// Restore every node to nominal speed.
+    pub fn clear_speed_factors(&mut self) {
+        self.speed_factor.fill(1.0);
     }
 
     /// Register a data block of `bytes` owned by `owner`. The block starts
@@ -589,22 +612,24 @@ impl SimRuntime {
         // compared across all of them.
     }
 
-    /// Durations of a task on one CPU core / one GPU of its node.
+    /// Durations of a task on one CPU core / one GPU of its node,
+    /// including any active straggler slowdown of the node.
     fn durations(&self, id: TaskId) -> (f64, f64) {
         let t = &self.tasks[id.0];
         let class = self.classes.get(t.class);
         let spec = self.platform.node(t.node);
+        let slow = self.speed_factor[t.node.0];
         let cpu = if t.flops == 0.0 {
             0.0
         } else {
-            t.flops / (spec.cpu_gflops_per_core * 1e9 * class.cpu_efficiency)
+            slow * t.flops / (spec.cpu_gflops_per_core * 1e9 * class.cpu_efficiency)
         };
         let gpu = if !class.gpu_capable || spec.gpus == 0 {
             f64::INFINITY
         } else if t.flops == 0.0 {
             0.0
         } else {
-            t.flops / (spec.gpu_gflops * 1e9 * class.gpu_efficiency)
+            slow * t.flops / (spec.gpu_gflops * 1e9 * class.gpu_efficiency)
         };
         (cpu, gpu)
     }
@@ -1122,6 +1147,24 @@ mod tests {
         let r = rt.run();
         assert!(r.duration() > 0.0);
         assert!((r.duration() - 1.0).abs() > 1e-12, "jitter should perturb");
+    }
+
+    #[test]
+    fn speed_factor_slows_one_node_and_clears() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(2, 0), ct, SimConfig::default());
+        rt.set_speed_factor(NodeId(1), 3.0);
+        let h0 = rt.register_data(8, NodeId(0));
+        let h1 = rt.register_data(8, NodeId(1));
+        rt.submit(task(cpu, 1e9, vec![(h0, Access::Write)]));
+        rt.submit(task(cpu, 1e9, vec![(h1, Access::Write)]));
+        let r = rt.run();
+        // Node 0 finishes in 1 s; the straggler takes 3 s.
+        assert!((r.duration() - 3.0).abs() < 1e-9, "duration {}", r.duration());
+        rt.clear_speed_factors();
+        rt.submit(task(cpu, 1e9, vec![(h1, Access::ReadWrite)]));
+        let r2 = rt.run();
+        assert!((r2.duration() - 1.0).abs() < 1e-9, "recovered duration {}", r2.duration());
     }
 
     #[test]

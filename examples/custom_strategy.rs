@@ -22,11 +22,12 @@ impl Strategy for EpsilonGreedy {
     fn name(&self) -> &'static str {
         "epsilon-greedy"
     }
-    fn propose(&mut self, hist: &History) -> usize {
+    fn propose(&mut self, space: &ActionSpace, hist: &History) -> usize {
+        let n = self.n.min(space.max_nodes);
         if hist.is_empty() || self.rng.random_range(0.0..1.0) < self.epsilon {
-            self.rng.random_range(1..=self.n)
+            self.rng.random_range(1..=n)
         } else {
-            hist.best_action().unwrap_or(self.n)
+            hist.best_action().unwrap_or(n).min(n)
         }
     }
 }
@@ -49,7 +50,7 @@ fn main() {
     let mut race = |strat: &mut dyn Strategy| -> (f64, usize) {
         let mut hist = History::new();
         for _ in 0..100 {
-            let a = strat.propose(&hist);
+            let a = strat.propose(&space, &hist);
             hist.record(a, truth(a) + rng.random_range(-0.4..0.4));
         }
         (hist.total_time(), hist.records().last().unwrap().0)

@@ -37,7 +37,7 @@ fn main() {
             let (ll, wall) = app.eval_likelihood(params);
             // Tuner bookkeeping (its wall-clock cost is the Fig. 7 metric).
             let t0 = Instant::now();
-            let action = tuner.propose(&tuning_hist);
+            let action = tuner.propose(&space, &tuning_hist);
             tuning_hist.record(action, wall.as_secs_f64());
             tuner_cost += t0.elapsed().as_secs_f64();
             iters += 1;

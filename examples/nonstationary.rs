@@ -23,9 +23,10 @@ fn main() {
     };
 
     let run = |mut strat: Box<dyn Strategy>| -> (History, f64) {
+        let space = make_space();
         let mut h = History::new();
         for it in 0..160 {
-            let a = strat.propose(&h);
+            let a = strat.propose(&space, &h);
             let y = if it < 70 { f1(a) } else { f2(a) };
             h.record(a, y);
         }

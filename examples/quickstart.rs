@@ -35,7 +35,7 @@ fn main() {
     let lp: Vec<f64> = (1..=n).map(|k| app.lp_bound(IterationChoice::fact_only(n, k))).collect();
     let space = ActionSpace::new(n, groups, Some(lp));
     let tuner = StrategyKind::GpDiscontinuous.build(&space, 42, None).expect("known strategy");
-    let mut driver = TunerDriver::new(tuner, &space);
+    let mut driver = TunerDriver::builder(&space).strategy(tuner).build().expect("strategy set");
 
     println!("iter | fact-nodes | iteration time");
     for it in 1..=25 {

@@ -36,7 +36,11 @@ fn online_tuning_beats_all_nodes_on_a_heterogeneous_cluster() {
     let space = adaphet::tuner::ActionSpace::new(n, groups, Some(lp));
     let strat = StrategyKind::GpDiscontinuous.build(&space, 1, None).expect("no oracle needed");
     let sink = MemorySink::new();
-    let mut driver = TunerDriver::new(strat, &space).with_sink(Box::new(sink.clone()));
+    let mut driver = TunerDriver::builder(&space)
+        .strategy(strat)
+        .sink(Box::new(sink.clone()))
+        .build()
+        .expect("a strategy was provided");
     for _ in 0..20 {
         driver.step(|k| {
             let report = app.run_iteration(IterationChoice::fact_only(n, k));

@@ -1,0 +1,113 @@
+//! Recovery from a mid-run node death (the ISSUE 4 acceptance scenario).
+//!
+//! A fig6-style live tuning session runs GP-discontinuous on scenario
+//! (b) — G5K 2L-6M-6S — for 50 iterations while a seeded [`FaultPlan`]
+//! kills one Medium (Chifflet) node at iteration 15. Under
+//! [`ResiliencePolicy::standard`] the driver must quarantine the stale
+//! observations, re-baseline its bound by probing the surviving
+//! platform's full size, and converge so that the post-fault regret
+//! against the surviving-platform oracle stays within 10%. Everything is
+//! seeded, so the run (and this test) is deterministic.
+
+use adaphet::eval::{run_faulted_session, FaultSessionConfig};
+use adaphet::geostat::{GeoSimApp, IterationChoice};
+use adaphet::runtime::{FaultPlan, SimConfig};
+use adaphet::scenarios::{Scale, Scenario};
+use adaphet::tuner::{MemorySink, ResiliencePolicy, StrategyKind};
+
+const SEED: u64 = 42;
+const ITERS: usize = 50;
+const DEATH_ITER: usize = 15;
+/// Ranks 3–8 are the Chifflet (Medium) group in scenario (b).
+const DEAD_RANK: usize = 5;
+
+/// One clean simulated measurement of every node count on the surviving
+/// platform — the oracle the recovered tuner is judged against. Uses the
+/// same simulator seed the harness switches to after the death.
+fn survivor_oracle(scen: &Scenario, scale: Scale) -> Vec<f64> {
+    let survivor = scen.platform().without_rank(DEAD_RANK);
+    let workload = scen.workload(scale);
+    let jitter = if scen.real { Some(0.03) } else { None };
+    let n = survivor.nodes.len();
+    (1..=n)
+        .map(|k| {
+            let sim = SimConfig { seed: SEED.wrapping_add(DEATH_ITER as u64), task_jitter: jitter };
+            let mut app = GeoSimApp::new(survivor.clone(), workload, sim);
+            app.run_iteration(IterationChoice::fact_only(n, k)).duration()
+        })
+        .collect()
+}
+
+#[test]
+fn medium_node_death_rebaselines_and_recovers() {
+    let scen = Scenario::by_id('b').expect("scenario b exists");
+    let plan = FaultPlan::new(SEED).death(DEATH_ITER, DEAD_RANK);
+    let sink = MemorySink::new();
+    let cfg = FaultSessionConfig {
+        kind: StrategyKind::GpDiscontinuous,
+        iters: ITERS,
+        seed: SEED,
+        policy: ResiliencePolicy::standard(),
+    };
+    let out = run_faulted_session(&scen, Scale::Test, &plan, cfg, vec![Box::new(sink.clone())])
+        .expect("valid plan");
+
+    // The death fired exactly once and shrank the live space.
+    assert_eq!(out.deaths, vec![(DEATH_ITER, DEAD_RANK)]);
+    assert_eq!(out.final_space.max_nodes, scen.n_nodes() - 1);
+    assert!(out.history.records().iter().all(|&(a, _)| a < scen.n_nodes()));
+
+    // The death annotation, the quarantine of stale observations and the
+    // forced re-baseline all surface on the iteration-15 event.
+    let events = sink.events();
+    assert_eq!(events.len(), ITERS);
+    let death_evt = &events[DEATH_ITER];
+    let note = death_evt.fault.as_deref().expect("iteration 15 carries a fault note");
+    assert!(note.contains("node-death:rank=5"), "note: {note}");
+    assert!(note.contains("quarantine"), "note: {note}");
+    assert!(note.contains("rebaseline"), "note: {note}");
+    assert_eq!(
+        death_evt.action,
+        scen.n_nodes() - 1,
+        "the re-baseline probes the surviving platform's full size"
+    );
+    assert!(events[..DEATH_ITER].iter().all(|e| e.fault.is_none() && e.retries == 0));
+
+    // Post-fault regret vs. the surviving-platform oracle: the action the
+    // tuner settles on (most played over the last 10 iterations) must be
+    // within 10% of the survivor's best.
+    let oracle = survivor_oracle(&scen, Scale::Test);
+    let best = oracle.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut plays = vec![0usize; scen.n_nodes() + 1];
+    for e in &events[ITERS - 10..] {
+        plays[e.action] += 1;
+    }
+    let settled =
+        (1..plays.len()).max_by_key(|&a| (plays[a], a)).expect("at least one action played");
+    let regret = oracle[settled - 1] / best;
+    assert!(
+        regret <= 1.10,
+        "settled on {settled} nodes at {:.4}s vs oracle best {best:.4}s (regret {regret:.3}); \
+         oracle curve: {oracle:?}",
+        oracle[settled - 1],
+    );
+}
+
+#[test]
+fn same_seed_and_plan_replay_identically() {
+    let scen = Scenario::by_id('b').expect("scenario b exists");
+    let plan = FaultPlan::new(SEED).death(DEATH_ITER, DEAD_RANK);
+    let run = || {
+        let cfg = FaultSessionConfig {
+            kind: StrategyKind::GpDiscontinuous,
+            iters: ITERS,
+            seed: SEED,
+            policy: ResiliencePolicy::standard(),
+        };
+        run_faulted_session(&scen, Scale::Test, &plan, cfg, Vec::new()).expect("valid plan")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.history.records(), b.history.records());
+    assert_eq!(a.deaths, b.deaths);
+    assert_eq!(a.faults_injected, b.faults_injected);
+}

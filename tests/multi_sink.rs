@@ -27,7 +27,8 @@ impl Write for Shared {
 
 fn driver_with(space: &ActionSpace, sinks: Vec<Box<dyn TelemetrySink>>) -> TunerDriver {
     let strat = StrategyKind::GpDiscontinuous.build(space, 11, None).expect("no oracle needed");
-    let mut d = TunerDriver::new(strat, space);
+    let mut d =
+        TunerDriver::builder(space).strategy(strat).build().expect("a strategy was provided");
     for s in sinks {
         d.add_sink(s);
     }

@@ -13,7 +13,7 @@ use std::io::Write;
 use std::sync::{Arc, Mutex};
 
 /// The pinned key order of one JSONL event line.
-const KEYS: [&str; 12] = [
+const KEYS: [&str; 14] = [
     "\"iteration\":",
     "\"strategy\":",
     "\"action\":",
@@ -26,6 +26,8 @@ const KEYS: [&str; 12] = [
     "\"excluded\":",
     "\"note\":",
     "\"phase_breakdown\":",
+    "\"retries\":",
+    "\"fault\":",
 ];
 
 #[test]
@@ -57,6 +59,8 @@ fn golden_fully_populated_event() {
                 idle_s: 1.0,
             }],
         }),
+        retries: 1,
+        fault: Some("node-death:rank=5;rebaseline".into()),
     };
     assert_eq!(
         e.to_json(),
@@ -68,7 +72,8 @@ fn golden_fully_populated_event() {
          \"note\":\"gp-lcb\",\"phase_breakdown\":{\"phases\":[\
          {\"name\":\"generation\",\"seconds\":0.25},{\"name\":\"solve\",\"seconds\":1.25}],\
          \"groups\":[{\"name\":\"chifflot:1-2\",\"busy_s\":3,\"idle_s\":1,\
-         \"utilization\":0.75}]}}"
+         \"utilization\":0.75}]},\"retries\":1,\
+         \"fault\":\"node-death:rank=5;rebaseline\"}"
     );
 }
 
@@ -85,13 +90,15 @@ fn golden_minimal_event_keeps_every_key() {
         phases: vec![],
         trace: None,
         phase_breakdown: None,
+        retries: 0,
+        fault: None,
     };
     assert_eq!(
         e.to_json(),
         "{\"iteration\":0,\"strategy\":\"UCB\",\"action\":1,\"duration\":2.5,\
          \"cumulative_time\":2.5,\"best_known\":null,\"regret\":null,\
          \"phases\":[],\"posterior\":[],\"excluded\":[],\"note\":\"\",\
-         \"phase_breakdown\":null}"
+         \"phase_breakdown\":null,\"retries\":0,\"fault\":null}"
     );
 }
 
@@ -108,6 +115,8 @@ fn non_finite_floats_serialize_as_null() {
         phases: vec![],
         trace: None,
         phase_breakdown: None,
+        retries: 0,
+        fault: None,
     };
     let json = e.to_json();
     assert!(json.contains("\"duration\":null"), "{json}");
@@ -137,9 +146,12 @@ fn driver_emits_one_ordered_json_line_per_iteration() {
     let strat = StrategyKind::GpDiscontinuous.build(&space, 5, None).unwrap();
     let buf = Shared::default();
     let memory = MemorySink::new();
-    let mut driver = TunerDriver::new(strat, &space)
-        .with_sink(Box::new(JsonlSink::new(buf.clone())))
-        .with_sink(Box::new(memory.clone()));
+    let mut driver = TunerDriver::builder(&space)
+        .strategy(strat)
+        .sink(Box::new(JsonlSink::new(buf.clone())))
+        .sink(Box::new(memory.clone()))
+        .build()
+        .unwrap();
     let iters = 12;
     driver.run(iters, |k| Observation::of(50.0 / k as f64 + k as f64));
     let hist = driver.into_history();

@@ -2,8 +2,12 @@
 //! synthetic response curves (the whole strategy zoo must stay in-bounds
 //! and deterministic, and GP-discontinuous must honour the bound filter).
 
-use adaphet::eval::PAPER_STRATEGIES;
-use adaphet::tuner::{ActionSpace, GpDiscontinuous, History, Strategy, StrategyKind};
+use adaphet::eval::{run_faulted_session, FaultSessionConfig, PAPER_STRATEGIES};
+use adaphet::runtime::FaultPlan;
+use adaphet::scenarios::{Scale, Scenario};
+use adaphet::tuner::{
+    ActionSpace, GpDiscontinuous, History, ResiliencePolicy, Strategy, StrategyKind,
+};
 use proptest::prelude::*;
 
 /// A random piecewise response curve with optional jump.
@@ -45,7 +49,7 @@ proptest! {
             let mut s = kind.build(&space, seed, None).expect("paper strategy");
             let mut h = History::new();
             for _ in 0..30 {
-                let a = s.propose(&h);
+                let a = s.propose(&space, &h);
                 prop_assert!((1..=n).contains(&a), "{kind} proposed {a} (N = {n})");
                 h.record(a, f(a));
             }
@@ -75,7 +79,7 @@ proptest! {
                 .build(&space, seed, Some((seed as usize % n) + 1))
                 .expect("every kind builds when an oracle best is supplied");
             for _ in 0..3 {
-                let a = s.propose(&h);
+                let a = s.propose(&space, &h);
                 prop_assert!(
                     (1..=n).contains(&a),
                     "{kind} proposed {a} outside 1..={n} on a random history of len {}",
@@ -97,7 +101,7 @@ proptest! {
                 let mut h = History::new();
                 let mut seq = Vec::new();
                 for _ in 0..20 {
-                    let a = s.propose(&h);
+                    let a = s.propose(&space, &h);
                     seq.push(a);
                     h.record(a, f(a));
                 }
@@ -122,7 +126,7 @@ proptest! {
         let mut h = History::new();
         let mut y_all = None;
         for _ in 0..25 {
-            let a = s.propose(&h);
+            let a = s.propose(&space, &h);
             if let Some(y) = y_all {
                 prop_assert!(
                     a == n || lp[a - 1] < y,
@@ -156,7 +160,7 @@ proptest! {
         let mut s = GpDiscontinuous::new(&space);
         let mut h = History::new();
         for _ in 0..50 {
-            let a = s.propose(&h);
+            let a = s.propose(&space, &h);
             h.record(a, f(a));
         }
         let last = h.records().last().unwrap().0;
@@ -167,5 +171,69 @@ proptest! {
             (last as i64 - best as i64).abs() <= 2 || f(last) <= f(best) * 1.03,
             "settled at {last}, optimum {best} (N = {n})"
         );
+    }
+
+    /// Under a random fault plan the live space shrinks mid-run (node
+    /// deaths) and past observations may be quarantined — every strategy
+    /// must still propose inside the *live* space at every step.
+    #[test]
+    fn strategies_stay_inside_a_shrinking_live_space(
+        n in 4usize..32,
+        seed in 0u64..40,
+        plan_seed in 0u64..200,
+    ) {
+        let plan = FaultPlan::sample(plan_seed, n, 30);
+        for kind in StrategyKind::all() {
+            let space = ActionSpace::unstructured(n);
+            let mut live = space.clone();
+            let mut s = kind
+                .build(&space, seed, Some((seed as usize % n) + 1))
+                .expect("every kind builds when an oracle best is supplied");
+            let mut h = History::new();
+            for it in 0..30 {
+                for rank in plan.deaths_at(it) {
+                    if live.max_nodes > 1 && rank <= live.max_nodes {
+                        live = ActionSpace::unstructured(live.max_nodes - 1);
+                        // Quarantine: drop observations of dead counts.
+                        let max = live.max_nodes;
+                        h.retain_actions(|a| a <= max);
+                    }
+                }
+                let a = s.propose(&live, &h);
+                prop_assert!(
+                    (1..=live.max_nodes).contains(&a),
+                    "{kind} proposed {a} with live space 1..={} at iteration {it}",
+                    live.max_nodes
+                );
+                h.record(a, 1.0 + a as f64 + plan.outlier_factor(it));
+            }
+        }
+    }
+
+    /// The same seed and fault plan replay bit-identically through the
+    /// full live-simulation fault harness.
+    #[test]
+    fn faulted_sessions_replay_bit_identically(
+        seed in 0u64..6,
+        plan_seed in 0u64..30,
+    ) {
+        let scen = Scenario::by_id('a').expect("scenario a exists");
+        let plan = FaultPlan::sample(plan_seed, scen.n_nodes(), 8);
+        let run = || {
+            let cfg = FaultSessionConfig {
+                kind: StrategyKind::GpDiscontinuous,
+                iters: 8,
+                seed,
+                policy: ResiliencePolicy::standard(),
+            };
+            run_faulted_session(&scen, Scale::Test, &plan, cfg, Vec::new())
+                .expect("valid sampled plan")
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.history, b.history, "histories diverged");
+        prop_assert_eq!(a.deaths, b.deaths);
+        prop_assert_eq!(a.final_space.max_nodes, b.final_space.max_nodes);
+        prop_assert_eq!(a.faults_injected, b.faults_injected);
     }
 }
