@@ -1,0 +1,249 @@
+//! Idle-bubble classification per worker gap (paper Fig. 1 discussion).
+//!
+//! Every second a worker spends idle inside the analysis window lands in
+//! exactly one bucket:
+//!
+//! * **dependency** — some task destined for this node existed but its
+//!   predecessors had not finished yet (`ready` lies in the future);
+//! * **transfer** — a node-local task had all dependencies met but was
+//!   still waiting for its inputs to arrive over the network (the
+//!   `[ready, runnable)` window recorded by the runtime's flownet);
+//! * **no-ready-work** — nothing was pending for this node at all: the
+//!   DAG simply offers no concurrency here (tail of a phase, or a task
+//!   that is runnable but committed to the node's *other* resource — the
+//!   scheduler's choice, not a data stall).
+//!
+//! Gaps are split at the `ready`/`runnable` breakpoints of node-local
+//! tasks and each sub-interval is classified by its midpoint, so the
+//! buckets partition worker idle time by construction: `busy + dependency
+//! + transfer + no_ready_work = workers × window` exactly.
+
+use adaphet_runtime::{NodeId, ResourceKind, Trace};
+use std::collections::HashMap;
+
+/// Why a worker was idle during one classified interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleCause {
+    /// Waiting for a predecessor task to finish.
+    Dependency,
+    /// Waiting for input data to cross the network.
+    Transfer,
+    /// No pending work for this node.
+    NoReadyWork,
+}
+
+/// Aggregated busy/idle accounting of a set of workers over a window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IdleBreakdown {
+    /// Seconds of task execution, summed over workers.
+    pub busy_s: f64,
+    /// Idle seconds classified as waiting on a dependency.
+    pub dependency_s: f64,
+    /// Idle seconds classified as waiting on a network transfer.
+    pub transfer_s: f64,
+    /// Idle seconds with no pending node-local work.
+    pub no_ready_work_s: f64,
+    /// Number of workers (distinct `(node, resource)` pairs) accounted.
+    pub workers: usize,
+}
+
+impl IdleBreakdown {
+    /// Total idle seconds across the three buckets.
+    pub fn idle_s(&self) -> f64 {
+        self.dependency_s + self.transfer_s + self.no_ready_work_s
+    }
+
+    /// Total accounted seconds: `busy + idle`. Equals `workers × window`
+    /// up to floating-point rounding — the 100%-accounting invariant.
+    pub fn total_s(&self) -> f64 {
+        self.busy_s + self.idle_s()
+    }
+
+    /// Classify every worker gap of `trace` over `[t0, t1]`.
+    ///
+    /// Workers are the distinct `(node, resource)` pairs that executed at
+    /// least one traced task — a worker that stayed empty the whole run
+    /// never appears in the trace and is not accounted.
+    pub fn classify(trace: &Trace, t0: f64, t1: f64) -> IdleBreakdown {
+        Self::classify_nodes(trace, t0, t1, |_| true)
+    }
+
+    /// [`IdleBreakdown::classify`] restricted to nodes with 1-based rank
+    /// in `lo..=hi` (the shape of `Platform::homogeneous_groups` ranges).
+    pub fn classify_group(trace: &Trace, t0: f64, t1: f64, lo: usize, hi: usize) -> IdleBreakdown {
+        Self::classify_nodes(trace, t0, t1, |node| (lo..=hi).contains(&(node.0 + 1)))
+    }
+
+    fn classify_nodes(
+        trace: &Trace,
+        t0: f64,
+        t1: f64,
+        keep: impl Fn(NodeId) -> bool,
+    ) -> IdleBreakdown {
+        let mut out = IdleBreakdown::default();
+        // NaN-safe window check: anything but a strictly increasing
+        // finite-ish window yields the empty breakdown.
+        if !matches!(t1.partial_cmp(&t0), Some(std::cmp::Ordering::Greater)) {
+            return out;
+        }
+        // Per-node lifecycle windows of every traced task: (ready,
+        // runnable, start). Missing timestamps degrade conservatively
+        // (ready defaults to the start: the task never shows as blocked).
+        let mut node_tasks: HashMap<usize, Vec<(f64, f64, f64)>> = HashMap::new();
+        for e in trace.events() {
+            let (ready, runnable) = match trace.meta(e.task) {
+                Some(m) => (m.ready.unwrap_or(e.start), m.runnable.unwrap_or(e.start)),
+                None => (e.start, e.start),
+            };
+            node_tasks.entry(e.node.0).or_default().push((ready, runnable, e.start));
+        }
+        // Per-worker busy intervals.
+        let mut workers: HashMap<(usize, ResourceKind), Vec<(f64, f64)>> = HashMap::new();
+        for e in trace.events() {
+            if !keep(e.node) {
+                continue;
+            }
+            workers.entry((e.node.0, e.resource)).or_default().push((e.start, e.end));
+        }
+        out.workers = workers.len();
+        let empty = Vec::new();
+        for ((node, _), mut busy) in workers {
+            busy.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let tasks = node_tasks.get(&node).unwrap_or(&empty);
+            let mut cursor = t0;
+            for &(s, e) in &busy {
+                let (s, e) = (s.clamp(t0, t1), e.min(t1));
+                if s > cursor {
+                    classify_gap(tasks, cursor, s, &mut out);
+                }
+                if e > cursor.max(s) {
+                    out.busy_s += e - cursor.max(s);
+                }
+                cursor = cursor.max(e);
+            }
+            if t1 > cursor {
+                classify_gap(tasks, cursor, t1, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// Split `[lo, hi)` at the ready/runnable breakpoints of the node's tasks
+/// and classify each piece by its midpoint.
+fn classify_gap(tasks: &[(f64, f64, f64)], lo: f64, hi: f64, out: &mut IdleBreakdown) {
+    let mut cuts: Vec<f64> = vec![lo, hi];
+    for &(ready, runnable, _) in tasks {
+        for t in [ready, runnable] {
+            if t > lo && t < hi {
+                cuts.push(t);
+            }
+        }
+    }
+    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b <= a {
+            continue;
+        }
+        let m = 0.5 * (a + b);
+        let dur = b - a;
+        match classify_instant(tasks, m) {
+            IdleCause::Transfer => out.transfer_s += dur,
+            IdleCause::Dependency => out.dependency_s += dur,
+            IdleCause::NoReadyWork => out.no_ready_work_s += dur,
+        }
+    }
+}
+
+/// What the node was waiting on at instant `m`.
+fn classify_instant(tasks: &[(f64, f64, f64)], m: f64) -> IdleCause {
+    // A node-local task whose dependencies are met but whose inputs are
+    // still in flight: the gap is a transfer bubble.
+    if tasks.iter().any(|&(ready, runnable, _)| ready <= m && m < runnable) {
+        return IdleCause::Transfer;
+    }
+    // A node-local task that will only become ready later: the gap is a
+    // dependency bubble (its predecessors are still running elsewhere).
+    if tasks.iter().any(|&(ready, _, _)| ready > m) {
+        return IdleCause::Dependency;
+    }
+    IdleCause::NoReadyWork
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaphet_runtime::{ClassId, TaskId, TraceEvent};
+
+    fn ev(task: usize, node: usize, res: ResourceKind, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            task: TaskId(task),
+            class: ClassId(0),
+            phase: 0,
+            node: NodeId(node),
+            resource: res,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn gaps_are_classified_and_account_for_the_full_window() {
+        let mut t = Trace::new();
+        let cpu = ResourceKind::CpuCore(0);
+        // Worker: task 0 at [0,1], task 1 at [3,4]; window [0,5].
+        t.push(ev(0, 0, cpu, 0.0, 1.0));
+        t.push(ev(1, 0, cpu, 3.0, 4.0));
+        // Task 1 became ready at 2.0 (dependency wait 1→2) and runnable
+        // at 3.0 (transfer wait 2→3).
+        t.record_ready(TaskId(1), 2.0);
+        t.record_runnable(TaskId(1), 3.0);
+        let b = IdleBreakdown::classify(&t, 0.0, 5.0);
+        assert_eq!(b.workers, 1);
+        assert!((b.busy_s - 2.0).abs() < 1e-12);
+        assert!((b.dependency_s - 1.0).abs() < 1e-12, "{b:?}");
+        assert!((b.transfer_s - 1.0).abs() < 1e-12, "{b:?}");
+        assert!((b.no_ready_work_s - 1.0).abs() < 1e-12, "tail 4→5 has no pending work: {b:?}");
+        assert!((b.total_s() - 5.0).abs() < 1e-12, "100% accounting");
+    }
+
+    #[test]
+    fn multiple_workers_partition_independently() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, ResourceKind::CpuCore(0), 0.0, 2.0));
+        t.push(ev(1, 0, ResourceKind::Gpu(0), 1.0, 2.0));
+        t.push(ev(2, 1, ResourceKind::CpuCore(0), 0.0, 1.0));
+        // GPU task 1 was ready at 0 but its input only arrived at 1.
+        t.record_ready(TaskId(1), 0.0);
+        t.record_runnable(TaskId(1), 1.0);
+        let b = IdleBreakdown::classify(&t, 0.0, 2.0);
+        assert_eq!(b.workers, 3);
+        assert!((b.busy_s - 4.0).abs() < 1e-12);
+        // GPU idle [0,1) is a transfer bubble; node-1 CPU idle [1,2) has
+        // no pending node-1 work.
+        assert!((b.transfer_s - 1.0).abs() < 1e-12, "{b:?}");
+        assert!((b.no_ready_work_s - 1.0).abs() < 1e-12, "{b:?}");
+        assert!((b.total_s() - 3.0 * 2.0).abs() < 1e-12, "workers × window");
+    }
+
+    #[test]
+    fn group_filter_selects_node_ranks() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, ResourceKind::CpuCore(0), 0.0, 1.0));
+        t.push(ev(1, 1, ResourceKind::CpuCore(0), 0.0, 2.0));
+        let g1 = IdleBreakdown::classify_group(&t, 0.0, 2.0, 1, 1); // rank 1 = node 0
+        assert_eq!(g1.workers, 1);
+        assert!((g1.busy_s - 1.0).abs() < 1e-12);
+        let g2 = IdleBreakdown::classify_group(&t, 0.0, 2.0, 2, 2);
+        assert!((g2.busy_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_window_is_empty() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, ResourceKind::CpuCore(0), 0.0, 1.0));
+        assert_eq!(IdleBreakdown::classify(&t, 1.0, 1.0), IdleBreakdown::default());
+        assert_eq!(IdleBreakdown::classify(&t, 2.0, 1.0), IdleBreakdown::default());
+    }
+}

@@ -18,7 +18,7 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
-use crate::strategy::{DecisionTrace, Strategy};
+use crate::strategy::{DecisionTrace, PosteriorSnapshot, Strategy};
 use crate::{ActionSpace, History};
 
 /// Time attributed to one named application phase within an iteration.
@@ -147,6 +147,10 @@ pub struct IterationEvent {
     /// `"node-death:rank=5"`, `"rebaseline"`, `"retry:1"`), `None` on
     /// unremarkable iterations.
     pub fault: Option<String>,
+    /// The strategy's full posterior over the live space right before
+    /// this decision ([`Strategy::posterior_snapshot`]), when a sink
+    /// asked for decision traces and the strategy maintains a surrogate.
+    pub snapshot: Option<PosteriorSnapshot>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -177,13 +181,16 @@ impl IterationEvent {
     /// One-line JSON rendering with a pinned field order:
     /// `iteration, strategy, action, duration, cumulative_time,
     /// best_known, regret, phases, posterior, excluded, note,
-    /// phase_breakdown, retries, fault`.
+    /// phase_breakdown, retries, fault, snapshot`.
     ///
     /// Every key is always present; `best_known`/`regret` are `null` when
     /// unset, `posterior`/`excluded`/`note` are empty when the decision
     /// trace was not requested, `phase_breakdown` is `null` for
-    /// unprofiled iterations, and `fault` is `null` for unremarkable
-    /// iterations. Non-finite floats serialize as `null`.
+    /// unprofiled iterations, `fault` is `null` for unremarkable
+    /// iterations, and `snapshot` is `null` when the strategy has no
+    /// surrogate posterior to report (it was appended last so parsers of
+    /// the older 14-key schema keep reading a stable prefix). Non-finite
+    /// floats serialize as `null`.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
         s.push_str(&format!(
@@ -272,6 +279,27 @@ impl IterationEvent {
         match &self.fault {
             None => s.push_str("null"),
             Some(f) => s.push_str(&format!("\"{}\"", json_escape(f))),
+        }
+        s.push_str(",\"snapshot\":");
+        match &self.snapshot {
+            None => s.push_str("null"),
+            Some(snap) => {
+                s.push_str("{\"points\":[");
+                for (i, p) in snap.points.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        "{{\"action\":{},\"mean\":{},\"sd\":{},\"lp_bound\":{},\"excluded\":{}}}",
+                        p.action,
+                        json_f64(p.mean),
+                        json_f64(p.sd),
+                        p.lp_bound.map_or("null".into(), json_f64),
+                        p.excluded,
+                    ));
+                }
+                s.push_str("]}");
+            }
         }
         s.push('}');
         s
@@ -790,10 +818,13 @@ impl TunerDriver {
         // Explain before recording: the trace must describe the history
         // state the decision was actually made from. Skipped entirely
         // when no sink wants it (GP explain costs a surrogate refit).
-        let trace = if self.sinks.iter().any(|s| s.wants_decision_trace()) {
-            Some(self.strategy.explain(&self.space, &self.history))
+        let (trace, snapshot) = if self.sinks.iter().any(|s| s.wants_decision_trace()) {
+            (
+                Some(self.strategy.explain(&self.space, &self.history)),
+                self.strategy.posterior_snapshot(&self.space, &self.history),
+            )
         } else {
-            None
+            (None, None)
         };
         let mut obs = execute(action);
         let mut retries = 0;
@@ -823,6 +854,7 @@ impl TunerDriver {
                 phase_breakdown: obs.breakdown,
                 retries,
                 fault: if fault_parts.is_empty() { None } else { Some(fault_parts.join(";")) },
+                snapshot,
             };
             for sink in &mut self.sinks {
                 sink.on_iteration(&event);
@@ -1105,12 +1137,16 @@ mod tests {
             phase_breakdown: None,
             retries: 0,
             fault: None,
+            snapshot: None,
         };
         let j = e.to_json();
         assert!(j.contains("\"strategy\":\"a\\\"b\\\\c\""));
         assert!(j.contains("\"duration\":null"));
         assert!(j.contains("\"best_known\":null"));
-        assert!(j.ends_with("\"phase_breakdown\":null,\"retries\":0,\"fault\":null}"), "{j}");
+        assert!(
+            j.ends_with("\"phase_breakdown\":null,\"retries\":0,\"fault\":null,\"snapshot\":null}"),
+            "{j}"
+        );
     }
 
     #[test]
@@ -1128,9 +1164,73 @@ mod tests {
             phase_breakdown: None,
             retries: 2,
             fault: Some("node-death:rank=5;rebaseline".into()),
+            snapshot: None,
         };
         let j = e.to_json();
-        assert!(j.ends_with("\"retries\":2,\"fault\":\"node-death:rank=5;rebaseline\"}"), "{j}");
+        assert!(
+            j.ends_with(
+                "\"retries\":2,\"fault\":\"node-death:rank=5;rebaseline\",\"snapshot\":null}"
+            ),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn posterior_snapshots_flow_into_events_once_the_gp_fits() {
+        let sp = space();
+        let sink = MemorySink::new();
+        let mut d = TunerDriver::builder(&sp)
+            .strategy(Box::new(GpDiscontinuous::new(&sp)))
+            .sink(Box::new(sink.clone()))
+            .build()
+            .unwrap();
+        d.run(12, |n| Observation::of(response(n)));
+        let events = sink.events();
+        assert!(events[0].snapshot.is_none(), "no surrogate before any data");
+        let snap = events
+            .iter()
+            .rev()
+            .find_map(|e| e.snapshot.as_ref())
+            .expect("late iterations carry a posterior snapshot");
+        // One point per action of the space, in order, with the LP bound.
+        assert_eq!(snap.points.len(), sp.max_nodes);
+        for (i, p) in snap.points.iter().enumerate() {
+            assert_eq!(p.action, i + 1);
+            assert!(p.sd >= 0.0);
+            assert_eq!(p.lp_bound, sp.lp_at(p.action));
+        }
+        // The bound mechanism excludes hopeless left points and the
+        // snapshot says so (y(10) ≈ 11, LP(n) = 30/n ≥ 11 for n ≤ 2).
+        assert!(snap.points.iter().any(|p| p.excluded), "bound exclusions are visible");
+    }
+
+    #[test]
+    fn no_sink_means_no_snapshot_computation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Spy {
+            snapshots: Arc<AtomicUsize>,
+        }
+        impl Strategy for Spy {
+            fn name(&self) -> &'static str {
+                "spy"
+            }
+            fn propose(&mut self, _space: &ActionSpace, _h: &History) -> usize {
+                1
+            }
+            fn posterior_snapshot(
+                &self,
+                _space: &ActionSpace,
+                _h: &History,
+            ) -> Option<crate::PosteriorSnapshot> {
+                self.snapshots.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+        let count = Arc::new(AtomicUsize::new(0));
+        let sp = ActionSpace::unstructured(3);
+        let mut d = driver_for(&sp, Box::new(Spy { snapshots: count.clone() }));
+        d.run(5, |_| Observation::of(1.0));
+        assert_eq!(count.load(Ordering::Relaxed), 0, "snapshot must not run without a sink");
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! Initialization: all nodes → bounded leftmost → middle twice → the last
 //! point of each (bounded) group once — only then does GP-UCB take over.
 
-use crate::{ActionDiagnostic, ActionSpace, DecisionTrace, History, Strategy};
+use crate::{
+    ActionDiagnostic, ActionSpace, DecisionTrace, History, PosteriorPoint, PosteriorSnapshot,
+    Strategy,
+};
 use adaphet_gp::{
     estimate_noise_from_replicates, GpConfig, GpModel, Kernel, ModelCache, PairwiseDistances,
     Trend, UcbSchedule,
@@ -416,6 +419,26 @@ impl Strategy for GpDiscontinuous {
                 DecisionTrace { diagnostics, excluded, note: "fallback-least-sampled".into() }
             }
         }
+    }
+
+    fn posterior_snapshot(&self, space: &ActionSpace, hist: &History) -> Option<PosteriorSnapshot> {
+        let model = self.fit_in(space, hist)?;
+        let cands = self.candidates(space, hist);
+        let points = space
+            .actions()
+            .into_iter()
+            .map(|a| {
+                let p = model.predict(a as f64);
+                PosteriorPoint {
+                    action: a,
+                    mean: self.lp(space, a) + p.mean,
+                    sd: p.sd(),
+                    lp_bound: space.lp_at(a),
+                    excluded: !cands.contains(&a),
+                }
+            })
+            .collect();
+        Some(PosteriorSnapshot { points })
     }
 }
 

@@ -1,7 +1,10 @@
 //! Plain GP-UCB (paper Section IV-D, first variant): constant trend,
 //! hyper-parameters estimated by maximum likelihood, no problem structure.
 
-use crate::{ActionDiagnostic, ActionSpace, DecisionTrace, History, Strategy};
+use crate::{
+    ActionDiagnostic, ActionSpace, DecisionTrace, History, PosteriorPoint, PosteriorSnapshot,
+    Strategy,
+};
 use adaphet_gp::{
     estimate_noise_from_replicates, fit_profile_likelihood, fit_profile_likelihood_with_distances,
     ucb_argmin, GpModel, Kernel, MleSearch, PairwiseDistances, Trend, UcbSchedule,
@@ -133,6 +136,27 @@ impl Strategy for GpUcb {
             }
             None => DecisionTrace::minimal("fallback-best-mean"),
         }
+    }
+
+    fn posterior_snapshot(&self, space: &ActionSpace, hist: &History) -> Option<PosteriorSnapshot> {
+        // No LP curve and no bound mechanism in this baseline: every
+        // action is a candidate and `lp_bound` stays empty.
+        let model = self.fit(hist)?;
+        let points = space
+            .actions()
+            .into_iter()
+            .map(|a| {
+                let p = model.predict(a as f64);
+                PosteriorPoint {
+                    action: a,
+                    mean: p.mean,
+                    sd: p.sd(),
+                    lp_bound: None,
+                    excluded: false,
+                }
+            })
+            .collect();
+        Some(PosteriorSnapshot { points })
     }
 }
 

@@ -102,5 +102,7 @@ pub use gp_ucb::GpUcb;
 pub use history::History;
 pub use kind::{StrategyKind, UnknownStrategyError, PAPER_STRATEGIES};
 pub use naive::{DivideConquer, RightLeft};
-pub use strategy::{ActionDiagnostic, AllNodes, DecisionTrace, Oracle, Strategy};
+pub use strategy::{
+    ActionDiagnostic, AllNodes, DecisionTrace, Oracle, PosteriorPoint, PosteriorSnapshot, Strategy,
+};
 pub use two_dim::{GpUcb2d, History2d, Strategy2d};

@@ -46,6 +46,35 @@ impl DecisionTrace {
     }
 }
 
+/// One action's posterior state in a [`PosteriorSnapshot`].
+///
+/// Unlike [`ActionDiagnostic`] (which only covers the candidates the
+/// strategy ranked), a snapshot point exists for **every** action of the
+/// live space — including ones excluded by the bound mechanism — so a
+/// report can draw the full surrogate curve the way the paper's Fig. 5
+/// does, with the pruned region greyed out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PosteriorPoint {
+    /// Action (node count).
+    pub action: usize,
+    /// Posterior mean of the predicted duration (LP + residual mean for
+    /// the LP-residual strategies, raw surrogate mean otherwise).
+    pub mean: f64,
+    /// Posterior standard deviation.
+    pub sd: f64,
+    /// The LP lower bound at this action, when the space carries one.
+    pub lp_bound: Option<f64>,
+    /// Whether the bound mechanism currently excludes this action.
+    pub excluded: bool,
+}
+
+/// The surrogate's posterior over the whole action space at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PosteriorSnapshot {
+    /// One point per action of the live space, in ascending action order.
+    pub points: Vec<PosteriorPoint>,
+}
+
 /// An online exploration strategy over node counts.
 ///
 /// Every iteration, the driver asks for the next action (a number of
@@ -94,6 +123,19 @@ pub trait Strategy: Send {
     fn explain(&self, space: &ActionSpace, hist: &History) -> DecisionTrace {
         let _ = (space, hist);
         DecisionTrace::minimal(self.name())
+    }
+
+    /// The surrogate's posterior over the live `space`, if the strategy
+    /// maintains one and has enough data to fit it — called by the driver
+    /// alongside [`explain`](Strategy::explain), under the same
+    /// only-when-a-sink-asked gate (it refits the surrogate).
+    ///
+    /// `None` (the default, and the answer of every non-GP strategy)
+    /// means "no posterior to show", which telemetry serializes as a JSON
+    /// `null` — distinct from an empty snapshot.
+    fn posterior_snapshot(&self, space: &ActionSpace, hist: &History) -> Option<PosteriorSnapshot> {
+        let _ = (space, hist);
+        None
     }
 }
 

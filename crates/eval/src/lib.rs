@@ -16,6 +16,7 @@
 
 mod args;
 mod cache;
+mod diagnose;
 mod error;
 mod faults;
 mod metrics_run;
@@ -26,6 +27,7 @@ mod telemetry;
 
 pub use args::{load_fault_plan, parse_args, parse_args_or_exit, RunArgs};
 pub use cache::{build_response_cached, CACHE_VERSION};
+pub use diagnose::{build_report, diagnose, parse_report_args, run_report, ReportArgs};
 pub use error::AdaphetError;
 pub use faults::{run_faulted_session, space_for_platform, FaultRunOutcome, FaultSessionConfig};
 pub use metrics_run::{run_metrics_session, write_metrics_report};

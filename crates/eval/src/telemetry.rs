@@ -184,6 +184,7 @@ mod tests {
             phase_breakdown: None,
             retries: 1,
             fault: Some("node-death:rank=5;rebaseline".into()),
+            snapshot: None,
         });
         let evs = sink.tuner_events();
         assert_eq!(evs.len(), 3, "instant + counter + fault marker: {evs:?}");

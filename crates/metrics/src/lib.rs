@@ -30,7 +30,9 @@ mod report;
 
 pub use recorder::{NoopRecorder, Recorder, Timer};
 pub use registry::{HistogramSnapshot, Registry, SECONDS_BUCKETS};
-pub use report::{GroupProfile, IterationProfile, MetricsReport, METRICS_SCHEMA_VERSION};
+pub use report::{
+    json_escape, GroupProfile, IterationProfile, MetricsReport, METRICS_SCHEMA_VERSION,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

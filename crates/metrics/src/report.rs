@@ -69,7 +69,12 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// Escape a string for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters). The workspace's hand-rolled JSON
+/// codecs (metrics reports, telemetry events, Chrome traces) share this
+/// single implementation so no emitter can produce invalid JSON from a
+/// user-supplied name.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

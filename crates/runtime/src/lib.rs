@@ -61,4 +61,6 @@ pub use real::{BlockHandle, RealRuntime, StoreView};
 pub use sim::{RunReport, SimConfig, SimRuntime};
 pub use stf::DepTracker;
 pub use task::{Access, ClassId, ClassSpec, ClassTable, TaskDesc, TaskId};
-pub use trace::{chrome_trace_document, ResourceKind, Trace, TraceEvent};
+pub use trace::{
+    chrome_trace_document, ResourceKind, TaskMeta, Trace, TraceEvent, TRACE_CSV_VERSION,
+};

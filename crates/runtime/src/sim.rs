@@ -418,6 +418,12 @@ impl SimRuntime {
         });
         assert!(node.0 < self.platform.len(), "task node out of range");
         let dep_list = self.deps.record(id, &desc.accesses);
+        if self.trace_enabled {
+            // Pseudo-tasks (data migrations) are recorded too: they carry
+            // no TraceEvent, but dependence chains must stay connected
+            // through them for critical-path extraction.
+            self.trace.record_deps(id, &dep_list);
+        }
         let mut unmet = 0;
         for d in &dep_list {
             if self.tasks[d.0].status != TaskStatus::Done {
@@ -555,6 +561,9 @@ impl SimRuntime {
     fn stage(&mut self, id: TaskId) {
         debug_assert_eq!(self.tasks[id.0].status, TaskStatus::Blocked);
         self.tasks[id.0].status = TaskStatus::Staging;
+        if self.trace_enabled && self.tasks[id.0].phase != u32::MAX {
+            self.trace.record_ready(id, self.now);
+        }
         let node = self.tasks[id.0].node;
         let reads = self.tasks[id.0].reads.clone();
         let mut missing = 0;
@@ -579,6 +588,9 @@ impl SimRuntime {
     }
 
     fn make_runnable(&mut self, id: TaskId) {
+        if self.trace_enabled && self.tasks[id.0].phase != u32::MAX {
+            self.trace.record_runnable(id, self.now);
+        }
         let t = &mut self.tasks[id.0];
         debug_assert_eq!(t.status, TaskStatus::Staging);
         t.status = TaskStatus::Runnable;
@@ -1165,6 +1177,44 @@ mod tests {
         rt.submit(task(cpu, 1e9, vec![(h1, Access::ReadWrite)]));
         let r2 = rt.run();
         assert!((r2.duration() - 1.0).abs() < 1e-9, "recovered duration {}", r2.duration());
+    }
+
+    #[test]
+    fn trace_meta_records_deps_and_transfer_window() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(2, 0), ct, SimConfig::default());
+        // Producer on node 1 writes a 1 GB block; the consumer on node 0
+        // reads it, so its [ready, runnable) window is the 1 s transfer.
+        let remote = rt.register_data(1_000_000_000, NodeId(1));
+        let local = rt.register_data(8, NodeId(0));
+        let producer = rt.submit(task(cpu, 1e9, vec![(remote, Access::ReadWrite)]));
+        let consumer =
+            rt.submit(task(cpu, 1e9, vec![(remote, Access::Read), (local, Access::Write)]));
+        rt.run();
+        let m = rt.trace().meta(consumer).expect("consumer has metadata");
+        assert_eq!(m.deps, vec![producer]);
+        let (ready, runnable) = (m.ready.unwrap(), m.runnable.unwrap());
+        assert!((ready - 1.0).abs() < 1e-6, "ready when the producer finished: {ready}");
+        assert!((runnable - 2.0).abs() < 1e-6, "runnable after the 1 s transfer: {runnable}");
+        let ev = rt.trace().events().iter().find(|e| e.task == consumer).unwrap();
+        assert!(ev.start >= runnable - 1e-12, "start follows runnable");
+        // The producer had no predecessors, so only its timestamps exist.
+        let pm = rt.trace().meta(producer).expect("producer staged");
+        assert!(pm.deps.is_empty());
+        assert_eq!(pm.ready, Some(0.0));
+    }
+
+    #[test]
+    fn trace_disabled_records_no_meta() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(small_platform(1, 0), ct, SimConfig::default());
+        rt.set_trace_enabled(false);
+        let h = rt.register_data(8, NodeId(0));
+        rt.submit(task(cpu, 1e9, vec![(h, Access::ReadWrite)]));
+        rt.submit(task(cpu, 1e9, vec![(h, Access::ReadWrite)]));
+        rt.run();
+        assert_eq!(rt.trace().metas().count(), 0);
+        assert!(rt.trace().events().is_empty());
     }
 
     #[test]

@@ -2,9 +2,10 @@
 
 use crate::platform::NodeId;
 use crate::task::{ClassId, TaskId};
+use std::collections::HashMap;
 
 /// Kind of worker a task executed on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceKind {
     /// CPU core (index within the node).
     CpuCore(usize),
@@ -31,10 +32,29 @@ pub struct TraceEvent {
     pub end: f64,
 }
 
+/// Per-task scheduling metadata recorded alongside the execution events:
+/// the STF-inferred dependency edges and the lifecycle timestamps needed
+/// for critical-path extraction and idle-bubble classification.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskMeta {
+    /// STF predecessors (RAW/WAW/WAR edges inferred at submission).
+    /// Includes pseudo-tasks (data migrations), which carry no
+    /// [`TraceEvent`] of their own — path walkers hop through them.
+    pub deps: Vec<TaskId>,
+    /// Simulation time when every dependency was met (the task left the
+    /// blocked state and its input transfers were requested).
+    pub ready: Option<f64>,
+    /// Simulation time when every input was local (the task entered its
+    /// node's ready queue). `[ready, runnable)` is the window the task
+    /// spent waiting on network transfers.
+    pub runnable: Option<f64>,
+}
+
 /// Accumulated execution trace.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    meta: HashMap<usize, TaskMeta>,
 }
 
 impl Trace {
@@ -48,14 +68,45 @@ impl Trace {
         self.events.push(e);
     }
 
+    /// Record the STF-inferred predecessor set of a task (called once at
+    /// submission, including for untraced pseudo-tasks so dependence
+    /// chains stay connected through data migrations).
+    pub fn record_deps(&mut self, id: TaskId, deps: &[TaskId]) {
+        if deps.is_empty() {
+            return; // entry is created lazily by the timestamp recorders
+        }
+        self.meta.entry(id.0).or_default().deps = deps.to_vec();
+    }
+
+    /// Record the instant a task's dependencies were all met.
+    pub fn record_ready(&mut self, id: TaskId, t: f64) {
+        self.meta.entry(id.0).or_default().ready = Some(t);
+    }
+
+    /// Record the instant a task's inputs were all local.
+    pub fn record_runnable(&mut self, id: TaskId, t: f64) {
+        self.meta.entry(id.0).or_default().runnable = Some(t);
+    }
+
+    /// Scheduling metadata of one task, if any was recorded.
+    pub fn meta(&self, id: TaskId) -> Option<&TaskMeta> {
+        self.meta.get(&id.0)
+    }
+
+    /// All recorded `(task, metadata)` pairs, in arbitrary order.
+    pub fn metas(&self) -> impl Iterator<Item = (TaskId, &TaskMeta)> {
+        self.meta.iter().map(|(&id, m)| (TaskId(id), m))
+    }
+
     /// All events in recording order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
 
-    /// Drop all events.
+    /// Drop all events and task metadata.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.meta.clear();
     }
 
     /// Total busy time per (node, phase) pair — the aggregate behind the
@@ -71,6 +122,10 @@ impl Trace {
     /// Per-node utilization profile: for each time bin of width `dt` over
     /// `[t0, t1)`, the fraction of the node's `n_workers` busy with tasks of
     /// `phase` (or any phase when `phase` is `None`).
+    ///
+    /// Degenerate windows (`t1 <= t0` or `dt <= 0`, including NaN) yield an
+    /// empty profile rather than a panic — an empty iteration window is a
+    /// normal occurrence when profiling zero-duration phases.
     pub fn utilization(
         &self,
         node: NodeId,
@@ -80,7 +135,9 @@ impl Trace {
         t1: f64,
         dt: f64,
     ) -> Vec<f64> {
-        assert!(dt > 0.0 && t1 > t0, "invalid binning");
+        if !(dt > 0.0 && t1 > t0) {
+            return Vec::new();
+        }
         let nbins = ((t1 - t0) / dt).ceil() as usize;
         let mut busy = vec![0.0; nbins];
         for e in &self.events {
@@ -129,7 +186,7 @@ impl Trace {
                     "{{\"name\":\"{}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{:.3},\
                      \"dur\":{:.3},\"pid\":{},\"tid\":{},\
                      \"args\":{{\"task\":{},\"class\":{}}}}}",
-                    phase_name(e.phase),
+                    adaphet_metrics::json_escape(&phase_name(e.phase)),
                     e.start * 1e6,
                     (e.end - e.start) * 1e6,
                     e.node.0,
@@ -143,9 +200,12 @@ impl Trace {
 
     /// Export as a StarVZ-style CSV
     /// (`task,class,phase,node,resource,start,end`) for external
-    /// visualization tools.
+    /// visualization tools. The first line is a versioned schema comment
+    /// ([`TRACE_CSV_VERSION`]) so downstream parsers can detect drift;
+    /// the column header follows on the second line.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("task,class,phase,node,resource,start,end\n");
+        let mut out = format!("# adaphet-trace-csv v{TRACE_CSV_VERSION}\n");
+        out.push_str("task,class,phase,node,resource,start,end\n");
         for e in &self.events {
             let res = match e.resource {
                 ResourceKind::CpuCore(i) => format!("cpu{i}"),
@@ -159,6 +219,10 @@ impl Trace {
         out
     }
 }
+
+/// Schema version of [`Trace::to_csv`]'s leading comment line. Bump when
+/// columns are added, removed or re-ordered.
+pub const TRACE_CSV_VERSION: u32 = 1;
 
 /// Wrap pre-serialized Chrome-trace event objects into a complete
 /// `{"traceEvents":[...]}` document loadable by `chrome://tracing` and
@@ -233,15 +297,57 @@ mod tests {
     }
 
     #[test]
-    fn csv_export_has_header_and_rows() {
+    fn csv_export_has_version_line_header_and_rows() {
         let mut t = Trace::new();
         t.push(ev(2, 1, 0.5, 1.5));
         let csv = t.to_csv();
         let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), format!("# adaphet-trace-csv v{TRACE_CSV_VERSION}"));
         assert_eq!(lines.next().unwrap(), "task,class,phase,node,resource,start,end");
         let row = lines.next().unwrap();
         assert!(row.starts_with("0,0,1,2,cpu0,"));
         assert!(row.contains("0.5"));
+    }
+
+    #[test]
+    fn utilization_degenerate_window_is_empty_not_a_panic() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, 0.0, 1.0));
+        assert!(t.utilization(NodeId(0), 1, None, 1.0, 1.0, 0.5).is_empty());
+        assert!(t.utilization(NodeId(0), 1, None, 2.0, 1.0, 0.5).is_empty());
+        assert!(t.utilization(NodeId(0), 1, None, 0.0, 1.0, 0.0).is_empty());
+        assert!(t.utilization(NodeId(0), 1, None, 0.0, f64::NAN, 0.5).is_empty());
+    }
+
+    #[test]
+    fn chrome_events_escape_phase_names() {
+        let mut t = Trace::new();
+        t.push(ev(0, 3, 0.0, 1.0));
+        let evs = t.chrome_events(|p| format!("pha\"se\\{p}"));
+        assert_eq!(evs.len(), 1);
+        assert!(evs[0].contains("\"name\":\"pha\\\"se\\\\3\""), "{}", evs[0]);
+        // The escaped event must parse as part of a valid document: no raw
+        // quote may terminate the name string early.
+        let doc = chrome_trace_document(&evs);
+        assert!(!doc.contains("\"pha\"se"), "{doc}");
+    }
+
+    #[test]
+    fn task_meta_records_deps_and_lifecycle_times() {
+        let mut t = Trace::new();
+        t.record_deps(TaskId(2), &[TaskId(0), TaskId(1)]);
+        t.record_ready(TaskId(2), 1.5);
+        t.record_runnable(TaskId(2), 2.25);
+        let m = t.meta(TaskId(2)).expect("meta recorded");
+        assert_eq!(m.deps, vec![TaskId(0), TaskId(1)]);
+        assert_eq!(m.ready, Some(1.5));
+        assert_eq!(m.runnable, Some(2.25));
+        assert!(t.meta(TaskId(0)).is_none(), "no-dep tasks get no eager entry");
+        t.record_ready(TaskId(0), 0.0);
+        assert_eq!(t.metas().count(), 2);
+        t.clear();
+        assert!(t.meta(TaskId(2)).is_none(), "clear drops metadata too");
+        assert_eq!(t.metas().count(), 0);
     }
 
     #[test]

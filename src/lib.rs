@@ -18,6 +18,8 @@
 //! * [`geostat`] — the ExaGeoStat-like five-phase application;
 //! * [`scenarios`] — the paper's Table II machines and 16 scenarios;
 //! * [`eval`] — response tables, resampling replays, figure generators;
+//! * [`analysis`] — post-hoc trace diagnosis: critical paths, idle-bubble
+//!   classification, telemetry parsing, and self-contained HTML reports;
 //! * [`metrics`] — runtime metrics registry (counters, gauges, histograms)
 //!   behind a no-op-by-default [`metrics::Recorder`];
 //! * [`linalg`] — the dense linear-algebra core.
@@ -25,6 +27,7 @@
 //! See `examples/quickstart.rs` for the 40-line tour and DESIGN.md for the
 //! full system inventory.
 
+pub use adaphet_analysis as analysis;
 pub use adaphet_core as tuner;
 pub use adaphet_eval as eval;
 pub use adaphet_geostat as geostat;

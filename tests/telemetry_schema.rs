@@ -7,13 +7,14 @@
 
 use adaphet::tuner::{
     ActionDiagnostic, ActionSpace, DecisionTrace, GroupUtilization, IterationEvent, JsonlSink,
-    MemorySink, Observation, PhaseBreakdown, PhaseSlice, StrategyKind, TunerDriver,
+    MemorySink, Observation, PhaseBreakdown, PhaseSlice, PosteriorPoint, PosteriorSnapshot,
+    StrategyKind, TunerDriver,
 };
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
 /// The pinned key order of one JSONL event line.
-const KEYS: [&str; 14] = [
+const KEYS: [&str; 15] = [
     "\"iteration\":",
     "\"strategy\":",
     "\"action\":",
@@ -28,6 +29,7 @@ const KEYS: [&str; 14] = [
     "\"phase_breakdown\":",
     "\"retries\":",
     "\"fault\":",
+    "\"snapshot\":",
 ];
 
 #[test]
@@ -61,6 +63,18 @@ fn golden_fully_populated_event() {
         }),
         retries: 1,
         fault: Some("node-death:rank=5;rebaseline".into()),
+        snapshot: Some(PosteriorSnapshot {
+            points: vec![
+                PosteriorPoint {
+                    action: 1,
+                    mean: 8.5,
+                    sd: 0.5,
+                    lp_bound: Some(10.0),
+                    excluded: true,
+                },
+                PosteriorPoint { action: 7, mean: 1.5, sd: 0.125, lp_bound: None, excluded: false },
+            ],
+        }),
     };
     assert_eq!(
         e.to_json(),
@@ -73,7 +87,10 @@ fn golden_fully_populated_event() {
          {\"name\":\"generation\",\"seconds\":0.25},{\"name\":\"solve\",\"seconds\":1.25}],\
          \"groups\":[{\"name\":\"chifflot:1-2\",\"busy_s\":3,\"idle_s\":1,\
          \"utilization\":0.75}]},\"retries\":1,\
-         \"fault\":\"node-death:rank=5;rebaseline\"}"
+         \"fault\":\"node-death:rank=5;rebaseline\",\
+         \"snapshot\":{\"points\":[\
+         {\"action\":1,\"mean\":8.5,\"sd\":0.5,\"lp_bound\":10,\"excluded\":true},\
+         {\"action\":7,\"mean\":1.5,\"sd\":0.125,\"lp_bound\":null,\"excluded\":false}]}}"
     );
 }
 
@@ -92,13 +109,14 @@ fn golden_minimal_event_keeps_every_key() {
         phase_breakdown: None,
         retries: 0,
         fault: None,
+        snapshot: None,
     };
     assert_eq!(
         e.to_json(),
         "{\"iteration\":0,\"strategy\":\"UCB\",\"action\":1,\"duration\":2.5,\
          \"cumulative_time\":2.5,\"best_known\":null,\"regret\":null,\
          \"phases\":[],\"posterior\":[],\"excluded\":[],\"note\":\"\",\
-         \"phase_breakdown\":null,\"retries\":0,\"fault\":null}"
+         \"phase_breakdown\":null,\"retries\":0,\"fault\":null,\"snapshot\":null}"
     );
 }
 
@@ -117,6 +135,7 @@ fn non_finite_floats_serialize_as_null() {
         phase_breakdown: None,
         retries: 0,
         fault: None,
+        snapshot: None,
     };
     let json = e.to_json();
     assert!(json.contains("\"duration\":null"), "{json}");
@@ -182,4 +201,55 @@ fn driver_emits_one_ordered_json_line_per_iteration() {
         "expected a populated posterior late in the run: {last}"
     );
     assert!(last.contains("\"excluded\":[1"), "expected action 1 excluded by the LP bound: {last}");
+    // And the full-space posterior snapshot rides along, one point per
+    // action with the pinned sub-schema key order.
+    assert!(
+        last.contains("\"snapshot\":{\"points\":[{\"action\":1,\"mean\":"),
+        "expected a populated snapshot late in the run: {last}"
+    );
+    let snap_at = last.find("\"snapshot\":").unwrap();
+    let snap = &last[snap_at..];
+    for key in ["\"action\":", "\"mean\":", "\"sd\":", "\"lp_bound\":", "\"excluded\":"] {
+        assert!(snap.contains(key), "snapshot point missing {key}: {snap}");
+    }
+    assert_eq!(snap.matches("\"action\":").count(), n, "one snapshot point per action: {snap}");
+    // The memory sink sees the same snapshot structurally.
+    let events = memory.events();
+    let last_snap = events.last().unwrap().snapshot.as_ref().expect("snapshot in memory sink");
+    assert_eq!(last_snap.points.len(), n);
+    assert!(last_snap.points[0].excluded, "action 1 is bounded out");
+}
+
+#[test]
+fn golden_snapshot_point_sub_schema() {
+    // Pins the serialized layout of one PosteriorPoint so downstream
+    // report parsing can't silently drift: key order, null lp_bound,
+    // bare booleans, non-finite floats as null.
+    let e = IterationEvent {
+        iteration: 0,
+        strategy: "GP-UCB".into(),
+        action: 3,
+        duration: 1.0,
+        cumulative_time: 1.0,
+        best_known: None,
+        regret: None,
+        phases: vec![],
+        trace: None,
+        phase_breakdown: None,
+        retries: 0,
+        fault: None,
+        snapshot: Some(PosteriorSnapshot {
+            points: vec![PosteriorPoint {
+                action: 3,
+                mean: f64::NAN,
+                sd: 0.25,
+                lp_bound: None,
+                excluded: false,
+            }],
+        }),
+    };
+    assert!(e.to_json().ends_with(
+        "\"snapshot\":{\"points\":[\
+         {\"action\":3,\"mean\":null,\"sd\":0.25,\"lp_bound\":null,\"excluded\":false}]}}"
+    ));
 }

@@ -1,0 +1,181 @@
+//! End-to-end checks of the trace-analysis subsystem: critical-path and
+//! idle-bubble extraction stay consistent across a node death, and the
+//! `report` pipeline turns a real telemetry file into a self-contained
+//! HTML document whose diagnosis matches the simulated run.
+
+use adaphet::analysis::{render_html, CriticalPath, IdleBreakdown};
+use adaphet::eval::{
+    build_report, diagnose, run_faulted_session, FaultSessionConfig, ReportArgs, StrategyKind,
+};
+use adaphet::geostat::{GeoSimApp, IterationChoice};
+use adaphet::runtime::{FaultPlan, SimConfig};
+use adaphet::scenarios::{Scale, Scenario};
+use adaphet::tuner::{JsonlSink, ResiliencePolicy};
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+/// Diagnosis invariants that must hold for any traced iteration: the
+/// critical path spans the window within 1% of the recorded makespan, and
+/// idle classification accounts for every worker-second.
+fn assert_consistent(trace: &adaphet::runtime::Trace, t0: f64, t1: f64) {
+    let cp = CriticalPath::extract(trace).expect("traced run has events");
+    let makespan = t1 - t0;
+    assert!(
+        (cp.total() - makespan).abs() <= 0.01 * makespan,
+        "critical path {} vs makespan {makespan}",
+        cp.total()
+    );
+    assert!(
+        (cp.exec_time + cp.wait_time - cp.total()).abs() < 1e-9 * cp.total().max(1.0),
+        "path must telescope"
+    );
+    let idle = IdleBreakdown::classify(trace, t0, t1);
+    let expect = idle.workers as f64 * (t1 - t0);
+    assert!(
+        (idle.total_s() - expect).abs() < 1e-6 * expect.max(1.0),
+        "idle accounting covered {} of {expect}",
+        idle.total_s()
+    );
+}
+
+#[test]
+fn diagnosis_stays_consistent_when_a_node_dies() {
+    let scen = Scenario::by_id('a').unwrap();
+    let workload = scen.workload(Scale::Test);
+    let n = scen.n_nodes();
+
+    // Healthy run over the full platform.
+    let mut app = scen.app(Scale::Test, 11);
+    let report = app.run_iteration(IterationChoice::fact_only(n, n));
+    assert_consistent(app.runtime().trace(), report.start, report.end);
+    let healthy_makespan = report.duration();
+
+    // Rank 1 (a fast chifflot node) dies; the fault harness rebuilds the
+    // application over the survivors, exactly as `run_faulted_session`
+    // does between the death and the next proposal.
+    let survivors = scen.platform().without_rank(1);
+    assert_eq!(survivors.nodes.len(), n - 1);
+    let mut app = GeoSimApp::new(survivors, workload, SimConfig { seed: 11, task_jitter: None });
+    let report = app.run_iteration(IterationChoice::fact_only(n - 1, n - 1));
+    let trace = app.runtime().trace();
+
+    // No event may be attributed to the dead rank: survivors renumber to
+    // 0..n-1, so every traced node index stays below the survivor count.
+    assert!(!trace.events().is_empty());
+    for e in trace.events() {
+        assert!(e.node.0 < n - 1, "event on node index {} but only {} survivors", e.node.0, n - 1);
+    }
+    // The extractors hold the same invariants on the degraded platform.
+    assert_consistent(trace, report.start, report.end);
+    // Losing a fast node cannot make the same workload finish faster.
+    assert!(
+        report.duration() > 0.9 * healthy_makespan,
+        "degraded run {} vs healthy {healthy_makespan}",
+        report.duration()
+    );
+}
+
+#[test]
+fn report_pipeline_renders_a_real_faulted_session() {
+    let scen = Scenario::by_id('a').unwrap();
+    let n = scen.n_nodes();
+    let dir = std::env::temp_dir();
+    let jsonl: PathBuf = dir.join(format!("adaphet-trace-analysis-{}.jsonl", std::process::id()));
+    let html_path: PathBuf =
+        dir.join(format!("adaphet-trace-analysis-{}.html", std::process::id()));
+
+    // A real tuning session against the live simulator, with a node death
+    // mid-session, streamed to JSONL exactly as `fig6 --telemetry` and the
+    // CI fault-smoke job do.
+    {
+        let f = std::fs::File::create(&jsonl).unwrap();
+        let out = run_faulted_session(
+            &scen,
+            Scale::Test,
+            &FaultPlan::new(0).death(3, n),
+            FaultSessionConfig {
+                kind: StrategyKind::GpDiscontinuous,
+                iters: 10,
+                seed: 7,
+                policy: ResiliencePolicy::standard(),
+            },
+            vec![Box::new(JsonlSink::new(BufWriter::new(f)))],
+        )
+        .unwrap();
+        assert_eq!(out.deaths, vec![(3, n)]);
+    }
+
+    let args = ReportArgs {
+        input: jsonl.clone(),
+        out: Some(html_path.clone()),
+        scenario: 'a',
+        scale: Scale::Test,
+        seed: 7,
+        ..Default::default()
+    };
+    let report = build_report(&args).unwrap();
+
+    // Telemetry round-tripped: one strategy, ten iterations, the death
+    // annotation preserved.
+    assert_eq!(report.telemetry.runs.len(), 1);
+    assert_eq!(report.telemetry.len(), 10);
+    assert!(report.telemetry.runs[0]
+        .records
+        .iter()
+        .any(|r| r.fault.as_deref().is_some_and(|f| f.contains("node-death"))));
+
+    // The re-simulated diagnosis satisfies the acceptance bound: the
+    // critical path accounts for the makespan within 1%.
+    let sim = report.sim.as_ref().expect("diagnosis runs by default");
+    let cp = &sim.critical_path;
+    assert!(
+        (cp.total() - sim.makespan).abs() <= 0.01 * sim.makespan,
+        "critical path {} vs makespan {}",
+        cp.total(),
+        sim.makespan
+    );
+
+    // The rendered document is one self-contained file: no scripts, no
+    // external fetches (the SVG namespace URI is the only URL-shaped
+    // string), and all major sections present.
+    let html = render_html(&report);
+    assert!(html.starts_with("<!doctype html>"));
+    assert!(!html.contains("<script"));
+    assert!(!html.contains("https://"));
+    assert_eq!(html.matches("http://").count(), html.matches("http://www.w3.org/2000/svg").count());
+    for section in [
+        "Strategy summary",
+        "Iteration durations",
+        "Gantt",
+        "Critical path",
+        "Idle-bubble classification",
+    ] {
+        assert!(html.contains(section), "missing report section {section:?}");
+    }
+
+    // The binary-level entry point writes the same document to disk.
+    let msg = adaphet::eval::run_report(&args).unwrap();
+    assert!(msg.contains(html_path.display().to_string().as_str()));
+    let on_disk = std::fs::read_to_string(&html_path).unwrap();
+    assert_eq!(on_disk, html);
+
+    std::fs::remove_file(&jsonl).ok();
+    std::fs::remove_file(&html_path).ok();
+}
+
+#[test]
+fn diagnose_matches_direct_simulation() {
+    // `diagnose` must describe the same deterministic iteration a direct
+    // simulation produces: same makespan, same group structure.
+    let scen = Scenario::by_id('e').unwrap(); // (Simul): fully deterministic
+    let d = diagnose(&scen, Scale::Test, 42, 6);
+    let mut app = scen.app(Scale::Test, 42);
+    let n = app.n_nodes();
+    let report = app.run_iteration(IterationChoice::fact_only(n, 6));
+    assert!((d.makespan - report.duration()).abs() < 1e-12);
+    assert_eq!(d.groups.len(), scen.groups().len());
+    assert_eq!(d.group_idle.len(), d.groups.len());
+    // Group idle sums to the whole-platform breakdown.
+    let busy_sum: f64 = d.group_idle.iter().map(|b| b.busy_s).sum();
+    assert!((busy_sum - d.idle.busy_s).abs() < 1e-6 * d.idle.busy_s.max(1.0));
+}
