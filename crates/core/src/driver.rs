@@ -515,8 +515,10 @@ impl From<crate::UnknownStrategyError> for DriverBuildError {
     }
 }
 
-/// Typed configuration for [`TunerDriver`] — the only way to construct
-/// one. Obtain via [`TunerDriver::builder`].
+/// Typed configuration for [`TunerDriver`] (and, via
+/// [`build_session`](TunerDriverBuilder::build_session), the split
+/// [`Session`](crate::Session)) — the only way to construct either.
+/// Obtain via [`TunerDriver::builder`].
 pub struct TunerDriverBuilder {
     space: ActionSpace,
     strategy: Option<Box<dyn Strategy>>,
@@ -527,6 +529,7 @@ pub struct TunerDriverBuilder {
     oracle_best: Option<usize>,
     sinks: Vec<Box<dyn TelemetrySink>>,
     resilience: ResiliencePolicy,
+    max_in_flight: usize,
 }
 
 impl TunerDriverBuilder {
@@ -584,26 +587,38 @@ impl TunerDriverBuilder {
         self
     }
 
-    /// Build the driver.
-    pub fn build(self) -> Result<TunerDriver, DriverBuildError> {
+    /// Cap the pending-action ledger of a split
+    /// [`Session`](crate::Session) (default: unbounded). The synchronous
+    /// [`TunerDriver`] loop never has more than one proposal in flight,
+    /// so this only matters for [`build_session`](Self::build_session)
+    /// consumers like the tuning service.
+    pub fn max_in_flight(mut self, limit: usize) -> Self {
+        self.max_in_flight = limit.max(1);
+        self
+    }
+
+    /// Build the split propose/observe [`Session`](crate::Session) state
+    /// machine (what services shard across worker threads).
+    pub fn build_session(self) -> Result<crate::Session, DriverBuildError> {
         let strategy = match (self.strategy, self.kind) {
             (Some(s), _) => s,
             (None, Some(k)) => k.build(&self.space, self.seed, self.oracle_best)?,
             (None, None) => return Err(DriverBuildError::MissingStrategy),
         };
-        Ok(TunerDriver {
+        Ok(crate::Session::from_parts(
             strategy,
-            space: self.space,
-            history: History::new(),
-            sinks: self.sinks,
-            best_known: self.best_known,
-            cumulative: 0.0,
-            iters: self.iters,
-            iteration: 0,
-            resilience: self.resilience,
-            pending_rebaseline: false,
-            pending_fault: None,
-        })
+            self.space,
+            self.sinks,
+            self.best_known,
+            self.iters,
+            self.resilience,
+            self.max_in_flight,
+        ))
+    }
+
+    /// Build the driver (the synchronous loop over an owned session).
+    pub fn build(self) -> Result<TunerDriver, DriverBuildError> {
+        Ok(TunerDriver { session: self.build_session()? })
     }
 }
 
@@ -626,19 +641,7 @@ impl TunerDriverBuilder {
 /// assert_eq!(driver.history().len(), 10);
 /// ```
 pub struct TunerDriver {
-    strategy: Box<dyn Strategy>,
-    space: ActionSpace,
-    history: History,
-    sinks: Vec<Box<dyn TelemetrySink>>,
-    best_known: Option<f64>,
-    cumulative: f64,
-    iters: Option<usize>,
-    /// Monotone iteration counter — *not* `history.len()`, which shrinks
-    /// under quarantine.
-    iteration: usize,
-    resilience: ResiliencePolicy,
-    pending_rebaseline: bool,
-    pending_fault: Option<String>,
+    session: crate::Session,
 }
 
 impl TunerDriver {
@@ -654,44 +657,57 @@ impl TunerDriver {
             oracle_best: None,
             sinks: Vec::new(),
             resilience: ResiliencePolicy::default(),
+            max_in_flight: usize::MAX,
         }
     }
 
     /// Attach a telemetry sink after construction.
     pub fn add_sink(&mut self, sink: Box<dyn TelemetrySink>) {
-        self.sinks.push(sink);
+        self.session.add_sink(sink);
     }
 
     /// The strategy driving the loop.
     pub fn strategy(&self) -> &dyn Strategy {
-        self.strategy.as_ref()
+        self.session.strategy()
     }
 
     /// The live action space the next proposal will be drawn from.
     pub fn space(&self) -> &ActionSpace {
-        &self.space
+        self.session.space()
     }
 
     /// The active resilience policy.
     pub fn resilience(&self) -> &ResiliencePolicy {
-        &self.resilience
+        self.session.resilience()
     }
 
     /// Observations recorded so far (quarantined records removed).
     pub fn history(&self) -> &History {
-        &self.history
+        self.session.history()
     }
 
     /// Monotone count of iterations executed (never shrinks, unlike
     /// `history().len()` under quarantine).
     pub fn iterations_run(&self) -> usize {
-        self.iteration
+        self.session.iterations_proposed()
     }
 
     /// The iteration budget configured via
     /// [`TunerDriverBuilder::iters`], if any.
     pub fn configured_iters(&self) -> Option<usize> {
-        self.iters
+        self.session.configured_iters()
+    }
+
+    /// The underlying propose/observe [`Session`](crate::Session).
+    pub fn session(&self) -> &crate::Session {
+        &self.session
+    }
+
+    /// Unwrap the driver into its [`Session`](crate::Session) (sinks and
+    /// history travel with it) — the migration path from a synchronous
+    /// loop to service-managed tuning.
+    pub fn into_session(self) -> crate::Session {
+        self.session
     }
 
     /// Consume the driver, returning the history (sinks are finished).
@@ -702,9 +718,8 @@ impl TunerDriver {
     /// attached must not vanish silently. Call [`TunerDriver::finish`]
     /// first to handle the error gracefully (sinks latch their error and
     /// raise it only once, so a handled error is not raised again here).
-    pub fn into_history(mut self) -> History {
-        self.finish().expect("telemetry sink failed");
-        self.history
+    pub fn into_history(self) -> History {
+        self.session.into_history()
     }
 
     /// Replace the live action space mid-run (platform fault: node death
@@ -725,142 +740,36 @@ impl TunerDriver {
         stale_from: Option<usize>,
         note: impl Into<String>,
     ) {
-        self.space = new_space.clone();
-        let mut parts = vec![note.into()];
-        if self.resilience.quarantine {
-            if let Some(stale) = stale_from {
-                let dropped = self.history.retain_actions(|a| a < stale);
-                if dropped > 0 {
-                    adaphet_metrics::global().add("tuner.quarantine", dropped as f64);
-                    parts.push(format!("quarantine:{dropped}"));
-                }
-            }
-        }
-        if self.resilience.rebaseline && self.history.first_for(self.space.max_nodes).is_none() {
-            self.pending_rebaseline = true;
-        }
-        let note = parts.join(";");
-        match &mut self.pending_fault {
-            Some(prev) => {
-                prev.push(';');
-                prev.push_str(&note);
-            }
-            None => self.pending_fault = Some(note),
-        }
-    }
-
-    /// Running duration estimate for the timeout check: the median of the
-    /// most recent (up to 10) iteration durations.
-    fn running_estimate(&self) -> Option<f64> {
-        let records = self.history.records();
-        if records.len() < 3 {
-            return None;
-        }
-        let tail = &records[records.len().saturating_sub(10)..];
-        let mut ds: Vec<f64> = tail.iter().map(|&(_, y)| y).collect();
-        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        Some(ds[ds.len() / 2])
-    }
-
-    /// Whether the policy wants this measurement re-taken.
-    fn is_suspect(&self, action: usize, duration: f64) -> bool {
-        if let Some(factor) = self.resilience.timeout_factor {
-            if let Some(estimate) = self.running_estimate() {
-                if duration > factor * estimate {
-                    return true;
-                }
-            }
-        }
-        if self.resilience.max_retries > 0 {
-            let prior = self.history.values_for(action);
-            if prior.len() >= 4 {
-                let mut v = prior.clone();
-                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                let median = v[v.len() / 2];
-                let mut dev: Vec<f64> = prior.iter().map(|y| (y - median).abs()).collect();
-                dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                let mad = dev[dev.len() / 2];
-                let fence = self.resilience.outlier_mad_k * (1.4826 * mad).max(1e-3 * median.abs());
-                if fence > 0.0 && (duration - median).abs() > fence {
-                    return true;
-                }
-            }
-        }
-        false
+        self.session.apply_platform_change(new_space, stale_from, note);
     }
 
     /// Run one iteration: propose, execute (re-measuring suspect
     /// observations up to the policy's retry budget), record, emit
     /// telemetry.
     ///
+    /// This is exactly one [`Session::propose`](crate::Session::propose)
+    /// resolved to completion: the executor is re-invoked while the
+    /// session answers [`Observed::Retry`](crate::Observed), so behaviour
+    /// is bit-identical to the pre-split owning loop.
+    ///
     /// Proposals must satisfy the [`Strategy::propose`] range contract
-    /// over the *live* space; the driver checks it with a
+    /// over the *live* space; the session checks it with a
     /// `debug_assert!` so violations surface in tests rather than
     /// corrupting downstream lookups.
     pub fn step<F: FnMut(usize) -> Observation>(&mut self, mut execute: F) -> StepOutcome {
-        let iteration = self.iteration;
-        self.iteration += 1;
-        let mut fault_parts: Vec<String> = self.pending_fault.take().into_iter().collect();
-        let action = if std::mem::take(&mut self.pending_rebaseline) {
-            adaphet_metrics::global().add("tuner.rebaseline", 1.0);
-            fault_parts.push("rebaseline".to_string());
-            self.space.max_nodes
-        } else {
-            self.strategy.propose(&self.space, &self.history)
-        };
-        debug_assert!(
-            (1..=self.space.max_nodes).contains(&action),
-            "strategy {:?} proposed out-of-range action {} (live space is 1..={})",
-            self.strategy.name(),
-            action,
-            self.space.max_nodes
-        );
-        // Explain before recording: the trace must describe the history
-        // state the decision was actually made from. Skipped entirely
-        // when no sink wants it (GP explain costs a surrogate refit).
-        let (trace, snapshot) = if self.sinks.iter().any(|s| s.wants_decision_trace()) {
-            (
-                Some(self.strategy.explain(&self.space, &self.history)),
-                self.strategy.posterior_snapshot(&self.space, &self.history),
-            )
-        } else {
-            (None, None)
-        };
-        let mut obs = execute(action);
-        let mut retries = 0;
-        while retries < self.resilience.max_retries && self.is_suspect(action, obs.duration) {
-            retries += 1;
-            adaphet_metrics::global().add("tuner.retry", 1.0);
-            // The discarded attempt still cost wall-clock time.
-            self.cumulative += obs.duration;
-            obs = execute(action);
-        }
-        if retries > 0 {
-            fault_parts.push(format!("retry:{retries}"));
-        }
-        self.history.record(action, obs.duration);
-        self.cumulative += obs.duration;
-        if !self.sinks.is_empty() {
-            let event = IterationEvent {
-                iteration,
-                strategy: self.strategy.name().to_string(),
-                action,
-                duration: obs.duration,
-                cumulative_time: self.cumulative,
-                best_known: self.best_known,
-                regret: self.best_known.map(|b| obs.duration - b),
-                phases: obs.phases,
-                trace,
-                phase_breakdown: obs.breakdown,
-                retries,
-                fault: if fault_parts.is_empty() { None } else { Some(fault_parts.join(";")) },
-                snapshot,
-            };
-            for sink in &mut self.sinks {
-                sink.on_iteration(&event);
+        let proposal =
+            self.session.propose().expect("the sequential loop never exceeds the ledger cap");
+        let mut obs = execute(proposal.action);
+        loop {
+            match self
+                .session
+                .observe(proposal.ticket, obs)
+                .expect("the ticket was just issued and stays in the ledger until recorded")
+            {
+                crate::Observed::Recorded(outcome) => return outcome,
+                crate::Observed::Retry { action, .. } => obs = execute(action),
             }
         }
-        StepOutcome { iteration, action, duration: obs.duration }
     }
 
     /// Run `iters` iterations through the same executor.
@@ -877,7 +786,10 @@ impl TunerDriver {
     ///
     /// Panics if no budget was configured.
     pub fn run_configured<F: FnMut(usize) -> Observation>(&mut self, execute: F) {
-        let iters = self.iters.expect("no iteration budget configured (builder .iters())");
+        let iters = self
+            .session
+            .configured_iters()
+            .expect("no iteration budget configured (builder .iters())");
         self.run(iters, execute);
     }
 
@@ -885,16 +797,7 @@ impl TunerDriver {
     /// earlier one fails; the first error is returned. Idempotent: sinks
     /// surface a latched error once.
     pub fn finish(&mut self) -> io::Result<()> {
-        let mut first_err = None;
-        for sink in &mut self.sinks {
-            if let Err(e) = sink.finish() {
-                first_err.get_or_insert(e);
-            }
-        }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+        self.session.finish()
     }
 }
 

@@ -84,25 +84,39 @@ mod gp_ucb;
 mod history;
 mod kind;
 mod naive;
+mod session;
 mod strategy;
 mod two_dim;
 
-pub use action::ActionSpace;
-pub use bandit::{Ucb, UcbStruct};
-pub use brent::BrentSearch;
-pub use drift::DriftReset;
+// ---- The curated public surface, by layer ----------------------------
+//
+// Sessions & drivers: the loop (synchronous or split), its configuration
+// and its telemetry.
 pub use driver::{
     DriverBuildError, GroupUtilization, IterationEvent, JsonlSink, MemorySink, Observation,
     PhaseBreakdown, PhaseSlice, ResiliencePolicy, StepOutcome, TelemetrySink, TunerDriver,
     TunerDriverBuilder,
 };
+pub use session::{Observed, Proposal, Session, SessionError, Ticket};
+
+// Strategy construction: the validated by-name registry and the trait.
+pub use kind::{StrategyKind, UnknownStrategyError, PAPER_STRATEGIES};
+pub use strategy::{ActionDiagnostic, DecisionTrace, PosteriorPoint, PosteriorSnapshot, Strategy};
+
+// The problem statement: action spaces and observation histories.
+pub use action::ActionSpace;
+pub use history::History;
+
+// The strategy zoo (normally reached through [`StrategyKind::build`];
+// exported for direct construction with non-default options).
+pub use bandit::{Ucb, UcbStruct};
+pub use brent::BrentSearch;
+pub use drift::DriftReset;
 pub use extra::{NelderMead1d, RandomSearch, SimulatedAnnealing, StochasticApproximation};
 pub use gp_disc::{GpDiscOptions, GpDiscontinuous};
 pub use gp_ucb::GpUcb;
-pub use history::History;
-pub use kind::{StrategyKind, UnknownStrategyError, PAPER_STRATEGIES};
 pub use naive::{DivideConquer, RightLeft};
-pub use strategy::{
-    ActionDiagnostic, AllNodes, DecisionTrace, Oracle, PosteriorPoint, PosteriorSnapshot, Strategy,
-};
+pub use strategy::{AllNodes, Oracle};
+
+// The 2-d prototype (`two_dim.rs`): a separate experimental surface.
 pub use two_dim::{GpUcb2d, History2d, Strategy2d};

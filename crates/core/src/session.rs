@@ -1,0 +1,655 @@
+//! The tuning loop as an explicit state machine: `propose` / `observe`
+//! halves with a pending-action ledger.
+//!
+//! [`TunerDriver`](crate::TunerDriver) owns the synchronous propose →
+//! execute → record loop, which is the right shape when the measurement
+//! happens in the same call stack. A tuning *service* cannot work that
+//! way: clients fetch a proposal, go run the iteration on their own
+//! cluster, and come back with the measurement seconds or minutes later —
+//! possibly with several actions in flight at once. [`Session`] is the
+//! driver's loop split at exactly that seam:
+//!
+//! * [`Session::propose`] picks the next action, computes the decision
+//!   trace/posterior snapshot (when a sink asked for it), and parks the
+//!   proposal in a ledger under a fresh [`Ticket`];
+//! * [`Session::observe`] resolves a ticket with the measured
+//!   [`Observation`], applying the [`ResiliencePolicy`] verdicts: a
+//!   suspect measurement answers [`Observed::Retry`] (the caller must
+//!   re-measure under the same ticket) instead of silently re-executing.
+//!
+//! `TunerDriver::step` is now a thin wrapper: one `propose`, then
+//! `observe` in a loop until the ticket resolves — bit-identical to the
+//! old owning loop (pinned by the figure-binary byte-equality checks and
+//! the service equivalence proptests).
+//!
+//! Sessions are `Send` (strategies, sinks and history all are), so a
+//! [`SessionManager`](https://docs.rs/adaphet-service) can shard thousands
+//! of them across a fixed worker pool.
+
+use crate::driver::{IterationEvent, Observation, ResiliencePolicy, StepOutcome, TelemetrySink};
+use crate::strategy::{DecisionTrace, PosteriorSnapshot, Strategy};
+use crate::{ActionSpace, History};
+use std::io;
+
+/// Opaque handle for one in-flight proposal of a [`Session`].
+///
+/// Tickets are unique per session (a monotone counter), never reused, and
+/// carry no meaning beyond identity — wire protocols serialize them as
+/// plain integers via [`Ticket::id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// The raw ticket number (for wire protocols and logs).
+    pub fn id(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a ticket from its raw number (wire-protocol ingress).
+    pub fn from_id(id: u64) -> Self {
+        Ticket(id)
+    }
+}
+
+impl std::fmt::Display for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// What [`Session::propose`] hands out: the action to measure, under a
+/// ledger ticket the caller must resolve via [`Session::observe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Proposal {
+    /// Ledger ticket identifying this in-flight proposal.
+    pub ticket: Ticket,
+    /// 0-based iteration index assigned at propose time.
+    pub iteration: usize,
+    /// The action (node count) to measure.
+    pub action: usize,
+}
+
+/// The outcome of resolving a ticket with [`Session::observe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Observed {
+    /// The measurement was accepted and recorded; the ticket is closed.
+    Recorded(StepOutcome),
+    /// The [`ResiliencePolicy`] declared the measurement suspect
+    /// (timeout / outlier fence): re-measure `action` and call
+    /// [`Session::observe`] again with the same ticket. The discarded
+    /// attempt's duration is already charged to the cumulative time.
+    Retry {
+        /// The still-open ticket.
+        ticket: Ticket,
+        /// The action to re-measure (unchanged from the proposal).
+        action: usize,
+        /// How many retries this ticket has consumed so far (1-based).
+        attempt: usize,
+    },
+}
+
+/// Why a [`Session`] refused a call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// [`Session::observe`] was called with a ticket that is not in the
+    /// ledger (never issued, already resolved, or from another session).
+    UnknownTicket(Ticket),
+    /// [`Session::propose`] would exceed the configured in-flight limit;
+    /// resolve an outstanding ticket first.
+    TooManyInFlight {
+        /// The configured ledger capacity.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::UnknownTicket(t) => {
+                write!(f, "ticket {t} is not in the pending-action ledger")
+            }
+            SessionError::TooManyInFlight { limit } => {
+                write!(f, "pending-action ledger is full ({limit} proposals in flight)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One ledger entry: everything captured at propose time that the
+/// eventual observation needs to build its [`IterationEvent`].
+struct PendingAction {
+    ticket: Ticket,
+    iteration: usize,
+    action: usize,
+    trace: Option<DecisionTrace>,
+    snapshot: Option<PosteriorSnapshot>,
+    fault_parts: Vec<String>,
+    retries: usize,
+}
+
+/// A tuning session: the [`TunerDriver`](crate::TunerDriver) loop split
+/// into explicit [`propose`](Session::propose) / [`observe`](Session::observe)
+/// halves with a pending-action ledger.
+///
+/// Construct through the driver builder's
+/// [`build_session`](crate::TunerDriverBuilder::build_session):
+///
+/// ```
+/// use adaphet_core::{ActionSpace, Observation, Observed, StrategyKind, TunerDriver};
+///
+/// let space = ActionSpace::unstructured(8);
+/// let mut session = TunerDriver::builder(&space)
+///     .kind(StrategyKind::GpUcb)
+///     .seed(0)
+///     .build_session()
+///     .unwrap();
+/// for _ in 0..10 {
+///     let p = session.propose().unwrap();
+///     let duration = 16.0 / p.action as f64 + p.action as f64; // "measure"
+///     match session.observe(p.ticket, Observation::of(duration)).unwrap() {
+///         Observed::Recorded(out) => assert_eq!(out.action, p.action),
+///         Observed::Retry { .. } => unreachable!("no resilience policy"),
+///     }
+/// }
+/// assert_eq!(session.history().len(), 10);
+/// ```
+pub struct Session {
+    strategy: Box<dyn Strategy>,
+    space: ActionSpace,
+    history: History,
+    sinks: Vec<Box<dyn TelemetrySink>>,
+    best_known: Option<f64>,
+    cumulative: f64,
+    iters: Option<usize>,
+    /// Monotone iteration counter — *not* `history.len()`, which shrinks
+    /// under quarantine.
+    iteration: usize,
+    resilience: ResiliencePolicy,
+    pending_rebaseline: bool,
+    pending_fault: Option<String>,
+    ledger: Vec<PendingAction>,
+    next_ticket: u64,
+    max_in_flight: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+impl Session {
+    /// Assembled by [`TunerDriverBuilder::build_session`](crate::TunerDriverBuilder).
+    pub(crate) fn from_parts(
+        strategy: Box<dyn Strategy>,
+        space: ActionSpace,
+        sinks: Vec<Box<dyn TelemetrySink>>,
+        best_known: Option<f64>,
+        iters: Option<usize>,
+        resilience: ResiliencePolicy,
+        max_in_flight: usize,
+    ) -> Self {
+        Session {
+            strategy,
+            space,
+            history: History::new(),
+            sinks,
+            best_known,
+            cumulative: 0.0,
+            iters,
+            iteration: 0,
+            resilience,
+            pending_rebaseline: false,
+            pending_fault: None,
+            ledger: Vec::new(),
+            next_ticket: 0,
+            max_in_flight,
+        }
+    }
+
+    /// The strategy driving the session.
+    pub fn strategy(&self) -> &dyn Strategy {
+        self.strategy.as_ref()
+    }
+
+    /// The live action space the next proposal will be drawn from.
+    pub fn space(&self) -> &ActionSpace {
+        &self.space
+    }
+
+    /// The active resilience policy.
+    pub fn resilience(&self) -> &ResiliencePolicy {
+        &self.resilience
+    }
+
+    /// Observations recorded so far (quarantined records removed).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Monotone count of iterations proposed (never shrinks, unlike
+    /// `history().len()` under quarantine).
+    pub fn iterations_proposed(&self) -> usize {
+        self.iteration
+    }
+
+    /// The iteration budget configured on the builder, if any. The
+    /// session itself never enforces it — services use it as the
+    /// client-advertised horizon.
+    pub fn configured_iters(&self) -> Option<usize> {
+        self.iters
+    }
+
+    /// Sum of every observed duration so far, including measurements the
+    /// resilience policy discarded (they still cost wall-clock time).
+    pub fn cumulative_time(&self) -> f64 {
+        self.cumulative
+    }
+
+    /// Number of proposals currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.ledger.len()
+    }
+
+    /// The open tickets, in issue order.
+    pub fn pending_tickets(&self) -> Vec<Ticket> {
+        self.ledger.iter().map(|p| p.ticket).collect()
+    }
+
+    /// Attach a telemetry sink after construction.
+    pub fn add_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Pick the next action and park it in the ledger under a fresh
+    /// ticket.
+    ///
+    /// The proposal satisfies the [`Strategy::propose`] range contract
+    /// over the *live* space. Decision traces and posterior snapshots are
+    /// computed now (they must describe the history the decision was made
+    /// from) and emitted with the eventual observation's event. With
+    /// multiple proposals in flight, later proposals see the same history
+    /// — the strategy is not told about unresolved tickets.
+    pub fn propose(&mut self) -> Result<Proposal, SessionError> {
+        if self.ledger.len() >= self.max_in_flight {
+            return Err(SessionError::TooManyInFlight { limit: self.max_in_flight });
+        }
+        let iteration = self.iteration;
+        self.iteration += 1;
+        let mut fault_parts: Vec<String> = self.pending_fault.take().into_iter().collect();
+        let action = if std::mem::take(&mut self.pending_rebaseline) {
+            adaphet_metrics::global().add("tuner.rebaseline", 1.0);
+            fault_parts.push("rebaseline".to_string());
+            self.space.max_nodes
+        } else {
+            self.strategy.propose(&self.space, &self.history)
+        };
+        debug_assert!(
+            (1..=self.space.max_nodes).contains(&action),
+            "strategy {:?} proposed out-of-range action {} (live space is 1..={})",
+            self.strategy.name(),
+            action,
+            self.space.max_nodes
+        );
+        // Explain before the measurement: the trace must describe the
+        // history state the decision was actually made from. Skipped
+        // entirely when no sink wants it (GP explain refits a surrogate).
+        let (trace, snapshot) = if self.sinks.iter().any(|s| s.wants_decision_trace()) {
+            (
+                Some(self.strategy.explain(&self.space, &self.history)),
+                self.strategy.posterior_snapshot(&self.space, &self.history),
+            )
+        } else {
+            (None, None)
+        };
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.ledger.push(PendingAction {
+            ticket,
+            iteration,
+            action,
+            trace,
+            snapshot,
+            fault_parts,
+            retries: 0,
+        });
+        Ok(Proposal { ticket, iteration, action })
+    }
+
+    /// Resolve an in-flight ticket with its measurement.
+    ///
+    /// A suspect measurement (per the [`ResiliencePolicy`]) keeps the
+    /// ticket open and answers [`Observed::Retry`]; otherwise the
+    /// observation is recorded, telemetry is emitted, and the ticket
+    /// closes with [`Observed::Recorded`].
+    pub fn observe(&mut self, ticket: Ticket, obs: Observation) -> Result<Observed, SessionError> {
+        let idx = self
+            .ledger
+            .iter()
+            .position(|p| p.ticket == ticket)
+            .ok_or(SessionError::UnknownTicket(ticket))?;
+        let (action, retries) = (self.ledger[idx].action, self.ledger[idx].retries);
+        if retries < self.resilience.max_retries && self.is_suspect(action, obs.duration) {
+            self.ledger[idx].retries = retries + 1;
+            adaphet_metrics::global().add("tuner.retry", 1.0);
+            // The discarded attempt still cost wall-clock time.
+            self.cumulative += obs.duration;
+            return Ok(Observed::Retry { ticket, action, attempt: retries + 1 });
+        }
+        let entry = self.ledger.remove(idx);
+        let mut fault_parts = entry.fault_parts;
+        if entry.retries > 0 {
+            fault_parts.push(format!("retry:{}", entry.retries));
+        }
+        self.history.record(entry.action, obs.duration);
+        self.cumulative += obs.duration;
+        if !self.sinks.is_empty() {
+            let event = IterationEvent {
+                iteration: entry.iteration,
+                strategy: self.strategy.name().to_string(),
+                action: entry.action,
+                duration: obs.duration,
+                cumulative_time: self.cumulative,
+                best_known: self.best_known,
+                regret: self.best_known.map(|b| obs.duration - b),
+                phases: obs.phases,
+                trace: entry.trace,
+                phase_breakdown: obs.breakdown,
+                retries: entry.retries,
+                fault: if fault_parts.is_empty() { None } else { Some(fault_parts.join(";")) },
+                snapshot: entry.snapshot,
+            };
+            for sink in &mut self.sinks {
+                sink.on_iteration(&event);
+            }
+        }
+        Ok(Observed::Recorded(StepOutcome {
+            iteration: entry.iteration,
+            action: entry.action,
+            duration: obs.duration,
+        }))
+    }
+
+    /// Abandon an in-flight ticket without recording anything (the client
+    /// disappeared mid-measurement). The iteration index is consumed; the
+    /// history is untouched.
+    pub fn abandon(&mut self, ticket: Ticket) -> Result<(), SessionError> {
+        let idx = self
+            .ledger
+            .iter()
+            .position(|p| p.ticket == ticket)
+            .ok_or(SessionError::UnknownTicket(ticket))?;
+        self.ledger.remove(idx);
+        Ok(())
+    }
+
+    /// The strategy's posterior over the live space right now, if it
+    /// maintains a surrogate with enough data to fit (the service's
+    /// `GetPosterior` endpoint; same semantics as the telemetry
+    /// snapshots).
+    pub fn posterior(&self) -> Option<PosteriorSnapshot> {
+        self.strategy.posterior_snapshot(&self.space, &self.history)
+    }
+
+    /// Replace the live action space mid-run (platform fault: node death
+    /// shrank the cluster, or a repair grew it back). See
+    /// [`TunerDriver::apply_platform_change`](crate::TunerDriver::apply_platform_change).
+    pub fn apply_platform_change(
+        &mut self,
+        new_space: &ActionSpace,
+        stale_from: Option<usize>,
+        note: impl Into<String>,
+    ) {
+        self.space = new_space.clone();
+        let mut parts = vec![note.into()];
+        if self.resilience.quarantine {
+            if let Some(stale) = stale_from {
+                let dropped = self.history.retain_actions(|a| a < stale);
+                if dropped > 0 {
+                    adaphet_metrics::global().add("tuner.quarantine", dropped as f64);
+                    parts.push(format!("quarantine:{dropped}"));
+                }
+            }
+        }
+        if self.resilience.rebaseline && self.history.first_for(self.space.max_nodes).is_none() {
+            self.pending_rebaseline = true;
+        }
+        let note = parts.join(";");
+        match &mut self.pending_fault {
+            Some(prev) => {
+                prev.push(';');
+                prev.push_str(&note);
+            }
+            None => self.pending_fault = Some(note),
+        }
+    }
+
+    /// Running duration estimate for the timeout check: the median of the
+    /// most recent (up to 10) iteration durations.
+    fn running_estimate(&self) -> Option<f64> {
+        let records = self.history.records();
+        if records.len() < 3 {
+            return None;
+        }
+        let tail = &records[records.len().saturating_sub(10)..];
+        let mut ds: Vec<f64> = tail.iter().map(|&(_, y)| y).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(ds[ds.len() / 2])
+    }
+
+    /// Whether the policy wants this measurement re-taken.
+    fn is_suspect(&self, action: usize, duration: f64) -> bool {
+        if let Some(factor) = self.resilience.timeout_factor {
+            if let Some(estimate) = self.running_estimate() {
+                if duration > factor * estimate {
+                    return true;
+                }
+            }
+        }
+        if self.resilience.max_retries > 0 {
+            let prior = self.history.values_for(action);
+            if prior.len() >= 4 {
+                let mut v = prior.clone();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let median = v[v.len() / 2];
+                let mut dev: Vec<f64> = prior.iter().map(|y| (y - median).abs()).collect();
+                dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mad = dev[dev.len() / 2];
+                let fence = self.resilience.outlier_mad_k * (1.4826 * mad).max(1e-3 * median.abs());
+                if fence > 0.0 && (duration - median).abs() > fence {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Finish all sinks (flush files). Every sink is finished even if an
+    /// earlier one fails; the first error is returned. Idempotent: sinks
+    /// surface a latched error once.
+    pub fn finish(&mut self) -> io::Result<()> {
+        let mut first_err = None;
+        for sink in &mut self.sinks {
+            if let Err(e) = sink.finish() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Consume the session, returning the history (sinks are finished).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sink fails to finish — call [`Session::finish`] first
+    /// to handle the error gracefully.
+    pub fn into_history(mut self) -> History {
+        self.finish().expect("telemetry sink failed");
+        self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemorySink, StrategyKind, TunerDriver};
+
+    fn space() -> ActionSpace {
+        ActionSpace::new(
+            10,
+            vec![(1, 5), (6, 10)],
+            Some((1..=10).map(|n| 30.0 / n as f64).collect()),
+        )
+    }
+
+    fn response(n: usize) -> f64 {
+        30.0 / n as f64 + 0.8 * n as f64
+    }
+
+    fn session(kind: StrategyKind) -> Session {
+        TunerDriver::builder(&space()).kind(kind).seed(3).build_session().unwrap()
+    }
+
+    #[test]
+    fn split_session_matches_the_driver_loop_bitwise() {
+        for kind in crate::PAPER_STRATEGIES {
+            let mut d =
+                TunerDriver::builder(&space()).kind(kind).seed(3).build().expect("driver builds");
+            d.run(40, |n| Observation::of(response(n)));
+
+            let mut s = session(kind);
+            for _ in 0..40 {
+                let p = s.propose().unwrap();
+                match s.observe(p.ticket, Observation::of(response(p.action))).unwrap() {
+                    Observed::Recorded(out) => {
+                        assert_eq!(out.iteration, p.iteration);
+                        assert_eq!(out.action, p.action);
+                    }
+                    Observed::Retry { .. } => unreachable!("default policy never retries"),
+                }
+            }
+            assert_eq!(s.history(), d.history(), "{kind}: split loop must be bit-identical");
+            assert_eq!(s.cumulative_time(), d.history().total_time());
+        }
+    }
+
+    #[test]
+    fn tickets_are_unique_and_resolve_once() {
+        let mut s = session(StrategyKind::Ucb);
+        let a = s.propose().unwrap();
+        let b = s.propose().unwrap();
+        assert_ne!(a.ticket, b.ticket);
+        assert_eq!(s.in_flight(), 2);
+        assert_eq!(s.pending_tickets(), vec![a.ticket, b.ticket]);
+        assert!(matches!(
+            s.observe(a.ticket, Observation::of(1.0)).unwrap(),
+            Observed::Recorded(_)
+        ));
+        // Resolving again is an error: the ticket left the ledger.
+        assert_eq!(
+            s.observe(a.ticket, Observation::of(1.0)),
+            Err(SessionError::UnknownTicket(a.ticket))
+        );
+        assert_eq!(s.in_flight(), 1);
+    }
+
+    #[test]
+    fn out_of_order_observations_record_their_own_iteration() {
+        let sink = MemorySink::new();
+        let mut s = TunerDriver::builder(&space())
+            .kind(StrategyKind::Ucb)
+            .sink(Box::new(sink.clone()))
+            .build_session()
+            .unwrap();
+        let p0 = s.propose().unwrap();
+        let p1 = s.propose().unwrap();
+        // Resolve the second proposal first.
+        s.observe(p1.ticket, Observation::of(2.0)).unwrap();
+        s.observe(p0.ticket, Observation::of(1.0)).unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        // Events arrive in observation order but keep propose-time indices.
+        assert_eq!(events[0].iteration, p1.iteration);
+        assert_eq!(events[1].iteration, p0.iteration);
+        assert_eq!(s.history().records(), &[(p1.action, 2.0), (p0.action, 1.0)]);
+    }
+
+    #[test]
+    fn in_flight_limit_is_enforced() {
+        let mut s = TunerDriver::builder(&space())
+            .kind(StrategyKind::Ucb)
+            .max_in_flight(2)
+            .build_session()
+            .unwrap();
+        let a = s.propose().unwrap();
+        let _b = s.propose().unwrap();
+        assert_eq!(s.propose(), Err(SessionError::TooManyInFlight { limit: 2 }));
+        s.observe(a.ticket, Observation::of(1.0)).unwrap();
+        assert!(s.propose().is_ok(), "capacity frees up once a ticket resolves");
+    }
+
+    #[test]
+    fn abandon_discards_without_recording() {
+        let mut s = session(StrategyKind::Ucb);
+        let p = s.propose().unwrap();
+        s.abandon(p.ticket).unwrap();
+        assert_eq!(s.in_flight(), 0);
+        assert!(s.history().is_empty());
+        assert_eq!(s.abandon(p.ticket), Err(SessionError::UnknownTicket(p.ticket)));
+        // The iteration index was consumed; the next proposal continues.
+        assert_eq!(s.propose().unwrap().iteration, p.iteration + 1);
+    }
+
+    #[test]
+    fn suspect_measurements_keep_the_ticket_open() {
+        let mut s = TunerDriver::builder(&ActionSpace::unstructured(4))
+            .strategy(Box::new(crate::AllNodes::new(4)))
+            .resilience(ResiliencePolicy::standard())
+            .build_session()
+            .unwrap();
+        // Three clean iterations establish the running estimate (1.0)...
+        for _ in 0..3 {
+            let p = s.propose().unwrap();
+            s.observe(p.ticket, Observation::of(1.0)).unwrap();
+        }
+        // ...then a 10× straggler measurement on the next ticket.
+        let p = s.propose().unwrap();
+        match s.observe(p.ticket, Observation::of(10.0)).unwrap() {
+            Observed::Retry { ticket, action, attempt } => {
+                assert_eq!(ticket, p.ticket);
+                assert_eq!(action, p.action);
+                assert_eq!(attempt, 1);
+            }
+            other => panic!("expected a retry verdict, got {other:?}"),
+        }
+        assert_eq!(s.in_flight(), 1, "the ticket stays open across the retry");
+        // The clean re-measurement closes it; the discarded attempt is
+        // still charged to cumulative time (3×1 + 10 + 1).
+        match s.observe(p.ticket, Observation::of(1.0)).unwrap() {
+            Observed::Recorded(out) => assert_eq!(out.duration, 1.0),
+            other => panic!("expected recorded, got {other:?}"),
+        }
+        assert!((s.cumulative_time() - 14.0).abs() < 1e-12);
+        assert_eq!(s.history().records().last(), Some(&(4, 1.0)));
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Session>();
+        assert_send::<Proposal>();
+        assert_send::<Observed>();
+    }
+
+    #[test]
+    fn posterior_appears_once_the_surrogate_fits() {
+        let mut s = session(StrategyKind::GpDiscontinuous);
+        assert!(s.posterior().is_none(), "no surrogate before any data");
+        for _ in 0..12 {
+            let p = s.propose().unwrap();
+            s.observe(p.ticket, Observation::of(response(p.action))).unwrap();
+        }
+        let snap = s.posterior().expect("GP posterior after 12 observations");
+        assert_eq!(snap.points.len(), s.space().max_nodes);
+    }
+}

@@ -9,7 +9,7 @@
 
 use adaphet_core::{GpDiscOptions, GpDiscontinuous, History, Strategy};
 use adaphet_eval::{
-    build_response_cached, parse_args_or_exit, space_of, write_csv, CsvTable, ResponseTable,
+    build_response_cached, parse_args, space_of, write_csv, AdaphetError, CsvTable, ResponseTable,
 };
 use adaphet_scenarios::Scenario;
 use rand::rngs::StdRng;
@@ -40,8 +40,8 @@ fn replay_variant(table: &ResponseTable, opts: GpDiscOptions, iters: usize, seed
     hist.total_time()
 }
 
-fn main() {
-    let args = parse_args_or_exit();
+fn main() -> Result<(), AdaphetError> {
+    let args = parse_args()?;
     let variants = ["full", "no-bounds", "no-dummies", "no-lp-residual", "plain"];
     let mut csv = CsvTable::new(&["scenario", "variant", "mean_total", "gain_pct"]);
     println!("GP-discontinuous ablation — {} iterations x {} reps\n", args.iters, args.reps);
@@ -68,6 +68,8 @@ fn main() {
         }
         println!();
     }
-    let path = write_csv("ablation", &csv).expect("write results");
+    let path =
+        write_csv("ablation", &csv).map_err(|e| AdaphetError::io("results/ablation.csv", e))?;
     println!("wrote {}", path.display());
+    Ok(())
 }

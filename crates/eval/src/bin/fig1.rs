@@ -6,13 +6,13 @@
 //! `iteration,node,phase,bin_start,utilization` and an ASCII utilization
 //! strip per node.
 
-use adaphet_eval::{parse_args_or_exit, write_csv, CsvTable};
+use adaphet_eval::{parse_args, write_csv, AdaphetError, CsvTable};
 use adaphet_geostat::IterationChoice;
 use adaphet_runtime::NodeId;
 use adaphet_scenarios::Scenario;
 
-fn main() {
-    let args = parse_args_or_exit();
+fn main() -> Result<(), AdaphetError> {
+    let args = parse_args()?;
     let scen = Scenario::by_id('b').expect("scenario b exists"); // G5K 2L-6M-6S
     let mut app = scen.app(args.scale, args.seed);
     let n = app.n_nodes();
@@ -75,6 +75,7 @@ fn main() {
             println!("  node {node:>3} |{strip}|");
         }
     }
-    let path = write_csv("fig1", &csv).expect("write results");
+    let path = write_csv("fig1", &csv).map_err(|e| AdaphetError::io("results/fig1.csv", e))?;
     println!("\nwrote {}", path.display());
+    Ok(())
 }

@@ -5,7 +5,9 @@
 //! Output: `results/fig2.csv` with columns
 //! `scenario,n,mean,sd,lp,gen_span,fact_span`.
 
-use adaphet_eval::{ascii_curve, build_response_cached, parse_args_or_exit, write_csv, CsvTable};
+use adaphet_eval::{
+    ascii_curve, build_response_cached, parse_args, write_csv, AdaphetError, CsvTable,
+};
 use adaphet_geostat::IterationChoice;
 use adaphet_scenarios::Scenario;
 
@@ -29,8 +31,8 @@ fn phase_spans(scen: &Scenario, scale: adaphet_scenarios::Scale, n_fact: usize) 
     (span(0), span(1))
 }
 
-fn main() {
-    let args = parse_args_or_exit();
+fn main() -> Result<(), AdaphetError> {
+    let args = parse_args()?;
     let mut csv = CsvTable::new(&["scenario", "n", "mean", "sd", "lp", "gen_span", "fact_span"]);
     for id in ['c', 'i', 'p'] {
         let scen = Scenario::by_id(id).expect("known scenario");
@@ -63,6 +65,7 @@ fn main() {
             t.all_nodes_mean()
         );
     }
-    let path = write_csv("fig2", &csv).expect("write results");
+    let path = write_csv("fig2", &csv).map_err(|e| AdaphetError::io("results/fig2.csv", e))?;
     println!("wrote {}", path.display());
+    Ok(())
 }

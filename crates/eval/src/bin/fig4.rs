@@ -7,7 +7,7 @@
 
 use adaphet_core::{GpDiscontinuous, GpUcb, History, Strategy};
 use adaphet_eval::{
-    build_response_cached, parse_args_or_exit, space_of, write_csv, CsvTable, ResponseTable,
+    build_response_cached, parse_args, space_of, write_csv, AdaphetError, CsvTable, ResponseTable,
 };
 use adaphet_scenarios::Scenario;
 use rand::rngs::StdRng;
@@ -89,8 +89,8 @@ fn run_panel(csv: &mut CsvTable, panel: &str, table: &ResponseTable, use_disc: b
     println!("  true best = {best}; late plays within ±1 of best: {late}/20");
 }
 
-fn main() {
-    let args = parse_args_or_exit();
+fn main() -> Result<(), AdaphetError> {
+    let args = parse_args()?;
     let mut csv = CsvTable::new(&[
         "panel",
         "iteration",
@@ -106,6 +106,7 @@ fn main() {
     run_panel(&mut csv, "A:GP-UCB:b", &b, false, args.seed);
     run_panel(&mut csv, "B:GP-UCB:i", &i, false, args.seed);
     run_panel(&mut csv, "C:GP-discontinuous:i", &i, true, args.seed);
-    let path = write_csv("fig4", &csv).expect("write results");
+    let path = write_csv("fig4", &csv).map_err(|e| AdaphetError::io("results/fig4.csv", e))?;
     println!("\nwrote {}", path.display());
+    Ok(())
 }

@@ -6,12 +6,13 @@
 //! `scenario,n,mean,sd,lp,rigid,group` and an ASCII curve per scenario.
 
 use adaphet_eval::{
-    ascii_curve, build_response_cached, build_rigid_curve, parse_args_or_exit, write_csv, CsvTable,
+    ascii_curve, build_response_cached, build_rigid_curve, parse_args, write_csv, AdaphetError,
+    CsvTable,
 };
 use adaphet_scenarios::Scenario;
 
-fn main() {
-    let args = parse_args_or_exit();
+fn main() -> Result<(), AdaphetError> {
+    let args = parse_args()?;
     let mut csv = CsvTable::new(&["scenario", "n", "mean", "sd", "lp", "rigid", "group"]);
     for scen in Scenario::all16() {
         let t = build_response_cached(&scen, args.scale, args.reps, args.seed);
@@ -38,6 +39,7 @@ fn main() {
             t.groups,
         );
     }
-    let path = write_csv("fig5", &csv).expect("write results");
+    let path = write_csv("fig5", &csv).map_err(|e| AdaphetError::io("results/fig5.csv", e))?;
     println!("wrote {}", path.display());
+    Ok(())
 }

@@ -6,11 +6,11 @@
 //!
 //! Output: `results/fig8.csv` with columns `n_gen,n_fact,duration`.
 
-use adaphet_eval::{build_response_2d, parse_args_or_exit, write_csv, CsvTable};
+use adaphet_eval::{build_response_2d, parse_args, write_csv, AdaphetError, CsvTable};
 use adaphet_scenarios::Scenario;
 
-fn main() {
-    let args = parse_args_or_exit();
+fn main() -> Result<(), AdaphetError> {
+    let args = parse_args()?;
     let scen = Scenario::by_id('f').expect("scenario f");
     let n = scen.n_nodes();
     let grid = build_response_2d(&scen, args.scale, 2, args.seed);
@@ -56,6 +56,7 @@ fn main() {
         }
         println!("   gen {g:>3} |{row}|");
     }
-    let path = write_csv("fig8", &csv).expect("write results");
+    let path = write_csv("fig8", &csv).map_err(|e| AdaphetError::io("results/fig8.csv", e))?;
     println!("wrote {}", path.display());
+    Ok(())
 }

@@ -1,4 +1,10 @@
-//! Minimal command-line handling shared by the figure binaries.
+//! Typed command-line handling shared by the figure binaries.
+//!
+//! Every `fig*`/`ablation`/`resilience` binary parses the same flag
+//! vocabulary through [`parse_args`] and reports bad input as
+//! [`AdaphetError::Usage`] from a `main() -> Result<(), AdaphetError>` —
+//! one-line errors and exit status 1, never a panic or a scattered
+//! `process::exit`.
 
 use crate::error::AdaphetError;
 use adaphet_scenarios::Scale;
@@ -55,6 +61,10 @@ pub fn parse_args() -> Result<RunArgs, AdaphetError> {
 
 /// [`parse_args`], printing the one-line error and exiting with status 2
 /// on bad input — for binaries whose `main` does not return a `Result`.
+#[deprecated(
+    since = "0.1.0",
+    note = "give `main` a `Result<(), AdaphetError>` return and use `parse_args()?` instead"
+)]
 pub fn parse_args_or_exit() -> RunArgs {
     parse_args().unwrap_or_else(|e| {
         eprintln!("Error: {e}");

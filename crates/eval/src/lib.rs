@@ -14,7 +14,8 @@
 //!    making comparisons statistically fair;
 //! 3. figures are emitted as CSV plus an ASCII rendering into `results/`.
 
-mod args;
+pub mod cli;
+
 mod cache;
 mod diagnose;
 mod error;
@@ -25,8 +26,12 @@ mod report;
 mod response;
 mod telemetry;
 
-pub use args::{load_fault_plan, parse_args, parse_args_or_exit, RunArgs};
+pub use cli::{load_fault_plan, parse_args, RunArgs};
+// The exit-on-error variant predates typed `main` results; the old
+// import path keeps working but carries the deprecation forward.
 pub use cache::{build_response_cached, CACHE_VERSION};
+#[allow(deprecated)]
+pub use cli::parse_args_or_exit;
 pub use diagnose::{build_report, diagnose, parse_report_args, run_report, ReportArgs};
 pub use error::AdaphetError;
 pub use faults::{run_faulted_session, space_for_platform, FaultRunOutcome, FaultSessionConfig};

@@ -1,0 +1,30 @@
+//! Compile-time pins of the `Send` bounds the service layer depends on.
+//!
+//! `adaphet-service` shards tuning sessions across a fixed worker-thread
+//! pool, and a session's executor closes over runtime state — so the
+//! runtime types must be shippable to whichever shard a session lands
+//! on. A `!Send` field sneaking into one of these (an `Rc`, a raw
+//! pointer, a thread-local handle) would surface as a confusing
+//! service-crate build error; this test fails it here, at the source,
+//! with a readable message instead.
+
+use adaphet_runtime::{
+    ClassTable, DataRegistry, DepTracker, FaultPlan, FlowNet, Platform, RealRuntime, RunReport,
+    SimConfig, SimRuntime,
+};
+
+fn assert_send<T: Send>() {}
+
+#[test]
+fn runtime_types_cross_worker_threads() {
+    assert_send::<SimRuntime>();
+    assert_send::<RealRuntime<Vec<f64>>>();
+    assert_send::<Platform>();
+    assert_send::<ClassTable>();
+    assert_send::<DataRegistry>();
+    assert_send::<DepTracker>();
+    assert_send::<FlowNet>();
+    assert_send::<FaultPlan>();
+    assert_send::<RunReport>();
+    assert_send::<SimConfig>();
+}

@@ -1,0 +1,80 @@
+//! Drive two concurrent tuning sessions against a running `adaphet-serve`
+//! daemon over a Unix-domain socket — the CI service-smoke workload, and
+//! the README's quickstart client.
+//!
+//! ```text
+//! adaphet-serve --uds /tmp/adaphet.sock --telemetry-dir /tmp/adaphet-telemetry &
+//! cargo run -p adaphet-service --example uds_client -- /tmp/adaphet.sock
+//! cargo run -p adaphet-service --example uds_client -- /tmp/adaphet.sock --shutdown
+//! ```
+//!
+//! Each thread opens its own connection, creates a session (different
+//! strategy and seed), runs a synthetic application for 30 iterations,
+//! prints the closing summary, and closes the session. With `--shutdown`
+//! the daemon is asked to drain and exit instead of running sessions.
+
+use adaphet_core::StrategyKind;
+use adaphet_service::{Client, SessionSpec, Submitted};
+
+/// Synthetic response: ideal scaling plus linear overhead, with a
+/// discontinuity below 5 nodes — minimized in the interior.
+fn response(n: usize) -> f64 {
+    30.0 / n as f64 + 0.8 * n as f64 + if n < 5 { 6.0 } else { 0.0 }
+}
+
+fn run_session(path: &str, kind: StrategyKind, seed: u64) -> Result<(), String> {
+    let mut client = Client::connect_uds(path).map_err(|e| e.to_string())?;
+    let mut spec = SessionSpec::new(kind, seed, 10);
+    spec.lp = Some((1..=10).map(|n| 30.0 / n as f64).collect());
+    spec.iters = Some(30);
+    let id = client.create_session(spec).map_err(|e| e.to_string())?;
+    for _ in 0..30 {
+        let (ticket, _iteration, action) = client.get_proposal(id).map_err(|e| e.to_string())?;
+        let mut duration = response(action); // "run" the iteration
+        loop {
+            match client.submit(id, ticket, duration).map_err(|e| e.to_string())? {
+                Submitted::Recorded { .. } => break,
+                Submitted::Retry { action, .. } => duration = response(action),
+            }
+        }
+    }
+    let closed = client.close_session(id).map_err(|e| e.to_string())?;
+    println!(
+        "session {id} ({kind}, seed {seed}): {} iterations, total {:.1}s, best n = {:?}",
+        closed.iterations, closed.total_time, closed.best_action
+    );
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = argv.first().cloned() else {
+        eprintln!("usage: uds_client SOCKET_PATH [--shutdown]");
+        std::process::exit(2);
+    };
+    if argv.iter().any(|a| a == "--shutdown") {
+        let mut client = Client::connect_uds(&path).expect("connect for shutdown");
+        client.shutdown().expect("daemon acknowledged shutdown");
+        println!("daemon is draining");
+        return;
+    }
+    let sessions = [(StrategyKind::GpDiscontinuous, 42u64), (StrategyKind::Ucb, 7u64)];
+    let handles: Vec<_> = sessions
+        .into_iter()
+        .map(|(kind, seed)| {
+            let path = path.clone();
+            std::thread::spawn(move || run_session(&path, kind, seed))
+        })
+        .collect();
+    let mut failed = false;
+    for handle in handles {
+        if let Err(e) = handle.join().expect("client thread") {
+            eprintln!("session failed: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("both concurrent sessions completed");
+}

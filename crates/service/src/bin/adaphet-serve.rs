@@ -1,0 +1,105 @@
+//! The tuning daemon: bind a socket, serve sessions until a client sends
+//! `shutdown`, then drain and exit.
+//!
+//! ```text
+//! adaphet-serve --uds /tmp/adaphet.sock [--workers 4] [--idle-timeout 600]
+//!               [--telemetry-dir DIR] [--max-in-flight 8] [--metrics]
+//! adaphet-serve --tcp 127.0.0.1:7601 [...]
+//! ```
+
+use adaphet_service::{Endpoint, Server, ServiceConfig, SessionManager};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: adaphet-serve (--uds PATH | --tcp ADDR) \
+                     [--workers N] [--idle-timeout SECS] [--telemetry-dir DIR] \
+                     [--max-in-flight N] [--metrics]";
+
+struct ServeArgs {
+    endpoint: Endpoint,
+    config: ServiceConfig,
+    metrics: bool,
+}
+
+fn parse(argv: &[String]) -> Result<ServeArgs, String> {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut config = ServiceConfig::default();
+    let mut metrics = false;
+    let mut it = argv.iter();
+    let value = |flag: &str, v: Option<&String>| -> Result<String, String> {
+        v.cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--uds" => {
+                endpoint = Some(Endpoint::Uds(PathBuf::from(value("--uds", it.next())?)));
+            }
+            "--tcp" => endpoint = Some(Endpoint::Tcp(value("--tcp", it.next())?)),
+            "--workers" => {
+                config.workers = value("--workers", it.next())?
+                    .parse()
+                    .map_err(|_| "--workers needs a positive integer".to_string())?;
+            }
+            "--idle-timeout" => {
+                let secs: u64 = value("--idle-timeout", it.next())?
+                    .parse()
+                    .map_err(|_| "--idle-timeout needs a whole number of seconds".to_string())?;
+                config.idle_timeout = (secs > 0).then(|| Duration::from_secs(secs));
+            }
+            "--telemetry-dir" => {
+                config.telemetry_dir = Some(PathBuf::from(value("--telemetry-dir", it.next())?));
+            }
+            "--max-in-flight" => {
+                config.default_max_in_flight = value("--max-in-flight", it.next())?
+                    .parse()
+                    .map_err(|_| "--max-in-flight needs a positive integer".to_string())?;
+            }
+            "--metrics" => metrics = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let endpoint = endpoint.ok_or("one of --uds or --tcp is required")?;
+    Ok(ServeArgs { endpoint, config, metrics })
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("adaphet-serve: {message}");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let registry =
+        args.metrics.then(|| adaphet_metrics::install_global(adaphet_metrics::Registry::new()));
+    if let Some(dir) = &args.config.telemetry_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("adaphet-serve: cannot create telemetry dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let manager = Arc::new(SessionManager::new(args.config));
+    let mut server = match Server::bind(args.endpoint, Arc::clone(&manager)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("adaphet-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The readiness line: scripts wait for it before connecting.
+    println!("adaphet-serve listening on {}", server.endpoint());
+    server.wait();
+    eprintln!("adaphet-serve: draining");
+    drop(server);
+    drop(manager); // last owner: runs the graceful worker shutdown
+    if let Some(registry) = registry {
+        println!("{}", registry.snapshot().to_table());
+    }
+    eprintln!("adaphet-serve: bye");
+}

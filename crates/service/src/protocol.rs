@@ -1,0 +1,806 @@
+//! The wire protocol: length-prefixed JSON frames and the typed
+//! request/response vocabulary.
+//!
+//! # Framing
+//!
+//! Every message is one frame: a 4-byte big-endian unsigned length
+//! followed by exactly that many bytes of UTF-8 JSON (one document, no
+//! trailing newline). Frames longer than [`MAX_FRAME`] are rejected
+//! before any payload is read. A peer that closes the socket between
+//! frames produces a clean end-of-stream ([`read_frame`] returns
+//! `Ok(None)`); a close mid-frame is an I/O error.
+//!
+//! A frame whose payload is not valid JSON, or valid JSON that is not a
+//! known message, is answered with an [`ErrorCode::MalformedFrame`] /
+//! [`ErrorCode::BadRequest`] reply **on the same connection** — one bad
+//! frame never kills the conversation, because the length prefix keeps
+//! the stream in sync. Only an oversized length (which makes resync
+//! impossible) closes the connection.
+//!
+//! # Vocabulary
+//!
+//! Requests ([`Request`]) and responses ([`Response`]) serialize as JSON
+//! objects whose `type` field names the variant in `snake_case`. Strategy
+//! names travel as their canonical [`StrategyKind`] `Display` spelling and
+//! are parsed with its [`FromStr`](std::str::FromStr) — the registry in
+//! `adaphet-core` is the single source of truth, aliases included.
+
+use adaphet_analysis::Json;
+use adaphet_core::{ActionSpace, PosteriorPoint, PosteriorSnapshot, StrategyKind};
+use adaphet_metrics::json_escape;
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame's payload size (1 MiB).
+///
+/// Every legitimate message is far below this; a larger declared length
+/// means a corrupted or hostile stream, and since the length prefix is
+/// the only resynchronization point, the connection is closed.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME ({MAX_FRAME})", bytes.len()),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
+/// frames). An oversized declared length is an `InvalidData` error — the
+/// stream cannot be resynchronized and must be dropped.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "closed between frames" from "closed mid-prefix".
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed inside a frame length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("declared frame length {len} exceeds MAX_FRAME ({MAX_FRAME})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Everything needed to create a session over the wire — the protocol
+/// mirror of the typed `TunerDriver::builder` configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Strategy, by canonical registry name.
+    pub strategy: StrategyKind,
+    /// Seed for stochastic strategies.
+    pub seed: u64,
+    /// Cluster size `N` (actions are `1..=N`).
+    pub max_nodes: usize,
+    /// Homogeneous groups as inclusive 1-based `(first, last)` ranges;
+    /// empty means one group covering everything.
+    pub groups: Vec<(usize, usize)>,
+    /// Optional `LP(n)` lower-bound curve, one value per action.
+    pub lp: Option<Vec<f64>>,
+    /// Advertised iteration budget (the service never enforces it).
+    pub iters: Option<usize>,
+    /// Best-known duration, so telemetry carries regret.
+    pub best_known: Option<f64>,
+    /// Best action for [`StrategyKind::Oracle`].
+    pub oracle_best: Option<usize>,
+    /// Whether to run the standard resilience policy (timeouts, outlier
+    /// fences, retries) instead of the everything-off default.
+    pub resilience: bool,
+    /// Per-session cap on in-flight proposals (`None` = server default).
+    pub max_in_flight: Option<usize>,
+}
+
+impl SessionSpec {
+    /// A minimal spec: `strategy` with `seed` over `1..=max_nodes`.
+    pub fn new(strategy: StrategyKind, seed: u64, max_nodes: usize) -> Self {
+        SessionSpec {
+            strategy,
+            seed,
+            max_nodes,
+            groups: Vec::new(),
+            lp: None,
+            iters: None,
+            best_known: None,
+            oracle_best: None,
+            resilience: false,
+            max_in_flight: None,
+        }
+    }
+
+    /// Validate and build the [`ActionSpace`] this spec describes.
+    ///
+    /// The wire layer must never feed unvalidated input to
+    /// [`ActionSpace::new`] (which panics on bad structure), so the
+    /// partition and LP-length checks are re-done here as `Err`s.
+    pub fn space(&self) -> Result<ActionSpace, String> {
+        if self.max_nodes == 0 {
+            return Err("max_nodes must be at least 1".into());
+        }
+        if !self.groups.is_empty() {
+            let mut expect = 1usize;
+            for &(lo, hi) in &self.groups {
+                if lo != expect || hi < lo || hi > self.max_nodes {
+                    return Err(format!(
+                        "groups must partition 1..={} contiguously (bad range {lo}..={hi})",
+                        self.max_nodes
+                    ));
+                }
+                expect = hi + 1;
+            }
+            if expect != self.max_nodes + 1 {
+                return Err(format!("groups cover 1..={} of 1..={}", expect - 1, self.max_nodes));
+            }
+        }
+        if let Some(lp) = &self.lp {
+            if lp.len() != self.max_nodes {
+                return Err(format!(
+                    "lp curve has {} values for {} actions",
+                    lp.len(),
+                    self.max_nodes
+                ));
+            }
+        }
+        if self.strategy == StrategyKind::Oracle && self.oracle_best.is_none() {
+            return Err("oracle strategy needs oracle_best".into());
+        }
+        Ok(ActionSpace::new(self.max_nodes, self.groups.clone(), self.lp.clone()))
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Create a tuning session from a typed spec.
+    CreateSession(SessionSpec),
+    /// Ask the session's strategy for the next action (opens a ticket).
+    GetProposal {
+        /// Target session id.
+        session: u64,
+    },
+    /// Resolve a ticket with its measured duration.
+    SubmitObservation {
+        /// Target session id.
+        session: u64,
+        /// The ticket being resolved.
+        ticket: u64,
+        /// Measured iteration duration in seconds.
+        duration: f64,
+    },
+    /// Fetch the strategy's current posterior snapshot (PR 5 semantics).
+    GetPosterior {
+        /// Target session id.
+        session: u64,
+    },
+    /// Close a session, returning its final history.
+    CloseSession {
+        /// Target session id.
+        session: u64,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Ask the daemon to stop accepting connections and drain.
+    Shutdown,
+}
+
+/// Machine-readable error category of an [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame payload was not valid JSON.
+    MalformedFrame,
+    /// Valid JSON, but not a well-formed request (unknown type, missing
+    /// or invalid fields, bad strategy name, bad space structure).
+    BadRequest,
+    /// The session id is not (or no longer) registered.
+    UnknownSession,
+    /// The ticket is not in the session's pending-action ledger.
+    UnknownTicket,
+    /// The session's in-flight proposal cap is reached.
+    TooManyInFlight,
+    /// The daemon is draining and takes no new work.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::MalformedFrame => "malformed-frame",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::UnknownTicket => "unknown-ticket",
+            ErrorCode::TooManyInFlight => "too-many-in-flight",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "malformed-frame" => ErrorCode::MalformedFrame,
+            "bad-request" => ErrorCode::BadRequest,
+            "unknown-session" => ErrorCode::UnknownSession,
+            "unknown-ticket" => ErrorCode::UnknownTicket,
+            "too-many-in-flight" => ErrorCode::TooManyInFlight,
+            "shutting-down" => ErrorCode::ShuttingDown,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A session was created.
+    SessionCreated {
+        /// The new session's id.
+        session: u64,
+    },
+    /// A proposal was issued; measure `action` and submit under `ticket`.
+    Proposal {
+        /// Owning session.
+        session: u64,
+        /// Ledger ticket for the in-flight proposal.
+        ticket: u64,
+        /// 0-based iteration index.
+        iteration: usize,
+        /// The action (node count) to measure.
+        action: usize,
+    },
+    /// An observation was accepted and recorded; the ticket is closed.
+    Recorded {
+        /// Owning session.
+        session: u64,
+        /// Iteration index the observation landed on.
+        iteration: usize,
+        /// The measured action.
+        action: usize,
+        /// The recorded duration.
+        duration: f64,
+        /// Session cumulative time after recording.
+        cumulative_time: f64,
+    },
+    /// The resilience policy wants the measurement re-taken; the ticket
+    /// stays open.
+    Retry {
+        /// Owning session.
+        session: u64,
+        /// The still-open ticket.
+        ticket: u64,
+        /// The action to re-measure.
+        action: usize,
+        /// 1-based retry attempt count.
+        attempt: usize,
+    },
+    /// The strategy's posterior over the live space (`points` is `None`
+    /// when the strategy has no surrogate or not enough data yet).
+    Posterior {
+        /// Owning session.
+        session: u64,
+        /// One point per action, ascending — or `None`.
+        points: Option<Vec<PosteriorPoint>>,
+    },
+    /// A session was closed; its final state is returned.
+    Closed {
+        /// The closed session's id.
+        session: u64,
+        /// Iterations proposed over the session's lifetime.
+        iterations: usize,
+        /// Sum of all recorded durations.
+        total_time: f64,
+        /// Action with the lowest mean observed duration, if any.
+        best_action: Option<usize>,
+        /// Full `(action, duration)` history, in iteration order.
+        history: Vec<(usize, f64)>,
+    },
+    /// Liveness answer.
+    Pong,
+    /// The daemon acknowledged a shutdown request and is draining.
+    ShuttingDown,
+    /// The request failed.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// One-line human diagnosis.
+        message: String,
+    },
+}
+
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn jopt_num(x: Option<f64>) -> String {
+    x.map_or("null".into(), jnum)
+}
+
+fn jopt_usize(x: Option<usize>) -> String {
+    x.map_or("null".into(), |v| v.to_string())
+}
+
+impl Request {
+    /// Serialize to the one-line JSON wire form.
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::CreateSession(spec) => {
+                let groups = spec
+                    .groups
+                    .iter()
+                    .map(|&(lo, hi)| format!("[{lo},{hi}]"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let lp = match &spec.lp {
+                    None => "null".to_string(),
+                    Some(v) => {
+                        format!("[{}]", v.iter().map(|&x| jnum(x)).collect::<Vec<_>>().join(","))
+                    }
+                };
+                format!(
+                    "{{\"type\":\"create_session\",\"strategy\":\"{}\",\"seed\":{},\
+                     \"max_nodes\":{},\"groups\":[{}],\"lp\":{},\"iters\":{},\
+                     \"best_known\":{},\"oracle_best\":{},\"resilience\":\"{}\",\
+                     \"max_in_flight\":{}}}",
+                    json_escape(&spec.strategy.to_string()),
+                    spec.seed,
+                    spec.max_nodes,
+                    groups,
+                    lp,
+                    jopt_usize(spec.iters),
+                    jopt_num(spec.best_known),
+                    jopt_usize(spec.oracle_best),
+                    if spec.resilience { "standard" } else { "off" },
+                    jopt_usize(spec.max_in_flight),
+                )
+            }
+            Request::GetProposal { session } => {
+                format!("{{\"type\":\"get_proposal\",\"session\":{session}}}")
+            }
+            Request::SubmitObservation { session, ticket, duration } => format!(
+                "{{\"type\":\"submit_observation\",\"session\":{session},\"ticket\":{ticket},\
+                 \"duration\":{}}}",
+                jnum(*duration)
+            ),
+            Request::GetPosterior { session } => {
+                format!("{{\"type\":\"get_posterior\",\"session\":{session}}}")
+            }
+            Request::CloseSession { session } => {
+                format!("{{\"type\":\"close_session\",\"session\":{session}}}")
+            }
+            Request::Ping => "{\"type\":\"ping\"}".to_string(),
+            Request::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
+        }
+    }
+
+    /// Parse a request from its JSON document.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let typ = v.get("type").and_then(Json::as_str).ok_or("missing 'type'")?;
+        let session = |v: &Json| -> Result<u64, String> {
+            v.get("session")
+                .and_then(Json::as_f64)
+                .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+                .map(|x| x as u64)
+                .ok_or_else(|| "missing or invalid 'session'".to_string())
+        };
+        Ok(match typ {
+            "create_session" => {
+                let strategy_name =
+                    v.get("strategy").and_then(Json::as_str).ok_or("missing 'strategy'")?;
+                let strategy: StrategyKind = strategy_name.parse().map_err(|e| format!("{e}"))?;
+                let max_nodes =
+                    v.get("max_nodes").and_then(Json::as_usize).ok_or("missing 'max_nodes'")?;
+                let groups = match v.get("groups").and_then(Json::as_arr) {
+                    None => Vec::new(),
+                    Some(items) => items
+                        .iter()
+                        .map(|g| {
+                            let pair = g.as_arr().filter(|a| a.len() == 2);
+                            match pair {
+                                Some(a) => Ok((
+                                    a[0].as_usize().ok_or("bad group bound")?,
+                                    a[1].as_usize().ok_or("bad group bound")?,
+                                )),
+                                None => Err("groups must be [lo,hi] pairs".to_string()),
+                            }
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                };
+                let lp = match v.get("lp") {
+                    None | Some(Json::Null) => None,
+                    Some(arr) => Some(
+                        arr.as_arr()
+                            .ok_or("'lp' must be an array")?
+                            .iter()
+                            .map(|x| x.as_f64().ok_or_else(|| "non-numeric lp value".to_string()))
+                            .collect::<Result<Vec<_>, String>>()?,
+                    ),
+                };
+                let resilience = match v.get("resilience").and_then(Json::as_str) {
+                    None | Some("off") => false,
+                    Some("standard") => true,
+                    Some(other) => {
+                        return Err(format!(
+                            "resilience must be \"standard\" or \"off\", got {other:?}"
+                        ))
+                    }
+                };
+                Request::CreateSession(SessionSpec {
+                    strategy,
+                    seed: v.get("seed").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                    max_nodes,
+                    groups,
+                    lp,
+                    iters: v.get("iters").and_then(Json::as_usize),
+                    best_known: v.get("best_known").and_then(Json::as_f64),
+                    oracle_best: v.get("oracle_best").and_then(Json::as_usize),
+                    resilience,
+                    max_in_flight: v.get("max_in_flight").and_then(Json::as_usize),
+                })
+            }
+            "get_proposal" => Request::GetProposal { session: session(v)? },
+            "submit_observation" => Request::SubmitObservation {
+                session: session(v)?,
+                ticket: v
+                    .get("ticket")
+                    .and_then(Json::as_f64)
+                    .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+                    .map(|x| x as u64)
+                    .ok_or("missing or invalid 'ticket'")?,
+                duration: v.get("duration").and_then(Json::as_f64).ok_or("missing 'duration'")?,
+            },
+            "get_posterior" => Request::GetPosterior { session: session(v)? },
+            "close_session" => Request::CloseSession { session: session(v)? },
+            "ping" => Request::Ping,
+            "shutdown" => Request::Shutdown,
+            other => return Err(format!("unknown request type {other:?}")),
+        })
+    }
+}
+
+impl Response {
+    /// Serialize to the one-line JSON wire form.
+    pub fn to_json(&self) -> String {
+        match self {
+            Response::SessionCreated { session } => {
+                format!("{{\"type\":\"session_created\",\"session\":{session}}}")
+            }
+            Response::Proposal { session, ticket, iteration, action } => format!(
+                "{{\"type\":\"proposal\",\"session\":{session},\"ticket\":{ticket},\
+                 \"iteration\":{iteration},\"action\":{action}}}"
+            ),
+            Response::Recorded { session, iteration, action, duration, cumulative_time } => {
+                format!(
+                    "{{\"type\":\"recorded\",\"session\":{session},\"iteration\":{iteration},\
+                     \"action\":{action},\"duration\":{},\"cumulative_time\":{}}}",
+                    jnum(*duration),
+                    jnum(*cumulative_time)
+                )
+            }
+            Response::Retry { session, ticket, action, attempt } => format!(
+                "{{\"type\":\"retry\",\"session\":{session},\"ticket\":{ticket},\
+                 \"action\":{action},\"attempt\":{attempt}}}"
+            ),
+            Response::Posterior { session, points } => {
+                let body = match points {
+                    None => "null".to_string(),
+                    Some(ps) => {
+                        let items = ps
+                            .iter()
+                            .map(|p| {
+                                format!(
+                                    "{{\"action\":{},\"mean\":{},\"sd\":{},\"lp_bound\":{},\
+                                     \"excluded\":{}}}",
+                                    p.action,
+                                    jnum(p.mean),
+                                    jnum(p.sd),
+                                    jopt_num(p.lp_bound),
+                                    p.excluded
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        format!("[{items}]")
+                    }
+                };
+                format!("{{\"type\":\"posterior\",\"session\":{session},\"points\":{body}}}")
+            }
+            Response::Closed { session, iterations, total_time, best_action, history } => {
+                let hist = history
+                    .iter()
+                    .map(|&(a, y)| format!("[{a},{}]", jnum(y)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "{{\"type\":\"closed\",\"session\":{session},\"iterations\":{iterations},\
+                     \"total_time\":{},\"best_action\":{},\"history\":[{hist}]}}",
+                    jnum(*total_time),
+                    jopt_usize(*best_action)
+                )
+            }
+            Response::Pong => "{\"type\":\"pong\"}".to_string(),
+            Response::ShuttingDown => "{\"type\":\"shutting_down\"}".to_string(),
+            Response::Error { code, message } => format!(
+                "{{\"type\":\"error\",\"code\":\"{}\",\"message\":\"{}\"}}",
+                code.as_str(),
+                json_escape(message)
+            ),
+        }
+    }
+
+    /// Parse a response from its JSON document.
+    pub fn from_json(v: &Json) -> Result<Response, String> {
+        let typ = v.get("type").and_then(Json::as_str).ok_or("missing 'type'")?;
+        let num = |key: &str| v.get(key).and_then(Json::as_f64).ok_or(format!("missing '{key}'"));
+        let int = |key: &str| num(key).map(|x| x as u64);
+        let us = |key: &str| num(key).map(|x| x as usize);
+        Ok(match typ {
+            "session_created" => Response::SessionCreated { session: int("session")? },
+            "proposal" => Response::Proposal {
+                session: int("session")?,
+                ticket: int("ticket")?,
+                iteration: us("iteration")?,
+                action: us("action")?,
+            },
+            "recorded" => Response::Recorded {
+                session: int("session")?,
+                iteration: us("iteration")?,
+                action: us("action")?,
+                duration: num("duration")?,
+                cumulative_time: num("cumulative_time")?,
+            },
+            "retry" => Response::Retry {
+                session: int("session")?,
+                ticket: int("ticket")?,
+                action: us("action")?,
+                attempt: us("attempt")?,
+            },
+            "posterior" => {
+                let points = match v.get("points") {
+                    None | Some(Json::Null) => None,
+                    Some(arr) => Some(
+                        arr.as_arr()
+                            .ok_or("'points' must be an array")?
+                            .iter()
+                            .map(|p| {
+                                Ok(PosteriorPoint {
+                                    action: p
+                                        .get("action")
+                                        .and_then(Json::as_usize)
+                                        .ok_or("point without action")?,
+                                    mean: p.get("mean").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                                    sd: p.get("sd").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                                    lp_bound: p.get("lp_bound").and_then(Json::as_f64),
+                                    excluded: p
+                                        .get("excluded")
+                                        .and_then(Json::as_bool)
+                                        .unwrap_or(false),
+                                })
+                            })
+                            .collect::<Result<Vec<_>, String>>()?,
+                    ),
+                };
+                Response::Posterior { session: int("session")?, points }
+            }
+            "closed" => Response::Closed {
+                session: int("session")?,
+                iterations: us("iterations")?,
+                total_time: num("total_time")?,
+                best_action: v.get("best_action").and_then(Json::as_usize),
+                history: v
+                    .get("history")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing 'history'")?
+                    .iter()
+                    .map(|pair| {
+                        let a = pair.as_arr().filter(|a| a.len() == 2);
+                        match a {
+                            Some(a) => Ok((
+                                a[0].as_usize().ok_or("bad history action")?,
+                                a[1].as_f64().ok_or("bad history duration")?,
+                            )),
+                            None => Err("history entries must be [action,duration]".to_string()),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            },
+            "pong" => Response::Pong,
+            "shutting_down" => Response::ShuttingDown,
+            "error" => Response::Error {
+                code: v
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorCode::parse)
+                    .unwrap_or(ErrorCode::Internal),
+                message: v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified error")
+                    .to_string(),
+            },
+            other => return Err(format!("unknown response type {other:?}")),
+        })
+    }
+}
+
+/// Build a full posterior response from a core snapshot.
+pub fn posterior_response(session: u64, snap: Option<PosteriorSnapshot>) -> Response {
+    Response::Posterior { session, points: snap.map(|s| s.points) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SessionSpec {
+        SessionSpec {
+            strategy: StrategyKind::GpDiscontinuous,
+            seed: 7,
+            max_nodes: 10,
+            groups: vec![(1, 5), (6, 10)],
+            lp: Some((1..=10).map(|n| 30.0 / n as f64).collect()),
+            iters: Some(40),
+            best_known: Some(5.5),
+            oracle_best: None,
+            resilience: true,
+            max_in_flight: Some(4),
+        }
+    }
+
+    fn round_trip_request(req: Request) {
+        let j = req.to_json();
+        let parsed = Request::from_json(&Json::parse(&j).unwrap()).unwrap();
+        assert_eq!(parsed, req, "wire form: {j}");
+    }
+
+    fn round_trip_response(resp: Response) {
+        let j = resp.to_json();
+        let parsed = Response::from_json(&Json::parse(&j).unwrap()).unwrap();
+        assert_eq!(parsed, resp, "wire form: {j}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::CreateSession(spec()));
+        round_trip_request(Request::CreateSession(SessionSpec::new(StrategyKind::Ucb, 0, 3)));
+        round_trip_request(Request::GetProposal { session: 12 });
+        round_trip_request(Request::SubmitObservation { session: 12, ticket: 3, duration: 1.25 });
+        round_trip_request(Request::GetPosterior { session: 12 });
+        round_trip_request(Request::CloseSession { session: 12 });
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::SessionCreated { session: 5 });
+        round_trip_response(Response::Proposal { session: 5, ticket: 0, iteration: 0, action: 7 });
+        round_trip_response(Response::Recorded {
+            session: 5,
+            iteration: 3,
+            action: 7,
+            duration: 1.5,
+            cumulative_time: 6.25,
+        });
+        round_trip_response(Response::Retry { session: 5, ticket: 2, action: 7, attempt: 1 });
+        round_trip_response(Response::Posterior { session: 5, points: None });
+        round_trip_response(Response::Posterior {
+            session: 5,
+            points: Some(vec![PosteriorPoint {
+                action: 1,
+                mean: 2.5,
+                sd: 0.25,
+                lp_bound: Some(1.5),
+                excluded: true,
+            }]),
+        });
+        round_trip_response(Response::Closed {
+            session: 5,
+            iterations: 40,
+            total_time: 123.5,
+            best_action: Some(6),
+            history: vec![(10, 3.25), (6, 2.0)],
+        });
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::ShuttingDown);
+        round_trip_response(Response::Error {
+            code: ErrorCode::UnknownSession,
+            message: "session 99 is not registered".into(),
+        });
+    }
+
+    #[test]
+    fn every_strategy_kind_travels_by_canonical_name() {
+        for kind in StrategyKind::all() {
+            let mut s = SessionSpec::new(kind, 1, 8);
+            s.oracle_best = Some(3); // keeps the oracle spec valid
+            round_trip_request(Request::CreateSession(s));
+        }
+    }
+
+    #[test]
+    fn unknown_strategy_name_is_a_parse_error() {
+        let j = r#"{"type":"create_session","strategy":"nope","max_nodes":4}"#;
+        let err = Request::from_json(&Json::parse(j).unwrap()).unwrap_err();
+        assert!(err.contains("unknown strategy"), "{err}");
+    }
+
+    #[test]
+    fn spec_validation_rejects_bad_spaces() {
+        let mut s = spec();
+        s.groups = vec![(1, 4), (6, 10)]; // gap at 5
+        assert!(s.space().is_err());
+        let mut s = spec();
+        s.lp = Some(vec![1.0; 3]);
+        assert!(s.space().is_err());
+        let mut s = spec();
+        s.max_nodes = 0;
+        assert!(s.space().is_err());
+        let mut s = spec();
+        s.strategy = StrategyKind::Oracle;
+        assert!(s.space().is_err(), "oracle without best");
+        s.oracle_best = Some(3);
+        assert!(s.space().is_ok());
+        assert!(spec().space().is_ok());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"type\":\"ping\"}").unwrap();
+        write_frame(&mut buf, "{\"type\":\"shutdown\"}").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"type\":\"ping\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"type\":\"shutdown\"}");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF between frames");
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected_without_reading_payload() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME as u32) + 1).to_be_bytes());
+        buf.extend_from_slice(b"garbage");
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_prefix_is_an_unexpected_eof() {
+        let buf = [0u8, 0, 1]; // 3 of 4 length bytes
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

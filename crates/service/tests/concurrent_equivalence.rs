@@ -1,0 +1,116 @@
+//! Property: for any session count, seeds, and response-curve shape, N
+//! sessions driven **concurrently** through the shared `SessionManager`
+//! produce histories bit-identical to N **sequential** single-threaded
+//! `TunerDriver` runs with the same seeds. Determinism is per-session
+//! (shard pinning serializes a session's operations); the OS thread
+//! schedule must be irrelevant.
+
+use adaphet_core::{Observation, StrategyKind, TunerDriver};
+use adaphet_service::{Request, Response, ServiceConfig, SessionManager, SessionSpec};
+use proptest::prelude::*;
+
+fn curve(work: f64, slope: f64, jump_at: usize, jump: f64) -> impl Fn(usize) -> f64 + Copy {
+    move |n: usize| {
+        let base = work / n as f64 + slope * n as f64;
+        if n < jump_at {
+            base + jump
+        } else {
+            base
+        }
+    }
+}
+
+fn spec(kind: StrategyKind, seed: u64, max_nodes: usize, work: f64) -> SessionSpec {
+    let mut s = SessionSpec::new(kind, seed, max_nodes);
+    s.lp = Some((1..=max_nodes).map(|k| work / k as f64).collect());
+    s
+}
+
+/// Drive one managed session to completion, returning its history.
+fn drive(
+    m: &SessionManager,
+    s: SessionSpec,
+    iters: usize,
+    f: impl Fn(usize) -> f64,
+) -> Vec<(usize, f64)> {
+    let id = match m.handle(Request::CreateSession(s)) {
+        Response::SessionCreated { session } => session,
+        other => panic!("create failed: {other:?}"),
+    };
+    for _ in 0..iters {
+        let (ticket, action) = match m.handle(Request::GetProposal { session: id }) {
+            Response::Proposal { ticket, action, .. } => (ticket, action),
+            other => panic!("propose failed: {other:?}"),
+        };
+        match m.handle(Request::SubmitObservation { session: id, ticket, duration: f(action) }) {
+            Response::Recorded { .. } => {}
+            other => panic!("observe failed: {other:?}"),
+        }
+    }
+    match m.handle(Request::CloseSession { session: id }) {
+        Response::Closed { history, .. } => history,
+        other => panic!("close failed: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn concurrent_managed_sessions_equal_sequential_driver_runs(
+        sessions in 2usize..9,
+        workers in 1usize..5,
+        max_nodes in 4usize..24,
+        work in 20.0f64..120.0,
+        slope in 0.2f64..1.5,
+        seed0 in 0u64..1000,
+        iters in 10usize..35,
+    ) {
+        let f = curve(work, slope, max_nodes / 3 + 1, 5.0);
+        let kinds = [
+            StrategyKind::GpDiscontinuous,
+            StrategyKind::Ucb,
+            StrategyKind::GpUcb,
+            StrategyKind::Random,
+            StrategyKind::DivideConquer,
+        ];
+        let manager = std::sync::Arc::new(SessionManager::new(ServiceConfig {
+            workers,
+            idle_timeout: None,
+            ..ServiceConfig::default()
+        }));
+
+        // Concurrent: one thread per session, distinct seeds.
+        let handles: Vec<_> = (0..sessions)
+            .map(|i| {
+                let m = std::sync::Arc::clone(&manager);
+                let kind = kinds[i % kinds.len()];
+                let seed = seed0 + i as u64;
+                std::thread::spawn(move || {
+                    (i, drive(&m, spec(kind, seed, max_nodes, work), iters, f))
+                })
+            })
+            .collect();
+        let mut concurrent: Vec<(usize, Vec<(usize, f64)>)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        concurrent.sort_by_key(|&(i, _)| i);
+
+        // Sequential reference: the same seeds through plain drivers.
+        for (i, history) in concurrent {
+            let kind = kinds[i % kinds.len()];
+            let seed = seed0 + i as u64;
+            let mut d = TunerDriver::builder(&spec(kind, seed, max_nodes, work).space().unwrap())
+                .kind(kind)
+                .seed(seed)
+                .build()
+                .unwrap();
+            d.run(iters, |n| Observation::of(f(n)));
+            prop_assert_eq!(
+                &history[..],
+                d.history().records(),
+                "session {} ({}, seed {}) diverged from its sequential twin",
+                i, kind, seed
+            );
+        }
+    }
+}

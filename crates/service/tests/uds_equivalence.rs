@@ -1,0 +1,144 @@
+//! The acceptance criterion: N concurrent sessions over a Unix-domain
+//! socket produce proposals and histories **bit-identical** to N
+//! single-threaded `TunerDriver` runs with the same seeds.
+//!
+//! Exactness holds end to end because (a) each session is pinned to one
+//! shard worker, so its propose/observe order is the driver's order no
+//! matter how the OS schedules clients, and (b) `f64`s travel as Rust's
+//! shortest round-trip decimal form, which parses back to the same bits.
+
+#![cfg(unix)]
+
+use adaphet_core::{Observation, StrategyKind, TunerDriver};
+use adaphet_service::{
+    Client, Endpoint, Server, ServiceConfig, SessionManager, SessionSpec, Submitted,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A synthetic response with noise-free structure: ideal-scaling plus a
+/// linear overhead, minimized at an interior node count, with a plateau
+/// discontinuity below 5 nodes (exercises the GP-discontinuous path).
+fn response(n: usize) -> f64 {
+    30.0 / n as f64 + 0.8 * n as f64 + if n < 5 { 6.0 } else { 0.0 }
+}
+
+fn spec(kind: StrategyKind, seed: u64) -> SessionSpec {
+    let mut s = SessionSpec::new(kind, seed, 10);
+    s.groups = vec![(1, 5), (6, 10)];
+    s.lp = Some((1..=10).map(|n| 30.0 / n as f64).collect());
+    s.iters = Some(30);
+    s
+}
+
+fn uds_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("adaphet-it-{}-{tag}.sock", std::process::id()))
+}
+
+#[test]
+fn eight_concurrent_uds_sessions_match_sequential_drivers_bitwise() {
+    const ITERS: usize = 30;
+    let kinds = [
+        StrategyKind::GpDiscontinuous,
+        StrategyKind::Ucb,
+        StrategyKind::GpUcb,
+        StrategyKind::UcbStruct,
+        StrategyKind::DivideConquer,
+        StrategyKind::RightLeft,
+        StrategyKind::Brent,
+        StrategyKind::Random,
+    ];
+    let path = uds_path("equiv");
+    let manager = Arc::new(SessionManager::new(ServiceConfig::default()));
+    let mut server = Server::bind(Endpoint::Uds(path.clone()), manager).unwrap();
+
+    // 8 client threads, one UDS connection and one session each, all
+    // in flight at once.
+    let handles: Vec<_> = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let seed = i as u64;
+                let mut client = Client::connect_uds(&path).unwrap();
+                let id = client.create_session(spec(kind, seed)).unwrap();
+                let mut proposals = Vec::with_capacity(ITERS);
+                for expect_iter in 0..ITERS {
+                    let (ticket, iteration, action) = client.get_proposal(id).unwrap();
+                    assert_eq!(iteration, expect_iter);
+                    proposals.push(action);
+                    match client.submit(id, ticket, response(action)).unwrap() {
+                        Submitted::Recorded { iteration: it, .. } => assert_eq!(it, expect_iter),
+                        Submitted::Retry { .. } => panic!("no resilience policy configured"),
+                    }
+                }
+                let closed = client.close_session(id).unwrap();
+                (kind, seed, proposals, closed)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    server.stop();
+    let _ = std::fs::remove_file(&path);
+
+    for (kind, seed, proposals, closed) in results {
+        let mut driver = TunerDriver::builder(&spec(kind, seed).space().unwrap())
+            .kind(kind)
+            .seed(seed)
+            .build()
+            .unwrap();
+        driver.run(ITERS, |n| Observation::of(response(n)));
+        let reference = driver.history().records().to_vec();
+
+        // Proposal stream, history, and total time: bit-identical.
+        let proposed: Vec<usize> = reference.iter().map(|&(a, _)| a).collect();
+        assert_eq!(proposals, proposed, "{kind}: proposal stream diverged over the wire");
+        assert_eq!(closed.history, reference, "{kind}: history diverged over the wire");
+        assert_eq!(
+            closed.total_time.to_bits(),
+            driver.history().total_time().to_bits(),
+            "{kind}: total time not bit-identical"
+        );
+        assert_eq!(closed.iterations, ITERS);
+    }
+}
+
+#[test]
+fn posterior_over_the_wire_matches_the_in_process_snapshot() {
+    let path = uds_path("posterior");
+    let manager = Arc::new(SessionManager::new(ServiceConfig::default()));
+    let mut server = Server::bind(Endpoint::Uds(path.clone()), Arc::clone(&manager)).unwrap();
+
+    let mut client = Client::connect_uds(&path).unwrap();
+    let id = client.create_session(spec(StrategyKind::GpDiscontinuous, 3)).unwrap();
+    assert!(client.get_posterior(id).unwrap().is_none(), "no surrogate before data");
+    for _ in 0..12 {
+        let (ticket, _, action) = client.get_proposal(id).unwrap();
+        client.submit(id, ticket, response(action)).unwrap();
+    }
+    let wire = client.get_posterior(id).unwrap().expect("fitted posterior");
+
+    // Reference: the same 12 observations through a local session.
+    let mut local = TunerDriver::builder(&spec(StrategyKind::GpDiscontinuous, 3).space().unwrap())
+        .kind(StrategyKind::GpDiscontinuous)
+        .seed(3)
+        .build_session()
+        .unwrap();
+    for _ in 0..12 {
+        let p = local.propose().unwrap();
+        local.observe(p.ticket, Observation::of(response(p.action))).unwrap();
+    }
+    let reference = local.posterior().unwrap().points;
+    assert_eq!(wire.len(), reference.len());
+    for (w, r) in wire.iter().zip(&reference) {
+        assert_eq!(w.action, r.action);
+        assert_eq!(w.mean.to_bits(), r.mean.to_bits(), "posterior mean at {}", w.action);
+        assert_eq!(w.sd.to_bits(), r.sd.to_bits(), "posterior sd at {}", w.action);
+        assert_eq!(w.excluded, r.excluded);
+    }
+
+    client.close_session(id).unwrap();
+    server.stop();
+    let _ = std::fs::remove_file(&path);
+}

@@ -18,6 +18,9 @@
 //! * [`geostat`] — the ExaGeoStat-like five-phase application;
 //! * [`scenarios`] — the paper's Table II machines and 16 scenarios;
 //! * [`eval`] — response tables, resampling replays, figure generators;
+//! * [`service`] — the multi-tenant tuning daemon: sessions over a
+//!   length-prefixed JSON wire protocol (TCP/UDS), the `adaphet-serve`
+//!   binary, and a blocking typed client;
 //! * [`analysis`] — post-hoc trace diagnosis: critical paths, idle-bubble
 //!   classification, telemetry parsing, and self-contained HTML reports;
 //! * [`metrics`] — runtime metrics registry (counters, gauges, histograms)
@@ -37,3 +40,34 @@ pub use adaphet_lp as lp;
 pub use adaphet_metrics as metrics;
 pub use adaphet_runtime as runtime;
 pub use adaphet_scenarios as scenarios;
+pub use adaphet_service as service;
+
+/// The curated one-import surface for embedding the tuner.
+///
+/// Everything a typical embedder touches: the typed builder and both loop
+/// shapes (the owning [`TunerDriver`](prelude::TunerDriver), the split
+/// [`Session`](prelude::Session)), the by-name strategy registry, the
+/// problem-statement types, telemetry sinks, the resilience policy, and
+/// the service client for remote sessions.
+///
+/// ```
+/// use adaphet::prelude::*;
+///
+/// let space = ActionSpace::unstructured(8);
+/// let mut session = TunerDriver::builder(&space)
+///     .kind(StrategyKind::GpDiscontinuous)
+///     .build_session()
+///     .unwrap();
+/// let p = session.propose().unwrap();
+/// session.observe(p.ticket, Observation::of(1.0)).unwrap();
+/// ```
+pub mod prelude {
+    pub use adaphet_core::{
+        ActionSpace, History, IterationEvent, JsonlSink, MemorySink, Observation, Observed,
+        Proposal, ResiliencePolicy, Session, SessionError, StepOutcome, Strategy, StrategyKind,
+        TelemetrySink, Ticket, TunerDriver, TunerDriverBuilder,
+    };
+    pub use adaphet_service::{
+        Client, ClientError, ClosedSession, ServiceConfig, SessionManager, SessionSpec, Submitted,
+    };
+}
