@@ -159,7 +159,10 @@ pub fn render_html(report: &Report) -> String {
     out
 }
 
-const STYLE: &str = "<style>\n\
+/// The report's inline CSS block (`<style>…</style>`), shared with
+/// other adaphet HTML emitters (e.g. `adaphet-top --html`) so every
+/// generated page carries the same look.
+pub const STYLE: &str = "<style>\n\
 body{font:14px/1.45 system-ui,sans-serif;margin:2em auto;max-width:960px;color:#222;padding:0 1em}\n\
 h1{font-size:1.4em;border-bottom:2px solid #4878cf;padding-bottom:.25em}\n\
 h2{font-size:1.15em;margin-top:1.6em}\n\

@@ -29,7 +29,7 @@ pub mod report;
 
 pub use ascii::render_ascii;
 pub use critical_path::{CriticalPath, PathStep};
-pub use html::render_html;
+pub use html::{html_escape, render_html, STYLE};
 pub use idle::{IdleBreakdown, IdleCause};
 pub use jsonl::{IterationRecord, Json, SnapshotPoint, StrategyRun, TelemetryRun};
 pub use report::{Report, SimDiagnosis};

@@ -253,6 +253,12 @@ impl Session {
         self.ledger.iter().map(|p| p.ticket).collect()
     }
 
+    /// The open ledger entries as `(ticket, action)` pairs, in issue
+    /// order — the state an operator sees when inspecting a live session.
+    pub fn pending(&self) -> Vec<(Ticket, usize)> {
+        self.ledger.iter().map(|p| (p.ticket, p.action)).collect()
+    }
+
     /// Attach a telemetry sink after construction.
     pub fn add_sink(&mut self, sink: Box<dyn TelemetrySink>) {
         self.sinks.push(sink);

@@ -59,19 +59,6 @@ pub fn parse_args() -> Result<RunArgs, AdaphetError> {
     parse_argv(std::env::args().skip(1).collect())
 }
 
-/// [`parse_args`], printing the one-line error and exiting with status 2
-/// on bad input — for binaries whose `main` does not return a `Result`.
-#[deprecated(
-    since = "0.1.0",
-    note = "give `main` a `Result<(), AdaphetError>` return and use `parse_args()?` instead"
-)]
-pub fn parse_args_or_exit() -> RunArgs {
-    parse_args().unwrap_or_else(|e| {
-        eprintln!("Error: {e}");
-        std::process::exit(2);
-    })
-}
-
 fn parse_argv(argv: Vec<String>) -> Result<RunArgs, AdaphetError> {
     let mut out = RunArgs::default();
     let mut i = 0;

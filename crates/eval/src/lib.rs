@@ -26,12 +26,8 @@ mod report;
 mod response;
 mod telemetry;
 
-pub use cli::{load_fault_plan, parse_args, RunArgs};
-// The exit-on-error variant predates typed `main` results; the old
-// import path keeps working but carries the deprecation forward.
 pub use cache::{build_response_cached, CACHE_VERSION};
-#[allow(deprecated)]
-pub use cli::parse_args_or_exit;
+pub use cli::{load_fault_plan, parse_args, RunArgs};
 pub use diagnose::{build_report, diagnose, parse_report_args, run_report, ReportArgs};
 pub use error::AdaphetError;
 pub use faults::{run_faulted_session, space_for_platform, FaultRunOutcome, FaultSessionConfig};

@@ -31,7 +31,8 @@ fn fig6_metrics_report_phase_sums_match_makespans() {
     let text = std::fs::read_to_string(&out_path).expect("metrics file written");
     let _ = std::fs::remove_file(&out_path);
 
-    assert!(text.starts_with("{\"version\":1,"), "schema version pinned: {:.60}", text);
+    assert!(text.starts_with("{\"version\":2,"), "schema version pinned: {:.60}", text);
+    assert!(text.contains("\"monotonic_s\":"));
     assert!(text.contains("\"counters\":{"));
     assert!(text.contains("\"sim.tasks_executed\":"));
     assert!(text.contains("\"app.iterations\":"));

@@ -17,6 +17,11 @@
 //! the clock when the recorder is enabled and observes into a histogram on
 //! drop.
 //!
+//! For *where time goes inside one operation* (rather than aggregate
+//! counts), the [`Spans`] collector records enter/exit events with parent
+//! ids into a bounded ring of recent [`SpanRecord`]s; a disabled handle
+//! makes every guard a clock-free no-op, mirroring [`NoopRecorder`].
+//!
 //! Components that cannot thread a recorder handle through their call sites
 //! (solver internals, the response cache) use the process-wide recorder:
 //! [`global()`] is a no-op until [`install_global`] activates a registry.
@@ -27,12 +32,15 @@
 mod recorder;
 mod registry;
 mod report;
+mod span;
 
 pub use recorder::{NoopRecorder, Recorder, Timer};
 pub use registry::{HistogramSnapshot, Registry, SECONDS_BUCKETS};
 pub use report::{
-    json_escape, GroupProfile, IterationProfile, MetricsReport, METRICS_SCHEMA_VERSION,
+    json_escape, prometheus_name, GroupProfile, IterationProfile, MetricsReport,
+    METRICS_SCHEMA_VERSION,
 };
+pub use span::{Span, SpanRecord, Spans};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

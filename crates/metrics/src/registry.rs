@@ -4,6 +4,7 @@ use crate::recorder::Recorder;
 use crate::report::MetricsReport;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Upper bounds (seconds) of the fixed histogram buckets, log-spaced from
 /// 1 µs to 1000 s; samples above the last bound land in an overflow bucket,
@@ -15,9 +16,19 @@ pub const SECONDS_BUCKETS: [f64; 10] =
 /// whole registry sits behind one mutex, which is fine at the granularity
 /// recorded here (per phase / per solver call / per simulator run, not per
 /// task).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Registry {
     inner: Arc<Mutex<Inner>>,
+    /// Monotonic zero point: snapshots are stamped with the elapsed time
+    /// since the registry was created, so successive snapshots of one
+    /// registry carry strictly increasing `monotonic_s` values.
+    birth: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry { inner: Arc::default(), birth: Instant::now() }
+    }
 }
 
 #[derive(Default)]
@@ -69,6 +80,51 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) from the bucket counts.
+    ///
+    /// The sample's rank is located in the cumulative counts, then
+    /// interpolated linearly inside its bucket (lower edge 0 for the first
+    /// bucket). Samples in the overflow bucket pin to the last bound —
+    /// the histogram cannot resolve anything above it. Empty histograms
+    /// report 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (below + c) as f64 >= rank {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let Some(&hi) = self.bounds.get(i) else {
+                    return *self.bounds.last().unwrap_or(&0.0);
+                };
+                let frac = ((rank - below as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + frac * (hi - lo);
+            }
+            below += c;
+        }
+        *self.bounds.last().unwrap_or(&0.0)
+    }
+
+    /// Median estimate ([`quantile`](Self::quantile) at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 impl Registry {
@@ -103,11 +159,17 @@ impl Registry {
         })
     }
 
+    /// Seconds elapsed since this registry was created (monotonic).
+    pub fn uptime_s(&self) -> f64 {
+        self.birth.elapsed().as_secs_f64()
+    }
+
     /// Freeze everything collected so far into a report (name-sorted; the
     /// report's `iterations` section is left empty for the caller to fill).
     pub fn snapshot(&self) -> MetricsReport {
         let inner = self.lock();
         MetricsReport {
+            monotonic_s: self.birth.elapsed().as_secs_f64(),
             counters: inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             histograms: inner
@@ -220,6 +282,55 @@ mod tests {
         assert_eq!(h.count, 4);
         assert!((h.sum - 5000.1000005).abs() < 1e-6);
         assert!((h.mean() - h.sum / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate_inside_buckets() {
+        let h = HistogramSnapshot {
+            bounds: vec![1.0, 10.0, 100.0],
+            // 10 samples ≤ 1, 10 in (1, 10], none above.
+            counts: vec![10, 10, 0, 0],
+            count: 20,
+            sum: 60.0,
+        };
+        // Rank 10 is exactly the last sample of bucket 0: its upper edge.
+        assert!((h.p50() - 1.0).abs() < 1e-12, "p50 = {}", h.p50());
+        // Rank 19 sits 9/10 of the way through bucket (1, 10].
+        assert!((h.p95() - (1.0 + 0.9 * 9.0)).abs() < 1e-12, "p95 = {}", h.p95());
+        assert!(h.p99() <= 10.0);
+        // q=0 pins to the lower edge of the first occupied bucket.
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_pins_to_last_bound() {
+        let h = HistogramSnapshot {
+            bounds: vec![1.0, 10.0],
+            counts: vec![0, 0, 5],
+            count: 5,
+            sum: 500.0,
+        };
+        assert_eq!(h.p50(), 10.0);
+        assert_eq!(h.p99(), 10.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = HistogramSnapshot { bounds: vec![1.0], counts: vec![0, 0], count: 0, sum: 0.0 };
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn snapshots_carry_increasing_monotonic_stamps() {
+        let r = Registry::new();
+        let a = r.snapshot();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = r.snapshot();
+        assert!(a.monotonic_s >= 0.0);
+        assert!(b.monotonic_s > a.monotonic_s, "{} !> {}", b.monotonic_s, a.monotonic_s);
+        assert!(r.uptime_s() >= b.monotonic_s);
     }
 
     #[test]

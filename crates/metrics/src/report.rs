@@ -4,7 +4,10 @@ use crate::registry::HistogramSnapshot;
 
 /// Version stamped into every report; bump on any schema change (the golden
 /// test in `tests/report_schema.rs` pins the serialized layout).
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added `monotonic_s`, the registry-relative monotonic snapshot
+/// timestamp.
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// Busy/idle seconds of one homogeneous node group over one iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +53,12 @@ pub struct IterationProfile {
 /// pinned by a golden test) or an aligned text table.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsReport {
+    /// Monotonic seconds since the source [`Registry`](crate::Registry)
+    /// was created, read at snapshot time. Successive snapshots of one
+    /// registry carry strictly increasing values, so consumers can order
+    /// and rate-compute scrapes without a wall clock (0 for reports built
+    /// by hand).
+    pub monotonic_s: f64,
     /// Counter totals, name-sorted.
     pub counters: Vec<(String, f64)>,
     /// Gauge values, name-sorted.
@@ -90,6 +99,23 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Map a dotted adaphet metric name onto a Prometheus series name:
+/// `adaphet_` namespace, non-`[a-zA-Z0-9_]` characters replaced by `_`,
+/// and a trailing `_s` (the workspace convention for seconds) spelled out
+/// as `_seconds`.
+pub fn prometheus_name(name: &str) -> String {
+    let spelled = match name.strip_suffix("_s") {
+        Some(base) => format!("{base}_seconds"),
+        None => name.to_string(),
+    };
+    let mut out = String::with_capacity(spelled.len() + 8);
+    out.push_str("adaphet_");
+    for c in spelled.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+    }
+    out
+}
+
 fn json_map(entries: &[(String, f64)]) -> String {
     let body: Vec<String> =
         entries.iter().map(|(k, v)| format!("\"{}\":{}", json_escape(k), json_f64(*v))).collect();
@@ -97,8 +123,8 @@ fn json_map(entries: &[(String, f64)]) -> String {
 }
 
 impl MetricsReport {
-    /// Serialize as one JSON object with pinned key order:
-    /// `version`, `counters`, `gauges`, `histograms`, `iterations`.
+    /// Serialize as one JSON object with pinned key order: `version`,
+    /// `monotonic_s`, `counters`, `gauges`, `histograms`, `iterations`.
     pub fn to_json(&self) -> String {
         let hists: Vec<String> = self
             .histograms
@@ -149,13 +175,83 @@ impl MetricsReport {
             })
             .collect();
         format!(
-            "{{\"version\":{},\"counters\":{},\"gauges\":{},\"histograms\":{{{}}},\"iterations\":[{}]}}",
+            "{{\"version\":{},\"monotonic_s\":{},\"counters\":{},\"gauges\":{},\"histograms\":{{{}}},\"iterations\":[{}]}}",
             METRICS_SCHEMA_VERSION,
+            json_f64(self.monotonic_s),
             json_map(&self.counters),
             json_map(&self.gauges),
             hists.join(","),
             iters.join(","),
         )
+    }
+
+    /// Render in the Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Dotted metric names become underscore-joined names under the
+    /// `adaphet_` namespace; counters gain the conventional `_total`
+    /// suffix and histogram names ending in `_s` are spelled out as
+    /// `_seconds`. Histograms expose cumulative `_bucket{le="…"}` series
+    /// plus `_sum`/`_count`; the snapshot timestamp travels as the
+    /// `adaphet_snapshot_monotonic_seconds` gauge. Floats are formatted
+    /// with Rust's shortest round-trip form, so the output is
+    /// deterministic for given inputs (pinned by the golden test in
+    /// `tests/prometheus_golden.rs`). The `iterations` section has no
+    /// exposition equivalent and is skipped.
+    pub fn to_prometheus(&self) -> String {
+        fn fmt(v: f64) -> String {
+            if v.is_nan() {
+                "NaN".into()
+            } else if v == f64::INFINITY {
+                "+Inf".into()
+            } else if v == f64::NEG_INFINITY {
+                "-Inf".into()
+            } else {
+                format!("{v}")
+            }
+        }
+        let mut out = String::with_capacity(4096);
+        let mut series = |name: &str, kind: &str, orig: &str, body: &dyn Fn(&mut String)| {
+            out.push_str(&format!("# HELP {name} adaphet {kind} '{orig}'\n"));
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            body(&mut out);
+        };
+        series(
+            "adaphet_snapshot_monotonic_seconds",
+            "gauge",
+            "monotonic_s",
+            &|out: &mut String| {
+                out.push_str(&format!(
+                    "adaphet_snapshot_monotonic_seconds {}\n",
+                    fmt(self.monotonic_s)
+                ));
+            },
+        );
+        for (k, v) in &self.counters {
+            let name = format!("{}_total", prometheus_name(k));
+            series(&name, "counter", k, &|out: &mut String| {
+                out.push_str(&format!("{name} {}\n", fmt(*v)));
+            });
+        }
+        for (k, v) in &self.gauges {
+            let name = prometheus_name(k);
+            series(&name, "gauge", k, &|out: &mut String| {
+                out.push_str(&format!("{name} {}\n", fmt(*v)));
+            });
+        }
+        for (k, h) in &self.histograms {
+            let name = prometheus_name(k);
+            series(&name, "histogram", k, &|out: &mut String| {
+                let mut cum = 0u64;
+                for (i, bound) in h.bounds.iter().enumerate() {
+                    cum += h.counts.get(i).copied().unwrap_or(0);
+                    out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cum}\n", fmt(*bound)));
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                out.push_str(&format!("{name}_sum {}\n", fmt(h.sum)));
+                out.push_str(&format!("{name}_count {}\n", h.count));
+            });
+        }
+        out
     }
 
     /// Render as a human-readable aligned text table: counters, gauges,
@@ -254,6 +350,7 @@ mod tests {
 
     fn sample() -> MetricsReport {
         MetricsReport {
+            monotonic_s: 1.5,
             counters: vec![("sim.tasks_executed".into(), 42.0)],
             gauges: vec![("app.nt".into(), 10.0)],
             histograms: vec![(
@@ -290,8 +387,14 @@ mod tests {
     #[test]
     fn json_has_pinned_top_level_order() {
         let j = sample().to_json();
-        let keys =
-            ["\"version\":", "\"counters\":", "\"gauges\":", "\"histograms\":", "\"iterations\":"];
+        let keys = [
+            "\"version\":",
+            "\"monotonic_s\":",
+            "\"counters\":",
+            "\"gauges\":",
+            "\"histograms\":",
+            "\"iterations\":",
+        ];
         let mut from = 0;
         for k in keys {
             let at = j[from..].find(k).unwrap_or_else(|| panic!("missing {k} in {j}"));
@@ -324,9 +427,29 @@ mod tests {
         assert_eq!(
             r.to_json(),
             format!(
-                "{{\"version\":{METRICS_SCHEMA_VERSION},\"counters\":{{}},\"gauges\":{{}},\"histograms\":{{}},\"iterations\":[]}}"
+                "{{\"version\":{METRICS_SCHEMA_VERSION},\"monotonic_s\":0,\"counters\":{{}},\"gauges\":{{}},\"histograms\":{{}},\"iterations\":[]}}"
             )
         );
         assert_eq!(r.to_table(), "");
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized_and_suffixed() {
+        assert_eq!(prometheus_name("sim.tasks_executed"), "adaphet_sim_tasks_executed");
+        assert_eq!(prometheus_name("gp.model.fit_s"), "adaphet_gp_model_fit_seconds");
+        assert_eq!(prometheus_name("shard-0/depth"), "adaphet_shard_0_depth");
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE adaphet_sim_tasks_executed_total counter"), "{p}");
+        assert!(p.contains("adaphet_sim_tasks_executed_total 42\n"), "{p}");
+        assert!(p.contains("# TYPE adaphet_gp_model_fit_seconds histogram"), "{p}");
+        assert!(p.contains("adaphet_gp_model_fit_seconds_bucket{le=\"0.001\"} 2\n"), "{p}");
+        assert!(p.contains("adaphet_gp_model_fit_seconds_bucket{le=\"1\"} 3\n"), "{p}");
+        assert!(p.contains("adaphet_gp_model_fit_seconds_bucket{le=\"+Inf\"} 3\n"), "{p}");
+        assert!(p.contains("adaphet_gp_model_fit_seconds_count 3\n"), "{p}");
+        assert!(p.contains("adaphet_snapshot_monotonic_seconds 1.5\n"), "{p}");
     }
 }

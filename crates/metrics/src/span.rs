@@ -1,0 +1,234 @@
+//! A lightweight span layer: enter/exit guards with parent ids feeding a
+//! bounded in-memory ring of recent [`SpanRecord`]s.
+//!
+//! Spans follow the same philosophy as [`Recorder`](crate::Recorder):
+//! instrumented code holds a [`Spans`] handle and calls
+//! [`enter`](Spans::enter) unconditionally; when the handle is
+//! [`disabled`](Spans::disabled) the guard is a zero-field no-op that
+//! never reads the clock, so always-on instrumentation costs nothing
+//! measurable (covered by the release-mode overhead test).
+//!
+//! Unlike counters, spans are *events*: each records a name, an optional
+//! parent span id, and a start/duration pair on the collector's own
+//! monotonic clock. The collector keeps only the most recent `capacity`
+//! records — observability of a live process, not a full trace (the
+//! Chrome-trace telemetry sink remains the tool for that).
+//!
+//! ```
+//! use adaphet_metrics::Spans;
+//! let spans = Spans::with_capacity(16);
+//! {
+//!     let request = spans.enter("request", None);
+//!     let _decode = spans.enter("decode", request.id());
+//!     // ... both guards record on drop ...
+//! }
+//! assert_eq!(spans.recent().len(), 2);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed span, as exported by [`Spans::recent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Collector-unique span id (issue order).
+    pub id: u64,
+    /// The enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Static span name, e.g. `"request"`, `"shard.queue_wait"`.
+    pub name: &'static str,
+    /// Seconds from the collector's creation to span entry (monotonic).
+    pub start_s: f64,
+    /// Span duration in seconds.
+    pub dur_s: f64,
+}
+
+struct Ring {
+    zero: Instant,
+    next_id: AtomicU64,
+    capacity: usize,
+    buf: Mutex<VecDeque<SpanRecord>>,
+}
+
+/// A cheaply clonable span collector handle; clones share the ring.
+///
+/// The [`disabled`](Spans::disabled) handle (also the `Default`) makes
+/// every operation a no-op without reading the clock.
+#[derive(Clone, Default)]
+pub struct Spans {
+    ring: Option<Arc<Ring>>,
+}
+
+impl Spans {
+    /// A collector keeping the most recent `capacity` spans (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Spans {
+            ring: Some(Arc::new(Ring {
+                zero: Instant::now(),
+                next_id: AtomicU64::new(0),
+                capacity: capacity.max(1),
+                buf: Mutex::new(VecDeque::new()),
+            })),
+        }
+    }
+
+    /// The no-op handle: guards carry no state and never read the clock.
+    pub fn disabled() -> Self {
+        Spans::default()
+    }
+
+    /// Whether spans are being collected.
+    pub fn enabled(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Open a span; it records itself into the ring when dropped (or via
+    /// [`Span::exit`]). `parent` is usually the enclosing guard's
+    /// [`Span::id`].
+    pub fn enter(&self, name: &'static str, parent: Option<u64>) -> Span {
+        match &self.ring {
+            None => Span { ring: None, id: 0, parent: None, name, start: None },
+            Some(ring) => {
+                let id = ring.next_id.fetch_add(1, Ordering::Relaxed);
+                Span { ring: Some(Arc::clone(ring)), id, parent, name, start: Some(Instant::now()) }
+            }
+        }
+    }
+
+    /// The most recent spans, oldest first (at most `capacity`).
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        match &self.ring {
+            None => Vec::new(),
+            Some(ring) => {
+                let buf = ring.buf.lock().unwrap_or_else(|e| e.into_inner());
+                buf.iter().cloned().collect()
+            }
+        }
+    }
+
+    /// Total spans entered since creation (including evicted ones).
+    pub fn entered(&self) -> u64 {
+        self.ring.as_ref().map_or(0, |r| r.next_id.load(Ordering::Relaxed))
+    }
+
+    /// Monotonic seconds since the collector was created (0 if disabled).
+    pub fn uptime_s(&self) -> f64 {
+        self.ring.as_ref().map_or(0.0, |r| r.zero.elapsed().as_secs_f64())
+    }
+}
+
+impl std::fmt::Debug for Spans {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.ring {
+            None => f.write_str("Spans(disabled)"),
+            Some(r) => f
+                .debug_struct("Spans")
+                .field("capacity", &r.capacity)
+                .field("entered", &self.entered())
+                .finish(),
+        }
+    }
+}
+
+/// An open span. Records on drop; hold it across the spanned work. The
+/// guard is `Send`, so a span may be opened on one thread and closed on
+/// another (e.g. a queue-wait span travelling with a job).
+#[must_use = "a Span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    ring: Option<Arc<Ring>>,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// This span's id, for parenting children (`None` when disabled).
+    pub fn id(&self) -> Option<u64> {
+        self.ring.as_ref().map(|_| self.id)
+    }
+
+    /// Close the span now instead of at scope end.
+    pub fn exit(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let (Some(ring), Some(start)) = (&self.ring, self.start) else { return };
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_s: start.duration_since(ring.zero).as_secs_f64(),
+            dur_s: start.elapsed().as_secs_f64(),
+        };
+        let mut buf = ring.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() == ring.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_parent_links_and_timing() {
+        let spans = Spans::with_capacity(8);
+        let root = spans.enter("request", None);
+        let root_id = root.id().unwrap();
+        {
+            let child = spans.enter("decode", root.id());
+            assert_eq!(child.parent, Some(root_id));
+        }
+        root.exit();
+        let recent = spans.recent();
+        assert_eq!(recent.len(), 2);
+        // Children drop first, so the child record precedes the root's.
+        assert_eq!(recent[0].name, "decode");
+        assert_eq!(recent[0].parent, Some(root_id));
+        assert_eq!(recent[1].name, "request");
+        assert!(recent[1].dur_s >= recent[0].dur_s);
+        assert!(recent.iter().all(|r| r.start_s >= 0.0 && r.dur_s >= 0.0));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let spans = Spans::with_capacity(3);
+        for _ in 0..10 {
+            spans.enter("tick", None).exit();
+        }
+        let recent = spans.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(spans.entered(), 10);
+        // Ids are issued in order; the survivors are the last three.
+        assert_eq!(recent.iter().map(|r| r.id).collect::<Vec<_>>(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn disabled_spans_do_nothing_and_skip_the_clock() {
+        let spans = Spans::disabled();
+        assert!(!spans.enabled());
+        let guard = spans.enter("request", None);
+        assert!(guard.id().is_none());
+        assert!(guard.start.is_none(), "disabled guard must not read the clock");
+        drop(guard);
+        assert!(spans.recent().is_empty());
+        assert_eq!(spans.entered(), 0);
+    }
+
+    #[test]
+    fn span_can_cross_threads() {
+        let spans = Spans::with_capacity(4);
+        let guard = spans.enter("queue_wait", None);
+        std::thread::spawn(move || drop(guard)).join().unwrap();
+        assert_eq!(spans.recent().len(), 1);
+        assert_eq!(spans.recent()[0].name, "queue_wait");
+    }
+}

@@ -1,0 +1,72 @@
+//! Golden test pinning the Prometheus text exposition format.
+//!
+//! `GET /metrics` on a live `adaphet-serve` returns exactly this layout;
+//! scrapers parse it, so `# HELP`/`# TYPE` lines, name mangling, label
+//! spelling and float formatting are a contract. Floats use Rust's
+//! shortest round-trip `Display` form, which makes the exposition
+//! deterministic for given inputs.
+
+use adaphet_metrics::{HistogramSnapshot, MetricsReport, Recorder};
+
+#[test]
+fn golden_prometheus_exposition() {
+    let report = MetricsReport {
+        monotonic_s: 3.5,
+        counters: vec![("service.request".into(), 120.0), ("service.session.created".into(), 8.0)],
+        gauges: vec![("service.in_flight".into(), 2.0), ("service.sessions.live".into(), 3.0)],
+        histograms: vec![(
+            "service.verb.get_proposal_s".into(),
+            HistogramSnapshot {
+                bounds: vec![0.001, 0.01, 0.1],
+                counts: vec![5, 3, 0, 1],
+                count: 9,
+                sum: 0.25,
+            },
+        )],
+        iterations: Vec::new(),
+    };
+    assert_eq!(
+        report.to_prometheus(),
+        "\
+# HELP adaphet_snapshot_monotonic_seconds adaphet gauge 'monotonic_s'
+# TYPE adaphet_snapshot_monotonic_seconds gauge
+adaphet_snapshot_monotonic_seconds 3.5
+# HELP adaphet_service_request_total adaphet counter 'service.request'
+# TYPE adaphet_service_request_total counter
+adaphet_service_request_total 120
+# HELP adaphet_service_session_created_total adaphet counter 'service.session.created'
+# TYPE adaphet_service_session_created_total counter
+adaphet_service_session_created_total 8
+# HELP adaphet_service_in_flight adaphet gauge 'service.in_flight'
+# TYPE adaphet_service_in_flight gauge
+adaphet_service_in_flight 2
+# HELP adaphet_service_sessions_live adaphet gauge 'service.sessions.live'
+# TYPE adaphet_service_sessions_live gauge
+adaphet_service_sessions_live 3
+# HELP adaphet_service_verb_get_proposal_seconds adaphet histogram 'service.verb.get_proposal_s'
+# TYPE adaphet_service_verb_get_proposal_seconds histogram
+adaphet_service_verb_get_proposal_seconds_bucket{le=\"0.001\"} 5
+adaphet_service_verb_get_proposal_seconds_bucket{le=\"0.01\"} 8
+adaphet_service_verb_get_proposal_seconds_bucket{le=\"0.1\"} 8
+adaphet_service_verb_get_proposal_seconds_bucket{le=\"+Inf\"} 9
+adaphet_service_verb_get_proposal_seconds_sum 0.25
+adaphet_service_verb_get_proposal_seconds_count 9
+"
+    );
+}
+
+#[test]
+fn registry_snapshot_round_trips_through_the_exposition() {
+    let r = adaphet_metrics::Registry::new();
+    r.add("service.request", 3.0);
+    r.observe("service.verb.ping_s", 0.0005);
+    r.observe("service.verb.ping_s", 0.05);
+    let p = r.snapshot().to_prometheus();
+    assert!(p.contains("adaphet_service_request_total 3\n"), "{p}");
+    assert!(p.contains("adaphet_service_verb_ping_seconds_count 2\n"), "{p}");
+    // The log-spaced registry buckets surface as cumulative `le` series.
+    assert!(p.contains("adaphet_service_verb_ping_seconds_bucket{le=\"0.001\"} 1\n"), "{p}");
+    assert!(p.contains("adaphet_service_verb_ping_seconds_bucket{le=\"+Inf\"} 2\n"), "{p}");
+    // Non-finite sample sums would still be valid exposition (`NaN`).
+    assert!(p.contains("# TYPE adaphet_service_verb_ping_seconds histogram"), "{p}");
+}

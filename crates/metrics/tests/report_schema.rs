@@ -10,8 +10,9 @@ use adaphet_metrics::{
 
 #[test]
 fn golden_metrics_report_json() {
-    assert_eq!(METRICS_SCHEMA_VERSION, 1, "bump the golden string with the schema version");
+    assert_eq!(METRICS_SCHEMA_VERSION, 2, "bump the golden string with the schema version");
     let report = MetricsReport {
+        monotonic_s: 12.25,
         counters: vec![("eval.cache.hits".into(), 3.0), ("sim.tasks_executed".into(), 42.0)],
         gauges: vec![("app.nt".into(), 10.0)],
         histograms: vec![(
@@ -33,7 +34,8 @@ fn golden_metrics_report_json() {
     };
     assert_eq!(
         report.to_json(),
-        "{\"version\":1,\
+        "{\"version\":2,\
+         \"monotonic_s\":12.25,\
          \"counters\":{\"eval.cache.hits\":3,\"sim.tasks_executed\":42},\
          \"gauges\":{\"app.nt\":10},\
          \"histograms\":{\"gp.model.fit_s\":{\"bounds\":[0.001,1],\"counts\":[2,1,0],\"count\":3,\"sum\":0.5}},\
@@ -47,6 +49,6 @@ fn golden_metrics_report_json() {
 fn golden_empty_report_json() {
     assert_eq!(
         MetricsReport::default().to_json(),
-        "{\"version\":1,\"counters\":{},\"gauges\":{},\"histograms\":{},\"iterations\":[]}"
+        "{\"version\":2,\"monotonic_s\":0,\"counters\":{},\"gauges\":{},\"histograms\":{},\"iterations\":[]}"
     );
 }

@@ -4,28 +4,36 @@
 //! ```text
 //! adaphet-serve --uds /tmp/adaphet.sock [--workers 4] [--idle-timeout 600]
 //!               [--telemetry-dir DIR] [--max-in-flight 8] [--metrics]
+//!               [--metrics-addr 127.0.0.1:9601]
 //! adaphet-serve --tcp 127.0.0.1:7601 [...]
 //! ```
+//!
+//! `--metrics-addr` starts a sidecar HTTP listener answering
+//! `GET /metrics` with the Prometheus text exposition of the daemon's
+//! always-on observability plane (no `--metrics` needed; that flag
+//! controls the end-of-run table on stdout).
 
-use adaphet_service::{Endpoint, Server, ServiceConfig, SessionManager};
+use adaphet_service::{Endpoint, MetricsServer, Server, ServiceConfig, SessionManager};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: adaphet-serve (--uds PATH | --tcp ADDR) \
                      [--workers N] [--idle-timeout SECS] [--telemetry-dir DIR] \
-                     [--max-in-flight N] [--metrics]";
+                     [--max-in-flight N] [--metrics] [--metrics-addr ADDR]";
 
 struct ServeArgs {
     endpoint: Endpoint,
     config: ServiceConfig,
     metrics: bool,
+    metrics_addr: Option<String>,
 }
 
 fn parse(argv: &[String]) -> Result<ServeArgs, String> {
     let mut endpoint: Option<Endpoint> = None;
     let mut config = ServiceConfig::default();
     let mut metrics = false;
+    let mut metrics_addr = None;
     let mut it = argv.iter();
     let value = |flag: &str, v: Option<&String>| -> Result<String, String> {
         v.cloned().ok_or_else(|| format!("{flag} needs a value"))
@@ -56,12 +64,13 @@ fn parse(argv: &[String]) -> Result<ServeArgs, String> {
                     .map_err(|_| "--max-in-flight needs a positive integer".to_string())?;
             }
             "--metrics" => metrics = true,
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr", it.next())?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     let endpoint = endpoint.ok_or("one of --uds or --tcp is required")?;
-    Ok(ServeArgs { endpoint, config, metrics })
+    Ok(ServeArgs { endpoint, config, metrics, metrics_addr })
 }
 
 fn main() {
@@ -92,10 +101,23 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let metrics_server = args.metrics_addr.as_deref().map(|addr| {
+        match MetricsServer::bind(addr, Arc::clone(&manager)) {
+            Ok(ms) => ms,
+            Err(e) => {
+                eprintln!("adaphet-serve: metrics bind failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+    if let Some(ms) = &metrics_server {
+        println!("adaphet-serve metrics on http://{}/metrics", ms.addr());
+    }
     // The readiness line: scripts wait for it before connecting.
     println!("adaphet-serve listening on {}", server.endpoint());
     server.wait();
     eprintln!("adaphet-serve: draining");
+    drop(metrics_server);
     drop(server);
     drop(manager); // last owner: runs the graceful worker shutdown
     if let Some(registry) = registry {

@@ -3,7 +3,9 @@
 //! to drive a remote tuning session from Rust without hand-rolling
 //! frames.
 
-use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response, SessionSpec};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Request, Response, SessionEvent, SessionSpec, StatsSnapshot,
+};
 use adaphet_analysis::Json;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -64,6 +66,30 @@ pub enum Submitted {
         /// 1-based retry attempt count.
         attempt: usize,
     },
+}
+
+/// What [`Client::ping`] learned about the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PongInfo {
+    /// Daemon crate version (empty when talking to a pre-stats daemon).
+    pub version: String,
+    /// Monotonic seconds since the daemon's manager started.
+    pub uptime_s: f64,
+}
+
+/// One session's live state, as answered to [`Client::inspect`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InspectedSession {
+    /// Strategy, by canonical registry name.
+    pub strategy: String,
+    /// Iterations proposed so far.
+    pub iterations: usize,
+    /// Sum of all recorded durations so far.
+    pub cumulative_time: f64,
+    /// Open ledger entries as `(ticket, action)`, in issue order.
+    pub pending: Vec<(u64, usize)>,
+    /// Recent lifecycle events, oldest first.
+    pub events: Vec<SessionEvent>,
 }
 
 /// The final state of a closed session.
@@ -175,11 +201,29 @@ impl<S: Read + Write> Client<S> {
         }
     }
 
-    /// Liveness probe.
-    pub fn ping(&mut self) -> Result<(), ClientError> {
+    /// Liveness probe; the reply identifies the daemon.
+    pub fn ping(&mut self) -> Result<PongInfo, ClientError> {
         match self.request(&Request::Ping)? {
-            Response::Pong => Ok(()),
+            Response::Pong { version, uptime_s } => Ok(PongInfo { version, uptime_s }),
             other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Fetch the service-wide observability snapshot.
+    pub fn get_stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.request(&Request::GetStats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Fetch one session's live state and recent lifecycle events.
+    pub fn inspect(&mut self, session: u64) -> Result<InspectedSession, ClientError> {
+        match self.request(&Request::Inspect { session })? {
+            Response::Inspected {
+                strategy, iterations, cumulative_time, pending, events, ..
+            } => Ok(InspectedSession { strategy, iterations, cumulative_time, pending, events }),
+            other => Err(unexpected("inspected", &other)),
         }
     }
 

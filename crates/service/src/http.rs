@@ -1,0 +1,173 @@
+//! A minimal HTTP/1.1 listener answering `GET /metrics` with the
+//! Prometheus text exposition of the manager's [`ServiceStats`].
+//!
+//! This is deliberately not a web framework: one accept loop, one
+//! short-lived thread per connection, `Connection: close` on every
+//! response. The only routes are `GET /metrics` (the exposition) and
+//! `GET /` (a one-line pointer to it); everything else is a 404 and
+//! non-GET methods are a 405. Request bodies are never read — the
+//! request line and headers are consumed up to the blank line and the
+//! rest is ignored, which is exactly what a scraper sends anyway.
+
+use crate::manager::SessionManager;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running `/metrics` listener. Dropping it stops the accept loop.
+pub struct MetricsServer {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9601`, or `…:0` for an OS-assigned
+    /// port readable back from [`addr`](Self::addr)) and start serving
+    /// the manager's exposition.
+    pub fn bind(addr: &str, manager: Arc<SessionManager>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?.to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            Some(std::thread::spawn(move || accept_loop(listener, manager, stop)))
+        };
+        Ok(MetricsServer { addr, stop, accept_thread })
+    }
+
+    /// The resolved listen address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // accept() has no timeout; wake it with a throwaway connection.
+        drop(TcpStream::connect(&self.addr));
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, manager: Arc<SessionManager>, stop: Arc<AtomicBool>) {
+    loop {
+        let conn = listener.accept();
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok((stream, _)) = conn else { continue };
+        let manager = Arc::clone(&manager);
+        std::thread::spawn(move || {
+            let _ = serve_scrape(stream, &manager);
+        });
+    }
+}
+
+/// Read one request head and answer it; always closes the connection.
+fn serve_scrape(stream: TcpStream, manager: &SessionManager) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers up to the blank line so well-behaved clients don't
+    // see a reset before the response.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain; charset=utf-8", "only GET is supported\n".into())
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                // The exposition format 0.0.4 content type scrapers expect.
+                "text/plain; version=0.0.4; charset=utf-8",
+                manager.stats().report(manager.is_draining()).to_prometheus(),
+            ),
+            "/" => ("200 OK", "text/plain; charset=utf-8", "adaphet-serve: see /metrics\n".into()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "unknown path; try /metrics\n".into(),
+            ),
+        }
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::ServiceConfig;
+    use crate::protocol::Request;
+    use std::io::Read;
+
+    fn get(addr: &str, path: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_the_exposition() {
+        let manager = Arc::new(SessionManager::new(ServiceConfig {
+            idle_timeout: None,
+            ..ServiceConfig::default()
+        }));
+        // Give the plane something to expose.
+        let _ = manager.handle(Request::Ping);
+        let mut server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+
+        let response = get(server.addr(), "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+        assert!(response.contains("# TYPE adaphet_service_request_total counter"), "{response}");
+        assert!(response.contains("adaphet_service_verb_ping_seconds_count 1"), "{response}");
+        assert!(response.contains("adaphet_service_sessions_live 0"), "{response}");
+
+        let root = get(server.addr(), "/");
+        assert!(root.starts_with("HTTP/1.1 200 OK\r\n"), "{root}");
+        let missing = get(server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let manager = Arc::new(SessionManager::new(ServiceConfig {
+            idle_timeout: None,
+            ..ServiceConfig::default()
+        }));
+        let mut server = MetricsServer::bind("127.0.0.1:0", manager).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        write!(conn, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        server.stop();
+    }
+}

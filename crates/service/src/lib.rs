@@ -28,6 +28,18 @@
 //! Idle sessions are evicted after [`ServiceConfig::idle_timeout`];
 //! shutdown drains in-flight work before the workers exit.
 //!
+//! # Observability plane
+//!
+//! The daemon watches itself: [`ServiceStats`] keeps an always-on
+//! registry of `service.*` counters, per-verb latency histograms
+//! (surfaced as p50/p95/p99), per-shard queue-depth gauges and a ring of
+//! recent request-lifecycle spans; each session carries a bounded
+//! [`EventRing`] of its recent lifecycle events. The `get_stats` and
+//! `inspect` verbs expose all of that over the ordinary wire protocol,
+//! [`MetricsServer`] serves the Prometheus text exposition on
+//! `GET /metrics`, and the `adaphet-top` binary renders it as a live
+//! terminal dashboard.
+//!
 //! ```no_run
 //! use adaphet_core::StrategyKind;
 //! use adaphet_service::{Client, SessionSpec};
@@ -46,11 +58,19 @@
 //! ```
 
 pub mod client;
+pub mod http;
 pub mod manager;
 pub mod protocol;
 pub mod server;
+pub mod stats;
+pub mod top;
 
-pub use client::{Client, ClientError, ClosedSession, Submitted};
+pub use client::{Client, ClientError, ClosedSession, InspectedSession, PongInfo, Submitted};
+pub use http::MetricsServer;
 pub use manager::{ServiceConfig, SessionManager};
-pub use protocol::{ErrorCode, Request, Response, SessionSpec, MAX_FRAME};
+pub use protocol::{
+    ErrorCode, Request, Response, SessionEvent, SessionSpec, ShardStats, StatsSnapshot, VerbStats,
+    MAX_FRAME,
+};
 pub use server::{Endpoint, Server};
+pub use stats::{EventRing, ServiceStats};

@@ -24,14 +24,16 @@
 //! before the workers flush remaining sessions and exit.
 
 use crate::protocol::{posterior_response, ErrorCode, Request, Response, SessionSpec};
+use crate::stats::{EventRing, ServiceStats};
 use adaphet_core::{
     JsonlSink, Observation, Observed, ResiliencePolicy, Session, SessionError, Ticket, TunerDriver,
 };
+use adaphet_metrics::Span;
 use crossbeam::channel::{unbounded, Sender};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -48,6 +50,8 @@ pub struct ServiceConfig {
     /// When set, every session writes its telemetry to
     /// `<dir>/session-<id>.jsonl`.
     pub telemetry_dir: Option<PathBuf>,
+    /// Lifecycle events retained per session for `Inspect`.
+    pub events_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -57,14 +61,24 @@ impl Default for ServiceConfig {
             default_max_in_flight: 8,
             idle_timeout: Some(Duration::from_secs(600)),
             telemetry_dir: None,
+            events_capacity: 64,
         }
     }
 }
 
+/// Queue-crossing observability baggage for one routed job: the
+/// queue-wait span guard travels with the job (a [`Span`] is `Send`) and
+/// drops — recording the wait — the moment the worker dequeues it.
+struct Trace {
+    shard: usize,
+    parent: Option<u64>,
+    queue_span: Span,
+}
+
 /// One unit of work for a shard worker.
 enum Job {
-    Create { id: u64, spec: SessionSpec, reply: mpsc::Sender<Response> },
-    Session { request: Request, session: u64, reply: mpsc::Sender<Response> },
+    Create { id: u64, spec: SessionSpec, reply: mpsc::Sender<Response>, trace: Trace },
+    Session { request: Request, session: u64, reply: mpsc::Sender<Response>, trace: Trace },
     Sweep { reply: Option<mpsc::Sender<Response>> },
     Stop,
 }
@@ -72,6 +86,10 @@ enum Job {
 struct Entry {
     session: Session,
     last_touch: Instant,
+    /// Strategy by canonical name, echoed by `Inspect`.
+    strategy: String,
+    /// Recent lifecycle events, for `Inspect`.
+    events: EventRing,
 }
 
 /// The shared multi-tenant session registry. Cheap to share behind an
@@ -82,11 +100,29 @@ pub struct SessionManager {
     ticker: Option<(mpsc::Sender<()>, JoinHandle<()>)>,
     next_id: AtomicU64,
     draining: AtomicBool,
+    stats: Arc<ServiceStats>,
 }
 
+// Error responses are counted centrally in `handle_traced`, which every
+// path returns through — `err` only shapes the reply.
 fn err(code: ErrorCode, message: impl Into<String>) -> Response {
-    adaphet_metrics::global().add("service.error", 1.0);
     Response::Error { code, message: message.into() }
+}
+
+/// The stable verb name of a request, as spelled on the wire — keys the
+/// per-verb latency histograms (`service.verb.<name>_s`).
+fn verb_name(request: &Request) -> &'static str {
+    match request {
+        Request::CreateSession(_) => "create_session",
+        Request::GetProposal { .. } => "get_proposal",
+        Request::SubmitObservation { .. } => "submit_observation",
+        Request::GetPosterior { .. } => "get_posterior",
+        Request::CloseSession { .. } => "close_session",
+        Request::GetStats => "get_stats",
+        Request::Inspect { .. } => "inspect",
+        Request::Ping => "ping",
+        Request::Shutdown => "shutdown",
+    }
 }
 
 fn session_err(id: u64, e: SessionError) -> Response {
@@ -125,20 +161,25 @@ fn build_session(spec: &SessionSpec, default_max_in_flight: usize) -> Result<Ses
 }
 
 /// Flush a session's sinks and drop it, abandoning open tickets.
-fn retire(mut entry: Entry) {
+fn retire(mut entry: Entry, stats: &ServiceStats) {
     for ticket in entry.session.pending_tickets() {
-        let _ = entry.session.abandon(ticket);
+        if entry.session.abandon(ticket).is_ok() {
+            stats.in_flight_add(-1);
+        }
     }
     if entry.session.finish().is_err() {
-        adaphet_metrics::global().add("service.sink_error", 1.0);
+        stats.count("service.sink_error", 1.0);
     }
 }
 
 fn worker_loop(
+    shard: usize,
     rx: crossbeam::channel::Receiver<Job>,
     idle_timeout: Option<Duration>,
     telemetry_dir: Option<PathBuf>,
     default_max_in_flight: usize,
+    events_capacity: usize,
+    stats: Arc<ServiceStats>,
 ) {
     let mut sessions: HashMap<u64, Entry> = HashMap::new();
     while let Ok(job) = rx.recv() {
@@ -154,47 +195,69 @@ fn worker_loop(
                         .collect();
                     for id in stale {
                         if let Some(entry) = sessions.remove(&id) {
-                            retire(entry);
-                            adaphet_metrics::global().add("service.session.evicted", 1.0);
+                            retire(entry, &stats);
+                            stats.count("service.session.evicted", 1.0);
                         }
                     }
+                    stats.set_shard_sessions(shard, sessions.len() as u64);
                 }
                 if let Some(reply) = reply {
-                    let _ = reply.send(Response::Pong);
+                    let _ = reply.send(Response::Pong { version: String::new(), uptime_s: 0.0 });
                 }
             }
-            Job::Create { id, spec, reply } => {
+            Job::Create { id, spec, reply, trace } => {
+                // Dequeued: the queue-wait span records itself now.
+                drop(trace.queue_span);
+                stats.queue_pop(trace.shard);
                 let response = match build_session(&spec, default_max_in_flight) {
                     Err(message) => err(ErrorCode::BadRequest, message),
                     Ok(mut session) => {
                         if let Some(dir) = &telemetry_dir {
                             match JsonlSink::create(dir.join(format!("session-{id}.jsonl"))) {
                                 Ok(sink) => session.add_sink(Box::new(sink)),
-                                Err(_) => adaphet_metrics::global().add("service.sink_error", 1.0),
+                                Err(_) => stats.count("service.sink_error", 1.0),
                             }
                         }
-                        sessions.insert(id, Entry { session, last_touch: Instant::now() });
-                        adaphet_metrics::global().add("service.session.created", 1.0);
+                        let mut events = EventRing::new(events_capacity);
+                        events.push(stats.uptime_s(), "created", None, None, None, None);
+                        sessions.insert(
+                            id,
+                            Entry {
+                                session,
+                                last_touch: Instant::now(),
+                                strategy: spec.strategy.to_string(),
+                                events,
+                            },
+                        );
+                        stats.count("service.session.created", 1.0);
+                        stats.set_shard_sessions(shard, sessions.len() as u64);
                         Response::SessionCreated { session: id }
                     }
                 };
                 let _ = reply.send(response);
             }
-            Job::Session { request, session: id, reply } => {
+            Job::Session { request, session: id, reply, trace } => {
+                drop(trace.queue_span);
+                stats.queue_pop(trace.shard);
                 let response = match sessions.get_mut(&id) {
                     None => {
                         err(ErrorCode::UnknownSession, format!("session {id} is not registered"))
                     }
                     Some(entry) => {
-                        entry.last_touch = Instant::now();
-                        answer(id, &mut entry.session, &request)
+                        // Inspect is a read-only observer; it must not
+                        // keep an otherwise-idle session alive.
+                        if !matches!(request, Request::Inspect { .. }) {
+                            entry.last_touch = Instant::now();
+                        }
+                        answer(id, entry, &request, &stats, trace.parent)
                     }
                 };
                 // CloseSession retires the entry after answering from it.
                 if matches!(request, Request::CloseSession { .. }) {
                     if let Some(entry) = sessions.remove(&id) {
-                        retire(entry);
-                        adaphet_metrics::global().add("service.session.closed", 1.0);
+                        retire(entry, &stats);
+                        stats.count("service.session.closed", 1.0);
+                        stats.set_shard_sessions(shard, sessions.len() as u64);
                     }
                 }
                 let _ = reply.send(response);
@@ -203,29 +266,68 @@ fn worker_loop(
     }
     // Drain: flush whatever is still registered before the thread exits.
     for (_, entry) in sessions.drain() {
-        retire(entry);
+        retire(entry, &stats);
+        stats.count("service.session.drained", 1.0);
     }
+    stats.set_shard_sessions(shard, 0);
 }
 
-/// Answer one session-routed request against its live session.
-fn answer(id: u64, session: &mut Session, request: &Request) -> Response {
+/// Answer one session-routed request against its live session, recording
+/// the session's lifecycle events and the propose/observe spans.
+fn answer(
+    id: u64,
+    entry: &mut Entry,
+    request: &Request,
+    stats: &ServiceStats,
+    parent: Option<u64>,
+) -> Response {
+    let session = &mut entry.session;
     match request {
-        Request::GetProposal { .. } => match session.propose() {
-            Ok(p) => {
-                adaphet_metrics::global().add("service.proposal", 1.0);
-                Response::Proposal {
-                    session: id,
-                    ticket: p.ticket.id(),
-                    iteration: p.iteration,
-                    action: p.action,
+        Request::GetProposal { .. } => {
+            let span = stats.spans().enter("session.propose", parent);
+            let proposed = session.propose();
+            span.exit();
+            match proposed {
+                Ok(p) => {
+                    stats.count("service.proposal", 1.0);
+                    stats.in_flight_add(1);
+                    entry.events.push(
+                        stats.uptime_s(),
+                        "propose",
+                        Some(p.ticket.id()),
+                        Some(p.action),
+                        Some(p.iteration),
+                        None,
+                    );
+                    Response::Proposal {
+                        session: id,
+                        ticket: p.ticket.id(),
+                        iteration: p.iteration,
+                        action: p.action,
+                    }
+                }
+                Err(e) => {
+                    entry.events.push(stats.uptime_s(), "error", None, None, None, None);
+                    session_err(id, e)
                 }
             }
-            Err(e) => session_err(id, e),
-        },
+        }
         Request::SubmitObservation { ticket, duration, .. } => {
-            match session.observe(Ticket::from_id(*ticket), Observation::of(*duration)) {
+            let span = stats.spans().enter("session.observe", parent);
+            let observed = session.observe(Ticket::from_id(*ticket), Observation::of(*duration));
+            span.exit();
+            match observed {
                 Ok(Observed::Recorded(out)) => {
-                    adaphet_metrics::global().add("service.observation", 1.0);
+                    stats.count("service.observation", 1.0);
+                    stats.in_flight_add(-1);
+                    entry.events.push(
+                        stats.uptime_s(),
+                        "recorded",
+                        Some(*ticket),
+                        Some(out.action),
+                        Some(out.iteration),
+                        Some(out.duration),
+                    );
                     Response::Recorded {
                         session: id,
                         iteration: out.iteration,
@@ -235,12 +337,32 @@ fn answer(id: u64, session: &mut Session, request: &Request) -> Response {
                     }
                 }
                 Ok(Observed::Retry { ticket, action, attempt }) => {
+                    stats.count("service.retry", 1.0);
+                    entry.events.push(
+                        stats.uptime_s(),
+                        "retry",
+                        Some(ticket.id()),
+                        Some(action),
+                        None,
+                        Some(*duration),
+                    );
                     Response::Retry { session: id, ticket: ticket.id(), action, attempt }
                 }
-                Err(e) => session_err(id, e),
+                Err(e) => {
+                    entry.events.push(stats.uptime_s(), "error", Some(*ticket), None, None, None);
+                    session_err(id, e)
+                }
             }
         }
         Request::GetPosterior { .. } => posterior_response(id, session.posterior()),
+        Request::Inspect { .. } => Response::Inspected {
+            session: id,
+            strategy: entry.strategy.clone(),
+            iterations: session.iterations_proposed(),
+            cumulative_time: session.cumulative_time(),
+            pending: session.pending().iter().map(|&(t, a)| (t.id(), a)).collect(),
+            events: entry.events.events(),
+        },
         Request::CloseSession { .. } => Response::Closed {
             session: id,
             iterations: session.iterations_proposed(),
@@ -248,7 +370,7 @@ fn answer(id: u64, session: &mut Session, request: &Request) -> Response {
             best_action: session.history().best_action(),
             history: session.history().records().to_vec(),
         },
-        // Routed requests are exactly the four above; `route` never sends
+        // Routed requests are exactly the five above; `route` never sends
         // anything else.
         _ => err(ErrorCode::Internal, "request routed to a session worker by mistake"),
     }
@@ -259,15 +381,20 @@ impl SessionManager {
     /// idle timeout is configured).
     pub fn new(config: ServiceConfig) -> Self {
         let workers = config.workers.max(1);
+        let stats = Arc::new(ServiceStats::new(workers));
         let mut shards = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for shard in 0..workers {
             let (tx, rx) = unbounded::<Job>();
             let idle = config.idle_timeout;
             let dir = config.telemetry_dir.clone();
             let cap = config.default_max_in_flight.max(1);
+            let events = config.events_capacity;
+            let stats = Arc::clone(&stats);
             shards.push(tx);
-            handles.push(std::thread::spawn(move || worker_loop(rx, idle, dir, cap)));
+            handles.push(std::thread::spawn(move || {
+                worker_loop(shard, rx, idle, dir, cap, events, stats)
+            }));
         }
         let ticker = config.idle_timeout.map(|timeout| {
             let tick = (timeout / 4).clamp(Duration::from_millis(50), Duration::from_secs(30));
@@ -288,6 +415,7 @@ impl SessionManager {
             ticker,
             next_id: AtomicU64::new(1),
             draining: AtomicBool::new(false),
+            stats,
         }
     }
 
@@ -296,13 +424,50 @@ impl SessionManager {
         self.draining.load(Ordering::SeqCst)
     }
 
+    /// The manager's observability state (always collecting).
+    pub fn stats(&self) -> &Arc<ServiceStats> {
+        &self.stats
+    }
+
+    /// The service-wide snapshot answered to [`Request::GetStats`].
+    pub fn stats_snapshot(&self) -> crate::protocol::StatsSnapshot {
+        self.stats.snapshot(env!("CARGO_PKG_VERSION"), self.is_draining())
+    }
+
     /// Route one request and block for its answer. This is the entire
     /// service semantics; the wire server and the in-process client are
     /// both thin shells around it.
     pub fn handle(&self, request: Request) -> Response {
-        adaphet_metrics::global().add("service.request", 1.0);
+        self.handle_traced(request, None)
+    }
+
+    /// [`handle`](Self::handle) with an explicit parent span id, so the
+    /// wire server's per-request root span encloses the dispatch,
+    /// queue-wait and session spans.
+    pub fn handle_traced(&self, request: Request, parent: Option<u64>) -> Response {
+        let verb = verb_name(&request);
+        self.stats.count("service.request", 1.0);
+        let span = self.stats.spans().enter("dispatch", parent);
+        let span_id = span.id();
+        let start = Instant::now();
+        let response = self.dispatch(request, span_id);
+        span.exit();
+        self.stats.observe(&format!("service.verb.{verb}_s"), start.elapsed().as_secs_f64());
+        if matches!(response, Response::Error { .. }) {
+            self.stats.count("service.error", 1.0);
+        }
+        response
+    }
+
+    fn dispatch(&self, request: Request, parent: Option<u64>) -> Response {
         match request {
-            Request::Ping => Response::Pong,
+            Request::Ping => Response::Pong {
+                version: env!("CARGO_PKG_VERSION").to_string(),
+                uptime_s: self.stats.uptime_s(),
+            },
+            // Answered inline so the snapshot works mid-drain — watching
+            // a drain finish is half the point of the endpoint.
+            Request::GetStats => Response::Stats(self.stats_snapshot()),
             Request::Shutdown => {
                 self.draining.store(true, Ordering::SeqCst);
                 Response::ShuttingDown
@@ -317,7 +482,7 @@ impl SessionManager {
                     return err(ErrorCode::BadRequest, message);
                 }
                 let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-                self.route(id, |reply| Job::Create { id, spec, reply })
+                self.route(id, parent, |reply, trace| Job::Create { id, spec, reply, trace })
             }
             // Draining still resolves open tickets, but issues no new
             // proposals.
@@ -327,9 +492,10 @@ impl SessionManager {
             Request::GetProposal { session }
             | Request::SubmitObservation { session, .. }
             | Request::GetPosterior { session }
-            | Request::CloseSession { session } => {
-                self.route(session, |reply| Job::Session { request, session, reply })
-            }
+            | Request::Inspect { session }
+            | Request::CloseSession { session } => self.route(session, parent, |reply, trace| {
+                Job::Session { request, session, reply, trace }
+            }),
         }
     }
 
@@ -351,10 +517,23 @@ impl SessionManager {
         }
     }
 
-    fn route(&self, id: u64, job: impl FnOnce(mpsc::Sender<Response>) -> Job) -> Response {
+    fn route(
+        &self,
+        id: u64,
+        parent: Option<u64>,
+        job: impl FnOnce(mpsc::Sender<Response>, Trace) -> Job,
+    ) -> Response {
         let shard = (id % self.shards.len() as u64) as usize;
         let (reply_tx, reply_rx) = mpsc::channel();
-        if self.shards[shard].send(job(reply_tx)).is_err() {
+        self.stats.queue_push(shard);
+        let trace = Trace {
+            shard,
+            parent,
+            queue_span: self.stats.spans().enter("shard.queue_wait", parent),
+        };
+        if self.shards[shard].send(job(reply_tx, trace)).is_err() {
+            // The job never entered a live queue; undo its depth tick.
+            self.stats.queue_pop(shard);
             return err(ErrorCode::ShuttingDown, "worker pool is stopped");
         }
         match reply_rx.recv() {

@@ -198,10 +198,101 @@ pub enum Request {
         /// Target session id.
         session: u64,
     },
-    /// Liveness probe.
+    /// Fetch the service-wide observability snapshot (works while
+    /// draining — watching a drain is half the point).
+    GetStats,
+    /// Fetch one session's recent lifecycle events and ledger state.
+    Inspect {
+        /// Target session id.
+        session: u64,
+    },
+    /// Liveness probe; the reply carries daemon version and uptime.
     Ping,
     /// Ask the daemon to stop accepting connections and drain.
     Shutdown,
+}
+
+/// Latency summary of one protocol verb, derived from the service's
+/// log-bucketed latency histograms. Quantiles are bucket-interpolated
+/// estimates in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerbStats {
+    /// Verb name (`"get_proposal"`, `"submit_observation"`, …).
+    pub verb: String,
+    /// Requests answered.
+    pub count: u64,
+    /// Median latency estimate (seconds).
+    pub p50: f64,
+    /// 95th-percentile latency estimate (seconds).
+    pub p95: f64,
+    /// 99th-percentile latency estimate (seconds).
+    pub p99: f64,
+}
+
+/// Live state of one shard worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index (sessions are pinned to `id % workers`).
+    pub shard: usize,
+    /// Sessions currently registered on this shard.
+    pub sessions: u64,
+    /// Jobs sitting in the shard queue right now.
+    pub queue_depth: u64,
+}
+
+/// The service-wide observability snapshot answered to [`Request::GetStats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Daemon crate version.
+    pub version: String,
+    /// Monotonic seconds since the session manager started.
+    pub uptime_s: f64,
+    /// Whether the daemon is draining (refusing new work).
+    pub draining: bool,
+    /// Sessions currently registered.
+    pub sessions_live: u64,
+    /// Sessions created over the daemon's lifetime.
+    pub sessions_created: u64,
+    /// Sessions closed by clients.
+    pub sessions_closed: u64,
+    /// Sessions evicted by the idle sweeper.
+    pub sessions_evicted: u64,
+    /// Sessions flushed by the graceful drain at shutdown.
+    pub sessions_drained: u64,
+    /// Proposal tickets currently open across all sessions.
+    pub in_flight: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests handled (all verbs).
+    pub requests: u64,
+    /// Malformed frames answered with a typed error.
+    pub malformed: u64,
+    /// Error responses issued.
+    pub errors: u64,
+    /// Per-verb latency summaries, verb-name-sorted.
+    pub verbs: Vec<VerbStats>,
+    /// Per-shard queue depth and session count, shard-ordered.
+    pub shards: Vec<ShardStats>,
+}
+
+/// One entry of a session's bounded lifecycle ring, answered to
+/// [`Request::Inspect`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionEvent {
+    /// Monotone per-session sequence number (gaps mean evicted entries).
+    pub seq: u64,
+    /// Seconds since the manager started, at event time.
+    pub t_s: f64,
+    /// Event kind: `created`, `propose`, `recorded`, `retry`, `error`.
+    pub kind: String,
+    /// Ticket involved, if any.
+    pub ticket: Option<u64>,
+    /// Action involved, if any.
+    pub action: Option<usize>,
+    /// Iteration involved, if any.
+    pub iteration: Option<usize>,
+    /// Observed duration, for `recorded` events.
+    pub duration: Option<f64>,
 }
 
 /// Machine-readable error category of an [`Response::Error`].
@@ -324,8 +415,30 @@ pub enum Response {
         /// Full `(action, duration)` history, in iteration order.
         history: Vec<(usize, f64)>,
     },
-    /// Liveness answer.
-    Pong,
+    /// The service-wide observability snapshot.
+    Stats(StatsSnapshot),
+    /// One session's live state and recent lifecycle events.
+    Inspected {
+        /// The inspected session's id.
+        session: u64,
+        /// Strategy, by canonical registry name.
+        strategy: String,
+        /// Iterations proposed so far.
+        iterations: usize,
+        /// Sum of all recorded durations so far.
+        cumulative_time: f64,
+        /// Open ledger entries as `(ticket, action)`, in issue order.
+        pending: Vec<(u64, usize)>,
+        /// Recent lifecycle events, oldest first (bounded ring).
+        events: Vec<SessionEvent>,
+    },
+    /// Liveness answer, carrying the daemon's identity.
+    Pong {
+        /// Daemon crate version (empty when talking to a pre-stats peer).
+        version: String,
+        /// Monotonic seconds since the daemon's manager started.
+        uptime_s: f64,
+    },
     /// The daemon acknowledged a shutdown request and is draining.
     ShuttingDown,
     /// The request failed.
@@ -400,6 +513,10 @@ impl Request {
             }
             Request::CloseSession { session } => {
                 format!("{{\"type\":\"close_session\",\"session\":{session}}}")
+            }
+            Request::GetStats => "{\"type\":\"get_stats\"}".to_string(),
+            Request::Inspect { session } => {
+                format!("{{\"type\":\"inspect\",\"session\":{session}}}")
             }
             Request::Ping => "{\"type\":\"ping\"}".to_string(),
             Request::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
@@ -484,6 +601,8 @@ impl Request {
             },
             "get_posterior" => Request::GetPosterior { session: session(v)? },
             "close_session" => Request::CloseSession { session: session(v)? },
+            "get_stats" => Request::GetStats,
+            "inspect" => Request::Inspect { session: session(v)? },
             "ping" => Request::Ping,
             "shutdown" => Request::Shutdown,
             other => return Err(format!("unknown request type {other:?}")),
@@ -551,7 +670,97 @@ impl Response {
                     jopt_usize(*best_action)
                 )
             }
-            Response::Pong => "{\"type\":\"pong\"}".to_string(),
+            Response::Stats(s) => {
+                let verbs = s
+                    .verbs
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "{{\"verb\":\"{}\",\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                            json_escape(&v.verb),
+                            v.count,
+                            jnum(v.p50),
+                            jnum(v.p95),
+                            jnum(v.p99)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let shards = s
+                    .shards
+                    .iter()
+                    .map(|sh| {
+                        format!(
+                            "{{\"shard\":{},\"sessions\":{},\"queue_depth\":{}}}",
+                            sh.shard, sh.sessions, sh.queue_depth
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "{{\"type\":\"stats\",\"version\":\"{}\",\"uptime_s\":{},\
+                     \"draining\":{},\"sessions\":{{\"live\":{},\"created\":{},\"closed\":{},\
+                     \"evicted\":{},\"drained\":{}}},\"in_flight\":{},\"connections\":{},\
+                     \"requests\":{},\"malformed\":{},\"errors\":{},\"verbs\":[{verbs}],\
+                     \"shards\":[{shards}]}}",
+                    json_escape(&s.version),
+                    jnum(s.uptime_s),
+                    s.draining,
+                    s.sessions_live,
+                    s.sessions_created,
+                    s.sessions_closed,
+                    s.sessions_evicted,
+                    s.sessions_drained,
+                    s.in_flight,
+                    s.connections,
+                    s.requests,
+                    s.malformed,
+                    s.errors,
+                )
+            }
+            Response::Inspected {
+                session,
+                strategy,
+                iterations,
+                cumulative_time,
+                pending,
+                events,
+            } => {
+                let pend = pending
+                    .iter()
+                    .map(|&(t, a)| format!("[{t},{a}]"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let evs = events
+                    .iter()
+                    .map(|e| {
+                        format!(
+                            "{{\"seq\":{},\"t_s\":{},\"kind\":\"{}\",\"ticket\":{},\
+                             \"action\":{},\"iteration\":{},\"duration\":{}}}",
+                            e.seq,
+                            jnum(e.t_s),
+                            json_escape(&e.kind),
+                            e.ticket.map_or("null".into(), |t| t.to_string()),
+                            jopt_usize(e.action),
+                            jopt_usize(e.iteration),
+                            jopt_num(e.duration)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "{{\"type\":\"inspected\",\"session\":{session},\"strategy\":\"{}\",\
+                     \"iterations\":{iterations},\"cumulative_time\":{},\"pending\":[{pend}],\
+                     \"events\":[{evs}]}}",
+                    json_escape(strategy),
+                    jnum(*cumulative_time)
+                )
+            }
+            Response::Pong { version, uptime_s } => format!(
+                "{{\"type\":\"pong\",\"version\":\"{}\",\"uptime_s\":{}}}",
+                json_escape(version),
+                jnum(*uptime_s)
+            ),
             Response::ShuttingDown => "{\"type\":\"shutting_down\"}".to_string(),
             Response::Error { code, message } => format!(
                 "{{\"type\":\"error\",\"code\":\"{}\",\"message\":\"{}\"}}",
@@ -637,7 +846,117 @@ impl Response {
                     })
                     .collect::<Result<Vec<_>, String>>()?,
             },
-            "pong" => Response::Pong,
+            "stats" => {
+                let sess = |key: &str| {
+                    v.get("sessions").and_then(|s| s.get(key)).and_then(Json::as_f64).unwrap_or(0.0)
+                        as u64
+                };
+                let count = |key: &str| v.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                let verbs = v
+                    .get("verbs")
+                    .and_then(Json::as_arr)
+                    .map(|items| {
+                        items
+                            .iter()
+                            .filter_map(|e| {
+                                Some(VerbStats {
+                                    verb: e.get("verb").and_then(Json::as_str)?.to_string(),
+                                    count: e.get("count").and_then(Json::as_f64)? as u64,
+                                    p50: e.get("p50").and_then(Json::as_f64).unwrap_or(0.0),
+                                    p95: e.get("p95").and_then(Json::as_f64).unwrap_or(0.0),
+                                    p99: e.get("p99").and_then(Json::as_f64).unwrap_or(0.0),
+                                })
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let shards = v
+                    .get("shards")
+                    .and_then(Json::as_arr)
+                    .map(|items| {
+                        items
+                            .iter()
+                            .filter_map(|e| {
+                                Some(ShardStats {
+                                    shard: e.get("shard").and_then(Json::as_usize)?,
+                                    sessions: e.get("sessions").and_then(Json::as_f64)? as u64,
+                                    queue_depth: e.get("queue_depth").and_then(Json::as_f64)?
+                                        as u64,
+                                })
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                Response::Stats(StatsSnapshot {
+                    version: v
+                        .get("version")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    uptime_s: v.get("uptime_s").and_then(Json::as_f64).unwrap_or(0.0),
+                    draining: v.get("draining").and_then(Json::as_bool).unwrap_or(false),
+                    sessions_live: sess("live"),
+                    sessions_created: sess("created"),
+                    sessions_closed: sess("closed"),
+                    sessions_evicted: sess("evicted"),
+                    sessions_drained: sess("drained"),
+                    in_flight: count("in_flight"),
+                    connections: count("connections"),
+                    requests: count("requests"),
+                    malformed: count("malformed"),
+                    errors: count("errors"),
+                    verbs,
+                    shards,
+                })
+            }
+            "inspected" => Response::Inspected {
+                session: int("session")?,
+                strategy: v.get("strategy").and_then(Json::as_str).unwrap_or_default().to_string(),
+                iterations: us("iterations")?,
+                cumulative_time: num("cumulative_time")?,
+                pending: v
+                    .get("pending")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing 'pending'")?
+                    .iter()
+                    .map(|pair| {
+                        let a = pair.as_arr().filter(|a| a.len() == 2);
+                        match a {
+                            Some(a) => Ok((
+                                a[0].as_f64().ok_or("bad pending ticket")? as u64,
+                                a[1].as_usize().ok_or("bad pending action")?,
+                            )),
+                            None => Err("pending entries must be [ticket,action]".to_string()),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                events: v
+                    .get("events")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing 'events'")?
+                    .iter()
+                    .map(|e| {
+                        Ok(SessionEvent {
+                            seq: e.get("seq").and_then(Json::as_f64).ok_or("event without seq")?
+                                as u64,
+                            t_s: e.get("t_s").and_then(Json::as_f64).unwrap_or(0.0),
+                            kind: e
+                                .get("kind")
+                                .and_then(Json::as_str)
+                                .ok_or("event without kind")?
+                                .to_string(),
+                            ticket: e.get("ticket").and_then(Json::as_f64).map(|x| x as u64),
+                            action: e.get("action").and_then(Json::as_usize),
+                            iteration: e.get("iteration").and_then(Json::as_usize),
+                            duration: e.get("duration").and_then(Json::as_f64),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            },
+            "pong" => Response::Pong {
+                version: v.get("version").and_then(Json::as_str).unwrap_or_default().to_string(),
+                uptime_s: v.get("uptime_s").and_then(Json::as_f64).unwrap_or(0.0),
+            },
             "shutting_down" => Response::ShuttingDown,
             "error" => Response::Error {
                 code: v
@@ -700,6 +1019,8 @@ mod tests {
         round_trip_request(Request::SubmitObservation { session: 12, ticket: 3, duration: 1.25 });
         round_trip_request(Request::GetPosterior { session: 12 });
         round_trip_request(Request::CloseSession { session: 12 });
+        round_trip_request(Request::GetStats);
+        round_trip_request(Request::Inspect { session: 12 });
         round_trip_request(Request::Ping);
         round_trip_request(Request::Shutdown);
     }
@@ -734,12 +1055,73 @@ mod tests {
             best_action: Some(6),
             history: vec![(10, 3.25), (6, 2.0)],
         });
-        round_trip_response(Response::Pong);
+        round_trip_response(Response::Stats(StatsSnapshot {
+            version: "0.1.0".into(),
+            uptime_s: 12.5,
+            draining: true,
+            sessions_live: 3,
+            sessions_created: 8,
+            sessions_closed: 4,
+            sessions_evicted: 1,
+            sessions_drained: 2,
+            in_flight: 5,
+            connections: 9,
+            requests: 120,
+            malformed: 1,
+            errors: 2,
+            verbs: vec![VerbStats {
+                verb: "get_proposal".into(),
+                count: 40,
+                p50: 0.001,
+                p95: 0.01,
+                p99: 0.05,
+            }],
+            shards: vec![
+                ShardStats { shard: 0, sessions: 2, queue_depth: 1 },
+                ShardStats { shard: 1, sessions: 1, queue_depth: 0 },
+            ],
+        }));
+        round_trip_response(Response::Stats(StatsSnapshot::default()));
+        round_trip_response(Response::Inspected {
+            session: 5,
+            strategy: "gp-discontinuous".into(),
+            iterations: 7,
+            cumulative_time: 12.25,
+            pending: vec![(3, 8), (4, 2)],
+            events: vec![
+                SessionEvent {
+                    seq: 0,
+                    t_s: 0.5,
+                    kind: "created".into(),
+                    ticket: None,
+                    action: None,
+                    iteration: None,
+                    duration: None,
+                },
+                SessionEvent {
+                    seq: 1,
+                    t_s: 0.75,
+                    kind: "recorded".into(),
+                    ticket: Some(0),
+                    action: Some(8),
+                    iteration: Some(0),
+                    duration: Some(1.5),
+                },
+            ],
+        });
+        round_trip_response(Response::Pong { version: "0.1.0".into(), uptime_s: 3.5 });
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Error {
             code: ErrorCode::UnknownSession,
             message: "session 99 is not registered".into(),
         });
+    }
+
+    #[test]
+    fn bare_pong_from_an_older_daemon_still_parses() {
+        // Pre-stats daemons answered `{"type":"pong"}`; the fields default.
+        let parsed = Response::from_json(&Json::parse("{\"type\":\"pong\"}").unwrap()).unwrap();
+        assert_eq!(parsed, Response::Pong { version: String::new(), uptime_s: 0.0 });
     }
 
     #[test]

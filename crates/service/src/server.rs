@@ -152,7 +152,7 @@ fn accept_loop(
             break;
         }
         let Some(stream) = conn else { continue };
-        adaphet_metrics::global().add("service.connection", 1.0);
+        manager.stats().count("service.connection", 1.0);
         let manager = Arc::clone(&manager);
         let stop = Arc::clone(&stop);
         let endpoint = endpoint.clone();
@@ -165,18 +165,23 @@ fn accept_loop(
 trait Conn: Read + Write + Send {}
 impl<T: Read + Write + Send> Conn for T {}
 
-/// Decode one frame's payload into a request, or the error reply to send.
-fn decode(payload: &[u8]) -> Result<Request, Response> {
-    let text = std::str::from_utf8(payload).map_err(|_| Response::Error {
-        code: ErrorCode::MalformedFrame,
-        message: "frame payload is not UTF-8".into(),
+/// Decode one frame's payload into a request, or the error reply to
+/// send (boxed: `Response` carries whole stats snapshots these days).
+fn decode(payload: &[u8]) -> Result<Request, Box<Response>> {
+    let text = std::str::from_utf8(payload).map_err(|_| {
+        Box::new(Response::Error {
+            code: ErrorCode::MalformedFrame,
+            message: "frame payload is not UTF-8".into(),
+        })
     })?;
-    let json = Json::parse(text).map_err(|e| Response::Error {
-        code: ErrorCode::MalformedFrame,
-        message: format!("frame payload is not JSON: {e}"),
+    let json = Json::parse(text).map_err(|e| {
+        Box::new(Response::Error {
+            code: ErrorCode::MalformedFrame,
+            message: format!("frame payload is not JSON: {e}"),
+        })
     })?;
     Request::from_json(&json)
-        .map_err(|e| Response::Error { code: ErrorCode::BadRequest, message: e })
+        .map_err(|e| Box::new(Response::Error { code: ErrorCode::BadRequest, message: e }))
 }
 
 fn serve_connection(
@@ -187,19 +192,31 @@ fn serve_connection(
 ) {
     // A clean disconnect, an unresynchronizable stream, or an I/O error
     // ends the connection; sessions live on in the manager.
+    let spans = manager.stats().spans().clone();
     while let Ok(Some(payload)) = read_frame(&mut stream) {
+        // The root span covers decode → dispatch → encode/write; the
+        // frame read is excluded because it is mostly the client
+        // thinking, not the daemon working.
+        let request_span = spans.enter("request", None);
+        let root = request_span.id();
         let mut initiated_shutdown = false;
-        let reply = match decode(&payload) {
+        let decode_span = spans.enter("decode", root);
+        let decoded = decode(&payload);
+        decode_span.exit();
+        let reply = match decoded {
             Ok(request) => {
                 initiated_shutdown = request == Request::Shutdown;
-                manager.handle(request)
+                manager.handle_traced(request, root)
             }
             Err(error_reply) => {
-                adaphet_metrics::global().add("service.malformed", 1.0);
-                error_reply
+                manager.stats().count("service.malformed", 1.0);
+                *error_reply
             }
         };
+        let encode_span = spans.enter("encode", root);
         let write_ok = write_frame(&mut stream, &reply.to_json()).is_ok();
+        encode_span.exit();
+        request_span.exit();
         if initiated_shutdown {
             // The acknowledgement is this connection's last frame; wake
             // the accept loop so it can observe the stop flag and exit.
@@ -247,13 +264,20 @@ mod tests {
                 .unwrap();
         assert!(matches!(parsed, Response::Error { code: ErrorCode::BadRequest, .. }));
 
-        // The same connection still answers a well-formed ping.
+        // The same connection still answers a well-formed ping, and the
+        // pong identifies the daemon.
         write_frame(&mut conn, &Request::Ping.to_json()).unwrap();
         let reply = read_frame(&mut conn).unwrap().unwrap();
         let parsed =
             Response::from_json(&Json::parse(std::str::from_utf8(&reply).unwrap()).unwrap())
                 .unwrap();
-        assert_eq!(parsed, Response::Pong);
+        match parsed {
+            Response::Pong { version, uptime_s } => {
+                assert_eq!(version, env!("CARGO_PKG_VERSION"));
+                assert!(uptime_s >= 0.0);
+            }
+            other => panic!("expected pong, got {other:?}"),
+        }
 
         server.stop();
         let _ = std::fs::remove_file(&path);
@@ -270,7 +294,7 @@ mod tests {
         let parsed =
             Response::from_json(&Json::parse(std::str::from_utf8(&reply).unwrap()).unwrap())
                 .unwrap();
-        assert_eq!(parsed, Response::Pong);
+        assert!(matches!(parsed, Response::Pong { .. }));
         server.stop();
     }
 }

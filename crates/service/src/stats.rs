@@ -1,0 +1,274 @@
+//! The service's always-on observability state: counters, per-verb
+//! latency histograms, live gauges, spans, and per-session event rings.
+//!
+//! [`ServiceStats`] owns a private [`Registry`] that is *always*
+//! collecting — `GetStats` and `GET /metrics` must answer even when the
+//! operator never installed a global recorder. Every write is mirrored
+//! to [`adaphet_metrics::global()`] so the pre-existing `--metrics`
+//! report keeps seeing the same `service.*` names it always has (the
+//! global mirror is a no-op until installed, so the dual write costs one
+//! atomic load on the cold path).
+//!
+//! Shard-level gauges (queue depth, registered sessions) and the
+//! in-flight ticket count live in plain atomics updated by the workers,
+//! so a `GetStats` snapshot never blocks on — or perturbs — the shard
+//! queues it is describing.
+
+use crate::protocol::{SessionEvent, ShardStats, StatsSnapshot, VerbStats};
+use adaphet_metrics::{MetricsReport, Recorder, Registry, Spans};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Default capacity of the recent-span ring kept by the manager.
+pub const DEFAULT_SPANS_CAPACITY: usize = 256;
+
+/// Shared observability state for one [`SessionManager`](crate::SessionManager).
+pub struct ServiceStats {
+    registry: Registry,
+    spans: Spans,
+    in_flight: AtomicI64,
+    queue_depth: Vec<AtomicU64>,
+    shard_sessions: Vec<AtomicU64>,
+}
+
+impl ServiceStats {
+    /// Fresh stats for a manager with `workers` shards.
+    pub fn new(workers: usize) -> Self {
+        ServiceStats {
+            registry: Registry::new(),
+            spans: Spans::with_capacity(DEFAULT_SPANS_CAPACITY),
+            in_flight: AtomicI64::new(0),
+            queue_depth: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            shard_sessions: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The span collector for request-lifecycle tracing.
+    pub fn spans(&self) -> &Spans {
+        &self.spans
+    }
+
+    /// Monotonic seconds since the manager started.
+    pub fn uptime_s(&self) -> f64 {
+        self.registry.uptime_s()
+    }
+
+    /// Bump a counter in the local registry and the global mirror.
+    pub fn count(&self, name: &str, delta: f64) {
+        self.registry.add(name, delta);
+        adaphet_metrics::global().add(name, delta);
+    }
+
+    /// Observe a duration in the local registry and the global mirror.
+    pub fn observe(&self, name: &str, seconds: f64) {
+        self.registry.observe(name, seconds);
+        adaphet_metrics::global().observe(name, seconds);
+    }
+
+    /// Adjust the open-proposal-ticket gauge (`+1` propose, `-1` resolve).
+    pub fn in_flight_add(&self, delta: i64) {
+        self.in_flight.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Open proposal tickets across all sessions (clamped at 0).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// A job entered shard `shard`'s queue.
+    pub fn queue_push(&self, shard: usize) {
+        self.queue_depth[shard].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job left shard `shard`'s queue (about to be processed).
+    pub fn queue_pop(&self, shard: usize) {
+        // Saturating: a Stop sentinel racing a late pop must not wrap.
+        let _ = self.queue_depth[shard]
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| d.checked_sub(1));
+    }
+
+    /// Publish shard `shard`'s registered-session count.
+    pub fn set_shard_sessions(&self, shard: usize, sessions: u64) {
+        self.shard_sessions[shard].store(sessions, Ordering::Relaxed);
+    }
+
+    /// Sessions registered across all shards, right now.
+    pub fn sessions_live(&self) -> u64 {
+        self.shard_sessions.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Build the wire-level service snapshot.
+    pub fn snapshot(&self, version: &str, draining: bool) -> StatsSnapshot {
+        let report = self.registry.snapshot();
+        let counter = |name: &str| {
+            report.counters.iter().find(|(k, _)| k == name).map_or(0, |&(_, v)| v as u64)
+        };
+        // Registry snapshots are name-sorted, so the verbs arrive sorted.
+        let verbs = report
+            .histograms
+            .iter()
+            .filter_map(|(name, h)| {
+                let verb = name.strip_prefix("service.verb.")?.strip_suffix("_s")?;
+                Some(VerbStats {
+                    verb: verb.to_string(),
+                    count: h.count,
+                    p50: h.p50(),
+                    p95: h.p95(),
+                    p99: h.p99(),
+                })
+            })
+            .collect();
+        let shards = (0..self.queue_depth.len())
+            .map(|i| ShardStats {
+                shard: i,
+                sessions: self.shard_sessions[i].load(Ordering::Relaxed),
+                queue_depth: self.queue_depth[i].load(Ordering::Relaxed),
+            })
+            .collect();
+        StatsSnapshot {
+            version: version.to_string(),
+            uptime_s: report.monotonic_s,
+            draining,
+            sessions_live: self.sessions_live(),
+            sessions_created: counter("service.session.created"),
+            sessions_closed: counter("service.session.closed"),
+            sessions_evicted: counter("service.session.evicted"),
+            sessions_drained: counter("service.session.drained"),
+            in_flight: self.in_flight(),
+            connections: counter("service.connection"),
+            requests: counter("service.request"),
+            malformed: counter("service.malformed"),
+            errors: counter("service.error"),
+            verbs,
+            shards,
+        }
+    }
+
+    /// Freeze everything into a [`MetricsReport`], refreshing the live
+    /// gauges first — this is what `GET /metrics` serializes.
+    pub fn report(&self, draining: bool) -> MetricsReport {
+        self.registry.gauge("service.in_flight", self.in_flight() as f64);
+        self.registry.gauge("service.sessions.live", self.sessions_live() as f64);
+        self.registry.gauge("service.draining", if draining { 1.0 } else { 0.0 });
+        for (i, d) in self.queue_depth.iter().enumerate() {
+            self.registry
+                .gauge(&format!("service.shard.{i}.queue_depth"), d.load(Ordering::Relaxed) as f64);
+            self.registry.gauge(
+                &format!("service.shard.{i}.sessions"),
+                self.shard_sessions[i].load(Ordering::Relaxed) as f64,
+            );
+        }
+        self.registry.snapshot()
+    }
+}
+
+/// A bounded, seq-numbered ring of one session's lifecycle events.
+///
+/// Owned by the session's shard worker, so pushes are single-threaded
+/// and need no lock; `Inspect` reads it on the same worker.
+pub struct EventRing {
+    capacity: usize,
+    next_seq: u64,
+    buf: VecDeque<SessionEvent>,
+}
+
+impl EventRing {
+    /// A ring keeping the most recent `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        EventRing { capacity: capacity.max(1), next_seq: 0, buf: VecDeque::new() }
+    }
+
+    /// Append one event, evicting the oldest when full.
+    pub fn push(
+        &mut self,
+        t_s: f64,
+        kind: &str,
+        ticket: Option<u64>,
+        action: Option<usize>,
+        iteration: Option<usize>,
+        duration: Option<f64>,
+    ) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(SessionEvent {
+            seq: self.next_seq,
+            t_s,
+            kind: kind.to_string(),
+            ticket,
+            action,
+            iteration,
+            duration,
+        });
+        self.next_seq += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<SessionEvent> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters_verbs_and_shards() {
+        let s = ServiceStats::new(2);
+        s.count("service.request", 3.0);
+        s.count("service.session.created", 2.0);
+        s.observe("service.verb.ping_s", 0.0005);
+        s.observe("service.verb.get_proposal_s", 0.02);
+        s.in_flight_add(2);
+        s.queue_push(1);
+        s.set_shard_sessions(0, 2);
+        let snap = s.snapshot("9.9.9", true);
+        assert_eq!(snap.version, "9.9.9");
+        assert!(snap.draining);
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.sessions_created, 2);
+        assert_eq!(snap.sessions_live, 2);
+        assert_eq!(snap.in_flight, 2);
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.shards[1].queue_depth, 1);
+        // Verb histograms surface sorted by verb name, `_s` stripped.
+        let verbs: Vec<&str> = snap.verbs.iter().map(|v| v.verb.as_str()).collect();
+        assert_eq!(verbs, vec!["get_proposal", "ping"]);
+        assert!(snap.verbs[1].p50 > 0.0 && snap.verbs[1].p50 <= 0.001);
+    }
+
+    #[test]
+    fn queue_pop_saturates_at_zero() {
+        let s = ServiceStats::new(1);
+        s.queue_pop(0);
+        assert_eq!(s.snapshot("", false).shards[0].queue_depth, 0);
+        s.queue_push(0);
+        s.queue_pop(0);
+        s.queue_pop(0);
+        assert_eq!(s.snapshot("", false).shards[0].queue_depth, 0);
+    }
+
+    #[test]
+    fn report_injects_live_gauges_for_the_exposition() {
+        let s = ServiceStats::new(1);
+        s.in_flight_add(1);
+        s.queue_push(0);
+        let p = s.report(true).to_prometheus();
+        assert!(p.contains("adaphet_service_in_flight 1\n"), "{p}");
+        assert!(p.contains("adaphet_service_draining 1\n"), "{p}");
+        assert!(p.contains("adaphet_service_shard_0_queue_depth 1\n"), "{p}");
+    }
+
+    #[test]
+    fn event_ring_is_bounded_with_monotone_seqs() {
+        let mut ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.push(i as f64, "propose", Some(i), Some(4), Some(i as usize), None);
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(events[0].kind, "propose");
+    }
+}

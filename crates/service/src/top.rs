@@ -1,0 +1,241 @@
+//! Renderers for `adaphet-top`: turn a [`StatsSnapshot`] into a
+//! fixed-width ASCII dashboard or a self-contained HTML page.
+//!
+//! Pure functions of the snapshot — the binary owns polling, screen
+//! clearing and file writing — so the exact layout is unit-testable
+//! without a daemon.
+
+use crate::protocol::StatsSnapshot;
+use adaphet_analysis::{html_escape, STYLE};
+
+/// Format a duration in seconds with an adaptive unit (`ns`/`us`/`ms`/`s`).
+pub fn fmt_duration(seconds: f64) -> String {
+    let s = seconds.abs();
+    if s == 0.0 {
+        "0".to_string()
+    } else if s < 1e-6 {
+        format!("{:.0} ns", seconds * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.1} us", seconds * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// A crude bar of `#` marks: `value` out of `max`, `width` cells.
+fn bar(value: u64, max: u64, width: usize) -> String {
+    let max = max.max(1);
+    let filled = ((value as f64 / max as f64) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled.min(width) { '#' } else { '.' });
+    }
+    s
+}
+
+/// Render the dashboard as plain fixed-width text, one trailing newline.
+pub fn render_ascii(snap: &StatsSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str(&format!(
+        "adaphet-serve {} | up {} | {}\n",
+        if snap.version.is_empty() { "?" } else { &snap.version },
+        fmt_duration(snap.uptime_s),
+        if snap.draining { "DRAINING" } else { "serving" },
+    ));
+    out.push_str(&format!(
+        "sessions {} live ({} created, {} closed, {} evicted, {} drained) | in-flight {}\n",
+        snap.sessions_live,
+        snap.sessions_created,
+        snap.sessions_closed,
+        snap.sessions_evicted,
+        snap.sessions_drained,
+        snap.in_flight,
+    ));
+    out.push_str(&format!(
+        "traffic  {} requests on {} connections | {} malformed, {} errors\n",
+        snap.requests, snap.connections, snap.malformed, snap.errors,
+    ));
+    if !snap.verbs.is_empty() {
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<20} {:>8} {:>10} {:>10} {:>10}\n",
+            "verb", "count", "p50", "p95", "p99"
+        ));
+        for v in &snap.verbs {
+            out.push_str(&format!(
+                "{:<20} {:>8} {:>10} {:>10} {:>10}\n",
+                v.verb,
+                v.count,
+                fmt_duration(v.p50),
+                fmt_duration(v.p95),
+                fmt_duration(v.p99),
+            ));
+        }
+    }
+    if !snap.shards.is_empty() {
+        let max_depth = snap.shards.iter().map(|s| s.queue_depth).max().unwrap_or(0);
+        out.push('\n');
+        out.push_str(&format!("{:<6} {:>8} {:>6}  queue\n", "shard", "sessions", "depth"));
+        for s in &snap.shards {
+            out.push_str(&format!(
+                "{:<6} {:>8} {:>6}  {}\n",
+                s.shard,
+                s.sessions,
+                s.queue_depth,
+                bar(s.queue_depth, max_depth, 20),
+            ));
+        }
+    }
+    out
+}
+
+/// Render the dashboard as a self-contained HTML page (inline CSS shared
+/// with the `adaphet report` output, no scripts, no external fetches).
+pub fn render_html(snap: &StatsSnapshot) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+    out.push_str("<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n");
+    out.push_str("<title>adaphet-top</title>\n");
+    out.push_str(STYLE);
+    out.push_str("</head><body>\n<h1>adaphet-top</h1>\n");
+    out.push_str(&format!(
+        "<p class=\"meta\">adaphet-serve <code>{}</code> &middot; up {} &middot; {}</p>\n",
+        html_escape(if snap.version.is_empty() { "?" } else { &snap.version }),
+        html_escape(&fmt_duration(snap.uptime_s)),
+        if snap.draining { "<strong>draining</strong>" } else { "serving" },
+    ));
+
+    out.push_str("<h2>Service</h2>\n<table>\n<tr><th>metric</th><th>value</th></tr>\n");
+    for (name, value) in [
+        ("sessions live", snap.sessions_live),
+        ("sessions created", snap.sessions_created),
+        ("sessions closed", snap.sessions_closed),
+        ("sessions evicted", snap.sessions_evicted),
+        ("sessions drained", snap.sessions_drained),
+        ("proposals in flight", snap.in_flight),
+        ("requests", snap.requests),
+        ("connections", snap.connections),
+        ("malformed frames", snap.malformed),
+        ("errors", snap.errors),
+    ] {
+        out.push_str(&format!("<tr><td>{name}</td><td>{value}</td></tr>\n"));
+    }
+    out.push_str("</table>\n");
+
+    if !snap.verbs.is_empty() {
+        out.push_str(
+            "<h2>Verb latency</h2>\n<table>\n\
+             <tr><th>verb</th><th>count</th><th>p50</th><th>p95</th><th>p99</th></tr>\n",
+        );
+        for v in &snap.verbs {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                html_escape(&v.verb),
+                v.count,
+                fmt_duration(v.p50),
+                fmt_duration(v.p95),
+                fmt_duration(v.p99),
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+
+    if !snap.shards.is_empty() {
+        out.push_str(
+            "<h2>Shards</h2>\n<table>\n\
+             <tr><th>shard</th><th>sessions</th><th>queue depth</th></tr>\n",
+        );
+        for s in &snap.shards {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                s.shard, s.sessions, s.queue_depth,
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+
+    out.push_str(
+        "<p class=\"meta\">generated by <code>adaphet-top --html</code> — \
+         self-contained file, no scripts, no external resources.</p>\n",
+    );
+    out.push_str("</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ShardStats, VerbStats};
+
+    fn snap() -> StatsSnapshot {
+        StatsSnapshot {
+            version: "0.1.0".into(),
+            uptime_s: 12.5,
+            draining: false,
+            sessions_live: 2,
+            sessions_created: 3,
+            sessions_closed: 1,
+            sessions_evicted: 0,
+            sessions_drained: 0,
+            in_flight: 4,
+            connections: 2,
+            requests: 50,
+            malformed: 0,
+            errors: 1,
+            verbs: vec![VerbStats {
+                verb: "get_proposal".into(),
+                count: 20,
+                p50: 0.0004,
+                p95: 0.003,
+                p99: 0.02,
+            }],
+            shards: vec![
+                ShardStats { shard: 0, sessions: 1, queue_depth: 2 },
+                ShardStats { shard: 1, sessions: 1, queue_depth: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn durations_format_with_adaptive_units() {
+        assert_eq!(fmt_duration(0.0), "0");
+        assert_eq!(fmt_duration(2.5e-9), "2 ns");
+        assert_eq!(fmt_duration(3.2e-5), "32.0 us");
+        assert_eq!(fmt_duration(0.004), "4.00 ms");
+        assert_eq!(fmt_duration(1.75), "1.75 s");
+    }
+
+    #[test]
+    fn ascii_dashboard_carries_every_section() {
+        let text = render_ascii(&snap());
+        assert!(text.contains("adaphet-serve 0.1.0"), "{text}");
+        assert!(text.contains("sessions 2 live"), "{text}");
+        assert!(text.contains("get_proposal"), "{text}");
+        assert!(text.contains("400.0 us"), "p50 column: {text}");
+        // The busiest shard fills its whole bar; the idle one is empty.
+        assert!(text.contains("####################"), "{text}");
+        assert!(text.contains("...................."), "{text}");
+        assert!(text.ends_with('\n'));
+        assert!(text.is_ascii(), "terminal-safe output");
+    }
+
+    #[test]
+    fn html_dashboard_is_self_contained() {
+        let html = render_html(&snap());
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("<style>"), "inline CSS only");
+        assert!(!html.contains("<script"), "no scripts");
+        assert!(!html.contains("http://") && !html.contains("https://"), "no external fetches");
+        assert!(html.contains("<td>get_proposal</td>"), "{html}");
+        assert!(html.ends_with("</html>\n"));
+    }
+
+    #[test]
+    fn draining_state_is_loud_in_both_renderers() {
+        let mut s = snap();
+        s.draining = true;
+        assert!(render_ascii(&s).contains("DRAINING"));
+        assert!(render_html(&s).contains("<strong>draining</strong>"));
+    }
+}

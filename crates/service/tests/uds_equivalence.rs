@@ -79,6 +79,26 @@ fn eight_concurrent_uds_sessions_match_sequential_drivers_bitwise() {
         })
         .collect();
     let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // The observability plane saw all of it: 8 sessions created and
+    // closed, every verb accounted for, nothing left in flight.
+    let mut observer = Client::connect_uds(&path).unwrap();
+    let stats = observer.get_stats().unwrap();
+    assert_eq!(stats.version, env!("CARGO_PKG_VERSION"));
+    assert!(!stats.draining);
+    assert_eq!(stats.sessions_created, 8);
+    assert_eq!(stats.sessions_closed, 8);
+    assert_eq!(stats.sessions_live, 0);
+    assert_eq!(stats.sessions_evicted, 0, "nothing idled out");
+    assert_eq!(stats.in_flight, 0, "every ticket resolved");
+    let verb = |name: &str| stats.verbs.iter().find(|v| v.verb == name).expect(name);
+    assert_eq!(verb("create_session").count, 8);
+    assert_eq!(verb("get_proposal").count, (8 * ITERS) as u64);
+    assert_eq!(verb("submit_observation").count, (8 * ITERS) as u64);
+    assert_eq!(verb("close_session").count, 8);
+    assert!(verb("get_proposal").p50 > 0.0, "latency quantiles populated");
+    assert_eq!(stats.shards.iter().map(|s| s.sessions).sum::<u64>(), 0);
+
     server.stop();
     let _ = std::fs::remove_file(&path);
 
@@ -138,7 +158,72 @@ fn posterior_over_the_wire_matches_the_in_process_snapshot() {
         assert_eq!(w.excluded, r.excluded);
     }
 
+    // The lifecycle ring saw the whole exchange: a created event, then
+    // alternating propose/recorded pairs, with an empty ledger now.
+    let inspected = client.inspect(id).unwrap();
+    assert_eq!(inspected.strategy, StrategyKind::GpDiscontinuous.to_string());
+    assert_eq!(inspected.iterations, 12);
+    assert!(inspected.pending.is_empty(), "all tickets resolved");
+    assert!(inspected.cumulative_time > 0.0);
+    let kinds: Vec<&str> = inspected.events.iter().map(|e| e.kind.as_str()).collect();
+    assert_eq!(kinds[0], "created");
+    assert_eq!(kinds.iter().filter(|k| **k == "propose").count(), 12);
+    assert_eq!(kinds.iter().filter(|k| **k == "recorded").count(), 12);
+
     client.close_session(id).unwrap();
     server.stop();
     let _ = std::fs::remove_file(&path);
+}
+
+/// Idle eviction and the graceful drain both leave a visible audit
+/// trail in the `service.*` counters — over the wire while the daemon
+/// lives, and via the stats handle after it has shut down.
+#[test]
+fn eviction_and_drain_counters_are_observable() {
+    use std::time::Duration;
+
+    let path = uds_path("lifecycle");
+    let mut manager = SessionManager::new(ServiceConfig {
+        idle_timeout: Some(Duration::from_millis(20)),
+        ..ServiceConfig::default()
+    });
+    let stats = Arc::clone(manager.stats());
+    let server_manager = Arc::new(SessionManager::new(ServiceConfig {
+        idle_timeout: Some(Duration::from_millis(20)),
+        ..ServiceConfig::default()
+    }));
+    let mut server =
+        Server::bind(Endpoint::Uds(path.clone()), Arc::clone(&server_manager)).unwrap();
+    let mut client = Client::connect_uds(&path).unwrap();
+
+    // Three sessions idle out; the sweep is forced for determinism.
+    for seed in 0..3 {
+        client.create_session(spec(StrategyKind::Ucb, seed)).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(40));
+    server_manager.sweep_now();
+    let snap = client.get_stats().unwrap();
+    assert_eq!(snap.sessions_created, 3);
+    assert_eq!(snap.sessions_evicted, 3, "idle sweep evicted all three");
+    assert_eq!(snap.sessions_live, 0);
+    server.stop();
+    let _ = std::fs::remove_file(&path);
+
+    // Separately: a session with an open ticket rides through shutdown
+    // and is counted as drained (its ticket abandoned).
+    let id =
+        match manager.handle(adaphet_service::Request::CreateSession(spec(StrategyKind::Ucb, 9))) {
+            adaphet_service::Response::SessionCreated { session } => session,
+            other => panic!("expected session_created, got {other:?}"),
+        };
+    match manager.handle(adaphet_service::Request::GetProposal { session: id }) {
+        adaphet_service::Response::Proposal { .. } => {}
+        other => panic!("expected proposal, got {other:?}"),
+    }
+    assert_eq!(manager.stats_snapshot().in_flight, 1);
+    manager.shutdown();
+    let after = stats.snapshot(env!("CARGO_PKG_VERSION"), true);
+    assert_eq!(after.sessions_drained, 1, "shutdown flushed the live session");
+    assert_eq!(after.in_flight, 0, "the abandoned ticket closed the gauge");
+    assert_eq!(after.sessions_live, 0);
 }

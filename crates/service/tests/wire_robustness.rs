@@ -69,7 +69,7 @@ fn malformed_frames_get_typed_errors_and_the_connection_lives_on() {
 
     // After all four, the same connection still serves real traffic.
     write_frame(&mut conn, &Request::Ping.to_json()).unwrap();
-    assert_eq!(read_reply(&mut conn), Response::Pong);
+    assert!(matches!(read_reply(&mut conn), Response::Pong { .. }));
 
     server.stop();
     let _ = std::fs::remove_file(&path);
