@@ -1,0 +1,191 @@
+//! Simulator raw speed: flownet churn, steady iterations, runtime
+//! construct/teardown, and the fig-suite response-table pass that every
+//! figure binary pays before any strategy replays.
+//!
+//! Besides the criterion-style benches, `--quick` runs a short hand-rolled
+//! pass and writes `BENCH_sim.json` (median ns per op plus the all16
+//! fig-suite seconds) so CI can archive the trajectory next to
+//! `BENCH_gp.json`:
+//!
+//! ```text
+//! cargo bench -p adaphet-bench --bench sim_bench -- --quick
+//! ```
+//!
+//! When a `BENCH_sim_baseline.json` (pre-optimization run of this same
+//! bench, committed at the workspace root) is readable, quick mode also
+//! emits a per-row `speedup_vs_baseline` map.
+
+use adaphet_eval::build_response;
+use adaphet_runtime::{FlowNet, LinkId};
+use adaphet_scenarios::{Scale, Scenario};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Star-topology flow churn: `pairs` node pairs behind a shared backbone.
+/// Each wave starts one flow per pair, then advances until roughly half
+/// the flows complete — so every start/completion triggers a rebalance
+/// over a well-populated link set, the simulator's hot path.
+fn flownet_churn(pairs: usize, waves: usize) -> f64 {
+    let mut net = FlowNet::new();
+    let bb = net.add_link(50e9);
+    let nics: Vec<(LinkId, LinkId)> =
+        (0..pairs).map(|_| (net.add_link(10e9), net.add_link(10e9))).collect();
+    let mut lcg = 0x2545_f491_4f6c_dd1du64;
+    for w in 0..waves {
+        for p in 0..pairs {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let bytes = 1e6 + (lcg >> 40) as f64;
+            let (up, _) = nics[p];
+            let (_, down) = nics[(p + w + 1) % pairs];
+            net.start_flow(&[up, bb, down], bytes);
+        }
+        while net.active_flows() > pairs / 2 {
+            let Some(t) = net.next_completion() else { break };
+            net.advance_to(t);
+        }
+    }
+    net.advance_to(1e9);
+    net.link_busy(bb)
+}
+
+/// One steady-state iteration of a scenario at Test scale: construct the
+/// app (allocator churn across a tuning session), run two iterations,
+/// return the second's duration — exactly what `build_response` measures
+/// per (scenario, action) point.
+fn steady_iteration(id: char, k_frac: f64) -> f64 {
+    let scenario = Scenario::by_id(id).expect("known scenario");
+    let mut app = scenario.app_untraced(Scale::Test, 42);
+    let n = app.n_nodes();
+    let k = ((n as f64 * k_frac) as usize).max(1);
+    let choice = adaphet_geostat::IterationChoice::fact_only(n, k);
+    app.run_iteration(choice);
+    app.run_iteration(choice).duration()
+}
+
+/// The simulation cost of the whole figure suite: an uncached response
+/// table for all 16 scenarios at Test scale. Returns a checksum so the
+/// work cannot be optimized away.
+fn fig_suite_all16() -> f64 {
+    let mut acc = 0.0;
+    for scenario in Scenario::all16() {
+        let table = build_response(&scenario, Scale::Test, 2, 42);
+        acc += table.durations.iter().flatten().sum::<f64>();
+    }
+    acc
+}
+
+fn bench_flownet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flownet_churn");
+    for &pairs in &[4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("pairs", pairs), &pairs, |b, &pairs| {
+            b.iter(|| flownet_churn(black_box(pairs), 30));
+        });
+    }
+    g.finish();
+}
+
+fn bench_steady_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_steady_iteration");
+    g.sample_size(10);
+    for &(id, label) in &[('a', "a_10n"), ('p', "p_128n")] {
+        g.bench_with_input(BenchmarkId::new("scenario", label), &id, |b, &id| {
+            b.iter(|| steady_iteration(black_box(id), 0.5));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_flownet, bench_steady_iteration);
+
+/// Hand-rolled median-ns timer for `--quick` mode (same scheme as
+/// `gp_bench`: batched samples, median of up to 120 within the budget).
+fn median_ns<R>(budget: Duration, mut f: impl FnMut() -> R) -> f64 {
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed();
+    let batch =
+        (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as usize;
+    let mut samples: Vec<f64> = Vec::new();
+    let started = Instant::now();
+    while (started.elapsed() < budget || samples.is_empty()) && samples.len() < 120 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Pull `median_ns` for `name` out of a previously written quick-mode
+/// JSON (shape is pinned by this bench, so string scanning suffices —
+/// no JSON parser in the bench crate's dependency set).
+fn baseline_lookup(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("{{\"name\": \"{name}\", \"median_ns\": ");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let end = rest.find('}')?;
+    rest[..end].trim().parse().ok()
+}
+
+fn quick_main() {
+    let budget = Duration::from_millis(200);
+    let mut rows: Vec<(String, f64)> = vec![
+        ("flownet_churn/4pairs".into(), median_ns(budget, || flownet_churn(4, 30))),
+        ("flownet_churn/16pairs".into(), median_ns(budget, || flownet_churn(16, 30))),
+        ("sim_steady_iteration/a_10n".into(), median_ns(budget, || steady_iteration('a', 0.5))),
+        ("sim_steady_iteration/h_26n".into(), median_ns(budget, || steady_iteration('h', 0.5))),
+        ("sim_steady_iteration/p_128n".into(), median_ns(budget, || steady_iteration('p', 0.5))),
+    ];
+
+    // The headline number: one full uncached all16 response pass (the
+    // simulation side of fig6/fig7/table1), measured once — it dominates
+    // the budget, a median over repeats would take minutes.
+    let t0 = Instant::now();
+    black_box(fig_suite_all16());
+    let suite_s = t0.elapsed().as_secs_f64();
+    rows.push(("fig_suite_all16_test".into(), suite_s * 1e9));
+
+    // cargo runs benches with the package dir as CWD; the committed
+    // baseline lives at the workspace root two levels up.
+    let baseline = std::fs::read_to_string("BENCH_sim_baseline.json")
+        .or_else(|_| std::fs::read_to_string("../../BENCH_sim_baseline.json"))
+        .ok();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    if let Some(base) = &baseline {
+        for (name, ns) in &rows {
+            if let Some(b) = baseline_lookup(base, name) {
+                speedups.push((name.clone(), b / ns));
+            }
+        }
+    }
+
+    let mut json =
+        String::from("{\n  \"bench\": \"sim\",\n  \"mode\": \"quick\",\n  \"results\": [\n");
+    for (i, (name, ns)) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!("    {{\"name\": \"{name}\", \"median_ns\": {ns:.1}}}{sep}\n"));
+        println!("{name:<44} {ns:>16.1} ns/op");
+    }
+    json.push_str(&format!("  ],\n  \"fig_suite_s\": {suite_s:.3},\n"));
+    println!("fig_suite_all16_test: {suite_s:.2} s");
+    json.push_str("  \"speedup_vs_baseline\": {");
+    for (i, (name, s)) in speedups.iter().enumerate() {
+        let sep = if i + 1 < speedups.len() { ", " } else { "" };
+        json.push_str(&format!("\"{name}\": {s:.2}{sep}"));
+        println!("speedup vs baseline {name}: {s:.2}x");
+    }
+    json.push_str("}\n}\n");
+    std::fs::write("BENCH_sim.json", json).expect("write BENCH_sim.json");
+    println!("wrote BENCH_sim.json");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        quick_main();
+    } else {
+        benches();
+    }
+}

@@ -9,7 +9,7 @@
 
 use adaphet_core::{GpDiscOptions, GpDiscontinuous, History, Strategy};
 use adaphet_eval::{
-    build_response_cached, parse_args, space_of, write_csv, AdaphetError, CsvTable, ResponseTable,
+    parse_args, space_of, sweep_response_tables, write_csv, AdaphetError, CsvTable, ResponseTable,
 };
 use adaphet_scenarios::Scenario;
 use rand::rngs::StdRng;
@@ -45,9 +45,13 @@ fn main() -> Result<(), AdaphetError> {
     let variants = ["full", "no-bounds", "no-dummies", "no-lp-residual", "plain"];
     let mut csv = CsvTable::new(&["scenario", "variant", "mean_total", "gain_pct"]);
     println!("GP-discontinuous ablation — {} iterations x {} reps\n", args.iters, args.reps);
-    for id in ['i', 'n', 'o', 'p'] {
-        let scen = Scenario::by_id(id).expect("known scenario");
-        let table = build_response_cached(&scen, args.scale, args.reps, args.seed);
+    let ids = ['i', 'n', 'o', 'p'];
+    let scenarios: Vec<Scenario> =
+        ids.iter().map(|&id| Scenario::by_id(id).expect("known scenario")).collect();
+    // Simulation pass fanned across cores; replays below keep scenario order.
+    let tables =
+        sweep_response_tables(&scenarios, args.scale, args.reps, args.seed, args.sequential);
+    for (id, table) in ids.into_iter().zip(tables) {
         let all_total = table.all_nodes_mean() * args.iters as f64;
         println!("{}", table.label);
         for v in variants {

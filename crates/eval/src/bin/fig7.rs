@@ -18,7 +18,7 @@
 //! `repetition,iteration,overhead_s,iteration_s`.
 
 use adaphet_core::{ActionSpace, JsonlSink, Observation, StrategyKind, TunerDriver};
-use adaphet_eval::{parse_args, write_csv, write_metrics_report, AdaphetError, CsvTable};
+use adaphet_eval::{parse_args, sweep, write_csv, write_metrics_report, AdaphetError, CsvTable};
 use adaphet_geostat::{CovParams, GeoRealApp, Workload};
 use std::fs::File;
 use std::io::BufWriter;
@@ -47,9 +47,9 @@ fn main() -> Result<(), AdaphetError> {
     let mut csv = CsvTable::new(&["repetition", "iteration", "overhead_s", "iteration_s"]);
     let workload = Workload::new(6, 48);
     let params = CovParams { variance: 1.0, range: 0.15, smoothness: 0.5 };
-    let mut per_iter_overhead = vec![0.0f64; iters];
-    #[allow(clippy::needless_range_loop)] // `it` also drives the schedule
-    for rep in 0..reps {
+    // One repetition: drive the tuner against the real application and
+    // return per-iteration (overhead, iteration) second pairs.
+    let run_rep = |rep: usize| -> Result<Vec<(f64, f64)>, AdaphetError> {
         let mut app = GeoRealApp::new(workload, params, args.seed + rep as u64, 4);
         let strat = StrategyKind::GpDiscontinuous
             .build(&space, args.seed + rep as u64, None)
@@ -61,6 +61,7 @@ fn main() -> Result<(), AdaphetError> {
             })?;
             driver.add_sink(Box::new(JsonlSink::new(BufWriter::new(handle))));
         }
+        let mut rows = Vec::with_capacity(iters);
         for it in 0..iters {
             let range = 0.05 + 0.01 * it as f64;
             let mut app_secs = 0.0f64;
@@ -74,6 +75,19 @@ fn main() -> Result<(), AdaphetError> {
                 Observation::of(app_secs)
             });
             let overhead = (t0.elapsed().as_secs_f64() - app_secs).max(0.0);
+            rows.push((overhead, app_secs));
+        }
+        driver.finish().map_err(|e| AdaphetError::io("telemetry stream", e))?;
+        Ok(rows)
+    };
+    // This figure *measures wall-clock time*: concurrent repetitions
+    // would contend for cores and inflate every overhead sample, so the
+    // sweep is pinned sequential regardless of flags — it still shares
+    // the order-preserving runner (and CSV assembly) with the other
+    // figures.
+    let mut per_iter_overhead = vec![0.0f64; iters];
+    for (rep, rows) in sweep((0..reps).collect(), true, run_rep).into_iter().enumerate() {
+        for (it, (overhead, app_secs)) in rows?.into_iter().enumerate() {
             per_iter_overhead[it] += overhead / reps as f64;
             csv.push(vec![
                 rep.to_string(),
@@ -82,7 +96,6 @@ fn main() -> Result<(), AdaphetError> {
                 format!("{app_secs:.6}"),
             ]);
         }
-        driver.finish().map_err(|e| AdaphetError::io("telemetry stream", e))?;
     }
     println!("Fig. 7 — GP-discontinuous online overhead ({reps} reps x {iters} iters)");
     for (it, o) in per_iter_overhead.iter().enumerate() {

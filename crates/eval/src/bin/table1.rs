@@ -15,7 +15,7 @@
 //! the first repetition of each measurement streams IterationEvent JSONL.
 
 use adaphet_core::{ActionSpace, JsonlSink, Observation, StrategyKind, TunerDriver};
-use adaphet_eval::{parse_args, write_csv, write_metrics_report, AdaphetError, CsvTable};
+use adaphet_eval::{parse_args, sweep, write_csv, write_metrics_report, AdaphetError, CsvTable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fs::File;
@@ -170,7 +170,12 @@ fn main() -> Result<(), AdaphetError> {
         "{:<16} {:>9} {:>9} {:>9}   id-rate(noisy/disc)  regret   paper",
         "strategy", "resilient", "optimal", "fast"
     );
-    for (kind, (er, eo, ef)) in expectations {
+    // The per-strategy measurements are independent and seeded per
+    // strategy, so they fan across cores — except when a telemetry file
+    // is open (interleaved JSONL from concurrent strategies would be
+    // unreadable) or `--sequential` asks for a single-threaded run.
+    let force_seq = args.sequential || telemetry_file.is_some();
+    let measured = sweep(expectations.to_vec(), force_seq, |(kind, exp)| {
         // Heavy uniform noise (±10 on a ~29-100 scale) on a valley whose
         // optimum every strategy can reach.
         let noisy_rate =
@@ -178,6 +183,9 @@ fn main() -> Result<(), AdaphetError> {
         // Light noise on the discontinuous valley (the identification task).
         let disc_rate = identification_rate(kind, discontinuous, 0.5, 11, telemetry_file.as_ref());
         let regret = regret_fraction(kind, smooth, 3);
+        (kind, exp, noisy_rate, disc_rate, regret)
+    });
+    for (kind, (er, eo, ef), noisy_rate, disc_rate, regret) in measured {
         // Resilience = no catastrophic repetitions (the paper's complaint
         // about DC/Right-Left/Brent is occasional disastrous runs).
         let resilient = noisy_rate >= 0.9;

@@ -33,6 +33,10 @@ pub struct RunArgs {
     /// [`FaultPlan::from_json`](adaphet_runtime::FaultPlan::from_json))
     /// for binaries that support fault injection.
     pub faults: Option<PathBuf>,
+    /// Run scenario sweeps on the calling thread instead of fanning
+    /// across cores (see [`sweep`](crate::sweep)). Output must be
+    /// byte-identical either way; CI diffs the two fig6 runs.
+    pub sequential: bool,
 }
 
 impl Default for RunArgs {
@@ -45,16 +49,17 @@ impl Default for RunArgs {
             telemetry: None,
             metrics: None,
             faults: None,
+            sequential: false,
         }
     }
 }
 
 const USAGE: &str = "try --full/--reduced/--test, --reps N, --iters N, --seed N, \
-                     --telemetry PATH, --metrics PATH, --faults PLAN.json";
+                     --telemetry PATH, --metrics PATH, --faults PLAN.json, --sequential";
 
 /// Parse `std::env::args`: `--full | --reduced | --test`,
 /// `--reps <k>`, `--iters <k>`, `--seed <k>`, `--telemetry <path>`,
-/// `--metrics <path>`, `--faults <plan.json>`.
+/// `--metrics <path>`, `--faults <plan.json>`, `--sequential`.
 pub fn parse_args() -> Result<RunArgs, AdaphetError> {
     parse_argv(std::env::args().skip(1).collect())
 }
@@ -101,6 +106,7 @@ fn parse_argv(argv: Vec<String>) -> Result<RunArgs, AdaphetError> {
                 i += 1;
                 out.faults = Some(PathBuf::from(value(&argv, i, "--faults")?));
             }
+            "--sequential" => out.sequential = true,
             other => {
                 return Err(AdaphetError::usage(format!("unknown argument {other:?} ({USAGE})")));
             }
@@ -137,6 +143,13 @@ mod tests {
         assert!(d.telemetry.is_none());
         assert!(d.metrics.is_none());
         assert!(d.faults.is_none());
+        assert!(!d.sequential, "sweeps fan out by default");
+    }
+
+    #[test]
+    fn sequential_flag_parses() {
+        let d = parse_argv(argv(&["--sequential"])).unwrap();
+        assert!(d.sequential);
     }
 
     #[test]

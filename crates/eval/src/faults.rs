@@ -84,7 +84,7 @@ pub fn run_faulted_session(
     plan.validate(platform.nodes.len(), iters)?;
     let workload = scenario.workload(scale);
     let jitter = if scenario.real { Some(0.03) } else { None };
-    let sim = |seed| SimConfig { seed, task_jitter: jitter };
+    let sim = |seed| SimConfig { seed, task_jitter: jitter, trace: true };
     let mut app = GeoSimApp::new(platform.clone(), workload, sim(seed));
     let space = space_for_platform(&platform, workload);
     let mut driver = TunerDriver::builder(&space)

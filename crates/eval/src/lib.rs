@@ -24,6 +24,7 @@ mod metrics_run;
 mod replay;
 mod report;
 mod response;
+mod sweep;
 mod telemetry;
 
 pub use cache::{build_response_cached, CACHE_VERSION};
@@ -41,4 +42,5 @@ pub use replay::{
 };
 pub use report::{ascii_curve, write_csv, CsvTable};
 pub use response::{build_response, build_response_2d, build_rigid_curve, ResponseTable};
+pub use sweep::{sweep, sweep_response_tables};
 pub use telemetry::{ChromeTraceSink, TUNER_PID};

@@ -61,8 +61,7 @@ impl ResponseTable {
 /// iterations are run and the second is measured (the first pays one-off
 /// placement effects).
 fn steady_iteration(scenario: &Scenario, scale: Scale, seed: u64, choice: IterationChoice) -> f64 {
-    let mut app = scenario.app(scale, seed);
-    app.set_trace_enabled(false);
+    let mut app = scenario.app_untraced(scale, seed);
     app.run_iteration(choice);
     app.run_iteration(choice).duration()
 }

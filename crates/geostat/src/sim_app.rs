@@ -171,9 +171,8 @@ impl GeoSimApp {
             "node counts must be within 1..={n}"
         );
         let w = self.workload;
-        let platform = self.rt.platform().clone();
-        let gen = Self::gen_dist(&platform, &self.classes, w, choice.n_gen);
-        let fact = Self::fact_dist(&platform, &self.classes, w, choice.n_fact);
+        let gen = Self::gen_dist(self.rt.platform(), &self.classes, w, choice.n_gen);
+        let fact = Self::fact_dist(self.rt.platform(), &self.classes, w, choice.n_fact);
 
         // Generation: tiles are regenerated in place (W mode), so moving
         // their placement is ownership-only (no bytes).

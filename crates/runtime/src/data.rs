@@ -55,6 +55,12 @@ impl DataRegistry {
     pub fn is_empty(&self) -> bool {
         self.sizes.is_empty()
     }
+
+    /// Drop every registration, keeping the allocations (buffer-pool reuse).
+    pub(crate) fn recycle(&mut self) {
+        self.sizes.clear();
+        self.owners.clear();
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,20 @@
 //! The model is what produces the network-contention "knee" of the paper's
 //! response curves: past a certain node count the shared backbone (or the
 //! slow partition NICs) saturates and adding nodes stops helping.
+//!
+//! # Incremental implementation
+//!
+//! [`FlowNet`] is the production engine: it keeps per-link active-flow
+//! counts (`nflows`) and the sorted set of links currently crossed by at
+//! least one flow (`touched`) as persistent state updated on flow
+//! add/remove, so each progressive-filling pass only walks the populated
+//! link set and reuses scratch buffers — the event hot path performs no
+//! heap allocation. Flow routes live in a shared arena instead of one
+//! `Vec` per flow.
+//!
+//! [`ReferenceFlowNet`] is the original from-scratch implementation kept
+//! as an executable specification; a proptest pins the incremental engine
+//! to it with bit-exact (`f64::to_bits`) rate/remaining/busy equality.
 
 /// Identifier of a link inside a [`FlowNet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,10 +43,16 @@ struct Link {
 
 #[derive(Debug, Clone)]
 struct Flow {
-    route: Vec<LinkId>,
+    /// `route_arena[route_start..route_start + route_len]`.
+    route_start: u32,
+    route_len: u32,
     remaining: f64,
     rate: f64,
     done: bool,
+    /// Rebalance epoch at which this flow's rate was fixed (0 = never):
+    /// lets progressive filling skip already-fixed flows in O(1) without a
+    /// per-round membership list.
+    fixed_at: u64,
 }
 
 /// A set of capacitated links and the flows currently crossing them.
@@ -43,8 +63,38 @@ struct Flow {
 pub struct FlowNet {
     links: Vec<Link>,
     flows: Vec<Flow>,
+    route_arena: Vec<LinkId>,
     active: Vec<usize>,
     now: f64,
+    /// Per link: number of active flow-route occurrences crossing it
+    /// (a route listing a link twice counts twice, matching the
+    /// progressive-filling share arithmetic).
+    nflows: Vec<u32>,
+    /// Sorted ids of links with `nflows > 0`. Progressive filling and
+    /// busy-time integration walk this instead of all links.
+    touched: Vec<usize>,
+    // Scratch buffers reused across rebalances (valid only inside one
+    // call; `counts`/`resid` are per-link and only read at `touched`
+    // indices that were initialised this call).
+    counts: Vec<u32>,
+    resid: Vec<f64>,
+    /// Scratch: the subset of `touched` whose links still carry unfixed
+    /// flows, compacted between progressive-filling rounds.
+    live: Vec<usize>,
+    /// Per link: ids of flows whose route crosses it (one entry per route
+    /// occurrence), ascending. Entries of finished flows are dropped
+    /// lazily, whenever progressive filling walks the list.
+    link_flows: Vec<Vec<usize>>,
+    /// Monotone rebalance counter backing `Flow::fixed_at`.
+    epoch: u64,
+    /// Deferred-rebalance flag: set by [`FlowNet::start_flow_deferred`],
+    /// cleared by [`FlowNet::settle`]. Rates (and the completion cache)
+    /// are stale while set; every observation path settles first.
+    dirty: bool,
+    /// Cached [`FlowNet::next_completion`] value, kept current by
+    /// `rebalance` and `integrate_to` (both already walk the active set,
+    /// so the fold is free and bit-identical to an on-demand scan).
+    next_done: Option<f64>,
 }
 
 impl FlowNet {
@@ -60,6 +110,12 @@ impl FlowNet {
     pub fn add_link(&mut self, capacity: f64) -> LinkId {
         assert!(capacity > 0.0, "link capacity must be positive");
         self.links.push(Link { capacity, busy: 0.0 });
+        self.nflows.push(0);
+        self.counts.push(0);
+        self.resid.push(0.0);
+        if self.link_flows.len() < self.links.len() {
+            self.link_flows.push(Vec::new());
+        }
         LinkId(self.links.len() - 1)
     }
 
@@ -86,11 +142,34 @@ impl FlowNet {
 
     /// Current rate of a flow (0 when done).
     pub fn flow_rate(&self, f: FlowId) -> f64 {
+        debug_assert!(!self.dirty, "observed a flow network with deferred starts pending");
         if self.flows[f.0].done {
             0.0
         } else {
             self.flows[f.0].rate
         }
+    }
+
+    /// Reset to an empty network at time zero, keeping every allocation
+    /// (links, flows, routes, scratch) for reuse.
+    pub(crate) fn recycle(&mut self) {
+        self.links.clear();
+        self.flows.clear();
+        self.route_arena.clear();
+        self.active.clear();
+        self.now = 0.0;
+        self.nflows.clear();
+        self.touched.clear();
+        self.counts.clear();
+        self.resid.clear();
+        self.live.clear();
+        // Inner per-link lists keep their capacity for the next network.
+        for v in &mut self.link_flows {
+            v.clear();
+        }
+        self.epoch = 0;
+        self.dirty = false;
+        self.next_done = None;
     }
 
     /// Start a flow of `bytes` over `route` at the network's current time.
@@ -99,14 +178,389 @@ impl FlowNet {
     ///
     /// # Panics
     /// Panics if the route references an unknown link or is empty.
-    pub fn start_flow(&mut self, route: Vec<LinkId>, bytes: f64) -> FlowId {
+    pub fn start_flow(&mut self, route: &[LinkId], bytes: f64) -> FlowId {
+        let id = self.start_flow_deferred(route, bytes);
+        self.settle();
+        id
+    }
+
+    /// Like [`FlowNet::start_flow`] but without the rebalance: rates stay
+    /// stale until [`FlowNet::settle`] runs. The allocation is a pure
+    /// function of the final flow set — it does not depend on intermediate
+    /// rates — so batching N same-instant starts under one settle yields a
+    /// bit-identical state while paying one rebalance instead of N (the
+    /// simulator's event loop relies on this).
+    pub(crate) fn start_flow_deferred(&mut self, route: &[LinkId], bytes: f64) -> FlowId {
         assert!(!route.is_empty(), "flow route cannot be empty");
-        for l in &route {
+        for l in route {
             assert!(l.0 < self.links.len(), "unknown link in route");
         }
         assert!(bytes >= 0.0, "flow size must be non-negative");
         let id = self.flows.len();
-        self.flows.push(Flow { route, remaining: bytes, rate: 0.0, done: false });
+        let route_start = self.route_arena.len() as u32;
+        self.route_arena.extend_from_slice(route);
+        self.flows.push(Flow {
+            route_start,
+            route_len: route.len() as u32,
+            remaining: bytes,
+            rate: 0.0,
+            done: false,
+            fixed_at: 0,
+        });
+        self.active.push(id);
+        for l in route {
+            if self.nflows[l.0] == 0 {
+                let at = self.touched.partition_point(|&t| t < l.0);
+                self.touched.insert(at, l.0);
+            }
+            self.nflows[l.0] += 1;
+            // Flow ids are monotone, so each list stays ascending.
+            self.link_flows[l.0].push(id);
+        }
+        self.dirty = true;
+        FlowId(id)
+    }
+
+    /// Re-balance if deferred starts are pending.
+    pub(crate) fn settle(&mut self) {
+        if self.dirty {
+            self.dirty = false;
+            self.rebalance();
+        }
+    }
+
+    /// Drop a finishing flow's route occurrences from the persistent
+    /// per-link counts and the touched-link set.
+    fn unlink_route(&mut self, i: usize) {
+        let f = &self.flows[i];
+        let route =
+            &self.route_arena[f.route_start as usize..(f.route_start + f.route_len) as usize];
+        for l in route {
+            self.nflows[l.0] -= 1;
+            if self.nflows[l.0] == 0 {
+                let at = self.touched.binary_search(&l.0).expect("touched link tracked");
+                self.touched.remove(at);
+            }
+        }
+    }
+
+    /// Time at which the next active flow completes, if any.
+    pub fn next_completion(&self) -> Option<f64> {
+        debug_assert!(!self.dirty, "observed a flow network with deferred starts pending");
+        self.next_done
+    }
+
+    /// Advance network time to `t`, returning the flows that completed (in
+    /// completion order). Rates are re-balanced after each completion.
+    ///
+    /// Convenience wrapper around [`FlowNet::advance_to_into`]; event
+    /// loops should pass their own reusable buffer instead.
+    ///
+    /// # Panics
+    /// Panics if `t` is before the current network time.
+    pub fn advance_to(&mut self, t: f64) -> Vec<FlowId> {
+        let mut completed = Vec::new();
+        self.advance_to_into(t, &mut completed);
+        completed
+    }
+
+    /// Advance network time to `t`, appending completed flows (in
+    /// completion order) to `completed`. Rates are re-balanced after each
+    /// completion instant.
+    ///
+    /// # Panics
+    /// Panics if `t` is before the current network time.
+    pub fn advance_to_into(&mut self, t: f64, completed: &mut Vec<FlowId>) {
+        assert!(t >= self.now - 1e-12, "cannot advance backwards: {t} < {}", self.now);
+        self.settle();
+        while let Some(next) = self.next_completion() {
+            if next > t + 1e-15 {
+                break;
+            }
+            let step = next.max(self.now);
+            self.integrate_to(step);
+            // One pass: finish everything that hit zero at `step`, while
+            // tracking the closest survivor for the numerical-safety
+            // fallback (if rounding kept every remaining positive, the
+            // closest flow is forced to complete — same semantics as the
+            // reference's two-scan version, without the intermediate
+            // `Vec`s).
+            let mut finished_any = false;
+            let mut closest = usize::MAX;
+            let mut closest_rem = f64::INFINITY;
+            for idx in 0..self.active.len() {
+                let i = self.active[idx];
+                let rem = self.flows[i].remaining;
+                if rem <= 1e-9 {
+                    finished_any = true;
+                    self.flows[i].done = true;
+                    self.flows[i].remaining = 0.0;
+                    self.unlink_route(i);
+                    completed.push(FlowId(i));
+                } else if rem < closest_rem {
+                    closest_rem = rem;
+                    closest = i;
+                }
+            }
+            if !finished_any {
+                let i = closest;
+                debug_assert!(i != usize::MAX, "active flows exist");
+                self.flows[i].done = true;
+                self.flows[i].remaining = 0.0;
+                self.unlink_route(i);
+                completed.push(FlowId(i));
+            }
+            let flows = &self.flows;
+            self.active.retain(|&i| !flows[i].done);
+            self.rebalance();
+        }
+        self.integrate_to(t);
+    }
+
+    /// Move the clock to `t` (no completions in between).
+    fn integrate_to(&mut self, t: f64) {
+        let dt = t - self.now;
+        let new_now = self.now.max(t);
+        if dt > 0.0 && !self.active.is_empty() {
+            // A link is busy for this interval if any active flow crosses
+            // it — exactly the touched set (ascending, so busy times
+            // accumulate in the same link order as a full scan).
+            for &l in &self.touched {
+                self.links[l].busy += dt;
+            }
+            // Remaining-byte decay, with the completion cache refolded in
+            // the same pass (active order, first-minimal — identical to an
+            // on-demand scan at `new_now`).
+            let mut best: Option<f64> = None;
+            for &i in &self.active {
+                let f = &mut self.flows[i];
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                let tc = if f.remaining <= 0.0 {
+                    new_now
+                } else if f.rate > 0.0 {
+                    new_now + f.remaining / f.rate
+                } else {
+                    continue;
+                };
+                best = Some(match best {
+                    None => tc,
+                    Some(b) => b.min(tc),
+                });
+            }
+            self.next_done = best;
+        }
+        self.now = new_now;
+    }
+
+    /// Progressive-filling max-min fair allocation over the touched links.
+    ///
+    /// Invariants that keep this bit-identical to the from-scratch
+    /// reference ([`ReferenceFlowNet`]):
+    /// * `touched` is sorted ascending, so the bottleneck scan considers
+    ///   candidate links in the same index order as a full 0..n scan
+    ///   (links with zero unfixed flows are skipped in both);
+    /// * each round fixes exactly the unfixed flows crossing the
+    ///   bottleneck, visited in ascending flow id — the same order a scan
+    ///   over an `active`-ordered unfixed list would visit them, because
+    ///   `active` and every per-link list are both id-ascending;
+    /// * residual capacities are decremented per route occurrence in the
+    ///   same flow-then-link order as the reference;
+    /// * the completion cache is folded at fix time with the just-assigned
+    ///   rate — a min over the same per-flow candidates as a final
+    ///   active-order scan, and `f64` min over NaN-free values is
+    ///   order-independent down to the bit pattern.
+    fn rebalance(&mut self) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let FlowNet {
+            links,
+            flows,
+            route_arena,
+            active,
+            nflows,
+            touched,
+            counts,
+            resid,
+            live,
+            link_flows,
+            now,
+            next_done,
+            ..
+        } = self;
+        for &l in touched.iter() {
+            counts[l] = nflows[l];
+            resid[l] = links[l].capacity;
+        }
+        live.clear();
+        live.extend_from_slice(touched);
+        let mut unfixed_left = active.len();
+        let mut best: Option<f64> = None;
+        while unfixed_left > 0 {
+            // Bottleneck link: minimal fair share among used links (first
+            // strict minimum wins, as in the reference — `live` is the
+            // ascending `touched` order minus exhausted links, which the
+            // reference scan skips too). Links whose last unfixed flow was
+            // fixed drop out of `live` here.
+            let mut bl = usize::MAX;
+            let mut share = f64::INFINITY;
+            let mut w = 0;
+            for r in 0..live.len() {
+                let l = live[r];
+                let c = counts[l];
+                if c == 0 {
+                    continue;
+                }
+                live[w] = l;
+                w += 1;
+                let s = resid[l] / c as f64;
+                if s < share {
+                    share = s;
+                    bl = l;
+                }
+            }
+            live.truncate(w);
+            if bl == usize::MAX {
+                // Unreachable (every unfixed flow keeps its links' counts
+                // positive), but mirror the reference: leftover flows rate
+                // to zero and do not enter the completion fold.
+                for &i in active.iter() {
+                    if flows[i].fixed_at != epoch {
+                        flows[i].rate = 0.0;
+                    }
+                }
+                break;
+            }
+            // Fix the unfixed flows crossing the bottleneck at the fair
+            // share, walking only that link's own (id-ascending) flow
+            // list. Finished entries are compacted out in place; repeat
+            // occurrences (a route listing `bl` twice, or a flow already
+            // fixed via an earlier bottleneck this rebalance) are skipped
+            // by the epoch stamp.
+            let list = &mut link_flows[bl];
+            let mut w = 0;
+            for r in 0..list.len() {
+                let i = list[r];
+                if flows[i].done {
+                    continue;
+                }
+                list[w] = i;
+                w += 1;
+                if flows[i].fixed_at == epoch {
+                    continue;
+                }
+                flows[i].fixed_at = epoch;
+                flows[i].rate = share;
+                unfixed_left -= 1;
+                let f = &flows[i];
+                let t = if f.remaining <= 0.0 {
+                    Some(*now)
+                } else if share > 0.0 {
+                    Some(*now + f.remaining / share)
+                } else {
+                    None
+                };
+                if let Some(t) = t {
+                    best = Some(match best {
+                        None => t,
+                        Some(b) => b.min(t),
+                    });
+                }
+                let route =
+                    &route_arena[f.route_start as usize..(f.route_start + f.route_len) as usize];
+                for l in route {
+                    resid[l.0] = (resid[l.0] - share).max(0.0);
+                    counts[l.0] -= 1;
+                }
+            }
+            list.truncate(w);
+        }
+        *next_done = best;
+    }
+}
+
+/// The original from-scratch progressive-filling implementation, kept as
+/// the executable specification of [`FlowNet`]: every rebalance rebuilds
+/// per-link counts and residual capacities over all links, and every
+/// advance step allocates its mark/finish vectors.
+///
+/// It is exercised by the equivalence proptest (bit-exact rates, remaining
+/// bytes, busy times and completion order against the incremental engine).
+/// The speed side of the story lives in `sim_bench`, which measures the
+/// incremental engine against a recorded pre-optimization baseline run
+/// (`BENCH_sim_baseline.json`).
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceFlowNet {
+    links: Vec<Link>,
+    flows: Vec<RefFlow>,
+    active: Vec<usize>,
+    now: f64,
+}
+
+#[derive(Debug, Clone)]
+struct RefFlow {
+    route: Vec<LinkId>,
+    remaining: f64,
+    rate: f64,
+    done: bool,
+}
+
+impl ReferenceFlowNet {
+    /// Empty network at time zero.
+    pub fn new() -> Self {
+        ReferenceFlowNet::default()
+    }
+
+    /// Add a link with `capacity` bytes/s.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not positive.
+    pub fn add_link(&mut self, capacity: f64) -> LinkId {
+        assert!(capacity > 0.0, "link capacity must be positive");
+        self.links.push(Link { capacity, busy: 0.0 });
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Current simulation time of the network.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Accumulated busy time of a link.
+    pub fn link_busy(&self, l: LinkId) -> f64 {
+        self.links[l.0].busy
+    }
+
+    /// Number of flows still transferring.
+    pub fn active_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Current rate of a flow (0 when done).
+    pub fn flow_rate(&self, f: FlowId) -> f64 {
+        if self.flows[f.0].done {
+            0.0
+        } else {
+            self.flows[f.0].rate
+        }
+    }
+
+    /// Start a flow of `bytes` over `route`; see [`FlowNet::start_flow`].
+    ///
+    /// # Panics
+    /// Panics if the route references an unknown link or is empty.
+    pub fn start_flow(&mut self, route: &[LinkId], bytes: f64) -> FlowId {
+        assert!(!route.is_empty(), "flow route cannot be empty");
+        for l in route {
+            assert!(l.0 < self.links.len(), "unknown link in route");
+        }
+        assert!(bytes >= 0.0, "flow size must be non-negative");
+        let id = self.flows.len();
+        self.flows.push(RefFlow {
+            route: route.to_vec(),
+            remaining: bytes,
+            rate: 0.0,
+            done: false,
+        });
         self.active.push(id);
         self.rebalance();
         FlowId(id)
@@ -132,8 +586,7 @@ impl FlowNet {
         best
     }
 
-    /// Advance network time to `t`, returning the flows that completed (in
-    /// completion order). Rates are re-balanced after each completion.
+    /// Advance network time to `t`; see [`FlowNet::advance_to`].
     ///
     /// # Panics
     /// Panics if `t` is before the current network time.
@@ -178,12 +631,9 @@ impl FlowNet {
         completed
     }
 
-    /// Move the clock to `t` (no completions in between).
     fn integrate_to(&mut self, t: f64) {
         let dt = t - self.now;
         if dt > 0.0 && !self.active.is_empty() {
-            // A link is busy for this interval if any active flow crosses
-            // it (routes may share links, so dedup via a mark pass).
             let mut crossed = vec![false; self.links.len()];
             for &i in &self.active {
                 for l in &self.flows[i].route {
@@ -203,7 +653,6 @@ impl FlowNet {
         self.now = self.now.max(t);
     }
 
-    /// Progressive-filling max-min fair allocation.
     fn rebalance(&mut self) {
         for &i in &self.active {
             self.flows[i].rate = 0.0;
@@ -211,14 +660,12 @@ impl FlowNet {
         let mut unfixed: Vec<usize> = self.active.clone();
         let mut link_cap: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
         while !unfixed.is_empty() {
-            // Count unfixed flows per link.
             let mut counts = vec![0usize; self.links.len()];
             for &i in &unfixed {
                 for l in &self.flows[i].route {
                     counts[l.0] += 1;
                 }
             }
-            // Bottleneck link: minimal fair share among used links.
             let mut bottleneck: Option<(usize, f64)> = None;
             for (l, &c) in counts.iter().enumerate() {
                 if c == 0 {
@@ -232,7 +679,6 @@ impl FlowNet {
             let Some((bl, share)) = bottleneck else {
                 break;
             };
-            // Fix flows crossing the bottleneck at the fair share.
             let (through, rest): (Vec<usize>, Vec<usize>) =
                 unfixed.into_iter().partition(|&i| self.flows[i].route.iter().any(|l| l.0 == bl));
             for &i in &through {
@@ -257,7 +703,7 @@ mod tests {
         let up = net.add_link(100.0);
         let bb = net.add_link(50.0);
         let down = net.add_link(100.0);
-        let f = net.start_flow(vec![up, bb, down], 500.0);
+        let f = net.start_flow(&[up, bb, down], 500.0);
         assert!((net.flow_rate(f) - 50.0).abs() < 1e-12);
         assert!((net.next_completion().unwrap() - 10.0).abs() < 1e-9);
         let done = net.advance_to(10.0);
@@ -269,8 +715,8 @@ mod tests {
     fn two_flows_share_common_link_fairly() {
         let mut net = FlowNet::new();
         let shared = net.add_link(100.0);
-        let f1 = net.start_flow(vec![shared], 100.0);
-        let f2 = net.start_flow(vec![shared], 200.0);
+        let f1 = net.start_flow(&[shared], 100.0);
+        let f2 = net.start_flow(&[shared], 200.0);
         assert!((net.flow_rate(f1) - 50.0).abs() < 1e-12);
         assert!((net.flow_rate(f2) - 50.0).abs() < 1e-12);
         // f1 completes at t=2; f2 then gets the full link, finishing the
@@ -289,8 +735,8 @@ mod tests {
         let mut net = FlowNet::new();
         let private = net.add_link(10.0);
         let shared = net.add_link(100.0);
-        let f1 = net.start_flow(vec![private, shared], 1e9);
-        let f2 = net.start_flow(vec![shared], 1e9);
+        let f1 = net.start_flow(&[private, shared], 1e9);
+        let f2 = net.start_flow(&[shared], 1e9);
         assert!((net.flow_rate(f1) - 10.0).abs() < 1e-9);
         assert!((net.flow_rate(f2) - 90.0).abs() < 1e-9);
     }
@@ -299,7 +745,7 @@ mod tests {
     fn zero_byte_flow_completes_immediately() {
         let mut net = FlowNet::new();
         let l = net.add_link(10.0);
-        let f = net.start_flow(vec![l], 0.0);
+        let f = net.start_flow(&[l], 0.0);
         let done = net.advance_to(0.0);
         assert_eq!(done, vec![f]);
     }
@@ -308,8 +754,8 @@ mod tests {
     fn completions_are_ordered() {
         let mut net = FlowNet::new();
         let l = net.add_link(100.0);
-        let big = net.start_flow(vec![l], 1000.0);
-        let small = net.start_flow(vec![l], 10.0);
+        let big = net.start_flow(&[l], 1000.0);
+        let small = net.start_flow(&[l], 10.0);
         let done = net.advance_to(100.0);
         assert_eq!(done, vec![small, big]);
     }
@@ -333,7 +779,7 @@ mod tests {
         for _ in 0..8 {
             let up = net.add_link(100.0);
             let down = net.add_link(100.0);
-            flows.push(net.start_flow(vec![up, bb, down], 1e9));
+            flows.push(net.start_flow(&[up, bb, down], 1e9));
         }
         let total: f64 = flows.iter().map(|&f| net.flow_rate(f)).sum();
         assert!((total - 200.0).abs() < 1e-6);
@@ -349,7 +795,7 @@ mod tests {
         let idle = net.add_link(100.0);
         // 1 s idle, then a 2 s transfer on `used`, then 1 s idle again.
         net.advance_to(1.0);
-        let f = net.start_flow(vec![used], 200.0);
+        let f = net.start_flow(&[used], 200.0);
         let done = net.advance_to(4.0);
         assert_eq!(done, vec![f]);
         assert!((net.link_busy(used) - 2.0).abs() < 1e-9, "{}", net.link_busy(used));
@@ -361,12 +807,28 @@ mod tests {
     fn shared_link_busy_is_wall_time_not_per_flow() {
         let mut net = FlowNet::new();
         let shared = net.add_link(100.0);
-        net.start_flow(vec![shared], 100.0);
-        net.start_flow(vec![shared], 200.0);
+        net.start_flow(&[shared], 100.0);
+        net.start_flow(&[shared], 200.0);
         // Both flows overlap for 2 s, then the second runs alone 1 s:
         // busy time is 3 s of wall time, not 5 s of flow time.
         net.advance_to(3.0);
         assert!((net.link_busy(shared) - 3.0).abs() < 1e-9, "{}", net.link_busy(shared));
+    }
+
+    #[test]
+    fn recycle_resets_to_empty_network() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(100.0);
+        net.start_flow(&[l], 50.0);
+        net.advance_to(0.3);
+        net.recycle();
+        assert_eq!(net.n_links(), 0);
+        assert_eq!(net.active_flows(), 0);
+        assert_eq!(net.now(), 0.0);
+        // Fully usable again.
+        let l = net.add_link(100.0);
+        let f = net.start_flow(&[l], 100.0);
+        assert_eq!(net.advance_to(1.0), vec![f]);
     }
 
     #[test]
@@ -376,6 +838,85 @@ mod tests {
         net.add_link(1.0);
         net.advance_to(5.0);
         net.advance_to(1.0);
+    }
+
+    proptest! {
+        /// The incremental engine is bit-identical to the reference
+        /// implementation: same rates, same completion order, same busy
+        /// times, same clock — compared with `to_bits` after every op.
+        /// Each op seed decodes into a flow start (random distinct-link
+        /// route, random size — 60%), an advance-to-next-completion, or an
+        /// advance-by-random-dt.
+        #[test]
+        fn prop_incremental_matches_reference_bitwise(
+            cap_seed in 0u64..1000,
+            n_links in 1usize..7,
+            op_seeds in collection::vec(0u64..u64::MAX, 1..40),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(cap_seed);
+            let mut inc = FlowNet::new();
+            let mut refn = ReferenceFlowNet::new();
+            let mut links: Vec<LinkId> = Vec::new();
+            for _ in 0..n_links {
+                let cap = rng.random_range(1.0..100.0);
+                let l = inc.add_link(cap);
+                prop_assert_eq!(l, refn.add_link(cap));
+                links.push(l);
+            }
+            let mut n_flows = 0usize;
+            for &seed in &op_seeds {
+                let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+                match seed % 5 {
+                    0..=2 => {
+                        // Start a flow over a shuffled distinct-link subset.
+                        let mut route = links.clone();
+                        for i in (1..route.len()).rev() {
+                            let j = r.random_range(0..=i);
+                            route.swap(i, j);
+                        }
+                        route.truncate(r.random_range(1..=n_links));
+                        let bytes = r.random_range(0.0..500.0);
+                        let fi = inc.start_flow(&route, bytes);
+                        let fr = refn.start_flow(&route, bytes);
+                        prop_assert_eq!(fi, fr);
+                        n_flows += 1;
+                    }
+                    3 => {
+                        // Advance to the next completion (or +1.0 if idle).
+                        let t = inc.next_completion().unwrap_or(inc.now() + 1.0);
+                        prop_assert_eq!(
+                            t.to_bits(),
+                            refn.next_completion().unwrap_or(refn.now() + 1.0).to_bits()
+                        );
+                        prop_assert_eq!(inc.advance_to(t), refn.advance_to(t));
+                    }
+                    _ => {
+                        let t = inc.now() + r.random_range(0.001..5.0);
+                        prop_assert_eq!(inc.advance_to(t), refn.advance_to(t));
+                    }
+                }
+                prop_assert_eq!(inc.now().to_bits(), refn.now().to_bits());
+                prop_assert_eq!(inc.active_flows(), refn.active_flows());
+                for f in 0..n_flows {
+                    prop_assert_eq!(
+                        inc.flow_rate(FlowId(f)).to_bits(),
+                        refn.flow_rate(FlowId(f)).to_bits(),
+                        "flow {} rate diverged", f
+                    );
+                }
+                for &l in &links {
+                    prop_assert_eq!(
+                        inc.link_busy(l).to_bits(),
+                        refn.link_busy(l).to_bits(),
+                        "link {} busy diverged", l.0
+                    );
+                }
+            }
+            // Drain: identical completion tails.
+            prop_assert_eq!(inc.advance_to(1e9), refn.advance_to(1e9));
+            prop_assert_eq!(inc.active_flows(), 0);
+        }
     }
 
     proptest! {
@@ -404,7 +945,7 @@ mod tests {
                 }
                 route.truncate(route_len);
                 let bytes = rng.random_range(0.0..500.0);
-                flows.push((net.start_flow(route, bytes), bytes));
+                flows.push((net.start_flow(&route, bytes), bytes));
 
                 // Capacity check after each start.
                 let mut used = vec![0.0; n_links];
@@ -429,6 +970,10 @@ mod tests {
         net.links[l].capacity
     }
     fn flow_route(net: &FlowNet, f: FlowId) -> Vec<usize> {
-        net.flows[f.0].route.iter().map(|l| l.0).collect()
+        let fl = &net.flows[f.0];
+        net.route_arena[fl.route_start as usize..(fl.route_start + fl.route_len) as usize]
+            .iter()
+            .map(|l| l.0)
+            .collect()
     }
 }

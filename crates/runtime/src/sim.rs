@@ -15,6 +15,26 @@
 //! * per node, ready tasks are dispatched to CPU cores and GPUs by a
 //!   performance-model-aware scheduler (highest priority first, resource
 //!   chosen by earliest estimated finish time, like StarPU's `dmda`).
+//!
+//! # Hot-path storage
+//!
+//! The engine sits on the measurement path of every tuning step (the
+//! evaluation harness constructs a fresh runtime per sample), so all
+//! per-task and per-handle state is kept in dense, index-addressed
+//! storage rather than hash maps:
+//!
+//! * task read/write handle lists live in one shared arena (`handles`),
+//!   referenced by `(start, len)` ranges;
+//! * dependent edges form an intrusive linked list (`dep_edges`) headed at
+//!   the predecessor task;
+//! * in-flight fetches are a slab (`fetch_slab`) chained per handle;
+//! * replica locations are per-handle bitsets over nodes;
+//! * flow metadata and per-phase totals are plain vectors indexed by flow
+//!   id and phase tag.
+//!
+//! On drop, every backing allocation is recycled through a small
+//! thread-local pool ([`SimBuffers`]), so repeated construct/run/drop
+//! cycles stop churning the allocator entirely.
 
 use crate::data::{DataHandle, DataRegistry};
 use crate::flownet::{FlowId, FlowNet, LinkId};
@@ -27,11 +47,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, Normal};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+/// Sentinel for "no entry" in the intrusive index-linked lists.
+const NONE: u32 = u32::MAX;
+
 /// Simulation options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// RNG seed (only used when `task_jitter` is set).
     pub seed: u64,
@@ -40,6 +63,17 @@ pub struct SimConfig {
     /// paper's methodology assumes (noise is added at the observation
     /// level instead, Section V).
     pub task_jitter: Option<f64>,
+    /// Record the execution trace (events, dependence edges, lifecycle
+    /// timestamps). On by default; sweep harnesses that never read the
+    /// trace start with it off so tracing costs nothing.
+    /// [`SimRuntime::set_trace_enabled`] can still toggle it later.
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0, task_jitter: None, trace: true }
+    }
 }
 
 /// Result of one [`SimRuntime::run`] call.
@@ -72,20 +106,45 @@ enum TaskStatus {
     Done,
 }
 
+/// Dense per-task state. Handle lists are `(start, len)` ranges into the
+/// runtime's shared `handles` arena; dependents are an intrusive linked
+/// list through `dep_edges`.
 #[derive(Debug, Clone)]
 struct TaskState {
     class: ClassId,
     flops: f64,
     priority: i32,
     phase: u32,
-    reads: Vec<DataHandle>,
-    writes: Vec<DataHandle>,
     node: NodeId,
-    unmet_deps: usize,
-    missing_inputs: usize,
-    dependents: Vec<TaskId>,
+    reads_start: u32,
+    reads_len: u32,
+    writes_start: u32,
+    writes_len: u32,
+    unmet_deps: u32,
+    missing_inputs: u32,
+    /// Head of this task's dependents list in `dep_edges` (`NONE` = empty).
+    dep_head: u32,
     status: TaskStatus,
-    seq: usize,
+    /// Unit occupied while `Running` (meaningless otherwise).
+    resource: ResourceKind,
+    /// Start time of the current execution (valid while `Running`).
+    run_start: f64,
+}
+
+/// One in-flight fetch of a handle towards a destination node, chained
+/// per handle through `next`.
+#[derive(Debug, Clone)]
+struct FetchEntry {
+    dst: u32,
+    next: u32,
+    /// Tasks waiting on this transfer, in staging order.
+    waiters: Vec<TaskId>,
+}
+
+impl Default for FetchEntry {
+    fn default() -> Self {
+        FetchEntry { dst: 0, next: NONE, waiters: Vec::new() }
+    }
 }
 
 type ReadyEntry = (i32, Reverse<usize>, TaskId);
@@ -110,6 +169,23 @@ struct NodeSched {
     q_cpu: BinaryHeap<ReadyEntry>,
     /// Tasks committed to GPUs.
     q_gpu: BinaryHeap<ReadyEntry>,
+}
+
+impl NodeSched {
+    /// (Re)initialize for a node with the given unit counts, clearing any
+    /// recycled state while keeping allocations.
+    fn configure(&mut self, cores: usize, gpus: usize) {
+        self.free_cpus.clear();
+        self.free_cpus.extend((0..cores).rev());
+        self.free_gpus.clear();
+        self.free_gpus.extend((0..gpus).rev());
+        self.cpu_commit.clear();
+        self.cpu_commit.resize(cores, 0.0);
+        self.gpu_commit.clear();
+        self.gpu_commit.resize(gpus, 0.0);
+        self.q_cpu.clear();
+        self.q_gpu.clear();
+    }
 }
 
 /// Totally ordered f64 wrapper for the event heap.
@@ -159,6 +235,8 @@ impl Ord for EventKindCell {
     }
 }
 
+type EventHeap = BinaryHeap<Reverse<(OrdF64, usize, EventKindCell)>>;
+
 /// The simulated runtime.
 pub struct SimRuntime {
     platform: Platform,
@@ -166,20 +244,40 @@ pub struct SimRuntime {
     data: DataRegistry,
     deps: DepTracker,
     tasks: Vec<TaskState>,
+    /// Shared arena backing every task's read/write handle lists.
+    handles: Vec<DataHandle>,
+    /// Intrusive dependents lists: `(dependent task, next edge)`.
+    dep_edges: Vec<(u32, u32)>,
+    /// Scratch for walking a finished task's dependents.
+    dep_scratch: Vec<TaskId>,
+    /// Scratch for the dependence list of the task being submitted.
+    deps_tmp: Vec<TaskId>,
     scheds: Vec<NodeSched>,
-    events: BinaryHeap<Reverse<(OrdF64, usize, EventKindCell)>>,
+    events: EventHeap,
     event_seq: usize,
     net: FlowNet,
     node_up: Vec<LinkId>,
     node_down: Vec<LinkId>,
     backbone: LinkId,
-    /// Valid replica locations per handle.
-    replicas: Vec<Vec<NodeId>>,
-    /// In-flight fetches: (handle, destination) -> tasks waiting on it.
-    inflight: HashMap<(usize, usize), Vec<TaskId>>,
-    flow_meta: HashMap<FlowId, (DataHandle, NodeId)>,
-    /// Resource occupied by each running task, with its start time.
-    running_resource: HashMap<usize, (ResourceKind, f64)>,
+    /// u64 words per handle in `replica_bits`.
+    replica_words: usize,
+    /// Valid replica locations per handle, one bit per node.
+    replica_bits: Vec<u64>,
+    /// The replica a fetch copies from: the owner at registration, updated
+    /// to the writing node on every invalidation.
+    replica_first: Vec<u32>,
+    /// Per-handle head of the in-flight fetch list (`NONE` = no fetch).
+    fetch_head: Vec<u32>,
+    fetch_slab: Vec<FetchEntry>,
+    fetch_free: Vec<u32>,
+    /// `(handle, dst)` per started flow, indexed by [`FlowId`].
+    flow_meta: Vec<(u32, u32)>,
+    /// Reusable buffer for network completions per engine step.
+    completed_flows: Vec<FlowId>,
+    /// Scratch: nodes touched by one completion event, dispatched (sorted,
+    /// deduplicated) before the event handler returns. Kept on the runtime
+    /// so the buffer's allocation is reused across events.
+    pending_dispatch: Vec<u32>,
     now: f64,
     trace: Trace,
     trace_enabled: bool,
@@ -195,7 +293,8 @@ pub struct SimRuntime {
     /// Accumulated per-node GPU busy seconds (summed over GPUs).
     gpu_busy: Vec<f64>,
     /// Per-phase `(tasks completed, flops)` totals, excluding pseudo-tasks.
-    phase_stats: HashMap<u32, (u64, f64)>,
+    /// Indexed by phase tag — tags are expected to be small dense integers.
+    phase_stats: Vec<(u64, f64)>,
     recorder: Arc<dyn Recorder>,
     metrics_cursor: MetricsCursor,
     /// Per-node multiplicative compute slowdown (1.0 = nominal speed).
@@ -215,26 +314,155 @@ struct MetricsCursor {
     link_busy: Vec<f64>,
 }
 
+/// Recyclable backing storage of a [`SimRuntime`].
+///
+/// Construction is on the measurement path of every tuning step, so a
+/// dropped runtime resets its allocations and parks them in a small
+/// thread-local pool for the next [`SimRuntime::new`] on the same thread.
+/// Recycling is purely an allocation-reuse mechanism: a pooled runtime is
+/// bit-for-bit identical in behavior to a cold one (pinned by a proptest).
+#[derive(Default)]
+struct SimBuffers {
+    net: FlowNet,
+    data: DataRegistry,
+    deps: DepTracker,
+    tasks: Vec<TaskState>,
+    handles: Vec<DataHandle>,
+    dep_edges: Vec<(u32, u32)>,
+    dep_scratch: Vec<TaskId>,
+    deps_tmp: Vec<TaskId>,
+    scheds: Vec<NodeSched>,
+    events: EventHeap,
+    node_up: Vec<LinkId>,
+    node_down: Vec<LinkId>,
+    replica_bits: Vec<u64>,
+    replica_first: Vec<u32>,
+    fetch_head: Vec<u32>,
+    fetch_slab: Vec<FetchEntry>,
+    fetch_free: Vec<u32>,
+    flow_meta: Vec<(u32, u32)>,
+    completed_flows: Vec<FlowId>,
+    pending_dispatch: Vec<u32>,
+    phase_stats: Vec<(u64, f64)>,
+    cpu_busy: Vec<f64>,
+    gpu_busy: Vec<f64>,
+    speed_factor: Vec<f64>,
+    cursor: MetricsCursor,
+    trace: Trace,
+}
+
+const SIM_POOL_CAP: usize = 2;
+
+thread_local! {
+    static SIM_POOL: std::cell::RefCell<Vec<SimBuffers>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl SimBuffers {
+    fn acquire() -> SimBuffers {
+        SIM_POOL.try_with(|p| p.borrow_mut().pop()).ok().flatten().unwrap_or_default()
+    }
+
+    fn release(mut self) {
+        self.reset();
+        let _ = SIM_POOL.try_with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < SIM_POOL_CAP {
+                pool.push(self);
+            }
+        });
+    }
+
+    /// Clear all logical content, keeping every allocation. `scheds` are
+    /// left as-is: `SimRuntime::new` reconfigures them per platform.
+    fn reset(&mut self) {
+        self.net.recycle();
+        self.data.recycle();
+        self.deps.clear();
+        self.tasks.clear();
+        self.handles.clear();
+        self.dep_edges.clear();
+        self.dep_scratch.clear();
+        self.deps_tmp.clear();
+        self.events.clear();
+        self.node_up.clear();
+        self.node_down.clear();
+        self.replica_bits.clear();
+        self.replica_first.clear();
+        self.fetch_head.clear();
+        self.fetch_free.clear();
+        for (i, e) in self.fetch_slab.iter_mut().enumerate() {
+            e.waiters.clear();
+            e.next = NONE;
+            self.fetch_free.push(i as u32);
+        }
+        self.flow_meta.clear();
+        self.completed_flows.clear();
+        self.pending_dispatch.clear();
+        self.phase_stats.clear();
+        self.cpu_busy.clear();
+        self.gpu_busy.clear();
+        self.speed_factor.clear();
+        self.cursor.tasks = 0;
+        self.cursor.bytes = 0.0;
+        self.cursor.cpu_busy.clear();
+        self.cursor.gpu_busy.clear();
+        self.cursor.link_busy.clear();
+        self.trace.clear();
+    }
+}
+
+impl Drop for SimRuntime {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
+        SimBuffers {
+            net: std::mem::take(&mut self.net),
+            data: std::mem::take(&mut self.data),
+            deps: std::mem::take(&mut self.deps),
+            tasks: std::mem::take(&mut self.tasks),
+            handles: std::mem::take(&mut self.handles),
+            dep_edges: std::mem::take(&mut self.dep_edges),
+            dep_scratch: std::mem::take(&mut self.dep_scratch),
+            deps_tmp: std::mem::take(&mut self.deps_tmp),
+            scheds: std::mem::take(&mut self.scheds),
+            events: std::mem::take(&mut self.events),
+            node_up: std::mem::take(&mut self.node_up),
+            node_down: std::mem::take(&mut self.node_down),
+            replica_bits: std::mem::take(&mut self.replica_bits),
+            replica_first: std::mem::take(&mut self.replica_first),
+            fetch_head: std::mem::take(&mut self.fetch_head),
+            fetch_slab: std::mem::take(&mut self.fetch_slab),
+            fetch_free: std::mem::take(&mut self.fetch_free),
+            flow_meta: std::mem::take(&mut self.flow_meta),
+            completed_flows: std::mem::take(&mut self.completed_flows),
+            pending_dispatch: std::mem::take(&mut self.pending_dispatch),
+            phase_stats: std::mem::take(&mut self.phase_stats),
+            cpu_busy: std::mem::take(&mut self.cpu_busy),
+            gpu_busy: std::mem::take(&mut self.gpu_busy),
+            speed_factor: std::mem::take(&mut self.speed_factor),
+            cursor: std::mem::take(&mut self.metrics_cursor),
+            trace: std::mem::take(&mut self.trace),
+        }
+        .release();
+    }
+}
+
 impl SimRuntime {
     /// Build a runtime over `platform` with registered task `classes`.
     pub fn new(platform: Platform, mut classes: ClassTable, config: SimConfig) -> Self {
-        let mut net = FlowNet::new();
-        let backbone = net.add_link(platform.network.backbone_bytes_per_s());
-        let mut node_up = Vec::with_capacity(platform.len());
-        let mut node_down = Vec::with_capacity(platform.len());
-        let mut scheds = Vec::with_capacity(platform.len());
-        for n in &platform.nodes {
+        let mut b = SimBuffers::acquire();
+        let backbone = b.net.add_link(platform.network.backbone_bytes_per_s());
+        b.scheds.truncate(platform.len());
+        b.scheds.resize_with(platform.len(), NodeSched::default);
+        for (n, sched) in platform.nodes.iter().zip(b.scheds.iter_mut()) {
             let bps = n.nic_gbps * 1e9 / 8.0;
-            node_up.push(net.add_link(bps));
-            node_down.push(net.add_link(bps));
-            scheds.push(NodeSched {
-                free_cpus: (0..n.cpu_cores).rev().collect(),
-                free_gpus: (0..n.gpus).rev().collect(),
-                cpu_commit: vec![0.0; n.cpu_cores],
-                gpu_commit: vec![0.0; n.gpus],
-                q_cpu: BinaryHeap::new(),
-                q_gpu: BinaryHeap::new(),
-            });
+            let up = b.net.add_link(bps);
+            let down = b.net.add_link(bps);
+            b.node_up.push(up);
+            b.node_down.push(down);
+            sched.configure(n.cpu_cores, n.gpus);
         }
         let migrate_class = classes.register(crate::task::ClassSpec {
             name: "migrate".into(),
@@ -244,45 +472,82 @@ impl SimRuntime {
         });
         let jitter = config.task_jitter.map(|s| Normal::new(0.0, s).expect("valid jitter sigma"));
         let n_nodes = platform.len();
-        let n_links = net.n_links();
+        let n_links = b.net.n_links();
+        b.cpu_busy.resize(n_nodes, 0.0);
+        b.gpu_busy.resize(n_nodes, 0.0);
+        b.speed_factor.resize(n_nodes, 1.0);
+        b.cursor.cpu_busy.resize(n_nodes, 0.0);
+        b.cursor.gpu_busy.resize(n_nodes, 0.0);
+        b.cursor.link_busy.resize(n_links, 0.0);
+        let SimBuffers {
+            net,
+            data,
+            deps,
+            tasks,
+            handles,
+            dep_edges,
+            dep_scratch,
+            deps_tmp,
+            scheds,
+            events,
+            node_up,
+            node_down,
+            replica_bits,
+            replica_first,
+            fetch_head,
+            fetch_slab,
+            fetch_free,
+            flow_meta,
+            completed_flows,
+            pending_dispatch,
+            phase_stats,
+            cpu_busy,
+            gpu_busy,
+            speed_factor,
+            cursor,
+            trace,
+        } = b;
         SimRuntime {
             platform,
             classes,
-            data: DataRegistry::new(),
-            deps: DepTracker::new(),
-            tasks: Vec::new(),
+            data,
+            deps,
+            tasks,
+            handles,
+            dep_edges,
+            dep_scratch,
+            deps_tmp,
             scheds,
-            events: BinaryHeap::new(),
+            events,
             event_seq: 0,
             net,
             node_up,
             node_down,
             backbone,
-            replicas: Vec::new(),
-            inflight: HashMap::new(),
-            flow_meta: HashMap::new(),
-            running_resource: HashMap::new(),
+            replica_words: n_nodes.div_ceil(64).max(1),
+            replica_bits,
+            replica_first,
+            fetch_head,
+            fetch_slab,
+            fetch_free,
+            flow_meta,
+            completed_flows,
+            pending_dispatch,
             now: 0.0,
-            trace: Trace::new(),
-            trace_enabled: true,
+            trace,
+            trace_enabled: config.trace,
             rng: StdRng::seed_from_u64(config.seed),
             jitter,
             migrate_class,
             remaining: 0,
             bytes_transferred: 0.0,
             tasks_executed: 0,
-            cpu_busy: vec![0.0; n_nodes],
-            gpu_busy: vec![0.0; n_nodes],
-            phase_stats: HashMap::new(),
+            cpu_busy,
+            gpu_busy,
+            phase_stats,
             recorder: Arc::new(NoopRecorder),
-            metrics_cursor: MetricsCursor {
-                tasks: 0,
-                bytes: 0.0,
-                cpu_busy: vec![0.0; n_nodes],
-                gpu_busy: vec![0.0; n_nodes],
-                link_busy: vec![0.0; n_links],
-            },
-            speed_factor: vec![1.0; n_nodes],
+            metrics_cursor: cursor,
+            speed_factor,
         }
     }
 
@@ -320,7 +585,7 @@ impl SimRuntime {
     /// Accumulated `(tasks, flops)` of one phase tag (pseudo-tasks with
     /// phase `u32::MAX` are never counted).
     pub fn phase_totals(&self, phase: u32) -> (u64, f64) {
-        self.phase_stats.get(&phase).copied().unwrap_or((0, 0.0))
+        self.phase_stats.get(phase as usize).copied().unwrap_or((0, 0.0))
     }
 
     /// Accumulated busy seconds of the shared backbone link.
@@ -335,7 +600,8 @@ impl SimRuntime {
         self.recorder = recorder;
     }
 
-    /// Enable or disable trace recording (disable for large sweeps).
+    /// Enable or disable trace recording (disable for large sweeps; see
+    /// also [`SimConfig::trace`] to start disabled).
     pub fn set_trace_enabled(&mut self, on: bool) {
         self.trace_enabled = on;
     }
@@ -363,7 +629,11 @@ impl SimRuntime {
     pub fn register_data(&mut self, bytes: usize, owner: NodeId) -> DataHandle {
         assert!(owner.0 < self.platform.len(), "owner out of range");
         let h = self.data.register(bytes, owner);
-        self.replicas.push(vec![owner]);
+        self.replica_first.push(owner.0 as u32);
+        let base = self.replica_bits.len();
+        self.replica_bits.resize(base + self.replica_words, 0);
+        self.replica_bits[base + owner.0 / 64] |= 1u64 << (owner.0 % 64);
+        self.fetch_head.push(NONE);
         h
     }
 
@@ -392,14 +662,12 @@ impl SimRuntime {
             return;
         }
         self.data.set_owner(h, dst);
-        self.submit_on(
-            TaskDesc {
-                class: self.migrate_class,
-                flops: 0.0,
-                priority: i32::MAX,
-                phase: u32::MAX,
-                accesses: vec![(h, Access::ReadWrite)],
-            },
+        self.submit_accesses(
+            self.migrate_class,
+            0.0,
+            i32::MAX,
+            u32::MAX,
+            &[(h, Access::ReadWrite)],
             Some(dst),
         );
     }
@@ -408,44 +676,74 @@ impl SimRuntime {
     /// handle (submission-time ownership), or on node 0 if it writes
     /// nothing.
     pub fn submit(&mut self, desc: TaskDesc) -> TaskId {
-        self.submit_on(desc, None)
+        self.submit_accesses(
+            desc.class,
+            desc.flops,
+            desc.priority,
+            desc.phase,
+            &desc.accesses,
+            None,
+        )
     }
 
-    fn submit_on(&mut self, desc: TaskDesc, force_node: Option<NodeId>) -> TaskId {
+    fn submit_accesses(
+        &mut self,
+        class: ClassId,
+        flops: f64,
+        priority: i32,
+        phase: u32,
+        accesses: &[(DataHandle, Access)],
+        force_node: Option<NodeId>,
+    ) -> TaskId {
         let id = TaskId(self.tasks.len());
         let node = force_node.unwrap_or_else(|| {
-            desc.writes().next().map(|h| self.data.owner(h)).unwrap_or(NodeId(0))
+            accesses
+                .iter()
+                .find(|&&(_, m)| m.writes())
+                .map(|&(h, _)| self.data.owner(h))
+                .unwrap_or(NodeId(0))
         });
         assert!(node.0 < self.platform.len(), "task node out of range");
-        let dep_list = self.deps.record(id, &desc.accesses);
+        let mut deps_tmp = std::mem::take(&mut self.deps_tmp);
+        self.deps.record_into(id, accesses, &mut deps_tmp);
         if self.trace_enabled {
             // Pseudo-tasks (data migrations) are recorded too: they carry
             // no TraceEvent, but dependence chains must stay connected
             // through them for critical-path extraction.
-            self.trace.record_deps(id, &dep_list);
+            self.trace.record_deps(id, &deps_tmp);
         }
-        let mut unmet = 0;
-        for d in &dep_list {
+        let mut unmet = 0u32;
+        for &d in &deps_tmp {
             if self.tasks[d.0].status != TaskStatus::Done {
-                self.tasks[d.0].dependents.push(id);
+                self.dep_edges.push((id.0 as u32, self.tasks[d.0].dep_head));
+                self.tasks[d.0].dep_head = (self.dep_edges.len() - 1) as u32;
                 unmet += 1;
             }
         }
-        let reads: Vec<DataHandle> = desc.reads().collect();
-        let writes: Vec<DataHandle> = desc.writes().collect();
+        deps_tmp.clear();
+        self.deps_tmp = deps_tmp;
+        let reads_start = self.handles.len() as u32;
+        self.handles.extend(accesses.iter().filter(|a| a.1.reads()).map(|a| a.0));
+        let reads_len = self.handles.len() as u32 - reads_start;
+        let writes_start = self.handles.len() as u32;
+        self.handles.extend(accesses.iter().filter(|a| a.1.writes()).map(|a| a.0));
+        let writes_len = self.handles.len() as u32 - writes_start;
         self.tasks.push(TaskState {
-            class: desc.class,
-            flops: desc.flops,
-            priority: desc.priority,
-            phase: desc.phase,
-            reads,
-            writes,
+            class,
+            flops,
+            priority,
+            phase,
             node,
+            reads_start,
+            reads_len,
+            writes_start,
+            writes_len,
             unmet_deps: unmet,
             missing_inputs: 0,
-            dependents: Vec::new(),
+            dep_head: NONE,
             status: TaskStatus::Blocked,
-            seq: id.0,
+            resource: ResourceKind::CpuCore(0),
+            run_start: 0.0,
         });
         self.remaining += 1;
         if unmet == 0 {
@@ -466,6 +764,7 @@ impl SimRuntime {
         let start = self.now;
         while self.remaining > 0 {
             let t_heap = self.events.peek().map(|Reverse((t, _, _))| t.0);
+            self.net.settle();
             let t_net = self.net.next_completion();
             let next = match (t_heap, t_net) {
                 (Some(a), Some(b)) => a.min(b),
@@ -479,10 +778,13 @@ impl SimRuntime {
             debug_assert!(next >= self.now - 1e-9, "time went backwards");
             self.now = self.now.max(next);
             // Network completions at or before `now` happen first.
-            let completed = self.net.advance_to(self.now);
-            for f in completed {
+            let mut completed = std::mem::take(&mut self.completed_flows);
+            self.net.advance_to_into(self.now, &mut completed);
+            for &f in &completed {
                 self.on_flow_done(f);
             }
+            completed.clear();
+            self.completed_flows = completed;
             // Then heap events scheduled at (or numerically before) `now`.
             while let Some(Reverse((t, _, _))) = self.events.peek() {
                 if t.0 > self.now + 1e-15 {
@@ -557,6 +859,75 @@ impl SimRuntime {
         self.events.push(Reverse((OrdF64(t), self.event_seq, EventKindCell(kind))));
     }
 
+    #[inline]
+    fn replica_contains(&self, h: DataHandle, n: NodeId) -> bool {
+        self.replica_bits[h.0 * self.replica_words + n.0 / 64] & (1u64 << (n.0 % 64)) != 0
+    }
+
+    #[inline]
+    fn replica_add(&mut self, h: DataHandle, n: NodeId) {
+        self.replica_bits[h.0 * self.replica_words + n.0 / 64] |= 1u64 << (n.0 % 64);
+    }
+
+    /// Invalidate every replica of `h` and make `n` the only valid copy.
+    fn replica_reset_to(&mut self, h: DataHandle, n: NodeId) {
+        let base = h.0 * self.replica_words;
+        self.replica_bits[base..base + self.replica_words].fill(0);
+        self.replica_bits[base + n.0 / 64] |= 1u64 << (n.0 % 64);
+        self.replica_first[h.0] = n.0 as u32;
+    }
+
+    /// The in-flight fetch of `h` towards `dst`, if any.
+    fn find_fetch(&self, h: DataHandle, dst: NodeId) -> Option<u32> {
+        let mut e = self.fetch_head[h.0];
+        while e != NONE {
+            let entry = &self.fetch_slab[e as usize];
+            if entry.dst == dst.0 as u32 {
+                return Some(e);
+            }
+            e = entry.next;
+        }
+        None
+    }
+
+    /// Start tracking a fetch of `h` towards `dst` with one waiter.
+    fn insert_fetch(&mut self, h: DataHandle, dst: NodeId, waiter: TaskId) {
+        let idx = match self.fetch_free.pop() {
+            Some(i) => i,
+            None => {
+                self.fetch_slab.push(FetchEntry::default());
+                (self.fetch_slab.len() - 1) as u32
+            }
+        };
+        let head = self.fetch_head[h.0];
+        let e = &mut self.fetch_slab[idx as usize];
+        debug_assert!(e.waiters.is_empty());
+        e.dst = dst.0 as u32;
+        e.next = head;
+        e.waiters.push(waiter);
+        self.fetch_head[h.0] = idx;
+    }
+
+    /// Unlink and return the fetch of `h` towards `dst`, if present.
+    fn take_fetch(&mut self, h: DataHandle, dst: NodeId) -> Option<u32> {
+        let mut prev = NONE;
+        let mut e = self.fetch_head[h.0];
+        while e != NONE {
+            let next = self.fetch_slab[e as usize].next;
+            if self.fetch_slab[e as usize].dst == dst.0 as u32 {
+                if prev == NONE {
+                    self.fetch_head[h.0] = next;
+                } else {
+                    self.fetch_slab[prev as usize].next = next;
+                }
+                return Some(e);
+            }
+            prev = e;
+            e = next;
+        }
+        None
+    }
+
     /// Dependencies met: request input transfers, then queue.
     fn stage(&mut self, id: TaskId) {
         debug_assert_eq!(self.tasks[id.0].status, TaskStatus::Blocked);
@@ -565,18 +936,18 @@ impl SimRuntime {
             self.trace.record_ready(id, self.now);
         }
         let node = self.tasks[id.0].node;
-        let reads = self.tasks[id.0].reads.clone();
+        let (start, len) = (self.tasks[id.0].reads_start, self.tasks[id.0].reads_len);
         let mut missing = 0;
-        for h in reads {
-            if self.replicas[h.0].contains(&node) {
+        for k in start..start + len {
+            let h = self.handles[k as usize];
+            if self.replica_contains(h, node) {
                 continue;
             }
             missing += 1;
-            let key = (h.0, node.0);
-            if let Some(waiters) = self.inflight.get_mut(&key) {
-                waiters.push(id);
+            if let Some(e) = self.find_fetch(h, node) {
+                self.fetch_slab[e as usize].waiters.push(id);
             } else {
-                self.inflight.insert(key, vec![id]);
+                self.insert_fetch(h, node, id);
                 let latency = self.platform.network.latency_s;
                 self.push_event(self.now + latency, EventKind::FlowStart { handle: h, dst: node });
             }
@@ -595,7 +966,7 @@ impl SimRuntime {
         debug_assert_eq!(t.status, TaskStatus::Staging);
         t.status = TaskStatus::Runnable;
         let node = t.node;
-        let entry = (t.priority, Reverse(t.seq), id);
+        let entry = (t.priority, Reverse(id.0), id);
         let (cpu_dur, gpu_dur) = self.durations(id);
         let now = self.now;
         let sched = &mut self.scheds[node.0];
@@ -691,6 +1062,8 @@ impl SimRuntime {
         let t = &mut self.tasks[id.0];
         debug_assert_eq!(t.status, TaskStatus::Runnable);
         t.status = TaskStatus::Running;
+        t.resource = resource;
+        t.run_start = self.now;
         let end = self.now + dur;
         if self.trace_enabled && t.phase != u32::MAX {
             self.trace.push(TraceEvent {
@@ -703,14 +1076,15 @@ impl SimRuntime {
                 end,
             });
         }
-        self.running_resource.insert(id.0, (resource, self.now));
         self.push_event(end, EventKind::TaskDone(id));
     }
 
     fn on_task_done(&mut self, id: TaskId) {
-        let node = self.tasks[id.0].node;
-        let (resource, started) =
-            self.running_resource.remove(&id.0).expect("finished task had a resource");
+        let (node, resource, started) = {
+            let t = &self.tasks[id.0];
+            debug_assert_eq!(t.status, TaskStatus::Running);
+            (t.node, t.resource, t.run_start)
+        };
         let busy = self.now - started;
         match resource {
             ResourceKind::CpuCore(_) => self.cpu_busy[node.0] += busy,
@@ -719,7 +1093,11 @@ impl SimRuntime {
         self.tasks_executed += 1;
         let (phase, flops) = (self.tasks[id.0].phase, self.tasks[id.0].flops);
         if phase != u32::MAX {
-            let entry = self.phase_stats.entry(phase).or_insert((0, 0.0));
+            let p = phase as usize;
+            if p >= self.phase_stats.len() {
+                self.phase_stats.resize(p + 1, (0, 0.0));
+            }
+            let entry = &mut self.phase_stats[p];
             entry.0 += 1;
             entry.1 += flops;
         }
@@ -750,68 +1128,94 @@ impl SimRuntime {
         self.tasks[id.0].status = TaskStatus::Done;
         self.remaining -= 1;
         // Writes invalidate remote replicas.
-        let writes = self.tasks[id.0].writes.clone();
-        for h in writes {
-            debug_assert!(
-                !self.inflight.keys().any(|&(hh, _)| hh == h.0),
+        let (ws, wl) = (self.tasks[id.0].writes_start, self.tasks[id.0].writes_len);
+        for k in ws..ws + wl {
+            let h = self.handles[k as usize];
+            debug_assert_eq!(
+                self.fetch_head[h.0], NONE,
                 "write to a handle with an in-flight transfer violates STF ordering"
             );
-            self.replicas[h.0].clear();
-            self.replicas[h.0].push(node);
+            self.replica_reset_to(h, node);
         }
         // Release dependents; enqueue all newly-ready tasks before any
-        // dispatch so same-instant priorities are honoured.
-        let deps = std::mem::take(&mut self.tasks[id.0].dependents);
-        let mut touched = vec![node.0];
-        for d in deps {
+        // dispatch so same-instant priorities are honoured. The edge list
+        // walks newest-first, so reverse into scratch to recover
+        // submission order.
+        let mut edge = self.tasks[id.0].dep_head;
+        self.tasks[id.0].dep_head = NONE;
+        let mut scratch = std::mem::take(&mut self.dep_scratch);
+        scratch.clear();
+        while edge != NONE {
+            let (t, next) = self.dep_edges[edge as usize];
+            scratch.push(TaskId(t as usize));
+            edge = next;
+        }
+        scratch.reverse();
+        self.pending_dispatch.push(node.0 as u32);
+        for &d in &scratch {
             let t = &mut self.tasks[d.0];
             t.unmet_deps -= 1;
             if t.unmet_deps == 0 {
-                touched.push(self.tasks[d.0].node.0);
+                self.pending_dispatch.push(t.node.0 as u32);
                 self.stage(d);
             }
         }
+        scratch.clear();
+        self.dep_scratch = scratch;
+        let mut touched = std::mem::take(&mut self.pending_dispatch);
         touched.sort_unstable();
         touched.dedup();
-        for n in touched {
-            self.dispatch(NodeId(n));
+        for &n in &touched {
+            self.dispatch(NodeId(n as usize));
         }
+        touched.clear();
+        self.pending_dispatch = touched;
     }
 
     fn on_flow_start(&mut self, handle: DataHandle, dst: NodeId) {
         // The replica may have appeared meanwhile; then complete instantly.
-        if self.replicas[handle.0].contains(&dst) {
+        if self.replica_contains(handle, dst) {
             self.finish_fetch(handle, dst);
             return;
         }
-        let src = *self.replicas[handle.0].first().expect("handle has at least one valid replica");
+        let src = NodeId(self.replica_first[handle.0] as usize);
         debug_assert_ne!(src, dst);
         let bytes = self.data.size(handle) as f64;
         self.bytes_transferred += bytes;
-        let route = vec![self.node_up[src.0], self.backbone, self.node_down[dst.0]];
-        let flow = self.net.start_flow(route, bytes);
-        self.flow_meta.insert(flow, (handle, dst));
+        let route = [self.node_up[src.0], self.backbone, self.node_down[dst.0]];
+        // Deferred: same-instant flow starts share one rebalance, settled
+        // before the next network observation in `run`.
+        let flow = self.net.start_flow_deferred(&route, bytes);
+        debug_assert_eq!(flow.0, self.flow_meta.len(), "flow ids must stay dense");
+        self.flow_meta.push((handle.0 as u32, dst.0 as u32));
     }
 
     fn on_flow_done(&mut self, f: FlowId) {
-        let (handle, dst) = self.flow_meta.remove(&f).expect("completed flow has metadata");
-        self.finish_fetch(handle, dst);
+        let (h, d) = self.flow_meta[f.0];
+        self.finish_fetch(DataHandle(h as usize), NodeId(d as usize));
     }
 
     fn finish_fetch(&mut self, handle: DataHandle, dst: NodeId) {
-        if !self.replicas[handle.0].contains(&dst) {
-            self.replicas[handle.0].push(dst);
+        if !self.replica_contains(handle, dst) {
+            self.replica_add(handle, dst);
         }
-        let Some(waiters) = self.inflight.remove(&(handle.0, dst.0)) else {
+        let Some(idx) = self.take_fetch(handle, dst) else {
             return;
         };
-        for id in waiters {
+        // Walk waiters by index: they stay put in the slab entry while
+        // `make_runnable` borrows the rest of the runtime.
+        let mut i = 0;
+        while i < self.fetch_slab[idx as usize].waiters.len() {
+            let id = self.fetch_slab[idx as usize].waiters[i];
+            i += 1;
             let t = &mut self.tasks[id.0];
             t.missing_inputs -= 1;
             if t.missing_inputs == 0 {
                 self.make_runnable(id);
             }
         }
+        self.fetch_slab[idx as usize].waiters.clear();
+        self.fetch_free.push(idx);
         self.dispatch(dst);
     }
 }
@@ -821,6 +1225,7 @@ mod tests {
     use super::*;
     use crate::platform::{NetworkSpec, NodeSpec};
     use crate::task::ClassSpec;
+    use proptest::prelude::*;
 
     fn small_platform(n_nodes: usize, gpus: usize) -> Platform {
         let nodes = (0..n_nodes)
@@ -1055,7 +1460,7 @@ mod tests {
             let mut rt = SimRuntime::new(
                 small_platform(3, 1),
                 ct,
-                SimConfig { seed: 42, task_jitter: Some(0.1) },
+                SimConfig { seed: 42, task_jitter: Some(0.1), trace: true },
             );
             let hs: Vec<DataHandle> =
                 (0..9).map(|i| rt.register_data(1000, NodeId(i % 3))).collect();
@@ -1152,7 +1557,7 @@ mod tests {
         let mut rt = SimRuntime::new(
             small_platform(1, 0),
             ct,
-            SimConfig { seed: 7, task_jitter: Some(0.2) },
+            SimConfig { seed: 7, task_jitter: Some(0.2), trace: true },
         );
         let h = rt.register_data(8, NodeId(0));
         rt.submit(task(cpu, 1e9, vec![(h, Access::Write)]));
@@ -1218,6 +1623,27 @@ mod tests {
     }
 
     #[test]
+    fn config_trace_flag_starts_disabled() {
+        let (ct, cpu, _) = classes();
+        let mut rt = SimRuntime::new(
+            small_platform(1, 0),
+            ct,
+            SimConfig { trace: false, ..SimConfig::default() },
+        );
+        let h = rt.register_data(8, NodeId(0));
+        rt.submit(task(cpu, 1e9, vec![(h, Access::ReadWrite)]));
+        rt.submit(task(cpu, 1e9, vec![(h, Access::ReadWrite)]));
+        rt.run();
+        assert_eq!(rt.trace().metas().count(), 0);
+        assert!(rt.trace().events().is_empty());
+        // It can still be re-enabled mid-session.
+        rt.set_trace_enabled(true);
+        rt.submit(task(cpu, 1e9, vec![(h, Access::ReadWrite)]));
+        rt.run();
+        assert_eq!(rt.trace().events().len(), 1);
+    }
+
+    #[test]
     fn latency_delays_small_transfers() {
         let (ct, cpu, _) = classes();
         let mut platform = small_platform(2, 0);
@@ -1228,5 +1654,74 @@ mod tests {
         rt.submit(task(cpu, 0.0, vec![(remote, Access::Read), (local, Access::Write)]));
         let r = rt.run();
         assert!((r.duration() - 0.5).abs() < 1e-6, "duration {}", r.duration());
+    }
+
+    /// Deterministic fingerprint of a randomized two-wave session: run
+    /// window bounds, bytes moved, and phase totals — all bitwise.
+    fn session_fingerprint(n_nodes: usize, gpus: usize, n_tasks: usize, seed: u64) -> Vec<u64> {
+        use rand::{Rng, SeedableRng};
+        let (ct, cpu, hybrid) = classes();
+        let jitter = if seed.is_multiple_of(2) { Some(0.05) } else { None };
+        let mut rt = SimRuntime::new(
+            small_platform(n_nodes, gpus),
+            ct,
+            SimConfig { seed, task_jitter: jitter, trace: true },
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabcd);
+        let handles: Vec<DataHandle> = (0..3 * n_nodes)
+            .map(|i| rt.register_data(64 + i * 1000, NodeId(i % n_nodes)))
+            .collect();
+        let mut out = Vec::new();
+        for wave in 0u32..2 {
+            for t in 0..n_tasks {
+                if rng.random_range(0..6) == 0 {
+                    let h = handles[rng.random_range(0..handles.len())];
+                    rt.migrate(h, NodeId(rng.random_range(0..n_nodes)));
+                }
+                let a = handles[rng.random_range(0..handles.len())];
+                let b = handles[rng.random_range(0..handles.len())];
+                let class = if t % 3 == 0 { hybrid } else { cpu };
+                rt.submit(TaskDesc {
+                    class,
+                    flops: rng.random_range(0.0..2e9),
+                    priority: rng.random_range(0..4),
+                    phase: (t % 3) as u32,
+                    accesses: vec![(a, Access::Read), (b, Access::ReadWrite)],
+                });
+            }
+            let r = rt.run();
+            out.push(r.start.to_bits());
+            out.push(r.end.to_bits());
+            out.push(rt.bytes_transferred().to_bits());
+            let (count, flops) = rt.phase_totals(wave);
+            out.push(count);
+            out.push(flops.to_bits());
+        }
+        out
+    }
+
+    proptest! {
+        /// A runtime built from recycled pool buffers must behave exactly
+        /// — bitwise — like one built cold: the thread-local allocation
+        /// pool is invisible to the simulation.
+        #[test]
+        fn prop_pooled_runtime_matches_cold_runtime_bitwise(
+            n_nodes in 1usize..4,
+            gpus in 0usize..2,
+            n_tasks in 1usize..25,
+            seed in 0u64..u64::MAX,
+        ) {
+            // Cold: a fresh thread starts with an empty thread-local pool.
+            let cold =
+                std::thread::spawn(move || session_fingerprint(n_nodes, gpus, n_tasks, seed))
+                    .join()
+                    .expect("cold run");
+            // Warm: this thread's pool was populated by previous cases and
+            // by the first warm run below.
+            let warm1 = session_fingerprint(n_nodes, gpus, n_tasks, seed);
+            let warm2 = session_fingerprint(n_nodes, gpus, n_tasks, seed);
+            prop_assert_eq!(&cold, &warm1);
+            prop_assert_eq!(&warm1, &warm2);
+        }
     }
 }

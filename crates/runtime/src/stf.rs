@@ -10,7 +10,6 @@
 
 use crate::data::DataHandle;
 use crate::task::{Access, TaskId};
-use std::collections::HashMap;
 
 /// Per-handle hazard state.
 #[derive(Debug, Clone, Default)]
@@ -20,9 +19,13 @@ struct HandleState {
 }
 
 /// Incremental dependence tracker.
+///
+/// Hazard state is stored densely, indexed by handle id — handle ids are
+/// registration-order integers, so the table stays compact and lookups on
+/// the submission hot path are plain indexing.
 #[derive(Debug, Clone, Default)]
 pub struct DepTracker {
-    state: HashMap<DataHandle, HandleState>,
+    state: Vec<HandleState>,
 }
 
 impl DepTracker {
@@ -31,14 +34,34 @@ impl DepTracker {
         DepTracker::default()
     }
 
+    fn ensure(&mut self, h: DataHandle) -> &mut HandleState {
+        if h.0 >= self.state.len() {
+            self.state.resize_with(h.0 + 1, HandleState::default);
+        }
+        &mut self.state[h.0]
+    }
+
     /// Record task `t` with the given accesses, returning the de-duplicated
     /// set of tasks it depends on (excluding itself).
     pub fn record(&mut self, t: TaskId, accesses: &[(DataHandle, Access)]) -> Vec<TaskId> {
-        let mut deps: Vec<TaskId> = Vec::new();
+        let mut deps = Vec::new();
+        self.record_into(t, accesses, &mut deps);
+        deps
+    }
+
+    /// Allocation-reusing form of [`DepTracker::record`]: clears `deps` and
+    /// fills it with the de-duplicated dependence set.
+    pub fn record_into(
+        &mut self,
+        t: TaskId,
+        accesses: &[(DataHandle, Access)],
+        deps: &mut Vec<TaskId>,
+    ) {
+        deps.clear();
         // First collect all hazards without mutating, so RW on the same
         // handle sees a consistent view.
         for &(h, mode) in accesses {
-            let st = self.state.entry(h).or_default();
+            let st = self.ensure(h);
             if mode.reads() {
                 if let Some(w) = st.last_writer {
                     deps.push(w); // RAW
@@ -53,7 +76,7 @@ impl DepTracker {
         }
         // Then update hazard state.
         for &(h, mode) in accesses {
-            let st = self.state.entry(h).or_default();
+            let st = self.ensure(h);
             if mode.writes() {
                 st.last_writer = Some(t);
                 st.readers_since_write.clear();
@@ -64,12 +87,15 @@ impl DepTracker {
         deps.sort_unstable();
         deps.dedup();
         deps.retain(|&d| d != t);
-        deps
     }
 
     /// Forget all hazard history (used between independent DAG regions).
+    /// Keeps the per-handle allocations for reuse.
     pub fn clear(&mut self) {
-        self.state.clear();
+        for st in &mut self.state {
+            st.last_writer = None;
+            st.readers_since_write.clear();
+        }
     }
 }
 

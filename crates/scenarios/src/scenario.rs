@@ -152,7 +152,20 @@ impl Scenario {
         GeoSimApp::new(
             self.platform(),
             self.workload(scale),
-            SimConfig { seed, task_jitter: jitter },
+            SimConfig { seed, task_jitter: jitter, trace: true },
+        )
+    }
+
+    /// Like [`Scenario::app`], but with trace recording disabled from the
+    /// start — for sweep/measurement paths that never read the trace, so
+    /// tracing costs nothing. It can be re-enabled later via
+    /// `GeoSimApp::set_trace_enabled`.
+    pub fn app_untraced(&self, scale: Scale, seed: u64) -> GeoSimApp {
+        let jitter = if self.real { Some(0.03) } else { None };
+        GeoSimApp::new(
+            self.platform(),
+            self.workload(scale),
+            SimConfig { seed, task_jitter: jitter, trace: false },
         )
     }
 
@@ -239,8 +252,7 @@ mod tests {
         // Two seeds: a Real scenario varies, a Simul one does not.
         let run = |id: char, seed: u64| {
             let s = Scenario::by_id(id).unwrap();
-            let mut app = s.app(Scale::Test, seed);
-            app.set_trace_enabled(false);
+            let mut app = s.app_untraced(Scale::Test, seed);
             let n = app.n_nodes();
             app.run_iteration(adaphet_geostat::IterationChoice::all(n)).duration()
         };

@@ -31,7 +31,11 @@ fn survivor_oracle(scen: &Scenario, scale: Scale) -> Vec<f64> {
     let n = survivor.nodes.len();
     (1..=n)
         .map(|k| {
-            let sim = SimConfig { seed: SEED.wrapping_add(DEATH_ITER as u64), task_jitter: jitter };
+            let sim = SimConfig {
+                seed: SEED.wrapping_add(DEATH_ITER as u64),
+                task_jitter: jitter,
+                trace: true,
+            };
             let mut app = GeoSimApp::new(survivor.clone(), workload, sim);
             app.run_iteration(IterationChoice::fact_only(n, k)).duration()
         })

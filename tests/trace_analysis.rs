@@ -55,7 +55,8 @@ fn diagnosis_stays_consistent_when_a_node_dies() {
     // does between the death and the next proposal.
     let survivors = scen.platform().without_rank(1);
     assert_eq!(survivors.nodes.len(), n - 1);
-    let mut app = GeoSimApp::new(survivors, workload, SimConfig { seed: 11, task_jitter: None });
+    let mut app =
+        GeoSimApp::new(survivors, workload, SimConfig { seed: 11, task_jitter: None, trace: true });
     let report = app.run_iteration(IterationChoice::fact_only(n - 1, n - 1));
     let trace = app.runtime().trace();
 
