@@ -494,6 +494,12 @@ pub enum DriverBuildError {
     MissingStrategy,
     /// The configured [`StrategyKind`] could not be built.
     Strategy(crate::UnknownStrategyError),
+    /// The requested [`WarmStart`](crate::WarmStart) could not be
+    /// honoured — typically [`StoreError::SpaceMismatch`]: the snapshot
+    /// was taken over a different action space than the live one (e.g.
+    /// before a fault shrank the platform) and folding it in verbatim
+    /// could re-introduce excluded actions.
+    WarmStart(adaphet_store::StoreError),
 }
 
 impl std::fmt::Display for DriverBuildError {
@@ -503,6 +509,7 @@ impl std::fmt::Display for DriverBuildError {
                 write!(f, "driver builder needs a strategy (call .strategy() or .kind())")
             }
             DriverBuildError::Strategy(e) => write!(f, "{e}"),
+            DriverBuildError::WarmStart(e) => write!(f, "warm start rejected: {e}"),
         }
     }
 }
@@ -530,6 +537,9 @@ pub struct TunerDriverBuilder {
     sinks: Vec<Box<dyn TelemetrySink>>,
     resilience: ResiliencePolicy,
     max_in_flight: usize,
+    warm_start: crate::WarmStart,
+    store: Option<adaphet_store::SurrogateStore>,
+    signature: Option<adaphet_store::PlatformSignature>,
 }
 
 impl TunerDriverBuilder {
@@ -597,22 +607,81 @@ impl TunerDriverBuilder {
         self
     }
 
+    /// How the session's surrogate starts (default:
+    /// [`WarmStart::Cold`]). [`WarmStart::FromSnapshot`] folds the given
+    /// snapshot in (refused with [`DriverBuildError::WarmStart`] when its
+    /// action space disagrees with the live one);
+    /// [`WarmStart::FromStore`] asks the attached [`store`](Self::store)
+    /// for the nearest-signature snapshot and projects it onto the live
+    /// space, falling back to a cold start when nothing matches.
+    pub fn warm_start(mut self, warm: crate::WarmStart) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
+    /// Attach a persistent [`SurrogateStore`]: the source for
+    /// [`WarmStart::FromStore`] look-ups, and the destination the built
+    /// [`Session`](crate::Session) snapshots itself into when it finishes.
+    pub fn store(mut self, store: &adaphet_store::SurrogateStore) -> Self {
+        self.store = Some(store.clone());
+        self
+    }
+
+    /// The platform signature used to key store look-ups and the
+    /// session's own closing snapshot. Defaults to
+    /// [`signature_from_space`](crate::signature_from_space) of the
+    /// builder's space (exact same-space re-runs still round-trip, but
+    /// cross-platform similarity needs real speeds/bandwidths).
+    pub fn signature(mut self, sig: adaphet_store::PlatformSignature) -> Self {
+        self.signature = Some(sig);
+        self
+    }
+
     /// Build the split propose/observe [`Session`](crate::Session) state
     /// machine (what services shard across worker threads).
     pub fn build_session(self) -> Result<crate::Session, DriverBuildError> {
-        let strategy = match (self.strategy, self.kind) {
+        let mut strategy = match (self.strategy, self.kind) {
             (Some(s), _) => s,
             (None, Some(k)) => k.build(&self.space, self.seed, self.oracle_best)?,
             (None, None) => return Err(DriverBuildError::MissingStrategy),
         };
+        let space = self.space;
+        match self.warm_start {
+            crate::WarmStart::Cold => {}
+            crate::WarmStart::FromSnapshot(snap) => {
+                snap.matches_space(space.max_nodes, &space.groups)
+                    .map_err(DriverBuildError::WarmStart)?;
+                strategy.warm_start(crate::SurrogatePrior::from_snapshot(&snap));
+            }
+            crate::WarmStart::FromStore { min_similarity } => {
+                if let Some(store) = &self.store {
+                    let sig = self
+                        .signature
+                        .clone()
+                        .unwrap_or_else(|| crate::signature_from_space(&space));
+                    if let Ok(Some((snap, _similarity))) =
+                        store.nearest(&sig, strategy.name(), min_similarity)
+                    {
+                        let snap = if snap.matches_space(space.max_nodes, &space.groups).is_ok() {
+                            snap
+                        } else {
+                            snap.project_onto(space.max_nodes, &space.groups, space.lp.as_deref())
+                        };
+                        strategy.warm_start(crate::SurrogatePrior::from_snapshot(&snap));
+                    }
+                }
+            }
+        }
         Ok(crate::Session::from_parts(
             strategy,
-            self.space,
+            space,
             self.sinks,
             self.best_known,
             self.iters,
             self.resilience,
             self.max_in_flight,
+            self.store,
+            self.signature,
         ))
     }
 
@@ -658,6 +727,9 @@ impl TunerDriver {
             sinks: Vec::new(),
             resilience: ResiliencePolicy::default(),
             max_in_flight: usize::MAX,
+            warm_start: crate::WarmStart::Cold,
+            store: None,
+            signature: None,
         }
     }
 

@@ -20,17 +20,25 @@
 
 use crate::{
     ActionDiagnostic, ActionSpace, DecisionTrace, History, PosteriorPoint, PosteriorSnapshot,
-    Strategy,
+    Strategy, SurrogateOptions, SurrogatePrior,
 };
 use adaphet_gp::{
     estimate_noise_from_replicates, GpConfig, GpModel, Kernel, ModelCache, PairwiseDistances,
     Trend, UcbSchedule,
 };
+use adaphet_linalg::Mat;
+use adaphet_store::GpHyper;
 
-/// Feature toggles for ablation studies: each switch removes one of the
+/// What a surrogate fit consumes: inputs `xs`, LP residuals, the stage-1
+/// configuration, and per-point noise multipliers (empty when cold).
+type FitInputs = (Vec<f64>, Vec<f64>, GpConfig, Vec<f64>);
+
+/// Feature toggles for ablation studies — each switch removes one of the
 /// paper's four ingredients (Section IV-D) so its contribution can be
-/// quantified in isolation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// quantified in isolation — plus the shared [`SurrogateOptions`]
+/// (prior, noise floor; this strategy fixes θ = 1 so the MLE grid knobs
+/// are unused here).
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpDiscOptions {
     /// Apply the LP bound mechanism to prune the search space.
     pub use_bounds: bool,
@@ -38,11 +46,18 @@ pub struct GpDiscOptions {
     pub use_dummies: bool,
     /// Model the residual over the LP instead of the raw duration.
     pub use_lp_residual: bool,
+    /// Shared surrogate knobs (warm-start prior, noise floor).
+    pub surrogate: SurrogateOptions,
 }
 
 impl Default for GpDiscOptions {
     fn default() -> Self {
-        GpDiscOptions { use_bounds: true, use_dummies: true, use_lp_residual: true }
+        GpDiscOptions {
+            use_bounds: true,
+            use_dummies: true,
+            use_lp_residual: true,
+            surrogate: SurrogateOptions::default(),
+        }
     }
 }
 
@@ -138,13 +153,41 @@ impl GpDiscontinuous {
         }
     }
 
+    /// The prior pseudo-observations inside the live space, if any.
+    fn prior_obs(&self, space: &ActionSpace) -> Option<(Vec<(usize, f64)>, f64)> {
+        let prior = self.options.surrogate.active_prior()?;
+        let obs = prior.observations_in(space);
+        if obs.is_empty() {
+            None
+        } else {
+            Some((obs, prior.noise_inflation))
+        }
+    }
+
     /// The initialization point for iteration `t`, or `None` once the GP
     /// phase should take over.
+    ///
+    /// Warm-started sessions compress the parsimonious sequence to two
+    /// points: all nodes must still be measured live (the bound
+    /// mechanism's `y(N)` reference cannot come from another platform),
+    /// followed by one exploit probe at the donor's best action — the
+    /// leftmost/middle/group probes exist only to make the first fit
+    /// possible, and the prior pseudo-observations already do that.
     fn init_action(&self, space: &ActionSpace, hist: &History) -> Option<usize> {
         let n = space.max_nodes;
         let t = hist.len();
         if t == 0 {
             return Some(n);
+        }
+        if let Some((obs, _)) = self.prior_obs(space) {
+            // One exploit probe at the donor's best candidate (the warm
+            // analogue of the cold sequence's near-optimal `nl` play),
+            // then the GP takes over. `None` — donor optimum excluded by
+            // the live bound or never observed — skips straight to the GP.
+            if t == 1 {
+                return crate::warm::prior_best_action(&obs, &self.candidates(space, hist));
+            }
+            return None;
         }
         let cands = self.candidates(space, hist);
         let nl = *cands.first().expect("bounded set non-empty");
@@ -183,18 +226,29 @@ impl GpDiscontinuous {
         probes.get(k).copied()
     }
 
-    /// Observations and stage-1 hyper-parameters for the residual
-    /// surrogate; `None` with too little data.
-    fn fit_inputs(
-        &self,
-        space: &ActionSpace,
-        hist: &History,
-    ) -> Option<(Vec<f64>, Vec<f64>, GpConfig)> {
-        if hist.len() < 3 {
+    /// Observations, stage-1 hyper-parameters and per-point noise
+    /// multipliers for the residual surrogate; `None` with too little
+    /// data. Warm-started sessions prepend the prior pseudo-observations
+    /// (nugget inflated by κ) ahead of the live history; cold sessions
+    /// get an empty multiplier vector and the exact pre-warm-start
+    /// arithmetic.
+    fn fit_inputs(&self, space: &ActionSpace, hist: &History) -> Option<FitInputs> {
+        let prior = self.prior_obs(space);
+        let (records, mults): (Vec<(usize, f64)>, Vec<f64>) = match &prior {
+            None => (hist.records().to_vec(), Vec::new()),
+            Some((obs, inflation)) => {
+                let mut recs = obs.clone();
+                recs.extend_from_slice(hist.records());
+                let mut m = vec![*inflation; obs.len()];
+                m.extend(std::iter::repeat_n(1.0, hist.len()));
+                (recs, m)
+            }
+        };
+        if (prior.is_none() && hist.len() < 3) || records.len() < 3 {
             return None;
         }
-        let xs: Vec<f64> = hist.records().iter().map(|&(a, _)| a as f64).collect();
-        let rs: Vec<f64> = hist.records().iter().map(|&(a, y)| y - self.lp(space, a)).collect();
+        let xs: Vec<f64> = records.iter().map(|&(a, _)| a as f64).collect();
+        let rs: Vec<f64> = records.iter().map(|&(a, y)| y - self.lp(space, a)).collect();
         // Trend: linear + dummies, but only for groups with data (an
         // all-zero dummy column would make the GLS rank deficient).
         let cands = self.candidates(space, hist);
@@ -204,7 +258,7 @@ impl GpDiscontinuous {
                 .iter()
                 .copied()
                 .filter(|&(lo, hi)| {
-                    hist.records().iter().any(|&(a, _)| a >= lo && a <= hi)
+                    records.iter().any(|&(a, _)| a >= lo && a <= hi)
                         && cands.iter().any(|&c| c >= lo && c <= hi)
                 })
                 .collect();
@@ -218,15 +272,16 @@ impl GpDiscontinuous {
         // only cover what is left for the GP — using the raw variance
         // would inflate the confidence bands on wide action spaces and
         // cause pointless exploration.
-        let alpha0 = adaphet_linalg::sample_variance(&rs).max(1e-9);
-        let noise = estimate_noise_from_replicates(&xs, &rs).unwrap_or(0.01 * alpha0).max(1e-9);
+        let floor = self.options.surrogate.noise_floor;
+        let alpha0 = adaphet_linalg::sample_variance(&rs).max(floor);
+        let noise = estimate_noise_from_replicates(&xs, &rs).unwrap_or(0.01 * alpha0).max(floor);
         let cfg = GpConfig {
             kernel: Kernel::Exponential { theta: 1.0 },
             process_var: alpha0,
             noise_var: noise,
             trend,
         };
-        Some((xs, rs, cfg))
+        Some((xs, rs, cfg, mults))
     }
 
     /// The MAD-robust stage-2 process variance given the stage-1 fit.
@@ -247,14 +302,24 @@ impl GpDiscontinuous {
 
     /// [`Self::fit`] over an explicit live space.
     fn fit_in(&self, space: &ActionSpace, hist: &History) -> Option<GpModel> {
-        let (xs, rs, cfg) = self.fit_inputs(space, hist)?;
+        let (xs, rs, cfg, mults) = self.fit_inputs(space, hist)?;
         let (alpha0, noise) = (cfg.process_var, cfg.noise_var);
-        let first = GpModel::fit(cfg.clone(), &xs, &rs).ok()?;
+        let n = xs.len();
+        let dists = Mat::from_fn(n, n, |i, j| (xs[i] - xs[j]).abs());
+        let first =
+            GpModel::fit_with_distances_and_noise(cfg.clone(), &xs, &rs, &dists, &mults).ok()?;
         let alpha = Self::stage2_alpha(&first, &xs, &rs, alpha0, noise);
         if (alpha - alpha0).abs() < 1e-12 {
             return Some(first);
         }
-        GpModel::fit(GpConfig { process_var: alpha, ..cfg }, &xs, &rs).ok()
+        GpModel::fit_with_distances_and_noise(
+            GpConfig { process_var: alpha, ..cfg },
+            &xs,
+            &rs,
+            &dists,
+            &mults,
+        )
+        .ok()
     }
 
     /// Bring the persistent surrogate in line with `hist`, incrementally
@@ -264,14 +329,18 @@ impl GpDiscontinuous {
     /// identical to what [`Self::fit`] would build from scratch.
     fn refresh_surrogate(&mut self, space: &ActionSpace, hist: &History) -> bool {
         self.surrogate.active = ActiveModel::None;
-        let Some((xs, rs, cfg)) = self.fit_inputs(space, hist) else {
+        let Some((xs, rs, cfg, mults)) = self.fit_inputs(space, hist) else {
             return false;
         };
         let (alpha0, noise) = (cfg.process_var, cfg.noise_var);
         self.surrogate.dists.sync(&xs);
-        let Ok(first) =
-            self.surrogate.pilot.fit_or_update(&cfg, &xs, &rs, self.surrogate.dists.matrix())
-        else {
+        let Ok(first) = self.surrogate.pilot.fit_or_update_with_noise(
+            &cfg,
+            &xs,
+            &rs,
+            self.surrogate.dists.matrix(),
+            &mults,
+        ) else {
             return false;
         };
         let alpha = Self::stage2_alpha(first, &xs, &rs, alpha0, noise);
@@ -280,7 +349,13 @@ impl GpDiscontinuous {
             return true;
         }
         let cfg2 = GpConfig { process_var: alpha, ..cfg };
-        match self.surrogate.tuned.fit_or_update(&cfg2, &xs, &rs, self.surrogate.dists.matrix()) {
+        match self.surrogate.tuned.fit_or_update_with_noise(
+            &cfg2,
+            &xs,
+            &rs,
+            self.surrogate.dists.matrix(),
+            &mults,
+        ) {
             Ok(_) => {
                 self.surrogate.active = ActiveModel::Tuned;
                 true
@@ -439,6 +514,26 @@ impl Strategy for GpDiscontinuous {
             })
             .collect();
         Some(PosteriorSnapshot { points })
+    }
+
+    fn warm_start(&mut self, prior: SurrogatePrior) -> bool {
+        // The cached surrogate was built without the prior prefix; drop
+        // it so the next refresh refits over prior + live data.
+        self.surrogate = SurrogateState::default();
+        self.options.surrogate.prior = Some(prior);
+        true
+    }
+
+    fn surrogate_hyper(&self, space: &ActionSpace, hist: &History) -> Option<GpHyper> {
+        let model = self.fit_in(space, hist)?;
+        let cfg = model.config();
+        Some(GpHyper {
+            kernel_family: cfg.kernel.family().to_string(),
+            theta: cfg.kernel.theta(),
+            process_var: cfg.process_var,
+            noise_var: cfg.noise_var,
+            trend_coefficients: model.trend_coefficients().to_vec(),
+        })
     }
 }
 
@@ -702,5 +797,113 @@ mod tests {
         assert!(h.records().iter().all(|&(a, _)| (1..=8).contains(&a)));
         let late = h.records().last().unwrap().0;
         assert!((4..=6).contains(&late), "late play {late}");
+    }
+
+    fn prior_from(h: &History) -> SurrogatePrior {
+        SurrogatePrior {
+            observations: h.records().to_vec(),
+            noise_inflation: crate::PRIOR_NOISE_INFLATION,
+            hyper: None,
+        }
+    }
+
+    #[test]
+    fn warm_start_compresses_the_initialization_to_two_plays() {
+        let space = ActionSpace::new(12, vec![], Some(lp_curve(12, 60.0)));
+        let f = |n: usize| 60.0 / n as f64 + 0.5 * n as f64; // min near 11
+
+        // A "previous session" on the same platform donates its history.
+        let mut donor = GpDiscontinuous::new(&space);
+        let donated = drive(&mut donor, &space, f, 20);
+        let mut warm = GpDiscontinuous::new(&space);
+        assert!(warm.warm_start(prior_from(&donated)), "GP-disc accepts priors");
+        let h = drive(&mut warm, &space, f, 6);
+        let seq: Vec<usize> = h.records().iter().map(|r| r.0).collect();
+        // All nodes is still measured live first (the y(N) baseline)...
+        assert_eq!(seq[0], 12);
+        // ...then one exploit probe at the donor's best action and the
+        // GP takes over — no forced leftmost / middle / middle sequence;
+        // with a converged donor the warm session should sit near the
+        // optimum from iteration 2 on.
+        let near = seq[1..].iter().filter(|&&a| (9..=12).contains(&a)).count();
+        assert!(near >= 3, "warm plays after the baseline: {seq:?}");
+    }
+
+    #[test]
+    fn warm_start_respects_the_live_bound_mechanism() {
+        let space = ActionSpace::new(12, vec![], Some(lp_curve(12, 60.0)));
+        let f = |n: usize| 60.0 / n as f64 + 0.3 * n as f64;
+        let mut donor = GpDiscontinuous::new(&space);
+        let donated = drive(&mut donor, &space, f, 15);
+        let mut warm = GpDiscontinuous::new(&space);
+        warm.warm_start(prior_from(&donated));
+        let h = drive(&mut warm, &space, f, 20);
+        // y(12) = f(12) = 8.6; LP(n) = 60/n >= 8.6 for n <= 6: after the
+        // forced baseline no excluded action may ever be proposed, prior
+        // pseudo-observations at those actions notwithstanding.
+        for &(a, _) in &h.records()[1..] {
+            assert!(a >= 7, "warm-started proposal {a} violates the bound mechanism");
+        }
+    }
+
+    #[test]
+    fn out_of_space_prior_points_are_ignored_and_proposals_stay_in_range() {
+        // A prior measured on a *larger* platform, injected directly
+        // (bypassing the builder's space check): its out-of-range points
+        // must be dropped, and every proposal must stay in the live space.
+        let big = ActionSpace::new(16, vec![], Some(lp_curve(16, 60.0)));
+        let f = |n: usize| 60.0 / n as f64 + 0.5 * n as f64;
+        let mut donor = GpDiscontinuous::new(&big);
+        let donated = drive(&mut donor, &big, f, 20);
+        assert!(donated.records().iter().any(|&(a, _)| a > 12), "donor used big actions");
+        let small = ActionSpace::new(12, vec![], Some(lp_curve(12, 60.0)));
+        let mut warm = GpDiscontinuous::new(&small);
+        warm.warm_start(prior_from(&donated));
+        let h = drive(&mut warm, &small, f, 15);
+        assert!(h.records().iter().all(|&(a, _)| (1..=12).contains(&a)));
+    }
+
+    #[test]
+    fn warm_runs_are_deterministic_given_the_same_prior() {
+        let space = ActionSpace::new(14, vec![(1, 7), (8, 14)], Some(lp_curve(14, 70.0)));
+        let f = |n: usize| 70.0 / n as f64 + 0.6 * n as f64;
+        let mut donor = GpDiscontinuous::new(&space);
+        let donated = drive(&mut donor, &space, f, 18);
+        let run = |prior: SurrogatePrior| -> Vec<usize> {
+            let mut g = GpDiscontinuous::new(&space);
+            g.warm_start(prior);
+            drive(&mut g, &space, f, 12).records().iter().map(|r| r.0).collect()
+        };
+        assert_eq!(run(prior_from(&donated)), run(prior_from(&donated)));
+    }
+
+    #[test]
+    fn empty_prior_is_bitwise_a_cold_start() {
+        let space = ActionSpace::new(12, vec![], Some(lp_curve(12, 60.0)));
+        let f = |n: usize| 60.0 / n as f64 + 0.5 * n as f64;
+        let mut cold = GpDiscontinuous::new(&space);
+        let cold_seq: Vec<usize> =
+            drive(&mut cold, &space, f, 15).records().iter().map(|r| r.0).collect();
+        let mut warm = GpDiscontinuous::new(&space);
+        warm.warm_start(SurrogatePrior {
+            observations: vec![],
+            noise_inflation: crate::PRIOR_NOISE_INFLATION,
+            hyper: None,
+        });
+        let warm_seq: Vec<usize> =
+            drive(&mut warm, &space, f, 15).records().iter().map(|r| r.0).collect();
+        assert_eq!(cold_seq, warm_seq);
+    }
+
+    #[test]
+    fn surrogate_hyper_reports_the_fitted_configuration() {
+        let space = ActionSpace::new(10, vec![(1, 5), (6, 10)], Some(lp_curve(10, 40.0)));
+        let mut g = GpDiscontinuous::new(&space);
+        let h = drive(&mut g, &space, |n| 40.0 / n as f64 + 0.5 * n as f64, 15);
+        let hyper = g.surrogate_hyper(&space, &h).expect("fit succeeds");
+        assert_eq!(hyper.kernel_family, "exponential");
+        assert_eq!(hyper.theta, 1.0, "GP-disc fixes theta");
+        assert!(hyper.process_var > 0.0 && hyper.noise_var > 0.0);
+        assert!(!hyper.trend_coefficients.is_empty(), "linear + dummy trend");
     }
 }

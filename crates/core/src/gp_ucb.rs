@@ -3,12 +3,24 @@
 
 use crate::{
     ActionDiagnostic, ActionSpace, DecisionTrace, History, PosteriorPoint, PosteriorSnapshot,
-    Strategy,
+    Strategy, SurrogateOptions, SurrogatePrior,
 };
 use adaphet_gp::{
-    estimate_noise_from_replicates, fit_profile_likelihood, fit_profile_likelihood_with_distances,
-    ucb_argmin, GpModel, Kernel, MleSearch, PairwiseDistances, Trend, UcbSchedule,
+    estimate_noise_from_replicates, fit_profile_likelihood_with_noise, ucb_argmin, GpModel, Kernel,
+    MleSearch, PairwiseDistances, Trend, UcbSchedule,
 };
+use adaphet_linalg::Mat;
+use adaphet_store::GpHyper;
+
+/// Configuration of [`GpUcb`]: just the shared [`SurrogateOptions`]
+/// (warm-start prior, noise floor, MLE grid) — the β_t schedule stays a
+/// public field as before. The [`Default`] reproduces the strategy's
+/// historical behaviour bit-exactly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GpUcbOptions {
+    /// Shared surrogate knobs.
+    pub surrogate: SurrogateOptions,
+}
 
 /// GP-UCB over node counts.
 ///
@@ -17,11 +29,18 @@ use adaphet_gp::{
 /// 3–4 the middle of the two (twice — replicates feed the noise
 /// estimator). From iteration 5 on, the GP surrogate is refitted each
 /// step and the action minimizing `μ(x) − √β_t σ(x)` is played.
+///
+/// A warm-started instance (see [`Strategy::warm_start`]) folds the
+/// prior pseudo-observations into every fit with an inflated nugget,
+/// centers the MLE θ grid on the donated length scale, and compresses
+/// the initialization to the single all-nodes baseline play.
 #[derive(Debug, Clone)]
 pub struct GpUcb {
     space: ActionSpace,
     /// β_t schedule.
     pub schedule: UcbSchedule,
+    /// Surrogate knobs (warm-start prior, noise floor, MLE grid).
+    pub options: GpUcbOptions,
     /// Pairwise distances of the history, grown by appending across
     /// `propose` calls and shared by every (θ, α) candidate of the MLE
     /// grid — the surrogate state this baseline can keep warm exactly.
@@ -32,47 +51,101 @@ impl GpUcb {
     /// Strategy over the given space (LP information is ignored — that is
     /// the point of this baseline).
     pub fn new(space: &ActionSpace) -> Self {
+        Self::with_options(space, GpUcbOptions::default())
+    }
+
+    /// Strategy with explicit [`GpUcbOptions`].
+    pub fn with_options(space: &ActionSpace, options: GpUcbOptions) -> Self {
         GpUcb {
             space: space.clone(),
             schedule: UcbSchedule::default(),
+            options,
             dists: PairwiseDistances::new(),
         }
     }
 
-    fn mle_inputs(hist: &History) -> (Vec<f64>, Vec<f64>, f64, MleSearch) {
-        let xs: Vec<f64> = hist.records().iter().map(|&(a, _)| a as f64).collect();
-        let ys: Vec<f64> = hist.records().iter().map(|&(_, y)| y).collect();
+    /// Prior pseudo-observations inside the live space, if warm-started.
+    fn prior_obs(&self, space: &ActionSpace) -> Option<(Vec<(usize, f64)>, f64)> {
+        let prior = self.options.surrogate.active_prior()?;
+        let obs = prior.observations_in(space);
+        if obs.is_empty() {
+            None
+        } else {
+            Some((obs, prior.noise_inflation))
+        }
+    }
+
+    fn mle_inputs(
+        &self,
+        space: &ActionSpace,
+        hist: &History,
+    ) -> (Vec<f64>, Vec<f64>, f64, MleSearch, Vec<f64>) {
+        let sopt = &self.options.surrogate;
+        let prior = self.prior_obs(space);
+        let (records, mults): (Vec<(usize, f64)>, Vec<f64>) = match &prior {
+            None => (hist.records().to_vec(), Vec::new()),
+            Some((obs, inflation)) => {
+                let mut recs = obs.clone();
+                recs.extend_from_slice(hist.records());
+                let mut m = vec![*inflation; obs.len()];
+                m.extend(std::iter::repeat_n(1.0, hist.len()));
+                (recs, m)
+            }
+        };
+        let xs: Vec<f64> = records.iter().map(|&(a, _)| a as f64).collect();
+        let ys: Vec<f64> = records.iter().map(|&(_, y)| y).collect();
         let var = adaphet_linalg::sample_variance(&ys);
-        let noise =
-            estimate_noise_from_replicates(&xs, &ys).unwrap_or(1e-4 * var.max(1e-12)).max(1e-9);
+        let noise = estimate_noise_from_replicates(&xs, &ys)
+            .unwrap_or(1e-4 * var.max(1e-12))
+            .max(sopt.noise_floor);
+        // A donated length scale centers the θ grid (the search narrows
+        // to [θ/4, 4θ]); fit.rs falls back to the data-span grid for
+        // non-finite or non-positive centers.
+        let theta_center =
+            self.options.surrogate.active_prior().and_then(|p| p.hyper.as_ref()).map(|h| h.theta);
         let search = MleSearch {
             kernel: Kernel::Exponential { theta: 1.0 },
             trend: Trend::constant(),
-            ..Default::default()
+            alpha_grid: sopt.mle_alpha_grid.clone(),
+            theta_points: sopt.mle_theta_points,
+            theta_center,
         };
-        (xs, ys, noise, search)
+        (xs, ys, noise, search, mults)
+    }
+
+    /// Whether the fit has enough combined (prior + live) data.
+    fn fittable(&self, space: &ActionSpace, hist: &History) -> bool {
+        let prior_n = self.prior_obs(space).map_or(0, |(obs, _)| obs.len());
+        hist.len() + prior_n >= 2 && !hist.is_empty()
     }
 
     /// Fit the surrogate on the full history (public for the step-by-step
     /// visualization of the paper's Fig. 4).
     pub fn fit(&self, hist: &History) -> Option<GpModel> {
-        if hist.len() < 2 {
+        self.fit_in(&self.space, hist)
+    }
+
+    fn fit_in(&self, space: &ActionSpace, hist: &History) -> Option<GpModel> {
+        if !self.fittable(space, hist) {
             return None;
         }
-        let (xs, ys, noise, search) = Self::mle_inputs(hist);
-        fit_profile_likelihood(&search, &xs, &ys, noise).ok()
+        let (xs, ys, noise, search, mults) = self.mle_inputs(space, hist);
+        let n = xs.len();
+        let dists = Mat::from_fn(n, n, |i, j| (xs[i] - xs[j]).abs());
+        fit_profile_likelihood_with_noise(&search, &xs, &ys, noise, &dists, &mults).ok()
     }
 
     /// [`GpUcb::fit`] reusing the persistent distance matrix (appended in
     /// O(n) per new observation, rebuilt only when the history was
     /// rewritten). Bitwise identical to the scratch fit.
-    fn fit_cached(&mut self, hist: &History) -> Option<GpModel> {
-        if hist.len() < 2 {
+    fn fit_cached(&mut self, space: &ActionSpace, hist: &History) -> Option<GpModel> {
+        if !self.fittable(space, hist) {
             return None;
         }
-        let (xs, ys, noise, search) = Self::mle_inputs(hist);
+        let (xs, ys, noise, search, mults) = self.mle_inputs(space, hist);
         self.dists.sync(&xs);
-        fit_profile_likelihood_with_distances(&search, &xs, &ys, noise, self.dists.matrix()).ok()
+        fit_profile_likelihood_with_noise(&search, &xs, &ys, noise, self.dists.matrix(), &mults)
+            .ok()
     }
 
     /// The β_t used at iteration `t` (for visualization).
@@ -90,32 +163,53 @@ impl Strategy for GpUcb {
         // Candidates, the init sequence and β_t all follow the *live*
         // space, so a shrunken platform is respected immediately.
         let n = space.max_nodes;
-        match hist.len() {
-            0 => n,
-            1 => 1.min(n),
-            2 | 3 => n.div_ceil(2).max(1),
-            t => {
-                let candidates: Vec<f64> = space.actions().iter().map(|&a| a as f64).collect();
-                match self.fit_cached(hist) {
-                    Some(model) => {
-                        let beta = self.schedule.beta(t.max(1), n);
-                        ucb_argmin(&model, &candidates, beta)
-                            .map(|x| x.round() as usize)
-                            .unwrap_or(n)
-                            .clamp(1, n)
-                    }
-                    None => hist.best_action().unwrap_or(n).min(n),
+        if hist.is_empty() {
+            // Always measure the all-nodes baseline live — even warm:
+            // the prior comes from another run (possibly another
+            // platform) and cannot substitute for it.
+            return n;
+        }
+        match self.prior_obs(space) {
+            None => {
+                // Cold parsimonious initialization, unchanged.
+                match hist.len() {
+                    1 => return 1.min(n),
+                    2 | 3 => return n.div_ceil(2).max(1),
+                    _ => {}
                 }
             }
+            Some((obs, _)) => {
+                // Warm: one exploit probe at the donor's best action,
+                // then the GP takes over — the prior supplies the data
+                // the remaining init plays would have gathered.
+                if hist.len() == 1 {
+                    if let Some(a) = crate::warm::prior_best_action(&obs, &space.actions()) {
+                        return a;
+                    }
+                }
+            }
+        }
+        let t = hist.len();
+        let candidates: Vec<f64> = space.actions().iter().map(|&a| a as f64).collect();
+        match self.fit_cached(space, hist) {
+            Some(model) => {
+                let beta = self.schedule.beta(t.max(1), n);
+                ucb_argmin(&model, &candidates, beta)
+                    .map(|x| x.round() as usize)
+                    .unwrap_or(n)
+                    .clamp(1, n)
+            }
+            None => hist.best_action().unwrap_or(n).min(n),
         }
     }
 
     fn explain(&self, space: &ActionSpace, hist: &History) -> DecisionTrace {
         let t = hist.len();
-        if t < 4 {
+        let warm = self.prior_obs(space).is_some();
+        if t < if warm { 2 } else { 4 } {
             return DecisionTrace::minimal("init");
         }
-        match self.fit(hist) {
+        match self.fit_in(space, hist) {
             Some(model) => {
                 let beta = self.schedule.beta(t.max(1), space.max_nodes);
                 let diagnostics = space
@@ -141,7 +235,7 @@ impl Strategy for GpUcb {
     fn posterior_snapshot(&self, space: &ActionSpace, hist: &History) -> Option<PosteriorSnapshot> {
         // No LP curve and no bound mechanism in this baseline: every
         // action is a candidate and `lp_bound` stays empty.
-        let model = self.fit(hist)?;
+        let model = self.fit_in(space, hist)?;
         let points = space
             .actions()
             .into_iter()
@@ -157,6 +251,26 @@ impl Strategy for GpUcb {
             })
             .collect();
         Some(PosteriorSnapshot { points })
+    }
+
+    fn warm_start(&mut self, prior: SurrogatePrior) -> bool {
+        // The persistent distance matrix indexed live history only; a
+        // prior prepends rows, so it must be rebuilt from scratch.
+        self.dists = PairwiseDistances::new();
+        self.options.surrogate.prior = Some(prior);
+        true
+    }
+
+    fn surrogate_hyper(&self, space: &ActionSpace, hist: &History) -> Option<GpHyper> {
+        let model = self.fit_in(space, hist)?;
+        let cfg = model.config();
+        Some(GpHyper {
+            kernel_family: cfg.kernel.family().to_string(),
+            theta: cfg.kernel.theta(),
+            process_var: cfg.process_var,
+            noise_var: cfg.noise_var,
+            trend_coefficients: model.trend_coefficients().to_vec(),
+        })
     }
 }
 
@@ -237,7 +351,7 @@ mod tests {
         for _ in 0..20 {
             let a = g.propose(&space, &h);
             h.record(a, f(a));
-            let cached = g.fit_cached(&h);
+            let cached = g.fit_cached(&space, &h);
             let scratch = g.fit(&h);
             match (cached, scratch) {
                 (Some(c), Some(s)) => {
@@ -263,5 +377,85 @@ mod tests {
         let mut g = GpUcb::new(&space);
         let h = drive(&mut g, &space, |_| 1.0, 6);
         assert!(h.records().iter().all(|&(a, _)| a == 1));
+    }
+
+    fn prior_over(space: &ActionSpace, f: impl Fn(usize) -> f64) -> SurrogatePrior {
+        SurrogatePrior {
+            observations: space.actions().into_iter().map(|a| (a, f(a))).collect(),
+            noise_inflation: crate::PRIOR_NOISE_INFLATION,
+            hyper: None,
+        }
+    }
+
+    #[test]
+    fn warm_start_skips_the_cold_initialization_plays() {
+        let space = ActionSpace::unstructured(14);
+        let f = |n: usize| 60.0 / n as f64 + 1.2 * n as f64; // min near 7
+        let mut g = GpUcb::new(&space);
+        assert!(g.warm_start(prior_over(&space, f)));
+        let h = drive(&mut g, &space, f, 8);
+        let seq: Vec<usize> = h.records().iter().map(|r| r.0).collect();
+        // Iteration 1 still measures the all-nodes baseline live; after
+        // that the GP takes over instead of the 1, mid, mid init plays.
+        assert_eq!(seq[0], 14);
+        assert_ne!(&seq[1..4], &[1, 7, 7], "init plays must be compressed: {seq:?}");
+        // The prior already pins the curve, so the very next plays land
+        // near the optimum.
+        let near = seq[1..].iter().filter(|&&a| (5..=9).contains(&a)).count();
+        assert!(near >= 5, "warm plays should concentrate early: {seq:?}");
+    }
+
+    #[test]
+    fn warm_runs_are_deterministic_given_the_same_prior() {
+        let space = ActionSpace::unstructured(14);
+        let f = |n: usize| 60.0 / n as f64 + 1.2 * n as f64;
+        let run = || {
+            let mut g = GpUcb::new(&space);
+            assert!(g.warm_start(prior_over(&space, f)));
+            drive(&mut g, &space, f, 10).records().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn out_of_space_prior_points_never_leave_the_live_range() {
+        // A prior recorded on a 14-node platform, replayed on a platform
+        // that shrank to 6 nodes: proposals must stay in 1..=6.
+        let big = ActionSpace::unstructured(14);
+        let small = ActionSpace::unstructured(6);
+        let f = |n: usize| 60.0 / n as f64 + 1.2 * n as f64;
+        let mut g = GpUcb::new(&small);
+        assert!(g.warm_start(prior_over(&big, f)));
+        let h = drive(&mut g, &small, f, 10);
+        assert!(h.records().iter().all(|&(a, _)| (1..=6).contains(&a)), "{:?}", h.records());
+    }
+
+    #[test]
+    fn empty_prior_is_bitwise_a_cold_start() {
+        let space = ActionSpace::unstructured(14);
+        let f = |n: usize| 60.0 / n as f64 + 1.2 * n as f64;
+        let mut cold = GpUcb::new(&space);
+        let mut warm = GpUcb::new(&space);
+        assert!(warm.warm_start(SurrogatePrior {
+            observations: vec![],
+            noise_inflation: crate::PRIOR_NOISE_INFLATION,
+            hyper: None,
+        }));
+        let a = drive(&mut cold, &space, f, 12).records().to_vec();
+        let b = drive(&mut warm, &space, f, 12).records().to_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn surrogate_hyper_reports_the_fitted_configuration() {
+        let space = ActionSpace::unstructured(14);
+        let mut g = GpUcb::new(&space);
+        let f = |n: usize| 60.0 / n as f64 + 1.2 * n as f64;
+        let h = drive(&mut g, &space, f, 10);
+        let hyper = g.surrogate_hyper(&space, &h).expect("enough data to fit");
+        assert_eq!(hyper.kernel_family, "exponential");
+        assert!(hyper.theta > 0.0);
+        assert!(hyper.process_var > 0.0);
+        assert_eq!(hyper.trend_coefficients.len(), 1, "constant trend");
     }
 }

@@ -87,6 +87,7 @@ mod naive;
 mod session;
 mod strategy;
 mod two_dim;
+mod warm;
 
 // ---- The curated public surface, by layer ----------------------------
 //
@@ -98,6 +99,16 @@ pub use driver::{
     TunerDriverBuilder,
 };
 pub use session::{Observed, Proposal, Session, SessionError, Ticket};
+
+// Cross-session warm-starting: the request type, the resolved prior, the
+// shared surrogate knobs, and the persistent store it all rides on
+// (re-exported from `adaphet-store` so driver users need one crate).
+pub use adaphet_store::{
+    GpHyper, GroupSig, PlatformSignature, StoreError, SurrogateSnapshot, SurrogateStore,
+};
+pub use warm::{
+    signature_from_space, SurrogateOptions, SurrogatePrior, WarmStart, PRIOR_NOISE_INFLATION,
+};
 
 // Strategy construction: the validated by-name registry and the trait.
 pub use kind::{StrategyKind, UnknownStrategyError, PAPER_STRATEGIES};
@@ -114,7 +125,7 @@ pub use brent::BrentSearch;
 pub use drift::DriftReset;
 pub use extra::{NelderMead1d, RandomSearch, SimulatedAnnealing, StochasticApproximation};
 pub use gp_disc::{GpDiscOptions, GpDiscontinuous};
-pub use gp_ucb::GpUcb;
+pub use gp_ucb::{GpUcb, GpUcbOptions};
 pub use naive::{DivideConquer, RightLeft};
 pub use strategy::{AllNodes, Oracle};
 

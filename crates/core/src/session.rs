@@ -29,6 +29,7 @@
 use crate::driver::{IterationEvent, Observation, ResiliencePolicy, StepOutcome, TelemetrySink};
 use crate::strategy::{DecisionTrace, PosteriorSnapshot, Strategy};
 use crate::{ActionSpace, History};
+use adaphet_store::{PlatformSignature, SurrogateSnapshot, SurrogateStore};
 use std::io;
 
 /// Opaque handle for one in-flight proposal of a [`Session`].
@@ -172,6 +173,8 @@ pub struct Session {
     ledger: Vec<PendingAction>,
     next_ticket: u64,
     max_in_flight: usize,
+    store: Option<SurrogateStore>,
+    signature: Option<PlatformSignature>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -185,6 +188,8 @@ impl Session {
         iters: Option<usize>,
         resilience: ResiliencePolicy,
         max_in_flight: usize,
+        store: Option<SurrogateStore>,
+        signature: Option<PlatformSignature>,
     ) -> Self {
         Session {
             strategy,
@@ -201,6 +206,8 @@ impl Session {
             ledger: Vec::new(),
             next_ticket: 0,
             max_in_flight,
+            store,
+            signature,
         }
     }
 
@@ -467,14 +474,49 @@ impl Session {
         false
     }
 
-    /// Finish all sinks (flush files). Every sink is finished even if an
+    /// The session's surrogate state as a persistable
+    /// [`SurrogateSnapshot`]: the observation history over the *live*
+    /// space (quarantined records already removed, so a snapshot taken
+    /// after a fault never leaks dead-node actions), the fitted GP
+    /// hyper-parameters when the strategy has a surrogate with enough
+    /// data, and the session's platform signature (falling back to
+    /// [`signature_from_space`](crate::signature_from_space) of the live
+    /// space). `None` while the history is empty — there is nothing worth
+    /// persisting.
+    pub fn snapshot(&self) -> Option<SurrogateSnapshot> {
+        if self.history.is_empty() {
+            return None;
+        }
+        let signature =
+            self.signature.clone().unwrap_or_else(|| crate::signature_from_space(&self.space));
+        Some(SurrogateSnapshot {
+            signature,
+            strategy: self.strategy.name().to_string(),
+            max_nodes: self.space.max_nodes,
+            groups: self.space.groups.clone(),
+            lp: self.space.lp.clone(),
+            observations: self.history.records().to_vec(),
+            hyper: self.strategy.surrogate_hyper(&self.space, &self.history),
+        })
+    }
+
+    /// Finish all sinks (flush files) and, when a
+    /// [`SurrogateStore`] is attached, persist the closing
+    /// [`snapshot`](Session::snapshot). Every sink is finished even if an
     /// earlier one fails; the first error is returned. Idempotent: sinks
-    /// surface a latched error once.
+    /// surface a latched error once (the snapshot is simply re-written).
     pub fn finish(&mut self) -> io::Result<()> {
         let mut first_err = None;
         for sink in &mut self.sinks {
             if let Err(e) = sink.finish() {
                 first_err.get_or_insert(e);
+            }
+        }
+        if let Some(store) = &self.store {
+            if let Some(snap) = self.snapshot() {
+                if let Err(e) = store.put(&snap) {
+                    first_err.get_or_insert(io::Error::other(e));
+                }
             }
         }
         match first_err {

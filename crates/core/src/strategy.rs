@@ -1,7 +1,8 @@
 //! The strategy trait, its introspection types, and trivial reference
 //! strategies.
 
-use crate::{ActionSpace, History};
+use crate::{ActionSpace, History, SurrogatePrior};
+use adaphet_store::GpHyper;
 
 /// Posterior / score diagnostics for one candidate action, as seen by the
 /// strategy right before it decided.
@@ -134,6 +135,27 @@ pub trait Strategy: Send {
     /// means "no posterior to show", which telemetry serializes as a JSON
     /// `null` — distinct from an empty snapshot.
     fn posterior_snapshot(&self, space: &ActionSpace, hist: &History) -> Option<PosteriorSnapshot> {
+        let _ = (space, hist);
+        None
+    }
+
+    /// Fold a cross-session [`SurrogatePrior`] into the strategy's state
+    /// — called by the driver builder when a
+    /// [`WarmStart`](crate::WarmStart) resolved to a snapshot, before any
+    /// proposal. Returns whether the prior was accepted; the default (and
+    /// every non-GP strategy) ignores priors and answers `false`, which
+    /// is exactly a cold start.
+    fn warm_start(&mut self, prior: SurrogatePrior) -> bool {
+        let _ = prior;
+        false
+    }
+
+    /// The fitted hyper-parameters of the strategy's surrogate over
+    /// `hist`, if it maintains one with enough data to fit — what a
+    /// [`Session`](crate::Session) persists into a snapshot on close so
+    /// the *next* session can seed its hyper-parameter search. `None`
+    /// (the default) means the snapshot carries observations only.
+    fn surrogate_hyper(&self, space: &ActionSpace, hist: &History) -> Option<GpHyper> {
         let _ = (space, hist);
         None
     }

@@ -22,14 +22,19 @@ fn variant_options(name: &str) -> GpDiscOptions {
         "no-bounds" => GpDiscOptions { use_bounds: false, ..Default::default() },
         "no-dummies" => GpDiscOptions { use_dummies: false, ..Default::default() },
         "no-lp-residual" => GpDiscOptions { use_lp_residual: false, ..Default::default() },
-        "plain" => GpDiscOptions { use_bounds: false, use_dummies: false, use_lp_residual: false },
+        "plain" => GpDiscOptions {
+            use_bounds: false,
+            use_dummies: false,
+            use_lp_residual: false,
+            ..Default::default()
+        },
         other => panic!("unknown variant {other}"),
     }
 }
 
-fn replay_variant(table: &ResponseTable, opts: GpDiscOptions, iters: usize, seed: u64) -> f64 {
+fn replay_variant(table: &ResponseTable, opts: &GpDiscOptions, iters: usize, seed: u64) -> f64 {
     let space = space_of(table);
-    let mut strat = GpDiscontinuous::with_options(&space, opts);
+    let mut strat = GpDiscontinuous::with_options(&space, opts.clone());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut hist = History::new();
     for _ in 0..iters {
@@ -58,7 +63,7 @@ fn main() -> Result<(), AdaphetError> {
             let opts = variant_options(v);
             let totals: Vec<f64> = (0..args.reps)
                 .into_par_iter()
-                .map(|r| replay_variant(&table, opts, args.iters, args.seed + r as u64))
+                .map(|r| replay_variant(&table, &opts, args.iters, args.seed + r as u64))
                 .collect();
             let mean = totals.iter().sum::<f64>() / totals.len() as f64;
             let gain = 100.0 * (1.0 - mean / all_total);

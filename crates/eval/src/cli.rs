@@ -37,6 +37,12 @@ pub struct RunArgs {
     /// across cores (see [`sweep`](crate::sweep)). Output must be
     /// byte-identical either way; CI diffs the two fig6 runs.
     pub sequential: bool,
+    /// Scenario letters to restrict a multi-scenario binary to (e.g.
+    /// `--scenarios aip`); empty means all 16.
+    pub scenarios: Vec<char>,
+    /// Directory for the persistent surrogate store used by warm-start
+    /// binaries (`transfer`); `None` keeps everything in memory.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for RunArgs {
@@ -50,12 +56,15 @@ impl Default for RunArgs {
             metrics: None,
             faults: None,
             sequential: false,
+            scenarios: Vec::new(),
+            store_dir: None,
         }
     }
 }
 
 const USAGE: &str = "try --full/--reduced/--test, --reps N, --iters N, --seed N, \
-                     --telemetry PATH, --metrics PATH, --faults PLAN.json, --sequential";
+                     --telemetry PATH, --metrics PATH, --faults PLAN.json, --sequential, \
+                     --scenarios LETTERS, --store-dir DIR";
 
 /// Parse `std::env::args`: `--full | --reduced | --test`,
 /// `--reps <k>`, `--iters <k>`, `--seed <k>`, `--telemetry <path>`,
@@ -107,6 +116,22 @@ fn parse_argv(argv: Vec<String>) -> Result<RunArgs, AdaphetError> {
                 out.faults = Some(PathBuf::from(value(&argv, i, "--faults")?));
             }
             "--sequential" => out.sequential = true,
+            "--scenarios" => {
+                i += 1;
+                let letters = value(&argv, i, "--scenarios")?;
+                out.scenarios = letters.chars().collect();
+                if out.scenarios.is_empty()
+                    || out.scenarios.iter().any(|c| !('a'..='p').contains(c))
+                {
+                    return Err(AdaphetError::usage(format!(
+                        "--scenarios needs letters from a..p, got {letters:?}"
+                    )));
+                }
+            }
+            "--store-dir" => {
+                i += 1;
+                out.store_dir = Some(PathBuf::from(value(&argv, i, "--store-dir")?));
+            }
             other => {
                 return Err(AdaphetError::usage(format!("unknown argument {other:?} ({USAGE})")));
             }
@@ -178,6 +203,16 @@ mod tests {
         assert!(matches!(parse_argv(argv(&["--bogus"])), Err(AdaphetError::Usage(_))));
         assert!(matches!(parse_argv(argv(&["--reps"])), Err(AdaphetError::Usage(_))));
         assert!(matches!(parse_argv(argv(&["--reps", "many"])), Err(AdaphetError::Usage(_))));
+        assert!(matches!(parse_argv(argv(&["--scenarios", "xyz"])), Err(AdaphetError::Usage(_))));
+        assert!(matches!(parse_argv(argv(&["--scenarios", ""])), Err(AdaphetError::Usage(_))));
+    }
+
+    #[test]
+    fn scenario_subsets_and_store_dir_parse() {
+        let d = parse_argv(argv(&["--scenarios", "aip", "--store-dir", "/tmp/s"])).unwrap();
+        assert_eq!(d.scenarios, vec!['a', 'i', 'p']);
+        assert_eq!(d.store_dir.as_deref(), Some(std::path::Path::new("/tmp/s")));
+        assert!(parse_argv(Vec::new()).unwrap().scenarios.is_empty());
     }
 
     #[test]

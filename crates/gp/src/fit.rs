@@ -70,6 +70,12 @@ pub struct MleSearch {
     pub alpha_grid: Vec<f64>,
     /// Number of θ grid points (log-spaced over the data span).
     pub theta_points: usize,
+    /// Optional center for the θ grid. `Some(c)` narrows the grid to
+    /// `[c/4, 4c]` (log-spaced, same point count) — used by warm-started
+    /// sessions to start the search around a previously fitted length
+    /// scale. `None` keeps the data-span grid and is bit-identical to
+    /// the behavior before this field existed.
+    pub theta_center: Option<f64>,
 }
 
 impl Default for MleSearch {
@@ -79,6 +85,7 @@ impl Default for MleSearch {
             trend: Trend::constant(),
             alpha_grid: vec![0.25, 1.0, 4.0],
             theta_points: 9,
+            theta_center: None,
         }
     }
 }
@@ -120,6 +127,22 @@ pub fn fit_profile_likelihood_with_distances(
     noise_var: f64,
     dists: &Mat,
 ) -> crate::Result<GpModel> {
+    fit_profile_likelihood_with_noise(search, x, y, noise_var, dists, &[])
+}
+
+/// [`fit_profile_likelihood_with_distances`] with per-point noise
+/// multipliers applied to every candidate fit (see
+/// [`GpModel::fit_with_distances_and_noise`]; empty = all ones). Warm
+/// starts use this so the prior pseudo-points stay soft during the
+/// hyper-parameter search, not just in the final fit.
+pub fn fit_profile_likelihood_with_noise(
+    search: &MleSearch,
+    x: &[f64],
+    y: &[f64],
+    noise_var: f64,
+    dists: &Mat,
+    noise_mults: &[f64],
+) -> crate::Result<GpModel> {
     assert!(!x.is_empty());
     let recorder = adaphet_metrics::global();
     recorder.add("gp.mle.searches", 1.0);
@@ -134,8 +157,10 @@ pub fn fit_profile_likelihood_with_distances(
     };
     let var_y = sample_variance(y).max(1e-12);
 
-    let theta_min = (span / 50.0).max(1e-3);
-    let theta_max = span * 2.0;
+    let (theta_min, theta_max) = match search.theta_center {
+        Some(c) if c.is_finite() && c > 0.0 => (c / 4.0, c * 4.0),
+        _ => ((span / 50.0).max(1e-3), span * 2.0),
+    };
     let n_t = search.theta_points.max(2);
     let mut candidates = Vec::with_capacity(n_t * search.alpha_grid.len());
     for ti in 0..n_t {
@@ -152,7 +177,7 @@ pub fn fit_profile_likelihood_with_distances(
     }
     let fits: Vec<Option<GpModel>> = candidates
         .into_par_iter()
-        .map(|cfg| GpModel::fit_with_distances(cfg, x, y, dists).ok())
+        .map(|cfg| GpModel::fit_with_distances_and_noise(cfg, x, y, dists, noise_mults).ok())
         .collect();
     let mut best: Option<GpModel> = None;
     for model in fits.into_iter().flatten() {
@@ -168,7 +193,7 @@ pub fn fit_profile_likelihood_with_distances(
     // everything failed, surface the factorization error from a last try.
     match best {
         Some(m) => Ok(m),
-        None => GpModel::fit_with_distances(
+        None => GpModel::fit_with_distances_and_noise(
             GpConfig {
                 kernel: search.kernel.with_theta(span),
                 process_var: var_y,
@@ -178,6 +203,7 @@ pub fn fit_profile_likelihood_with_distances(
             x,
             y,
             dists,
+            noise_mults,
         ),
     }
 }
@@ -222,6 +248,27 @@ mod tests {
         let model =
             fit_profile_likelihood(&MleSearch::default(), &[1.0, 10.0], &[5.0, 6.0], 0.01).unwrap();
         assert!(model.predict(5.0).mean.is_finite());
+    }
+
+    #[test]
+    fn theta_center_narrows_the_grid_around_the_hint() {
+        let xs: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x / 5.0).sin() * 3.0).collect();
+        let center = 5.0;
+        let search = MleSearch {
+            kernel: Kernel::SquaredExponential { theta: 1.0 },
+            theta_center: Some(center),
+            ..Default::default()
+        };
+        let model = fit_profile_likelihood(&search, &xs, &ys, 1e-6).unwrap();
+        let theta = model.config().kernel.theta();
+        assert!(
+            (center / 4.0..=center * 4.0).contains(&theta),
+            "theta {theta} escaped the centered grid"
+        );
+        // A non-positive center falls back to the span grid (no panic).
+        let degenerate = MleSearch { theta_center: Some(0.0), ..Default::default() };
+        assert!(fit_profile_likelihood(&degenerate, &xs, &ys, 1e-6).is_ok());
     }
 
     #[test]

@@ -155,12 +155,37 @@ impl ModelCache {
         ys: &[f64],
         dists: &Mat,
     ) -> crate::Result<&GpModel> {
+        self.fit_or_update_with_noise(config, xs, ys, dists, &[])
+    }
+
+    /// [`ModelCache::fit_or_update`] with per-point noise multipliers
+    /// (see [`GpModel::fit_with_distances_and_noise`]; empty = all ones).
+    /// The incremental route additionally requires the cached model's
+    /// multipliers to match the requested ones bit-for-bit and every new
+    /// point to be a live one (multiplier exactly 1) — anything else
+    /// refits from scratch with the requested multipliers.
+    pub fn fit_or_update_with_noise(
+        &mut self,
+        config: &GpConfig,
+        xs: &[f64],
+        ys: &[f64],
+        dists: &Mat,
+        noise_mults: &[f64],
+    ) -> crate::Result<&GpModel> {
         if let Some(model) = self.model.as_mut() {
             let n = model.n_obs();
+            let mults_extend = if noise_mults.is_empty() {
+                (0..n).all(|i| model.noise_mult(i) == 1.0)
+            } else {
+                noise_mults.len() == xs.len()
+                    && (0..n).all(|i| noise_mults[i] == model.noise_mult(i))
+                    && noise_mults[n..].iter().all(|&m| m == 1.0)
+            };
             let extends = model.config() == config
                 && xs.len() >= n
                 && xs[..n] == model.xs()[..]
-                && ys[..n] == model.ys()[..];
+                && ys[..n] == model.ys()[..]
+                && mults_extend;
             if extends {
                 for i in n..xs.len() {
                     // Replicates of an already-observed input reuse the
@@ -181,7 +206,8 @@ impl ModelCache {
             }
         }
         adaphet_metrics::global().add("gp.fit.full", 1.0);
-        let model = GpModel::fit_with_distances(config.clone(), xs, ys, dists)?;
+        let model =
+            GpModel::fit_with_distances_and_noise(config.clone(), xs, ys, dists, noise_mults)?;
         Ok(self.model.insert(model))
     }
 }
@@ -265,6 +291,59 @@ mod tests {
             reg.counter_value("gp.fit.full") - before >= 1.0,
             "config change must force a refit"
         );
+    }
+
+    #[test]
+    fn cache_with_noise_mults_is_bitwise_equal_to_scratch() {
+        // Prior points (inflated mults) fitted once, live points appended:
+        // the incremental path must match scratch fits with the full
+        // multiplier vector at every step.
+        let xs = [2.0, 5.0, 1.0, 4.0, 3.0];
+        let ys = [1.5, 0.2, 3.0, 0.4, 0.9];
+        let mults = [9.0, 9.0, 1.0, 1.0, 1.0]; // first two are prior pseudo-points
+        let cfg = config(1.1);
+        let mut dists = PairwiseDistances::new();
+        let mut cache = ModelCache::new();
+        for n in 2..=xs.len() {
+            dists.sync(&xs[..n]);
+            let model = cache
+                .fit_or_update_with_noise(&cfg, &xs[..n], &ys[..n], dists.matrix(), &mults[..n])
+                .unwrap();
+            let scratch = GpModel::fit_with_distances_and_noise(
+                cfg.clone(),
+                &xs[..n],
+                &ys[..n],
+                dists.matrix(),
+                &mults[..n],
+            )
+            .unwrap();
+            assert_eq!(model.log_likelihood().to_bits(), scratch.log_likelihood().to_bits());
+            for q in 0..15 {
+                let xq = q as f64 * 0.4;
+                assert_eq!(model.predict(xq).mean.to_bits(), scratch.predict(xq).mean.to_bits());
+                assert_eq!(model.predict(xq).var.to_bits(), scratch.predict(xq).var.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_refits_when_noise_mults_change() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [0.1, 0.4, 0.2];
+        let cfg = config(1.0);
+        let mut dists = PairwiseDistances::new();
+        dists.sync(&xs);
+        let reg = adaphet_metrics::install_global(adaphet_metrics::Registry::new());
+        let mut cache = ModelCache::new();
+        cache.fit_or_update_with_noise(&cfg, &xs, &ys, dists.matrix(), &[4.0, 1.0, 1.0]).unwrap();
+        let before = reg.counter_value("gp.fit.full");
+        // Same data, different multipliers: must not reuse the cached fit.
+        cache.fit_or_update(&cfg, &xs, &ys, dists.matrix()).unwrap();
+        assert!(
+            reg.counter_value("gp.fit.full") - before >= 1.0,
+            "multiplier change must force a refit"
+        );
+        assert_eq!(cache.model().unwrap().noise_mult(0), 1.0);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use acquisition::{lower_confidence_bound, ucb_argmin, UcbSchedule};
 pub use design::{latin_hypercube, maximin_design};
 pub use fit::{
     estimate_noise_from_replicates, fit_profile_likelihood, fit_profile_likelihood_with_distances,
-    MleSearch,
+    fit_profile_likelihood_with_noise, MleSearch,
 };
 pub use incremental::{ModelCache, PairwiseDistances};
 pub use kernel::Kernel;

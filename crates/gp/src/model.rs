@@ -56,6 +56,12 @@ pub struct GpModel {
     /// cached so replicate updates can copy a column instead of
     /// re-evaluating the kernel and the jitter fallback can rebuild K.
     corr: Mat,
+    /// Per-point multipliers of the nugget (`K[(i,i)] += σ²_N · m_i`).
+    /// Empty means every multiplier is exactly 1 — the homoscedastic
+    /// model — and the diagonal is formed by the original expression, so
+    /// the default path is bit-identical to the pre-multiplier code.
+    /// Warm-started fits inflate the multipliers of prior pseudo-points.
+    noise_mults: Vec<f64>,
     /// Jitter that had to be added to make K positive definite (0 if none).
     jitter: f64,
     /// Profile log-likelihood of the data under this fit.
@@ -93,6 +99,26 @@ impl GpModel {
         y: &[f64],
         dists: &Mat,
     ) -> crate::Result<GpModel> {
+        Self::fit_with_distances_and_noise(config, x, y, dists, &[])
+    }
+
+    /// [`GpModel::fit_with_distances`] with per-point noise multipliers:
+    /// observation `i` contributes `σ²_N · noise_mults[i]` to the
+    /// covariance diagonal instead of the flat `σ²_N`. An empty slice
+    /// means all-ones and is bit-identical to the plain fit.
+    ///
+    /// This is how warm-started strategies fold a prior in: the prior's
+    /// pseudo-observations get multipliers above 1, so they pull the
+    /// posterior where nothing has been measured yet but are quickly
+    /// overruled by live data. Points appended later through
+    /// [`GpModel::update`] always carry multiplier 1 (they are live).
+    pub fn fit_with_distances_and_noise(
+        config: GpConfig,
+        x: &[f64],
+        y: &[f64],
+        dists: &Mat,
+        noise_mults: &[f64],
+    ) -> crate::Result<GpModel> {
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         assert!(!x.is_empty(), "cannot fit a GP with zero observations");
         let n = x.len();
@@ -102,8 +128,13 @@ impl GpModel {
             dists.rows(),
             dists.cols()
         );
+        assert!(
+            noise_mults.is_empty() || noise_mults.len() == n,
+            "noise_mults has {} entries for {n} observations",
+            noise_mults.len()
+        );
         let corr = Mat::from_fn(n, n, |i, j| config.kernel.corr(dists[(i, j)]));
-        Self::fit_from_corr(config, x.to_vec(), y.to_vec(), corr)
+        Self::fit_from_corr(config, x.to_vec(), y.to_vec(), corr, noise_mults.to_vec())
     }
 
     /// Core scratch fit from an already-evaluated correlation matrix. Both
@@ -114,6 +145,7 @@ impl GpModel {
         x: Vec<f64>,
         y: Vec<f64>,
         corr: Mat,
+        noise_mults: Vec<f64>,
     ) -> crate::Result<GpModel> {
         let recorder = adaphet_metrics::global();
         recorder.add("gp.model.fits", 1.0);
@@ -121,10 +153,17 @@ impl GpModel {
         let n = x.len();
         let alpha = config.process_var.max(1e-12);
 
-        // K = α R + σ²_N I.
+        // K = α R + σ²_N diag(m). The homoscedastic case keeps the
+        // original expression so it stays bit-identical.
         let mut k = Mat::from_fn(n, n, |i, j| alpha * corr[(i, j)]);
-        for i in 0..n {
-            k[(i, i)] += config.noise_var;
+        if noise_mults.is_empty() {
+            for i in 0..n {
+                k[(i, i)] += config.noise_var;
+            }
+        } else {
+            for i in 0..n {
+                k[(i, i)] += config.noise_var * noise_mults[i];
+            }
         }
         let base_jitter = 1e-10 * alpha.max(config.noise_var).max(1e-12);
         let (chol, jitter) = Cholesky::factor_with_jitter(&k, base_jitter, 14)?;
@@ -147,6 +186,7 @@ impl GpModel {
             kinv_resid,
             design,
             corr,
+            noise_mults,
             jitter,
             log_likelihood,
             ws_a: Vec::new(),
@@ -173,6 +213,9 @@ impl GpModel {
         self.ws_a.reserve(target_n);
         self.ws_b.reserve(target_n);
         self.ws_c.reserve(target_n);
+        if !self.noise_mults.is_empty() {
+            self.noise_mults.reserve(target_n - n);
+        }
     }
 
     /// Absorb one new observation `(x_new, y_new)` in O(n²) instead of
@@ -242,6 +285,8 @@ impl GpModel {
 
         // Covariance column and diagonal exactly as the scratch K holds
         // them, plus the jitter this model's factorization settled on.
+        // Appended observations are always live, so their multiplier is 1
+        // and the diagonal keeps the homoscedastic expression.
         self.ws_b.clear();
         self.ws_b.extend(self.ws_a.iter().map(|&r| alpha * r));
         let mut diag = alpha * rnn + self.config.noise_var;
@@ -261,8 +306,12 @@ impl GpModel {
                 let mut y = std::mem::take(&mut self.y);
                 x.push(x_new);
                 y.push(y_new);
+                let mut mults = std::mem::take(&mut self.noise_mults);
+                if !mults.is_empty() {
+                    mults.push(1.0);
+                }
                 let corr = std::mem::replace(&mut self.corr, Mat::zeros(0, 0));
-                *self = Self::fit_from_corr(self.config.clone(), x, y, corr)?;
+                *self = Self::fit_from_corr(self.config.clone(), x, y, corr, mults)?;
                 return Ok(());
             }
             Err(other) => return Err(other),
@@ -271,6 +320,9 @@ impl GpModel {
 
         self.x.push(x_new);
         self.y.push(y_new);
+        if !self.noise_mults.is_empty() {
+            self.noise_mults.push(1.0);
+        }
 
         // Extend the design and its whitened image by one row. The leading
         // n entries of the bordered forward solve are untouched; entry n
@@ -409,6 +461,16 @@ impl GpModel {
     /// Jitter added during factorization (0 when K was PD as-is).
     pub fn jitter(&self) -> f64 {
         self.jitter
+    }
+
+    /// Noise multiplier of observation `i` (1 for every point of a
+    /// homoscedastic fit; above 1 for a warm-start prior pseudo-point).
+    pub fn noise_mult(&self, i: usize) -> f64 {
+        if self.noise_mults.is_empty() {
+            1.0
+        } else {
+            self.noise_mults[i]
+        }
     }
 
     /// Profile log marginal likelihood of the fit (used by the MLE search).
@@ -556,6 +618,77 @@ mod tests {
     #[should_panic(expected = "zero observations")]
     fn empty_fit_panics() {
         let _ = GpModel::fit(base_config(1.0), &[], &[]);
+    }
+
+    #[test]
+    fn all_ones_noise_mults_are_bitwise_identical_to_the_plain_fit() {
+        let xs: [f64; 4] = [1.0, 3.0, 4.5, 7.0];
+        let ys = [2.0, -1.0, 0.5, 3.0];
+        let n = xs.len();
+        let dists = Mat::from_fn(n, n, |i, j| (xs[i] - xs[j]).abs());
+        let mut cfg = base_config(1.2);
+        cfg.noise_var = 0.05;
+        let plain = GpModel::fit_with_distances(cfg.clone(), &xs, &ys, &dists).unwrap();
+        let ones = GpModel::fit_with_distances_and_noise(cfg, &xs, &ys, &dists, &[1.0; 4]).unwrap();
+        assert_eq!(plain.log_likelihood().to_bits(), ones.log_likelihood().to_bits());
+        for q in 0..30 {
+            let xq = q as f64 * 0.3;
+            let a = plain.predict(xq);
+            let b = ones.predict(xq);
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(a.var.to_bits(), b.var.to_bits());
+        }
+    }
+
+    #[test]
+    fn inflated_noise_softens_a_prior_point() {
+        // One wild "prior" observation among consistent live ones: with an
+        // inflated multiplier the fit trusts it much less.
+        let xs: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
+        let ys = [50.0, 1.0, 1.1, 0.9]; // the first point is the outlier prior
+        let n = xs.len();
+        let dists = Mat::from_fn(n, n, |i, j| (xs[i] - xs[j]).abs());
+        let mut cfg = base_config(1.0);
+        cfg.noise_var = 0.1;
+        let trusted = GpModel::fit_with_distances(cfg.clone(), &xs, &ys, &dists).unwrap();
+        let softened =
+            GpModel::fit_with_distances_and_noise(cfg, &xs, &ys, &dists, &[100.0, 1.0, 1.0, 1.0])
+                .unwrap();
+        let t = trusted.predict(1.0).mean;
+        let s = softened.predict(1.0).mean;
+        assert!(s < t, "softened mean {s} should sit below the trusted {t}");
+        assert!(s < 25.0, "softened prediction still chases the prior: {s}");
+        assert_eq!(softened.noise_mult(0), 100.0);
+        assert_eq!(softened.noise_mult(3), 1.0);
+    }
+
+    #[test]
+    fn update_after_a_noisy_fit_matches_the_scratch_fit_bitwise() {
+        // Appending a live point to a heteroscedastic fit must equal the
+        // scratch fit on the extended history with multiplier 1 appended.
+        let xs: [f64; 3] = [1.0, 2.0, 3.0];
+        let ys = [9.0, 1.0, 1.2];
+        let mults = [16.0, 1.0, 1.0];
+        let n = xs.len();
+        let dists = Mat::from_fn(n, n, |i, j| (xs[i] - xs[j]).abs());
+        let mut cfg = base_config(0.9);
+        cfg.noise_var = 0.2;
+        let mut inc =
+            GpModel::fit_with_distances_and_noise(cfg.clone(), &xs, &ys, &dists, &mults).unwrap();
+        inc.update(4.0, 0.8).unwrap();
+        let xs2: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
+        let ys2 = [9.0, 1.0, 1.2, 0.8];
+        let d2 = Mat::from_fn(4, 4, |i, j| (xs2[i] - xs2[j]).abs());
+        let scratch =
+            GpModel::fit_with_distances_and_noise(cfg, &xs2, &ys2, &d2, &[16.0, 1.0, 1.0, 1.0])
+                .unwrap();
+        assert_eq!(inc.log_likelihood().to_bits(), scratch.log_likelihood().to_bits());
+        for q in 0..20 {
+            let xq = q as f64 * 0.35;
+            assert_eq!(inc.predict(xq).mean.to_bits(), scratch.predict(xq).mean.to_bits());
+            assert_eq!(inc.predict(xq).var.to_bits(), scratch.predict(xq).var.to_bits());
+        }
+        assert_eq!(inc.noise_mult(3), 1.0);
     }
 
     #[test]

@@ -174,6 +174,31 @@ impl Scenario {
         self.platform().homogeneous_groups()
     }
 
+    /// The platform signature keying this scenario in a
+    /// [`SurrogateStore`](adaphet_store::SurrogateStore): one
+    /// [`GroupSig`](adaphet_store::GroupSig) per machine group (count,
+    /// peak GFLOP/s, NIC Gbit/s — real feature values, so cross-platform
+    /// similarity is meaningful) and the workload folded to a stable
+    /// integer (`nt * tile` is the matrix order; the scale changes it, so
+    /// snapshots never transfer across scales by accident).
+    pub fn signature(&self, scale: Scale) -> adaphet_store::PlatformSignature {
+        let w = self.workload(scale);
+        adaphet_store::PlatformSignature::new(
+            (w.nt * w.tile) as u64,
+            self.mix
+                .iter()
+                .map(|&(m, count)| {
+                    let spec = m.spec();
+                    adaphet_store::GroupSig {
+                        count: count as u32,
+                        speed: spec.peak_gflops(),
+                        bw: spec.nic_gbps,
+                    }
+                })
+                .collect(),
+        )
+    }
+
     /// The LP lower-bound curve `LP(n)` for `n = 1..=N` (all nodes used
     /// for generation).
     pub fn lp_curve(&self, scale: Scale) -> Vec<f64> {
@@ -258,6 +283,23 @@ mod tests {
         };
         assert_ne!(run('a', 1), run('a', 2), "(Real) should jitter");
         assert_eq!(run('e', 1), run('e', 2), "(Simul) is deterministic");
+    }
+
+    #[test]
+    fn signatures_are_stable_and_discriminating() {
+        let n = Scenario::by_id('n').unwrap();
+        let o = Scenario::by_id('o').unwrap(); // same mix, other matrix
+        let p = Scenario::by_id('p').unwrap();
+        let sig_n = n.signature(Scale::Test);
+        assert_eq!(sig_n.key(), n.signature(Scale::Test).key(), "deterministic key");
+        assert_ne!(sig_n.key(), o.signature(Scale::Test).key(), "workload must discriminate");
+        assert_ne!(sig_n.key(), p.signature(Scale::Test).key(), "mix must discriminate");
+        // Same-mix scenarios stay the most similar pair.
+        let sim_same_mix = sig_n.similarity(&o.signature(Scale::Test));
+        let sim_other = sig_n.similarity(&p.signature(Scale::Test));
+        assert!(sim_same_mix > sim_other, "{sim_same_mix} vs {sim_other}");
+        // Real hardware features land in the signature.
+        assert!(sig_n.groups.iter().all(|g| g.speed > 0.0 && g.bw > 0.0));
     }
 
     #[test]

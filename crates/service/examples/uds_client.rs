@@ -12,6 +12,13 @@
 //! strategy and seed), runs a synthetic application for 30 iterations,
 //! prints the closing summary, and closes the session. With `--shutdown`
 //! the daemon is asked to drain and exit instead of running sessions.
+//!
+//! With `--warm MIN_SIMILARITY` the client instead probes the daemon's
+//! persistent surrogate store (`adaphet-serve --store-dir`): it runs one
+//! cold and one warm-start GP-discontinuous session with the same seed
+//! and exits non-zero unless their proposal sequences diverge — which
+//! they must once a snapshot from an earlier daemon life is folded in,
+//! and cannot if the warm session silently fell back to cold.
 
 use adaphet_core::StrategyKind;
 use adaphet_service::{Client, SessionSpec, Submitted};
@@ -46,12 +53,70 @@ fn run_session(path: &str, kind: StrategyKind, seed: u64) -> Result<(), String> 
     Ok(())
 }
 
+/// Run one GP-discontinuous session (optionally warm-started from the
+/// daemon's store) and return its proposal sequence.
+fn action_trace(
+    path: &str,
+    seed: u64,
+    warm: Option<f64>,
+    iters: usize,
+) -> Result<Vec<usize>, String> {
+    let mut client = Client::connect_uds(path).map_err(|e| e.to_string())?;
+    let mut spec = SessionSpec::new(StrategyKind::GpDiscontinuous, seed, 10);
+    spec.lp = Some((1..=10).map(|n| 30.0 / n as f64).collect());
+    spec.warm_start = warm;
+    let id = client.create_session(spec).map_err(|e| e.to_string())?;
+    let mut actions = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let (ticket, _iteration, action) = client.get_proposal(id).map_err(|e| e.to_string())?;
+        actions.push(action);
+        let mut duration = response(action);
+        loop {
+            match client.submit(id, ticket, duration).map_err(|e| e.to_string())? {
+                Submitted::Recorded { .. } => break,
+                Submitted::Retry { action, .. } => duration = response(action),
+            }
+        }
+    }
+    client.close_session(id).map_err(|e| e.to_string())?;
+    Ok(actions)
+}
+
+/// `--warm` mode: the warm session must not replay the cold
+/// initialization — proof the restarted daemon loaded a snapshot. The
+/// warm session runs FIRST: its store lookup happens before this probe
+/// closes any session of its own, so the only snapshots it can draw on
+/// are the ones an earlier daemon life persisted.
+fn check_warm_start(path: &str, min_similarity: f64) -> Result<(), String> {
+    let warm = action_trace(path, 1234, Some(min_similarity), 8)?;
+    let cold = action_trace(path, 1234, None, 8)?;
+    println!("cold actions: {cold:?}");
+    println!("warm actions: {warm:?}");
+    if warm == cold {
+        return Err("warm session replayed the cold initialization — no snapshot was loaded".into());
+    }
+    println!("warm-start engaged: proposal sequences diverge");
+    Ok(())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = argv.first().cloned() else {
-        eprintln!("usage: uds_client SOCKET_PATH [--shutdown]");
+        eprintln!("usage: uds_client SOCKET_PATH [--shutdown | --warm MIN_SIMILARITY]");
         std::process::exit(2);
     };
+    if let Some(i) = argv.iter().position(|a| a == "--warm") {
+        let min_similarity: f64 =
+            argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--warm needs a similarity in [0, 1]");
+                std::process::exit(2);
+            });
+        if let Err(e) = check_warm_start(&path, min_similarity) {
+            eprintln!("warm-start probe failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if argv.iter().any(|a| a == "--shutdown") {
         let mut client = Client::connect_uds(&path).expect("connect for shutdown");
         client.shutdown().expect("daemon acknowledged shutdown");

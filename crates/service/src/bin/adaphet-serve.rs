@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! adaphet-serve --uds /tmp/adaphet.sock [--workers 4] [--idle-timeout 600]
-//!               [--telemetry-dir DIR] [--max-in-flight 8] [--metrics]
-//!               [--metrics-addr 127.0.0.1:9601]
+//!               [--telemetry-dir DIR] [--store-dir DIR] [--max-in-flight 8]
+//!               [--metrics] [--metrics-addr 127.0.0.1:9601]
 //! adaphet-serve --tcp 127.0.0.1:7601 [...]
 //! ```
 //!
@@ -20,7 +20,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: adaphet-serve (--uds PATH | --tcp ADDR) \
                      [--workers N] [--idle-timeout SECS] [--telemetry-dir DIR] \
-                     [--max-in-flight N] [--metrics] [--metrics-addr ADDR]";
+                     [--store-dir DIR] [--max-in-flight N] [--metrics] \
+                     [--metrics-addr ADDR]";
 
 struct ServeArgs {
     endpoint: Endpoint,
@@ -57,6 +58,9 @@ fn parse(argv: &[String]) -> Result<ServeArgs, String> {
             }
             "--telemetry-dir" => {
                 config.telemetry_dir = Some(PathBuf::from(value("--telemetry-dir", it.next())?));
+            }
+            "--store-dir" => {
+                config.store_dir = Some(PathBuf::from(value("--store-dir", it.next())?));
             }
             "--max-in-flight" => {
                 config.default_max_in_flight = value("--max-in-flight", it.next())?

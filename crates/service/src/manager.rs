@@ -26,7 +26,8 @@
 use crate::protocol::{posterior_response, ErrorCode, Request, Response, SessionSpec};
 use crate::stats::{EventRing, ServiceStats};
 use adaphet_core::{
-    JsonlSink, Observation, Observed, ResiliencePolicy, Session, SessionError, Ticket, TunerDriver,
+    JsonlSink, Observation, Observed, ResiliencePolicy, Session, SessionError, SurrogateStore,
+    Ticket, TunerDriver, WarmStart,
 };
 use adaphet_metrics::Span;
 use crossbeam::channel::{unbounded, Sender};
@@ -52,6 +53,12 @@ pub struct ServiceConfig {
     pub telemetry_dir: Option<PathBuf>,
     /// Lifecycle events retained per session for `Inspect`.
     pub events_capacity: usize,
+    /// When set, a [`SurrogateStore`] is opened at this directory: every
+    /// closing/evicted/drained session persists its surrogate snapshot
+    /// there, and `CreateSession` specs carrying `warm_start` seed their
+    /// strategy from the nearest stored snapshot — including snapshots
+    /// left by a previous daemon run on the same directory.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +69,7 @@ impl Default for ServiceConfig {
             idle_timeout: Some(Duration::from_secs(600)),
             telemetry_dir: None,
             events_capacity: 64,
+            store_dir: None,
         }
     }
 }
@@ -139,12 +147,24 @@ fn session_err(id: u64, e: SessionError) -> Response {
 }
 
 /// Build a [`Session`] from a validated wire spec.
-fn build_session(spec: &SessionSpec, default_max_in_flight: usize) -> Result<Session, String> {
+fn build_session(
+    spec: &SessionSpec,
+    default_max_in_flight: usize,
+    store: Option<&SurrogateStore>,
+) -> Result<Session, String> {
     let space = spec.space()?;
     let mut b = TunerDriver::builder(&space)
         .kind(spec.strategy)
         .seed(spec.seed)
         .max_in_flight(spec.max_in_flight.unwrap_or(default_max_in_flight));
+    if let Some(store) = store {
+        // Attaching the store alone makes the session persist a snapshot
+        // when it retires; warm-starting from it is the spec's opt-in.
+        b = b.store(store);
+        if let Some(min_similarity) = spec.warm_start {
+            b = b.warm_start(WarmStart::FromStore { min_similarity });
+        }
+    }
     if let Some(iters) = spec.iters {
         b = b.iters(iters);
     }
@@ -172,6 +192,7 @@ fn retire(mut entry: Entry, stats: &ServiceStats) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     shard: usize,
     rx: crossbeam::channel::Receiver<Job>,
@@ -179,6 +200,7 @@ fn worker_loop(
     telemetry_dir: Option<PathBuf>,
     default_max_in_flight: usize,
     events_capacity: usize,
+    store: Option<SurrogateStore>,
     stats: Arc<ServiceStats>,
 ) {
     let mut sessions: HashMap<u64, Entry> = HashMap::new();
@@ -209,7 +231,7 @@ fn worker_loop(
                 // Dequeued: the queue-wait span records itself now.
                 drop(trace.queue_span);
                 stats.queue_pop(trace.shard);
-                let response = match build_session(&spec, default_max_in_flight) {
+                let response = match build_session(&spec, default_max_in_flight, store.as_ref()) {
                     Err(message) => err(ErrorCode::BadRequest, message),
                     Ok(mut session) => {
                         if let Some(dir) = &telemetry_dir {
@@ -382,6 +404,16 @@ impl SessionManager {
     pub fn new(config: ServiceConfig) -> Self {
         let workers = config.workers.max(1);
         let stats = Arc::new(ServiceStats::new(workers));
+        // One store handle, cloned per shard: `SurrogateStore` is a thin
+        // directory handle, and its writes are atomic (tmp + rename), so
+        // shards never see each other's half-written snapshots.
+        let store = config.store_dir.as_ref().and_then(|dir| {
+            let opened = SurrogateStore::open(dir).ok();
+            if opened.is_none() {
+                stats.count("service.store_error", 1.0);
+            }
+            opened
+        });
         let mut shards = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for shard in 0..workers {
@@ -390,10 +422,11 @@ impl SessionManager {
             let dir = config.telemetry_dir.clone();
             let cap = config.default_max_in_flight.max(1);
             let events = config.events_capacity;
+            let store = store.clone();
             let stats = Arc::clone(&stats);
             shards.push(tx);
             handles.push(std::thread::spawn(move || {
-                worker_loop(shard, rx, idle, dir, cap, events, stats)
+                worker_loop(shard, rx, idle, dir, cap, events, store, stats)
             }));
         }
         let ticker = config.idle_timeout.map(|timeout| {
@@ -800,6 +833,41 @@ mod tests {
             Response::Posterior { points: Some(points), .. } => assert_eq!(points.len(), 10),
             other => panic!("expected a fitted posterior, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sessions_persist_to_the_store_and_warm_start_across_manager_restarts() {
+        let dir = std::env::temp_dir().join(format!("adaphet-mgr-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServiceConfig {
+            idle_timeout: None,
+            store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        // First "daemon run": a cold session leaves a snapshot behind.
+        let cold = {
+            let m = SessionManager::new(cfg.clone());
+            let id = create(&m, spec(StrategyKind::GpDiscontinuous, 9));
+            drive(&m, id, 20)
+        };
+        assert!(
+            std::fs::read_dir(&dir).map(|d| d.count() > 0).unwrap_or(false),
+            "closing a session must persist a snapshot"
+        );
+        // Second "daemon run" over the same directory: an opted-in spec
+        // warm-starts from the persisted snapshot.
+        let m2 = SessionManager::new(cfg);
+        let mut warm_spec = spec(StrategyKind::GpDiscontinuous, 9);
+        warm_spec.warm_start = Some(0.9);
+        let id = create(&m2, warm_spec);
+        let warm = drive(&m2, id, 8);
+        assert_eq!(warm[0].0, 10, "warm sessions still measure the all-nodes baseline");
+        assert_ne!(
+            warm.iter().map(|r| r.0).collect::<Vec<_>>(),
+            cold.iter().take(8).map(|r| r.0).collect::<Vec<_>>(),
+            "the warm session must not replay the cold initialization"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -110,6 +110,12 @@ pub struct SessionSpec {
     pub resilience: bool,
     /// Per-session cap on in-flight proposals (`None` = server default).
     pub max_in_flight: Option<usize>,
+    /// Warm-start opt-in: the minimum platform-signature similarity (in
+    /// `[0, 1]`) a snapshot in the daemon's surrogate store must reach to
+    /// seed this session. `None` (or an absent wire field — old clients
+    /// keep working) is a cold start; so is a daemon running without
+    /// `--store-dir` or a store with no qualifying snapshot.
+    pub warm_start: Option<f64>,
 }
 
 impl SessionSpec {
@@ -126,6 +132,7 @@ impl SessionSpec {
             oracle_best: None,
             resilience: false,
             max_in_flight: None,
+            warm_start: None,
         }
     }
 
@@ -487,7 +494,7 @@ impl Request {
                     "{{\"type\":\"create_session\",\"strategy\":\"{}\",\"seed\":{},\
                      \"max_nodes\":{},\"groups\":[{}],\"lp\":{},\"iters\":{},\
                      \"best_known\":{},\"oracle_best\":{},\"resilience\":\"{}\",\
-                     \"max_in_flight\":{}}}",
+                     \"max_in_flight\":{},\"warm_start\":{}}}",
                     json_escape(&spec.strategy.to_string()),
                     spec.seed,
                     spec.max_nodes,
@@ -498,6 +505,7 @@ impl Request {
                     jopt_usize(spec.oracle_best),
                     if spec.resilience { "standard" } else { "off" },
                     jopt_usize(spec.max_in_flight),
+                    jopt_num(spec.warm_start),
                 )
             }
             Request::GetProposal { session } => {
@@ -575,6 +583,15 @@ impl Request {
                         ))
                     }
                 };
+                // Absent or null = cold start, so specs from clients that
+                // predate warm-starting parse unchanged.
+                let warm_start = match v.get("warm_start") {
+                    None | Some(Json::Null) => None,
+                    Some(x) => match x.as_f64() {
+                        Some(m) if (0.0..=1.0).contains(&m) => Some(m),
+                        _ => return Err("warm_start must be a similarity in [0, 1]".to_string()),
+                    },
+                };
                 Request::CreateSession(SessionSpec {
                     strategy,
                     seed: v.get("seed").and_then(Json::as_f64).unwrap_or(0.0) as u64,
@@ -586,6 +603,7 @@ impl Request {
                     oracle_best: v.get("oracle_best").and_then(Json::as_usize),
                     resilience,
                     max_in_flight: v.get("max_in_flight").and_then(Json::as_usize),
+                    warm_start,
                 })
             }
             "get_proposal" => Request::GetProposal { session: session(v)? },
@@ -996,6 +1014,7 @@ mod tests {
             oracle_best: None,
             resilience: true,
             max_in_flight: Some(4),
+            warm_start: Some(0.8),
         }
     }
 
@@ -1023,6 +1042,28 @@ mod tests {
         round_trip_request(Request::Inspect { session: 12 });
         round_trip_request(Request::Ping);
         round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn warm_start_field_is_backward_compatible() {
+        // A spec from a client that predates warm-starting (no field at
+        // all) parses to a cold start.
+        let old = "{\"type\":\"create_session\",\"strategy\":\"UCB\",\"seed\":1,\"max_nodes\":4}";
+        match Request::from_json(&Json::parse(old).unwrap()).unwrap() {
+            Request::CreateSession(s) => assert_eq!(s.warm_start, None),
+            other => panic!("{other:?}"),
+        }
+        // An explicit null likewise.
+        let null = "{\"type\":\"create_session\",\"strategy\":\"UCB\",\"seed\":1,\
+                     \"max_nodes\":4,\"warm_start\":null}";
+        match Request::from_json(&Json::parse(null).unwrap()).unwrap() {
+            Request::CreateSession(s) => assert_eq!(s.warm_start, None),
+            other => panic!("{other:?}"),
+        }
+        // Out-of-range similarities are a typed parse error.
+        let bad = "{\"type\":\"create_session\",\"strategy\":\"UCB\",\"seed\":1,\
+                    \"max_nodes\":4,\"warm_start\":1.5}";
+        assert!(Request::from_json(&Json::parse(bad).unwrap()).is_err());
     }
 
     #[test]

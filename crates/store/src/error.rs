@@ -1,0 +1,60 @@
+//! The typed failure vocabulary of the store.
+
+use std::io;
+
+/// Why a store operation failed. Decoding problems are always typed —
+/// corrupt input never panics.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure (open, read, write, rename, …).
+    Io(io::Error),
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic,
+    /// The file declares a format version this build cannot read.
+    FutureVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The file ends before a declared field or section does.
+    Truncated,
+    /// The body does not hash to the checksum in the header.
+    BadChecksum {
+        /// CRC-32 recorded in the header.
+        expected: u32,
+        /// CRC-32 of the body as read.
+        found: u32,
+    },
+    /// Structurally invalid content (bad UTF-8, missing required
+    /// section, inconsistent lengths).
+    Corrupt(String),
+    /// The snapshot's action space disagrees with the live one it was
+    /// asked to warm — folding it in verbatim could propose actions the
+    /// live platform no longer has.
+    SpaceMismatch(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::BadMagic => write!(f, "not a surrogate snapshot (bad magic)"),
+            StoreError::FutureVersion { found } => {
+                write!(f, "snapshot format version {found} is newer than this build understands")
+            }
+            StoreError::Truncated => write!(f, "snapshot is truncated"),
+            StoreError::BadChecksum { expected, found } => {
+                write!(f, "snapshot checksum mismatch: header {expected:#010x}, body {found:#010x}")
+            }
+            StoreError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+            StoreError::SpaceMismatch(m) => write!(f, "snapshot/live action-space mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,226 @@
+//! The directory-backed store: atomic puts, exact gets, nearest lookup.
+
+use crate::error::StoreError;
+use crate::signature::PlatformSignature;
+use crate::snapshot::SurrogateSnapshot;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A directory of surrogate snapshots, one file per
+/// `(strategy, platform signature)` pair.
+///
+/// Writes are atomic: the snapshot is written to a temporary file in the
+/// same directory and renamed into place, so readers (and a daemon
+/// restarted mid-write) only ever see complete files. A later `put`
+/// under the same key replaces the earlier snapshot.
+#[derive(Debug, Clone)]
+pub struct SurrogateStore {
+    dir: PathBuf,
+}
+
+impl SurrogateStore {
+    /// Open (creating if needed) the store at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<SurrogateStore, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(SurrogateStore { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_name(strategy: &str, key: u64) -> String {
+        let slug: String = strategy
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect();
+        format!("{slug}-{key:016x}.snap")
+    }
+
+    /// Persist `snap`, keyed by its strategy and signature. Returns the
+    /// snapshot's path.
+    pub fn put(&self, snap: &SurrogateSnapshot) -> Result<PathBuf, StoreError> {
+        let name = Self::file_name(&snap.strategy, snap.signature.key());
+        let path = self.dir.join(&name);
+        let tmp = self.dir.join(format!(".{name}.tmp-{}", std::process::id()));
+        fs::write(&tmp, snap.to_bytes())?;
+        fs::rename(&tmp, &path).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })?;
+        Ok(path)
+    }
+
+    /// Load the snapshot stored under exactly this `(strategy,
+    /// signature)` key, if any. Decoding failures are propagated — a
+    /// corrupt snapshot under the exact key is worth reporting.
+    pub fn get(
+        &self,
+        signature: &PlatformSignature,
+        strategy: &str,
+    ) -> Result<Option<SurrogateSnapshot>, StoreError> {
+        let path = self.dir.join(Self::file_name(strategy, signature.key()));
+        match fs::read(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+            Ok(bytes) => SurrogateSnapshot::from_bytes(&bytes).map(Some),
+        }
+    }
+
+    /// Paths of every snapshot file currently in the store.
+    pub fn entries(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "snap") {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Load one snapshot file.
+    pub fn load(&self, path: &Path) -> Result<SurrogateSnapshot, StoreError> {
+        SurrogateSnapshot::from_bytes(&fs::read(path)?)
+    }
+
+    /// The stored snapshot for `strategy` whose signature is most
+    /// similar to `signature`, among those scoring at least
+    /// `min_similarity` — or `None`. Corrupt entries are skipped (one
+    /// bad file must not disable warm-starting); ties break toward the
+    /// lexicographically first file, so the lookup is deterministic.
+    pub fn nearest(
+        &self,
+        signature: &PlatformSignature,
+        strategy: &str,
+        min_similarity: f64,
+    ) -> Result<Option<(SurrogateSnapshot, f64)>, StoreError> {
+        let mut best: Option<(SurrogateSnapshot, f64)> = None;
+        for path in self.entries()? {
+            let Ok(snap) = self.load(&path) else { continue };
+            if snap.strategy != strategy {
+                continue;
+            }
+            let sim = signature.similarity(&snap.signature);
+            if sim < min_similarity {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(_, b)| sim > *b) {
+                best = Some((snap, sim));
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::GroupSig;
+
+    fn sig(workload: u64, counts: &[u32]) -> PlatformSignature {
+        PlatformSignature::new(
+            workload,
+            counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| GroupSig { count: c, speed: 100.0 / (i + 1) as f64, bw: 10.0 })
+                .collect(),
+        )
+    }
+
+    fn snap(workload: u64, counts: &[u32], strategy: &str) -> SurrogateSnapshot {
+        let n: usize = counts.iter().map(|&c| c as usize).sum();
+        SurrogateSnapshot {
+            signature: sig(workload, counts),
+            strategy: strategy.into(),
+            max_nodes: n,
+            groups: vec![(1, n)],
+            lp: None,
+            observations: vec![(n, 1.5), (1, 9.0)],
+            hyper: None,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("adaphet-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = SurrogateStore::open(tmp_dir("roundtrip")).unwrap();
+        let s = snap(7, &[2, 6], "GP-discontinuous");
+        let path = store.put(&s).unwrap();
+        assert!(path.exists());
+        let back = store.get(&s.signature, "GP-discontinuous").unwrap().unwrap();
+        assert_eq!(back, s);
+        // A different strategy under the same signature is a different key.
+        assert!(store.get(&s.signature, "GP-UCB").unwrap().is_none());
+        // No leftover temp files from the atomic write.
+        assert_eq!(store.entries().unwrap().len(), 1);
+        fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn put_replaces_under_the_same_key() {
+        let store = SurrogateStore::open(tmp_dir("replace")).unwrap();
+        let mut s = snap(7, &[4], "GP-UCB");
+        store.put(&s).unwrap();
+        s.observations.push((2, 3.25));
+        store.put(&s).unwrap();
+        assert_eq!(store.entries().unwrap().len(), 1);
+        let back = store.get(&s.signature, "GP-UCB").unwrap().unwrap();
+        assert_eq!(back.observations.len(), 3);
+        fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn nearest_prefers_similar_platforms_and_honours_the_floor() {
+        let store = SurrogateStore::open(tmp_dir("nearest")).unwrap();
+        store.put(&snap(7, &[2, 6], "GP-discontinuous")).unwrap();
+        store.put(&snap(7, &[2, 8], "GP-discontinuous")).unwrap();
+        store.put(&snap(7, &[64], "GP-discontinuous")).unwrap();
+        store.put(&snap(7, &[2, 7], "GP-UCB")).unwrap(); // wrong strategy
+        let target = sig(7, &[2, 7]);
+        let (best, sim) =
+            store.nearest(&target, "GP-discontinuous", 0.0).unwrap().expect("a match");
+        // Count ratio to 7: the 8-node group (7/8) beats the 6-node one (6/7).
+        assert_eq!(best.signature.groups[1].count, 8);
+        assert!(sim > 0.5, "similarity {sim}");
+        // An impossible floor returns none.
+        assert!(store.nearest(&target, "GP-discontinuous", 1.1).unwrap().is_none());
+        // Exact self-match scores 1.0 once stored.
+        store.put(&snap(7, &[2, 7], "GP-discontinuous")).unwrap();
+        let (_, sim) = store.nearest(&target, "GP-discontinuous", 0.99).unwrap().unwrap();
+        assert_eq!(sim, 1.0);
+        fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn nearest_skips_corrupt_entries_but_get_reports_them() {
+        let store = SurrogateStore::open(tmp_dir("corrupt")).unwrap();
+        let good = snap(7, &[2, 6], "GP-discontinuous");
+        store.put(&good).unwrap();
+        let bad = snap(7, &[3, 6], "GP-discontinuous");
+        let bad_path = store.put(&bad).unwrap();
+        // Corrupt the second snapshot's body on disk.
+        let mut bytes = fs::read(&bad_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&bad_path, bytes).unwrap();
+        // nearest survives and returns the good one.
+        let (found, _) = store.nearest(&good.signature, "GP-discontinuous", 0.0).unwrap().unwrap();
+        assert_eq!(found.signature, good.signature);
+        // exact get on the corrupt key reports the checksum failure.
+        assert!(matches!(
+            store.get(&bad.signature, "GP-discontinuous"),
+            Err(StoreError::BadChecksum { .. })
+        ));
+        fs::remove_dir_all(store.dir()).unwrap();
+    }
+}

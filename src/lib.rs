@@ -16,6 +16,9 @@
 //! * [`runtime`] — StarPU-like task runtime with a simulated (SimGrid-like)
 //!   and a real (threaded) backend;
 //! * [`geostat`] — the ExaGeoStat-like five-phase application;
+//! * [`store`] — the persistent surrogate store: versioned, checksummed
+//!   snapshots of fitted surrogate state, keyed by platform signature,
+//!   that later sessions warm-start from;
 //! * [`scenarios`] — the paper's Table II machines and 16 scenarios;
 //! * [`eval`] — response tables, resampling replays, figure generators;
 //! * [`service`] — the multi-tenant tuning daemon: sessions over a
@@ -41,14 +44,17 @@ pub use adaphet_metrics as metrics;
 pub use adaphet_runtime as runtime;
 pub use adaphet_scenarios as scenarios;
 pub use adaphet_service as service;
+pub use adaphet_store as store;
 
 /// The curated one-import surface for embedding the tuner.
 ///
 /// Everything a typical embedder touches: the typed builder and both loop
 /// shapes (the owning [`TunerDriver`](prelude::TunerDriver), the split
 /// [`Session`](prelude::Session)), the by-name strategy registry, the
-/// problem-statement types, telemetry sinks, the resilience policy, and
-/// the service client for remote sessions.
+/// problem-statement types, telemetry sinks, the resilience policy, the
+/// warm-start surface ([`WarmStart`](prelude::WarmStart) plus the
+/// persistent [`SurrogateStore`](prelude::SurrogateStore) it draws from),
+/// and the service client for remote sessions.
 ///
 /// ```
 /// use adaphet::prelude::*;
@@ -56,6 +62,7 @@ pub use adaphet_service as service;
 /// let space = ActionSpace::unstructured(8);
 /// let mut session = TunerDriver::builder(&space)
 ///     .kind(StrategyKind::GpDiscontinuous)
+///     .warm_start(WarmStart::Cold)
 ///     .build_session()
 ///     .unwrap();
 /// let p = session.propose().unwrap();
@@ -63,9 +70,10 @@ pub use adaphet_service as service;
 /// ```
 pub mod prelude {
     pub use adaphet_core::{
-        ActionSpace, History, IterationEvent, JsonlSink, MemorySink, Observation, Observed,
-        Proposal, ResiliencePolicy, Session, SessionError, StepOutcome, Strategy, StrategyKind,
-        TelemetrySink, Ticket, TunerDriver, TunerDriverBuilder,
+        ActionSpace, GroupSig, History, IterationEvent, JsonlSink, MemorySink, Observation,
+        Observed, PlatformSignature, Proposal, ResiliencePolicy, Session, SessionError,
+        StepOutcome, Strategy, StrategyKind, SurrogateSnapshot, SurrogateStore, TelemetrySink,
+        Ticket, TunerDriver, TunerDriverBuilder, WarmStart,
     };
     pub use adaphet_service::{
         Client, ClientError, ClosedSession, ServiceConfig, SessionManager, SessionSpec, Submitted,
