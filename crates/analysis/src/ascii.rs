@@ -173,6 +173,7 @@ mod tests {
             telemetry: TelemetryRun::parse(jsonl).unwrap(),
             sim: None,
             metrics: None,
+            history: None,
         };
         let text = render_ascii(&r);
         assert!(text.contains("strategy summary"));

@@ -6,6 +6,7 @@
 //! gracefully — sections whose inputs are absent (no snapshots, no
 //! re-simulation, no metrics file) are simply omitted.
 
+use crate::jsonl::{IterationRecord, Json};
 use crate::report::{format_num, Report, SimDiagnosis};
 use adaphet_runtime::{ResourceKind, Trace};
 
@@ -145,11 +146,13 @@ pub fn render_html(report: &Report) -> String {
 
     summary_section(report, &mut out);
     duration_section(report, &mut out);
+    health_timeline_section(report, &mut out);
     posterior_section(report, &mut out);
     if let Some(sim) = &report.sim {
         sim_section(sim, &mut out);
     }
     metrics_section(report, &mut out);
+    history_section(report, &mut out);
 
     out.push_str(
         "<p class=\"meta\">generated by <code>adaphet report</code> — \
@@ -673,6 +676,245 @@ fn idle_tables(sim: &SimDiagnosis, out: &mut String) {
     out.push_str("</table>\n");
 }
 
+// ------------------------------------------------- health & history
+
+/// Trailing-window length of the report-side health fold (iterations).
+const HEALTH_WINDOW: usize = 8;
+/// Iterations without a new best duration before a run reads as stalled.
+const HEALTH_STALL_AFTER: usize = 12;
+/// Windowed retries that count as fault pressure on their own.
+const HEALTH_RETRY_BUDGET: usize = 3;
+
+/// Fold one strategy's records into a per-iteration health state.
+///
+/// A deliberately light mirror of the live session's rule engine
+/// (`adaphet-core`'s `HealthTracker`): telemetry does not carry the
+/// tracker's posterior/LP signals, so the report re-derives the fold
+/// from what the JSONL does record — faults and retries over a trailing
+/// window, iterations since the best observed duration, and the regret
+/// trend. Spellings match the wire states (`ok`/`warn`/`stalled`/
+/// `diverging`) so the timeline reads like `get_health` output.
+fn health_states(records: &[IterationRecord]) -> Vec<&'static str> {
+    let mut states = Vec::with_capacity(records.len());
+    let mut best = f64::INFINITY;
+    let mut since_best = 0usize;
+    for (i, r) in records.iter().enumerate() {
+        if r.duration.is_finite() && r.duration < best {
+            best = r.duration;
+            since_best = 0;
+        } else {
+            since_best += 1;
+        }
+        let window = &records[i.saturating_sub(HEALTH_WINDOW - 1)..=i];
+        let faults = window.iter().filter(|w| w.fault.is_some()).count();
+        let retries: usize = window.iter().map(|w| w.retries).sum();
+        let state = if since_best >= HEALTH_WINDOW && regret_slope(window) > 0.0 {
+            "diverging"
+        } else if faults > 0 || retries >= HEALTH_RETRY_BUDGET {
+            "warn"
+        } else if since_best >= HEALTH_STALL_AFTER {
+            "stalled"
+        } else {
+            "ok"
+        };
+        states.push(state);
+    }
+    states
+}
+
+/// Least-squares slope of the finite regrets in `window`, per iteration.
+/// Returns 0 when fewer than four points carry a finite regret.
+fn regret_slope(window: &[IterationRecord]) -> f64 {
+    let pts: Vec<(f64, f64)> = window
+        .iter()
+        .filter_map(|r| r.regret.filter(|g| g.is_finite()).map(|g| (r.iteration as f64, g)))
+        .collect();
+    if pts.len() < 4 {
+        return 0.0;
+    }
+    let n = pts.len() as f64;
+    let (sx, sy): (f64, f64) = pts.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
+    let (mx, my) = (sx / n, sy / n);
+    let sxx: f64 = pts.iter().map(|(x, _)| (x - mx) * (x - mx)).sum();
+    if sxx == 0.0 {
+        return 0.0;
+    }
+    pts.iter().map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / sxx
+}
+
+fn health_color(state: &str) -> &'static str {
+    match state {
+        "warn" => "#ee854a",
+        "stalled" => "#d65f5f",
+        "diverging" => "#b47cc7",
+        _ => "#6acc65",
+    }
+}
+
+/// Per-strategy health-state strips on the same iteration axis as the
+/// duration chart, with dashed markers where the folded state changes.
+fn health_timeline_section(report: &Report, out: &mut String) {
+    let max_iter =
+        report.telemetry.runs.iter().flat_map(|run| run.records.iter()).map(|r| r.iteration).max();
+    let Some(max_iter) = max_iter else {
+        return;
+    };
+    out.push_str("<h2>Convergence health timeline</h2>\n");
+    out.push_str(
+        "<p class=\"meta\">states re-derived from telemetry (faults and retries over a \
+         trailing window, iterations since best, regret trend) — a report-side mirror of the \
+         daemon's live <code>get_health</code> fold.</p>\n",
+    );
+    let entries: Vec<(String, &str)> = ["ok", "warn", "stalled", "diverging"]
+        .iter()
+        .map(|s| (s.to_string(), health_color(s)))
+        .collect();
+    out.push_str(&legend(&entries));
+    for run in &report.telemetry.runs {
+        let states = health_states(&run.records);
+        if states.is_empty() {
+            continue;
+        }
+        let mut f = Frame::new(640.0, 64.0, 0.0, (max_iter + 1) as f64, 0.0, 1.0);
+        f.mt = 18.0;
+        let (top, bottom) = (f.py(1.0), f.py(0.0));
+        out.push_str(&format!("<h3>{}</h3>\n<figure>", html_escape(&run.name)));
+        out.push_str(&f.open());
+        for (i, r) in run.records.iter().enumerate() {
+            let x0 = f.px(r.iteration as f64);
+            let next = run.records.get(i + 1).map_or((max_iter + 1) as f64, |n| n.iteration as f64);
+            let x1 = f.px(next.min(f.x1));
+            out.push_str(&format!(
+                "<rect x=\"{x0:.2}\" y=\"{top:.2}\" width=\"{:.2}\" height=\"{:.2}\" \
+                 fill=\"{}\"/>",
+                (x1 - x0).max(0.5),
+                bottom - top,
+                health_color(states[i]),
+            ));
+        }
+        let mut transitions = Vec::new();
+        for i in 1..states.len() {
+            if states[i] != states[i - 1] {
+                let x = f.px(run.records[i].iteration as f64);
+                out.push_str(&format!(
+                    "<line x1=\"{x:.2}\" y1=\"{top:.2}\" x2=\"{x:.2}\" y2=\"{bottom:.2}\" \
+                     stroke=\"#222\" stroke-dasharray=\"2 2\"/>\
+                     <text x=\"{x:.2}\" y=\"{:.2}\" class=\"tick\" \
+                     text-anchor=\"middle\">{}</text>",
+                    top - 4.0,
+                    states[i],
+                ));
+                transitions.push(format!(
+                    "{} &rarr; {} @ {}",
+                    states[i - 1],
+                    states[i],
+                    run.records[i].iteration
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "<text x=\"{:.2}\" y=\"{:.2}\" class=\"tick\">0</text>\
+             <text x=\"{:.2}\" y=\"{:.2}\" class=\"tick\" text-anchor=\"end\">{max_iter}</text>",
+            f.ml,
+            bottom + 14.0,
+            f.w - f.mr,
+            bottom + 14.0,
+        ));
+        out.push_str("</svg>");
+        if transitions.is_empty() {
+            out.push_str(&format!(
+                "<figcaption>state steady at <b>{}</b> for {} iterations</figcaption>",
+                states[0],
+                states.len()
+            ));
+        } else {
+            out.push_str(&format!(
+                "<figcaption>transitions: {}</figcaption>",
+                transitions.join("; ")
+            ));
+        }
+        out.push_str("</figure>\n");
+    }
+}
+
+/// Maximum metric-history panels drawn before the section elides.
+const HISTORY_PANEL_CAP: usize = 12;
+
+/// Extract `(name, points)` rows from a `/metrics/history` document.
+/// Series with fewer than two finite points carry no line and are
+/// dropped; order follows the document.
+fn parse_history_series(doc: &Json) -> Vec<(String, Vec<(f64, f64)>)> {
+    let Some(Json::Arr(items)) = doc.get("series") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for item in items {
+        let Some(Json::Str(name)) = item.get("name") else {
+            continue;
+        };
+        let Some(Json::Arr(points)) = item.get("points") else {
+            continue;
+        };
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .filter_map(|p| {
+                let Json::Arr(tv) = p else {
+                    return None;
+                };
+                let t = tv.first().and_then(Json::as_f64)?;
+                let v = tv.get(1).and_then(Json::as_f64)?;
+                (t.is_finite() && v.is_finite()).then_some((t, v))
+            })
+            .collect();
+        if pts.len() >= 2 {
+            out.push((name.clone(), pts));
+        }
+    }
+    out
+}
+
+/// Small-multiple panels of the daemon's sampled metric history — the
+/// historical-dashboard counterpart of the live sparklines in
+/// `adaphet-top`. One panel per series over the full retained window.
+fn history_section(report: &Report, out: &mut String) {
+    let Some(doc) = &report.history else {
+        return;
+    };
+    let series = parse_history_series(doc);
+    if series.is_empty() {
+        return;
+    }
+    out.push_str("<h2>Metric history</h2>\n");
+    out.push_str(
+        "<p class=\"meta\">sampled by the daemon's embedded time-series store \
+         (<code>GET /metrics/history</code>); time is seconds since the store epoch.</p>\n<div>",
+    );
+    for (idx, (name, pts)) in series.iter().take(HISTORY_PANEL_CAP).enumerate() {
+        let (t0, t1) = (pts[0].0, pts[pts.len() - 1].0);
+        let (lo, hi) = pts
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &(_, v)| (a.min(v), b.max(v)));
+        let f = Frame::new(300.0, 110.0, t0, t1, lo.min(0.0), hi);
+        out.push_str("<figure class=\"small\">");
+        out.push_str(&f.open());
+        out.push_str(&f.axes("t (s)", ""));
+        let line: Vec<(f64, f64)> = pts.iter().map(|&(t, v)| (f.px(t), f.py(v))).collect();
+        out.push_str(&polyline(&line, color(idx), ""));
+        out.push_str("</svg>");
+        out.push_str(&format!(
+            "<figcaption><code>{}</code></figcaption></figure>",
+            html_escape(name)
+        ));
+    }
+    out.push_str("</div>\n");
+    if series.len() > HISTORY_PANEL_CAP {
+        out.push_str(&format!(
+            "<p class=\"meta\">{} further series retained but not drawn.</p>\n",
+            series.len() - HISTORY_PANEL_CAP
+        ));
+    }
+}
+
 fn metrics_section(report: &Report, out: &mut String) {
     let rows = report.metrics_rows();
     if rows.is_empty() {
@@ -741,6 +983,15 @@ mod tests {
             telemetry,
             sim: Some(sim),
             metrics: Some(crate::jsonl::Json::parse(r#"{"wall_s":1.5}"#).unwrap()),
+            history: Some(
+                crate::jsonl::Json::parse(
+                    r#"{"version":1,"epoch_s":0,"series":[
+                        {"name":"service.request","points":[[0,1],[5,3],[10,7]],"coarse":[]},
+                        {"name":"service.sessions.live","points":[[0,1],[10,1]],"coarse":[]},
+                        {"name":"too.short","points":[[0,1]],"coarse":[]}]}"#,
+                )
+                .unwrap(),
+            ),
         }
     }
 
@@ -795,10 +1046,70 @@ mod tests {
             telemetry: TelemetryRun::default(),
             sim: None,
             metrics: None,
+            history: None,
         };
         let html = render_html(&r);
         assert!(html.starts_with("<!doctype html>"));
         assert!(html.ends_with("</html>\n"));
+    }
+
+    #[test]
+    fn health_timeline_and_history_sections_render() {
+        let html = render_html(&sample_report());
+        assert!(html.contains("Convergence health timeline"));
+        // Iteration 1 carries a fault → the fold leaves ok for warn.
+        assert!(html.contains("ok &rarr; warn @ 1"), "transition recorded in the caption");
+        assert!(html.contains(&format!("fill=\"{}\"", health_color("warn"))));
+        assert!(html.contains("Metric history"));
+        assert!(html.contains("service.request"));
+        // A one-point series draws no line and therefore no panel.
+        assert!(!html.contains("too.short"));
+    }
+
+    #[test]
+    fn health_fold_mirrors_the_live_states() {
+        let mut jsonl = String::new();
+        for i in 0..20usize {
+            // Improving once, then flat: iterations 13.. are ≥12 past best.
+            let d = if i == 1 { 1.0 } else { 5.0 };
+            jsonl.push_str(&format!(
+                "{{\"iteration\":{i},\"strategy\":\"s\",\"action\":4,\"duration\":{d},\
+                 \"cumulative_time\":1,\"retries\":0,\"fault\":null,\"snapshot\":null}}\n"
+            ));
+        }
+        let run = TelemetryRun::parse(&jsonl).unwrap();
+        let states = health_states(&run.runs[0].records);
+        assert_eq!(states[1], "ok");
+        assert_eq!(states[12], "ok", "11 since best: still ok");
+        assert_eq!(states[13], "stalled", "12 since best: stalled");
+        assert_eq!(*states.last().unwrap(), "stalled");
+    }
+
+    #[test]
+    fn regret_slope_needs_four_finite_points() {
+        let rec = |i: usize, g: Option<f64>| IterationRecord {
+            iteration: i,
+            strategy: "s".into(),
+            action: 1,
+            duration: 1.0,
+            cumulative_time: 1.0,
+            best_known: None,
+            regret: g,
+            phases: vec![],
+            note: String::new(),
+            excluded: vec![],
+            breakdown_phases: vec![],
+            breakdown_groups: vec![],
+            retries: 0,
+            fault: None,
+            snapshot: None,
+        };
+        let short: Vec<_> = (0..3).map(|i| rec(i, Some(i as f64))).collect();
+        assert_eq!(regret_slope(&short), 0.0);
+        let rising: Vec<_> = (0..6).map(|i| rec(i, Some(i as f64 * 2.0))).collect();
+        assert!(regret_slope(&rising) > 1.9);
+        let falling: Vec<_> = (0..6).map(|i| rec(i, Some(10.0 - i as f64))).collect();
+        assert!(regret_slope(&falling) < 0.0);
     }
 
     #[test]

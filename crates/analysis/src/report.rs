@@ -64,6 +64,10 @@ pub struct Report {
     pub sim: Option<SimDiagnosis>,
     /// Optional metrics-registry export (parsed JSON document).
     pub metrics: Option<Json>,
+    /// Optional metric-history document, as served by the daemon's
+    /// `GET /metrics/history` endpoint (the time-series store's JSON
+    /// export: `{"series":[{"name":…,"points":[[t,v],…]},…]}`).
+    pub history: Option<Json>,
 }
 
 impl Report {
@@ -150,6 +154,7 @@ mod tests {
             telemetry: TelemetryRun::default(),
             sim: None,
             metrics: Some(doc),
+            history: None,
         };
         assert_eq!(
             r.metrics_rows(),

@@ -646,12 +646,17 @@ impl TunerDriverBuilder {
             (None, None) => return Err(DriverBuildError::MissingStrategy),
         };
         let space = self.space;
+        // Whether a prior actually reached the strategy — the health
+        // tracker's warm-start-effectiveness signal keys off this, not
+        // off what was merely requested.
+        let mut warm_started = false;
         match self.warm_start {
             crate::WarmStart::Cold => {}
             crate::WarmStart::FromSnapshot(snap) => {
                 snap.matches_space(space.max_nodes, &space.groups)
                     .map_err(DriverBuildError::WarmStart)?;
                 strategy.warm_start(crate::SurrogatePrior::from_snapshot(&snap));
+                warm_started = true;
             }
             crate::WarmStart::FromStore { min_similarity } => {
                 if let Some(store) = &self.store {
@@ -668,6 +673,7 @@ impl TunerDriverBuilder {
                             snap.project_onto(space.max_nodes, &space.groups, space.lp.as_deref())
                         };
                         strategy.warm_start(crate::SurrogatePrior::from_snapshot(&snap));
+                        warm_started = true;
                     }
                 }
             }
@@ -682,6 +688,7 @@ impl TunerDriverBuilder {
             self.max_in_flight,
             self.store,
             self.signature,
+            warm_started,
         ))
     }
 
@@ -773,6 +780,12 @@ impl TunerDriver {
     /// The underlying propose/observe [`Session`](crate::Session).
     pub fn session(&self) -> &crate::Session {
         &self.session
+    }
+
+    /// The loop's convergence-health report (see
+    /// [`Session::health`](crate::Session::health)).
+    pub fn health(&self) -> crate::HealthReport {
+        self.session.health()
     }
 
     /// Unwrap the driver into its [`Session`](crate::Session) (sinks and

@@ -81,6 +81,7 @@ mod driver;
 mod extra;
 mod gp_disc;
 mod gp_ucb;
+mod health;
 mod history;
 mod kind;
 mod naive;
@@ -98,6 +99,7 @@ pub use driver::{
     PhaseBreakdown, PhaseSlice, ResiliencePolicy, StepOutcome, TelemetrySink, TunerDriver,
     TunerDriverBuilder,
 };
+pub use health::{HealthPolicy, HealthReport, HealthSignals, HealthState, HealthTracker};
 pub use session::{Observed, Proposal, Session, SessionError, Ticket};
 
 // Cross-session warm-starting: the request type, the resolved prior, the

@@ -27,6 +27,7 @@
 //! of them across a fixed worker pool.
 
 use crate::driver::{IterationEvent, Observation, ResiliencePolicy, StepOutcome, TelemetrySink};
+use crate::health::{HealthPolicy, HealthReport, HealthTracker};
 use crate::strategy::{DecisionTrace, PosteriorSnapshot, Strategy};
 use crate::{ActionSpace, History};
 use adaphet_store::{PlatformSignature, SurrogateSnapshot, SurrogateStore};
@@ -175,6 +176,7 @@ pub struct Session {
     max_in_flight: usize,
     store: Option<SurrogateStore>,
     signature: Option<PlatformSignature>,
+    health: HealthTracker,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -190,7 +192,20 @@ impl Session {
         max_in_flight: usize,
         store: Option<SurrogateStore>,
         signature: Option<PlatformSignature>,
+        warm_started: bool,
     ) -> Self {
+        let lp_min = space
+            .lp
+            .as_ref()
+            .and_then(|lp| lp.iter().copied().reduce(f64::min))
+            .filter(|m| m.is_finite());
+        let health = HealthTracker::new(
+            HealthPolicy::default(),
+            space.max_nodes,
+            best_known,
+            lp_min,
+            warm_started,
+        );
         Session {
             strategy,
             space,
@@ -208,6 +223,7 @@ impl Session {
             max_in_flight,
             store,
             signature,
+            health,
         }
     }
 
@@ -312,6 +328,11 @@ impl Session {
         } else {
             (None, None)
         };
+        // Opportunistic health signal: reuse the snapshot the sinks asked
+        // for — never compute surrogate state just for health.
+        if let Some(snap) = &snapshot {
+            self.health.on_posterior(snap);
+        }
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
         self.ledger.push(PendingAction {
@@ -353,6 +374,13 @@ impl Session {
         }
         self.history.record(entry.action, obs.duration);
         self.cumulative += obs.duration;
+        // `fault_parts` beyond the retry marker means a platform fault
+        // (node death, quarantine, rebaseline) annotated this record.
+        self.health.on_record(
+            obs.duration,
+            entry.retries,
+            fault_parts.len() > usize::from(entry.retries > 0),
+        );
         if !self.sinks.is_empty() {
             let event = IterationEvent {
                 iteration: entry.iteration,
@@ -391,6 +419,15 @@ impl Session {
             .ok_or(SessionError::UnknownTicket(ticket))?;
         self.ledger.remove(idx);
         Ok(())
+    }
+
+    /// The session's convergence-health report: the hysteresis-damped
+    /// [`HealthState`](crate::HealthState) plus the raw signals behind
+    /// it. Derived entirely from the iteration stream the session already
+    /// processes — querying it costs a few window reductions, never any
+    /// surrogate work.
+    pub fn health(&self) -> HealthReport {
+        self.health.report()
     }
 
     /// The strategy's posterior over the live space right now, if it

@@ -1,0 +1,74 @@
+//! CI probe for the health plane: drive one session into a stall and
+//! back out, watching the published state through `get_health` the whole
+//! way. Exits non-zero unless the session (a) leaves `ok`, and (b)
+//! recovers to `ok` after it finds the best-known band.
+//!
+//! ```text
+//! adaphet-serve --uds /tmp/adaphet.sock &
+//! cargo run -p adaphet-service --example health_smoke -- /tmp/adaphet.sock
+//! ```
+
+use adaphet_core::StrategyKind;
+use adaphet_service::{Client, SessionSpec, Submitted};
+use std::io::{Read, Write};
+
+/// One propose/observe round at a fixed duration.
+fn submit<S: Read + Write>(client: &mut Client<S>, id: u64, duration: f64) -> Result<(), String> {
+    let (ticket, _iter, _action) = client.get_proposal(id).map_err(|e| e.to_string())?;
+    match client.submit(id, ticket, duration).map_err(|e| e.to_string())? {
+        Submitted::Recorded { .. } | Submitted::Retry { .. } => Ok(()),
+    }
+}
+
+fn run(path: &str) -> Result<(), String> {
+    let mut client = Client::connect_uds(path).map_err(|e| e.to_string())?;
+    let mut spec = SessionSpec::new(StrategyKind::DivideConquer, 7, 8);
+    spec.best_known = Some(4.0); // convergence band tops out at 4.4 s
+    let id = client.create_session(spec).map_err(|e| e.to_string())?;
+
+    // Plateau above the band: no new best for long enough that the
+    // stall rule (plus hysteresis) must fire.
+    submit(&mut client, id, 6.0)?;
+    let fresh = client.get_health(id).map_err(|e| e.to_string())?;
+    if fresh.state != "ok" {
+        return Err(format!("fresh session not ok: {fresh:?}"));
+    }
+    let mut unhealthy = None;
+    for i in 0..20 {
+        submit(&mut client, id, 6.5)?;
+        let h = client.get_health(id).map_err(|e| e.to_string())?;
+        if h.state != "ok" {
+            unhealthy = Some((i + 2, h));
+            break;
+        }
+    }
+    let Some((records, h)) = unhealthy else {
+        return Err("session never left ok despite 21 stalled records".into());
+    };
+    println!("health left ok: {} after {records} records", h.state);
+
+    // Finding the band clears the stall.
+    submit(&mut client, id, 4.2)?;
+    submit(&mut client, id, 4.2)?;
+    let recovered = client.get_health(id).map_err(|e| e.to_string())?;
+    if recovered.state != "ok" {
+        return Err(format!("session did not recover: {recovered:?}"));
+    }
+    println!("health recovered: ok ({} transitions)", recovered.transitions);
+    client.close_session(id).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(path) => path,
+        None => {
+            eprintln!("usage: health_smoke <uds-socket-path>");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&path) {
+        eprintln!("health_smoke: {e}");
+        std::process::exit(1);
+    }
+}

@@ -4,22 +4,30 @@
 //!
 //! ```text
 //! adaphet-top (--uds PATH | --tcp ADDR) [--interval SECS] [--once]
-//!             [--html FILE]
+//!             [--html FILE] [--http ADDR]
 //! ```
 //!
 //! `--once` prints a single snapshot and exits; `--html FILE` writes a
 //! one-shot self-contained HTML page instead of text (implies a single
-//! poll). Without either, the dashboard refreshes every `--interval`
-//! seconds (default 2) until the daemon goes away or the user interrupts.
+//! poll). `--http ADDR` points at the daemon's metrics sidecar (the
+//! `--metrics` listen address of `adaphet-serve`): the dashboard then
+//! appends a per-session health table from `GET /health` and metric
+//! sparklines from `GET /metrics/history` (history rows appear only
+//! when the daemon samples history). Without `--once`/`--html`, the
+//! dashboard refreshes every `--interval` seconds (default 2) until the
+//! daemon goes away or the user interrupts.
 
-use adaphet_service::top::{render_ascii, render_html};
+use adaphet_service::top::{
+    parse_interval, render_ascii, render_health_ascii, render_history_ascii, render_html_full,
+};
 use adaphet_service::{Client, ClientError, StatsSnapshot};
-use std::io::Write;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::Duration;
 
 const USAGE: &str = "usage: adaphet-top (--uds PATH | --tcp ADDR) \
-                     [--interval SECS] [--once] [--html FILE]";
+                     [--interval SECS] [--once] [--html FILE] [--http ADDR]";
 
 enum Target {
     Tcp(String),
@@ -31,6 +39,7 @@ struct TopArgs {
     interval: Duration,
     once: bool,
     html: Option<PathBuf>,
+    http: Option<String>,
 }
 
 fn parse(argv: &[String]) -> Result<TopArgs, String> {
@@ -38,6 +47,7 @@ fn parse(argv: &[String]) -> Result<TopArgs, String> {
     let mut interval = Duration::from_secs(2);
     let mut once = false;
     let mut html = None;
+    let mut http = None;
     let mut it = argv.iter();
     let value = |flag: &str, v: Option<&String>| -> Result<String, String> {
         v.cloned().ok_or_else(|| format!("{flag} needs a value"))
@@ -46,23 +56,36 @@ fn parse(argv: &[String]) -> Result<TopArgs, String> {
         match arg.as_str() {
             "--uds" => target = Some(Target::Uds(PathBuf::from(value("--uds", it.next())?))),
             "--tcp" => target = Some(Target::Tcp(value("--tcp", it.next())?)),
-            "--interval" => {
-                let secs: f64 = value("--interval", it.next())?
-                    .parse()
-                    .map_err(|_| "--interval needs a number of seconds".to_string())?;
-                if secs.is_nan() || secs <= 0.0 {
-                    return Err("--interval must be positive".into());
-                }
-                interval = Duration::from_secs_f64(secs);
-            }
+            "--interval" => interval = parse_interval(&value("--interval", it.next())?)?,
             "--once" => once = true,
             "--html" => html = Some(PathBuf::from(value("--html", it.next())?)),
+            "--http" => http = Some(value("--http", it.next())?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     let target = target.ok_or("one of --uds or --tcp is required")?;
-    Ok(TopArgs { target, interval, once, html })
+    Ok(TopArgs { target, interval, once, html, http })
+}
+
+/// One-shot `GET` against the metrics sidecar, returning the body.
+/// Any failure degrades to `None` — a sidecar outage must not kill the
+/// dashboard the operator opened to diagnose it.
+fn http_get(addr: &str, path: &str) -> Option<String> {
+    let mut conn = TcpStream::connect(addr).ok()?;
+    write!(conn, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").ok()?;
+    let mut response = String::new();
+    conn.read_to_string(&mut response).ok()?;
+    let (head, body) = response.split_once("\r\n\r\n")?;
+    head.starts_with("HTTP/1.1 200").then(|| body.to_string())
+}
+
+/// Fetch the optional sidecar documents: `(health, history)`.
+fn poll_sidecar(http: &Option<String>) -> (Option<String>, Option<String>) {
+    match http {
+        None => (None, None),
+        Some(addr) => (http_get(addr, "/health"), http_get(addr, "/metrics/history")),
+    }
 }
 
 /// One fresh-connection poll — the daemon treats each scrape as a
@@ -95,7 +118,9 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        if let Err(e) = std::fs::write(path, render_html(&snap)) {
+        let (health, history) = poll_sidecar(&args.http);
+        let page = render_html_full(&snap, health.as_deref(), history.as_deref());
+        if let Err(e) = std::fs::write(path, page) {
             eprintln!("adaphet-top: cannot write {}: {e}", path.display());
             std::process::exit(1);
         }
@@ -108,12 +133,20 @@ fn main() {
         match poll(&args.target) {
             Ok(snap) => {
                 failures = 0;
+                let mut frame = render_ascii(&snap);
+                let (health, history) = poll_sidecar(&args.http);
+                if let Some(health) = health {
+                    frame.push_str(&render_health_ascii(&health));
+                }
+                if let Some(history) = history {
+                    frame.push_str(&render_history_ascii(&history, 40));
+                }
                 if args.once {
-                    print!("{}", render_ascii(&snap));
+                    print!("{frame}");
                     return;
                 }
                 // ANSI clear-screen + home, then the fresh frame.
-                print!("\x1b[2J\x1b[H{}", render_ascii(&snap));
+                print!("\x1b[2J\x1b[H{frame}");
                 let _ = std::io::stdout().flush();
             }
             Err(e) => {

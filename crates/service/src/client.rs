@@ -4,7 +4,8 @@
 //! frames.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, SessionEvent, SessionSpec, StatsSnapshot,
+    read_frame, write_frame, ErrorCode, HealthInfo, Request, Response, SessionEvent, SessionSpec,
+    StatsSnapshot,
 };
 use adaphet_analysis::Json;
 use std::io::{Read, Write};
@@ -90,6 +91,9 @@ pub struct InspectedSession {
     pub pending: Vec<(u64, usize)>,
     /// Recent lifecycle events, oldest first.
     pub events: Vec<SessionEvent>,
+    /// Events the daemon's bounded ring already evicted; non-zero means
+    /// `events` is a truncated tail (0 from pre-drop-accounting daemons).
+    pub events_dropped: u64,
 }
 
 /// The final state of a closed session.
@@ -221,9 +225,30 @@ impl<S: Read + Write> Client<S> {
     pub fn inspect(&mut self, session: u64) -> Result<InspectedSession, ClientError> {
         match self.request(&Request::Inspect { session })? {
             Response::Inspected {
-                strategy, iterations, cumulative_time, pending, events, ..
-            } => Ok(InspectedSession { strategy, iterations, cumulative_time, pending, events }),
+                strategy,
+                iterations,
+                cumulative_time,
+                pending,
+                events,
+                events_dropped,
+                ..
+            } => Ok(InspectedSession {
+                strategy,
+                iterations,
+                cumulative_time,
+                pending,
+                events,
+                events_dropped,
+            }),
             other => Err(unexpected("inspected", &other)),
+        }
+    }
+
+    /// Fetch one session's convergence-health report.
+    pub fn get_health(&mut self, session: u64) -> Result<HealthInfo, ClientError> {
+        match self.request(&Request::GetHealth { session })? {
+            Response::Health(info) => Ok(info),
+            other => Err(unexpected("health", &other)),
         }
     }
 

@@ -3,11 +3,14 @@
 //!
 //! This is deliberately not a web framework: one accept loop, one
 //! short-lived thread per connection, `Connection: close` on every
-//! response. The only routes are `GET /metrics` (the exposition) and
-//! `GET /` (a one-line pointer to it); everything else is a 404 and
-//! non-GET methods are a 405. Request bodies are never read — the
-//! request line and headers are consumed up to the blank line and the
-//! rest is ignored, which is exactly what a scraper sends anyway.
+//! response. The routes are `GET /metrics` (the exposition),
+//! `GET /health` (every live session's convergence-health report),
+//! `GET /metrics/history` (the embedded time-series store, when the
+//! manager has a sampler configured) and `GET /` (a one-line pointer);
+//! everything else is a 404 and non-GET methods are a 405. Request
+//! bodies are never read — the request line and headers are consumed up
+//! to the blank line and the rest is ignored, which is exactly what a
+//! scraper sends anyway.
 
 use crate::manager::SessionManager;
 use std::io::{BufRead, BufReader, Write};
@@ -99,6 +102,15 @@ fn serve_scrape(stream: TcpStream, manager: &SessionManager) -> std::io::Result<
                 "text/plain; version=0.0.4; charset=utf-8",
                 manager.stats().report(manager.is_draining()).to_prometheus(),
             ),
+            "/health" => ("200 OK", "application/json", manager.health_json()),
+            "/metrics/history" => match manager.history_json() {
+                Some(body) => ("200 OK", "application/json", body),
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "history sampling is not enabled on this daemon\n".into(),
+                ),
+            },
             "/" => ("200 OK", "text/plain; charset=utf-8", "adaphet-serve: see /metrics\n".into()),
             _ => (
                 "404 Not Found",
@@ -169,5 +181,128 @@ mod tests {
         conn.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 405"), "{response}");
         server.stop();
+    }
+
+    #[test]
+    fn health_endpoint_serves_live_session_reports() {
+        let manager = Arc::new(SessionManager::new(ServiceConfig {
+            idle_timeout: None,
+            ..ServiceConfig::default()
+        }));
+        let mut server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+        // Empty daemon: a valid document with an empty session list.
+        let empty = get(server.addr(), "/health");
+        assert!(empty.starts_with("HTTP/1.1 200 OK\r\n"), "{empty}");
+        assert!(empty.contains("application/json"), "{empty}");
+        assert!(empty.contains("\"sessions\":[]"), "{empty}");
+
+        let spec = crate::protocol::SessionSpec::new(adaphet_core::StrategyKind::Ucb, 1, 8);
+        let id = match manager.handle(Request::CreateSession(spec)) {
+            crate::protocol::Response::SessionCreated { session } => session,
+            other => panic!("{other:?}"),
+        };
+        let body = get(server.addr(), "/health");
+        assert!(body.contains(&format!("\"session\":{id},\"state\":\"ok\"")), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn history_endpoint_is_404_without_a_sampler_and_json_with_one() {
+        let disabled = Arc::new(SessionManager::new(ServiceConfig {
+            idle_timeout: None,
+            ..ServiceConfig::default()
+        }));
+        let mut server = MetricsServer::bind("127.0.0.1:0", disabled).unwrap();
+        let missing = get(server.addr(), "/metrics/history");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.stop();
+
+        let enabled = Arc::new(SessionManager::new(ServiceConfig {
+            idle_timeout: None,
+            history: Some(crate::manager::HistoryConfig {
+                // A long interval: the test samples deterministically.
+                interval: std::time::Duration::from_secs(3600),
+                ..crate::manager::HistoryConfig::default()
+            }),
+            ..ServiceConfig::default()
+        }));
+        let _ = enabled.handle(Request::Ping);
+        assert!(enabled.sample_history_now());
+        let mut server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&enabled)).unwrap();
+        let body = get(server.addr(), "/metrics/history");
+        assert!(body.starts_with("HTTP/1.1 200 OK\r\n"), "{body}");
+        assert!(body.contains("\"series\":["), "{body}");
+        assert!(body.contains("service.request"), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_get_complete_expositions() {
+        let manager = Arc::new(SessionManager::new(ServiceConfig {
+            idle_timeout: None,
+            ..ServiceConfig::default()
+        }));
+        let _ = manager.handle(Request::Ping);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+        let addr = server.addr().to_string();
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let path = if i % 2 == 0 { "/metrics" } else { "/health" };
+                    get(&addr, path)
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let response = h.join().unwrap();
+            assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "scrape {i}: {response}");
+            // Content-Length must match the delivered body exactly.
+            let len: usize = response
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .expect("content-length header")
+                .trim()
+                .parse()
+                .unwrap();
+            let body = response.split("\r\n\r\n").nth(1).unwrap();
+            assert_eq!(body.len(), len, "scrape {i} was truncated");
+        }
+    }
+
+    #[test]
+    fn malformed_and_partial_request_lines_do_not_wedge_the_listener() {
+        let manager = Arc::new(SessionManager::new(ServiceConfig {
+            idle_timeout: None,
+            ..ServiceConfig::default()
+        }));
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+
+        // A bare newline: no method, no path — answered 405, not a hang.
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        write!(conn, "\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+
+        // Garbage that is not HTTP at all.
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.write_all(b"\x00\x01\x02 nonsense\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1"), "{response}");
+
+        // A client that connects and disappears mid-request-line: the
+        // handler thread must give up on EOF rather than spin.
+        let conn = TcpStream::connect(server.addr()).unwrap();
+        drop(conn);
+        // A partial request line with no terminator, then a hangup.
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        write!(conn, "GET /metr").unwrap();
+        drop(conn);
+
+        // The listener is still healthy afterwards.
+        let ok = get(server.addr(), "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
     }
 }

@@ -40,6 +40,17 @@
 //! `GET /metrics`, and the `adaphet-top` binary renders it as a live
 //! terminal dashboard.
 //!
+//! # Health & history
+//!
+//! Each session carries a convergence [`HealthTracker`](adaphet_core::HealthTracker)
+//! folded to `ok / warn / stalled / diverging`; the `get_health` verb,
+//! the sidecar's `GET /health` endpoint, and per-state gauges in the
+//! exposition all read from the same published summaries. With
+//! [`HistoryConfig`] attached, a background sampler freezes the metrics
+//! registry into an embedded bounded time-series store
+//! ([`adaphet_tsdb::TimeSeriesStore`]) served on `GET /metrics/history`
+//! and optionally persisted across daemon restarts.
+//!
 //! ```no_run
 //! use adaphet_core::StrategyKind;
 //! use adaphet_service::{Client, SessionSpec};
@@ -67,10 +78,10 @@ pub mod top;
 
 pub use client::{Client, ClientError, ClosedSession, InspectedSession, PongInfo, Submitted};
 pub use http::MetricsServer;
-pub use manager::{ServiceConfig, SessionManager};
+pub use manager::{HistoryConfig, ServiceConfig, SessionManager};
 pub use protocol::{
-    ErrorCode, Request, Response, SessionEvent, SessionSpec, ShardStats, StatsSnapshot, VerbStats,
-    MAX_FRAME,
+    ErrorCode, HealthInfo, Request, Response, SessionEvent, SessionSpec, ShardStats, StatsSnapshot,
+    VerbStats, MAX_FRAME,
 };
 pub use server::{Endpoint, Server};
 pub use stats::{EventRing, ServiceStats};

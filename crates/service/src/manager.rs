@@ -23,20 +23,61 @@
 //! *behind* all previously submitted work, so in-flight requests drain
 //! before the workers flush remaining sessions and exit.
 
-use crate::protocol::{posterior_response, ErrorCode, Request, Response, SessionSpec};
+use crate::protocol::{
+    health_info, health_response, posterior_response, ErrorCode, Request, Response, SessionSpec,
+};
 use crate::stats::{EventRing, ServiceStats};
 use adaphet_core::{
     JsonlSink, Observation, Observed, ResiliencePolicy, Session, SessionError, SurrogateStore,
     Ticket, TunerDriver, WarmStart,
 };
 use adaphet_metrics::Span;
+use adaphet_tsdb::{TimeSeriesStore, TsdbConfig};
 use crossbeam::channel::{unbounded, Sender};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Configuration of the embedded metrics-history sampler.
+///
+/// When attached to a [`ServiceConfig`], the manager spawns one sampler
+/// thread that freezes the service metrics every `interval` into a
+/// bounded [`TimeSeriesStore`] — the backing data of the sidecar's
+/// `/metrics/history` endpoint and `adaphet-top`'s sparklines. With
+/// `persist` set, the store is loaded at startup and saved at shutdown,
+/// so a restarted daemon keeps its history.
+#[derive(Debug, Clone)]
+pub struct HistoryConfig {
+    /// Sampling period of the background thread.
+    pub interval: Duration,
+    /// Raw samples retained per series (coarse rings share the bound).
+    pub capacity: usize,
+    /// Downsampling bucket widths, seconds per point.
+    pub resolutions: Vec<f64>,
+    /// When set, the store persists to this file across restarts.
+    pub persist: Option<PathBuf>,
+}
+
+impl Default for HistoryConfig {
+    fn default() -> Self {
+        let tsdb = TsdbConfig::default();
+        HistoryConfig {
+            interval: Duration::from_secs(5),
+            capacity: tsdb.capacity,
+            resolutions: tsdb.resolutions,
+            persist: None,
+        }
+    }
+}
+
+impl HistoryConfig {
+    fn tsdb_config(&self) -> TsdbConfig {
+        TsdbConfig { capacity: self.capacity, resolutions: self.resolutions.clone() }
+    }
+}
 
 /// Tuning knobs for a [`SessionManager`].
 #[derive(Debug, Clone)]
@@ -59,6 +100,10 @@ pub struct ServiceConfig {
     /// strategy from the nearest stored snapshot — including snapshots
     /// left by a previous daemon run on the same directory.
     pub store_dir: Option<PathBuf>,
+    /// When set, a background sampler records metrics history into an
+    /// embedded [`TimeSeriesStore`] (`None` = no sampler thread, no
+    /// history state: the zero-perturbation default).
+    pub history: Option<HistoryConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +115,7 @@ impl Default for ServiceConfig {
             telemetry_dir: None,
             events_capacity: 64,
             store_dir: None,
+            history: None,
         }
     }
 }
@@ -106,8 +152,11 @@ pub struct SessionManager {
     shards: Vec<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     ticker: Option<(mpsc::Sender<()>, JoinHandle<()>)>,
+    sampler: Option<(mpsc::Sender<()>, JoinHandle<()>)>,
+    history: Option<Arc<Mutex<TimeSeriesStore>>>,
+    history_persist: Option<PathBuf>,
     next_id: AtomicU64,
-    draining: AtomicBool,
+    draining: Arc<AtomicBool>,
     stats: Arc<ServiceStats>,
 }
 
@@ -128,6 +177,7 @@ fn verb_name(request: &Request) -> &'static str {
         Request::CloseSession { .. } => "close_session",
         Request::GetStats => "get_stats",
         Request::Inspect { .. } => "inspect",
+        Request::GetHealth { .. } => "get_health",
         Request::Ping => "ping",
         Request::Shutdown => "shutdown",
     }
@@ -218,6 +268,7 @@ fn worker_loop(
                     for id in stale {
                         if let Some(entry) = sessions.remove(&id) {
                             retire(entry, &stats);
+                            stats.remove_health(id);
                             stats.count("service.session.evicted", 1.0);
                         }
                     }
@@ -242,6 +293,7 @@ fn worker_loop(
                         }
                         let mut events = EventRing::new(events_capacity);
                         events.push(stats.uptime_s(), "created", None, None, None, None);
+                        stats.set_health(health_info(id, &session.health()));
                         sessions.insert(
                             id,
                             Entry {
@@ -266,9 +318,10 @@ fn worker_loop(
                         err(ErrorCode::UnknownSession, format!("session {id} is not registered"))
                     }
                     Some(entry) => {
-                        // Inspect is a read-only observer; it must not
-                        // keep an otherwise-idle session alive.
-                        if !matches!(request, Request::Inspect { .. }) {
+                        // Inspect and GetHealth are read-only observers;
+                        // they must not keep an otherwise-idle session
+                        // alive.
+                        if !matches!(request, Request::Inspect { .. } | Request::GetHealth { .. }) {
                             entry.last_touch = Instant::now();
                         }
                         answer(id, entry, &request, &stats, trace.parent)
@@ -278,6 +331,7 @@ fn worker_loop(
                 if matches!(request, Request::CloseSession { .. }) {
                     if let Some(entry) = sessions.remove(&id) {
                         retire(entry, &stats);
+                        stats.remove_health(id);
                         stats.count("service.session.closed", 1.0);
                         stats.set_shard_sessions(shard, sessions.len() as u64);
                     }
@@ -287,8 +341,9 @@ fn worker_loop(
         }
     }
     // Drain: flush whatever is still registered before the thread exits.
-    for (_, entry) in sessions.drain() {
+    for (id, entry) in sessions.drain() {
         retire(entry, &stats);
+        stats.remove_health(id);
         stats.count("service.session.drained", 1.0);
     }
     stats.set_shard_sessions(shard, 0);
@@ -342,6 +397,9 @@ fn answer(
                 Ok(Observed::Recorded(out)) => {
                     stats.count("service.observation", 1.0);
                     stats.in_flight_add(-1);
+                    // The health engine folds on the record path, so the
+                    // published summary tracks every observation.
+                    stats.set_health(health_info(id, &session.health()));
                     entry.events.push(
                         stats.uptime_s(),
                         "recorded",
@@ -377,6 +435,11 @@ fn answer(
             }
         }
         Request::GetPosterior { .. } => posterior_response(id, session.posterior()),
+        Request::GetHealth { .. } => {
+            let report = session.health();
+            stats.set_health(health_info(id, &report));
+            health_response(id, &report)
+        }
         Request::Inspect { .. } => Response::Inspected {
             session: id,
             strategy: entry.strategy.clone(),
@@ -384,6 +447,7 @@ fn answer(
             cumulative_time: session.cumulative_time(),
             pending: session.pending().iter().map(|&(t, a)| (t.id(), a)).collect(),
             events: entry.events.events(),
+            events_dropped: entry.events.dropped(),
         },
         Request::CloseSession { .. } => Response::Closed {
             session: id,
@@ -392,7 +456,7 @@ fn answer(
             best_action: session.history().best_action(),
             history: session.history().records().to_vec(),
         },
-        // Routed requests are exactly the five above; `route` never sends
+        // Routed requests are exactly the six above; `route` never sends
         // anything else.
         _ => err(ErrorCode::Internal, "request routed to a session worker by mistake"),
     }
@@ -442,14 +506,94 @@ impl SessionManager {
             });
             (stop_tx, handle)
         });
+        let draining = Arc::new(AtomicBool::new(false));
+        // The history plane only exists when asked for: no config means
+        // no store, no mutex, no sampler thread — nothing for the
+        // session hot path to even share a cache line with.
+        let mut history = None;
+        let mut history_persist = None;
+        let mut sampler = None;
+        if let Some(h) = &config.history {
+            let store = match &h.persist {
+                None => TimeSeriesStore::new(h.tsdb_config()),
+                Some(path) => {
+                    let (store, warn) = TimeSeriesStore::load_or_new(path, h.tsdb_config());
+                    if warn.is_some() {
+                        stats.count("service.history.load_error", 1.0);
+                    }
+                    store
+                }
+            };
+            let store = Arc::new(Mutex::new(store));
+            let (stop_tx, stop_rx) = mpsc::channel::<()>();
+            let interval = h.interval.max(Duration::from_millis(10));
+            let thread_store = Arc::clone(&store);
+            let thread_stats = Arc::clone(&stats);
+            let thread_draining = Arc::clone(&draining);
+            let handle = std::thread::spawn(move || {
+                while let Err(mpsc::RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
+                    let report = thread_stats.report(thread_draining.load(Ordering::SeqCst));
+                    thread_store.lock().unwrap().ingest(&report);
+                }
+            });
+            history = Some(store);
+            history_persist = h.persist.clone();
+            sampler = Some((stop_tx, handle));
+        }
         SessionManager {
             shards,
             workers: handles,
             ticker,
+            sampler,
+            history,
+            history_persist,
             next_id: AtomicU64::new(1),
-            draining: AtomicBool::new(false),
+            draining,
             stats,
         }
+    }
+
+    /// Whether the metrics-history sampler is configured.
+    pub fn history_enabled(&self) -> bool {
+        self.history.is_some()
+    }
+
+    /// Take one history sample right now, bypassing the sampler's clock
+    /// (deterministic alternative for tests and operator tooling).
+    /// Returns `false` when history is disabled.
+    pub fn sample_history_now(&self) -> bool {
+        match &self.history {
+            None => false,
+            Some(store) => {
+                let report = self.stats.report(self.is_draining());
+                store.lock().unwrap().ingest(&report);
+                true
+            }
+        }
+    }
+
+    /// The history store's full JSON document (the `/metrics/history`
+    /// body), or `None` when no sampler is configured.
+    pub fn history_json(&self) -> Option<String> {
+        self.history.as_ref().map(|store| store.lock().unwrap().to_json())
+    }
+
+    /// The `/health` endpoint body: every live session's latest health
+    /// report, ordered by session id. Field order inside each session
+    /// object matches the `health` wire frame exactly.
+    pub fn health_json(&self) -> String {
+        let sessions = self
+            .stats
+            .health_infos()
+            .iter()
+            .map(|h| format!("{{{}}}", h.json_fields()))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"uptime_s\":{:.3},\"draining\":{},\"sessions\":[{sessions}]}}",
+            self.stats.uptime_s(),
+            self.is_draining()
+        )
     }
 
     /// Whether [`Request::Shutdown`] was received (new work is refused).
@@ -526,6 +670,7 @@ impl SessionManager {
             | Request::SubmitObservation { session, .. }
             | Request::GetPosterior { session }
             | Request::Inspect { session }
+            | Request::GetHealth { session }
             | Request::CloseSession { session } => self.route(session, parent, |reply, trace| {
                 Job::Session { request, session, reply, trace }
             }),
@@ -584,6 +729,10 @@ impl SessionManager {
             let _ = stop.send(());
             let _ = handle.join();
         }
+        if let Some((stop, handle)) = self.sampler.take() {
+            let _ = stop.send(());
+            let _ = handle.join();
+        }
         for tx in &self.shards {
             // FIFO: the sentinel lands behind all in-flight jobs, so they
             // drain before the worker exits.
@@ -591,6 +740,16 @@ impl SessionManager {
         }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        // Persist the history last, with a final sample covering the
+        // drain itself, so a restarted daemon resumes a complete record.
+        if let (Some(store), Some(path)) = (&self.history, &self.history_persist) {
+            let report = self.stats.report(true);
+            let mut store = store.lock().unwrap();
+            store.ingest(&report);
+            if store.save(path).is_err() {
+                self.stats.count("service.history.save_error", 1.0);
+            }
         }
     }
 }

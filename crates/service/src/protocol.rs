@@ -213,6 +213,12 @@ pub enum Request {
         /// Target session id.
         session: u64,
     },
+    /// Fetch one session's convergence-health report (folded state plus
+    /// the raw signals behind it).
+    GetHealth {
+        /// Target session id.
+        session: u64,
+    },
     /// Liveness probe; the reply carries daemon version and uptime.
     Ping,
     /// Ask the daemon to stop accepting connections and drain.
@@ -300,6 +306,69 @@ pub struct SessionEvent {
     pub iteration: Option<usize>,
     /// Observed duration, for `recorded` events.
     pub duration: Option<f64>,
+}
+
+/// One session's convergence-health report, answered to
+/// [`Request::GetHealth`] — the wire mirror of
+/// [`adaphet_core::HealthReport`]. Field order and the `state` enum
+/// spellings (`"ok"`, `"warn"`, `"stalled"`, `"diverging"`) are pinned
+/// by the golden test in `tests/health_schema.rs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthInfo {
+    /// Owning session.
+    pub session: u64,
+    /// Folded state: `ok`, `warn`, `stalled` or `diverging`.
+    pub state: String,
+    /// Warn reason slug, when the state is `warn`.
+    pub reason: Option<String>,
+    /// Observations recorded so far.
+    pub records: usize,
+    /// Records since the session best last improved.
+    pub since_best: usize,
+    /// Normalized duration slope over the sliding window (`null` until
+    /// the window is full).
+    pub regret_slope: Option<f64>,
+    /// Retry verdicts inside the window.
+    pub retries_window: usize,
+    /// Fault-annotated records inside the window.
+    pub faults_window: usize,
+    /// Posterior sd ceiling from the last snapshot, if any.
+    pub posterior_sd_max: Option<f64>,
+    /// Gap between the session best and the LP bound minimum, if any.
+    pub lp_gap: Option<f64>,
+    /// First record (1-based) inside the best-known band, if reached.
+    pub band_record: Option<usize>,
+    /// Whether the session's surrogate was warm-started.
+    pub warm_started: bool,
+    /// Published health-state transitions so far.
+    pub transitions: u64,
+}
+
+impl HealthInfo {
+    /// The report's JSON fields without the enclosing braces or a
+    /// `type` tag — shared by the `health` wire frame and the sidecar's
+    /// `/health` endpoint so both expose the identical pinned schema.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"session\":{},\"state\":\"{}\",\"reason\":{},\"records\":{},\"since_best\":{},\
+             \"regret_slope\":{},\"retries_window\":{},\"faults_window\":{},\
+             \"posterior_sd_max\":{},\"lp_gap\":{},\"band_record\":{},\"warm_started\":{},\
+             \"transitions\":{}",
+            self.session,
+            json_escape(&self.state),
+            self.reason.as_deref().map_or("null".into(), |r| format!("\"{}\"", json_escape(r))),
+            self.records,
+            self.since_best,
+            jopt_num(self.regret_slope),
+            self.retries_window,
+            self.faults_window,
+            jopt_num(self.posterior_sd_max),
+            jopt_num(self.lp_gap),
+            jopt_usize(self.band_record),
+            self.warm_started,
+            self.transitions,
+        )
+    }
 }
 
 /// Machine-readable error category of an [`Response::Error`].
@@ -438,7 +507,12 @@ pub enum Response {
         pending: Vec<(u64, usize)>,
         /// Recent lifecycle events, oldest first (bounded ring).
         events: Vec<SessionEvent>,
+        /// Events the bounded ring has already evicted (0 until it
+        /// wraps) — a non-zero value means `events` is a truncated tail.
+        events_dropped: u64,
     },
+    /// One session's convergence-health report.
+    Health(HealthInfo),
     /// Liveness answer, carrying the daemon's identity.
     Pong {
         /// Daemon crate version (empty when talking to a pre-stats peer).
@@ -525,6 +599,9 @@ impl Request {
             Request::GetStats => "{\"type\":\"get_stats\"}".to_string(),
             Request::Inspect { session } => {
                 format!("{{\"type\":\"inspect\",\"session\":{session}}}")
+            }
+            Request::GetHealth { session } => {
+                format!("{{\"type\":\"get_health\",\"session\":{session}}}")
             }
             Request::Ping => "{\"type\":\"ping\"}".to_string(),
             Request::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
@@ -621,6 +698,7 @@ impl Request {
             "close_session" => Request::CloseSession { session: session(v)? },
             "get_stats" => Request::GetStats,
             "inspect" => Request::Inspect { session: session(v)? },
+            "get_health" => Request::GetHealth { session: session(v)? },
             "ping" => Request::Ping,
             "shutdown" => Request::Shutdown,
             other => return Err(format!("unknown request type {other:?}")),
@@ -743,6 +821,7 @@ impl Response {
                 cumulative_time,
                 pending,
                 events,
+                events_dropped,
             } => {
                 let pend = pending
                     .iter()
@@ -769,10 +848,13 @@ impl Response {
                 format!(
                     "{{\"type\":\"inspected\",\"session\":{session},\"strategy\":\"{}\",\
                      \"iterations\":{iterations},\"cumulative_time\":{},\"pending\":[{pend}],\
-                     \"events\":[{evs}]}}",
+                     \"events\":[{evs}],\"events_dropped\":{events_dropped}}}",
                     json_escape(strategy),
                     jnum(*cumulative_time)
                 )
+            }
+            Response::Health(h) => {
+                format!("{{\"type\":\"health\",{}}}", h.json_fields())
             }
             Response::Pong { version, uptime_s } => format!(
                 "{{\"type\":\"pong\",\"version\":\"{}\",\"uptime_s\":{}}}",
@@ -970,7 +1052,34 @@ impl Response {
                         })
                     })
                     .collect::<Result<Vec<_>, String>>()?,
+                // Absent on frames from daemons that predate drop
+                // accounting: nothing evicted is the only safe reading.
+                events_dropped: match v.get("events_dropped") {
+                    None | Some(Json::Null) => 0,
+                    Some(x) => x
+                        .as_f64()
+                        .filter(|d| *d >= 0.0 && d.fract() == 0.0)
+                        .ok_or("invalid 'events_dropped'")? as u64,
+                },
             },
+            "health" => Response::Health(HealthInfo {
+                session: int("session")?,
+                state: v.get("state").and_then(Json::as_str).ok_or("missing 'state'")?.to_string(),
+                reason: match v.get("reason") {
+                    None | Some(Json::Null) => None,
+                    Some(x) => Some(x.as_str().ok_or("'reason' must be a string")?.to_string()),
+                },
+                records: us("records")?,
+                since_best: us("since_best")?,
+                regret_slope: v.get("regret_slope").and_then(Json::as_f64),
+                retries_window: us("retries_window")?,
+                faults_window: us("faults_window")?,
+                posterior_sd_max: v.get("posterior_sd_max").and_then(Json::as_f64),
+                lp_gap: v.get("lp_gap").and_then(Json::as_f64),
+                band_record: v.get("band_record").and_then(Json::as_usize),
+                warm_started: v.get("warm_started").and_then(Json::as_bool).unwrap_or(false),
+                transitions: v.get("transitions").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            }),
             "pong" => Response::Pong {
                 version: v.get("version").and_then(Json::as_str).unwrap_or_default().to_string(),
                 uptime_s: v.get("uptime_s").and_then(Json::as_f64).unwrap_or(0.0),
@@ -996,6 +1105,31 @@ impl Response {
 /// Build a full posterior response from a core snapshot.
 pub fn posterior_response(session: u64, snap: Option<PosteriorSnapshot>) -> Response {
     Response::Posterior { session, points: snap.map(|s| s.points) }
+}
+
+/// Build a [`Response::Health`] from a session's core health report.
+pub fn health_response(session: u64, report: &adaphet_core::HealthReport) -> Response {
+    Response::Health(health_info(session, report))
+}
+
+/// Flatten a session's core health report into its wire mirror.
+pub fn health_info(session: u64, report: &adaphet_core::HealthReport) -> HealthInfo {
+    let s = &report.signals;
+    HealthInfo {
+        session,
+        state: report.state.as_str().to_string(),
+        reason: report.state.reason().map(str::to_string),
+        records: s.records,
+        since_best: s.since_best,
+        regret_slope: s.regret_slope,
+        retries_window: s.retries_window,
+        faults_window: s.faults_window,
+        posterior_sd_max: s.posterior_sd_max,
+        lp_gap: s.lp_gap,
+        band_record: s.band_record,
+        warm_started: s.warm_started,
+        transitions: report.transitions,
+    }
 }
 
 #[cfg(test)]
@@ -1040,6 +1174,7 @@ mod tests {
         round_trip_request(Request::CloseSession { session: 12 });
         round_trip_request(Request::GetStats);
         round_trip_request(Request::Inspect { session: 12 });
+        round_trip_request(Request::GetHealth { session: 12 });
         round_trip_request(Request::Ping);
         round_trip_request(Request::Shutdown);
     }
@@ -1149,13 +1284,69 @@ mod tests {
                     duration: Some(1.5),
                 },
             ],
+            events_dropped: 17,
         });
+        round_trip_response(Response::Health(HealthInfo {
+            session: 5,
+            state: "warn".into(),
+            reason: Some("fault-pressure".into()),
+            records: 20,
+            since_best: 4,
+            regret_slope: Some(-0.015),
+            retries_window: 1,
+            faults_window: 2,
+            posterior_sd_max: Some(0.75),
+            lp_gap: Some(2.5),
+            band_record: Some(9),
+            warm_started: true,
+            transitions: 3,
+        }));
+        round_trip_response(Response::Health(HealthInfo {
+            session: 0,
+            state: "ok".into(),
+            reason: None,
+            records: 0,
+            since_best: 0,
+            regret_slope: None,
+            retries_window: 0,
+            faults_window: 0,
+            posterior_sd_max: None,
+            lp_gap: None,
+            band_record: None,
+            warm_started: false,
+            transitions: 0,
+        }));
         round_trip_response(Response::Pong { version: "0.1.0".into(), uptime_s: 3.5 });
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Error {
             code: ErrorCode::UnknownSession,
             message: "session 99 is not registered".into(),
         });
+    }
+
+    #[test]
+    fn events_dropped_field_is_backward_compatible() {
+        // Daemons that predate drop accounting omit the field; reading
+        // that frame must not fail and must report zero drops.
+        let old = "{\"type\":\"inspected\",\"session\":5,\"strategy\":\"ucb\",\
+                   \"iterations\":2,\"cumulative_time\":1.5,\"pending\":[],\"events\":[]}";
+        match Response::from_json(&Json::parse(old).unwrap()).unwrap() {
+            Response::Inspected { events_dropped, .. } => assert_eq!(events_dropped, 0),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        // Explicit null is treated the same way.
+        let nulled = "{\"type\":\"inspected\",\"session\":5,\"strategy\":\"ucb\",\
+                      \"iterations\":2,\"cumulative_time\":1.5,\"pending\":[],\"events\":[],\
+                      \"events_dropped\":null}";
+        match Response::from_json(&Json::parse(nulled).unwrap()).unwrap() {
+            Response::Inspected { events_dropped, .. } => assert_eq!(events_dropped, 0),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        // Negative or fractional counts are a typed parse error.
+        let bad = "{\"type\":\"inspected\",\"session\":5,\"strategy\":\"ucb\",\
+                   \"iterations\":2,\"cumulative_time\":1.5,\"pending\":[],\"events\":[],\
+                   \"events_dropped\":-3}";
+        assert!(Response::from_json(&Json::parse(bad).unwrap()).is_err());
     }
 
     #[test]

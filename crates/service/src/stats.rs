@@ -14,10 +14,11 @@
 //! so a `GetStats` snapshot never blocks on — or perturbs — the shard
 //! queues it is describing.
 
-use crate::protocol::{SessionEvent, ShardStats, StatsSnapshot, VerbStats};
+use crate::protocol::{HealthInfo, SessionEvent, ShardStats, StatsSnapshot, VerbStats};
 use adaphet_metrics::{MetricsReport, Recorder, Registry, Spans};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Default capacity of the recent-span ring kept by the manager.
 pub const DEFAULT_SPANS_CAPACITY: usize = 256;
@@ -29,6 +30,7 @@ pub struct ServiceStats {
     in_flight: AtomicI64,
     queue_depth: Vec<AtomicU64>,
     shard_sessions: Vec<AtomicU64>,
+    health: Mutex<BTreeMap<u64, HealthInfo>>,
 }
 
 impl ServiceStats {
@@ -40,7 +42,33 @@ impl ServiceStats {
             in_flight: AtomicI64::new(0),
             queue_depth: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             shard_sessions: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            health: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Publish one session's latest health report. Workers call this
+    /// after every state-bearing verb so `/health` answers without
+    /// touching the shard queues. New transitions observed since the
+    /// previous publish bump the `service.health.transitions` counter.
+    pub fn set_health(&self, info: HealthInfo) {
+        let mut map = self.health.lock().unwrap();
+        let prior = map.get(&info.session).map_or(0, |old| old.transitions);
+        let delta = info.transitions.saturating_sub(prior);
+        map.insert(info.session, info);
+        drop(map);
+        if delta > 0 {
+            self.count("service.health.transitions", delta as f64);
+        }
+    }
+
+    /// Forget a retired session's health entry.
+    pub fn remove_health(&self, session: u64) {
+        self.health.lock().unwrap().remove(&session);
+    }
+
+    /// Latest published health reports, ordered by session id.
+    pub fn health_infos(&self) -> Vec<HealthInfo> {
+        self.health.lock().unwrap().values().cloned().collect()
     }
 
     /// The span collector for request-lifecycle tracing.
@@ -158,6 +186,17 @@ impl ServiceStats {
                 self.shard_sessions[i].load(Ordering::Relaxed) as f64,
             );
         }
+        // Sessions per folded health state, so dashboards can alert on
+        // "any session not ok" without parsing `/health`.
+        let mut by_state = [("ok", 0u64), ("warn", 0), ("stalled", 0), ("diverging", 0)];
+        for info in self.health.lock().unwrap().values() {
+            if let Some(slot) = by_state.iter_mut().find(|(name, _)| *name == info.state) {
+                slot.1 += 1;
+            }
+        }
+        for (name, n) in by_state {
+            self.registry.gauge(&format!("service.health.sessions.{name}"), n as f64);
+        }
         self.registry.snapshot()
     }
 }
@@ -206,6 +245,12 @@ impl EventRing {
     /// The retained events, oldest first.
     pub fn events(&self) -> Vec<SessionEvent> {
         self.buf.iter().cloned().collect()
+    }
+
+    /// Events the ring has already evicted: every push takes a seq, so
+    /// whatever the buffer no longer holds was dropped.
+    pub fn dropped(&self) -> u64 {
+        self.next_seq - self.buf.len() as u64
     }
 }
 
@@ -270,5 +315,67 @@ mod tests {
         assert_eq!(events.len(), 3);
         assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
         assert_eq!(events[0].kind, "propose");
+    }
+
+    #[test]
+    fn event_ring_counts_what_it_evicted() {
+        let mut ring = EventRing::new(3);
+        assert_eq!(ring.dropped(), 0);
+        for i in 0..3 {
+            ring.push(i as f64, "propose", None, None, None, None);
+        }
+        assert_eq!(ring.dropped(), 0, "nothing evicted until the ring wraps");
+        for i in 3..8 {
+            ring.push(i as f64, "propose", None, None, None, None);
+        }
+        assert_eq!(ring.dropped(), 5);
+        assert_eq!(ring.events().len(), 3);
+    }
+
+    fn health(session: u64, state: &str, transitions: u64) -> HealthInfo {
+        HealthInfo {
+            session,
+            state: state.into(),
+            reason: None,
+            records: 0,
+            since_best: 0,
+            regret_slope: None,
+            retries_window: 0,
+            faults_window: 0,
+            posterior_sd_max: None,
+            lp_gap: None,
+            band_record: None,
+            warm_started: false,
+            transitions,
+        }
+    }
+
+    #[test]
+    fn health_publishes_count_transitions_once() {
+        let s = ServiceStats::new(1);
+        s.set_health(health(1, "ok", 0));
+        s.set_health(health(2, "warn", 1));
+        // Re-publishing the same report must not recount its transition.
+        s.set_health(health(2, "warn", 1));
+        s.set_health(health(2, "ok", 2));
+        let snap = s.report(false);
+        let transitions =
+            snap.counters.iter().find(|(k, _)| k == "service.health.transitions").map(|&(_, v)| v);
+        assert_eq!(transitions, Some(2.0));
+        assert_eq!(s.health_infos().len(), 2);
+        s.remove_health(2);
+        assert_eq!(s.health_infos().len(), 1);
+    }
+
+    #[test]
+    fn report_gauges_sessions_per_health_state() {
+        let s = ServiceStats::new(1);
+        s.set_health(health(1, "ok", 0));
+        s.set_health(health(2, "stalled", 1));
+        s.set_health(health(3, "ok", 0));
+        let p = s.report(false).to_prometheus();
+        assert!(p.contains("adaphet_service_health_sessions_ok 2\n"), "{p}");
+        assert!(p.contains("adaphet_service_health_sessions_stalled 1\n"), "{p}");
+        assert!(p.contains("adaphet_service_health_sessions_diverging 0\n"), "{p}");
     }
 }

@@ -6,7 +6,19 @@
 //! without a daemon.
 
 use crate::protocol::StatsSnapshot;
-use adaphet_analysis::{html_escape, STYLE};
+use adaphet_analysis::{html_escape, Json, STYLE};
+use std::time::Duration;
+
+/// Parse the `--interval SECS` flag value shared by the top binaries:
+/// a positive, finite number of seconds (fractions allowed).
+pub fn parse_interval(value: &str) -> Result<Duration, String> {
+    let secs: f64 =
+        value.parse().map_err(|_| "--interval needs a number of seconds".to_string())?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err("--interval must be positive".into());
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
 
 /// Format a duration in seconds with an adaptive unit (`ns`/`us`/`ms`/`s`).
 pub fn fmt_duration(seconds: f64) -> String {
@@ -91,9 +103,156 @@ pub fn render_ascii(snap: &StatsSnapshot) -> String {
     out
 }
 
+/// A fixed-width ASCII sparkline of `values` (oldest first): each cell
+/// maps the value onto `" .:-=+*#%@"`, scaled to the series' own
+/// min..max. More values than `width` keeps the most recent `width`.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let width = width.max(1);
+    let tail: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect::<Vec<_>>();
+    let tail = &tail[tail.len().saturating_sub(width)..];
+    if tail.is_empty() {
+        return " ".repeat(width);
+    }
+    let (min, max) =
+        tail.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = max - min;
+    let mut out = String::with_capacity(width);
+    for &v in tail {
+        let idx = if span <= 0.0 {
+            // A flat series renders mid-ramp, not blank.
+            RAMP.len() / 2
+        } else {
+            (((v - min) / span) * (RAMP.len() - 1) as f64).round() as usize
+        };
+        out.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+    }
+    // Pad short histories on the left so sparklines align right.
+    format!("{}{out}", " ".repeat(width - tail.len().min(width)))
+}
+
+/// Parse a `/metrics/history` document into `(series name, raw values
+/// oldest-first)` pairs, in document order. Unparseable input yields an
+/// empty list rather than an error — the dashboard degrades, it does
+/// not die.
+pub fn parse_history(json: &str) -> Vec<(String, Vec<f64>)> {
+    let Ok(doc) = Json::parse(json) else { return Vec::new() };
+    let Some(series) = doc.get("series").and_then(Json::as_arr) else { return Vec::new() };
+    series
+        .iter()
+        .filter_map(|s| {
+            let name = s.get("name").and_then(Json::as_str)?.to_string();
+            let values = s
+                .get("points")
+                .and_then(Json::as_arr)?
+                .iter()
+                .filter_map(|p| p.as_arr().filter(|a| a.len() == 2).and_then(|a| a[1].as_f64()))
+                .collect();
+            Some((name, values))
+        })
+        .collect()
+}
+
+/// The metric series the history panel highlights, in display order.
+pub const HISTORY_PANEL: &[&str] = &[
+    "service.request",
+    "service.sessions.live",
+    "service.in_flight",
+    "service.health.sessions.warn",
+    "service.health.sessions.stalled",
+];
+
+/// Render the history panel: one sparkline row per panel series present
+/// in the document (plus the latest value). Empty when nothing matches.
+pub fn render_history_ascii(history_json: &str, width: usize) -> String {
+    let all = parse_history(history_json);
+    let mut out = String::new();
+    for &name in HISTORY_PANEL {
+        let Some((_, values)) = all.iter().find(|(n, _)| n == name) else { continue };
+        if values.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<32} {} {:>10.2}\n",
+            name,
+            sparkline(values, width),
+            values.last().copied().unwrap_or(0.0),
+        ));
+    }
+    if !out.is_empty() {
+        out = format!("\nhistory ({} series sampled)\n{out}", all.len());
+    }
+    out
+}
+
+/// Render the `/health` document as a fixed-width session table. Empty
+/// string when the daemon has no live sessions.
+pub fn render_health_ascii(health_json: &str) -> String {
+    let Ok(doc) = Json::parse(health_json) else { return String::new() };
+    let Some(sessions) = doc.get("sessions").and_then(Json::as_arr) else {
+        return String::new();
+    };
+    if sessions.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("\n");
+    out.push_str(&format!(
+        "{:<8} {:<10} {:<24} {:>8} {:>10} {:>6}\n",
+        "session", "state", "reason", "records", "since-best", "trans"
+    ));
+    for s in sessions {
+        let num = |key: &str| s.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        out.push_str(&format!(
+            "{:<8} {:<10} {:<24} {:>8} {:>10} {:>6}\n",
+            num("session") as u64,
+            s.get("state").and_then(Json::as_str).unwrap_or("?"),
+            s.get("reason").and_then(Json::as_str).unwrap_or("-"),
+            num("records") as u64,
+            num("since_best") as u64,
+            num("transitions") as u64,
+        ));
+    }
+    out
+}
+
 /// Render the dashboard as a self-contained HTML page (inline CSS shared
 /// with the `adaphet report` output, no scripts, no external fetches).
 pub fn render_html(snap: &StatsSnapshot) -> String {
+    render_html_full(snap, None, None)
+}
+
+/// [`render_html`] plus optional health and history sections sourced
+/// from the sidecar's `/health` and `/metrics/history` documents.
+pub fn render_html_full(
+    snap: &StatsSnapshot,
+    health_json: Option<&str>,
+    history_json: Option<&str>,
+) -> String {
+    let mut out = render_html_base(snap);
+    let tail = "<p class=\"meta\">generated by";
+    let split = out.find(tail).unwrap_or(out.len());
+    let mut extra = String::new();
+    if let Some(health) = health_json {
+        let table = render_health_ascii(health);
+        if !table.is_empty() {
+            extra.push_str("<h2>Session health</h2>\n<pre>");
+            extra.push_str(&html_escape(table.trim_start_matches('\n')));
+            extra.push_str("</pre>\n");
+        }
+    }
+    if let Some(history) = history_json {
+        let panel = render_history_ascii(history, 48);
+        if !panel.is_empty() {
+            extra.push_str("<h2>Metric history</h2>\n<pre>");
+            extra.push_str(&html_escape(panel.trim_start_matches('\n')));
+            extra.push_str("</pre>\n");
+        }
+    }
+    out.insert_str(split, &extra);
+    out
+}
+
+fn render_html_base(snap: &StatsSnapshot) -> String {
     let mut out = String::with_capacity(8 * 1024);
     out.push_str("<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n");
     out.push_str("<title>adaphet-top</title>\n");
@@ -237,5 +396,87 @@ mod tests {
         s.draining = true;
         assert!(render_ascii(&s).contains("DRAINING"));
         assert!(render_html(&s).contains("<strong>draining</strong>"));
+    }
+
+    #[test]
+    fn interval_flag_parses_positive_finite_seconds() {
+        assert_eq!(parse_interval("2").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_interval("0.25").unwrap(), Duration::from_millis(250));
+        for bad in ["0", "-1", "nan", "inf", "fast", ""] {
+            assert!(parse_interval(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn sparklines_scale_pad_and_stay_ascii() {
+        // Monotone ramp: lowest cell first, highest last.
+        let ramp = sparkline(&[0.0, 1.0, 2.0, 3.0], 4);
+        assert_eq!(ramp.len(), 4);
+        assert!(ramp.starts_with(' ') && ramp.ends_with('@'), "{ramp:?}");
+        // Flat series renders mid-ramp, not blank.
+        let flat = sparkline(&[5.0; 3], 3);
+        assert!(!flat.contains(' ') && !flat.contains('@'), "{flat:?}");
+        // Short histories right-align; long ones keep the tail.
+        assert!(sparkline(&[1.0], 5).starts_with("    "));
+        let tail = sparkline(&[9.0, 0.0, 0.0, 0.0, 0.0, 0.0], 3);
+        assert_eq!(tail, sparkline(&[0.0; 3], 3), "9.0 fell off the window");
+        // Non-finite values are dropped, empty input is blank padding.
+        assert_eq!(sparkline(&[f64::NAN], 2), "  ");
+        assert!(sparkline(&[], 2).is_ascii());
+    }
+
+    const HISTORY_DOC: &str = r#"{"version":1,"capacity":8,"resolutions":[30],
+        "epoch_s":0,"series":[
+        {"name":"service.request","points":[[0,1],[1,4],[2,9]],"coarse":[]},
+        {"name":"service.sessions.live","points":[[0,2],[1,2]],"coarse":[]}]}"#;
+
+    #[test]
+    fn history_parses_and_renders_panel_series() {
+        let parsed = parse_history(HISTORY_DOC);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "service.request");
+        assert_eq!(parsed[0].1, vec![1.0, 4.0, 9.0]);
+        let panel = render_history_ascii(HISTORY_DOC, 10);
+        assert!(panel.contains("service.request"), "{panel}");
+        assert!(panel.contains("service.sessions.live"), "{panel}");
+        assert!(panel.contains("9.00"), "latest value column: {panel}");
+        assert!(panel.is_ascii());
+        // Garbage degrades to nothing instead of failing.
+        assert!(render_history_ascii("not json", 10).is_empty());
+        assert!(parse_history("{}").is_empty());
+    }
+
+    const HEALTH_DOC: &str = r#"{"uptime_s":3.5,"draining":false,"sessions":[
+        {"session":1,"state":"ok","reason":null,"records":12,"since_best":2,
+         "regret_slope":-0.01,"retries_window":0,"faults_window":0,
+         "posterior_sd_max":null,"lp_gap":null,"band_record":4,
+         "warm_started":false,"transitions":0},
+        {"session":2,"state":"warn","reason":"fault-pressure","records":17,
+         "since_best":5,"regret_slope":0.002,"retries_window":1,
+         "faults_window":1,"posterior_sd_max":0.4,"lp_gap":1.5,
+         "band_record":null,"warm_started":true,"transitions":2}]}"#;
+
+    #[test]
+    fn health_table_lists_sessions_with_states_and_reasons() {
+        let table = render_health_ascii(HEALTH_DOC);
+        assert!(table.contains("warn"), "{table}");
+        assert!(table.contains("fault-pressure"), "{table}");
+        assert!(table.contains("ok"), "{table}");
+        assert!(table.is_ascii());
+        // No sessions → no table; garbage → no table.
+        assert_eq!(render_health_ascii(r#"{"sessions":[]}"#), "");
+        assert_eq!(render_health_ascii("nope"), "");
+    }
+
+    #[test]
+    fn html_full_embeds_health_and_history_sections() {
+        let html = render_html_full(&snap(), Some(HEALTH_DOC), Some(HISTORY_DOC));
+        assert!(html.contains("<h2>Session health</h2>"), "{html}");
+        assert!(html.contains("<h2>Metric history</h2>"), "{html}");
+        assert!(html.contains("fault-pressure"), "{html}");
+        assert!(!html.contains("<script"), "still self-contained");
+        assert!(html.ends_with("</html>\n"));
+        // Without the documents the page is byte-identical to render_html.
+        assert_eq!(render_html_full(&snap(), None, None), render_html(&snap()));
     }
 }

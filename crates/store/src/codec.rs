@@ -1,31 +1,39 @@
 //! Little-endian primitive reader/writer helpers shared by the snapshot
-//! codec. Reads are bounds-checked and return [`StoreError::Truncated`]
-//! instead of panicking.
+//! codec — and exported for sibling crates (`adaphet-tsdb`) that follow
+//! the same magic/version/CRC/tagged-section file discipline. Reads are
+//! bounds-checked and return [`StoreError::Truncated`] instead of
+//! panicking.
 
 use crate::error::StoreError;
 
 /// Append-only byte writer.
+#[derive(Default)]
 pub struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
+    /// An empty writer.
     pub fn new() -> Self {
         Writer { buf: Vec::new() }
     }
 
+    /// Consume the writer, yielding the accumulated bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 
+    /// One raw byte.
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
+    /// u32, little-endian.
     pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// u64, little-endian.
     pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -56,10 +64,12 @@ pub struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    /// A cursor positioned at the start of `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
         Reader { bytes, pos: 0 }
     }
 
+    /// True once the cursor has consumed every byte.
     pub fn is_empty(&self) -> bool {
         self.pos >= self.bytes.len()
     }
@@ -74,22 +84,28 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// One raw byte.
     pub fn u8(&mut self) -> Result<u8, StoreError> {
         Ok(self.take(1)?[0])
     }
 
+    /// u32, little-endian.
     pub fn u32(&mut self) -> Result<u32, StoreError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
+    /// u64, little-endian.
     pub fn u64(&mut self) -> Result<u64, StoreError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
+    /// f64 from its bit pattern (the inverse of [`Writer::f64`]).
     pub fn f64(&mut self) -> Result<f64, StoreError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    /// A string written by [`Writer::str`]; non-UTF-8 bytes are a typed
+    /// [`StoreError::Corrupt`], never a panic.
     pub fn str(&mut self) -> Result<String, StoreError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;

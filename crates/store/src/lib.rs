@@ -40,6 +40,7 @@ mod signature;
 mod snapshot;
 mod store;
 
+pub use codec::{Reader, Writer};
 pub use error::StoreError;
 pub use signature::{GroupSig, PlatformSignature};
 pub use snapshot::{GpHyper, SurrogateSnapshot, FORMAT_VERSION, MAGIC};
